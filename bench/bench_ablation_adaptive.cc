@@ -1,0 +1,106 @@
+// Ablation: the design knobs of the adaptive scheme (DESIGN.md §3).
+//
+// The paper fixes N = 8, T = 95%, Inv = 10 ms and predUtil = most-recent
+// (§IV-A, §V-B) without sensitivity analysis; this bench sweeps each
+// knob in the CPU-bound regime (scale 1e-5, 128 clients) where the
+// adaptive scheme actually works, reporting throughput, latency and the
+// offloaded share. Expected reading:
+//  * N too small → windows too short to relieve the server; N too large
+//    → overshoot past the utilization target;
+//  * T low → clients offload under moderate load (wasting the faster
+//    fast-messaging path); T ≈ 1 → adaptation only at full saturation;
+//  * Inv long → stale signal, slow reaction;
+//  * EWMA prediction (§VI extension) smooths the signal: similar steady
+//    state, fewer spurious switches.
+#include "bench_util.h"
+
+namespace {
+
+using namespace catfish;
+using namespace catfish::bench;
+
+void Report(const char* label, const model::RunResult& r) {
+  const double total =
+      static_cast<double>(r.fast_searches + r.offloaded_searches);
+  std::printf("%-28s %10.1f %12.1f %11.1f%% %10.2f\n", label,
+              r.throughput_kops, r.latency_us.mean(),
+              total > 0 ? 100.0 * static_cast<double>(r.offloaded_searches) /
+                              total
+                        : 0.0,
+              r.server_cpu_util);
+}
+
+void Header() {
+  std::printf("%-28s %10s %12s %12s %10s\n", "config", "thr_kops",
+              "mean_lat_us", "offload%", "cpu_util");
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::Load();
+  PrintEnv("Ablation: adaptive-scheme knobs (scale 1e-5, 128 clients)", env);
+
+  Testbed tb = MakeUniformTestbed(env.dataset, env.seed);
+  workload::RequestGen::Config w;
+  w.scale = 1e-5;
+
+  const auto run = [&](auto&& mutate) {
+    auto cfg = MakeConfig(model::Scheme::kCatfish, 128, w, env);
+    mutate(cfg);
+    return model::ClusterSim(*tb.tree, cfg).Run();
+  };
+
+  std::printf("--- back-off window N (paper: 8) ---\n");
+  Header();
+  for (const uint32_t n : {2u, 8u, 32u, 128u}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "N = %u", n);
+    Report(label, run([n](model::ClusterConfig& c) {
+             c.adaptive.window = n;
+           }));
+  }
+
+  std::printf(
+      "\n--- busy threshold T (paper: 0.95; at moderate load, 64 clients, "
+      "where T differentiates) ---\n");
+  Header();
+  for (const double t : {0.5, 0.8, 0.95, 0.99}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "T = %.2f", t);
+    auto cfg = MakeConfig(model::Scheme::kCatfish, 64, w, env);
+    cfg.adaptive.busy_threshold = t;
+    Report(label, model::ClusterSim(*tb.tree, cfg).Run());
+  }
+
+  std::printf("\n--- heartbeat interval Inv (paper: 10 ms) ---\n");
+  Header();
+  for (const uint64_t inv : {1'000ull, 10'000ull, 50'000ull}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "Inv = %llu us",
+                  static_cast<unsigned long long>(inv));
+    Report(label, run([inv](model::ClusterConfig& c) {
+             c.adaptive.heartbeat_interval_us = inv;
+           }));
+  }
+
+  std::printf("\n--- predUtil predictor (paper: most-recent; EWMA = §VI) ---\n");
+  Header();
+  Report("most-recent", run([](model::ClusterConfig& c) {
+           c.adaptive.predictor = UtilPredictor::kMostRecent;
+         }));
+  Report("EWMA alpha=0.4", run([](model::ClusterConfig& c) {
+           c.adaptive.predictor = UtilPredictor::kEwma;
+         }));
+
+  std::printf("\n--- enhancement ablation (event-driven / multi-issue) ---\n");
+  Header();
+  Report("catfish (both on)", run([](model::ClusterConfig&) {}));
+  Report("no multi-issue", run([](model::ClusterConfig& c) {
+           c.multi_issue = false;
+         }));
+  Report("polling server", run([](model::ClusterConfig& c) {
+           c.notify = NotifyMode::kPolling;
+         }));
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: client-side caching of internal R-tree nodes (§VII contrasts
+// Catfish with Cell's client-side cache of top B-tree levels; §VI invites
+// such "more intricate functions").
+//
+// Runs the real client against the emulated fabric and counts RDMA READs
+// per offloaded search, with the cache off vs on. READ count is the
+// fabric-independent cost driver of offloading: each saved READ is a
+// saved round trip (or saved NIC slot under multi-issue). Internal nodes
+// are ~1/19 of the tree, so a warm cache should eliminate all non-leaf
+// fetches — about `height-1` READs of every search at small scales.
+#include <cstdio>
+
+#include "catfish/client.h"
+#include "catfish/server.h"
+#include "rtree/bulk_load.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace catfish;
+  using namespace std::chrono_literals;
+
+  constexpr size_t kDataset = 300'000;
+  constexpr int kSearches = 2000;
+
+  rtree::NodeArena arena(rtree::kChunkSize, 1 << 16);
+  const auto items = workload::UniformDataset(kDataset, 1e-4, 9);
+  rtree::RStarTree tree = rtree::BulkLoad(arena, items);
+
+  rdma::Fabric fabric(rdma::FabricProfile::InfiniBand100G());
+  ServerConfig scfg;
+  scfg.heartbeat_interval_us = 2'000;
+  RTreeServer server(fabric.CreateNode("server"), tree, scfg);
+
+  std::printf("=== Ablation: client-side internal-node cache ===\n");
+  std::printf("%zu rects, tree height %u, %d offloaded searches per cell\n\n",
+              kDataset, tree.height(), kSearches);
+  std::printf("%10s %10s %14s %14s %12s %12s\n", "scale", "cache",
+              "reads/search", "cache hit/sr", "saved", "results/sr");
+
+  for (const double scale : {1e-4, 1e-3, 1e-2}) {
+    double reads_per_search[2] = {0, 0};
+    double results_per_search = 0;
+    double hits_per_search = 0;
+    for (const bool cached : {false, true}) {
+      ClientConfig cfg;
+      cfg.cache_internal_nodes = cached;
+      RTreeClient client(fabric.CreateNode("client"), server, cfg);
+      // Ensure an epoch-bearing heartbeat arrived before measuring.
+      std::this_thread::sleep_for(10ms);
+      client.SearchFast(geo::Rect{0.5, 0.5, 0.5001, 0.5001});
+
+      Xoshiro256 rng(77);
+      uint64_t results = 0;
+      for (int i = 0; i < kSearches; ++i) {
+        results += client.SearchOffloaded(
+            workload::UniformRect(rng, scale)).size();
+      }
+      const auto st = client.stats();
+      reads_per_search[cached] =
+          static_cast<double>(st.rdma_reads) / kSearches;
+      if (cached) {
+        hits_per_search = static_cast<double>(st.cache_hits) / kSearches;
+      }
+      results_per_search = static_cast<double>(results) / kSearches;
+    }
+    std::printf("%10g %10s %14.2f %14s %12s %12.1f\n", scale, "off",
+                reads_per_search[0], "-", "-", results_per_search);
+    std::printf("%10g %10s %14.2f %14.2f %11.1f%% %12.1f\n", scale, "on",
+                reads_per_search[1], hits_per_search,
+                100.0 * (1.0 - reads_per_search[1] / reads_per_search[0]),
+                results_per_search);
+  }
+  server.Stop();
+  std::printf(
+      "\nReading: with the cache on, steady-state searches fetch only leaf\n"
+      "chunks; the saving equals the internal share of each traversal and\n"
+      "is largest for narrow queries (internal reads dominate there).\n");
+  return 0;
+}

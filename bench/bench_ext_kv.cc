@@ -1,0 +1,151 @@
+// Extension benchmark: the Catfish framework applied to the other
+// link-based structures the paper names (§VI) — B+-tree and cuckoo
+// hashing — comparing the two access paths per structure:
+//
+//   * server-side ops (what fast messaging executes), and
+//   * offloaded ops over one-sided reads of the same versioned chunks.
+//
+// The figure of merit is *reads per remote operation*: a B+-tree lookup
+// needs `height` dependent READs (nothing to multi-issue on a single
+// path — §IV-C), the cuckoo lookup needs a constant 2 independent READs
+// (perfectly multi-issuable), and the R-tree sits in between. This is
+// exactly the structural property that decides how expensive offloading
+// is for each structure.
+#include <cstdio>
+
+#include "btree/bplus.h"
+#include "btree/remote_reader.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "cuckoo/cuckoo.h"
+#include "cuckoo/remote_reader.h"
+#include "rdmasim/rdma.h"
+
+namespace {
+
+using namespace catfish;
+
+struct Rig {
+  rdma::Fabric fabric{rdma::FabricProfile::Instant()};
+  std::shared_ptr<rdma::SimNode> server = fabric.CreateNode("server");
+  std::shared_ptr<rdma::SimNode> client = fabric.CreateNode("client");
+  std::shared_ptr<rdma::CompletionQueue> cq = client->CreateCq();
+  std::shared_ptr<rdma::QueuePair> c_qp, s_qp;
+  rdma::MemoryRegionHandle mr;
+
+  void Wire(std::span<std::byte> region) {
+    mr = server->RegisterMemory(region);
+    s_qp = server->CreateQp(server->CreateCq(), server->CreateCq());
+    c_qp = client->CreateQp(cq, client->CreateCq());
+    rdma::QueuePair::Connect(s_qp, c_qp);
+  }
+
+  void Fetch(rtree::ChunkId id, std::span<std::byte> dst) {
+    c_qp->PostRead(1, dst, rdma::RemoteAddr{mr.rkey, id * 1024ull});
+    rdma::WorkCompletion wc;
+    while (cq->Poll({&wc, 1}) == 0) {
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  constexpr size_t kKeys = 200'000;
+  constexpr size_t kLookups = 100'000;
+
+  std::printf("=== Extension: B+-tree & cuckoo hashing on the Catfish "
+              "substrate (§VI) ===\n");
+  std::printf("%zu keys, %zu lookups per cell\n\n", kKeys, kLookups);
+  std::printf("%-26s %12s %14s %14s\n", "structure/path", "Mops/s",
+              "reads/op", "retries");
+
+  // --- B+-tree ---
+  {
+    rtree::NodeArena arena(btree::kChunkSize, 1 << 14);
+    btree::BPlusTree tree = btree::BPlusTree::Create(arena);
+    Xoshiro256 load_rng(1);
+    for (size_t i = 0; i < kKeys; ++i) tree.Put(load_rng.Next() | 1, i);
+
+    Xoshiro256 rng(2);
+    uint64_t t0 = NowNanos();
+    uint64_t hits = 0;
+    for (size_t i = 0; i < kLookups; ++i) {
+      hits += tree.Get(rng.Next() | 1).has_value();
+    }
+    double secs = static_cast<double>(NowNanos() - t0) * 1e-9;
+    std::printf("%-26s %12.2f %14s %14s\n", "b+tree/server-side",
+                static_cast<double>(kLookups) / secs / 1e6, "0", "-");
+
+    Rig rig;
+    rig.Wire(arena.memory());
+    btree::RemoteBTreeReader reader(
+        [&rig](btree::ChunkId id, std::span<std::byte> dst) {
+          rig.Fetch(id, dst);
+        });
+    Xoshiro256 rng2(1);  // hit-path: present keys
+    t0 = NowNanos();
+    for (size_t i = 0; i < kLookups; ++i) {
+      (void)reader.Get(rng2.Next() | 1);
+    }
+    secs = static_cast<double>(NowNanos() - t0) * 1e-9;
+    std::printf("%-26s %12.2f %14.2f %14llu   (height %u: one dependent "
+                "READ per level)\n",
+                "b+tree/offloaded",
+                static_cast<double>(kLookups) / secs / 1e6,
+                static_cast<double>(reader.stats().reads) / kLookups,
+                static_cast<unsigned long long>(
+                    reader.stats().version_retries),
+                tree.height());
+  }
+
+  // --- cuckoo ---
+  {
+    rtree::NodeArena arena(cuckoo::kChunkSize, 1 << 14);
+    cuckoo::CuckooTable table =
+        cuckoo::CuckooTable::Create(arena, kKeys / 2, /*seed=*/5);
+    Xoshiro256 load_rng(1);
+    size_t inserted = 0;
+    for (size_t i = 0; i < kKeys; ++i) {
+      inserted += table.Put(load_rng.Next() | 1, i);
+    }
+
+    Xoshiro256 rng(2);
+    uint64_t t0 = NowNanos();
+    uint64_t hits = 0;
+    for (size_t i = 0; i < kLookups; ++i) {
+      hits += table.Get(rng.Next() | 1).has_value();
+    }
+    double secs = static_cast<double>(NowNanos() - t0) * 1e-9;
+    std::printf("%-26s %12.2f %14s %14s\n", "cuckoo/server-side",
+                static_cast<double>(kLookups) / secs / 1e6, "0", "-");
+
+    Rig rig;
+    rig.Wire(arena.memory());
+    cuckoo::RemoteCuckooReader reader(
+        [&rig](cuckoo::ChunkId id, std::span<std::byte> dst) {
+          rig.Fetch(id, dst);
+        },
+        table.geometry());
+    // Hit-path cost: look up keys that are present (misses additionally
+    // pay one consistency-confirm READ).
+    Xoshiro256 rng2(1);
+    t0 = NowNanos();
+    for (size_t i = 0; i < kLookups; ++i) {
+      (void)reader.Get(rng2.Next() | 1);
+    }
+    secs = static_cast<double>(NowNanos() - t0) * 1e-9;
+    std::printf("%-26s %12.2f %14.2f %14llu   (constant 2 independent "
+                "READs: ideal multi-issue)\n",
+                "cuckoo/offloaded",
+                static_cast<double>(kLookups) / secs / 1e6,
+                static_cast<double>(reader.stats().reads) / kLookups,
+                static_cast<unsigned long long>(
+                    reader.stats().version_retries));
+    std::printf("\n(loaded %zu/%zu cuckoo keys at %.0f%% table load)\n",
+                inserted, kKeys,
+                100.0 * static_cast<double>(table.size()) /
+                    static_cast<double>(table.capacity()));
+  }
+  return 0;
+}

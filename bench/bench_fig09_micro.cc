@@ -1,0 +1,75 @@
+// Figure 9: communication micro-benchmark (§V-A).
+//
+// Ping-pong transfers of 2 B .. 8 MB over the four transports (TCP-1G,
+// TCP-40G, RDMA READ, RDMA WRITE on IB), one transfer in flight at a
+// time (like perftest). Latency is computed from the calibrated fabric
+// profiles — the same model the cluster simulation charges — plus the
+// per-side kernel/verbs costs; throughput is size/latency.
+//
+// Shape targets: WRITE < READ < TCP-40G < TCP-1G for small transfers
+// (WRITE is one-directional, READ pays a round trip, TCP pays the kernel
+// + higher base latency); all latencies flat below ~2 KB then
+// bandwidth-bound; throughput ordering IB >> 40G >> 1G, each reaching
+// line rate only for medium/large transfers.
+#include <cstdio>
+
+#include "rdmasim/fabric_profile.h"
+
+namespace {
+
+using catfish::rdma::FabricProfile;
+
+// One-at-a-time transfer completion time for each method, µs.
+double RdmaWriteUs(const FabricProfile& ib, size_t bytes) {
+  // One-sided, unidirectional: post + one-way delivery. (perftest
+  // measures posted-to-completion; RC write completion needs the NIC
+  // ack, folded into the base latency here.)
+  return ib.initiator_cpu_us + ib.OneWayUs(bytes);
+}
+
+double RdmaReadUs(const FabricProfile& ib, size_t bytes) {
+  // Round trip: tiny request there, payload back.
+  return ib.initiator_cpu_us + ib.OneWayUs(16) + ib.OneWayUs(bytes);
+}
+
+double TcpUs(const FabricProfile& e, size_t bytes) {
+  // 1-byte request, `bytes` response, kernel stack on both hosts in both
+  // directions.
+  return 2 * e.initiator_cpu_us + 2 * e.target_cpu_us + e.OneWayUs(1) +
+         e.OneWayUs(bytes);
+}
+
+double Gbps(size_t bytes, double us) {
+  return static_cast<double>(bytes) * 8.0 / (us * 1e3);
+}
+
+}  // namespace
+
+int main() {
+  const auto ib = FabricProfile::InfiniBand100G();
+  const auto e40 = FabricProfile::Ethernet40G();
+  const auto e1 = FabricProfile::Ethernet1G();
+
+  std::printf("=== Figure 9: micro benchmark (ping-pong, one in flight) ===\n\n");
+  std::printf("%10s | %12s %12s %12s %12s | %10s %10s %10s %10s\n", "size",
+              "lat:tcp1g", "lat:tcp40g", "lat:read", "lat:write", "thr:1g",
+              "thr:40g", "thr:read", "thr:write");
+  std::printf("%10s | %51s | %43s\n", "(bytes)", "(us)", "(Gbps)");
+
+  for (size_t bytes = 2; bytes <= (8u << 20); bytes <<= 2) {
+    const double t1 = TcpUs(e1, bytes);
+    const double t40 = TcpUs(e40, bytes);
+    const double rr = RdmaReadUs(ib, bytes);
+    const double rw = RdmaWriteUs(ib, bytes);
+    std::printf("%10zu | %12.2f %12.2f %12.2f %12.2f | %10.3f %10.3f %10.3f %10.3f\n",
+                bytes, t1, t40, rr, rw, Gbps(bytes, t1), Gbps(bytes, t40),
+                Gbps(bytes, rr), Gbps(bytes, rw));
+  }
+
+  std::printf(
+      "\nPaper shape: WRITE lowest latency, then READ (one extra trip),\n"
+      "then TCP-40G, then TCP-1G; latency flat for small (<2KB) sizes and\n"
+      "bandwidth-bound beyond; throughput only reaches line rate for\n"
+      "medium/large transfers.\n");
+  return 0;
+}

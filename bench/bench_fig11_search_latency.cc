@@ -1,0 +1,46 @@
+// Figure 11: average latency of 100%-search workloads (§V-B).
+//
+// The same sweep as Figure 10, reporting mean request latency in µs.
+// Shape targets: TCP latencies are several-fold higher than the RDMA
+// schemes; Catfish well below fast messaging at high client counts;
+// offloading has consistently low latency and can even undercut Catfish
+// at 256 clients / 1e-5 (the paper's §V-B caveat about the heuristic
+// back-off). Paper values at 256 clients: Catfish 140.73 / 180.66 /
+// 161.58 µs vs fast messaging 299.10 / 321.52 / 302.91 µs.
+#include "bench_util.h"
+
+int main() {
+  using namespace catfish;
+  using namespace catfish::bench;
+  const BenchEnv env = BenchEnv::Load();
+  PrintEnv("Figure 11: search-only mean latency (us)", env);
+
+  Testbed tb = MakeUniformTestbed(env.dataset, env.seed);
+
+  workload::RequestGen::Config scales[3];
+  scales[0].scale = 1e-5;
+  scales[1].scale = 1e-2;
+  scales[2].dist = workload::RequestGen::ScaleDist::kPowerLaw;
+
+  const size_t client_counts[] = {32, 64, 128, 256};
+
+  for (const auto& w : scales) {
+    std::printf("--- workload: scale %s ---\n", ScaleLabel(w));
+    std::printf("%18s", "clients:");
+    for (const size_t c : client_counts) std::printf(" %10zu", c);
+    std::printf("\n");
+    for (const auto s : kAllSchemes) {
+      std::printf("%-18s", model::SchemeName(s));
+      for (const size_t c : client_counts) {
+        const auto r = RunOne(tb, s, c, w, env);
+        std::printf(" %10.1f", r.latency_us.mean());
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper shape: TCP >> RDMA; Catfish < fast messaging at high client\n"
+      "counts; offloading constantly low (sometimes below Catfish).\n");
+  return 0;
+}

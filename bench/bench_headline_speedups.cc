@@ -1,0 +1,66 @@
+// Headline speedups (§I / §V-B text).
+//
+// Derives, from a Figure-10/11-style sweep, the maximum speedup of
+// Catfish over each alternative in throughput and latency — the numbers
+// the paper headlines as "up to 3.28×/3.09×/16.46× throughput and
+// 3.25×/3.07×/24.46× latency (search-only)". Absolute factors depend on
+// the cost calibration; the checked property is that each factor is
+// comfortably > 1 and that the TCP gap dwarfs the RDMA-baseline gaps.
+#include <algorithm>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace catfish;
+  using namespace catfish::bench;
+  const BenchEnv env = BenchEnv::Load();
+  PrintEnv("Headline: max Catfish speedups, search-only sweep", env);
+
+  Testbed tb = MakeUniformTestbed(env.dataset, env.seed);
+
+  workload::RequestGen::Config scales[3];
+  scales[0].scale = 1e-5;
+  scales[1].scale = 1e-2;
+  scales[2].dist = workload::RequestGen::ScaleDist::kPowerLaw;
+  const size_t client_counts[] = {32, 64, 128, 256};
+
+  struct Best {
+    double thr = 0.0;
+    double lat = 0.0;
+  };
+  Best vs_fast, vs_off, vs_tcp;
+
+  for (const auto& w : scales) {
+    for (const size_t c : client_counts) {
+      const auto rc = RunOne(tb, model::Scheme::kCatfish, c, w, env);
+      const auto rf = RunOne(tb, model::Scheme::kFastMessaging, c, w, env);
+      const auto ro = RunOne(tb, model::Scheme::kRdmaOffloading, c, w, env);
+      const auto r1 = RunOne(tb, model::Scheme::kTcp1G, c, w, env);
+      const auto r40 = RunOne(tb, model::Scheme::kTcp40G, c, w, env);
+
+      vs_fast.thr = std::max(vs_fast.thr,
+                             rc.throughput_kops / rf.throughput_kops);
+      vs_fast.lat = std::max(vs_fast.lat,
+                             rf.latency_us.mean() / rc.latency_us.mean());
+      vs_off.thr =
+          std::max(vs_off.thr, rc.throughput_kops / ro.throughput_kops);
+      vs_off.lat = std::max(vs_off.lat,
+                            ro.latency_us.mean() / rc.latency_us.mean());
+      const double tcp_thr = std::min(r1.throughput_kops, r40.throughput_kops);
+      const double tcp_lat = std::max(r1.latency_us.mean(),
+                                      r40.latency_us.mean());
+      vs_tcp.thr = std::max(vs_tcp.thr, rc.throughput_kops / tcp_thr);
+      vs_tcp.lat = std::max(vs_tcp.lat, tcp_lat / rc.latency_us.mean());
+    }
+  }
+
+  std::printf("%-22s %16s %16s %12s %12s\n", "Catfish vs", "thr_speedup",
+              "paper_thr", "lat_gain", "paper_lat");
+  std::printf("%-22s %15.2fx %16s %11.2fx %12s\n", "fast messaging",
+              vs_fast.thr, "3.28x", vs_fast.lat, "3.25x");
+  std::printf("%-22s %15.2fx %16s %11.2fx %12s\n", "RDMA offloading",
+              vs_off.thr, "3.09x", vs_off.lat, "3.07x");
+  std::printf("%-22s %15.2fx %16s %11.2fx %12s\n", "TCP/IP", vs_tcp.thr,
+              "16.46x", vs_tcp.lat, "24.46x");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Host micro-benchmarks (google-benchmark) of the building blocks, plus
+// the calibration measurement behind DESIGN.md §5: the real per-node
+// traversal cost of this build's R-tree. These are not paper figures —
+// they pin down the constants the cluster model charges and guard
+// against performance regressions in the data structures.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "catfish/adaptive.h"
+#include "common/rng.h"
+#include "msg/ring.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rstar.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace catfish;
+
+struct TreeFixture {
+  std::unique_ptr<rtree::NodeArena> arena;
+  std::unique_ptr<rtree::RStarTree> tree;
+
+  explicit TreeFixture(size_t n) {
+    arena = std::make_unique<rtree::NodeArena>(rtree::kChunkSize, 1 << 16);
+    const auto items = workload::UniformDataset(n, 1e-4, 1);
+    tree = std::make_unique<rtree::RStarTree>(
+        rtree::BulkLoad(*arena, items));
+  }
+};
+
+TreeFixture& SharedTree() {
+  static TreeFixture fixture(200'000);
+  return fixture;
+}
+
+void BM_RTreeSearch(benchmark::State& state) {
+  auto& f = SharedTree();
+  const double scale = 1e-5 * std::pow(10.0, state.range(0));
+  Xoshiro256 rng(7);
+  std::vector<rtree::Entry> out;
+  uint64_t nodes = 0;
+  uint64_t searches = 0;
+  for (auto _ : state) {
+    out.clear();
+    rtree::SearchStats st;
+    f.tree->SearchTraced(workload::UniformRect(rng, scale), out, &st,
+                         nullptr);
+    benchmark::DoNotOptimize(out.data());
+    nodes += st.nodes_visited;
+    ++searches;
+  }
+  state.counters["nodes/op"] =
+      static_cast<double>(nodes) / static_cast<double>(searches);
+  state.counters["ns/node"] = benchmark::Counter(
+      static_cast<double>(nodes),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_RTreeSearch)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  rtree::NodeArena arena(rtree::kChunkSize, 1 << 16);
+  rtree::RStarTree tree = rtree::RStarTree::Create(arena);
+  Xoshiro256 rng(11);
+  uint64_t id = 0;
+  for (auto _ : state) {
+    tree.Insert(workload::UniformRect(rng, 1e-4), id++);
+  }
+}
+BENCHMARK(BM_RTreeInsert)->Unit(benchmark::kMicrosecond);
+
+void BM_VersionedNodeRead(benchmark::State& state) {
+  auto& f = SharedTree();
+  rtree::NodeData node;
+  for (auto _ : state) {
+    f.tree->ReadNode(rtree::kRootChunk, node);
+    benchmark::DoNotOptimize(node.count);
+  }
+}
+BENCHMARK(BM_VersionedNodeRead);
+
+void BM_RingRoundTrip(benchmark::State& state) {
+  rdma::Fabric fabric(rdma::FabricProfile::Instant());
+  auto a = fabric.CreateNode("a");
+  auto b = fabric.CreateNode("b");
+  auto a_qp = a->CreateQp(a->CreateCq(), a->CreateCq());
+  auto b_qp = b->CreateQp(b->CreateCq(), b->CreateCq());
+  rdma::QueuePair::Connect(a_qp, b_qp);
+  std::vector<std::byte> ring_mem(64 * 1024);
+  alignas(8) std::array<std::byte, 8> ack{};
+  const auto ring_mr = b->RegisterMemory(ring_mem);
+  const auto ack_mr = a->RegisterMemory(ack);
+  msg::RingSender tx(a_qp, rdma::RemoteAddr{ring_mr.rkey, 0},
+                     ring_mem.size(), ack);
+  msg::RingReceiver rx(ring_mem, b_qp, rdma::RemoteAddr{ack_mr.rkey, 0});
+
+  std::vector<std::byte> payload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    while (!tx.TrySend(1, msg::kFlagEnd, payload)) {
+      benchmark::DoNotOptimize(rx.TryReceive());
+    }
+    auto m = rx.TryReceive();
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RingRoundTrip)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_RdmaSimRead(benchmark::State& state) {
+  rdma::Fabric fabric(rdma::FabricProfile::Instant());
+  auto server = fabric.CreateNode("server");
+  auto client = fabric.CreateNode("client");
+  auto s_qp = server->CreateQp(server->CreateCq(), server->CreateCq());
+  auto c_send = client->CreateCq();
+  auto c_qp = client->CreateQp(c_send, client->CreateCq());
+  rdma::QueuePair::Connect(s_qp, c_qp);
+  std::vector<std::byte> mem(1 << 20, std::byte{1});
+  const auto mr = server->RegisterMemory(mem);
+
+  std::vector<std::byte> local(static_cast<size_t>(state.range(0)));
+  rdma::WorkCompletion wc;
+  uint64_t wr = 0;
+  for (auto _ : state) {
+    c_qp->PostRead(++wr, local, rdma::RemoteAddr{mr.rkey, 0});
+    while (c_send->Poll({&wc, 1}) == 0) {
+    }
+    benchmark::DoNotOptimize(local.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RdmaSimRead)->Arg(1024)->Arg(65536);
+
+void BM_AdaptiveDecision(benchmark::State& state) {
+  AdaptiveController ctrl(AdaptiveConfig{}, 3);
+  uint64_t t = 0;
+  for (auto _ : state) {
+    if ((t & 0xff) == 0) ctrl.OnHeartbeat(0.99);
+    benchmark::DoNotOptimize(ctrl.NextMode(t += 100));
+  }
+}
+BENCHMARK(BM_AdaptiveDecision);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+// Shared infrastructure for the figure-reproduction benchmarks.
+//
+// Each bench binary regenerates one of the paper's figures by sweeping
+// the corresponding parameters through the execution-driven cluster
+// simulation and printing the same series the paper plots. Run lengths
+// are env-tunable:
+//
+//   CATFISH_DATASET   dataset cardinality     (default 2,000,000 — §V-B)
+//   CATFISH_REQUESTS  requests per client     (default 300; paper: 10,000)
+//   CATFISH_QUICK=1   200k dataset, 100 requests — CI-speed smoke run
+//
+// Shapes are stable across these settings; the defaults keep the full
+// suite within minutes on one core.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "model/cluster_sim.h"
+#include "rtree/bulk_load.h"
+#include "workload/generators.h"
+
+namespace catfish::bench {
+
+struct BenchEnv {
+  size_t dataset = 2'000'000;
+  uint64_t requests = 300;
+  uint64_t seed = 20260705;
+
+  static BenchEnv Load() {
+    BenchEnv env;
+    if (const char* q = std::getenv("CATFISH_QUICK"); q && q[0] == '1') {
+      env.dataset = 200'000;
+      env.requests = 100;
+    }
+    if (const char* d = std::getenv("CATFISH_DATASET")) {
+      env.dataset = std::strtoull(d, nullptr, 10);
+    }
+    if (const char* r = std::getenv("CATFISH_REQUESTS")) {
+      env.requests = std::strtoull(r, nullptr, 10);
+    }
+    return env;
+  }
+};
+
+/// A built tree plus a pristine snapshot for insert-workload restores.
+struct Testbed {
+  std::unique_ptr<rtree::NodeArena> arena;
+  std::unique_ptr<rtree::RStarTree> tree;
+  rtree::NodeArena::Snapshot pristine;
+
+  void Reset() {
+    arena->Restore(pristine);
+    tree = std::make_unique<rtree::RStarTree>(rtree::RStarTree::Attach(*arena));
+  }
+};
+
+inline size_t ArenaChunksFor(size_t dataset) {
+  // ~19 entries per packed leaf plus internals and insert headroom.
+  const size_t nodes = dataset / 12 + 4096;
+  size_t chunks = 2;
+  while (chunks < nodes) chunks <<= 1;
+  return chunks;
+}
+
+/// The §V-B dataset: `n` rectangles, edges in (0, 1e-4].
+inline Testbed MakeUniformTestbed(size_t n, uint64_t seed) {
+  Testbed tb;
+  tb.arena =
+      std::make_unique<rtree::NodeArena>(rtree::kChunkSize, ArenaChunksFor(n));
+  const auto items = workload::UniformDataset(n, 1e-4, seed);
+  tb.tree = std::make_unique<rtree::RStarTree>(
+      rtree::BulkLoad(*tb.arena, items));
+  tb.pristine = tb.arena->TakeSnapshot();
+  return tb;
+}
+
+/// The §V-C dataset: synthetic rea02 street segments in insertion order.
+inline Testbed MakeRea02Testbed(const workload::Rea02Dataset& ds) {
+  Testbed tb;
+  tb.arena = std::make_unique<rtree::NodeArena>(
+      rtree::kChunkSize, ArenaChunksFor(ds.insert_order.size()));
+  tb.tree = std::make_unique<rtree::RStarTree>(
+      rtree::BulkLoad(*tb.arena, ds.insert_order));
+  tb.pristine = tb.arena->TakeSnapshot();
+  return tb;
+}
+
+/// Per-scheme defaults mirroring §V: the FaRM baselines poll and read
+/// one node at a time; Catfish is event-driven with multi-issue.
+inline model::ClusterConfig MakeConfig(model::Scheme scheme, size_t clients,
+                                       const workload::RequestGen::Config& w,
+                                       const BenchEnv& env) {
+  model::ClusterConfig cfg;
+  cfg.scheme = scheme;
+  cfg.num_clients = clients;
+  cfg.requests_per_client = env.requests;
+  cfg.workload = w;
+  cfg.seed = env.seed;
+  if (scheme == model::Scheme::kFastMessaging ||
+      scheme == model::Scheme::kRdmaOffloading) {
+    cfg.notify = NotifyMode::kPolling;  // FaRM-style baseline
+    cfg.multi_issue = false;
+  } else {
+    cfg.notify = NotifyMode::kEventDriven;
+    cfg.multi_issue = true;
+  }
+  return cfg;
+}
+
+/// Runs one (scheme, clients, workload) cell; insert workloads restore
+/// the pristine tree first so every cell starts from the same dataset.
+inline model::RunResult RunOne(Testbed& tb, model::Scheme s, size_t clients,
+                               const workload::RequestGen::Config& w,
+                               const BenchEnv& env) {
+  if (w.insert_ratio > 0.0) tb.Reset();
+  auto cfg = MakeConfig(s, clients, w, env);
+  model::ClusterSim sim(*tb.tree, cfg);
+  return sim.Run();
+}
+
+inline constexpr model::Scheme kAllSchemes[] = {
+    model::Scheme::kTcp1G, model::Scheme::kTcp40G,
+    model::Scheme::kFastMessaging, model::Scheme::kRdmaOffloading,
+    model::Scheme::kCatfish};
+
+inline const char* ScaleLabel(const workload::RequestGen::Config& w) {
+  switch (w.dist) {
+    case workload::RequestGen::ScaleDist::kPowerLaw: return "power-law";
+    case workload::RequestGen::ScaleDist::kRea02: return "rea02";
+    case workload::RequestGen::ScaleDist::kFixed:
+    default: return w.scale <= 1e-4 ? "0.00001" : "0.01";
+  }
+}
+
+inline void PrintEnv(const char* figure, const BenchEnv& env) {
+  std::printf("=== %s ===\n", figure);
+  std::printf(
+      "dataset=%zu rects, %llu requests/client, seed=%llu "
+      "(set CATFISH_DATASET / CATFISH_REQUESTS / CATFISH_QUICK to change)\n\n",
+      env.dataset, static_cast<unsigned long long>(env.requests),
+      static_cast<unsigned long long>(env.seed));
+}
+
+}  // namespace catfish::bench

@@ -1,0 +1,103 @@
+// The §VI framework claim, live: a remote key-value service built from
+// the same parts as the R-tree — a B+-tree (point + range queries) and a
+// cuckoo table (constant-time point lookups) in versioned, registered
+// arenas, read by clients over one-sided READs with zero server CPU.
+//
+//   ./build/examples/kv_store
+#include <cstdio>
+
+#include "btree/bplus.h"
+#include "btree/remote_reader.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "cuckoo/cuckoo.h"
+#include "cuckoo/remote_reader.h"
+#include "rdmasim/rdma.h"
+
+int main() {
+  using namespace catfish;
+
+  rdma::Fabric fabric(rdma::FabricProfile::InfiniBand100G());
+  auto server = fabric.CreateNode("kv-server");
+  auto client = fabric.CreateNode("kv-client");
+
+  // --- server side: build both indexes over the same 100k records ---
+  constexpr size_t kRecords = 100'000;
+  rtree::NodeArena btree_arena(btree::kChunkSize, 1 << 13);
+  rtree::NodeArena cuckoo_arena(cuckoo::kChunkSize, 1 << 13);
+  btree::BPlusTree tree = btree::BPlusTree::Create(btree_arena);
+  cuckoo::CuckooTable table =
+      cuckoo::CuckooTable::Create(cuckoo_arena, kRecords / 2, /*seed=*/7);
+
+  Xoshiro256 rng(1);
+  for (size_t i = 0; i < kRecords; ++i) {
+    const uint64_t key = 1 + rng.NextBounded(1u << 24);
+    const uint64_t value = key * 10;
+    tree.Put(key, value);
+    table.Put(key, value);
+  }
+  std::printf("server: B+-tree height %u (%llu keys), cuckoo load %.0f%%\n",
+              tree.height(), static_cast<unsigned long long>(tree.size()),
+              100.0 * static_cast<double>(table.size()) /
+                  static_cast<double>(table.capacity()));
+
+  // Register both arenas once; hand the rkeys to the client (in a real
+  // deployment this rides the §II-B bootstrap channel).
+  const auto btree_mr = server->RegisterMemory(btree_arena.memory());
+  const auto cuckoo_mr = server->RegisterMemory(cuckoo_arena.memory());
+
+  // --- client side: one QP, two remote readers ---
+  auto cq = client->CreateCq();
+  auto c_qp = client->CreateQp(cq, client->CreateCq());
+  auto s_qp = server->CreateQp(server->CreateCq(), server->CreateCq());
+  rdma::QueuePair::Connect(s_qp, c_qp);
+
+  const auto fetch = [&](uint32_t rkey) {
+    return [&, rkey](rtree::ChunkId id, std::span<std::byte> dst) {
+      c_qp->PostRead(1, dst, rdma::RemoteAddr{rkey, id * 1024ull});
+      rdma::WorkCompletion wc;
+      while (cq->Poll({&wc, 1}) == 0) {
+      }
+    };
+  };
+  btree::RemoteBTreeReader bt_reader(fetch(btree_mr.rkey));
+  cuckoo::RemoteCuckooReader ck_reader(fetch(cuckoo_mr.rkey),
+                                       table.geometry());
+
+  // Point lookups through both structures — identical answers, different
+  // read counts (height-many dependent READs vs a constant two).
+  Xoshiro256 probe(1);
+  size_t checked = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const uint64_t key = 1 + probe.NextBounded(1u << 24);
+    const auto via_tree = bt_reader.Get(key);
+    const auto via_hash = ck_reader.Get(key);
+    if (via_tree != via_hash) {
+      std::printf("MISMATCH at key %llu!\n",
+                  static_cast<unsigned long long>(key));
+      return 1;
+    }
+    checked += via_tree.has_value();
+  }
+  std::printf("client: 20000 point lookups cross-checked (%zu hits)\n",
+              checked);
+  std::printf("        b+tree reads/op %.2f | cuckoo reads/op %.2f — the\n"
+              "        structural cost of offloading each index\n",
+              static_cast<double>(bt_reader.stats().reads) / 20000,
+              static_cast<double>(ck_reader.stats().reads) / 20000);
+
+  // Range scan: only the B+-tree can serve it (leaf-chain walk).
+  std::vector<btree::KeyValue> range;
+  bt_reader.Scan(1'000'000, 1'010'000, range);
+  std::printf("client: remote range scan [1e6, 1.01e6] → %zu records, all "
+              "value == key*10: %s\n",
+              range.size(),
+              std::all_of(range.begin(), range.end(),
+                          [](const btree::KeyValue& kv) {
+                            return kv.value == kv.key * 10;
+                          })
+                  ? "yes"
+                  : "NO");
+  std::printf("server CPU ops during all client reads: 0 (one-sided)\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include "catfish/bootstrap.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "common/bytes.h"
+
+namespace catfish {
+
+using namespace std::chrono_literals;
+
+namespace {
+
+void AppendString(ByteWriter& w, const std::string& s) {
+  w.Append(static_cast<uint32_t>(s.size()));
+  w.AppendBytes(std::as_bytes(std::span(s.data(), s.size())));
+}
+
+std::optional<std::string> ReadString(ByteReader& r) {
+  if (r.remaining() < 4) return std::nullopt;
+  const uint32_t n = r.Read<uint32_t>();
+  if (r.remaining() < n) return std::nullopt;
+  const auto bytes = r.ReadBytes(n);
+  return std::string(reinterpret_cast<const char*>(bytes.data()), n);
+}
+
+}  // namespace
+
+std::vector<std::byte> Encode(const WireClientHello& v) {
+  ByteWriter w(64);
+  AppendString(w, v.node_name);
+  w.Append(v.qp_num);
+  w.Append(v.response_ring_rkey);
+  w.Append(v.response_ring_capacity);
+  w.Append(v.request_ack_rkey);
+  return w.Take();
+}
+
+std::optional<WireClientHello> DecodeClientHello(
+    std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  WireClientHello v;
+  const auto name = ReadString(r);
+  if (!name) return std::nullopt;
+  v.node_name = *name;
+  if (r.remaining() != 4 + 4 + 8 + 4) return std::nullopt;
+  v.qp_num = r.Read<uint32_t>();
+  v.response_ring_rkey = r.Read<uint32_t>();
+  v.response_ring_capacity = r.Read<uint64_t>();
+  v.request_ack_rkey = r.Read<uint32_t>();
+  return v;
+}
+
+std::vector<std::byte> Encode(const WireServerHello& v) {
+  ByteWriter w(48);
+  w.Append(v.arena_rkey);
+  w.Append(v.arena_length);
+  w.Append(v.request_ring_rkey);
+  w.Append(v.request_ring_capacity);
+  w.Append(v.response_ack_rkey);
+  w.Append(v.root);
+  w.Append(v.chunk_size);
+  w.Append(v.tree_height);
+  return w.Take();
+}
+
+std::optional<WireServerHello> DecodeServerHello(
+    std::span<const std::byte> payload) {
+  if (payload.size() != 4 + 8 + 4 + 8 + 4 + 4 + 8 + 4) return std::nullopt;
+  ByteReader r(payload);
+  WireServerHello v;
+  v.arena_rkey = r.Read<uint32_t>();
+  v.arena_length = r.Read<uint64_t>();
+  v.request_ring_rkey = r.Read<uint32_t>();
+  v.request_ring_capacity = r.Read<uint64_t>();
+  v.response_ack_rkey = r.Read<uint32_t>();
+  v.root = r.Read<uint32_t>();
+  v.chunk_size = r.Read<uint64_t>();
+  v.tree_height = r.Read<uint32_t>();
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+
+BootstrapAcceptor::BootstrapAcceptor(RTreeServer& server,
+                                     rdma::Fabric& fabric)
+    : server_(&server), fabric_(&fabric) {}
+
+BootstrapAcceptor::~BootstrapAcceptor() { Stop(); }
+
+void BootstrapAcceptor::Stop() {
+  if (stop_.exchange(true)) return;
+  const std::scoped_lock lock(threads_mu_);
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::shared_ptr<tcpkit::Stream> BootstrapAcceptor::Dial() {
+  auto [server_end, client_end] = tcpkit::Stream::CreatePair();
+  const std::scoped_lock lock(threads_mu_);
+  if (stop_.load()) {
+    throw std::runtime_error("BootstrapAcceptor: dial after stop");
+  }
+  threads_.emplace_back([this, endpoint = std::move(server_end)]() mutable {
+    Serve(std::move(endpoint));
+  });
+  return client_end;
+}
+
+void BootstrapAcceptor::Serve(std::shared_ptr<tcpkit::Stream> endpoint) {
+  tcpkit::FramedConnection conn(std::move(endpoint));
+  // One handshake per connection; bail out politely on malformed input.
+  std::optional<msg::Message> m;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    m = conn.RecvFrame(1ms);
+    if (m) break;
+    if (conn.closed()) return;
+  }
+  if (!m || m->type != kClientHelloFrame) return;
+  const auto hello = DecodeClientHello(m->payload);
+  if (!hello) return;
+
+  // Connection-manager role: resolve the peer's QP from its (node, QPN).
+  const auto client_node = fabric_->FindNode(hello->node_name);
+  if (!client_node) return;
+  const auto client_qp = client_node->FindQp(hello->qp_num);
+  if (!client_qp) return;
+
+  ClientBootstrap boot;
+  boot.qp = client_qp;
+  boot.response_ring = rdma::RemoteAddr{hello->response_ring_rkey, 0};
+  boot.response_ring_capacity = hello->response_ring_capacity;
+  boot.request_ack_cell = rdma::RemoteAddr{hello->request_ack_rkey, 0};
+  const ServerBootstrap sb = server_->AcceptConnection(boot);
+  ++handshakes_;
+
+  WireServerHello reply;
+  reply.arena_rkey = sb.arena_mr.rkey;
+  reply.arena_length = sb.arena_mr.length;
+  reply.request_ring_rkey = sb.request_ring.rkey;
+  reply.request_ring_capacity = sb.request_ring_capacity;
+  reply.response_ack_rkey = sb.response_ack_cell.rkey;
+  reply.root = sb.root;
+  reply.chunk_size = sb.chunk_size;
+  reply.tree_height = sb.tree_height;
+  conn.SendFrame(kServerHelloFrame, 0, Encode(reply));
+}
+
+std::unique_ptr<RTreeClient> ConnectViaBootstrap(
+    std::shared_ptr<tcpkit::Stream> stream,
+    std::shared_ptr<rdma::SimNode> node, ClientConfig cfg) {
+  tcpkit::FramedConnection conn(std::move(stream));
+  const auto shake =
+      [&conn, &node](const ClientBootstrap& mine) -> ServerBootstrap {
+    WireClientHello hello;
+    hello.node_name = node->name();
+    hello.qp_num = mine.qp->qp_num();
+    hello.response_ring_rkey = mine.response_ring.rkey;
+    hello.response_ring_capacity = mine.response_ring_capacity;
+    hello.request_ack_rkey = mine.request_ack_cell.rkey;
+    if (!conn.SendFrame(kClientHelloFrame, 0, Encode(hello))) {
+      throw std::runtime_error("bootstrap: hello send failed");
+    }
+    const auto reply = conn.RecvFrame(10s);
+    if (!reply || reply->type != kServerHelloFrame) {
+      throw std::runtime_error("bootstrap: no server hello");
+    }
+    const auto sh = DecodeServerHello(reply->payload);
+    if (!sh) throw std::runtime_error("bootstrap: malformed server hello");
+
+    ServerBootstrap boot;
+    boot.arena_mr = rdma::MemoryRegionHandle{sh->arena_rkey,
+                                             sh->arena_length};
+    boot.request_ring = rdma::RemoteAddr{sh->request_ring_rkey, 0};
+    boot.request_ring_capacity = sh->request_ring_capacity;
+    boot.response_ack_cell = rdma::RemoteAddr{sh->response_ack_rkey, 0};
+    boot.root = sh->root;
+    boot.chunk_size = sh->chunk_size;
+    boot.tree_height = sh->tree_height;
+    return boot;
+  };
+  return std::make_unique<RTreeClient>(node, shake, cfg);
+}
+
+}  // namespace catfish

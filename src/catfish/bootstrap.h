@@ -1,0 +1,99 @@
+// The TCP bootstrap channel of §II-B: "virtual addresses are registered
+// to network cards and are exchanged among nodes via TCP connections in
+// advance."
+//
+// The hello messages carry names and numbers only — node name, QP
+// number, rkeys, ring geometry — exactly what a real deployment ships
+// over its out-of-band socket before RDMA traffic can flow. QP pairing
+// happens on the server side by resolving the client's (node, QPN)
+// through the fabric registry, the role the RDMA connection manager
+// plays on real hardware.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catfish/client.h"
+#include "catfish/server.h"
+#include "tcpkit/stream.h"
+
+namespace catfish {
+
+/// client → server: everything the server needs to wire the connection.
+struct WireClientHello {
+  std::string node_name;
+  uint32_t qp_num = 0;
+  uint32_t response_ring_rkey = 0;
+  uint64_t response_ring_capacity = 0;
+  uint32_t request_ack_rkey = 0;
+};
+
+/// server → client: the ServerBootstrap, serialized.
+struct WireServerHello {
+  uint32_t arena_rkey = 0;
+  uint64_t arena_length = 0;
+  uint32_t request_ring_rkey = 0;
+  uint64_t request_ring_capacity = 0;
+  uint32_t response_ack_rkey = 0;
+  uint32_t root = 0;
+  uint64_t chunk_size = 0;
+  uint32_t tree_height = 0;
+};
+
+std::vector<std::byte> Encode(const WireClientHello& v);
+std::vector<std::byte> Encode(const WireServerHello& v);
+std::optional<WireClientHello> DecodeClientHello(
+    std::span<const std::byte> payload);
+std::optional<WireServerHello> DecodeServerHello(
+    std::span<const std::byte> payload);
+
+/// Frame types on the bootstrap channel (distinct from the data-plane
+/// msg::MsgType space).
+inline constexpr uint16_t kClientHelloFrame = 100;
+inline constexpr uint16_t kServerHelloFrame = 101;
+
+/// Server side of the bootstrap channel: accepts TCP connections, runs
+/// one handshake per connection (resolve the client QP, wire the rings,
+/// spawn the worker), and replies with the server hello.
+class BootstrapAcceptor {
+ public:
+  BootstrapAcceptor(RTreeServer& server, rdma::Fabric& fabric);
+  ~BootstrapAcceptor();
+
+  BootstrapAcceptor(const BootstrapAcceptor&) = delete;
+  BootstrapAcceptor& operator=(const BootstrapAcceptor&) = delete;
+
+  /// "Dials" the bootstrap endpoint: returns the client side of a fresh
+  /// TCP stream whose server side is being served by a handshake thread.
+  std::shared_ptr<tcpkit::Stream> Dial();
+
+  void Stop();
+  uint64_t handshakes() const noexcept {
+    return handshakes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve(std::shared_ptr<tcpkit::Stream> endpoint);
+
+  RTreeServer* server_;
+  rdma::Fabric* fabric_;
+  std::atomic<bool> stop_{false};
+  std::mutex threads_mu_;
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> handshakes_{0};
+};
+
+/// Client side: performs the hello round trip over `stream` and returns
+/// a connected RTreeClient on `node`. The node must have been created
+/// through the same fabric the acceptor resolves against.
+std::unique_ptr<RTreeClient> ConnectViaBootstrap(
+    std::shared_ptr<tcpkit::Stream> stream,
+    std::shared_ptr<rdma::SimNode> node, ClientConfig cfg = {});
+
+}  // namespace catfish

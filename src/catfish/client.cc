@@ -1,0 +1,351 @@
+#include "catfish/client.h"
+
+#include <stdexcept>
+#include <thread>
+
+#include "common/clock.h"
+#include "rtree/layout.h"
+
+namespace catfish {
+
+RTreeClient::RTreeClient(std::shared_ptr<rdma::SimNode> node,
+                         const HandshakeFn& shake, ClientConfig cfg)
+    : node_(std::move(node)), cfg_(cfg),
+      controller_(cfg.adaptive, cfg.seed) {
+  send_cq_ = node_->CreateCq();
+  recv_cq_ = node_->CreateCq();
+  qp_ = node_->CreateQp(send_cq_, recv_cq_);
+
+  response_ring_mem_.assign(cfg_.ring_capacity, std::byte{0});
+  const auto ring_mr = node_->RegisterMemory(response_ring_mem_);
+  const auto ack_mr = node_->RegisterMemory(request_ack_cell_);
+
+  ClientBootstrap mine;
+  mine.qp = qp_;
+  mine.response_ring = rdma::RemoteAddr{ring_mr.rkey, 0};
+  mine.response_ring_capacity = cfg_.ring_capacity;
+  mine.request_ack_cell = rdma::RemoteAddr{ack_mr.rkey, 0};
+  boot_ = shake(mine);
+
+  request_tx_ = std::make_unique<msg::RingSender>(
+      qp_, boot_.request_ring, boot_.request_ring_capacity,
+      std::span<std::byte>(request_ack_cell_));
+  response_rx_ = std::make_unique<msg::RingReceiver>(
+      std::span<std::byte>(response_ring_mem_), qp_,
+      boot_.response_ack_cell);
+}
+
+RTreeClient::RTreeClient(std::shared_ptr<rdma::SimNode> node,
+                         RTreeServer& server, ClientConfig cfg)
+    : RTreeClient(std::move(node),
+                  HandshakeFn([&server](const ClientBootstrap& mine) {
+                    return server.AcceptConnection(mine);
+                  }),
+                  cfg) {}
+
+RTreeClient::~RTreeClient() { qp_->Close(); }
+
+void RTreeClient::SendRequest(msg::MsgType type,
+                              std::span<const std::byte> payload) {
+  const uint64_t deadline = NowMicros() + cfg_.request_timeout_us;
+  // Requests always use WRITE-with-IMM so the event-driven server wakes;
+  // a polling server simply never looks at its recv CQ.
+  while (!request_tx_->TrySend(static_cast<uint16_t>(type), msg::kFlagEnd,
+                               payload, static_cast<uint32_t>(type))) {
+    if (NowMicros() > deadline) {
+      throw std::runtime_error("catfish client: request ring stalled");
+    }
+    PumpPending();  // ring full: keep consuming responses meanwhile
+    std::this_thread::yield();
+  }
+}
+
+void RTreeClient::OnHeartbeatMessage(const msg::Heartbeat& hb) {
+  controller_.OnHeartbeat(hb.cpu_util);
+  ++stats_.heartbeats_received;
+  if (cfg_.cache_internal_nodes &&
+      (!cache_epoch_known_ || hb.tree_epoch != cached_epoch_)) {
+    if (cache_epoch_known_ && !node_cache_.empty()) {
+      ++stats_.cache_invalidations;
+    }
+    node_cache_.clear();
+    cached_epoch_ = hb.tree_epoch;
+    cache_epoch_known_ = true;
+  }
+}
+
+void RTreeClient::PumpPending() {
+  while (auto m = response_rx_->TryReceive()) {
+    if (static_cast<msg::MsgType>(m->type) == msg::MsgType::kHeartbeat) {
+      if (const auto hb = msg::DecodeHeartbeat(m->payload)) {
+        OnHeartbeatMessage(*hb);
+      }
+      continue;
+    }
+    // A non-heartbeat with no request in flight is a protocol bug.
+    throw std::logic_error("catfish client: unexpected response message");
+  }
+}
+
+msg::Message RTreeClient::AwaitMessage() {
+  const uint64_t deadline = NowMicros() + cfg_.request_timeout_us;
+  for (;;) {
+    if (auto m = response_rx_->TryReceive()) {
+      if (static_cast<msg::MsgType>(m->type) == msg::MsgType::kHeartbeat) {
+        if (const auto hb = msg::DecodeHeartbeat(m->payload)) {
+          OnHeartbeatMessage(*hb);
+        }
+        continue;
+      }
+      return std::move(*m);
+    }
+    if (NowMicros() > deadline) {
+      throw std::runtime_error("catfish client: response timed out");
+    }
+    std::this_thread::yield();
+  }
+}
+
+std::vector<rtree::Entry> RTreeClient::SearchFast(const geo::Rect& rect) {
+  PumpPending();
+  const uint64_t req_id = ++next_req_id_;
+  SendRequest(msg::MsgType::kSearchReq,
+              msg::Encode(msg::SearchRequest{req_id, rect}));
+
+  std::vector<rtree::Entry> results;
+  for (;;) {
+    const msg::Message m = AwaitMessage();
+    if (static_cast<msg::MsgType>(m.type) != msg::MsgType::kSearchResp) {
+      throw std::logic_error("catfish client: expected search response");
+    }
+    const auto seg = msg::DecodeSearchResponseSegment(m.payload);
+    if (!seg || seg->req_id != req_id) {
+      throw std::logic_error("catfish client: response id mismatch");
+    }
+    results.insert(results.end(), seg->entries.begin(), seg->entries.end());
+    if (m.flags & msg::kFlagEnd) break;
+  }
+  ++stats_.fast_searches;
+  return results;
+}
+
+std::vector<rtree::Entry> RTreeClient::NearestNeighbors(
+    const geo::Point& point, uint32_t k) {
+  PumpPending();
+  const uint64_t req_id = ++next_req_id_;
+  SendRequest(msg::MsgType::kKnnReq,
+              msg::Encode(msg::KnnRequest{req_id, point, k}));
+
+  std::vector<rtree::Entry> results;
+  for (;;) {
+    const msg::Message m = AwaitMessage();
+    if (static_cast<msg::MsgType>(m.type) != msg::MsgType::kKnnResp) {
+      throw std::logic_error("catfish client: expected knn response");
+    }
+    const auto seg = msg::DecodeSearchResponseSegment(m.payload);
+    if (!seg || seg->req_id != req_id) {
+      throw std::logic_error("catfish client: response id mismatch");
+    }
+    results.insert(results.end(), seg->entries.begin(), seg->entries.end());
+    if (m.flags & msg::kFlagEnd) break;
+  }
+  ++stats_.fast_searches;
+  return results;
+}
+
+void RTreeClient::PostNodeRead(rtree::ChunkId id, std::span<std::byte> buf,
+                               uint64_t wr_id) {
+  const rdma::RemoteAddr src{
+      boot_.arena_mr.rkey,
+      static_cast<uint64_t>(id) * boot_.chunk_size};
+  if (!qp_->PostRead(wr_id, buf, src)) {
+    throw std::runtime_error("catfish client: RDMA READ failed");
+  }
+  ++stats_.rdma_reads;
+}
+
+bool RTreeClient::TryDecodeNode(rtree::ChunkId id,
+                                std::span<const std::byte> buf,
+                                rtree::NodeData& out) {
+  // Version check + decode (the read-write conflict detection, §III-B).
+  if (!rtree::ValidateVersions(buf).has_value()) return false;
+  std::byte payload[rtree::PayloadCapacity(rtree::kChunkSize)];
+  rtree::GatherPayload(buf, payload);
+  return rtree::DecodeNode(payload, out) && out.self == id;
+}
+
+void RTreeClient::ReadRemoteNode(rtree::ChunkId id, std::span<std::byte> buf,
+                                 rtree::NodeData& out) {
+  const uint64_t deadline = NowMicros() + cfg_.request_timeout_us;
+  for (;;) {
+    PostNodeRead(id, buf, ++next_wr_id_);
+    rdma::WorkCompletion wc;
+    while (send_cq_->Poll({&wc, 1}) == 0) {
+      std::this_thread::yield();
+    }
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      throw std::runtime_error("catfish client: READ failed");
+    }
+    if (TryDecodeNode(id, buf, out)) return;
+    ++stats_.version_retries;
+    if (NowMicros() > deadline) {
+      throw std::runtime_error("catfish client: node read livelock");
+    }
+  }
+}
+
+void RTreeClient::ProcessNode(const rtree::NodeData& node,
+                              const geo::Rect& rect,
+                              std::vector<rtree::Entry>& results,
+                              std::vector<rtree::ChunkId>& next) {
+  for (uint16_t i = 0; i < node.count; ++i) {
+    const rtree::Entry& e = node.entries[i];
+    if (!e.mbr.Intersects(rect)) continue;
+    if (node.IsLeaf()) {
+      results.push_back(e);
+    } else {
+      next.push_back(static_cast<rtree::ChunkId>(e.id));
+    }
+  }
+}
+
+std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
+    const geo::Rect& rect, rtree::TraversalTrace* trace) {
+  PumpPending();
+  if (trace) trace->nodes_per_level.clear();
+
+  std::vector<rtree::Entry> results;
+  std::vector<rtree::ChunkId> frontier{boot_.root};
+  std::vector<rtree::ChunkId> next;
+  std::vector<rtree::ChunkId> to_fetch;
+  std::vector<std::vector<std::byte>> bufs;
+  rtree::NodeData node;
+
+  // Caching is only sound once a heartbeat supplied the epoch to
+  // invalidate against (staleness is then bounded by the heartbeat
+  // interval).
+  const bool use_cache = cfg_.cache_internal_nodes && cache_epoch_known_;
+
+  while (!frontier.empty()) {
+    if (trace) {
+      trace->nodes_per_level.push_back(
+          static_cast<uint32_t>(frontier.size()));
+    }
+    next.clear();
+    if (use_cache) {
+      // Serve cached internal nodes without touching the wire.
+      to_fetch.clear();
+      for (const rtree::ChunkId id : frontier) {
+        const auto it = node_cache_.find(id);
+        if (it != node_cache_.end()) {
+          ++stats_.cache_hits;
+          ProcessNode(it->second, rect, results, next);
+        } else {
+          to_fetch.push_back(id);
+        }
+      }
+      frontier.swap(to_fetch);
+      if (frontier.empty()) {
+        frontier.swap(next);
+        continue;
+      }
+    }
+    if (cfg_.multi_issue) {
+      // §IV-C: post every READ of this round back-to-back so they
+      // pipeline on the NICs and the wire, then consume completions as
+      // they return. wr_id carries the frontier index; a torn read is
+      // re-posted under the same id and resolves through the same loop.
+      bufs.resize(frontier.size());
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        bufs[i].resize(boot_.chunk_size);
+        PostNodeRead(frontier[i], bufs[i], i);
+      }
+      size_t completed = 0;
+      rdma::WorkCompletion wcs[16];
+      while (completed < frontier.size()) {
+        const size_t n = send_cq_->Poll(wcs);
+        for (size_t k = 0; k < n; ++k) {
+          if (wcs[k].status != rdma::WcStatus::kSuccess) {
+            throw std::runtime_error("catfish client: READ failed");
+          }
+          const size_t i = static_cast<size_t>(wcs[k].wr_id);
+          if (TryDecodeNode(frontier[i], bufs[i], node)) {
+            ProcessNode(node, rect, results, next);
+            if (use_cache && !node.IsLeaf()) node_cache_[frontier[i]] = node;
+            ++completed;
+          } else {
+            ++stats_.version_retries;
+            PostNodeRead(frontier[i], bufs[i], i);
+          }
+        }
+        if (n == 0) std::this_thread::yield();
+      }
+    } else {
+      // One READ at a time: every node access pays a full round trip
+      // (the baseline that Fig. 8 compares against).
+      bufs.resize(1);
+      bufs[0].resize(boot_.chunk_size);
+      for (const rtree::ChunkId id : frontier) {
+        ReadRemoteNode(id, bufs[0], node);
+        ProcessNode(node, rect, results, next);
+        if (use_cache && !node.IsLeaf()) node_cache_[id] = node;
+      }
+    }
+    frontier.swap(next);
+  }
+  ++stats_.offloaded_searches;
+  return results;
+}
+
+std::vector<rtree::Entry> RTreeClient::Search(const geo::Rect& rect) {
+  PumpPending();
+  AccessMode mode;
+  switch (cfg_.mode) {
+    case ClientMode::kFastOnly:
+      mode = AccessMode::kFastMessaging;
+      break;
+    case ClientMode::kOffloadOnly:
+      mode = AccessMode::kRdmaOffloading;
+      break;
+    case ClientMode::kAdaptive:
+    default:
+      mode = controller_.NextMode(NowMicros());
+      break;
+  }
+  last_mode_ = mode;
+  return mode == AccessMode::kFastMessaging ? SearchFast(rect)
+                                            : SearchOffloaded(rect);
+}
+
+bool RTreeClient::AwaitWriteAck(uint64_t req_id) {
+  const msg::Message m = AwaitMessage();
+  const auto t = static_cast<msg::MsgType>(m.type);
+  if (t != msg::MsgType::kInsertAck && t != msg::MsgType::kDeleteAck) {
+    throw std::logic_error("catfish client: expected write ack");
+  }
+  const auto ack = msg::DecodeWriteAck(m.payload);
+  if (!ack || ack->req_id != req_id) {
+    throw std::logic_error("catfish client: ack id mismatch");
+  }
+  return ack->ok != 0;
+}
+
+bool RTreeClient::Insert(const geo::Rect& rect, uint64_t id) {
+  PumpPending();
+  const uint64_t req_id = ++next_req_id_;
+  SendRequest(msg::MsgType::kInsertReq,
+              msg::Encode(msg::InsertRequest{req_id, rect, id}));
+  ++stats_.inserts;
+  return AwaitWriteAck(req_id);
+}
+
+bool RTreeClient::Delete(const geo::Rect& rect, uint64_t id) {
+  PumpPending();
+  const uint64_t req_id = ++next_req_id_;
+  SendRequest(msg::MsgType::kDeleteReq,
+              msg::Encode(msg::DeleteRequest{req_id, rect, id}));
+  ++stats_.deletes;
+  return AwaitWriteAck(req_id);
+}
+
+}  // namespace catfish

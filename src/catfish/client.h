@@ -1,0 +1,174 @@
+// The Catfish R-tree client (paper §III–IV).
+//
+// Three ways to execute a search:
+//  * fast messaging   — WRITE the request into the server's ring, let a
+//                       server thread traverse, collect the response
+//                       segments (one network round trip, §III-A);
+//  * RDMA offloading  — traverse the tree locally with one-sided READs of
+//                       node chunks, validating the FaRM-style versions,
+//                       optionally multi-issuing all of a level's reads
+//                       (§III-B, §IV-C);
+//  * adaptive         — pick per request with Algorithm 1, driven by the
+//                       server's utilization heartbeats (§IV-A).
+//
+// Writes (insert/delete) always go through the ring so the server's
+// writer lock serializes them (§III-B).
+//
+// A client object is owned by exactly one application thread, mirroring
+// the paper's "independent client threads" workload model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "catfish/adaptive.h"
+#include "catfish/server.h"
+#include "msg/protocol.h"
+#include "msg/ring.h"
+#include "rdmasim/rdma.h"
+#include "rtree/rstar.h"
+
+namespace catfish {
+
+enum class ClientMode : uint8_t { kAdaptive, kFastOnly, kOffloadOnly };
+
+struct ClientConfig {
+  ClientMode mode = ClientMode::kAdaptive;
+  AdaptiveConfig adaptive;
+  /// Response ring bytes (paper §V-B: 256 KB per connection pair).
+  size_t ring_capacity = 256 * 1024;
+  /// Multi-issue offloading: fetch a whole frontier per round (§IV-C).
+  bool multi_issue = true;
+  /// Cache internal (non-leaf) nodes on the client between offloaded
+  /// searches — the Cell-style top-level cache (§VII). Invalidated
+  /// whenever a heartbeat reports a new tree write epoch, bounding
+  /// staleness to roughly the heartbeat interval. An offloaded search
+  /// using the cache may miss entries inserted after the last heartbeat
+  /// — the same read-your-heartbeat consistency the uncached traversal
+  /// has against in-flight writers.
+  bool cache_internal_nodes = false;
+  /// Seed for the back-off randomization.
+  uint64_t seed = 1;
+  /// Abort a stuck request after this long (guards tests/examples).
+  uint64_t request_timeout_us = 30'000'000;
+};
+
+struct ClientStats {
+  uint64_t fast_searches = 0;
+  uint64_t offloaded_searches = 0;
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t rdma_reads = 0;        ///< node chunks fetched while offloading
+  uint64_t version_retries = 0;   ///< torn-node re-reads (§III-B)
+  uint64_t heartbeats_received = 0;
+  uint64_t cache_hits = 0;        ///< internal nodes served from cache
+  uint64_t cache_invalidations = 0;
+};
+
+class RTreeClient {
+ public:
+  /// The bootstrap exchange (§II-B): given the client's half of the
+  /// handshake, returns the server's. In-process this is a direct call
+  /// into RTreeServer::AcceptConnection; over the TCP bootstrap channel
+  /// (catfish/bootstrap.h) it is a serialized hello round trip.
+  using HandshakeFn = std::function<ServerBootstrap(const ClientBootstrap&)>;
+
+  /// Connects through an arbitrary handshake transport.
+  RTreeClient(std::shared_ptr<rdma::SimNode> node, const HandshakeFn& shake,
+              ClientConfig cfg = {});
+
+  /// Convenience: in-process handshake with a local server object.
+  RTreeClient(std::shared_ptr<rdma::SimNode> node, RTreeServer& server,
+              ClientConfig cfg = {});
+  ~RTreeClient();
+
+  RTreeClient(const RTreeClient&) = delete;
+  RTreeClient& operator=(const RTreeClient&) = delete;
+
+  /// Searches with the configured mode (adaptive by default). Returns
+  /// all stored entries intersecting `rect`.
+  std::vector<rtree::Entry> Search(const geo::Rect& rect);
+
+  /// Forces the fast-messaging path for this request.
+  std::vector<rtree::Entry> SearchFast(const geo::Rect& rect);
+
+  /// Forces the offloading path; optionally reports the traversal trace.
+  std::vector<rtree::Entry> SearchOffloaded(
+      const geo::Rect& rect, rtree::TraversalTrace* trace = nullptr);
+
+  /// k nearest neighbors of `point`, closest first. Served by the
+  /// server: kNN's best-first frontier is sequential, so offloading
+  /// would pay one RTT per node with nothing to multi-issue (§IV-C's
+  /// precondition fails).
+  std::vector<rtree::Entry> NearestNeighbors(const geo::Point& point,
+                                             uint32_t k);
+
+  /// Inserts via the server (always fast messaging). Returns the ack.
+  bool Insert(const geo::Rect& rect, uint64_t id);
+
+  /// Deletes via the server. False when the entry did not exist.
+  bool Delete(const geo::Rect& rect, uint64_t id);
+
+  /// The mode the last Search() used.
+  AccessMode last_mode() const noexcept { return last_mode_; }
+
+  ClientStats stats() const noexcept { return stats_; }
+  AdaptiveController& controller() noexcept { return controller_; }
+  uint32_t tree_height() const noexcept { return boot_.tree_height; }
+
+ private:
+  void SendRequest(msg::MsgType type, std::span<const std::byte> payload);
+  /// Drains ready responses; heartbeats feed the controller. Non-wire
+  /// messages for the in-flight request land in pending_*.
+  void PumpPending();
+  msg::Message AwaitMessage();
+  bool AwaitWriteAck(uint64_t req_id);
+
+  /// Fetches one node chunk via RDMA READ into `buf`, retrying until the
+  /// version check passes; decodes into `out`.
+  void ReadRemoteNode(rtree::ChunkId id, std::span<std::byte> buf,
+                      rtree::NodeData& out);
+
+  /// Posts one READ for chunk `id` without waiting for its completion.
+  void PostNodeRead(rtree::ChunkId id, std::span<std::byte> buf,
+                    uint64_t wr_id);
+  /// Validates+decodes a fetched chunk; false → caller must re-read.
+  bool TryDecodeNode(rtree::ChunkId id, std::span<const std::byte> buf,
+                     rtree::NodeData& out);
+
+  /// Routes one fetched node's entries: hits to `results` (leaf) or the
+  /// next frontier (internal).
+  static void ProcessNode(const rtree::NodeData& node, const geo::Rect& rect,
+                          std::vector<rtree::Entry>& results,
+                          std::vector<rtree::ChunkId>& next);
+
+  std::shared_ptr<rdma::SimNode> node_;
+  ClientConfig cfg_;
+  ServerBootstrap boot_;
+
+  std::shared_ptr<rdma::CompletionQueue> send_cq_;
+  std::shared_ptr<rdma::CompletionQueue> recv_cq_;
+  std::shared_ptr<rdma::QueuePair> qp_;
+  std::vector<std::byte> response_ring_mem_;
+  alignas(8) std::array<std::byte, 8> request_ack_cell_{};
+  std::unique_ptr<msg::RingSender> request_tx_;
+  std::unique_ptr<msg::RingReceiver> response_rx_;
+
+  AdaptiveController controller_;
+  AccessMode last_mode_ = AccessMode::kFastMessaging;
+  ClientStats stats_;
+  uint64_t next_req_id_ = 0;
+  uint64_t next_wr_id_ = 0;
+
+  /// Cell-style cache of internal nodes (cfg_.cache_internal_nodes).
+  std::unordered_map<rtree::ChunkId, rtree::NodeData> node_cache_;
+  uint64_t cached_epoch_ = 0;
+  bool cache_epoch_known_ = false;
+
+  void OnHeartbeatMessage(const msg::Heartbeat& hb);
+};
+
+}  // namespace catfish

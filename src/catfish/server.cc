@@ -1,0 +1,239 @@
+#include "catfish/server.h"
+
+#include <chrono>
+
+#include "common/clock.h"
+
+namespace catfish {
+
+using namespace std::chrono_literals;
+
+RTreeServer::RTreeServer(std::shared_ptr<rdma::SimNode> node,
+                         rtree::RStarTree& tree, ServerConfig cfg)
+    : node_(std::move(node)), tree_(&tree), cfg_(cfg) {
+  // Register the whole arena once (paper §III-B: registration is costly,
+  // so the region is sized for the full tree and registered up front).
+  arena_mr_ = node_->RegisterMemory(tree_->arena().memory());
+  cores_ = cfg_.cores != 0 ? cfg_.cores
+                           : std::max(1u, std::thread::hardware_concurrency());
+  monitor_ = std::thread([this] { MonitorLoop(); });
+}
+
+RTreeServer::~RTreeServer() {
+  Stop();
+  // Full teardown: flush the connections. Stop() deliberately leaves
+  // them open — one-sided READs are served by the NIC and keep working
+  // with the server threads gone, which is the property offloading
+  // builds on.
+  const std::scoped_lock lock(conns_mu_);
+  for (auto& conn : conns_) conn->qp->Close();
+}
+
+void RTreeServer::Stop() {
+  if (stop_.exchange(true)) return;
+  if (monitor_.joinable()) monitor_.join();
+  const std::scoped_lock lock(conns_mu_);
+  for (auto& conn : conns_) {
+    if (conn->worker.joinable()) conn->worker.join();
+  }
+}
+
+ServerBootstrap RTreeServer::AcceptConnection(const ClientBootstrap& client) {
+  auto conn = std::make_unique<Connection>();
+  conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  conn->send_cq = node_->CreateCq();
+  conn->recv_cq = node_->CreateCq();
+  conn->qp = node_->CreateQp(conn->send_cq, conn->recv_cq);
+  rdma::QueuePair::Connect(conn->qp, client.qp);
+
+  conn->request_ring_mem.assign(cfg_.ring_capacity, std::byte{0});
+  const auto ring_mr = node_->RegisterMemory(conn->request_ring_mem);
+  const auto ack_mr = node_->RegisterMemory(conn->response_ack_cell);
+
+  conn->request_rx = std::make_unique<msg::RingReceiver>(
+      std::span<std::byte>(conn->request_ring_mem), conn->qp,
+      client.request_ack_cell);
+  conn->response_tx = std::make_unique<msg::RingSender>(
+      conn->qp, client.response_ring, client.response_ring_capacity,
+      std::span<std::byte>(conn->response_ack_cell));
+
+  ServerBootstrap boot;
+  boot.arena_mr = arena_mr_;
+  boot.request_ring = rdma::RemoteAddr{ring_mr.rkey, 0};
+  boot.request_ring_capacity = cfg_.ring_capacity;
+  boot.response_ack_cell = rdma::RemoteAddr{ack_mr.rkey, 0};
+  boot.root = tree_->root();
+  boot.chunk_size = tree_->arena().chunk_size();
+  boot.tree_height = tree_->height();
+
+  Connection* raw = conn.get();
+  {
+    const std::scoped_lock lock(conns_mu_);
+    conns_.push_back(std::move(conn));
+  }
+  raw->worker = std::thread([this, raw] { WorkerLoop(*raw); });
+  return boot;
+}
+
+void RTreeServer::SendResponse(Connection& conn, msg::MsgType type,
+                               uint16_t flags,
+                               std::span<const std::byte> payload) {
+  // Retry until the ring has space; the client's ack opens it up. Give up
+  // only on shutdown.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    {
+      const std::scoped_lock lock(conn.send_mu);
+      if (conn.response_tx->TrySend(static_cast<uint16_t>(type), flags,
+                                    payload)) {
+        return;
+      }
+    }
+    std::this_thread::yield();
+  }
+}
+
+void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m) {
+  switch (static_cast<msg::MsgType>(m.type)) {
+    case msg::MsgType::kSearchReq: {
+      const auto req = msg::DecodeSearchRequest(m.payload);
+      if (!req) return;
+      std::vector<rtree::Entry> results;
+      tree_->Search(req->rect, results);
+      searches_.fetch_add(1, std::memory_order_relaxed);
+      const auto segments = msg::EncodeSearchResponse(
+          req->req_id, results, conn.response_tx->MaxPayload());
+      for (size_t i = 0; i < segments.size(); ++i) {
+        const uint16_t flags =
+            i + 1 < segments.size() ? msg::kFlagCont : msg::kFlagEnd;
+        SendResponse(conn, msg::MsgType::kSearchResp, flags, segments[i]);
+      }
+      return;
+    }
+    case msg::MsgType::kKnnReq: {
+      const auto req = msg::DecodeKnnRequest(m.payload);
+      if (!req) return;
+      std::vector<rtree::Entry> results;
+      tree_->NearestNeighbors(req->point, req->k, results);
+      searches_.fetch_add(1, std::memory_order_relaxed);
+      const auto segments = msg::EncodeSearchResponse(
+          req->req_id, results, conn.response_tx->MaxPayload());
+      for (size_t i = 0; i < segments.size(); ++i) {
+        const uint16_t flags =
+            i + 1 < segments.size() ? msg::kFlagCont : msg::kFlagEnd;
+        SendResponse(conn, msg::MsgType::kKnnResp, flags, segments[i]);
+      }
+      return;
+    }
+    case msg::MsgType::kInsertReq: {
+      const auto req = msg::DecodeInsertRequest(m.payload);
+      if (!req) return;
+      tree_->Insert(req->rect, req->rect_id);
+      inserts_.fetch_add(1, std::memory_order_relaxed);
+      const auto ack = msg::Encode(msg::WriteAck{req->req_id, 1});
+      SendResponse(conn, msg::MsgType::kInsertAck, msg::kFlagEnd, ack);
+      return;
+    }
+    case msg::MsgType::kDeleteReq: {
+      const auto req = msg::DecodeDeleteRequest(m.payload);
+      if (!req) return;
+      const bool ok = tree_->Delete(req->rect, req->rect_id);
+      deletes_.fetch_add(1, std::memory_order_relaxed);
+      const auto ack =
+          msg::Encode(msg::WriteAck{req->req_id, ok ? uint8_t{1} : uint8_t{0}});
+      SendResponse(conn, msg::MsgType::kDeleteAck, msg::kFlagEnd, ack);
+      return;
+    }
+    default:
+      return;  // unknown/unexpected types are dropped
+  }
+}
+
+void RTreeServer::WorkerLoop(Connection& conn) {
+  if (cfg_.mode == NotifyMode::kPolling) {
+    // Fig 6a: burn the core polling the ring tail. The whole loop counts
+    // as busy time — exactly why polling saturates the CPU (§IV-B).
+    uint64_t last = NowNanos();
+    while (!stop_.load(std::memory_order_relaxed)) {
+      while (auto m = conn.request_rx->TryReceive()) {
+        HandleMessage(conn, *m);
+      }
+      const uint64_t now = NowNanos();
+      conn.busy_ns.fetch_add(now - last, std::memory_order_relaxed);
+      last = now;
+    }
+    return;
+  }
+
+  // Fig 6b: block on the completion channel; the IMM completion wakes us
+  // when a request lands. Only handling time counts as busy.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const auto wc = conn.recv_cq->Wait(1ms);
+    if (!wc) continue;
+    const uint64_t t0 = NowNanos();
+    while (auto m = conn.request_rx->TryReceive()) {
+      HandleMessage(conn, *m);
+    }
+    conn.busy_ns.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
+  }
+}
+
+void RTreeServer::MonitorLoop() {
+  uint64_t last_busy = 0;
+  uint64_t last_wall = NowNanos();
+  uint64_t hb_seq = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(cfg_.heartbeat_interval_us));
+
+    uint64_t busy = 0;
+    {
+      const std::scoped_lock lock(conns_mu_);
+      for (const auto& conn : conns_) {
+        busy += conn->busy_ns.load(std::memory_order_relaxed);
+      }
+    }
+    const uint64_t wall = NowNanos();
+    const double capacity_ns =
+        static_cast<double>(wall - last_wall) * cores_;
+    double util = capacity_ns > 0
+                      ? static_cast<double>(busy - last_busy) / capacity_ns
+                      : 0.0;
+    util = std::min(util, 1.0);
+    last_busy = busy;
+    last_wall = wall;
+    utilization_.store(util, std::memory_order_relaxed);
+
+    const double overridden = util_override_.load(std::memory_order_relaxed);
+    const double advertised = overridden >= 0.0 ? overridden : util;
+
+    const auto hb = msg::Encode(
+        msg::Heartbeat{++hb_seq, advertised, tree_->write_epoch()});
+    const std::scoped_lock lock(conns_mu_);
+    for (auto& conn : conns_) {
+      const std::scoped_lock send_lock(conn->send_mu);
+      // Best effort: a full response ring drops this heartbeat; the next
+      // one is 10 ms away (the paper tolerates delayed heartbeats, §IV-A).
+      if (conn->response_tx->TrySend(
+              static_cast<uint16_t>(msg::MsgType::kHeartbeat),
+              msg::kFlagEnd, hb)) {
+        heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+ServerStats RTreeServer::stats() const {
+  ServerStats s;
+  s.searches = searches_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.deletes = deletes_.load(std::memory_order_relaxed);
+  s.heartbeats_sent = heartbeats_sent_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t RTreeServer::connection_count() const {
+  const std::scoped_lock lock(conns_mu_);
+  return conns_.size();
+}
+
+}  // namespace catfish

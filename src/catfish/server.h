@@ -1,0 +1,160 @@
+// The Catfish R-tree server (paper §III–IV).
+//
+// One worker thread serves each client connection (as in the paper's
+// testbed), consuming requests from the connection's RDMA-WRITE ring
+// buffer in one of two notification modes:
+//
+//  * kPolling     — busy-polls the ring tail (Fig 6a); burns a core per
+//                   connection and collapses under oversubscription;
+//  * kEventDriven — blocks on the connection's completion queue until an
+//                   RDMA WRITE-with-IMM signals arrival (Fig 6b).
+//
+// A monitor thread measures worker CPU utilization and broadcasts it as
+// heartbeats on every response ring each `Inv` (the server half of the
+// adaptive scheme, §IV-A).
+//
+// All tree *writes* (insert/delete) are executed here, serialized by the
+// tree's writer lock; searches may also be served here (fast messaging)
+// or bypass the server entirely via one-sided READs (offloading).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "msg/protocol.h"
+#include "msg/ring.h"
+#include "rdmasim/rdma.h"
+#include "rtree/rstar.h"
+
+namespace catfish {
+
+enum class NotifyMode : uint8_t { kPolling, kEventDriven };
+
+struct ServerConfig {
+  NotifyMode mode = NotifyMode::kEventDriven;
+  /// Heartbeat interval Inv (paper: 10 ms).
+  uint64_t heartbeat_interval_us = 10'000;
+  /// Ring buffer bytes per direction per connection (paper §V-B: 256 KB).
+  size_t ring_capacity = 256 * 1024;
+  /// Core count used as the utilization denominator. 0 = hardware
+  /// concurrency. (The paper's server has 28 cores.)
+  unsigned cores = 0;
+};
+
+/// What the client must learn during connection setup (the paper
+/// exchanges this over a TCP bootstrap connection, §II-B).
+struct ServerBootstrap {
+  rdma::MemoryRegionHandle arena_mr;   ///< the R-tree region, for READs
+  rdma::RemoteAddr request_ring;       ///< where to WRITE requests
+  size_t request_ring_capacity = 0;
+  rdma::RemoteAddr response_ack_cell;  ///< where to WRITE ring acks
+  rtree::ChunkId root = rtree::kRootChunk;
+  size_t chunk_size = 0;
+  uint32_t tree_height = 0;
+};
+
+/// What the server must learn about the client side.
+struct ClientBootstrap {
+  std::shared_ptr<rdma::QueuePair> qp;  ///< client's connected QP
+  rdma::RemoteAddr response_ring;       ///< where to WRITE responses
+  size_t response_ring_capacity = 0;
+  rdma::RemoteAddr request_ack_cell;    ///< where to WRITE ring acks
+};
+
+struct ServerStats {
+  uint64_t searches = 0;
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t heartbeats_sent = 0;
+};
+
+class RTreeServer {
+ public:
+  /// The server serves `tree`, whose arena it registers with `node` once
+  /// at startup (paper §III-B). Both must outlive the server.
+  RTreeServer(std::shared_ptr<rdma::SimNode> node, rtree::RStarTree& tree,
+              ServerConfig cfg = {});
+  ~RTreeServer();
+
+  RTreeServer(const RTreeServer&) = delete;
+  RTreeServer& operator=(const RTreeServer&) = delete;
+
+  /// Wires up a new client connection and spawns its worker thread.
+  /// Called by catfish::ConnectClient during the bootstrap handshake.
+  ServerBootstrap AcceptConnection(const ClientBootstrap& client);
+
+  /// Stops all worker threads and the monitor; idempotent. Connections
+  /// and memory registrations stay alive until destruction, so clients
+  /// can still complete one-sided (offloaded) reads — only the
+  /// server-CPU paths (fast messaging, writes) stop being served.
+  void Stop();
+
+  /// Most recent measured worker CPU utilization in [0,1].
+  double utilization() const noexcept {
+    return utilization_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: when set, heartbeats advertise this value instead of the
+  /// measured utilization (lets tests drive Algorithm 1 deterministically).
+  void OverrideUtilization(double util) noexcept {
+    util_override_.store(util, std::memory_order_relaxed);
+  }
+  void ClearUtilizationOverride() noexcept {
+    util_override_.store(-1.0, std::memory_order_relaxed);
+  }
+
+  ServerStats stats() const;
+  size_t connection_count() const;
+  rtree::RStarTree& tree() noexcept { return *tree_; }
+  const std::shared_ptr<rdma::SimNode>& node() const noexcept {
+    return node_;
+  }
+  const ServerConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    std::shared_ptr<rdma::QueuePair> qp;
+    std::shared_ptr<rdma::CompletionQueue> send_cq;
+    std::shared_ptr<rdma::CompletionQueue> recv_cq;
+    std::vector<std::byte> request_ring_mem;
+    alignas(8) std::array<std::byte, 8> response_ack_cell{};
+    std::unique_ptr<msg::RingReceiver> request_rx;
+    std::unique_ptr<msg::RingSender> response_tx;
+    std::mutex send_mu;  ///< worker (responses) vs monitor (heartbeats)
+    std::thread worker;
+    std::atomic<uint64_t> busy_ns{0};
+  };
+
+  void WorkerLoop(Connection& conn);
+  void MonitorLoop();
+  void HandleMessage(Connection& conn, const msg::Message& m);
+  void SendResponse(Connection& conn, msg::MsgType type, uint16_t flags,
+                    std::span<const std::byte> payload);
+
+  std::shared_ptr<rdma::SimNode> node_;
+  rtree::RStarTree* tree_;
+  ServerConfig cfg_;
+  rdma::MemoryRegionHandle arena_mr_;
+  unsigned cores_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::atomic<bool> stop_{false};
+  std::thread monitor_;
+  std::atomic<double> utilization_{0.0};
+  std::atomic<double> util_override_{-1.0};
+
+  std::atomic<uint64_t> searches_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> deletes_{0};
+  std::atomic<uint64_t> heartbeats_sent_{0};
+  std::atomic<uint64_t> next_conn_id_{1};
+};
+
+}  // namespace catfish

@@ -1,0 +1,89 @@
+// Safe POD (de)serialization helpers for message buffers.
+//
+// All wire formats in this project are little-endian host-order structs
+// copied with memcpy — never by pointer reinterpretation — to keep the
+// code free of alignment/aliasing UB (Core Guidelines type-safety profile).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace catfish {
+
+template <typename T>
+concept TriviallyCopyable = std::is_trivially_copyable_v<T>;
+
+/// Copy a POD value into `dst` at `offset`. The caller guarantees space.
+template <TriviallyCopyable T>
+void StorePod(std::span<std::byte> dst, size_t offset, const T& value) {
+  assert(offset + sizeof(T) <= dst.size());
+  std::memcpy(dst.data() + offset, &value, sizeof(T));
+}
+
+/// Read a POD value out of `src` at `offset`.
+template <TriviallyCopyable T>
+T LoadPod(std::span<const std::byte> src, size_t offset) {
+  assert(offset + sizeof(T) <= src.size());
+  T value;
+  std::memcpy(&value, src.data() + offset, sizeof(T));
+  return value;
+}
+
+/// Append-only byte builder for encoding variable-length messages.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  template <TriviallyCopyable T>
+  void Append(const T& value) {
+    const size_t off = buf_.size();
+    buf_.resize(off + sizeof(T));
+    std::memcpy(buf_.data() + off, &value, sizeof(T));
+  }
+
+  void AppendBytes(std::span<const std::byte> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  std::span<const std::byte> bytes() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+  std::vector<std::byte> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Sequential reader over an encoded message.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  template <TriviallyCopyable T>
+  T Read() {
+    T value = LoadPod<T>(data_, pos_);
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::span<const std::byte> ReadBytes(size_t n) {
+    assert(pos_ + n <= data_.size());
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace catfish

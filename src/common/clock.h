@@ -1,0 +1,20 @@
+// Wall-clock helpers for the real-thread (non-simulated) paths.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace catfish {
+
+/// Monotonic timestamp in nanoseconds.
+inline uint64_t NowNanos() noexcept {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Monotonic timestamp in microseconds.
+inline uint64_t NowMicros() noexcept { return NowNanos() / 1000; }
+
+}  // namespace catfish

@@ -1,0 +1,103 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// The simulators and workload generators must be reproducible across runs,
+// so everything takes an explicit seed; nothing reads global entropy.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace catfish {
+
+/// SplitMix64: used to expand a single u64 seed into a full generator state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA'14).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) noexcept : state_(seed) {}
+
+  uint64_t Next() noexcept {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator (Blackman & Vigna).
+/// Satisfies the std UniformRandomBitGenerator requirements.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.Next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return Next(); }
+
+  uint64_t Next() noexcept {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) noexcept {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless method.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      const uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Bounded power-law sample: density f(t) ∝ t^exponent on [lo, hi],
+  /// exponent != -1. The paper uses f(t) ∝ t^-0.99 (§V-B).
+  double PowerLaw(double lo, double hi, double exponent) noexcept {
+    const double a = exponent + 1.0;  // != 0 by precondition
+    const double u = NextDouble();
+    const double lo_a = std::pow(lo, a);
+    const double hi_a = std::pow(hi, a);
+    return std::pow(lo_a + u * (hi_a - lo_a), 1.0 / a);
+  }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace catfish

@@ -1,0 +1,81 @@
+// Bounded lock-free single-producer single-consumer queue.
+//
+// Used for handing work requests from queue pairs to the simulated NIC
+// service thread. Capacity is fixed at construction and rounded up to a
+// power of two.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace catfish {
+
+// 64 bytes on every target this project supports (x86-64, aarch64).
+// Not std::hardware_destructive_interference_size: its value is an ABI
+// hazard and GCC warns on use.
+inline constexpr size_t kCacheLineSize = 64;
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t capacity) : mask_(RoundUpPow2(capacity) - 1) {
+    slots_.resize(mask_ + 1);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false when the queue is full.
+  bool TryPush(T value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when the queue is empty.
+  std::optional<T> TryPop() {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return std::nullopt;
+    }
+    T value = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return value;
+  }
+
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  static size_t RoundUpPow2(size_t v) {
+    assert(v > 0);
+    size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  const size_t mask_;
+  std::vector<T> slots_;
+  alignas(kCacheLineSize) std::atomic<size_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<size_t> tail_{0};
+  // Producer-local / consumer-local caches of the opposite index.
+  alignas(kCacheLineSize) size_t head_cache_ = 0;
+  alignas(kCacheLineSize) size_t tail_cache_ = 0;
+};
+
+}  // namespace catfish

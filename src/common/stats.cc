@@ -1,0 +1,103 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace catfish {
+
+void RunningStat::Add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const uint64_t total = n_ + other.n_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) /
+                         static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ = total;
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+LogHistogram::LogHistogram(double min_value, double growth)
+    : min_value_(min_value), log_growth_(std::log(growth)) {}
+
+size_t LogHistogram::BucketFor(double value) const noexcept {
+  if (!(value > min_value_)) return 0;
+  return 1 + static_cast<size_t>(std::log(value / min_value_) / log_growth_);
+}
+
+double LogHistogram::BucketLower(size_t idx) const noexcept {
+  if (idx == 0) return 0.0;
+  return min_value_ * std::exp(log_growth_ * static_cast<double>(idx - 1));
+}
+
+void LogHistogram::Add(double value) noexcept {
+  stat_.Add(value);
+  const size_t idx = BucketFor(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  stat_.Merge(other.stat_);
+  if (other.buckets_.size() > buckets_.size())
+    buckets_.resize(other.buckets_.size(), 0);
+  for (size_t i = 0; i < other.buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+}
+
+double LogHistogram::Quantile(double q) const noexcept {
+  const uint64_t n = stat_.count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      // Midpoint of the bucket, clamped into the observed range.
+      const double lo = BucketLower(i);
+      const double hi = BucketLower(i + 1);
+      return std::clamp((lo + hi) / 2.0, stat_.min(), stat_.max());
+    }
+  }
+  return stat_.max();
+}
+
+std::string LogHistogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f n=%llu",
+                mean(), p50(), p95(), p99(), max(),
+                static_cast<unsigned long long>(count()));
+  return buf;
+}
+
+}  // namespace catfish

@@ -1,0 +1,70 @@
+// Latency / value statistics used by benchmarks and the simulators.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace catfish {
+
+/// Streaming mean / variance (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x) noexcept;
+  void Merge(const RunningStat& other) noexcept;
+
+  uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Log-bucketed histogram for non-negative values (e.g. latency in
+/// microseconds). Buckets grow geometrically, giving ~2% relative
+/// quantile error with bounded memory regardless of sample count.
+class LogHistogram {
+ public:
+  /// `min_value` is the resolution floor; values below it land in
+  /// bucket 0. `growth` is the per-bucket geometric factor.
+  explicit LogHistogram(double min_value = 1e-3, double growth = 1.02);
+
+  void Add(double value) noexcept;
+  void Merge(const LogHistogram& other);
+
+  uint64_t count() const noexcept { return stat_.count(); }
+  double mean() const noexcept { return stat_.mean(); }
+  double min() const noexcept { return stat_.min(); }
+  double max() const noexcept { return stat_.max(); }
+
+  /// Quantile in [0,1]; returns 0 when empty.
+  double Quantile(double q) const noexcept;
+  double p50() const noexcept { return Quantile(0.50); }
+  double p95() const noexcept { return Quantile(0.95); }
+  double p99() const noexcept { return Quantile(0.99); }
+
+  /// "mean=12.3 p50=11 p95=30 p99=41 max=55 n=1000"
+  std::string Summary() const;
+
+ private:
+  size_t BucketFor(double value) const noexcept;
+  double BucketLower(size_t idx) const noexcept;
+
+  double min_value_;
+  double log_growth_;
+  std::vector<uint64_t> buckets_;
+  RunningStat stat_;
+};
+
+}  // namespace catfish

@@ -1,0 +1,235 @@
+#include "cuckoo/cuckoo.h"
+
+#include <cassert>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bytes.h"
+#include "rtree/layout.h"
+
+namespace catfish::cuckoo {
+namespace {
+
+uint64_t Mix(uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t TableGeometry::BucketOf(uint64_t key, int which) const noexcept {
+  // Two independent hash functions derived from the table seed.
+  const uint64_t h =
+      Mix(key ^ (hash_seed + static_cast<uint64_t>(which) * 0x9e3779b97f4a7c15ULL));
+  return h % num_buckets;
+}
+
+void EncodeBucket(const Bucket& b, std::span<std::byte> payload60) {
+  assert(payload60.size() >= kBucketBytes);
+  size_t off = 0;
+  for (const Slot& s : b.slots) {
+    StorePod(payload60, off, s.key);
+    StorePod(payload60, off + 8, s.value);
+    off += 16;
+  }
+}
+
+void DecodeBucket(std::span<const std::byte> payload60, Bucket& out) {
+  assert(payload60.size() >= kBucketBytes);
+  size_t off = 0;
+  for (Slot& s : out.slots) {
+    s.key = LoadPod<uint64_t>(payload60, off);
+    s.value = LoadPod<uint64_t>(payload60, off + 8);
+    off += 16;
+  }
+}
+
+CuckooTable CuckooTable::Create(NodeArena& arena, uint64_t min_buckets,
+                                uint64_t hash_seed) {
+  if (arena.chunk_size() != kChunkSize) {
+    throw std::invalid_argument("CuckooTable: arena chunk size mismatch");
+  }
+  const uint64_t chunks =
+      (min_buckets + kBucketsPerChunk - 1) / kBucketsPerChunk;
+  TableGeometry geo;
+  geo.num_chunks = static_cast<uint32_t>(std::max<uint64_t>(1, chunks));
+  geo.num_buckets = geo.num_chunks * kBucketsPerChunk;
+  geo.hash_seed = hash_seed;
+  geo.first_chunk = arena.Allocate();
+  for (uint32_t i = 1; i < geo.num_chunks; ++i) {
+    const ChunkId id = arena.Allocate();
+    if (id != geo.first_chunk + i) {
+      throw std::logic_error("CuckooTable: arena must be contiguous/fresh");
+    }
+  }
+  return CuckooTable(arena, geo);
+}
+
+void CuckooTable::LoadBucket(uint64_t bucket, Bucket& out) const {
+  std::byte payload[kBucketBytes];
+  rtree::GatherPayloadAt(arena_->chunk(geo_.ChunkOfBucket(bucket)),
+                         geo_.PayloadOffsetOfBucket(bucket), payload);
+  DecodeBucket(payload, out);
+}
+
+void CuckooTable::StoreBucket(uint64_t bucket, const Bucket& b) {
+  // Read-modify-write the whole chunk payload under the seqlock write
+  // protocol so remote readers validate exactly as for tree nodes.
+  auto chunk = arena_->chunk(geo_.ChunkOfBucket(bucket));
+  std::byte payload[kBucketBytes];
+  EncodeBucket(b, payload);
+  rtree::BeginWrite(chunk);
+  // Scatter just this bucket's 60-byte line payload.
+  const size_t line = geo_.PayloadOffsetOfBucket(bucket) / rtree::kLinePayload;
+  assert(geo_.PayloadOffsetOfBucket(bucket) % rtree::kLinePayload == 0);
+  std::memcpy(chunk.data() + line * rtree::kLineSize + rtree::kVersionBytes,
+              payload, kBucketBytes);
+  rtree::EndWrite(chunk);
+}
+
+std::optional<uint64_t> CuckooTable::Get(uint64_t key) const {
+  if (key == kEmptyKey) return std::nullopt;
+  // Optimistic chunk-consistent read of each candidate bucket.
+  for (int which = 0; which < 2; ++which) {
+    const uint64_t bucket = geo_.BucketOf(key, which);
+    const auto chunk = arena_->chunk(geo_.ChunkOfBucket(bucket));
+    for (;;) {
+      const auto v1 = rtree::ValidateVersions(chunk);
+      if (!v1) continue;
+      Bucket b;
+      std::byte payload[kBucketBytes];
+      rtree::GatherPayloadAt(chunk, geo_.PayloadOffsetOfBucket(bucket),
+                             payload);
+      const auto v2 = rtree::ValidateVersions(chunk);
+      if (!v2 || *v2 != *v1) continue;
+      DecodeBucket(payload, b);
+      const int slot = b.FindKey(key);
+      if (slot >= 0) return b.slots[slot].value;
+      break;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<uint64_t, int>> CuckooTable::MakeRoom(uint64_t b1,
+                                                              uint64_t b2) {
+  // BFS over displacement chains (MemC3-style), bounded depth.
+  struct Step {
+    uint64_t bucket;
+    int parent;   // index into `steps` (-1 for roots)
+    int via_slot; // slot in parent's bucket whose key moved here
+  };
+  constexpr size_t kMaxSteps = 512;
+  std::vector<Step> steps;
+  std::deque<int> frontier;
+  steps.push_back({b1, -1, -1});
+  steps.push_back({b2, -1, -1});
+  frontier.push_back(0);
+  frontier.push_back(1);
+
+  Bucket bucket;
+  while (!frontier.empty() && steps.size() < kMaxSteps) {
+    const int idx = frontier.front();
+    frontier.pop_front();
+    LoadBucket(steps[static_cast<size_t>(idx)].bucket, bucket);
+    const int free_slot = bucket.FindFree();
+    if (free_slot >= 0) {
+      // Unwind: move each displaced key into its (now free) destination,
+      // destination-first so readers never miss a key.
+      int cur = idx;
+      int dst_slot = free_slot;
+      while (steps[static_cast<size_t>(cur)].parent >= 0) {
+        const Step& s = steps[static_cast<size_t>(cur)];
+        const uint64_t dst_bucket = s.bucket;
+        const uint64_t src_bucket =
+            steps[static_cast<size_t>(s.parent)].bucket;
+        Bucket src;
+        Bucket dst;
+        LoadBucket(src_bucket, src);
+        LoadBucket(dst_bucket, dst);
+        dst.slots[dst_slot] = src.slots[s.via_slot];
+        StoreBucket(dst_bucket, dst);  // copy first…
+        src.slots[s.via_slot] = Slot{};
+        StoreBucket(src_bucket, src);  // …then clear the source
+        dst_slot = s.via_slot;
+        cur = s.parent;
+      }
+      return std::make_pair(steps[static_cast<size_t>(cur)].bucket, dst_slot);
+    }
+    // Expand: each occupant could move to its alternate bucket.
+    for (int slot = 0; slot < static_cast<int>(kSlotsPerBucket); ++slot) {
+      const uint64_t occupant = bucket.slots[slot].key;
+      const uint64_t here = steps[static_cast<size_t>(idx)].bucket;
+      const uint64_t alt0 = geo_.BucketOf(occupant, 0);
+      const uint64_t alt = alt0 == here ? geo_.BucketOf(occupant, 1) : alt0;
+      if (alt == here) continue;  // both hashes collide; useless move
+      steps.push_back({alt, idx, slot});
+      frontier.push_back(static_cast<int>(steps.size()) - 1);
+    }
+  }
+  return std::nullopt;
+}
+
+bool CuckooTable::Put(uint64_t key, uint64_t value) {
+  if (key == kEmptyKey) {
+    throw std::invalid_argument("CuckooTable: key 0 is reserved");
+  }
+  const std::scoped_lock lock(writer_mutex_);
+  const uint64_t b1 = geo_.BucketOf(key, 0);
+  const uint64_t b2 = geo_.BucketOf(key, 1);
+
+  // Overwrite in place when present.
+  Bucket bucket;
+  for (const uint64_t b : {b1, b2}) {
+    LoadBucket(b, bucket);
+    const int slot = bucket.FindKey(key);
+    if (slot >= 0) {
+      bucket.slots[slot].value = value;
+      StoreBucket(b, bucket);
+      return true;
+    }
+  }
+  // Fast path: a free slot in either candidate.
+  for (const uint64_t b : {b1, b2}) {
+    LoadBucket(b, bucket);
+    const int slot = bucket.FindFree();
+    if (slot >= 0) {
+      bucket.slots[slot] = Slot{key, value};
+      StoreBucket(b, bucket);
+      ++size_;
+      return true;
+    }
+  }
+  // Displace.
+  const auto freed = MakeRoom(b1, b2);
+  if (!freed) return false;
+  LoadBucket(freed->first, bucket);
+  assert(bucket.slots[freed->second].key == kEmptyKey);
+  bucket.slots[freed->second] = Slot{key, value};
+  StoreBucket(freed->first, bucket);
+  ++size_;
+  return true;
+}
+
+bool CuckooTable::Erase(uint64_t key) {
+  if (key == kEmptyKey) return false;
+  const std::scoped_lock lock(writer_mutex_);
+  Bucket bucket;
+  for (int which = 0; which < 2; ++which) {
+    const uint64_t b = geo_.BucketOf(key, which);
+    LoadBucket(b, bucket);
+    const int slot = bucket.FindKey(key);
+    if (slot >= 0) {
+      bucket.slots[slot] = Slot{};
+      StoreBucket(b, bucket);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace catfish::cuckoo

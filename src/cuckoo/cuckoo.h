@@ -1,0 +1,126 @@
+// Cuckoo hash table on the Catfish substrate (paper §VI).
+//
+// The second link-based structure the paper names when positioning
+// Catfish as a general framework. The table lives in the same chunked,
+// versioned, RDMA-registerable arena:
+//
+//  * every key hashes to two candidate buckets (h1, h2); a bucket is
+//    3 slots of (key, value) packed into one 60-byte line payload, 16
+//    buckets per 1 KB chunk;
+//  * a remote (offloading) lookup is two one-sided READs — issued
+//    concurrently, the degenerate-but-ideal case of multi-issue (§IV-C):
+//    a constant two-READ round regardless of table size;
+//  * writes run on the server under the writer lock, using BFS cuckoo
+//    eviction (bounded displacement chains) applied leaf-first: a key is
+//    always copied into its destination bucket *before* its source slot
+//    is overwritten, so optimistic remote readers can observe a moving
+//    key twice but never zero times.
+//
+// Key 0 is reserved as the empty-slot sentinel.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "rtree/arena.h"
+
+namespace catfish::cuckoo {
+
+using rtree::ChunkId;
+using rtree::NodeArena;
+
+inline constexpr size_t kChunkSize = 1024;
+inline constexpr size_t kSlotsPerBucket = 3;
+inline constexpr size_t kBucketBytes = 60;  // one cache-line payload
+inline constexpr size_t kBucketsPerChunk =
+    rtree::PayloadCapacity(kChunkSize) / kBucketBytes;
+static_assert(kBucketsPerChunk == 16);
+inline constexpr uint64_t kEmptyKey = 0;
+
+/// Everything a remote reader needs to address the table (exchanged at
+/// connection bootstrap, like the R-tree's root/chunk geometry).
+struct TableGeometry {
+  ChunkId first_chunk = 0;
+  uint32_t num_chunks = 0;
+  uint64_t num_buckets = 0;
+  uint64_t hash_seed = 0;
+
+  uint64_t BucketOf(uint64_t key, int which) const noexcept;
+
+  ChunkId ChunkOfBucket(uint64_t bucket) const noexcept {
+    return first_chunk + static_cast<ChunkId>(bucket / kBucketsPerChunk);
+  }
+  size_t PayloadOffsetOfBucket(uint64_t bucket) const noexcept {
+    return (bucket % kBucketsPerChunk) * kBucketBytes;
+  }
+};
+
+struct Slot {
+  uint64_t key = kEmptyKey;
+  uint64_t value = 0;
+};
+
+/// Decoded bucket image.
+struct Bucket {
+  Slot slots[kSlotsPerBucket];
+
+  int FindKey(uint64_t key) const noexcept {
+    for (int i = 0; i < static_cast<int>(kSlotsPerBucket); ++i) {
+      if (slots[i].key == key) return i;
+    }
+    return -1;
+  }
+  int FindFree() const noexcept { return FindKey(kEmptyKey); }
+};
+
+void EncodeBucket(const Bucket& b, std::span<std::byte> payload60);
+void DecodeBucket(std::span<const std::byte> payload60, Bucket& out);
+
+class CuckooTable {
+ public:
+  /// Builds an empty table with at least `min_buckets` buckets (rounded
+  /// up to whole chunks) in `arena`.
+  static CuckooTable Create(NodeArena& arena, uint64_t min_buckets,
+                            uint64_t hash_seed);
+
+  CuckooTable(CuckooTable&&) = default;
+  CuckooTable(const CuckooTable&) = delete;
+  CuckooTable& operator=(const CuckooTable&) = delete;
+  CuckooTable& operator=(CuckooTable&&) = delete;
+
+  /// Inserts or overwrites. Returns false when the displacement search
+  /// fails (table effectively full — caller should resize/rebuild).
+  bool Put(uint64_t key, uint64_t value);
+
+  bool Erase(uint64_t key);
+
+  /// Local lookup with optimistic versioned bucket reads.
+  std::optional<uint64_t> Get(uint64_t key) const;
+
+  uint64_t size() const noexcept { return size_; }
+  uint64_t capacity() const noexcept {
+    return geo_.num_buckets * kSlotsPerBucket;
+  }
+  const TableGeometry& geometry() const noexcept { return geo_; }
+  NodeArena& arena() noexcept { return *arena_; }
+
+ private:
+  CuckooTable(NodeArena& arena, TableGeometry geo)
+      : arena_(&arena), geo_(geo) {}
+
+  void LoadBucket(uint64_t bucket, Bucket& out) const;   // writer-side
+  void StoreBucket(uint64_t bucket, const Bucket& b);
+
+  /// BFS for a displacement chain freeing a slot in one of `key`'s two
+  /// candidate buckets; applies it destination-first. Returns the
+  /// (bucket, slot) freed, or nullopt.
+  std::optional<std::pair<uint64_t, int>> MakeRoom(uint64_t b1, uint64_t b2);
+
+  NodeArena* arena_;
+  TableGeometry geo_;
+  mutable std::mutex writer_mutex_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace catfish::cuckoo

@@ -1,0 +1,44 @@
+#include "des/resources.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace catfish::des {
+
+void CpuPool::Submit(double service_us, std::function<void()> done) {
+  Job job{service_us, std::move(done)};
+  if (busy_ < cores_) {
+    StartJob(std::move(job));
+  } else {
+    queue_.push_back(std::move(job));
+  }
+}
+
+void CpuPool::StartJob(Job job) {
+  ++busy_;
+  busy_core_us_ += job.service_us;
+  sched_->After(job.service_us, [this, done = std::move(job.done)]() mutable {
+    FinishJob();
+    done();
+  });
+}
+
+void CpuPool::FinishJob() {
+  --busy_;
+  if (!queue_.empty()) {
+    Job next = std::move(queue_.front());
+    queue_.pop_front();
+    StartJob(std::move(next));
+  }
+}
+
+void Link::Transfer(uint64_t bytes, std::function<void()> delivered) {
+  const double ser = SerializationUs(bytes);
+  const double start = std::max(free_at_, sched_->now());
+  free_at_ = start + ser;
+  busy_us_ += ser;
+  bytes_ += bytes;
+  sched_->At(free_at_ + latency_us_, std::move(delivered));
+}
+
+}  // namespace catfish::des

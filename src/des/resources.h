@@ -1,0 +1,96 @@
+// Simulated contended resources: multi-core CPU pools and network links.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "des/scheduler.h"
+
+namespace catfish::des {
+
+/// An m-core CPU served FCFS: jobs occupy one core for their service
+/// time; excess jobs queue. Tracks cumulative busy core-time so the
+/// cluster model can compute utilization over heartbeat windows — the
+/// u_serv signal of Algorithm 1.
+class CpuPool {
+ public:
+  CpuPool(Scheduler& sched, unsigned cores)
+      : sched_(&sched), cores_(cores) {}
+
+  /// Runs `done` after the job waited for a core and held it for
+  /// `service_us`.
+  void Submit(double service_us, std::function<void()> done);
+
+  unsigned cores() const noexcept { return cores_; }
+  size_t queued() const noexcept { return queue_.size(); }
+  unsigned busy_cores() const noexcept { return busy_; }
+
+  /// Cumulative core-microseconds of useful work so far.
+  double busy_core_us() const noexcept { return busy_core_us_; }
+
+  /// Utilization over a window: Δbusy / (Δwall · cores).
+  double WindowUtilization(double window_start_busy_us,
+                           double window_us) const noexcept {
+    if (window_us <= 0) return 0.0;
+    return (busy_core_us_ - window_start_busy_us) / (window_us * cores_);
+  }
+
+ private:
+  struct Job {
+    double service_us;
+    std::function<void()> done;
+  };
+
+  void StartJob(Job job);
+  void FinishJob();
+
+  Scheduler* sched_;
+  unsigned cores_;
+  unsigned busy_ = 0;
+  std::deque<Job> queue_;
+  double busy_core_us_ = 0.0;
+};
+
+/// A unidirectional link: transfers serialize at `bandwidth_gbps`, then
+/// propagate for `latency_us`. Serialization is the contended stage, so
+/// concurrent transfers queue — this is what saturates the server NIC in
+/// Fig 2(a) and what offloading competes with fast messaging for.
+class Link {
+ public:
+  Link(Scheduler& sched, double bandwidth_gbps, double latency_us)
+      : sched_(&sched), bandwidth_gbps_(bandwidth_gbps),
+        latency_us_(latency_us) {}
+
+  /// Delivers `delivered` once `bytes` have fully serialized and then
+  /// propagated.
+  void Transfer(uint64_t bytes, std::function<void()> delivered);
+
+  double SerializationUs(uint64_t bytes) const noexcept {
+    if (bandwidth_gbps_ <= 0) return 0.0;
+    return static_cast<double>(bytes) * 8.0 / (bandwidth_gbps_ * 1e3);
+  }
+
+  /// Cumulative busy (serializing) microseconds — bandwidth accounting.
+  double busy_us() const noexcept { return busy_us_; }
+  uint64_t bytes_transferred() const noexcept { return bytes_; }
+  double bandwidth_gbps() const noexcept { return bandwidth_gbps_; }
+
+  /// Link utilization over a window given the busy time at its start.
+  double WindowUtilization(double window_start_busy_us,
+                           double window_us) const noexcept {
+    if (window_us <= 0) return 0.0;
+    return (busy_us_ - window_start_busy_us) / window_us;
+  }
+
+ private:
+  Scheduler* sched_;
+  double bandwidth_gbps_;
+  double latency_us_;
+  /// Virtual time at which the link finishes everything queued so far.
+  double free_at_ = 0.0;
+  double busy_us_ = 0.0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace catfish::des

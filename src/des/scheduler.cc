@@ -1,0 +1,31 @@
+#include "des/scheduler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace catfish::des {
+
+void Scheduler::At(Time t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Scheduler::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the function object must be moved
+  // out before pop, so copy the metadata and move the closure.
+  auto& top = const_cast<Event&>(queue_.top());
+  now_ = top.t;
+  auto fn = std::move(top.fn);
+  queue_.pop();
+  fn();
+  return true;
+}
+
+void Scheduler::Run(Time until) {
+  while (!queue_.empty() && queue_.top().t <= until) {
+    Step();
+  }
+}
+
+}  // namespace catfish::des

@@ -1,0 +1,124 @@
+// 2-D axis-aligned rectangles — the spatial object type of the paper.
+//
+// Each rectangle is four double-precision coordinates (min/max per axis),
+// normalized into the unit square [0,1]^2 for the synthetic workloads
+// (paper §I). All R-tree geometry predicates live here.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace catfish::geo {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Closed axis-aligned rectangle [min_x, max_x] × [min_y, max_y].
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  constexpr Rect() = default;
+  constexpr Rect(double x0, double y0, double x1, double y1) noexcept
+      : min_x(x0), min_y(y0), max_x(x1), max_y(y1) {}
+
+  /// An "empty" rect that acts as the identity for Union().
+  static constexpr Rect Empty() noexcept {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    return Rect{inf, inf, -inf, -inf};
+  }
+
+  constexpr bool IsEmpty() const noexcept {
+    return min_x > max_x || min_y > max_y;
+  }
+
+  constexpr bool IsValid() const noexcept {
+    return min_x <= max_x && min_y <= max_y;
+  }
+
+  constexpr double width() const noexcept { return max_x - min_x; }
+  constexpr double height() const noexcept { return max_y - min_y; }
+
+  constexpr double Area() const noexcept {
+    return IsEmpty() ? 0.0 : width() * height();
+  }
+
+  /// Half-perimeter; the R*-tree split uses margin as a goodness metric.
+  constexpr double Margin() const noexcept {
+    return IsEmpty() ? 0.0 : width() + height();
+  }
+
+  constexpr Point Center() const noexcept {
+    return Point{(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+
+  /// Closed-interval intersection test (shared edges count as overlap,
+  /// matching Guttman's original semantics).
+  constexpr bool Intersects(const Rect& o) const noexcept {
+    return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+           o.min_y <= max_y;
+  }
+
+  constexpr bool Contains(const Rect& o) const noexcept {
+    return min_x <= o.min_x && max_x >= o.max_x && min_y <= o.min_y &&
+           max_y >= o.max_y;
+  }
+
+  constexpr bool ContainsPoint(const Point& p) const noexcept {
+    return min_x <= p.x && p.x <= max_x && min_y <= p.y && p.y <= max_y;
+  }
+
+  /// Minimum bounding rectangle of two rects.
+  constexpr Rect Union(const Rect& o) const noexcept {
+    if (IsEmpty()) return o;
+    if (o.IsEmpty()) return *this;
+    return Rect{std::min(min_x, o.min_x), std::min(min_y, o.min_y),
+                std::max(max_x, o.max_x), std::max(max_y, o.max_y)};
+  }
+
+  /// Geometric intersection; empty when the rects do not overlap.
+  constexpr Rect Intersection(const Rect& o) const noexcept {
+    const Rect r{std::max(min_x, o.min_x), std::max(min_y, o.min_y),
+                 std::min(max_x, o.max_x), std::min(max_y, o.max_y)};
+    return r.IsValid() ? r : Rect::Empty();
+  }
+
+  /// Area of overlap with `o` (0 when disjoint).
+  constexpr double OverlapArea(const Rect& o) const noexcept {
+    return Intersection(o).Area();
+  }
+
+  /// How much this rect's area grows if it must also enclose `o`.
+  /// The R-tree insert descends along minimum enlargement (paper §II-A).
+  constexpr double Enlargement(const Rect& o) const noexcept {
+    return Union(o).Area() - Area();
+  }
+
+  constexpr bool operator==(const Rect& o) const noexcept = default;
+};
+
+/// Squared center-to-center distance; used by R* forced reinsertion.
+inline double CenterDistance2(const Rect& a, const Rect& b) noexcept {
+  const Point ca = a.Center();
+  const Point cb = b.Center();
+  const double dx = ca.x - cb.x;
+  const double dy = ca.y - cb.y;
+  return dx * dx + dy * dy;
+}
+
+/// MINDIST: squared distance from a point to the nearest point of a
+/// rect (0 when inside). The lower bound driving best-first kNN search.
+inline double MinDist2(const Rect& r, const Point& p) noexcept {
+  const double dx =
+      p.x < r.min_x ? r.min_x - p.x : (p.x > r.max_x ? p.x - r.max_x : 0.0);
+  const double dy =
+      p.y < r.min_y ? r.min_y - p.y : (p.y > r.max_y ? p.y - r.max_y : 0.0);
+  return dx * dx + dy * dy;
+}
+
+}  // namespace catfish::geo

@@ -1,0 +1,348 @@
+#include "model/cluster_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace catfish::model {
+
+const char* SchemeName(Scheme s) {
+  switch (s) {
+    case Scheme::kTcp1G: return "TCP/IP-1G";
+    case Scheme::kTcp40G: return "TCP/IP-40G";
+    case Scheme::kFastMessaging: return "Fast messaging";
+    case Scheme::kRdmaOffloading: return "RDMA offloading";
+    case Scheme::kCatfish: return "Catfish";
+  }
+  return "?";
+}
+
+namespace {
+
+rdma::FabricProfile FabricFor(Scheme s) {
+  switch (s) {
+    case Scheme::kTcp1G: return rdma::FabricProfile::Ethernet1G();
+    case Scheme::kTcp40G: return rdma::FabricProfile::Ethernet40G();
+    default: return rdma::FabricProfile::InfiniBand100G();
+  }
+}
+
+}  // namespace
+
+ClusterSim::ClusterSim(rtree::RStarTree& tree, ClusterConfig cfg)
+    : tree_(&tree), cfg_(cfg), fabric_(FabricFor(cfg.scheme)) {
+  cpu_ = std::make_unique<des::CpuPool>(sched_, cfg_.server_cores);
+  writer_ = std::make_unique<des::CpuPool>(sched_, 1);  // the writer lock
+  nic_ = std::make_unique<des::CpuPool>(sched_, 1);     // NIC msg engine
+  up_ = std::make_unique<des::Link>(sched_, fabric_.bandwidth_gbps,
+                                    fabric_.base_latency_us);
+  down_ = std::make_unique<des::Link>(sched_, fabric_.bandwidth_gbps,
+                                      fabric_.base_latency_us);
+  for (size_t i = 0; i < cfg_.num_clients; ++i) {
+    clients_.push_back(std::make_unique<Client>(
+        i, cfg_.workload, cfg_.adaptive, cfg_.seed + i * 7919));
+    clients_.back()->remaining = cfg_.requests_per_client;
+  }
+}
+
+double ClusterSim::PollingPickupUs() const noexcept {
+  const double c = static_cast<double>(cfg_.num_clients);
+  const double k = cfg_.server_cores;
+  if (c <= k) return 0.0;
+  return cfg_.costs.poll_quantum_us * c * c / k;
+}
+
+double ClusterSim::ReadRetryProbability() const noexcept {
+  const double now = std::max(sched_.now(), 1.0);
+  const double write_busy = std::min(1.0, insert_service_cum_us_ / now);
+  return std::min(0.5, write_busy * cfg_.conflict_factor);
+}
+
+void ClusterSim::CompleteRequest(Client& c, workload::OpType op, double t0) {
+  const double latency = sched_.now() - t0;
+  result_.latency_us.Add(latency);
+  if (op == workload::OpType::kInsert) {
+    result_.insert_latency_us.Add(latency);
+    ++result_.inserts;
+  } else {
+    result_.search_latency_us.Add(latency);
+  }
+  ++result_.completed;
+  --outstanding_;
+  // The run's duration is the last *request* completion — trailing
+  // bookkeeping events (heartbeats) must not dilute throughput.
+  result_.duration_us = sched_.now();
+  StartNextRequest(c);
+}
+
+void ClusterSim::StartNextRequest(Client& c) {
+  if (c.remaining == 0) return;
+  --c.remaining;
+  ++outstanding_;
+  const workload::Request req = c.gen.Next();
+  const double t0 = sched_.now();
+
+  if (req.op == workload::OpType::kInsert || IsTcp() ||
+      cfg_.scheme == Scheme::kFastMessaging) {
+    ExecViaServer(c, req, t0);
+    return;
+  }
+  if (cfg_.scheme == Scheme::kRdmaOffloading) {
+    ExecOffloaded(c, req.rect, t0);
+    return;
+  }
+  // Catfish: Algorithm 1 decides per request.
+  const AccessMode mode =
+      c.ctrl.NextMode(static_cast<uint64_t>(sched_.now()));
+  if (mode == AccessMode::kRdmaOffloading) {
+    ExecOffloaded(c, req.rect, t0);
+  } else {
+    ExecViaServer(c, req, t0);
+  }
+}
+
+void ClusterSim::ExecViaServer(Client& c, const workload::Request& req,
+                               double t0) {
+  const CostModel& k = cfg_.costs;
+  const bool tcp = IsTcp();
+  const bool search = req.op == workload::OpType::kSearch;
+  const double post_us = tcp ? k.tcp_kernel_us : k.verbs_post_us;
+  const size_t req_bytes =
+      search ? k.search_request_bytes : k.insert_request_bytes;
+
+  // Pre-compute the real tree work for searches. (Inserts execute at
+  // writer-lock grant time so concurrent searches see them in virtual-
+  // time order.)
+  double service = 0.0;
+  size_t resp_bytes = 0;
+  if (search) {
+    rtree::SearchStats st;
+    std::vector<rtree::Entry> out;
+    tree_->SearchTraced(req.rect, out, &st, nullptr);
+    const size_t segments =
+        1 + st.results * k.per_result_bytes / k.max_segment_payload_bytes;
+    service = k.request_dispatch_us +
+              static_cast<double>(st.nodes_visited) * k.per_node_visit_us +
+              static_cast<double>(st.results) * k.per_result_us;
+    if (tcp) {
+      service += k.tcp_kernel_us * static_cast<double>(1 + segments);
+    }
+    resp_bytes = k.response_base_bytes * segments +
+                 st.results * k.per_result_bytes;
+    if (cfg_.scheme == Scheme::kCatfish ||
+        cfg_.scheme == Scheme::kFastMessaging) {
+      ++result_.fast_searches;
+    }
+  } else {
+    resp_bytes = k.ack_bytes;
+  }
+
+  auto respond = [this, &c, t0, resp_bytes, tcp, op = req.op]() {
+    auto deliver = [this, &c, t0, resp_bytes, tcp, op]() {
+      up_->Transfer(resp_bytes, [this, &c, t0, tcp, op]() {
+        const double recv_us =
+            tcp ? cfg_.costs.tcp_kernel_us : cfg_.costs.verbs_post_us;
+        sched_.After(recv_us, [this, &c, t0, op]() {
+          CompleteRequest(c, op, t0);
+        });
+      });
+    };
+    if (tcp) {
+      deliver();
+    } else {
+      nic_->Submit(cfg_.costs.nic_write_op_us, deliver);
+    }
+  };
+
+  auto handle = [this, &c, req, service, search, tcp, respond]() {
+    const double pickup = (!tcp && cfg_.notify == NotifyMode::kPolling)
+                              ? PollingPickupUs()
+                              : 0.0;
+    sched_.After(pickup, [this, &c, req, service, search, tcp, respond]() {
+      if (search) {
+        cpu_->Submit(service, respond);
+      } else {
+        // Parse on a worker, then serialize on the tree writer lock.
+        double parse = cfg_.costs.request_dispatch_us;
+        if (tcp) parse += 2 * cfg_.costs.tcp_kernel_us;
+        cpu_->Submit(parse, [this, req, respond]() {
+          writer_->Submit(cfg_.costs.per_insert_us, [this, req, respond]() {
+            tree_->Insert(req.rect, req.id);  // real mutation
+            insert_service_cum_us_ += cfg_.costs.per_insert_us;
+            respond();
+          });
+        });
+      }
+    });
+  };
+
+  sched_.After(post_us, [this, req_bytes, tcp, handle]() {
+    down_->Transfer(req_bytes, [this, tcp, handle]() {
+      if (tcp) {
+        handle();
+      } else {
+        nic_->Submit(cfg_.costs.nic_write_op_us, handle);
+      }
+    });
+  });
+}
+
+void ClusterSim::ExecOffloaded(Client& c, const geo::Rect& rect, double t0) {
+  auto trace = std::make_shared<rtree::TraversalTrace>();
+  rtree::SearchStats st;
+  std::vector<rtree::Entry> out;
+  tree_->SearchTraced(rect, out, &st, trace.get());
+  ++result_.offloaded_searches;
+  OffloadRound(c, std::move(trace), 0, t0);
+}
+
+void ClusterSim::OffloadRound(Client& c,
+                              std::shared_ptr<rtree::TraversalTrace> trace,
+                              size_t level, double t0) {
+  if (level >= trace->nodes_per_level.size()) {
+    CompleteRequest(c, workload::OpType::kSearch, t0);
+    return;
+  }
+  const CostModel& k = cfg_.costs;
+  const uint32_t n = trace->nodes_per_level[level];
+  const size_t chunk_bytes =
+      tree_->arena().chunk_size() + k.read_response_overhead_bytes;
+
+  // Shared round state: arrivals processed serially on the client CPU
+  // (processing one node overlaps the other reads in flight, §IV-C).
+  struct Round {
+    uint32_t remaining;
+    double client_free_at;
+  };
+  auto round = std::make_shared<Round>(Round{n, sched_.now()});
+
+  auto node_done = [this, &c, trace, level, t0, round]() {
+    if (--round->remaining == 0) {
+      const double resume = std::max(round->client_free_at, sched_.now());
+      sched_.At(resume, [this, &c, trace, level, t0]() {
+        OffloadRound(c, trace, level + 1, t0);
+      });
+    }
+  };
+
+  // One READ: request over the down link, NIC serves it, chunk back over
+  // the up link; a modeled version-conflict retries the whole fetch.
+  struct ReadOp {
+    ClusterSim* sim;
+    Client* client;
+    size_t chunk_bytes;
+    std::function<void()> done;
+
+    void Issue(std::shared_ptr<ReadOp> self) const {
+      ++sim->result_.rdma_reads;
+      sim->down_->Transfer(sim->cfg_.costs.read_request_bytes, [self]() {
+        self->sim->nic_->Submit(self->sim->cfg_.costs.nic_read_op_us,
+                                [self]() {
+          self->sim->up_->Transfer(self->chunk_bytes, [self]() {
+            const double p = self->sim->ReadRetryProbability();
+            if (p > 0.0 && self->client->rng.NextDouble() < p) {
+              ++self->sim->result_.version_retries;
+              self->Issue(self);  // torn read: fetch again
+              return;
+            }
+            self->done();
+          });
+        });
+      });
+    }
+  };
+
+  if (cfg_.multi_issue) {
+    // All reads of the round posted back-to-back (pipelined on the NICs
+    // and the wire); arrivals are processed as they land.
+    for (uint32_t i = 0; i < n; ++i) {
+      auto process = [this, round, node_done]() {
+        // Serial client CPU: decode + intersect this node.
+        const double start = std::max(round->client_free_at, sched_.now());
+        round->client_free_at = start + cfg_.costs.client_node_us;
+        sched_.At(round->client_free_at, node_done);
+      };
+      auto op = std::make_shared<ReadOp>(
+          ReadOp{this, &c, chunk_bytes, std::move(process)});
+      sched_.After(k.verbs_post_us * (i + 1), [op]() { op->Issue(op); });
+    }
+  } else {
+    // Single-issue: read i+1 posts only after read i is fully processed
+    // — every node access pays a full round trip (Fig 8's baseline).
+    // Build the sequential chain explicitly.
+    auto issue_seq = std::make_shared<std::function<void(uint32_t)>>();
+    *issue_seq = [this, &c, n, chunk_bytes, round, node_done,
+                  issue_seq](uint32_t i) {
+      auto process = [this, round, node_done, issue_seq, i, n]() {
+        const double start = std::max(round->client_free_at, sched_.now());
+        round->client_free_at = start + cfg_.costs.client_node_us;
+        sched_.At(round->client_free_at, [node_done, issue_seq, i, n]() {
+          node_done();
+          if (i + 1 < n) {
+            (*issue_seq)(i + 1);
+          } else {
+            // Break the self-capture cycle so the chain state frees.
+            *issue_seq = nullptr;
+          }
+        });
+      };
+      auto op = std::make_shared<ReadOp>(
+          ReadOp{this, &c, chunk_bytes, std::move(process)});
+      sched_.After(cfg_.costs.verbs_post_us, [op]() { op->Issue(op); });
+    };
+    (*issue_seq)(0);
+  }
+}
+
+void ClusterSim::ScheduleHeartbeat() {
+  sched_.After(cfg_.adaptive.heartbeat_interval_us, [this]() {
+    if (outstanding_ == 0) return;  // run drained; stop the pulse
+    const double now = sched_.now();
+    const double window = now - hb_window_start_t_;
+    const double busy = cpu_->busy_core_us() + writer_->busy_core_us();
+    const double util =
+        std::min(1.0, (busy - hb_window_start_busy_) /
+                          std::max(1.0, window * cfg_.server_cores));
+    hb_window_start_busy_ = busy;
+    hb_window_start_t_ = now;
+    for (auto& c : clients_) {
+      // Heartbeats ride the response rings: the server writes them to
+      // each connection in turn and every client consumes its mailbox at
+      // its own next request, so delivery is naturally staggered. The
+      // jitter also prevents an artificial thundering herd of offload
+      // windows that lockstep virtual time would otherwise create.
+      const double jitter =
+          c->rng.NextDouble() *
+          (static_cast<double>(cfg_.adaptive.heartbeat_interval_us) / 4.0);
+      sched_.After(fabric_.base_latency_us + jitter,
+                   [&ctrl = c->ctrl, util]() { ctrl.OnHeartbeat(util); });
+    }
+    ScheduleHeartbeat();
+  });
+}
+
+RunResult ClusterSim::Run() {
+  // Stagger client start times slightly to break lockstep symmetry.
+  for (auto& c : clients_) {
+    sched_.After(static_cast<double>(c->index) * 0.11,
+                 [this, &c = *c]() { StartNextRequest(c); });
+  }
+  if (cfg_.scheme == Scheme::kCatfish) ScheduleHeartbeat();
+
+  sched_.Run();
+
+  if (result_.duration_us > 0.0) {
+    result_.throughput_kops =
+        static_cast<double>(result_.completed) / result_.duration_us * 1e3;
+    result_.server_cpu_util =
+        std::min(1.0, (cpu_->busy_core_us() + writer_->busy_core_us()) /
+                          (result_.duration_us * cfg_.server_cores));
+    result_.server_tx_gbps = static_cast<double>(up_->bytes_transferred()) *
+                             8.0 / (result_.duration_us * 1e3);
+    result_.server_rx_gbps = static_cast<double>(down_->bytes_transferred()) *
+                             8.0 / (result_.duration_us * 1e3);
+  }
+  return result_;
+}
+
+}  // namespace catfish::model

@@ -1,0 +1,144 @@
+// Execution-driven cluster simulation of the paper's 9-node testbed.
+//
+// Reproduces the evaluation cluster (§V): one server (28 cores, one NIC)
+// and up to 256 closed-loop clients, connected by one of the three
+// fabrics. R-tree operations execute for real against the real tree —
+// the traversal trace decides how many nodes each search touches, how
+// many results flow back, and when inserts land — while CPU time, NIC
+// message processing and link bandwidth are charged to contended virtual
+// resources:
+//
+//   client ──down link──► server NIC ──► worker CPU pool ─┐
+//      ▲                                  (or writer lock) │
+//      └──────────── up link ◄── server NIC ◄──────────────┘
+//
+// Offloaded searches bypass the worker pool entirely: each node fetch is
+// a READ served by the NIC + links only. The adaptive scheme runs the
+// production AdaptiveController against virtual heartbeats computed from
+// the worker pool's real utilization window — Algorithm 1 unmodified.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "catfish/adaptive.h"
+#include "catfish/server.h"   // NotifyMode
+#include "common/stats.h"
+#include "des/resources.h"
+#include "des/scheduler.h"
+#include "model/cost_model.h"
+#include "rdmasim/fabric_profile.h"
+#include "rtree/rstar.h"
+#include "workload/generators.h"
+
+namespace catfish::model {
+
+/// The five compared systems of §V.
+enum class Scheme : uint8_t {
+  kTcp1G,           ///< socket R-tree on 1 GbE
+  kTcp40G,          ///< socket R-tree on 40 GbE
+  kFastMessaging,   ///< FaRM-style RDMA WRITE messaging (baseline)
+  kRdmaOffloading,  ///< FaRM-style one-sided READ traversal (baseline)
+  kCatfish,         ///< adaptive + event-driven + multi-issue
+};
+
+const char* SchemeName(Scheme s);
+
+struct ClusterConfig {
+  Scheme scheme = Scheme::kCatfish;
+  unsigned server_cores = 28;
+  /// Fast-messaging notification mode. The Catfish scheme is always
+  /// event-driven (§IV-B); the FaRM baseline polls.
+  NotifyMode notify = NotifyMode::kEventDriven;
+  /// Multi-issue for offloaded traversals. Catfish: on; baseline: off.
+  bool multi_issue = true;
+  AdaptiveConfig adaptive;
+  CostModel costs;
+  size_t num_clients = 32;
+  uint64_t requests_per_client = 1000;
+  workload::RequestGen::Config workload;
+  uint64_t seed = 1;
+  /// Scales the modeled probability that an offloaded node read races a
+  /// concurrent insert and must retry (see DESIGN.md §5).
+  double conflict_factor = 0.2;
+};
+
+struct RunResult {
+  double duration_us = 0.0;
+  uint64_t completed = 0;
+  double throughput_kops = 0.0;
+  LogHistogram latency_us;         ///< all operations
+  LogHistogram search_latency_us;
+  LogHistogram insert_latency_us;
+  double server_cpu_util = 0.0;    ///< mean worker utilization over run
+  double server_tx_gbps = 0.0;
+  double server_rx_gbps = 0.0;
+  uint64_t fast_searches = 0;
+  uint64_t offloaded_searches = 0;
+  uint64_t inserts = 0;
+  uint64_t rdma_reads = 0;
+  uint64_t version_retries = 0;
+};
+
+class ClusterSim {
+ public:
+  /// `tree` is mutated by insert workloads; snapshot/rebuild it between
+  /// runs that must start from the same dataset.
+  ClusterSim(rtree::RStarTree& tree, ClusterConfig cfg);
+
+  /// Runs every client to completion and returns aggregate results.
+  RunResult Run();
+
+ private:
+  struct Client {
+    size_t index = 0;
+    workload::RequestGen gen;
+    AdaptiveController ctrl;
+    Xoshiro256 rng;
+    uint64_t remaining = 0;
+
+    Client(size_t i, const workload::RequestGen::Config& wcfg,
+           const AdaptiveConfig& acfg, uint64_t seed)
+        : index(i), gen(wcfg, seed), ctrl(acfg, seed ^ 0x9e3779b9u),
+          rng(seed + 0x51ed2701u) {}
+  };
+
+  bool IsTcp() const noexcept {
+    return cfg_.scheme == Scheme::kTcp1G || cfg_.scheme == Scheme::kTcp40G;
+  }
+
+  void StartNextRequest(Client& c);
+  /// Fast-messaging / TCP request through the server worker pool.
+  void ExecViaServer(Client& c, const workload::Request& req, double t0);
+  /// One-sided READ traversal on the client.
+  void ExecOffloaded(Client& c, const geo::Rect& rect, double t0);
+  void OffloadRound(Client& c, std::shared_ptr<rtree::TraversalTrace> trace,
+                    size_t level, double t0);
+  void CompleteRequest(Client& c, workload::OpType op, double t0);
+  void ScheduleHeartbeat();
+  double PollingPickupUs() const noexcept;
+  /// Modeled probability that one offloaded node read hits a concurrent
+  /// write and retries (paper §III-B / Fig 12 degradation).
+  double ReadRetryProbability() const noexcept;
+
+  rtree::RStarTree* tree_;
+  ClusterConfig cfg_;
+  rdma::FabricProfile fabric_;
+
+  des::Scheduler sched_;
+  std::unique_ptr<des::CpuPool> cpu_;      ///< server worker cores
+  std::unique_ptr<des::CpuPool> writer_;   ///< the tree writer lock
+  std::unique_ptr<des::CpuPool> nic_;      ///< server NIC message engine
+  std::unique_ptr<des::Link> up_;          ///< server → clients
+  std::unique_ptr<des::Link> down_;        ///< clients → server
+
+  std::vector<std::unique_ptr<Client>> clients_;
+  RunResult result_;
+  uint64_t outstanding_ = 0;
+  double insert_service_cum_us_ = 0.0;
+  double hb_window_start_busy_ = 0.0;
+  double hb_window_start_t_ = 0.0;
+};
+
+}  // namespace catfish::model

@@ -1,0 +1,183 @@
+#include "msg/protocol.h"
+
+#include <cassert>
+
+#include "common/bytes.h"
+
+namespace catfish::msg {
+namespace {
+
+void AppendRect(ByteWriter& w, const geo::Rect& r) {
+  w.Append(r.min_x);
+  w.Append(r.min_y);
+  w.Append(r.max_x);
+  w.Append(r.max_y);
+}
+
+geo::Rect ReadRect(ByteReader& r) {
+  geo::Rect rect;
+  rect.min_x = r.Read<double>();
+  rect.min_y = r.Read<double>();
+  rect.max_x = r.Read<double>();
+  rect.max_y = r.Read<double>();
+  return rect;
+}
+
+constexpr size_t kRectBytes = 4 * sizeof(double);
+
+}  // namespace
+
+std::vector<std::byte> Encode(const SearchRequest& v) {
+  ByteWriter w(8 + kRectBytes);
+  w.Append(v.req_id);
+  AppendRect(w, v.rect);
+  return w.Take();
+}
+
+std::optional<SearchRequest> DecodeSearchRequest(
+    std::span<const std::byte> payload) {
+  if (payload.size() != 8 + kRectBytes) return std::nullopt;
+  ByteReader r(payload);
+  SearchRequest v;
+  v.req_id = r.Read<uint64_t>();
+  v.rect = ReadRect(r);
+  return v;
+}
+
+std::vector<std::byte> Encode(const InsertRequest& v) {
+  ByteWriter w(16 + kRectBytes);
+  w.Append(v.req_id);
+  AppendRect(w, v.rect);
+  w.Append(v.rect_id);
+  return w.Take();
+}
+
+std::optional<InsertRequest> DecodeInsertRequest(
+    std::span<const std::byte> payload) {
+  if (payload.size() != 16 + kRectBytes) return std::nullopt;
+  ByteReader r(payload);
+  InsertRequest v;
+  v.req_id = r.Read<uint64_t>();
+  v.rect = ReadRect(r);
+  v.rect_id = r.Read<uint64_t>();
+  return v;
+}
+
+std::vector<std::byte> Encode(const DeleteRequest& v) {
+  ByteWriter w(16 + kRectBytes);
+  w.Append(v.req_id);
+  AppendRect(w, v.rect);
+  w.Append(v.rect_id);
+  return w.Take();
+}
+
+std::optional<DeleteRequest> DecodeDeleteRequest(
+    std::span<const std::byte> payload) {
+  if (payload.size() != 16 + kRectBytes) return std::nullopt;
+  ByteReader r(payload);
+  DeleteRequest v;
+  v.req_id = r.Read<uint64_t>();
+  v.rect = ReadRect(r);
+  v.rect_id = r.Read<uint64_t>();
+  return v;
+}
+
+std::vector<std::byte> Encode(const WriteAck& v) {
+  ByteWriter w(9);
+  w.Append(v.req_id);
+  w.Append(v.ok);
+  return w.Take();
+}
+
+std::optional<WriteAck> DecodeWriteAck(std::span<const std::byte> payload) {
+  if (payload.size() != 9) return std::nullopt;
+  ByteReader r(payload);
+  WriteAck v;
+  v.req_id = r.Read<uint64_t>();
+  v.ok = r.Read<uint8_t>();
+  return v;
+}
+
+std::vector<std::byte> Encode(const Heartbeat& v) {
+  ByteWriter w(24);
+  w.Append(v.seq);
+  w.Append(v.cpu_util);
+  w.Append(v.tree_epoch);
+  return w.Take();
+}
+
+std::optional<Heartbeat> DecodeHeartbeat(std::span<const std::byte> payload) {
+  if (payload.size() != 24) return std::nullopt;
+  ByteReader r(payload);
+  Heartbeat v;
+  v.seq = r.Read<uint64_t>();
+  v.cpu_util = r.Read<double>();
+  v.tree_epoch = r.Read<uint64_t>();
+  return v;
+}
+
+std::vector<std::byte> Encode(const KnnRequest& v) {
+  ByteWriter w(28);
+  w.Append(v.req_id);
+  w.Append(v.point.x);
+  w.Append(v.point.y);
+  w.Append(v.k);
+  return w.Take();
+}
+
+std::optional<KnnRequest> DecodeKnnRequest(
+    std::span<const std::byte> payload) {
+  if (payload.size() != 28) return std::nullopt;
+  ByteReader r(payload);
+  KnnRequest v;
+  v.req_id = r.Read<uint64_t>();
+  v.point.x = r.Read<double>();
+  v.point.y = r.Read<double>();
+  v.k = r.Read<uint32_t>();
+  return v;
+}
+
+std::vector<std::vector<std::byte>> EncodeSearchResponse(
+    uint64_t req_id, std::span<const rtree::Entry> entries,
+    size_t max_payload) {
+  assert(max_payload >= 12 + kWireEntryBytes);
+  const size_t per_segment = (max_payload - 12) / kWireEntryBytes;
+  std::vector<std::vector<std::byte>> segments;
+  size_t i = 0;
+  do {
+    const size_t n = std::min(per_segment, entries.size() - i);
+    ByteWriter w(12 + n * kWireEntryBytes);
+    w.Append(req_id);
+    w.Append(static_cast<uint32_t>(n));
+    for (size_t k = 0; k < n; ++k) {
+      const rtree::Entry& e = entries[i + k];
+      AppendRect(w, e.mbr);
+      w.Append(e.id);
+    }
+    segments.push_back(w.Take());
+    i += n;
+  } while (i < entries.size());
+  return segments;
+}
+
+std::optional<SearchResponseSegment> DecodeSearchResponseSegment(
+    std::span<const std::byte> payload) {
+  if (payload.size() < 12) return std::nullopt;
+  ByteReader r(payload);
+  SearchResponseSegment seg;
+  seg.req_id = r.Read<uint64_t>();
+  const uint32_t n = r.Read<uint32_t>();
+  if (payload.size() != 12 + static_cast<size_t>(n) * kWireEntryBytes) {
+    return std::nullopt;
+  }
+  seg.entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    rtree::Entry e;
+    e.mbr = ReadRect(r);
+    e.id = r.Read<uint64_t>();
+    seg.entries.push_back(e);
+  }
+  return seg;
+}
+
+}  // namespace catfish::msg

@@ -1,0 +1,114 @@
+// Application-level message protocol of the Catfish R-tree service.
+//
+// Requests travel client→server, responses server→client, both over the
+// ring buffers. Search responses of arbitrary cardinality are segmented
+// into ring-sized parts chained with the CONT/END flags (paper Fig. 5).
+// The server also broadcasts heartbeats carrying its CPU utilization on
+// the response rings every `Inv` (paper §IV-A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geo/rect.h"
+#include "msg/ring.h"
+#include "rtree/node.h"
+
+namespace catfish::msg {
+
+enum class MsgType : uint16_t {
+  kSearchReq = 1,
+  kSearchResp = 2,
+  kInsertReq = 3,
+  kInsertAck = 4,
+  kDeleteReq = 5,
+  kDeleteAck = 6,
+  kHeartbeat = 7,
+  kKnnReq = 8,
+  kKnnResp = 9,
+};
+
+struct SearchRequest {
+  uint64_t req_id = 0;
+  geo::Rect rect;
+};
+
+struct InsertRequest {
+  uint64_t req_id = 0;
+  geo::Rect rect;
+  uint64_t rect_id = 0;
+};
+
+struct DeleteRequest {
+  uint64_t req_id = 0;
+  geo::Rect rect;
+  uint64_t rect_id = 0;
+};
+
+/// k-nearest-neighbor query. Served on the server only: best-first kNN
+/// has a sequential frontier, so there is nothing to multi-issue and
+/// offloading it would serialize one RTT per node.
+struct KnnRequest {
+  uint64_t req_id = 0;
+  geo::Point point;
+  uint32_t k = 0;
+};
+
+/// Ack for insert/delete. `ok` is 1 on success (a delete of a missing
+/// entry acks with 0).
+struct WriteAck {
+  uint64_t req_id = 0;
+  uint8_t ok = 0;
+};
+
+/// Server→client load report (paper Algorithm 1's u_serv input), plus
+/// the tree's write epoch so clients can invalidate cached internal
+/// nodes with staleness bounded by the heartbeat interval.
+struct Heartbeat {
+  uint64_t seq = 0;
+  double cpu_util = 0.0;  ///< in [0,1]
+  uint64_t tree_epoch = 0;
+};
+
+/// One segment of a search response; a full response is one or more
+/// segments sharing req_id, all but the last flagged CONT.
+struct SearchResponseSegment {
+  uint64_t req_id = 0;
+  std::vector<rtree::Entry> entries;
+};
+
+// --- codecs; each Decode returns nullopt on malformed payloads ---
+
+std::vector<std::byte> Encode(const SearchRequest& v);
+std::vector<std::byte> Encode(const InsertRequest& v);
+std::vector<std::byte> Encode(const DeleteRequest& v);
+std::vector<std::byte> Encode(const WriteAck& v);
+std::vector<std::byte> Encode(const Heartbeat& v);
+std::vector<std::byte> Encode(const KnnRequest& v);
+
+std::optional<SearchRequest> DecodeSearchRequest(
+    std::span<const std::byte> payload);
+std::optional<InsertRequest> DecodeInsertRequest(
+    std::span<const std::byte> payload);
+std::optional<DeleteRequest> DecodeDeleteRequest(
+    std::span<const std::byte> payload);
+std::optional<WriteAck> DecodeWriteAck(std::span<const std::byte> payload);
+std::optional<Heartbeat> DecodeHeartbeat(std::span<const std::byte> payload);
+std::optional<KnnRequest> DecodeKnnRequest(std::span<const std::byte> payload);
+
+/// Splits `entries` into response segments whose encoded payloads each
+/// fit `max_payload` bytes. Always yields at least one segment (possibly
+/// empty, for a zero-result search).
+std::vector<std::vector<std::byte>> EncodeSearchResponse(
+    uint64_t req_id, std::span<const rtree::Entry> entries,
+    size_t max_payload);
+
+std::optional<SearchResponseSegment> DecodeSearchResponseSegment(
+    std::span<const std::byte> payload);
+
+/// Bytes one encoded result entry occupies in a response segment.
+inline constexpr size_t kWireEntryBytes = rtree::kEntryBytes;
+
+}  // namespace catfish::msg

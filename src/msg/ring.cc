@@ -1,0 +1,161 @@
+#include "msg/ring.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/bytes.h"
+
+namespace catfish::msg {
+namespace {
+
+// The ring is written by a remote QP (another thread) while the receiver
+// polls it, so the poll points — the size word and the commit byte — are
+// read through atomic_ref. Message offsets are 8-byte aligned, making the
+// u32 size word naturally aligned.
+uint32_t ReadSizeWord(const std::byte* p) noexcept {
+  return std::atomic_ref<const uint32_t>(
+             *reinterpret_cast<const uint32_t*>(p))
+      .load(std::memory_order_acquire);
+}
+
+uint8_t ReadCommitByte(const std::byte* p) noexcept {
+  return std::atomic_ref<const uint8_t>(*reinterpret_cast<const uint8_t*>(p))
+      .load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RingSender
+// ---------------------------------------------------------------------------
+
+RingSender::RingSender(std::shared_ptr<rdma::QueuePair> qp,
+                       rdma::RemoteAddr ring, size_t capacity,
+                       std::span<std::byte> ack_cell)
+    : qp_(std::move(qp)), ring_(ring), capacity_(capacity),
+      ack_cell_(ack_cell) {
+  assert(capacity_ % kMsgAlign == 0 && capacity_ >= 64);
+  assert(ack_cell_.size() >= sizeof(uint64_t));
+  assert(reinterpret_cast<uintptr_t>(ack_cell_.data()) % 8 == 0);
+}
+
+uint64_t RingSender::acked_head() const noexcept {
+  return std::atomic_ref<const uint64_t>(
+             *reinterpret_cast<const uint64_t*>(ack_cell_.data()))
+      .load(std::memory_order_acquire);
+}
+
+size_t RingSender::MaxPayload() const noexcept {
+  // A message of wire size W is guaranteed sendable (once the ring
+  // drains) iff W plus a worst-case PAD record fits: 2W ≤ capacity.
+  return capacity_ / 2 - kMsgHeaderBytes - 1;
+}
+
+bool RingSender::TrySend(uint16_t type, uint16_t flags,
+                         std::span<const std::byte> payload,
+                         std::optional<uint32_t> imm) {
+  assert(payload.size() <= MaxPayload());
+  const size_t wire = WireSize(payload.size());
+  const uint64_t head = acked_head();
+  const size_t pos = static_cast<size_t>(tail_ % capacity_);
+  const size_t contiguous = capacity_ - pos;
+  const bool need_pad = wire > contiguous;
+  const size_t need = need_pad ? contiguous + wire : wire;
+  if (capacity_ - static_cast<size_t>(tail_ - head) < need) return false;
+
+  if (need_pad) {
+    // A PAD record: only the marker word travels; the receiver skips the
+    // whole remainder of the ring locally.
+    std::byte marker[4];
+    StorePod(marker, 0, kPadMarker);
+    if (!qp_->PostWrite(++wr_id_, marker,
+                        rdma::RemoteAddr{ring_.rkey, ring_.offset + pos},
+                        /*signaled=*/false)) {
+      return false;
+    }
+    tail_ += contiguous;
+  }
+
+  const size_t at = static_cast<size_t>(tail_ % capacity_);
+  std::vector<std::byte> buf(wire);  // zero-initialized padding
+  StorePod(buf, 0, static_cast<uint32_t>(wire));
+  StorePod(buf, 4, static_cast<uint32_t>(payload.size()));
+  StorePod(buf, 8, type);
+  StorePod(buf, 10, flags);
+  std::memcpy(buf.data() + kMsgHeaderBytes, payload.data(), payload.size());
+  buf[wire - 1] = std::byte{kCommitByte};
+
+  // Ring writes are unsignaled: their consumers poll the ring memory
+  // itself (or the remote's recv CQ for IMM), never the local send CQ.
+  const rdma::RemoteAddr dst{ring_.rkey, ring_.offset + at};
+  const bool ok = imm ? qp_->PostWriteImm(++wr_id_, buf, dst, *imm,
+                                          /*signaled=*/false)
+                      : qp_->PostWrite(++wr_id_, buf, dst,
+                                       /*signaled=*/false);
+  if (!ok) return false;
+  tail_ += wire;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// RingReceiver
+// ---------------------------------------------------------------------------
+
+RingReceiver::RingReceiver(std::span<std::byte> ring,
+                           std::shared_ptr<rdma::QueuePair> qp,
+                           rdma::RemoteAddr remote_ack_cell)
+    : ring_(ring), qp_(std::move(qp)), remote_ack_(remote_ack_cell),
+      ack_buf_(sizeof(uint64_t)) {
+  assert(ring_.size() % kMsgAlign == 0 && ring_.size() >= 64);
+}
+
+void RingReceiver::Ack() {
+  StorePod(ack_buf_, 0, head_);
+  qp_->PostWrite(++wr_id_, ack_buf_, remote_ack_, /*signaled=*/false);
+}
+
+std::optional<Message> RingReceiver::TryReceive() {
+  for (;;) {
+    const size_t pos = static_cast<size_t>(head_ % ring_.size());
+    const uint32_t size_word = ReadSizeWord(ring_.data() + pos);
+    if (size_word == 0) return std::nullopt;
+
+    if (size_word == kPadMarker) {
+      const size_t contiguous = ring_.size() - pos;
+      std::memset(ring_.data() + pos, 0, sizeof(uint32_t));
+      head_ += contiguous;
+      Ack();
+      continue;  // the real message is at offset 0
+    }
+
+    if (size_word % kMsgAlign != 0 || size_word < WireSize(0) ||
+        size_word > ring_.size() - pos) {
+      // Corrupt size word: never read out of bounds. This state is
+      // unreachable through the sender protocol; surface it loudly
+      // rather than spinning on garbage.
+      throw std::runtime_error("RingReceiver: corrupt message header");
+    }
+    if (ReadCommitByte(ring_.data() + pos + size_word - 1) != kCommitByte) {
+      // Header landed but the WRITE has not fully arrived yet.
+      return std::nullopt;
+    }
+
+    Message out;
+    const std::span<const std::byte> frame(ring_.data() + pos, size_word);
+    const auto payload_len = LoadPod<uint32_t>(frame, 4);
+    out.type = LoadPod<uint16_t>(frame, 8);
+    out.flags = LoadPod<uint16_t>(frame, 10);
+    out.payload.assign(frame.begin() + kMsgHeaderBytes,
+                       frame.begin() + kMsgHeaderBytes + payload_len);
+
+    // Zero before advancing: the sender may reuse this region the moment
+    // the ack lands, and the poll protocol relies on reading zeroes.
+    std::memset(ring_.data() + pos, 0, size_word);
+    head_ += size_word;
+    Ack();
+    return out;
+  }
+}
+
+}  // namespace catfish::msg

@@ -1,0 +1,88 @@
+// Work completions and completion queues, mirroring ibverbs semantics.
+//
+// A CompletionQueue supports both notification styles the paper compares
+// (§IV-B, Fig 6):
+//   * polling  — Poll() drains ready completions without blocking;
+//   * events   — Wait() blocks on a completion channel and yields the CPU
+//                until the NIC delivers the next completion.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <span>
+
+namespace catfish::rdma {
+
+enum class Opcode : uint8_t {
+  kWrite,        ///< initiator-side completion of RDMA WRITE
+  kRead,         ///< initiator-side completion of RDMA READ
+  kRecvImm,      ///< responder-side completion of RDMA WRITE w/ IMM
+};
+
+enum class WcStatus : uint8_t {
+  kSuccess,
+  kFlushed,             ///< QP torn down with the request outstanding
+  kRemoteAccessError,   ///< remote address outside the registered region
+};
+
+struct WorkCompletion {
+  uint64_t wr_id = 0;     ///< initiator's work-request id (0 for kRecvImm)
+  Opcode opcode = Opcode::kWrite;
+  WcStatus status = WcStatus::kSuccess;
+  uint32_t qp_num = 0;    ///< local QP the completion belongs to
+  uint32_t imm_data = 0;  ///< valid only for kRecvImm
+  uint32_t byte_len = 0;  ///< bytes moved by the operation
+};
+
+class CompletionQueue {
+ public:
+  /// Non-blocking: moves up to out.size() completions into `out`,
+  /// returning how many were delivered (ibv_poll_cq).
+  size_t Poll(std::span<WorkCompletion> out) {
+    const std::scoped_lock lock(mu_);
+    size_t n = 0;
+    while (n < out.size() && !queue_.empty()) {
+      out[n++] = queue_.front();
+      queue_.pop_front();
+    }
+    return n;
+  }
+
+  /// Blocking: waits until a completion is available or `timeout`
+  /// elapses, then pops one. Emulates blocking on a completion event
+  /// channel (ibv_get_cq_event) followed by a poll.
+  std::optional<WorkCompletion> Wait(std::chrono::microseconds timeout) {
+    std::unique_lock lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [this] { return !queue_.empty(); })) {
+      return std::nullopt;
+    }
+    WorkCompletion wc = queue_.front();
+    queue_.pop_front();
+    return wc;
+  }
+
+  /// NIC side: delivers a completion and wakes one waiter.
+  void Push(const WorkCompletion& wc) {
+    {
+      const std::scoped_lock lock(mu_);
+      queue_.push_back(wc);
+    }
+    cv_.notify_one();
+  }
+
+  size_t Depth() const {
+    const std::scoped_lock lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<WorkCompletion> queue_;
+};
+
+}  // namespace catfish::rdma

@@ -1,0 +1,78 @@
+// Network fabric profiles: the three interconnects of the paper's testbed
+// (§V) — 100 Gb EDR InfiniBand, 40 GbE, 1 GbE — plus an instant profile
+// for unit tests.
+//
+// In the real-thread emulation these numbers are *not* injected as sleeps
+// (functional semantics only); they parameterize the discrete-event
+// simulator's link model and the Fig. 9 micro-benchmark math. Values are
+// calibrated to land in the regimes the paper reports: small-message RDMA
+// RTTs of a few microseconds, kernel-TCP RTTs of tens of microseconds.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace catfish::rdma {
+
+struct FabricProfile {
+  std::string name;
+  /// One-way wire+NIC latency for a minimal transfer, microseconds.
+  double base_latency_us = 0.0;
+  /// Link bandwidth in gigabits per second (serialization rate).
+  double bandwidth_gbps = 0.0;
+  /// CPU time to post/complete one verb or socket op on the initiator, µs.
+  double initiator_cpu_us = 0.0;
+  /// CPU time charged on the *target* host per message. Zero for one-sided
+  /// RDMA (the whole point of offloading); the kernel stack for TCP.
+  double target_cpu_us = 0.0;
+  /// True when the target CPU is bypassed (one-sided RDMA).
+  bool one_sided = false;
+
+  /// Serialization time of `bytes` on the link, µs.
+  double SerializationUs(size_t bytes) const noexcept {
+    if (bandwidth_gbps <= 0.0) return 0.0;
+    const double bits = static_cast<double>(bytes) * 8.0;
+    return bits / (bandwidth_gbps * 1e3);  // Gb/s → bits/µs
+  }
+
+  /// One-way delivery latency of a message of `bytes`, µs.
+  double OneWayUs(size_t bytes) const noexcept {
+    return base_latency_us + SerializationUs(bytes);
+  }
+
+  /// Round trip moving `request_bytes` there and `response_bytes` back.
+  double RoundTripUs(size_t request_bytes, size_t response_bytes) const
+      noexcept {
+    return OneWayUs(request_bytes) + OneWayUs(response_bytes);
+  }
+
+  // --- The testbed fabrics (§V) ---
+
+  /// Mellanox ConnectX-5 EDR InfiniBand, RDMA verbs.
+  static FabricProfile InfiniBand100G() {
+    return {"IB-100G", /*base_latency_us=*/1.0, /*bandwidth_gbps=*/100.0,
+            /*initiator_cpu_us=*/0.2, /*target_cpu_us=*/0.0,
+            /*one_sided=*/true};
+  }
+
+  /// Mellanox ConnectX-3 40 GbE with kernel TCP.
+  static FabricProfile Ethernet40G() {
+    return {"TCP-40G", /*base_latency_us=*/15.0, /*bandwidth_gbps=*/40.0,
+            /*initiator_cpu_us=*/2.5, /*target_cpu_us=*/2.5,
+            /*one_sided=*/false};
+  }
+
+  /// Intel I350 1 GbE with kernel TCP.
+  static FabricProfile Ethernet1G() {
+    return {"TCP-1G", /*base_latency_us=*/30.0, /*bandwidth_gbps=*/1.0,
+            /*initiator_cpu_us=*/2.5, /*target_cpu_us=*/2.5,
+            /*one_sided=*/false};
+  }
+
+  /// Zero-cost profile for unit tests of the functional layer.
+  static FabricProfile Instant() {
+    return {"instant", 0.0, 0.0, 0.0, 0.0, true};
+  }
+};
+
+}  // namespace catfish::rdma

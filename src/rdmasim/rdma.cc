@@ -1,0 +1,238 @@
+#include "rdmasim/rdma.h"
+
+#include <cstring>
+
+namespace catfish::rdma {
+namespace {
+
+constexpr size_t kCopyUnit = 64;  // cache-line granularity, like the NIC
+
+// Copies in cache-line units. On real hardware both RDMA and CPU stores
+// are atomic at this granularity; the versioned node layout depends on
+// torn data being *detectable per line*, which this preserves.
+void LineCopy(std::byte* dst, const std::byte* src, size_t n) noexcept {
+  size_t off = 0;
+  while (off < n) {
+    const size_t step = std::min(kCopyUnit, n - off);
+    std::memcpy(dst + off, src + off, step);
+    off += step;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SimNode
+// ---------------------------------------------------------------------------
+
+MemoryRegionHandle SimNode::RegisterMemory(std::span<std::byte> mem) {
+  const std::scoped_lock lock(mu_);
+  regions_.push_back(mem);
+  return MemoryRegionHandle{static_cast<uint32_t>(regions_.size()),
+                            mem.size()};
+}
+
+std::shared_ptr<CompletionQueue> SimNode::CreateCq() {
+  return std::make_shared<CompletionQueue>();
+}
+
+std::shared_ptr<QueuePair> SimNode::CreateQp(
+    std::shared_ptr<CompletionQueue> send_cq,
+    std::shared_ptr<CompletionQueue> recv_cq) {
+  const uint32_t num = next_qp_num_.fetch_add(1, std::memory_order_relaxed);
+  auto qp = std::shared_ptr<QueuePair>(new QueuePair(
+      shared_from_this(), num, std::move(send_cq), std::move(recv_cq)));
+  const std::scoped_lock lock(mu_);
+  qps_[num] = qp;
+  return qp;
+}
+
+std::shared_ptr<QueuePair> SimNode::FindQp(uint32_t qp_num) const {
+  const std::scoped_lock lock(mu_);
+  const auto it = qps_.find(qp_num);
+  return it == qps_.end() ? nullptr : it->second.lock();
+}
+
+std::span<std::byte> SimNode::ResolveMr(uint32_t rkey) const {
+  const std::scoped_lock lock(mu_);
+  if (rkey == 0 || rkey > regions_.size()) return {};
+  return regions_[rkey - 1];
+}
+
+void SimNode::CountSent(uint64_t bytes) {
+  bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void SimNode::CountReceived(uint64_t bytes) {
+  bytes_received_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+NicStats SimNode::stats() const {
+  NicStats s;
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.writes_posted = writes_posted_.load(std::memory_order_relaxed);
+  s.reads_posted = reads_posted_.load(std::memory_order_relaxed);
+  s.reads_served = reads_served_.load(std::memory_order_relaxed);
+  s.imm_delivered = imm_delivered_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SimNode::ResetStats() {
+  bytes_sent_.store(0, std::memory_order_relaxed);
+  bytes_received_.store(0, std::memory_order_relaxed);
+  writes_posted_.store(0, std::memory_order_relaxed);
+  reads_posted_.store(0, std::memory_order_relaxed);
+  reads_served_.store(0, std::memory_order_relaxed);
+  imm_delivered_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// QueuePair
+// ---------------------------------------------------------------------------
+
+void QueuePair::Connect(const std::shared_ptr<QueuePair>& a,
+                        const std::shared_ptr<QueuePair>& b) {
+  {
+    const std::scoped_lock lock(a->peer_mu_);
+    a->peer_ = b;
+    a->peer_node_ = b->node_;
+    a->closed_ = false;
+  }
+  {
+    const std::scoped_lock lock(b->peer_mu_);
+    b->peer_ = a;
+    b->peer_node_ = a->node_;
+    b->closed_ = false;
+  }
+}
+
+bool QueuePair::connected() const {
+  const std::scoped_lock lock(peer_mu_);
+  return !closed_ && !peer_.expired();
+}
+
+void QueuePair::Close() {
+  std::shared_ptr<QueuePair> peer;
+  {
+    const std::scoped_lock lock(peer_mu_);
+    closed_ = true;
+    peer = peer_.lock();
+    peer_.reset();
+  }
+  if (peer) {
+    const std::scoped_lock lock(peer->peer_mu_);
+    peer->closed_ = true;
+    peer->peer_.reset();
+  }
+}
+
+void QueuePair::CompleteLocal(uint64_t wr_id, Opcode op, WcStatus status,
+                              uint32_t byte_len) {
+  WorkCompletion wc;
+  wc.wr_id = wr_id;
+  wc.opcode = op;
+  wc.status = status;
+  wc.qp_num = qp_num_;
+  wc.byte_len = byte_len;
+  send_cq_->Push(wc);
+}
+
+bool QueuePair::PostWrite(uint64_t wr_id, std::span<const std::byte> local,
+                          RemoteAddr dst, bool signaled) {
+  node_->writes_posted_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<QueuePair> peer;
+  std::shared_ptr<SimNode> peer_node;
+  {
+    const std::scoped_lock lock(peer_mu_);
+    peer = peer_.lock();
+    peer_node = peer_node_;
+    if (closed_ || !peer) {
+      CompleteLocal(wr_id, Opcode::kWrite, WcStatus::kFlushed, 0);
+      return false;
+    }
+  }
+  const auto region = peer_node->ResolveMr(dst.rkey);
+  if (dst.offset + local.size() > region.size()) {
+    CompleteLocal(wr_id, Opcode::kWrite, WcStatus::kRemoteAccessError, 0);
+    return false;
+  }
+  LineCopy(region.data() + dst.offset, local.data(), local.size());
+  node_->CountSent(local.size());
+  peer_node->CountReceived(local.size());
+  if (signaled) {
+    CompleteLocal(wr_id, Opcode::kWrite, WcStatus::kSuccess,
+                  static_cast<uint32_t>(local.size()));
+  }
+  return true;
+}
+
+bool QueuePair::PostWriteImm(uint64_t wr_id, std::span<const std::byte> local,
+                             RemoteAddr dst, uint32_t imm, bool signaled) {
+  std::shared_ptr<QueuePair> peer;
+  {
+    const std::scoped_lock lock(peer_mu_);
+    peer = peer_.lock();
+  }
+  if (!PostWrite(wr_id, local, dst, signaled)) return false;
+  // Data is placed before the notification fires, matching the RC
+  // guarantee that the IMM completion observes the written payload.
+  if (peer && peer->recv_cq_) {
+    WorkCompletion wc;
+    wc.wr_id = 0;
+    wc.opcode = Opcode::kRecvImm;
+    wc.status = WcStatus::kSuccess;
+    wc.qp_num = peer->qp_num_;
+    wc.imm_data = imm;
+    wc.byte_len = static_cast<uint32_t>(local.size());
+    peer->recv_cq_->Push(wc);
+    peer->node_->imm_delivered_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool QueuePair::PostRead(uint64_t wr_id, std::span<std::byte> local,
+                         RemoteAddr src) {
+  node_->reads_posted_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<SimNode> peer_node;
+  {
+    const std::scoped_lock lock(peer_mu_);
+    if (closed_ || peer_.expired()) {
+      CompleteLocal(wr_id, Opcode::kRead, WcStatus::kFlushed, 0);
+      return false;
+    }
+    peer_node = peer_node_;
+  }
+  const auto region = peer_node->ResolveMr(src.rkey);
+  if (src.offset + local.size() > region.size()) {
+    CompleteLocal(wr_id, Opcode::kRead, WcStatus::kRemoteAccessError, 0);
+    return false;
+  }
+  // Served entirely by the "NIC": no peer CPU thread participates.
+  LineCopy(local.data(), region.data() + src.offset, local.size());
+  peer_node->reads_served_.fetch_add(1, std::memory_order_relaxed);
+  peer_node->CountSent(local.size());
+  node_->CountReceived(local.size());
+  CompleteLocal(wr_id, Opcode::kRead, WcStatus::kSuccess,
+                static_cast<uint32_t>(local.size()));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Fabric
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<SimNode> Fabric::CreateNode(std::string name) {
+  auto node = std::shared_ptr<SimNode>(new SimNode(name));
+  const std::scoped_lock lock(mu_);
+  nodes_[std::move(name)] = node;
+  return node;
+}
+
+std::shared_ptr<SimNode> Fabric::FindNode(const std::string& name) const {
+  const std::scoped_lock lock(mu_);
+  const auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : it->second.lock();
+}
+
+}  // namespace catfish::rdma

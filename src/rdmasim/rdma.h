@@ -1,0 +1,199 @@
+// In-process emulation of RDMA verbs on reliable connections (RC).
+//
+// This substitutes for the ConnectX NICs + ibverbs stack of the paper's
+// testbed (see DESIGN.md §2). It preserves the semantics Catfish relies
+// on:
+//
+//  * one-sided RDMA READ / WRITE: the target host's CPU threads are never
+//    involved — data moves by direct memory copy against the registered
+//    region, performed in cache-line units (matching the atomicity
+//    granularity the version-number concurrency control assumes);
+//  * RDMA WRITE with Immediate Data: additionally raises a completion on
+//    the responder's receive CQ carrying the 32-bit immediate — the basis
+//    of the event-driven fast-messaging server (§IV-B);
+//  * per-QP ordering: operations posted on one QP complete in order;
+//  * completion queues with both polling and blocking (event-channel)
+//    consumption.
+//
+// Timing is NOT injected here (operations execute synchronously); the
+// fabric profiles parameterize the discrete-event simulator instead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdmasim/completion.h"
+#include "rdmasim/fabric_profile.h"
+
+namespace catfish::rdma {
+
+class SimNode;
+class QueuePair;
+
+/// Remote memory location: a registration key plus a byte offset into
+/// that registration. (Real verbs use virtual addresses; offsets against
+/// the rkey's base are equivalent and harder to misuse.)
+struct RemoteAddr {
+  uint32_t rkey = 0;
+  uint64_t offset = 0;
+};
+
+/// Handle to locally registered memory, exchanged with peers out of band
+/// (the paper exchanges registered addresses over a TCP bootstrap
+/// connection, §II-B).
+struct MemoryRegionHandle {
+  uint32_t rkey = 0;
+  size_t length = 0;
+};
+
+/// Aggregate NIC traffic counters; what Fig 2 measures as "server
+/// bandwidth" comes from these.
+struct NicStats {
+  uint64_t bytes_sent = 0;       ///< payload bytes leaving this node
+  uint64_t bytes_received = 0;   ///< payload bytes arriving at this node
+  uint64_t writes_posted = 0;
+  uint64_t reads_posted = 0;
+  uint64_t reads_served = 0;     ///< one-sided READs served (CPU bypassed)
+  uint64_t imm_delivered = 0;
+};
+
+/// One machine's RDMA device. Created through Fabric::CreateNode.
+class SimNode : public std::enable_shared_from_this<SimNode> {
+ public:
+  const std::string& name() const noexcept { return name_; }
+
+  /// Registers `mem` with the NIC and returns the rkey handle. The memory
+  /// must outlive the node. Registration is done once for the whole
+  /// R-tree arena (paper §III-B: registration is expensive).
+  MemoryRegionHandle RegisterMemory(std::span<std::byte> mem);
+
+  std::shared_ptr<CompletionQueue> CreateCq();
+
+  /// Creates a queue pair whose initiator-side completions go to
+  /// `send_cq` and whose responder-side (WRITE w/ IMM) notifications go
+  /// to `recv_cq`.
+  std::shared_ptr<QueuePair> CreateQp(std::shared_ptr<CompletionQueue> send_cq,
+                                      std::shared_ptr<CompletionQueue> recv_cq);
+
+  NicStats stats() const;
+  void ResetStats();
+
+  /// Resolves a locally created QP by number — what the connection
+  /// manager does with the QPN a peer sent over the bootstrap channel.
+  std::shared_ptr<QueuePair> FindQp(uint32_t qp_num) const;
+
+ private:
+  friend class Fabric;
+  friend class QueuePair;
+
+  explicit SimNode(std::string name) : name_(std::move(name)) {}
+
+  /// Resolves an rkey to the registered bytes; empty span when invalid.
+  std::span<std::byte> ResolveMr(uint32_t rkey) const;
+
+  void CountSent(uint64_t bytes);
+  void CountReceived(uint64_t bytes);
+
+  std::string name_;
+  mutable std::mutex mu_;
+  std::vector<std::span<std::byte>> regions_;
+  std::unordered_map<uint32_t, std::weak_ptr<QueuePair>> qps_;
+  std::atomic<uint32_t> next_qp_num_{1};
+
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> writes_posted_{0};
+  std::atomic<uint64_t> reads_posted_{0};
+  std::atomic<uint64_t> reads_served_{0};
+  std::atomic<uint64_t> imm_delivered_{0};
+};
+
+/// A reliable-connection queue pair. Thread-compatible: one thread posts
+/// at a time (matching verbs usage); distinct QPs are independent.
+class QueuePair {
+ public:
+  uint32_t qp_num() const noexcept { return qp_num_; }
+
+  /// Connects this QP with `peer` (both directions), like exchanging QP
+  /// numbers during connection setup.
+  static void Connect(const std::shared_ptr<QueuePair>& a,
+                      const std::shared_ptr<QueuePair>& b);
+
+  /// One-sided RDMA WRITE of `local` into the peer's memory at `dst`.
+  /// Returns false (and pushes a failed completion) on error. When
+  /// `signaled` is false no success completion is generated (verbs'
+  /// unsignaled sends — used by the ring layer so data-path CQs carry
+  /// only the completions their consumers care about); errors always
+  /// generate a completion.
+  bool PostWrite(uint64_t wr_id, std::span<const std::byte> local,
+                 RemoteAddr dst, bool signaled = true);
+
+  /// RDMA WRITE with Immediate Data: as PostWrite, additionally delivers
+  /// a kRecvImm completion carrying `imm` to the peer QP's recv CQ.
+  bool PostWriteImm(uint64_t wr_id, std::span<const std::byte> local,
+                    RemoteAddr dst, uint32_t imm, bool signaled = true);
+
+  /// One-sided RDMA READ of `local.size()` bytes from the peer's memory
+  /// at `src` into `local`. The peer's CPU is not involved.
+  bool PostRead(uint64_t wr_id, std::span<std::byte> local, RemoteAddr src);
+
+  /// Tears the connection down; subsequent posts fail with kFlushed.
+  void Close();
+
+  bool connected() const;
+
+ private:
+  friend class SimNode;
+
+  QueuePair(std::shared_ptr<SimNode> node, uint32_t qp_num,
+            std::shared_ptr<CompletionQueue> send_cq,
+            std::shared_ptr<CompletionQueue> recv_cq)
+      : node_(std::move(node)),
+        qp_num_(qp_num),
+        send_cq_(std::move(send_cq)),
+        recv_cq_(std::move(recv_cq)) {}
+
+  void CompleteLocal(uint64_t wr_id, Opcode op, WcStatus status,
+                     uint32_t byte_len);
+
+  std::shared_ptr<SimNode> node_;
+  uint32_t qp_num_;
+  std::shared_ptr<CompletionQueue> send_cq_;
+  std::shared_ptr<CompletionQueue> recv_cq_;
+
+  mutable std::mutex peer_mu_;
+  std::weak_ptr<QueuePair> peer_;
+  std::shared_ptr<SimNode> peer_node_;
+  bool closed_ = false;
+};
+
+/// The interconnect: a factory and name registry for nodes sharing one
+/// fabric profile. The registry plays the connection manager's role in
+/// the bootstrap handshake — a peer named in a hello message resolves to
+/// its node, and from there to the QP to pair with.
+class Fabric {
+ public:
+  explicit Fabric(FabricProfile profile) : profile_(std::move(profile)) {}
+
+  /// Creates a node and registers it under `name` (later nodes with the
+  /// same name shadow earlier ones in the registry).
+  std::shared_ptr<SimNode> CreateNode(std::string name);
+
+  /// Looks a node up by name; nullptr when unknown.
+  std::shared_ptr<SimNode> FindNode(const std::string& name) const;
+
+  const FabricProfile& profile() const noexcept { return profile_; }
+
+ private:
+  FabricProfile profile_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::weak_ptr<SimNode>> nodes_;
+};
+
+}  // namespace catfish::rdma

@@ -1,0 +1,77 @@
+#include "rtree/arena.h"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace catfish::rtree {
+
+NodeArena::NodeArena(size_t chunk_size, size_t max_chunks)
+    : chunk_size_(chunk_size), max_chunks_(max_chunks) {
+  if (chunk_size == 0 || chunk_size % kLineSize != 0) {
+    throw std::invalid_argument(
+        "NodeArena chunk_size must be a positive multiple of 64");
+  }
+  if (max_chunks < 2) {
+    throw std::invalid_argument("NodeArena needs at least 2 chunks");
+  }
+  const size_t total = chunk_size * max_chunks;
+  bytes_.reset(static_cast<std::byte*>(
+      ::operator new[](total, std::align_val_t{kLineSize})));
+  std::memset(bytes_.get(), 0, total);
+}
+
+std::span<std::byte> NodeArena::chunk(ChunkId id) noexcept {
+  assert(id < max_chunks_);
+  return {bytes_.get() + OffsetOf(id), chunk_size_};
+}
+
+std::span<const std::byte> NodeArena::chunk(ChunkId id) const noexcept {
+  assert(id < max_chunks_);
+  return {bytes_.get() + OffsetOf(id), chunk_size_};
+}
+
+ChunkId NodeArena::Allocate() {
+  ChunkId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+  } else if (next_fresh_ < max_chunks_) {
+    id = next_fresh_++;
+  } else {
+    throw std::bad_alloc();
+  }
+  InitChunk(chunk(id));
+  ++allocated_;
+  return id;
+}
+
+void NodeArena::Free(ChunkId id) {
+  assert(id != kMetaChunk && id < max_chunks_);
+  assert(allocated_ > 0);
+  free_list_.push_back(id);
+  --allocated_;
+}
+
+NodeArena::Snapshot NodeArena::TakeSnapshot() const {
+  Snapshot snap;
+  const auto mem = memory();
+  snap.bytes.assign(mem.begin(), mem.end());
+  snap.free_list = free_list_;
+  snap.next_fresh = next_fresh_;
+  snap.allocated = allocated_;
+  return snap;
+}
+
+void NodeArena::Restore(const Snapshot& snap) {
+  if (snap.bytes.size() != chunk_size_ * max_chunks_) {
+    throw std::invalid_argument("NodeArena::Restore: geometry mismatch");
+  }
+  std::memcpy(bytes_.get(), snap.bytes.data(), snap.bytes.size());
+  free_list_ = snap.free_list;
+  next_fresh_ = snap.next_fresh;
+  allocated_ = snap.allocated;
+}
+
+}  // namespace catfish::rtree

@@ -1,0 +1,98 @@
+// NodeArena: the single registered memory region holding all R-tree nodes.
+//
+// The paper (§III-B) allocates enough memory on the server to hold the
+// whole R-tree and registers it with the NIC once; clients address nodes
+// as (region base, chunk_id * chunk_size). This class is that region:
+// chunked, 64-byte aligned, with a free list for node allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rtree/layout.h"
+
+namespace catfish::rtree {
+
+using ChunkId = uint32_t;
+inline constexpr ChunkId kInvalidChunk = 0xffffffffu;
+
+/// Chunk 0 is reserved for tree metadata (root id, height); node
+/// allocation starts at chunk 1.
+inline constexpr ChunkId kMetaChunk = 0;
+
+class NodeArena {
+ public:
+  /// `chunk_size` must be a positive multiple of the cache-line size.
+  NodeArena(size_t chunk_size, size_t max_chunks);
+
+  NodeArena(const NodeArena&) = delete;
+  NodeArena& operator=(const NodeArena&) = delete;
+
+  size_t chunk_size() const noexcept { return chunk_size_; }
+  size_t max_chunks() const noexcept { return max_chunks_; }
+  size_t allocated_chunks() const noexcept { return allocated_; }
+  size_t payload_capacity() const noexcept {
+    return PayloadCapacity(chunk_size_);
+  }
+
+  /// Mutable view of one chunk (server-side writers).
+  std::span<std::byte> chunk(ChunkId id) noexcept;
+  std::span<const std::byte> chunk(ChunkId id) const noexcept;
+
+  /// The whole region — what gets registered with the (simulated) NIC.
+  std::span<std::byte> memory() noexcept {
+    return {bytes_.get(), chunk_size_ * max_chunks_};
+  }
+  std::span<const std::byte> memory() const noexcept {
+    return {bytes_.get(), chunk_size_ * max_chunks_};
+  }
+
+  /// Byte offset of a chunk inside the region (the client's RDMA READ
+  /// offset for that node).
+  size_t OffsetOf(ChunkId id) const noexcept {
+    return static_cast<size_t>(id) * chunk_size_;
+  }
+
+  /// Allocates a fresh zero-initialized chunk. Throws std::bad_alloc when
+  /// the region is exhausted (the region cannot grow: it is registered
+  /// with the NIC once).
+  ChunkId Allocate();
+
+  /// Returns a chunk to the free list. The caller must guarantee no
+  /// in-flight readers still hold a reference that it would confuse —
+  /// the versioned layout makes stale reads detectable, not invalid.
+  void Free(ChunkId id);
+
+  /// Point-in-time copy of the whole arena (bytes + allocator state).
+  /// Benchmarks snapshot a freshly built tree and Restore it before each
+  /// run so insert workloads always start from the same dataset.
+  struct Snapshot {
+    std::vector<std::byte> bytes;
+    std::vector<ChunkId> free_list;
+    ChunkId next_fresh = 1;
+    size_t allocated = 0;
+  };
+
+  Snapshot TakeSnapshot() const;
+  /// Restores a snapshot taken from this arena (same geometry required).
+  void Restore(const Snapshot& snap);
+
+ private:
+  struct AlignedDelete {
+    void operator()(std::byte* p) const noexcept {
+      ::operator delete[](p, std::align_val_t{kLineSize});
+    }
+  };
+
+  size_t chunk_size_;
+  size_t max_chunks_;
+  std::unique_ptr<std::byte[], AlignedDelete> bytes_;
+  std::vector<ChunkId> free_list_;
+  ChunkId next_fresh_ = 1;  // chunk 0 = metadata
+  size_t allocated_ = 0;
+};
+
+}  // namespace catfish::rtree

@@ -1,0 +1,132 @@
+#include "rtree/bulk_load.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace catfish::rtree {
+namespace {
+
+/// Splits `total` items into contiguous groups of at most `cap`, each of
+/// at least `min_fill` (except when total < min_fill, which yields one
+/// undersized group — only legal for the root).
+std::vector<size_t> GroupSizes(size_t total, size_t cap, size_t min_fill) {
+  assert(cap >= 2 * min_fill);
+  std::vector<size_t> sizes;
+  size_t remaining = total;
+  while (remaining > cap) {
+    size_t take = cap;
+    if (remaining - take > 0 && remaining - take < min_fill) {
+      take = remaining - min_fill;  // leave a legal final group
+    }
+    sizes.push_back(take);
+    remaining -= take;
+  }
+  if (remaining > 0) sizes.push_back(remaining);
+  return sizes;
+}
+
+double CenterX(const Entry& e) { return (e.mbr.min_x + e.mbr.max_x) / 2; }
+double CenterY(const Entry& e) { return (e.mbr.min_y + e.mbr.max_y) / 2; }
+
+/// Orders one level's entries with STR tiling: sort by x-center, cut into
+/// vertical slabs, sort each slab by y-center.
+void StrOrder(std::vector<Entry>& entries, size_t node_capacity) {
+  const size_t n = entries.size();
+  const size_t pages =
+      (n + node_capacity - 1) / node_capacity;
+  const auto slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(pages))));
+  const size_t slab_items = slabs == 0
+                                ? n
+                                : ((pages + slabs - 1) / slabs) * node_capacity;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return CenterX(a) < CenterX(b);
+            });
+  for (size_t start = 0; start < n; start += slab_items) {
+    const size_t end = std::min(n, start + slab_items);
+    std::sort(entries.begin() + static_cast<ptrdiff_t>(start),
+              entries.begin() + static_cast<ptrdiff_t>(end),
+              [](const Entry& a, const Entry& b) {
+                return CenterY(a) < CenterY(b);
+              });
+  }
+}
+
+geo::Rect MbrOfRange(const std::vector<Entry>& entries, size_t first,
+                     size_t count) {
+  geo::Rect r = geo::Rect::Empty();
+  for (size_t i = 0; i < count; ++i) r = r.Union(entries[first + i].mbr);
+  return r;
+}
+
+void WriteNode(NodeArena& arena, ChunkId id, uint16_t level,
+               const std::vector<Entry>& entries, size_t first,
+               size_t count) {
+  NodeData node;
+  node.self = id;
+  node.level = level;
+  node.count = static_cast<uint16_t>(count);
+  std::copy(entries.begin() + static_cast<ptrdiff_t>(first),
+            entries.begin() + static_cast<ptrdiff_t>(first + count),
+            node.entries.begin());
+  std::byte payload[PayloadCapacity(kChunkSize)] = {};
+  EncodeNode(node, payload);
+  auto chunk = arena.chunk(id);
+  BeginWrite(chunk);
+  ScatterPayload(chunk, payload);
+  EndWrite(chunk);
+}
+
+}  // namespace
+
+RStarTree BulkLoad(NodeArena& arena, std::span<const Entry> items,
+                   BulkLoadConfig cfg) {
+  RStarTree tree = RStarTree::Create(arena, cfg.tree);
+  if (items.empty()) return tree;
+
+  const size_t cap = std::clamp<size_t>(
+      static_cast<size_t>(cfg.fill * static_cast<double>(cfg.tree.max_entries)),
+      2 * cfg.tree.min_entries, cfg.tree.max_entries);
+
+  std::vector<Entry> level_entries(items.begin(), items.end());
+  uint16_t level = 0;
+  while (level_entries.size() > cap) {
+    StrOrder(level_entries, cap);
+    const auto sizes =
+        GroupSizes(level_entries.size(), cap, cfg.tree.min_entries);
+    std::vector<Entry> parents;
+    parents.reserve(sizes.size());
+    size_t first = 0;
+    for (const size_t count : sizes) {
+      const ChunkId id = arena.Allocate();
+      WriteNode(arena, id, level, level_entries, first, count);
+      parents.push_back(Entry{MbrOfRange(level_entries, first, count), id});
+      first += count;
+    }
+    level_entries = std::move(parents);
+    ++level;
+  }
+
+  // The surviving entries become the (pinned) root's content.
+  WriteNode(arena, kRootChunk, level, level_entries, 0, level_entries.size());
+
+  // Rewrite the meta chunk with the final stats and attach to it.
+  TreeMeta meta;
+  meta.root = kRootChunk;
+  meta.height = static_cast<uint32_t>(level + 1);
+  meta.size = items.size();
+  std::byte payload[PayloadCapacity(kChunkSize)] = {};
+  EncodeMeta(meta, payload);
+  auto chunk = arena.chunk(kMetaChunk);
+  BeginWrite(chunk);
+  ScatterPayload(chunk, payload);
+  EndWrite(chunk);
+
+  return RStarTree::Attach(arena, cfg.tree);
+}
+
+}  // namespace catfish::rtree

@@ -1,0 +1,112 @@
+#include "rtree/layout.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+
+namespace catfish::rtree {
+namespace {
+
+// Version words are concurrently read by remote (NIC-thread) readers while
+// the writer mutates them, so all accesses go through relaxed atomics on
+// the raw bytes. Alignment holds because chunks are 64-byte aligned.
+std::atomic<uint32_t>* VersionWord(std::byte* chunk, size_t line) noexcept {
+  return reinterpret_cast<std::atomic<uint32_t>*>(chunk + line * kLineSize);
+}
+
+const std::atomic<uint32_t>* VersionWord(const std::byte* chunk,
+                                         size_t line) noexcept {
+  return reinterpret_cast<const std::atomic<uint32_t>*>(chunk +
+                                                        line * kLineSize);
+}
+
+}  // namespace
+
+uint32_t LineVersion(std::span<const std::byte> chunk, size_t line) noexcept {
+  assert(line < LineCount(chunk.size()));
+  // Atomic load: live arena chunks are read concurrently with writer
+  // version bumps (the seqlock). Copied client buffers are private, for
+  // which the atomic load is merely a plain load.
+  return VersionWord(chunk.data(), line)->load(std::memory_order_acquire);
+}
+
+std::optional<uint32_t> ValidateVersions(
+    std::span<const std::byte> chunk) noexcept {
+  const size_t lines = LineCount(chunk.size());
+  assert(lines > 0);
+  const uint32_t v0 = LineVersion(chunk, 0);
+  if (v0 % 2 != 0) return std::nullopt;
+  for (size_t i = 1; i < lines; ++i) {
+    if (LineVersion(chunk, i) != v0) return std::nullopt;
+  }
+  return v0;
+}
+
+void BeginWrite(std::span<std::byte> chunk) noexcept {
+  const size_t lines = LineCount(chunk.size());
+  for (size_t i = 0; i < lines; ++i) {
+    auto* w = VersionWord(chunk.data(), i);
+    w->store(w->load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+  }
+  // Order the version bump before the payload stores that follow.
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+void EndWrite(std::span<std::byte> chunk) noexcept {
+  // Order the payload stores before the version bump.
+  std::atomic_thread_fence(std::memory_order_release);
+  const size_t lines = LineCount(chunk.size());
+  for (size_t i = 0; i < lines; ++i) {
+    auto* w = VersionWord(chunk.data(), i);
+    const uint32_t v = w->load(std::memory_order_relaxed);
+    assert(v % 2 == 1 && "EndWrite without matching BeginWrite");
+    w->store(v + 1, std::memory_order_relaxed);
+  }
+}
+
+void GatherPayload(std::span<const std::byte> chunk,
+                   std::span<std::byte> out) noexcept {
+  assert(out.size() == PayloadCapacity(chunk.size()));
+  const size_t lines = LineCount(chunk.size());
+  for (size_t i = 0; i < lines; ++i) {
+    std::memcpy(out.data() + i * kLinePayload,
+                chunk.data() + i * kLineSize + kVersionBytes, kLinePayload);
+  }
+}
+
+void ScatterPayload(std::span<std::byte> chunk,
+                    std::span<const std::byte> payload) noexcept {
+  assert(payload.size() <= PayloadCapacity(chunk.size()));
+  size_t remaining = payload.size();
+  size_t line = 0;
+  while (remaining > 0) {
+    const size_t n = remaining < kLinePayload ? remaining : kLinePayload;
+    std::memcpy(chunk.data() + line * kLineSize + kVersionBytes,
+                payload.data() + line * kLinePayload, n);
+    remaining -= n;
+    ++line;
+  }
+}
+
+void GatherPayloadAt(std::span<const std::byte> chunk, size_t offset,
+                     std::span<std::byte> out) noexcept {
+  assert(offset + out.size() <= PayloadCapacity(chunk.size()));
+  size_t written = 0;
+  while (written < out.size()) {
+    const size_t pos = offset + written;
+    const size_t line = pos / kLinePayload;
+    const size_t in_line = pos % kLinePayload;
+    const size_t n =
+        std::min(kLinePayload - in_line, out.size() - written);
+    std::memcpy(out.data() + written,
+                chunk.data() + line * kLineSize + kVersionBytes + in_line, n);
+    written += n;
+  }
+}
+
+void InitChunk(std::span<std::byte> chunk) noexcept {
+  std::memset(chunk.data(), 0, chunk.size());
+}
+
+}  // namespace catfish::rtree

@@ -1,0 +1,73 @@
+#include "rtree/node.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace catfish::rtree {
+
+size_t EncodeNode(const NodeData& node, std::span<std::byte> payload) {
+  assert(node.count <= kMaxFanout);
+  const size_t need = kNodeHeaderBytes + node.count * kEntryBytes;
+  assert(payload.size() >= need);
+  size_t off = 0;
+  StorePod(payload, off, node.level);
+  off += sizeof(uint16_t);
+  StorePod(payload, off, node.count);
+  off += sizeof(uint16_t);
+  StorePod(payload, off, node.self);
+  off += sizeof(uint32_t);
+  for (uint16_t i = 0; i < node.count; ++i) {
+    const Entry& e = node.entries[i];
+    StorePod(payload, off + 0, e.mbr.min_x);
+    StorePod(payload, off + 8, e.mbr.min_y);
+    StorePod(payload, off + 16, e.mbr.max_x);
+    StorePod(payload, off + 24, e.mbr.max_y);
+    StorePod(payload, off + 32, e.id);
+    off += kEntryBytes;
+  }
+  return need;
+}
+
+bool DecodeNode(std::span<const std::byte> payload, NodeData& out) {
+  if (payload.size() < kNodeHeaderBytes) return false;
+  out.level = LoadPod<uint16_t>(payload, 0);
+  out.count = LoadPod<uint16_t>(payload, 2);
+  out.self = LoadPod<uint32_t>(payload, 4);
+  if (out.count > kMaxFanout) return false;
+  if (payload.size() < kNodeHeaderBytes + out.count * kEntryBytes)
+    return false;
+  size_t off = kNodeHeaderBytes;
+  for (uint16_t i = 0; i < out.count; ++i) {
+    Entry& e = out.entries[i];
+    e.mbr.min_x = LoadPod<double>(payload, off + 0);
+    e.mbr.min_y = LoadPod<double>(payload, off + 8);
+    e.mbr.max_x = LoadPod<double>(payload, off + 16);
+    e.mbr.max_y = LoadPod<double>(payload, off + 24);
+    e.id = LoadPod<uint64_t>(payload, off + 32);
+    off += kEntryBytes;
+  }
+  return true;
+}
+
+size_t EncodeMeta(const TreeMeta& meta, std::span<std::byte> payload) {
+  constexpr size_t need = 8 + 4 + 4 + 8;
+  assert(payload.size() >= need);
+  StorePod(payload, 0, meta.magic);
+  StorePod(payload, 8, meta.root);
+  StorePod(payload, 12, meta.height);
+  StorePod(payload, 16, meta.size);
+  return need;
+}
+
+bool DecodeMeta(std::span<const std::byte> payload, TreeMeta& out) {
+  if (payload.size() < 24) return false;
+  out.magic = LoadPod<uint64_t>(payload, 0);
+  out.root = LoadPod<uint32_t>(payload, 8);
+  out.height = LoadPod<uint32_t>(payload, 12);
+  out.size = LoadPod<uint64_t>(payload, 16);
+  return out.magic == TreeMeta::kMagic;
+}
+
+}  // namespace catfish::rtree

@@ -1,0 +1,87 @@
+// Logical R-tree node format and its (de)serialization to chunk payloads.
+//
+// A node occupies exactly one arena chunk. Its logical payload is:
+//
+//   u16 level      0 = leaf, >0 = internal; the root has the highest level
+//   u16 count      number of live entries
+//   u32 self       the node's own chunk id (readers sanity-check this)
+//   Entry[count]   { Rect mbr (4 × f64) ; u64 id }
+//
+// For leaf entries `id` is the application's rectangle id; for internal
+// entries it is the child's chunk id. With the default 1 KB chunk
+// (960 payload bytes) the maximum fan-out is 23, giving a tree of height
+// 5 over the paper's 2 M-rectangle dataset — the same RDMA-round-trip
+// structure as the authors' tree.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "geo/rect.h"
+#include "rtree/arena.h"
+
+namespace catfish::rtree {
+
+/// Default chunk size used by the R-tree (the arena itself is generic).
+inline constexpr size_t kChunkSize = 1024;
+
+struct Entry {
+  geo::Rect mbr;
+  uint64_t id = 0;
+};
+
+inline constexpr size_t kEntryBytes = 4 * sizeof(double) + sizeof(uint64_t);
+inline constexpr size_t kNodeHeaderBytes =
+    sizeof(uint16_t) + sizeof(uint16_t) + sizeof(uint32_t);
+
+/// Maximum entries per node for a given chunk size.
+constexpr size_t MaxFanout(size_t chunk_size) noexcept {
+  return (PayloadCapacity(chunk_size) - kNodeHeaderBytes) / kEntryBytes;
+}
+
+inline constexpr size_t kMaxFanout = MaxFanout(kChunkSize);
+static_assert(kMaxFanout == 23);
+
+/// Decoded in-memory image of one node.
+struct NodeData {
+  uint32_t self = kInvalidChunk;
+  uint16_t level = 0;
+  uint16_t count = 0;
+  std::array<Entry, kMaxFanout> entries{};
+
+  bool IsLeaf() const noexcept { return level == 0; }
+
+  /// MBR over all live entries.
+  geo::Rect ComputeMbr() const noexcept {
+    geo::Rect r = geo::Rect::Empty();
+    for (uint16_t i = 0; i < count; ++i) r = r.Union(entries[i].mbr);
+    return r;
+  }
+};
+
+/// Serializes `node` into a payload buffer of at least
+/// PayloadCapacity(kChunkSize) bytes. Returns the encoded size.
+size_t EncodeNode(const NodeData& node, std::span<std::byte> payload);
+
+/// Deserializes a payload gathered from a chunk. Returns false when the
+/// image is structurally invalid (bad count); torn reads are expected to
+/// be caught by version validation before decoding, but a stale/garbage
+/// payload must never crash the decoder.
+bool DecodeNode(std::span<const std::byte> payload, NodeData& out);
+
+/// Tree metadata stored in chunk 0 (used at connection bootstrap; the
+/// root is pinned to chunk 1 so offloading clients never re-read it).
+struct TreeMeta {
+  uint64_t magic = kMagic;
+  uint32_t root = kInvalidChunk;
+  uint32_t height = 0;  // number of levels; a leaf-only tree has height 1
+  uint64_t size = 0;    // number of data rectangles
+
+  static constexpr uint64_t kMagic = 0x4341544649534821ULL;  // "CATFISH!"
+};
+
+size_t EncodeMeta(const TreeMeta& meta, std::span<std::byte> payload);
+bool DecodeMeta(std::span<const std::byte> payload, TreeMeta& out);
+
+}  // namespace catfish::rtree

@@ -1,0 +1,182 @@
+// R*-tree over a versioned NodeArena.
+//
+// This is the server-side spatial index of the paper: an R-tree using the
+// R*-tree heuristics (Beckmann et al., SIGMOD'90) for choose-subtree,
+// forced reinsertion and node splits (paper §II-A, §III-A).
+//
+// Concurrency model (paper §III):
+//  * Writers (insert/delete) are serialized by `writer_mutex_` — in
+//    Catfish all mutations are executed by server threads, so a writer
+//    lock suffices for write-write conflicts.
+//  * Readers never lock. Both local server threads and remote offloading
+//    clients read nodes optimistically and validate the FaRM-style
+//    per-cache-line versions (see layout.h), retrying torn reads. This is
+//    exactly the read-write conflict mechanism of §III-B.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "geo/rect.h"
+#include "rtree/arena.h"
+#include "rtree/node.h"
+
+namespace catfish::rtree {
+
+/// The root node is pinned to chunk 1 for its whole lifetime (root splits
+/// rewrite it in place), so offloading clients can cache its address.
+inline constexpr ChunkId kRootChunk = 1;
+
+struct RStarConfig {
+  /// Maximum entries per node (M). Defaults to the chunk capacity.
+  size_t max_entries = kMaxFanout;
+  /// Minimum fill (m); the R* paper recommends 40% of M.
+  size_t min_entries = kMaxFanout * 2 / 5;
+  /// Enable R* forced reinsertion on first overflow per level.
+  bool forced_reinsert = true;
+  /// Fraction of M entries removed on forced reinsertion (R*: p = 30%).
+  double reinsert_fraction = 0.3;
+};
+
+struct SearchStats {
+  uint64_t nodes_visited = 0;  ///< nodes read during the traversal
+  uint64_t results = 0;        ///< matching rectangles found
+  uint64_t read_retries = 0;   ///< optimistic-read retries (torn reads)
+};
+
+/// Per-level node counts of one search, root level first. In an
+/// offloaded multi-issue traversal, level i is fetched in round i with
+/// `nodes_per_level[i]` concurrent RDMA READs — this trace is what the
+/// discrete-event simulator charges network costs from.
+struct TraversalTrace {
+  std::vector<uint32_t> nodes_per_level;
+
+  uint64_t TotalNodes() const noexcept {
+    uint64_t n = 0;
+    for (uint32_t c : nodes_per_level) n += c;
+    return n;
+  }
+  size_t Rounds() const noexcept { return nodes_per_level.size(); }
+};
+
+class RStarTree {
+ public:
+  /// Initializes a fresh empty tree in `arena` (writes the meta chunk and
+  /// an empty root at chunk 1). The arena must be newly constructed.
+  static RStarTree Create(NodeArena& arena, RStarConfig cfg = {});
+
+  /// Attaches to a tree previously built in `arena`.
+  static RStarTree Attach(NodeArena& arena, RStarConfig cfg = {});
+
+  /// Movable so the factory functions can return by value. Moving while
+  /// other threads use the source is undefined (as for any container).
+  RStarTree(RStarTree&& other) noexcept
+      : arena_(other.arena_),
+        cfg_(other.cfg_),
+        size_(other.size_.load(std::memory_order_relaxed)),
+        height_(other.height_.load(std::memory_order_relaxed)) {}
+  RStarTree(const RStarTree&) = delete;
+  RStarTree& operator=(const RStarTree&) = delete;
+  RStarTree& operator=(RStarTree&&) = delete;
+
+  /// Inserts a rectangle. `id` is an opaque application identifier; the
+  /// tree allows duplicate rects and duplicate ids.
+  void Insert(const geo::Rect& rect, uint64_t id);
+
+  /// Deletes one entry matching (rect, id) exactly. Returns false when no
+  /// such entry exists.
+  bool Delete(const geo::Rect& rect, uint64_t id);
+
+  /// Appends all entries intersecting `query` to `out`; returns the
+  /// number of matches. Safe to call concurrently with writers.
+  size_t Search(const geo::Rect& query, std::vector<Entry>& out) const;
+
+  /// Search variant that also reports traversal statistics and the
+  /// per-level trace (either pointer may be null).
+  size_t SearchTraced(const geo::Rect& query, std::vector<Entry>& out,
+                      SearchStats* stats, TraversalTrace* trace) const;
+
+  /// k nearest neighbors of `p` by MINDIST best-first search (Hjaltason
+  /// & Samet). Results are appended in increasing distance order. Safe
+  /// to call concurrently with writers (optimistic reads). Note: the
+  /// best-first frontier is inherently sequential, which is why Catfish
+  /// serves kNN on the server (fast messaging) rather than offloading —
+  /// there is no independent frontier to multi-issue.
+  size_t NearestNeighbors(const geo::Point& p, size_t k,
+                          std::vector<Entry>& out,
+                          SearchStats* stats = nullptr) const;
+
+  uint64_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  /// Monotonic write counter, bumped by every Insert/Delete. Heartbeats
+  /// carry it so clients can bound the staleness of cached internal
+  /// nodes (client-side top-level caching, cf. Cell [10] in §VII).
+  uint64_t write_epoch() const noexcept {
+    return write_epoch_.load(std::memory_order_relaxed);
+  }
+  /// Number of levels (1 for a leaf-only tree).
+  uint32_t height() const noexcept {
+    return height_.load(std::memory_order_relaxed);
+  }
+  ChunkId root() const noexcept { return kRootChunk; }
+  const RStarConfig& config() const noexcept { return cfg_; }
+  NodeArena& arena() noexcept { return *arena_; }
+
+  /// Optimistic seqlock read of one node; loops until a consistent image
+  /// decodes. Exposed for the offloading client code path and tests.
+  /// Returns the number of retries performed.
+  uint64_t ReadNode(ChunkId id, NodeData& out) const;
+
+  /// Serializes external writers with the tree's own writers (used by the
+  /// server to interleave client write requests).
+  std::mutex& writer_mutex() noexcept { return writer_mutex_; }
+
+  /// Test support: walks the whole tree validating structural invariants
+  /// (MBR containment, level monotonicity, fill bounds, size). Aborts via
+  /// assertion-style exceptions on violation. Not thread-safe vs writers.
+  void CheckInvariants() const;
+
+  /// Test support: collects every leaf entry in the tree.
+  void CollectAll(std::vector<Entry>& out) const;
+
+ private:
+  RStarTree(NodeArena& arena, RStarConfig cfg);
+
+  // --- writer-side node IO (caller holds writer_mutex_) ---
+  void LoadNode(ChunkId id, NodeData& out) const;
+  void StoreNode(const NodeData& node);
+  void StoreMeta();
+
+  // --- insertion machinery ---
+  size_t ChooseSubtree(const NodeData& node, const geo::Rect& rect) const;
+  std::vector<ChunkId> ChoosePath(const geo::Rect& rect,
+                                  uint16_t target_level) const;
+  void InsertAtLevel(const Entry& e, uint16_t level, uint32_t& reinsert_mask);
+  void AddEntryToNode(const std::vector<ChunkId>& path, const Entry& e,
+                      uint32_t& reinsert_mask);
+  void AdjustUpward(const std::vector<ChunkId>& path);
+  void SplitNode(const std::vector<ChunkId>& path, NodeData& node,
+                 std::vector<Entry> all, uint32_t& reinsert_mask);
+  static void RStarSplit(const RStarConfig& cfg, std::vector<Entry>& all,
+                         std::vector<Entry>& g1, std::vector<Entry>& g2);
+
+  // --- deletion machinery ---
+  bool FindLeafPath(ChunkId node_id, const geo::Rect& rect, uint64_t id,
+                    std::vector<ChunkId>& path) const;
+
+  void CheckNode(ChunkId id, uint16_t expected_level, bool is_root,
+                 uint64_t& leaf_entries) const;
+
+  NodeArena* arena_;
+  RStarConfig cfg_;
+  mutable std::mutex writer_mutex_;
+  std::atomic<uint64_t> size_{0};
+  std::atomic<uint32_t> height_{1};
+  std::atomic<uint64_t> write_epoch_{0};
+};
+
+}  // namespace catfish::rtree

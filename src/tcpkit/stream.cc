@@ -1,0 +1,107 @@
+#include "tcpkit/stream.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace catfish::tcpkit {
+
+struct Stream::Shared {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::byte> buf[2];  // buf[i] holds bytes flowing toward side i
+  bool closed = false;
+};
+
+std::pair<std::shared_ptr<Stream>, std::shared_ptr<Stream>>
+Stream::CreatePair() {
+  auto shared = std::make_shared<Shared>();
+  auto a = std::shared_ptr<Stream>(new Stream(shared, 0));
+  auto b = std::shared_ptr<Stream>(new Stream(shared, 1));
+  return {std::move(a), std::move(b)};
+}
+
+bool Stream::Send(std::span<const std::byte> data) {
+  {
+    const std::scoped_lock lock(shared_->mu);
+    if (shared_->closed) return false;
+    auto& peer_buf = shared_->buf[1 - side_];
+    peer_buf.insert(peer_buf.end(), data.begin(), data.end());
+  }
+  shared_->cv.notify_all();
+  return true;
+}
+
+size_t Stream::Recv(std::span<std::byte> out,
+                    std::chrono::microseconds timeout) {
+  std::unique_lock lock(shared_->mu);
+  auto& my_buf = shared_->buf[side_];
+  if (!shared_->cv.wait_for(lock, timeout, [&] {
+        return !my_buf.empty() || shared_->closed;
+      })) {
+    return 0;
+  }
+  const size_t n = std::min(out.size(), my_buf.size());
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = my_buf.front();
+    my_buf.pop_front();
+  }
+  return n;
+}
+
+void Stream::Close() {
+  {
+    const std::scoped_lock lock(shared_->mu);
+    shared_->closed = true;
+  }
+  shared_->cv.notify_all();
+}
+
+bool Stream::closed() const {
+  const std::scoped_lock lock(shared_->mu);
+  return shared_->closed;
+}
+
+bool FramedConnection::SendFrame(uint16_t type, uint16_t flags,
+                                 std::span<const std::byte> payload) {
+  std::vector<std::byte> frame(8 + payload.size());
+  StorePod(frame, 0, static_cast<uint32_t>(payload.size()));
+  StorePod(frame, 4, type);
+  StorePod(frame, 6, flags);
+  std::memcpy(frame.data() + 8, payload.data(), payload.size());
+  return stream_->Send(frame);
+}
+
+bool FramedConnection::RecvExact(std::span<std::byte> out,
+                                 std::chrono::microseconds timeout) {
+  // A single deadline covers the whole frame (streams deliver partial
+  // reads like real sockets).
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  size_t got = 0;
+  while (got < out.size()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const auto remain =
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now);
+    const size_t n = stream_->Recv(out.subspan(got), remain);
+    if (n == 0 && stream_->closed()) return false;
+    got += n;
+  }
+  return true;
+}
+
+std::optional<msg::Message> FramedConnection::RecvFrame(
+    std::chrono::microseconds timeout) {
+  std::byte header[8];
+  if (!RecvExact(header, timeout)) return std::nullopt;
+  const auto len = LoadPod<uint32_t>(header, 0);
+  msg::Message m;
+  m.type = LoadPod<uint16_t>(header, 4);
+  m.flags = LoadPod<uint16_t>(header, 6);
+  m.payload.resize(len);
+  if (len > 0 && !RecvExact(m.payload, timeout)) return std::nullopt;
+  return m;
+}
+
+}  // namespace catfish::tcpkit

@@ -1,0 +1,146 @@
+#include "tcpkit/tcp_rtree.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace catfish::tcpkit {
+
+using namespace std::chrono_literals;
+
+TcpRTreeServer::TcpRTreeServer(rtree::RStarTree& tree, TcpServerConfig cfg)
+    : tree_(&tree), cfg_(cfg) {}
+
+TcpRTreeServer::~TcpRTreeServer() { Stop(); }
+
+void TcpRTreeServer::Stop() {
+  if (stop_.exchange(true)) return;
+  const std::scoped_lock lock(workers_mu_);
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::shared_ptr<Stream> TcpRTreeServer::Connect() {
+  auto [server_end, client_end] = Stream::CreatePair();
+  const std::scoped_lock lock(workers_mu_);
+  if (stop_.load()) {
+    throw std::runtime_error("TcpRTreeServer: connect after stop");
+  }
+  workers_.emplace_back(
+      [this, endpoint = std::move(server_end)]() mutable {
+        WorkerLoop(std::move(endpoint));
+      });
+  return client_end;
+}
+
+void TcpRTreeServer::WorkerLoop(std::shared_ptr<Stream> endpoint) {
+  FramedConnection conn(std::move(endpoint));
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto m = conn.RecvFrame(1ms);
+    if (!m) {
+      if (conn.closed()) return;
+      continue;
+    }
+    Handle(conn, *m);
+  }
+}
+
+void TcpRTreeServer::Handle(FramedConnection& conn, const msg::Message& m) {
+  switch (static_cast<msg::MsgType>(m.type)) {
+    case msg::MsgType::kSearchReq: {
+      const auto req = msg::DecodeSearchRequest(m.payload);
+      if (!req) return;
+      std::vector<rtree::Entry> results;
+      tree_->Search(req->rect, results);
+      searches_.fetch_add(1, std::memory_order_relaxed);
+      const auto segments = msg::EncodeSearchResponse(
+          req->req_id, results, cfg_.max_segment_payload);
+      for (size_t i = 0; i < segments.size(); ++i) {
+        const uint16_t flags =
+            i + 1 < segments.size() ? msg::kFlagCont : msg::kFlagEnd;
+        conn.SendFrame(static_cast<uint16_t>(msg::MsgType::kSearchResp),
+                       flags, segments[i]);
+      }
+      return;
+    }
+    case msg::MsgType::kInsertReq: {
+      const auto req = msg::DecodeInsertRequest(m.payload);
+      if (!req) return;
+      tree_->Insert(req->rect, req->rect_id);
+      inserts_.fetch_add(1, std::memory_order_relaxed);
+      conn.SendFrame(static_cast<uint16_t>(msg::MsgType::kInsertAck),
+                     msg::kFlagEnd, msg::Encode(msg::WriteAck{req->req_id, 1}));
+      return;
+    }
+    case msg::MsgType::kDeleteReq: {
+      const auto req = msg::DecodeDeleteRequest(m.payload);
+      if (!req) return;
+      const bool ok = tree_->Delete(req->rect, req->rect_id);
+      deletes_.fetch_add(1, std::memory_order_relaxed);
+      conn.SendFrame(
+          static_cast<uint16_t>(msg::MsgType::kDeleteAck), msg::kFlagEnd,
+          msg::Encode(msg::WriteAck{req->req_id, ok ? uint8_t{1} : uint8_t{0}}));
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+TcpRTreeClient::TcpRTreeClient(TcpRTreeServer& server)
+    : conn_(server.Connect()) {}
+
+msg::Message TcpRTreeClient::Await() {
+  auto m = conn_.RecvFrame(30s);
+  if (!m) throw std::runtime_error("tcp client: response timed out");
+  return std::move(*m);
+}
+
+std::vector<rtree::Entry> TcpRTreeClient::Search(const geo::Rect& rect) {
+  const uint64_t req_id = ++next_req_id_;
+  conn_.SendFrame(static_cast<uint16_t>(msg::MsgType::kSearchReq),
+                  msg::kFlagEnd,
+                  msg::Encode(msg::SearchRequest{req_id, rect}));
+  std::vector<rtree::Entry> results;
+  for (;;) {
+    const msg::Message m = Await();
+    if (static_cast<msg::MsgType>(m.type) != msg::MsgType::kSearchResp) {
+      throw std::logic_error("tcp client: expected search response");
+    }
+    const auto seg = msg::DecodeSearchResponseSegment(m.payload);
+    if (!seg || seg->req_id != req_id) {
+      throw std::logic_error("tcp client: response id mismatch");
+    }
+    results.insert(results.end(), seg->entries.begin(), seg->entries.end());
+    if (m.flags & msg::kFlagEnd) break;
+  }
+  return results;
+}
+
+bool TcpRTreeClient::Insert(const geo::Rect& rect, uint64_t id) {
+  const uint64_t req_id = ++next_req_id_;
+  conn_.SendFrame(static_cast<uint16_t>(msg::MsgType::kInsertReq),
+                  msg::kFlagEnd,
+                  msg::Encode(msg::InsertRequest{req_id, rect, id}));
+  const msg::Message m = Await();
+  const auto ack = msg::DecodeWriteAck(m.payload);
+  if (!ack || ack->req_id != req_id) {
+    throw std::logic_error("tcp client: ack mismatch");
+  }
+  return ack->ok != 0;
+}
+
+bool TcpRTreeClient::Delete(const geo::Rect& rect, uint64_t id) {
+  const uint64_t req_id = ++next_req_id_;
+  conn_.SendFrame(static_cast<uint16_t>(msg::MsgType::kDeleteReq),
+                  msg::kFlagEnd,
+                  msg::Encode(msg::DeleteRequest{req_id, rect, id}));
+  const msg::Message m = Await();
+  const auto ack = msg::DecodeWriteAck(m.payload);
+  if (!ack || ack->req_id != req_id) {
+    throw std::logic_error("tcp client: ack mismatch");
+  }
+  return ack->ok != 0;
+}
+
+}  // namespace catfish::tcpkit

@@ -1,0 +1,192 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace catfish::workload {
+namespace {
+
+geo::Rect RectAt(double x, double y, double w, double h) {
+  // Clamp into the unit square, preserving the requested size when it
+  // fits (the paper normalizes everything into [0,1]^2).
+  const double x0 = std::clamp(x, 0.0, 1.0 - w);
+  const double y0 = std::clamp(y, 0.0, 1.0 - h);
+  return geo::Rect{x0, y0, x0 + w, y0 + h};
+}
+
+}  // namespace
+
+geo::Rect UniformRect(Xoshiro256& rng, double max_edge) {
+  const double w = rng.NextDouble() * max_edge;
+  const double h = rng.NextDouble() * max_edge;
+  return RectAt(rng.NextDouble() * (1.0 - w), rng.NextDouble() * (1.0 - h),
+                w, h);
+}
+
+geo::Rect PowerLawScaleRect(Xoshiro256& rng, double lo, double hi,
+                            double exponent) {
+  const double scale = rng.PowerLaw(lo, hi, exponent);
+  return UniformRect(rng, scale);
+}
+
+geo::Rect SkewedInsertRect(Xoshiro256& rng, double max_edge) {
+  double x = rng.PowerLaw(0.5, 1.0, -0.99);
+  double y = rng.PowerLaw(0.5, 1.0, -0.99);
+  // "randomly offset the insert position (x, y) to one of (x, y),
+  // (1-x, y), (x, 1-y) and (1-x, 1-y)" — reflecting the skew into all
+  // four corners of the space (city areas).
+  const uint64_t corner = rng.NextBounded(4);
+  if (corner & 1) x = 1.0 - x;
+  if (corner & 2) y = 1.0 - y;
+  const double w = rng.NextDouble() * max_edge;
+  const double h = rng.NextDouble() * max_edge;
+  return RectAt(x, y, w, h);
+}
+
+std::vector<rtree::Entry> UniformDataset(size_t n, double max_edge,
+                                         uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<rtree::Entry> items;
+  items.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    items.push_back({UniformRect(rng, max_edge), i});
+  }
+  return items;
+}
+
+namespace {
+
+/// Shared sub-region grid geometry so the dataset builder and the query
+/// generator agree on where streets exist. grid_x × grid_y cells, the
+/// first `regions` of which (row-major from the north-west) are
+/// populated — no empty map holes inside the covered area.
+struct Rea02Grid {
+  size_t regions;
+  size_t grid_x;
+  size_t grid_y;
+  double region_w;
+  double region_h;
+};
+
+Rea02Grid ComputeGrid(const Rea02Config& cfg) {
+  Rea02Grid g;
+  g.regions = (cfg.total + cfg.region_size - 1) / cfg.region_size;
+  g.grid_x = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(g.regions))));
+  g.grid_y = (g.regions + g.grid_x - 1) / g.grid_x;
+  g.region_w = 1.0 / static_cast<double>(g.grid_x);
+  g.region_h = 1.0 / static_cast<double>(g.grid_y);
+  return g;
+}
+
+}  // namespace
+
+Rea02Dataset BuildRea02Synthetic(uint64_t seed, Rea02Config cfg) {
+  Xoshiro256 rng(seed);
+  Rea02Dataset out;
+  out.config = cfg;
+  out.insert_order.reserve(cfg.total);
+
+  const Rea02Grid g = ComputeGrid(cfg);
+  const size_t regions = g.regions;
+  const double region_w = g.region_w;
+
+  // Inside a region: rows of street segments, row-major. Rows run
+  // north→south, segments west→east (the dataset's documented order).
+  const auto rows = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(cfg.region_size))));
+  const size_t segs_per_row = (cfg.region_size + rows - 1) / rows;
+  const double row_h = g.region_h / static_cast<double>(rows);
+  const double seg_w = region_w / static_cast<double>(segs_per_row);
+
+  // "sub-regions are inserted in a random order"
+  std::vector<size_t> region_ids(regions);
+  for (size_t i = 0; i < regions; ++i) region_ids[i] = i;
+  for (size_t i = regions; i > 1; --i) {
+    std::swap(region_ids[i - 1], region_ids[rng.NextBounded(i)]);
+  }
+
+  uint64_t id = 0;
+  for (const size_t r : region_ids) {
+    if (out.insert_order.size() >= cfg.total) break;
+    const double rx = static_cast<double>(r % g.grid_x) * region_w;
+    const double ry =
+        1.0 - static_cast<double>(r / g.grid_x + 1) * g.region_h;
+    for (size_t row = 0; row < rows; ++row) {
+      const double y_top =
+          ry + g.region_h - static_cast<double>(row) * row_h;
+      for (size_t s = 0; s < segs_per_row; ++s) {
+        if (out.insert_order.size() >= cfg.total) break;
+        const double x = rx + static_cast<double>(s) * seg_w;
+        // Street segments: thin boxes with jittered extents, axis
+        // alternating with the row parity (avenue vs street blocks).
+        const double len = seg_w * (0.7 + 0.3 * rng.NextDouble());
+        const double thick = row_h * 0.12 * (0.5 + rng.NextDouble());
+        const double jitter_y = row_h * 0.3 * rng.NextDouble();
+        geo::Rect rect{x, y_top - thick - jitter_y, x + len,
+                       y_top - jitter_y};
+        rect.min_y = std::max(0.0, rect.min_y);
+        rect.max_y = std::min(1.0, std::max(rect.max_y, rect.min_y));
+        rect.max_x = std::min(1.0, rect.max_x);
+        out.insert_order.push_back({rect, id++});
+      }
+    }
+  }
+  return out;
+}
+
+geo::Rect Rea02Query(Xoshiro256& rng, const Rea02Config& cfg) {
+  // Target cardinality uniform in [lo, hi]. Queries land inside a
+  // populated sub-region (the real query file queries mapped streets):
+  // with region density total/(regions·region_area), a square of area
+  // k / density intersects ≈ k segments.
+  const Rea02Grid g = ComputeGrid(cfg);
+  const uint32_t k = cfg.query_results_lo +
+                     static_cast<uint32_t>(rng.NextBounded(
+                         cfg.query_results_hi - cfg.query_results_lo + 1));
+  const double density = static_cast<double>(cfg.total) /
+                         (static_cast<double>(g.regions) * g.region_w *
+                          g.region_h);
+  const double side = std::sqrt(static_cast<double>(k) / density);
+
+  const size_t r = rng.NextBounded(g.regions);
+  const double rx = static_cast<double>(r % g.grid_x) * g.region_w;
+  const double ry = 1.0 - static_cast<double>(r / g.grid_x + 1) * g.region_h;
+  const double x = rx + rng.NextDouble() * std::max(0.0, g.region_w - side);
+  const double y = ry + rng.NextDouble() * std::max(0.0, g.region_h - side);
+  return geo::Rect{x, y, std::min(1.0, x + side), std::min(1.0, y + side)};
+}
+
+double RequestGen::NextScale() {
+  switch (cfg_.dist) {
+    case ScaleDist::kPowerLaw:
+      return rng_.PowerLaw(cfg_.pl_lo, cfg_.pl_hi, cfg_.pl_exponent);
+    case ScaleDist::kFixed:
+    default:
+      return cfg_.scale;
+  }
+}
+
+Request RequestGen::Next() {
+  Request req;
+  if (cfg_.insert_ratio > 0.0 && rng_.NextDouble() < cfg_.insert_ratio) {
+    req.op = OpType::kInsert;
+    // Inserts keep the workload's scale even under kRea02 (the paper's
+    // hybrid runs only use the synthetic scales).
+    const double scale =
+        cfg_.dist == ScaleDist::kRea02 ? cfg_.scale : NextScale();
+    req.rect = SkewedInsertRect(rng_, scale);
+    req.id = cfg_.first_insert_id + next_insert_id_++;
+    return req;
+  }
+  req.op = OpType::kSearch;
+  if (cfg_.dist == ScaleDist::kRea02) {
+    req.rect = Rea02Query(rng_, cfg_.rea02);
+  } else {
+    req.rect = UniformRect(rng_, NextScale());
+  }
+  return req;
+}
+
+}  // namespace catfish::workload

@@ -1,0 +1,115 @@
+// Workload generation for the paper's experiments (§I, §V).
+//
+//  * Datasets: 2 M uniform rectangles with edges in (0, 1e-4] (§V-B),
+//    and a synthetic stand-in for the rea02 real-world dataset (§V-C) —
+//    California street segments with the published insertion-order
+//    structure (random sub-regions of ~20 k, row-major west→east inside,
+//    rows north→south).
+//  * Search requests: "scale s" means edges uniform in (0, s] at a
+//    uniform location; the power-law workload draws s itself from
+//    f(t) ∝ t^-0.99 over (1e-5, 1e-2] — skewed toward small scopes.
+//  * Insert requests: locations skewed toward the corners through the
+//    paper's power-law + reflection scheme ("city areas").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/rect.h"
+#include "rtree/node.h"
+
+namespace catfish::workload {
+
+/// Rectangle with edges uniform in (0, max_edge], uniform location,
+/// clamped into the unit square.
+geo::Rect UniformRect(Xoshiro256& rng, double max_edge);
+
+/// Search rect whose scale is drawn from the paper's power law
+/// f(t) ∝ t^exponent over [lo, hi], then edges uniform in (0, scale].
+geo::Rect PowerLawScaleRect(Xoshiro256& rng, double lo = 1e-5,
+                            double hi = 1e-2, double exponent = -0.99);
+
+/// Insert rect per §V-B: x and y drawn from f(t) ∝ t^-0.99 on (0.5, 1],
+/// then the point reflected uniformly into one of the four quadrant
+/// corners; edges uniform in (0, max_edge].
+geo::Rect SkewedInsertRect(Xoshiro256& rng, double max_edge);
+
+/// The main dataset of §V-B: `n` rectangles with edges in (0, max_edge].
+std::vector<rtree::Entry> UniformDataset(size_t n, double max_edge,
+                                         uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// rea02 synthetic stand-in (§V-C)
+// ---------------------------------------------------------------------------
+
+struct Rea02Config {
+  /// The real dataset has 1,888,012 street-segment rectangles.
+  size_t total = 1'888'012;
+  /// "grouped as sub-regions which have roughly 20,000 objects".
+  size_t region_size = 20'000;
+  /// Mean result cardinality of the query file (uniform in [lo, hi]).
+  uint32_t query_results_lo = 50;
+  uint32_t query_results_hi = 150;
+};
+
+struct Rea02Dataset {
+  Rea02Config config;
+  /// Rectangles in the dataset's *insertion order* (sub-regions shuffled,
+  /// row-major inside a sub-region).
+  std::vector<rtree::Entry> insert_order;
+};
+
+/// Builds the synthetic street grid. Deterministic for a given seed.
+Rea02Dataset BuildRea02Synthetic(uint64_t seed, Rea02Config cfg = {});
+
+/// A query sized so that, against a uniformly dense street grid of
+/// `cfg.total` segments, the expected result count is uniform in
+/// [query_results_lo, query_results_hi] (mean 100, like the real query
+/// file).
+geo::Rect Rea02Query(Xoshiro256& rng, const Rea02Config& cfg);
+
+// ---------------------------------------------------------------------------
+// Request streams
+// ---------------------------------------------------------------------------
+
+enum class OpType : uint8_t { kSearch, kInsert };
+
+struct Request {
+  OpType op = OpType::kSearch;
+  geo::Rect rect;
+  uint64_t id = 0;  ///< rectangle id for inserts
+};
+
+/// Per-client request generator reproducing the §V-B workloads:
+/// search-only or 90/10 search/insert, at a fixed or power-law scale.
+class RequestGen {
+ public:
+  enum class ScaleDist : uint8_t { kFixed, kPowerLaw, kRea02 };
+
+  struct Config {
+    ScaleDist dist = ScaleDist::kFixed;
+    double scale = 1e-5;          ///< fixed-scale workloads (1e-5 / 1e-2)
+    double pl_lo = 1e-5;          ///< power-law scale range
+    double pl_hi = 1e-2;
+    double pl_exponent = -0.99;
+    Rea02Config rea02;            ///< query geometry for kRea02
+    double insert_ratio = 0.0;    ///< 0.1 for the hybrid workloads
+    uint64_t first_insert_id = 1ull << 32;  ///< ids disjoint from dataset
+  };
+
+  RequestGen(Config cfg, uint64_t seed) : cfg_(cfg), rng_(seed) {}
+
+  Request Next();
+
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  double NextScale();
+
+  Config cfg_;
+  Xoshiro256 rng_;
+  uint64_t next_insert_id_ = 0;
+};
+
+}  // namespace catfish::workload

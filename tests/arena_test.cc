@@ -1,0 +1,72 @@
+#include "rtree/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <set>
+#include <stdexcept>
+
+namespace catfish::rtree {
+namespace {
+
+TEST(ArenaTest, RejectsBadChunkSize) {
+  EXPECT_THROW(NodeArena(100, 8), std::invalid_argument);
+  EXPECT_THROW(NodeArena(0, 8), std::invalid_argument);
+  EXPECT_THROW(NodeArena(1024, 1), std::invalid_argument);
+}
+
+TEST(ArenaTest, AllocationStartsAfterMetaChunk) {
+  NodeArena arena(1024, 16);
+  EXPECT_EQ(arena.Allocate(), 1u);
+  EXPECT_EQ(arena.Allocate(), 2u);
+  EXPECT_EQ(arena.allocated_chunks(), 2u);
+}
+
+TEST(ArenaTest, OffsetsAndSpans) {
+  NodeArena arena(1024, 16);
+  EXPECT_EQ(arena.OffsetOf(3), 3072u);
+  EXPECT_EQ(arena.chunk(3).size(), 1024u);
+  EXPECT_EQ(arena.memory().size(), 16u * 1024u);
+  EXPECT_EQ(arena.chunk(3).data(), arena.memory().data() + 3072);
+  // Chunks are cache-line aligned (needed for the versioned layout).
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(arena.memory().data()) % 64, 0u);
+}
+
+TEST(ArenaTest, FreeListReuse) {
+  NodeArena arena(1024, 16);
+  const ChunkId a = arena.Allocate();
+  const ChunkId b = arena.Allocate();
+  (void)b;
+  arena.Free(a);
+  EXPECT_EQ(arena.Allocate(), a);
+}
+
+TEST(ArenaTest, ExhaustionThrows) {
+  NodeArena arena(1024, 4);  // chunks 1..3 usable
+  std::set<ChunkId> ids;
+  for (int i = 0; i < 3; ++i) ids.insert(arena.Allocate());
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_THROW(arena.Allocate(), std::bad_alloc);
+  arena.Free(*ids.begin());
+  EXPECT_NO_THROW(arena.Allocate());
+}
+
+TEST(ArenaTest, AllocateZeroesChunk) {
+  NodeArena arena(1024, 8);
+  const ChunkId id = arena.Allocate();
+  auto chunk = arena.chunk(id);
+  // Dirty the chunk, free, re-allocate: must come back zeroed.
+  chunk[100] = std::byte{0xee};
+  arena.Free(id);
+  const ChunkId again = arena.Allocate();
+  ASSERT_EQ(again, id);
+  EXPECT_EQ(arena.chunk(again)[100], std::byte{0});
+}
+
+TEST(ArenaTest, PayloadCapacityMatchesLayout) {
+  NodeArena arena(1024, 8);
+  EXPECT_EQ(arena.payload_capacity(), PayloadCapacity(1024));
+}
+
+}  // namespace
+}  // namespace catfish::rtree

@@ -1,0 +1,160 @@
+#include "catfish/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "common/bytes.h"
+#include "rtree/bulk_load.h"
+#include "test_util.h"
+
+namespace catfish {
+namespace {
+
+using testutil::RandomRect;
+
+TEST(BootstrapCodecTest, ClientHelloRoundTrip) {
+  WireClientHello hello;
+  hello.node_name = "client-42";
+  hello.qp_num = 7;
+  hello.response_ring_rkey = 3;
+  hello.response_ring_capacity = 256 * 1024;
+  hello.request_ack_rkey = 4;
+  const auto decoded = DecodeClientHello(Encode(hello));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->node_name, "client-42");
+  EXPECT_EQ(decoded->qp_num, 7u);
+  EXPECT_EQ(decoded->response_ring_rkey, 3u);
+  EXPECT_EQ(decoded->response_ring_capacity, 256u * 1024u);
+  EXPECT_EQ(decoded->request_ack_rkey, 4u);
+}
+
+TEST(BootstrapCodecTest, ServerHelloRoundTrip) {
+  WireServerHello hello;
+  hello.arena_rkey = 1;
+  hello.arena_length = 1 << 20;
+  hello.request_ring_rkey = 2;
+  hello.request_ring_capacity = 4096;
+  hello.response_ack_rkey = 5;
+  hello.root = 1;
+  hello.chunk_size = 1024;
+  hello.tree_height = 3;
+  const auto decoded = DecodeServerHello(Encode(hello));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->arena_length, 1u << 20);
+  EXPECT_EQ(decoded->tree_height, 3u);
+}
+
+TEST(BootstrapCodecTest, DecodersRejectJunk) {
+  std::vector<std::byte> junk(10, std::byte{0xff});
+  EXPECT_FALSE(DecodeClientHello(junk).has_value());
+  EXPECT_FALSE(DecodeServerHello(junk).has_value());
+  // Hello with absurd string length must not over-read.
+  std::vector<std::byte> evil(8);
+  StorePod(evil, 0, uint32_t{0xffffffff});
+  EXPECT_FALSE(DecodeClientHello(evil).has_value());
+}
+
+class BootstrapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    arena_ = std::make_unique<rtree::NodeArena>(rtree::kChunkSize, 1 << 13);
+    Xoshiro256 rng(3);
+    std::vector<rtree::Entry> items;
+    for (uint64_t i = 0; i < 1000; ++i) {
+      const auto r = RandomRect(rng, 0.01);
+      items.push_back({r, i});
+      oracle_.Insert(r, i);
+    }
+    tree_ = std::make_unique<rtree::RStarTree>(rtree::BulkLoad(*arena_, items));
+    fabric_ = std::make_unique<rdma::Fabric>(rdma::FabricProfile::Instant());
+    server_node_ = fabric_->CreateNode("server");
+    server_ = std::make_unique<RTreeServer>(server_node_, *tree_);
+    acceptor_ = std::make_unique<BootstrapAcceptor>(*server_, *fabric_);
+  }
+
+  void TearDown() override {
+    acceptor_->Stop();
+    server_->Stop();
+  }
+
+  std::unique_ptr<rtree::NodeArena> arena_;
+  std::unique_ptr<rtree::RStarTree> tree_;
+  std::unique_ptr<rdma::Fabric> fabric_;
+  std::shared_ptr<rdma::SimNode> server_node_;
+  std::unique_ptr<RTreeServer> server_;
+  std::unique_ptr<BootstrapAcceptor> acceptor_;
+  testutil::BruteForceIndex oracle_;
+};
+
+std::vector<uint64_t> Ids(std::vector<rtree::Entry> entries) {
+  std::vector<uint64_t> ids;
+  for (const auto& e : entries) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST_F(BootstrapTest, HandshakeOverTcpThenAllPathsWork) {
+  auto node = fabric_->CreateNode("client-0");
+  auto client = ConnectViaBootstrap(acceptor_->Dial(), node);
+  ASSERT_EQ(acceptor_->handshakes(), 1u);
+  EXPECT_EQ(server_->connection_count(), 1u);
+
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const auto q = RandomRect(rng, 0.05);
+    EXPECT_EQ(Ids(client->SearchFast(q)), oracle_.Search(q));
+    EXPECT_EQ(Ids(client->SearchOffloaded(q)), oracle_.Search(q));
+  }
+  EXPECT_TRUE(client->Insert(geo::Rect{0.9, 0.9, 0.901, 0.901}, 777));
+  EXPECT_TRUE(client->Delete(geo::Rect{0.9, 0.9, 0.901, 0.901}, 777));
+}
+
+TEST_F(BootstrapTest, ManyClientsHandshakeConcurrently) {
+  constexpr int kClients = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      auto node = fabric_->CreateNode("client-" + std::to_string(i));
+      auto client = ConnectViaBootstrap(acceptor_->Dial(), node);
+      Xoshiro256 rng(static_cast<uint64_t>(i) + 10);
+      for (int q = 0; q < 10; ++q) {
+        const auto rect = RandomRect(rng, 0.03);
+        if (Ids(client->Search(rect)) != oracle_.Search(rect)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(acceptor_->handshakes(), static_cast<uint64_t>(kClients));
+  EXPECT_EQ(server_->connection_count(), static_cast<size_t>(kClients));
+}
+
+TEST_F(BootstrapTest, UnknownNodeNameIsRejected) {
+  // Craft a hello naming a node the fabric has never seen: the acceptor
+  // must drop the handshake without wiring anything.
+  auto stream = acceptor_->Dial();
+  tcpkit::FramedConnection conn(stream);
+  WireClientHello hello;
+  hello.node_name = "ghost";
+  hello.qp_num = 1;
+  conn.SendFrame(kClientHelloFrame, 0, Encode(hello));
+  EXPECT_FALSE(conn.RecvFrame(std::chrono::milliseconds(100)).has_value());
+  EXPECT_EQ(server_->connection_count(), 0u);
+}
+
+TEST_F(BootstrapTest, GarbageFrameIsIgnored) {
+  auto stream = acceptor_->Dial();
+  tcpkit::FramedConnection conn(stream);
+  std::vector<std::byte> junk(16, std::byte{0xab});
+  conn.SendFrame(kClientHelloFrame, 0, junk);
+  EXPECT_FALSE(conn.RecvFrame(std::chrono::milliseconds(100)).has_value());
+  EXPECT_EQ(server_->connection_count(), 0u);
+}
+
+}  // namespace
+}  // namespace catfish

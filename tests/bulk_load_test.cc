@@ -1,0 +1,124 @@
+#include "rtree/bulk_load.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace catfish::rtree {
+namespace {
+
+using testutil::BruteForceIndex;
+using testutil::RandomRect;
+
+std::vector<Entry> MakeItems(uint64_t seed, size_t n, double scale) {
+  Xoshiro256 rng(seed);
+  std::vector<Entry> items;
+  items.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    items.push_back(Entry{RandomRect(rng, scale), i});
+  }
+  return items;
+}
+
+std::vector<uint64_t> SearchIds(const RStarTree& tree, const geo::Rect& q) {
+  std::vector<Entry> hits;
+  tree.Search(q, hits);
+  std::vector<uint64_t> ids;
+  for (const Entry& e : hits) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(BulkLoadTest, EmptyInput) {
+  NodeArena arena(kChunkSize, 64);
+  RStarTree tree = BulkLoad(arena, {});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1u);
+  tree.CheckInvariants();
+}
+
+TEST(BulkLoadTest, SmallInputFitsInRoot) {
+  NodeArena arena(kChunkSize, 64);
+  const auto items = MakeItems(1, 10, 0.1);
+  RStarTree tree = BulkLoad(arena, items);
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_EQ(tree.height(), 1u);
+  tree.CheckInvariants();
+}
+
+class BulkLoadSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BulkLoadSweep, MatchesOracleAndInvariants) {
+  const size_t n = GetParam();
+  NodeArena arena(kChunkSize, 1 << 15);
+  const auto items = MakeItems(7, n, 0.01);
+  RStarTree tree = BulkLoad(arena, items);
+  EXPECT_EQ(tree.size(), n);
+  tree.CheckInvariants();
+
+  BruteForceIndex oracle;
+  for (const Entry& e : items) oracle.Insert(e.mbr, e.id);
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 60; ++i) {
+    const geo::Rect q = RandomRect(rng, 0.08);
+    EXPECT_EQ(SearchIds(tree, q), oracle.Search(q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BulkLoadSweep,
+                         ::testing::Values(23, 24, 100, 1000, 5000, 20000));
+
+TEST(BulkLoadTest, HeightIsLogarithmic) {
+  NodeArena arena(kChunkSize, 1 << 15);
+  const auto items = MakeItems(11, 20000, 0.005);
+  RStarTree tree = BulkLoad(arena, items);
+  // capacity ≈ 19/node → 20000 items needs 3 levels, not more than 4.
+  EXPECT_GE(tree.height(), 3u);
+  EXPECT_LE(tree.height(), 4u);
+}
+
+TEST(BulkLoadTest, MutableAfterLoad) {
+  NodeArena arena(kChunkSize, 1 << 14);
+  const auto items = MakeItems(13, 5000, 0.01);
+  RStarTree tree = BulkLoad(arena, items);
+
+  BruteForceIndex oracle;
+  for (const Entry& e : items) oracle.Insert(e.mbr, e.id);
+
+  Xoshiro256 rng(14);
+  // Post-load inserts and deletes keep the structure valid.
+  for (uint64_t i = 0; i < 500; ++i) {
+    const geo::Rect r = RandomRect(rng, 0.01);
+    tree.Insert(r, 100000 + i);
+    oracle.Insert(r, 100000 + i);
+  }
+  for (size_t i = 0; i < 500; ++i) {
+    const auto& [r, id] = oracle.items()[rng.NextBounded(oracle.size())];
+    const geo::Rect rect = r;
+    const uint64_t del_id = id;
+    EXPECT_TRUE(tree.Delete(rect, del_id));
+    EXPECT_TRUE(oracle.Delete(rect, del_id));
+  }
+  tree.CheckInvariants();
+  for (int i = 0; i < 40; ++i) {
+    const geo::Rect q = RandomRect(rng, 0.05);
+    EXPECT_EQ(SearchIds(tree, q), oracle.Search(q));
+  }
+}
+
+TEST(BulkLoadTest, CustomFill) {
+  NodeArena arena(kChunkSize, 1 << 14);
+  BulkLoadConfig cfg;
+  cfg.fill = 1.0;
+  const auto items = MakeItems(15, 4600, 0.01);  // 200 full leaves
+  RStarTree tree = BulkLoad(arena, items, cfg);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 4600u);
+}
+
+}  // namespace
+}  // namespace catfish::rtree

@@ -1,0 +1,250 @@
+#include "cuckoo/cuckoo.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "cuckoo/remote_reader.h"
+#include "rdmasim/rdma.h"
+
+namespace catfish::cuckoo {
+namespace {
+
+TEST(BucketCodecTest, RoundTrip) {
+  Bucket b;
+  b.slots[0] = {1, 10};
+  b.slots[1] = {2, 20};
+  b.slots[2] = {3, 30};
+  std::vector<std::byte> payload(kBucketBytes);
+  EncodeBucket(b, payload);
+  Bucket out;
+  DecodeBucket(payload, out);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.slots[i].key, b.slots[i].key);
+    EXPECT_EQ(out.slots[i].value, b.slots[i].value);
+  }
+  EXPECT_EQ(out.FindKey(2), 1);
+  EXPECT_EQ(out.FindKey(99), -1);
+  EXPECT_EQ(out.FindFree(), -1);
+}
+
+TEST(GeometryTest, BucketToChunkMapping) {
+  TableGeometry geo;
+  geo.first_chunk = 3;
+  geo.num_chunks = 4;
+  geo.num_buckets = 64;
+  geo.hash_seed = 7;
+  EXPECT_EQ(geo.ChunkOfBucket(0), 3u);
+  EXPECT_EQ(geo.ChunkOfBucket(15), 3u);
+  EXPECT_EQ(geo.ChunkOfBucket(16), 4u);
+  EXPECT_EQ(geo.PayloadOffsetOfBucket(0), 0u);
+  EXPECT_EQ(geo.PayloadOffsetOfBucket(17), kBucketBytes);
+  // Hashes land in range and differ between the two functions for most
+  // keys.
+  Xoshiro256 rng(1);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t k = rng.Next() | 1;
+    const uint64_t b0 = geo.BucketOf(k, 0);
+    const uint64_t b1 = geo.BucketOf(k, 1);
+    ASSERT_LT(b0, geo.num_buckets);
+    ASSERT_LT(b1, geo.num_buckets);
+    if (b0 == b1) ++same;
+  }
+  EXPECT_LT(same, 60);  // ~1/64 expected collisions
+}
+
+TEST(CuckooTest, PutGetEraseBasics) {
+  NodeArena arena(kChunkSize, 64);
+  CuckooTable table = CuckooTable::Create(arena, 64, /*seed=*/11);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_TRUE(table.Put(42, 420));
+  EXPECT_TRUE(table.Put(43, 430));
+  EXPECT_EQ(table.Get(42), 420u);
+  EXPECT_EQ(table.Get(43), 430u);
+  EXPECT_FALSE(table.Get(44).has_value());
+  EXPECT_TRUE(table.Put(42, 421));  // overwrite
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.Get(42), 421u);
+  EXPECT_TRUE(table.Erase(42));
+  EXPECT_FALSE(table.Erase(42));
+  EXPECT_FALSE(table.Get(42).has_value());
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(CuckooTest, KeyZeroRejected) {
+  NodeArena arena(kChunkSize, 64);
+  CuckooTable table = CuckooTable::Create(arena, 16, 1);
+  EXPECT_THROW(table.Put(0, 1), std::invalid_argument);
+  EXPECT_FALSE(table.Get(0).has_value());
+  EXPECT_FALSE(table.Erase(0));
+}
+
+class CuckooLoadTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CuckooLoadTest, FillsToLoadFactorAgainstOracle) {
+  // Cuckoo with 2 choices × 3 slots sustains ~90%+ load.
+  const double target_load = GetParam();
+  NodeArena arena(kChunkSize, 512);
+  CuckooTable table = CuckooTable::Create(arena, 1024, /*seed=*/3);
+  std::unordered_map<uint64_t, uint64_t> oracle;
+  Xoshiro256 rng(5);
+
+  const auto target =
+      static_cast<uint64_t>(target_load * static_cast<double>(table.capacity()));
+  while (table.size() < target) {
+    const uint64_t k = rng.Next() | 1;
+    const uint64_t v = rng.Next();
+    ASSERT_TRUE(table.Put(k, v))
+        << "displacement failed at load "
+        << static_cast<double>(table.size()) /
+               static_cast<double>(table.capacity());
+    oracle[k] = v;
+  }
+  ASSERT_EQ(table.size(), oracle.size());
+  for (const auto& [k, v] : oracle) ASSERT_EQ(table.Get(k), v);
+
+  // Erase a third; the rest stay intact.
+  size_t removed = 0;
+  for (auto it = oracle.begin(); it != oracle.end();) {
+    if (removed % 3 == 0) {
+      ASSERT_TRUE(table.Erase(it->first));
+      it = oracle.erase(it);
+    } else {
+      ++it;
+    }
+    ++removed;
+  }
+  for (const auto& [k, v] : oracle) ASSERT_EQ(table.Get(k), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, CuckooLoadTest,
+                         ::testing::Values(0.5, 0.75, 0.9));
+
+TEST(CuckooTest, FullTableReturnsFalseEventually) {
+  NodeArena arena(kChunkSize, 8);
+  CuckooTable table = CuckooTable::Create(arena, 16, 9);  // 48 slots
+  Xoshiro256 rng(6);
+  uint64_t inserted = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (table.Put(rng.Next() | 1, 1)) ++inserted;
+  }
+  EXPECT_LT(inserted, 200u);           // some must fail
+  EXPECT_GT(inserted, 16u * 3 / 2);    // but well past half load
+  EXPECT_EQ(table.size(), inserted);
+}
+
+// ---------------------------------------------------------------------------
+// Remote lookups over the emulated fabric.
+// ---------------------------------------------------------------------------
+
+struct RemoteRig {
+  NodeArena arena{kChunkSize, 512};
+  CuckooTable table = CuckooTable::Create(arena, 1024, /*seed=*/21);
+  rdma::Fabric fabric{rdma::FabricProfile::Instant()};
+  std::shared_ptr<rdma::SimNode> server = fabric.CreateNode("server");
+  std::shared_ptr<rdma::SimNode> client = fabric.CreateNode("client");
+  rdma::MemoryRegionHandle mr;
+  std::shared_ptr<rdma::CompletionQueue> cq;
+  std::shared_ptr<rdma::QueuePair> qp;
+  std::shared_ptr<rdma::QueuePair> server_qp_keepalive;
+
+  RemoteRig() {
+    mr = server->RegisterMemory(arena.memory());
+    auto s_qp = server->CreateQp(server->CreateCq(), server->CreateCq());
+    cq = client->CreateCq();
+    qp = client->CreateQp(cq, client->CreateCq());
+    rdma::QueuePair::Connect(s_qp, qp);
+    server_qp_keepalive = s_qp;
+  }
+
+  RemoteCuckooReader::FetchFn Fetch() {
+    return [this](ChunkId id, std::span<std::byte> dst) {
+      qp->PostRead(1, dst, rdma::RemoteAddr{mr.rkey, id * kChunkSize});
+      rdma::WorkCompletion wc;
+      while (cq->Poll({&wc, 1}) == 0) std::this_thread::yield();
+    };
+  }
+
+  RemoteCuckooReader::MultiFetchFn MultiFetch() {
+    return [this](const ChunkId* ids, std::span<std::byte>* dsts, size_t n) {
+      // Multi-issue: post all, then collect all (§IV-C).
+      for (size_t i = 0; i < n; ++i) {
+        qp->PostRead(i, dsts[i],
+                     rdma::RemoteAddr{mr.rkey, ids[i] * kChunkSize});
+      }
+      size_t done = 0;
+      rdma::WorkCompletion wcs[4];
+      while (done < n) done += cq->Poll(wcs);
+    };
+  }
+};
+
+TEST(RemoteCuckooTest, LookupsMatchLocal) {
+  RemoteRig rig;
+  Xoshiro256 rng(31);
+  std::unordered_map<uint64_t, uint64_t> oracle;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t k = rng.Next() | 1;
+    const uint64_t v = rng.Next();
+    ASSERT_TRUE(rig.table.Put(k, v));
+    oracle[k] = v;
+  }
+  RemoteCuckooReader reader(rig.Fetch(), rig.table.geometry(),
+                            rig.MultiFetch());
+  for (const auto& [k, v] : oracle) ASSERT_EQ(reader.Get(k), v);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t k = rng.Next() | 1;
+    ASSERT_EQ(reader.Get(k).has_value(), oracle.count(k) == 1);
+  }
+  // Constant probe cost: ≤ 2 reads per lookup plus rare miss-confirms.
+  EXPECT_LE(reader.stats().reads, (oracle.size() + 500) * 3);
+}
+
+TEST(RemoteCuckooTest, SequentialFallbackWithoutMultiFetch) {
+  RemoteRig rig;
+  ASSERT_TRUE(rig.table.Put(77, 770));
+  RemoteCuckooReader reader(rig.Fetch(), rig.table.geometry());
+  EXPECT_EQ(reader.Get(77), 770u);
+}
+
+TEST(RemoteCuckooTest, StableKeysSurviveConcurrentDisplacements) {
+  RemoteRig rig;
+  // Preload a known set.
+  std::vector<uint64_t> stable;
+  Xoshiro256 rng(41);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t k = 1 + rng.NextBounded(1u << 20);
+    if (rig.table.Put(k, k * 3)) stable.push_back(k);
+  }
+
+  // Writer churns other keys, triggering displacement chains that may
+  // move the stable keys between their two buckets.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Xoshiro256 wrng(43);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t k = (1ull << 32) + wrng.NextBounded(1u << 12);
+      rig.table.Put(k, k);
+      if (wrng.NextDouble() < 0.3) rig.table.Erase(k);
+    }
+  });
+
+  RemoteCuckooReader reader(rig.Fetch(), rig.table.geometry(),
+                            rig.MultiFetch());
+  Xoshiro256 prng(47);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t k = stable[prng.NextBounded(stable.size())];
+    const auto v = reader.Get(k);
+    ASSERT_TRUE(v.has_value()) << "stable key " << k << " lost mid-move";
+    ASSERT_EQ(*v, k * 3);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace catfish::cuckoo

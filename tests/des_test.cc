@@ -1,0 +1,167 @@
+#include "des/resources.h"
+#include "des/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace catfish::des {
+namespace {
+
+TEST(SchedulerTest, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.At(10, [&] { order.push_back(2); });
+  s.At(5, [&] { order.push_back(1); });
+  s.At(20, [&] { order.push_back(3); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 20.0);
+}
+
+TEST(SchedulerTest, EqualTimesRunInInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.At(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, AfterIsRelative) {
+  Scheduler s;
+  double fired_at = -1;
+  s.At(100, [&] { s.After(50, [&] { fired_at = s.now(); }); });
+  s.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 150.0);
+}
+
+TEST(SchedulerTest, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) s.After(1, tick);
+  };
+  s.After(1, tick);
+  s.Run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(s.now(), 100.0);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtLimit) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    s.After(10, tick);
+  };
+  s.After(10, tick);
+  s.Run(55);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(CpuPoolTest, SingleCoreSerializesJobs) {
+  Scheduler s;
+  CpuPool cpu(s, 1);
+  std::vector<double> done_at;
+  for (int i = 0; i < 3; ++i) {
+    cpu.Submit(10, [&] { done_at.push_back(s.now()); });
+  }
+  s.Run();
+  EXPECT_EQ(done_at, (std::vector<double>{10, 20, 30}));
+  EXPECT_DOUBLE_EQ(cpu.busy_core_us(), 30.0);
+}
+
+TEST(CpuPoolTest, MultiCoreRunsInParallel) {
+  Scheduler s;
+  CpuPool cpu(s, 4);
+  std::vector<double> done_at;
+  for (int i = 0; i < 4; ++i) {
+    cpu.Submit(10, [&] { done_at.push_back(s.now()); });
+  }
+  // A fifth job queues behind the first finisher.
+  cpu.Submit(10, [&] { done_at.push_back(s.now()); });
+  s.Run();
+  ASSERT_EQ(done_at.size(), 5u);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(done_at[i], 10.0);
+  EXPECT_DOUBLE_EQ(done_at[4], 20.0);
+}
+
+TEST(CpuPoolTest, FcfsOrdering) {
+  Scheduler s;
+  CpuPool cpu(s, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    cpu.Submit(1, [&order, i] { order.push_back(i); });
+  }
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(CpuPoolTest, WindowUtilization) {
+  Scheduler s;
+  CpuPool cpu(s, 2);
+  cpu.Submit(10, [] {});
+  s.Run();
+  // 10 core-µs of work in a 10 µs window on 2 cores → 50%.
+  EXPECT_DOUBLE_EQ(cpu.WindowUtilization(0.0, 10.0), 0.5);
+}
+
+TEST(LinkTest, SerializationPlusLatency) {
+  Scheduler s;
+  Link link(s, /*gbps=*/1.0, /*latency=*/30.0);
+  // 1 Gb/s = 125 bytes/µs → 1250 bytes = 10 µs serialization.
+  double delivered_at = -1;
+  link.Transfer(1250, [&] { delivered_at = s.now(); });
+  s.Run();
+  EXPECT_DOUBLE_EQ(delivered_at, 40.0);
+  EXPECT_DOUBLE_EQ(link.busy_us(), 10.0);
+  EXPECT_EQ(link.bytes_transferred(), 1250u);
+}
+
+TEST(LinkTest, ConcurrentTransfersQueueOnSerialization) {
+  Scheduler s;
+  Link link(s, 1.0, 0.0);
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    link.Transfer(125, [&] { done.push_back(s.now()); });  // 1 µs each
+  }
+  s.Run();
+  EXPECT_EQ(done, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(LinkTest, LatencyPipelinesAcrossTransfers) {
+  Scheduler s;
+  Link link(s, 1.0, 100.0);
+  std::vector<double> done;
+  link.Transfer(125, [&] { done.push_back(s.now()); });
+  link.Transfer(125, [&] { done.push_back(s.now()); });
+  s.Run();
+  // Serialization queues (1 µs apart) but propagation overlaps.
+  EXPECT_DOUBLE_EQ(done[0], 101.0);
+  EXPECT_DOUBLE_EQ(done[1], 102.0);
+}
+
+TEST(LinkTest, ZeroBandwidthMeansNoSerialization) {
+  Scheduler s;
+  Link link(s, 0.0, 5.0);
+  double at = -1;
+  link.Transfer(1 << 20, [&] { at = s.now(); });
+  s.Run();
+  EXPECT_DOUBLE_EQ(at, 5.0);
+}
+
+TEST(LinkTest, IdleGapDoesNotAccumulateBusy) {
+  Scheduler s;
+  Link link(s, 1.0, 0.0);
+  link.Transfer(125, [] {});
+  s.Run();
+  // Transfer again after an idle gap.
+  s.At(100, [&] { link.Transfer(125, [] {}); });
+  s.Run();
+  EXPECT_DOUBLE_EQ(link.busy_us(), 2.0);
+}
+
+}  // namespace
+}  // namespace catfish::des

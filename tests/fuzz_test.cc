@@ -1,0 +1,190 @@
+// Randomized operation-sequence fuzzing for all three structures, with
+// oracle comparison and invariant checks interleaved throughout the
+// sequence (not only at the end) so a corrupting operation is caught
+// near its cause.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "btree/bplus.h"
+#include "cuckoo/cuckoo.h"
+#include "rtree/rstar.h"
+#include "test_util.h"
+
+namespace catfish {
+namespace {
+
+using testutil::BruteForceIndex;
+using testutil::RandomRect;
+
+struct FuzzParam {
+  uint64_t seed;
+  int ops;
+  double insert_weight;
+  double delete_weight;  // remainder = searches
+};
+
+class RTreeFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(RTreeFuzz, OpSequenceKeepsOracleAgreement) {
+  const auto p = GetParam();
+  rtree::NodeArena arena(rtree::kChunkSize, 1 << 14);
+  rtree::RStarTree tree = rtree::RStarTree::Create(arena);
+  BruteForceIndex oracle;
+  Xoshiro256 rng(p.seed);
+  uint64_t next_id = 0;
+
+  for (int op = 0; op < p.ops; ++op) {
+    const double roll = rng.NextDouble();
+    if (roll < p.insert_weight || oracle.size() == 0) {
+      const auto r = RandomRect(rng, 0.02);
+      tree.Insert(r, next_id);
+      oracle.Insert(r, next_id);
+      ++next_id;
+    } else if (roll < p.insert_weight + p.delete_weight) {
+      const auto& [r, id] = oracle.items()[rng.NextBounded(oracle.size())];
+      const geo::Rect rect = r;
+      const uint64_t del = id;
+      ASSERT_TRUE(tree.Delete(rect, del)) << "op " << op;
+      ASSERT_TRUE(oracle.Delete(rect, del));
+    } else {
+      const auto q = RandomRect(rng, 0.05);
+      std::vector<rtree::Entry> hits;
+      tree.Search(q, hits);
+      std::vector<uint64_t> ids;
+      for (const auto& e : hits) ids.push_back(e.id);
+      std::sort(ids.begin(), ids.end());
+      ASSERT_EQ(ids, oracle.Search(q)) << "op " << op;
+    }
+    ASSERT_EQ(tree.size(), oracle.size());
+    if (op % 500 == 499) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, RTreeFuzz,
+    ::testing::Values(FuzzParam{101, 4000, 0.70, 0.10},
+                      FuzzParam{102, 4000, 0.45, 0.35},
+                      FuzzParam{103, 4000, 0.34, 0.33},
+                      FuzzParam{104, 2500, 0.52, 0.45},
+                      FuzzParam{105, 4000, 0.85, 0.05}));
+
+class BTreeFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(BTreeFuzz, OpSequenceKeepsOracleAgreement) {
+  const auto p = GetParam();
+  rtree::NodeArena arena(btree::kChunkSize, 1 << 14);
+  btree::BPlusTree tree = btree::BPlusTree::Create(arena);
+  std::map<uint64_t, uint64_t> oracle;
+  Xoshiro256 rng(p.seed);
+
+  const auto random_present_key = [&]() {
+    auto it = oracle.lower_bound(rng.NextBounded(1u << 24));
+    if (it == oracle.end()) it = oracle.begin();
+    return it->first;
+  };
+
+  for (int op = 0; op < p.ops; ++op) {
+    const double roll = rng.NextDouble();
+    if (roll < p.insert_weight || oracle.empty()) {
+      const uint64_t k = 1 + rng.NextBounded(1u << 24);
+      const uint64_t v = rng.Next();
+      tree.Put(k, v);
+      oracle[k] = v;
+    } else if (roll < p.insert_weight + p.delete_weight) {
+      const uint64_t k = random_present_key();
+      ASSERT_TRUE(tree.Erase(k)) << "op " << op;
+      oracle.erase(k);
+    } else if (roll < p.insert_weight + p.delete_weight + 0.15) {
+      // Range scan.
+      const uint64_t lo = rng.NextBounded(1u << 24);
+      const uint64_t hi = lo + rng.NextBounded(1u << 16);
+      std::vector<btree::KeyValue> got;
+      tree.Scan(lo, hi, got);
+      auto it = oracle.lower_bound(lo);
+      size_t i = 0;
+      for (; it != oracle.end() && it->first <= hi; ++it, ++i) {
+        ASSERT_LT(i, got.size()) << "op " << op;
+        ASSERT_EQ(got[i].key, it->first);
+      }
+      ASSERT_EQ(i, got.size()) << "op " << op;
+    } else {
+      const uint64_t k = 1 + rng.NextBounded(1u << 24);
+      const auto it = oracle.find(k);
+      const auto got = tree.Get(k);
+      ASSERT_EQ(got.has_value(), it != oracle.end()) << "op " << op;
+      if (got) {
+        ASSERT_EQ(*got, it->second);
+      }
+    }
+    ASSERT_EQ(tree.size(), oracle.size());
+    if (op % 1000 == 999) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, BTreeFuzz,
+    ::testing::Values(FuzzParam{201, 6000, 0.60, 0.15},
+                      FuzzParam{202, 6000, 0.40, 0.35},
+                      FuzzParam{203, 4000, 0.80, 0.05}));
+
+class CuckooFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(CuckooFuzz, OpSequenceKeepsOracleAgreement) {
+  const auto p = GetParam();
+  rtree::NodeArena arena(cuckoo::kChunkSize, 1 << 10);
+  cuckoo::CuckooTable table =
+      cuckoo::CuckooTable::Create(arena, 4096, p.seed);
+  std::unordered_map<uint64_t, uint64_t> oracle;
+  Xoshiro256 rng(p.seed);
+  std::vector<uint64_t> keys;  // sampling pool of present keys
+
+  for (int op = 0; op < p.ops; ++op) {
+    const double roll = rng.NextDouble();
+    if (roll < p.insert_weight || oracle.empty()) {
+      // Cap load below the displacement ceiling.
+      if (oracle.size() <
+          table.capacity() * 8 / 10) {
+        const uint64_t k = 1 + rng.NextBounded(1u << 28);
+        const uint64_t v = rng.Next();
+        ASSERT_TRUE(table.Put(k, v)) << "op " << op;
+        if (oracle.emplace(k, v).second) {
+          keys.push_back(k);
+        } else {
+          oracle[k] = v;
+        }
+      }
+    } else if (roll < p.insert_weight + p.delete_weight && !keys.empty()) {
+      const size_t pick = rng.NextBounded(keys.size());
+      const uint64_t k = keys[pick];
+      keys[pick] = keys.back();
+      keys.pop_back();
+      if (oracle.erase(k)) {
+        ASSERT_TRUE(table.Erase(k)) << "op " << op;
+      }
+    } else {
+      const uint64_t k = 1 + rng.NextBounded(1u << 28);
+      const auto it = oracle.find(k);
+      const auto got = table.Get(k);
+      ASSERT_EQ(got.has_value(), it != oracle.end()) << "op " << op;
+      if (got) {
+        ASSERT_EQ(*got, it->second);
+      }
+    }
+    ASSERT_EQ(table.size(), oracle.size()) << "op " << op;
+  }
+  // Full sweep at the end.
+  for (const auto& [k, v] : oracle) ASSERT_EQ(table.Get(k), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, CuckooFuzz,
+    ::testing::Values(FuzzParam{301, 8000, 0.60, 0.20},
+                      FuzzParam{302, 8000, 0.45, 0.40},
+                      FuzzParam{303, 6000, 0.90, 0.05}));
+
+}  // namespace
+}  // namespace catfish

@@ -1,0 +1,127 @@
+#include "geo/rect.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace catfish::geo {
+namespace {
+
+TEST(RectTest, AreaAndMargin) {
+  const Rect r{0.0, 0.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r.Area(), 6.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 5.0);
+  EXPECT_DOUBLE_EQ(r.width(), 2.0);
+  EXPECT_DOUBLE_EQ(r.height(), 3.0);
+}
+
+TEST(RectTest, DegenerateRectHasZeroArea) {
+  const Rect point{0.5, 0.5, 0.5, 0.5};
+  EXPECT_TRUE(point.IsValid());
+  EXPECT_DOUBLE_EQ(point.Area(), 0.0);
+  const Rect line{0.0, 0.5, 1.0, 0.5};
+  EXPECT_DOUBLE_EQ(line.Area(), 0.0);
+  EXPECT_DOUBLE_EQ(line.Margin(), 1.0);
+}
+
+TEST(RectTest, EmptyIsUnionIdentity) {
+  const Rect e = Rect::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_DOUBLE_EQ(e.Area(), 0.0);
+  const Rect r{0.1, 0.2, 0.3, 0.4};
+  EXPECT_EQ(e.Union(r), r);
+  EXPECT_EQ(r.Union(e), r);
+}
+
+TEST(RectTest, UnionCovers) {
+  const Rect a{0.0, 0.0, 1.0, 1.0};
+  const Rect b{2.0, 2.0, 3.0, 3.0};
+  const Rect u = a.Union(b);
+  EXPECT_EQ(u, (Rect{0.0, 0.0, 3.0, 3.0}));
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+}
+
+TEST(RectTest, IntersectionBasics) {
+  const Rect a{0.0, 0.0, 2.0, 2.0};
+  const Rect b{1.0, 1.0, 3.0, 3.0};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.Intersection(b), (Rect{1.0, 1.0, 2.0, 2.0}));
+  EXPECT_DOUBLE_EQ(a.OverlapArea(b), 1.0);
+
+  const Rect c{5.0, 5.0, 6.0, 6.0};
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Intersection(c).IsEmpty());
+  EXPECT_DOUBLE_EQ(a.OverlapArea(c), 0.0);
+}
+
+TEST(RectTest, SharedEdgeCountsAsIntersection) {
+  // Closed-interval semantics: touching rectangles overlap.
+  const Rect a{0.0, 0.0, 1.0, 1.0};
+  const Rect b{1.0, 0.0, 2.0, 1.0};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_DOUBLE_EQ(a.OverlapArea(b), 0.0);
+}
+
+TEST(RectTest, ContainsAndPoints) {
+  const Rect a{0.0, 0.0, 1.0, 1.0};
+  EXPECT_TRUE(a.Contains(Rect{0.25, 0.25, 0.75, 0.75}));
+  EXPECT_TRUE(a.Contains(a));
+  EXPECT_FALSE(a.Contains(Rect{0.5, 0.5, 1.5, 0.6}));
+  EXPECT_TRUE(a.ContainsPoint({0.0, 0.0}));
+  EXPECT_TRUE(a.ContainsPoint({1.0, 1.0}));
+  EXPECT_FALSE(a.ContainsPoint({1.0001, 0.5}));
+}
+
+TEST(RectTest, Enlargement) {
+  const Rect a{0.0, 0.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.Enlargement(Rect{0.2, 0.2, 0.8, 0.8}), 0.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(Rect{0.0, 0.0, 2.0, 1.0}), 1.0);
+}
+
+TEST(RectTest, CenterDistance) {
+  const Rect a{0.0, 0.0, 2.0, 2.0};   // center (1,1)
+  const Rect b{3.0, 4.0, 5.0, 6.0};   // center (4,5)
+  EXPECT_DOUBLE_EQ(CenterDistance2(a, b), 9.0 + 16.0);
+  EXPECT_DOUBLE_EQ(CenterDistance2(a, a), 0.0);
+}
+
+// Property sweep: algebraic invariants on random rectangles.
+class RectPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RectPropertyTest, RandomizedInvariants) {
+  Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const Rect a = testutil::RandomRect(rng, 0.5);
+    const Rect b = testutil::RandomRect(rng, 0.5);
+
+    // Union is commutative and covering.
+    EXPECT_EQ(a.Union(b), b.Union(a));
+    EXPECT_TRUE(a.Union(b).Contains(a));
+    EXPECT_TRUE(a.Union(b).Contains(b));
+
+    // Intersection symmetric; intersects ⇔ non-empty intersection
+    // (up to degenerate touching, where area is 0 but intersect is true).
+    EXPECT_EQ(a.Intersects(b), b.Intersects(a));
+    EXPECT_EQ(a.Intersects(b), a.Intersection(b).IsValid());
+
+    // Enlargement is non-negative; zero iff contained.
+    EXPECT_GE(a.Enlargement(b), 0.0);
+    if (a.Contains(b)) {
+      EXPECT_DOUBLE_EQ(a.Enlargement(b), 0.0);
+    }
+
+    // Inclusion–exclusion bound: overlap ≤ min area.
+    EXPECT_LE(a.OverlapArea(b), std::min(a.Area(), b.Area()) + 1e-15);
+
+    // Union area ≥ both areas; ≤ sum when overlapping is counted once.
+    EXPECT_GE(a.Union(b).Area() + 1e-15, std::max(a.Area(), b.Area()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectPropertyTest,
+                         ::testing::Values(1u, 42u, 2026u, 777u));
+
+}  // namespace
+}  // namespace catfish::geo

@@ -1,0 +1,106 @@
+#include "msg/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace catfish::msg {
+namespace {
+
+TEST(ProtocolTest, SearchRequestRoundTrip) {
+  const SearchRequest req{42, geo::Rect{0.1, 0.2, 0.3, 0.4}};
+  const auto decoded = DecodeSearchRequest(Encode(req));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->req_id, 42u);
+  EXPECT_EQ(decoded->rect, req.rect);
+}
+
+TEST(ProtocolTest, InsertRequestRoundTrip) {
+  const InsertRequest req{7, geo::Rect{0.5, 0.6, 0.7, 0.8}, 1234};
+  const auto decoded = DecodeInsertRequest(Encode(req));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->req_id, 7u);
+  EXPECT_EQ(decoded->rect, req.rect);
+  EXPECT_EQ(decoded->rect_id, 1234u);
+}
+
+TEST(ProtocolTest, DeleteRequestRoundTrip) {
+  const DeleteRequest req{8, geo::Rect{0.0, 0.0, 0.1, 0.1}, 99};
+  const auto decoded = DecodeDeleteRequest(Encode(req));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->rect_id, 99u);
+}
+
+TEST(ProtocolTest, WriteAckRoundTrip) {
+  const auto decoded = DecodeWriteAck(Encode(WriteAck{21, 1}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->req_id, 21u);
+  EXPECT_EQ(decoded->ok, 1);
+}
+
+TEST(ProtocolTest, HeartbeatRoundTrip) {
+  const auto decoded = DecodeHeartbeat(Encode(Heartbeat{5, 0.97, 12345}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, 5u);
+  EXPECT_DOUBLE_EQ(decoded->cpu_util, 0.97);
+  EXPECT_EQ(decoded->tree_epoch, 12345u);
+}
+
+TEST(ProtocolTest, DecodersRejectWrongSizes) {
+  std::vector<std::byte> junk(7, std::byte{1});
+  EXPECT_FALSE(DecodeSearchRequest(junk).has_value());
+  EXPECT_FALSE(DecodeInsertRequest(junk).has_value());
+  EXPECT_FALSE(DecodeDeleteRequest(junk).has_value());
+  EXPECT_FALSE(DecodeWriteAck(junk).has_value());
+  EXPECT_FALSE(DecodeHeartbeat(junk).has_value());
+  EXPECT_FALSE(DecodeSearchResponseSegment(junk).has_value());
+}
+
+TEST(ProtocolTest, EmptySearchResponseStillOneSegment) {
+  const auto segments = EncodeSearchResponse(9, {}, 1 << 16);
+  ASSERT_EQ(segments.size(), 1u);
+  const auto seg = DecodeSearchResponseSegment(segments[0]);
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_EQ(seg->req_id, 9u);
+  EXPECT_TRUE(seg->entries.empty());
+}
+
+TEST(ProtocolTest, ResponseSegmentationSplitsAndPreservesOrder) {
+  Xoshiro256 rng(3);
+  std::vector<rtree::Entry> entries;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    entries.push_back({testutil::RandomRect(rng, 0.1), i});
+  }
+  // Max payload fits 100 entries per segment.
+  const size_t max_payload = 12 + 100 * kWireEntryBytes;
+  const auto segments = EncodeSearchResponse(77, entries, max_payload);
+  EXPECT_EQ(segments.size(), 10u);
+
+  uint64_t next_id = 0;
+  for (const auto& raw : segments) {
+    ASSERT_LE(raw.size(), max_payload);
+    const auto seg = DecodeSearchResponseSegment(raw);
+    ASSERT_TRUE(seg.has_value());
+    EXPECT_EQ(seg->req_id, 77u);
+    for (const auto& e : seg->entries) {
+      EXPECT_EQ(e.id, next_id);
+      EXPECT_EQ(e.mbr, entries[next_id].mbr);
+      ++next_id;
+    }
+  }
+  EXPECT_EQ(next_id, 1000u);
+}
+
+TEST(ProtocolTest, SegmentationHandlesNonDivisibleCounts) {
+  std::vector<rtree::Entry> entries(7);
+  const size_t max_payload = 12 + 3 * kWireEntryBytes;
+  const auto segments = EncodeSearchResponse(1, entries, max_payload);
+  EXPECT_EQ(segments.size(), 3u);  // 3 + 3 + 1
+  const auto last = DecodeSearchResponseSegment(segments.back());
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->entries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace catfish::msg

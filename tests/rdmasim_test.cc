@@ -1,0 +1,185 @@
+#include "rdmasim/rdma.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace catfish::rdma {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Endpoints {
+  Fabric fabric{FabricProfile::Instant()};
+  std::shared_ptr<SimNode> server = fabric.CreateNode("server");
+  std::shared_ptr<SimNode> client = fabric.CreateNode("client");
+  std::shared_ptr<CompletionQueue> s_send, s_recv, c_send, c_recv;
+  std::shared_ptr<QueuePair> s_qp, c_qp;
+
+  Endpoints() {
+    s_send = server->CreateCq();
+    s_recv = server->CreateCq();
+    c_send = client->CreateCq();
+    c_recv = client->CreateCq();
+    s_qp = server->CreateQp(s_send, s_recv);
+    c_qp = client->CreateQp(c_send, c_recv);
+    QueuePair::Connect(s_qp, c_qp);
+  }
+};
+
+TEST(RdmaSimTest, WriteMovesBytes) {
+  Endpoints ep;
+  std::vector<std::byte> server_mem(256, std::byte{0});
+  const auto mr = ep.server->RegisterMemory(server_mem);
+
+  std::vector<std::byte> data(100);
+  for (size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::byte>(i);
+  ASSERT_TRUE(ep.c_qp->PostWrite(11, data, RemoteAddr{mr.rkey, 50}));
+
+  for (size_t i = 0; i < 100; ++i)
+    EXPECT_EQ(server_mem[50 + i], static_cast<std::byte>(i));
+
+  WorkCompletion wc;
+  ASSERT_EQ(ep.c_send->Poll({&wc, 1}), 1u);
+  EXPECT_EQ(wc.wr_id, 11u);
+  EXPECT_EQ(wc.opcode, Opcode::kWrite);
+  EXPECT_EQ(wc.status, WcStatus::kSuccess);
+  EXPECT_EQ(wc.byte_len, 100u);
+}
+
+TEST(RdmaSimTest, ReadBypassesRemoteCpu) {
+  Endpoints ep;
+  std::vector<std::byte> server_mem(256, std::byte{0x5A});
+  const auto mr = ep.server->RegisterMemory(server_mem);
+
+  std::vector<std::byte> local(64, std::byte{0});
+  ASSERT_TRUE(ep.c_qp->PostRead(3, local, RemoteAddr{mr.rkey, 10}));
+  for (const auto b : local) EXPECT_EQ(b, std::byte{0x5A});
+
+  // The read is accounted as served by the server NIC — no server thread
+  // ever ran (there are none in this test).
+  const auto stats = ep.server->stats();
+  EXPECT_EQ(stats.reads_served, 1u);
+  EXPECT_EQ(stats.bytes_sent, 64u);
+  EXPECT_EQ(ep.client->stats().bytes_received, 64u);
+}
+
+TEST(RdmaSimTest, WriteImmRaisesRemoteCompletion) {
+  Endpoints ep;
+  std::vector<std::byte> server_mem(128, std::byte{0});
+  const auto mr = ep.server->RegisterMemory(server_mem);
+
+  std::vector<std::byte> data(8, std::byte{1});
+  ASSERT_TRUE(ep.c_qp->PostWriteImm(7, data, RemoteAddr{mr.rkey, 0}, 0xabcd));
+
+  // The responder's recv CQ got the IMM notification.
+  const auto wc = ep.s_recv->Wait(100ms);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->opcode, Opcode::kRecvImm);
+  EXPECT_EQ(wc->imm_data, 0xabcdu);
+  EXPECT_EQ(wc->byte_len, 8u);
+  EXPECT_EQ(wc->qp_num, ep.s_qp->qp_num());
+  EXPECT_EQ(ep.server->stats().imm_delivered, 1u);
+}
+
+TEST(RdmaSimTest, UnsignaledWriteOmitsCompletion) {
+  Endpoints ep;
+  std::vector<std::byte> server_mem(128, std::byte{0});
+  const auto mr = ep.server->RegisterMemory(server_mem);
+  std::vector<std::byte> data(8, std::byte{2});
+  ASSERT_TRUE(ep.c_qp->PostWrite(1, data, RemoteAddr{mr.rkey, 0},
+                                 /*signaled=*/false));
+  EXPECT_EQ(ep.c_send->Depth(), 0u);
+  EXPECT_EQ(server_mem[0], std::byte{2});
+}
+
+TEST(RdmaSimTest, OutOfBoundsAccessFails) {
+  Endpoints ep;
+  std::vector<std::byte> server_mem(64, std::byte{0});
+  const auto mr = ep.server->RegisterMemory(server_mem);
+
+  std::vector<std::byte> data(65);
+  EXPECT_FALSE(ep.c_qp->PostWrite(1, data, RemoteAddr{mr.rkey, 0}));
+  WorkCompletion wc;
+  ASSERT_EQ(ep.c_send->Poll({&wc, 1}), 1u);
+  EXPECT_EQ(wc.status, WcStatus::kRemoteAccessError);
+
+  std::vector<std::byte> dst(8);
+  EXPECT_FALSE(ep.c_qp->PostRead(2, dst, RemoteAddr{mr.rkey, 60}));
+  ASSERT_EQ(ep.c_send->Poll({&wc, 1}), 1u);
+  EXPECT_EQ(wc.status, WcStatus::kRemoteAccessError);
+}
+
+TEST(RdmaSimTest, BadRkeyFails) {
+  Endpoints ep;
+  std::vector<std::byte> dst(8);
+  EXPECT_FALSE(ep.c_qp->PostRead(1, dst, RemoteAddr{99, 0}));
+}
+
+TEST(RdmaSimTest, ClosedQpFlushes) {
+  Endpoints ep;
+  std::vector<std::byte> server_mem(64, std::byte{0});
+  const auto mr = ep.server->RegisterMemory(server_mem);
+  ep.c_qp->Close();
+  EXPECT_FALSE(ep.c_qp->connected());
+  EXPECT_FALSE(ep.s_qp->connected());
+
+  std::vector<std::byte> data(8);
+  EXPECT_FALSE(ep.c_qp->PostWrite(5, data, RemoteAddr{mr.rkey, 0}));
+  WorkCompletion wc;
+  ASSERT_EQ(ep.c_send->Poll({&wc, 1}), 1u);
+  EXPECT_EQ(wc.status, WcStatus::kFlushed);
+}
+
+TEST(RdmaSimTest, CqWaitBlocksUntilPush) {
+  Endpoints ep;
+  std::vector<std::byte> server_mem(64, std::byte{0});
+  const auto mr = ep.server->RegisterMemory(server_mem);
+
+  // No completion yet: Wait times out.
+  EXPECT_FALSE(ep.s_recv->Wait(5ms).has_value());
+
+  std::thread t([&] {
+    std::this_thread::sleep_for(20ms);
+    std::vector<std::byte> data(4, std::byte{9});
+    ep.c_qp->PostWriteImm(1, data, RemoteAddr{mr.rkey, 0}, 42);
+  });
+  const auto wc = ep.s_recv->Wait(2s);
+  t.join();
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->imm_data, 42u);
+}
+
+TEST(RdmaSimTest, PerQpCompletionOrdering) {
+  Endpoints ep;
+  std::vector<std::byte> server_mem(1024, std::byte{0});
+  const auto mr = ep.server->RegisterMemory(server_mem);
+  std::vector<std::byte> local(16);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ep.c_qp->PostRead(i, local, RemoteAddr{mr.rkey, i * 16}));
+  }
+  WorkCompletion wcs[10];
+  ASSERT_EQ(ep.c_send->Poll(wcs), 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(wcs[i].wr_id, i);
+}
+
+TEST(FabricProfileTest, DelayMath) {
+  const auto ib = FabricProfile::InfiniBand100G();
+  // 1 KB at 100 Gb/s ≈ 0.08 µs serialization + 1 µs base.
+  EXPECT_NEAR(ib.OneWayUs(1024), 1.0 + 8192.0 / 100e3, 1e-9);
+  const auto e1 = FabricProfile::Ethernet1G();
+  // 1 MB at 1 Gb/s ≈ 8.4 ms dominates the 30 µs base latency.
+  EXPECT_GT(e1.OneWayUs(1 << 20), 8000.0);
+  // RTT symmetry.
+  EXPECT_DOUBLE_EQ(ib.RoundTripUs(100, 100), 2 * ib.OneWayUs(100));
+  // Ordering of small-message latencies: IB < 40G < 1G.
+  const auto e40 = FabricProfile::Ethernet40G();
+  EXPECT_LT(ib.OneWayUs(64), e40.OneWayUs(64));
+  EXPECT_LT(e40.OneWayUs(64), e1.OneWayUs(64));
+}
+
+}  // namespace
+}  // namespace catfish::rdma

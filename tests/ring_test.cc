@@ -1,0 +1,191 @@
+#include "msg/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace catfish::msg {
+namespace {
+
+// A connected sender/receiver pair over the instant fabric.
+struct RingPair {
+  rdma::Fabric fabric{rdma::FabricProfile::Instant()};
+  std::shared_ptr<rdma::SimNode> a = fabric.CreateNode("sender");
+  std::shared_ptr<rdma::SimNode> b = fabric.CreateNode("receiver");
+  std::shared_ptr<rdma::QueuePair> a_qp, b_qp;
+  std::vector<std::byte> ring_mem;
+  alignas(8) std::array<std::byte, 8> ack_cell{};
+  std::unique_ptr<RingSender> tx;
+  std::unique_ptr<RingReceiver> rx;
+
+  explicit RingPair(size_t capacity = 4096) : ring_mem(capacity) {
+    a_qp = a->CreateQp(a->CreateCq(), a->CreateCq());
+    b_qp = b->CreateQp(b->CreateCq(), b->CreateCq());
+    rdma::QueuePair::Connect(a_qp, b_qp);
+    const auto ring_mr = b->RegisterMemory(ring_mem);
+    const auto ack_mr = a->RegisterMemory(ack_cell);
+    tx = std::make_unique<RingSender>(a_qp,
+                                      rdma::RemoteAddr{ring_mr.rkey, 0},
+                                      capacity, std::span<std::byte>(ack_cell));
+    rx = std::make_unique<RingReceiver>(std::span<std::byte>(ring_mem), b_qp,
+                                        rdma::RemoteAddr{ack_mr.rkey, 0});
+  }
+};
+
+std::vector<std::byte> Payload(size_t n, uint8_t fill) {
+  return std::vector<std::byte>(n, static_cast<std::byte>(fill));
+}
+
+TEST(RingTest, WireSizeRounding) {
+  EXPECT_EQ(WireSize(0), 16u);   // 12 header + 1 commit → 16
+  EXPECT_EQ(WireSize(3), 16u);
+  EXPECT_EQ(WireSize(4), 24u);   // 12 + 4 + 1 = 17 → 24
+  EXPECT_EQ(WireSize(11), 24u);
+}
+
+TEST(RingTest, EmptyRingReceivesNothing) {
+  RingPair p;
+  EXPECT_FALSE(p.rx->TryReceive().has_value());
+}
+
+TEST(RingTest, SingleMessageRoundTrip) {
+  RingPair p;
+  const auto payload = Payload(100, 0x42);
+  ASSERT_TRUE(p.tx->TrySend(5, kFlagEnd, payload));
+
+  const auto m = p.rx->TryReceive();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, 5);
+  EXPECT_EQ(m->flags, kFlagEnd);
+  EXPECT_EQ(m->payload, payload);
+  EXPECT_FALSE(p.rx->TryReceive().has_value());
+}
+
+TEST(RingTest, EmptyPayloadMessage) {
+  RingPair p;
+  ASSERT_TRUE(p.tx->TrySend(9, kFlagCont, {}));
+  const auto m = p.rx->TryReceive();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, 9);
+  EXPECT_TRUE(m->payload.empty());
+}
+
+TEST(RingTest, FifoAcrossManyMessages) {
+  RingPair p;
+  for (uint8_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(p.tx->TrySend(i, kFlagEnd, Payload(i * 3, i)));
+    const auto m = p.rx->TryReceive();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->type, i);
+    EXPECT_EQ(m->payload.size(), static_cast<size_t>(i) * 3);
+  }
+}
+
+TEST(RingTest, BackpressureWhenReceiverStalls) {
+  RingPair p(512);
+  size_t sent = 0;
+  while (p.tx->TrySend(1, kFlagEnd, Payload(100, 1))) ++sent;
+  // 512-byte ring, 128-byte wire messages: bounded sends, then full.
+  EXPECT_GE(sent, 2u);
+  EXPECT_LE(sent, 4u);
+
+  // Draining one message (which acks) re-opens space.
+  ASSERT_TRUE(p.rx->TryReceive().has_value());
+  EXPECT_TRUE(p.tx->TrySend(1, kFlagEnd, Payload(100, 2)));
+}
+
+TEST(RingTest, WrapAroundWithPad) {
+  RingPair p(256);
+  // Messages of wire size 72 (56B payload): after 3 sends the 4th needs
+  // a PAD (256 - 216 = 40 contiguous < 72).
+  for (int round = 0; round < 20; ++round) {
+    ASSERT_TRUE(p.tx->TrySend(7, kFlagEnd, Payload(56, 7)))
+        << "round " << round;
+    const auto m = p.rx->TryReceive();
+    ASSERT_TRUE(m.has_value()) << "round " << round;
+    EXPECT_EQ(m->payload.size(), 56u);
+    EXPECT_EQ(m->payload[0], std::byte{7});
+  }
+}
+
+TEST(RingTest, MaxPayloadMessageFits) {
+  RingPair p(1024);
+  const size_t max = p.tx->MaxPayload();
+  EXPECT_EQ(max, 1024 / 2 - kMsgHeaderBytes - 1);
+  ASSERT_TRUE(p.tx->TrySend(2, kFlagEnd, Payload(max, 0xee)));
+  const auto m = p.rx->TryReceive();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload.size(), max);
+}
+
+TEST(RingTest, RandomizedSizesSurviveManyWraps) {
+  RingPair p(2048);
+  Xoshiro256 rng(12345);
+  for (int i = 0; i < 3000; ++i) {
+    const size_t n = rng.NextBounded(p.tx->MaxPayload() + 1);
+    const auto fill = static_cast<uint8_t>(rng.Next());
+    const auto payload = Payload(n, fill);
+    ASSERT_TRUE(p.tx->TrySend(static_cast<uint16_t>(i & 0xffff), kFlagEnd,
+                              payload));
+    const auto m = p.rx->TryReceive();
+    ASSERT_TRUE(m.has_value()) << "iteration " << i;
+    ASSERT_EQ(m->payload, payload) << "iteration " << i;
+  }
+}
+
+TEST(RingTest, PipelinedBatchThenDrain) {
+  RingPair p(4096);
+  // Queue several messages before draining any.
+  int sent = 0;
+  for (; sent < 10; ++sent) {
+    if (!p.tx->TrySend(static_cast<uint16_t>(sent), kFlagEnd,
+                       Payload(64, static_cast<uint8_t>(sent)))) {
+      break;
+    }
+  }
+  ASSERT_GE(sent, 10);
+  for (int i = 0; i < sent; ++i) {
+    const auto m = p.rx->TryReceive();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->type, i);
+  }
+  EXPECT_FALSE(p.rx->TryReceive().has_value());
+}
+
+TEST(RingTest, CrossThreadStream) {
+  RingPair p(1024);
+  constexpr int kMessages = 20000;
+  std::thread producer([&] {
+    Xoshiro256 rng(5);
+    for (int i = 0; i < kMessages; ++i) {
+      std::vector<std::byte> payload(rng.NextBounded(200));
+      for (auto& b : payload) b = static_cast<std::byte>(i & 0xff);
+      while (!p.tx->TrySend(static_cast<uint16_t>(i & 0x7fff), kFlagEnd,
+                            payload)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  int received = 0;
+  Xoshiro256 rng(5);  // same stream to recompute expected sizes
+  while (received < kMessages) {
+    const auto m = p.rx->TryReceive();
+    if (!m) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(m->type, received & 0x7fff);
+    ASSERT_EQ(m->payload.size(), rng.NextBounded(200));
+    for (const auto b : m->payload) {
+      ASSERT_EQ(b, static_cast<std::byte>(received & 0xff));
+    }
+    ++received;
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace catfish::msg

@@ -1,0 +1,59 @@
+// Shared helpers for the test suites: random rectangle generation and a
+// brute-force spatial oracle.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/rect.h"
+
+namespace catfish::testutil {
+
+/// Random rectangle in the unit square with edges uniform in (0, max_edge].
+inline geo::Rect RandomRect(Xoshiro256& rng, double max_edge) {
+  const double w = rng.NextDouble() * max_edge;
+  const double h = rng.NextDouble() * max_edge;
+  const double x = rng.NextDouble() * (1.0 - w);
+  const double y = rng.NextDouble() * (1.0 - h);
+  return geo::Rect{x, y, x + w, y + h};
+}
+
+/// O(n) reference implementation of rectangle intersection search.
+class BruteForceIndex {
+ public:
+  void Insert(const geo::Rect& r, uint64_t id) { items_.emplace_back(r, id); }
+
+  bool Delete(const geo::Rect& r, uint64_t id) {
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (items_[i].second == id && items_[i].first == r) {
+        items_[i] = items_.back();
+        items_.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Returns matching ids, sorted.
+  std::vector<uint64_t> Search(const geo::Rect& q) const {
+    std::vector<uint64_t> out;
+    for (const auto& [rect, id] : items_) {
+      if (rect.Intersects(q)) out.push_back(id);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  size_t size() const { return items_.size(); }
+  const std::vector<std::pair<geo::Rect, uint64_t>>& items() const {
+    return items_;
+  }
+
+ private:
+  std::vector<std::pair<geo::Rect, uint64_t>> items_;
+};
+
+}  // namespace catfish::testutil

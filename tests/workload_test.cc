@@ -1,0 +1,185 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace catfish::workload {
+namespace {
+
+TEST(WorkloadTest, UniformRectWithinBounds) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto r = UniformRect(rng, 0.01);
+    ASSERT_TRUE(r.IsValid());
+    ASSERT_GE(r.min_x, 0.0);
+    ASSERT_GE(r.min_y, 0.0);
+    ASSERT_LE(r.max_x, 1.0);
+    ASSERT_LE(r.max_y, 1.0);
+    ASSERT_LE(r.width(), 0.01);
+    ASSERT_LE(r.height(), 0.01);
+  }
+}
+
+TEST(WorkloadTest, PowerLawScaleSkewsSmall) {
+  Xoshiro256 rng(2);
+  int small = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto r = PowerLawScaleRect(rng);
+    ASSERT_LE(r.width(), 0.01);
+    if (r.width() < 0.001 && r.height() < 0.001) ++small;
+  }
+  // f(t) ∝ t^-0.99 means most scales are near the bottom of the range.
+  EXPECT_GT(small, n / 2);
+}
+
+TEST(WorkloadTest, SkewedInsertMatchesPaperScheme) {
+  // §V-B: x,y ~ f(t) ∝ t^-0.99 on (0.5, 1], then reflected uniformly
+  // into the four quadrants. Two checkable consequences: (a) each
+  // coordinate's |c - 0.5| follows the power-law radial profile —
+  // P(|c-0.5| ≤ 0.25) = P(t ≤ 0.75) ≈ 0.585, clearly above the uniform
+  // 0.5; (b) all four quadrants receive equal mass.
+  Xoshiro256 rng(3);
+  const int n = 40000;
+  int inner = 0;
+  int quadrant[4] = {0, 0, 0, 0};
+  for (int i = 0; i < n; ++i) {
+    const auto r = SkewedInsertRect(rng, 1e-4);
+    ASSERT_TRUE(r.IsValid());
+    ASSERT_GE(r.min_x, 0.0);
+    ASSERT_LE(r.max_x, 1.0);
+    ASSERT_GE(r.min_y, 0.0);
+    ASSERT_LE(r.max_y, 1.0);
+    const auto c = r.Center();
+    if (std::abs(c.x - 0.5) <= 0.25) ++inner;
+    ++quadrant[(c.x > 0.5 ? 1 : 0) + (c.y > 0.5 ? 2 : 0)];
+  }
+  EXPECT_NEAR(static_cast<double>(inner) / n, 0.585, 0.02);
+  for (const int q : quadrant) EXPECT_NEAR(q, n / 4, n / 20);
+}
+
+TEST(WorkloadTest, UniformDatasetDeterministic) {
+  const auto a = UniformDataset(1000, 1e-4, 77);
+  const auto b = UniformDataset(1000, 1e-4, 77);
+  ASSERT_EQ(a.size(), 1000u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mbr, b[i].mbr);
+    EXPECT_EQ(a[i].id, b[i].id);
+  }
+  const auto c = UniformDataset(1000, 1e-4, 78);
+  EXPECT_FALSE(a[0].mbr == c[0].mbr);
+}
+
+TEST(Rea02Test, SyntheticMatchesPublishedStructure) {
+  Rea02Config cfg;
+  cfg.total = 50'000;  // scaled-down build for the unit test
+  cfg.region_size = 5'000;
+  const auto ds = BuildRea02Synthetic(11, cfg);
+  ASSERT_EQ(ds.insert_order.size(), cfg.total);
+
+  // All rects valid and inside the unit square; street segments are thin.
+  for (const auto& e : ds.insert_order) {
+    ASSERT_TRUE(e.mbr.IsValid());
+    ASSERT_GE(e.mbr.min_x, 0.0);
+    ASSERT_LE(e.mbr.max_x, 1.0);
+    ASSERT_GE(e.mbr.min_y, 0.0);
+    ASSERT_LE(e.mbr.max_y, 1.0);
+    ASSERT_GT(e.mbr.width(), e.mbr.height());  // row segments are wide
+  }
+
+  // Ids are unique.
+  std::vector<uint64_t> ids;
+  for (const auto& e : ds.insert_order) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+
+  // Insertion order is region-clustered: consecutive rects are mostly
+  // near each other (row order within a region).
+  int near = 0;
+  const int probes = 1000;
+  for (int i = 0; i < probes; ++i) {
+    const auto& a = ds.insert_order[i].mbr;
+    const auto& b = ds.insert_order[i + 1].mbr;
+    if (geo::CenterDistance2(a, b) < 0.01) ++near;
+  }
+  EXPECT_GT(near, probes * 8 / 10);
+}
+
+TEST(Rea02Test, QueryCardinalityCalibrated) {
+  Rea02Config cfg;
+  cfg.total = 100'000;
+  cfg.region_size = 10'000;
+  const auto ds = BuildRea02Synthetic(5, cfg);
+
+  // Brute-force count of matches per query: the mean must be near 100
+  // with the bulk of queries inside a generous [25, 300] band.
+  Xoshiro256 rng(6);
+  double total = 0;
+  int in_band = 0;
+  const int probes = 60;
+  for (int q = 0; q < probes; ++q) {
+    const auto query = Rea02Query(rng, cfg);
+    int hits = 0;
+    for (const auto& e : ds.insert_order) {
+      if (e.mbr.Intersects(query)) ++hits;
+    }
+    total += hits;
+    if (hits >= 25 && hits <= 300) ++in_band;
+  }
+  EXPECT_NEAR(total / probes, 100.0, 50.0);
+  EXPECT_GE(in_band, probes * 3 / 4);
+}
+
+TEST(RequestGenTest, SearchOnlyStream) {
+  RequestGen::Config cfg;
+  cfg.dist = RequestGen::ScaleDist::kFixed;
+  cfg.scale = 1e-5;
+  RequestGen gen(cfg, 9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto req = gen.Next();
+    ASSERT_EQ(req.op, OpType::kSearch);
+    ASSERT_LE(req.rect.width(), 1e-5);
+  }
+}
+
+TEST(RequestGenTest, HybridRatioApproximatelyHolds) {
+  RequestGen::Config cfg;
+  cfg.insert_ratio = 0.1;
+  cfg.scale = 1e-2;
+  RequestGen gen(cfg, 10);
+  int inserts = 0;
+  const int n = 20000;
+  std::vector<uint64_t> insert_ids;
+  for (int i = 0; i < n; ++i) {
+    const auto req = gen.Next();
+    if (req.op == OpType::kInsert) {
+      ++inserts;
+      insert_ids.push_back(req.id);
+    }
+  }
+  EXPECT_NEAR(inserts, n / 10, n / 100);
+  // Insert ids are unique and disjoint from dataset ids.
+  std::sort(insert_ids.begin(), insert_ids.end());
+  EXPECT_TRUE(std::adjacent_find(insert_ids.begin(), insert_ids.end()) ==
+              insert_ids.end());
+  EXPECT_GE(insert_ids.front(), 1ull << 32);
+}
+
+TEST(RequestGenTest, PowerLawDistProducesMixedScales) {
+  RequestGen::Config cfg;
+  cfg.dist = RequestGen::ScaleDist::kPowerLaw;
+  RequestGen gen(cfg, 11);
+  int tiny = 0;
+  int large = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto req = gen.Next();
+    if (req.rect.width() < 1e-4) ++tiny;
+    if (req.rect.width() > 1e-3) ++large;
+  }
+  EXPECT_GT(tiny, 4000);  // skew toward small
+  EXPECT_GT(large, 50);   // but the tail exists
+}
+
+}  // namespace
+}  // namespace catfish::workload
