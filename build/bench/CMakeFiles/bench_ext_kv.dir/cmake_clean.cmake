@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_kv.dir/bench_ext_kv.cc.o"
+  "CMakeFiles/bench_ext_kv.dir/bench_ext_kv.cc.o.d"
+  "bench_ext_kv"
+  "bench_ext_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

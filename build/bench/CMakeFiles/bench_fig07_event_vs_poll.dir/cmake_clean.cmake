@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_event_vs_poll.dir/bench_fig07_event_vs_poll.cc.o"
+  "CMakeFiles/bench_fig07_event_vs_poll.dir/bench_fig07_event_vs_poll.cc.o.d"
+  "bench_fig07_event_vs_poll"
+  "bench_fig07_event_vs_poll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_event_vs_poll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

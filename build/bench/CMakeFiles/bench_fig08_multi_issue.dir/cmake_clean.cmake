@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_multi_issue.dir/bench_fig08_multi_issue.cc.o"
+  "CMakeFiles/bench_fig08_multi_issue.dir/bench_fig08_multi_issue.cc.o.d"
+  "bench_fig08_multi_issue"
+  "bench_fig08_multi_issue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_multi_issue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

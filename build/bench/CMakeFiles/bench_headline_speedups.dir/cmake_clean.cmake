@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline_speedups.dir/bench_headline_speedups.cc.o"
+  "CMakeFiles/bench_headline_speedups.dir/bench_headline_speedups.cc.o.d"
+  "bench_headline_speedups"
+  "bench_headline_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

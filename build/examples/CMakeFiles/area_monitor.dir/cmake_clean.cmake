@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_monitor.dir/area_monitor.cpp.o"
+  "CMakeFiles/area_monitor.dir/area_monitor.cpp.o.d"
+  "area_monitor"
+  "area_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/capacity_planner.cpp" "examples/CMakeFiles/capacity_planner.dir/capacity_planner.cpp.o" "gcc" "examples/CMakeFiles/capacity_planner.dir/capacity_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/catfish_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/catfish_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/catfish_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/catfish/CMakeFiles/catfish_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpkit/CMakeFiles/catfish_tcpkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/catfish_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/catfish_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdmasim/CMakeFiles/catfish_rdmasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/catfish_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

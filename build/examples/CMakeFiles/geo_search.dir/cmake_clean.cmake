@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_search.dir/geo_search.cpp.o"
+  "CMakeFiles/geo_search.dir/geo_search.cpp.o.d"
+  "geo_search"
+  "geo_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

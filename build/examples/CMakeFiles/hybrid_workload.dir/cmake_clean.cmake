@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_workload.dir/hybrid_workload.cpp.o"
+  "CMakeFiles/hybrid_workload.dir/hybrid_workload.cpp.o.d"
+  "hybrid_workload"
+  "hybrid_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

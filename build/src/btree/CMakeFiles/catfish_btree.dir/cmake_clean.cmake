@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catfish_btree.dir/bplus.cc.o"
+  "CMakeFiles/catfish_btree.dir/bplus.cc.o.d"
+  "libcatfish_btree.a"
+  "libcatfish_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catfish_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catfish_core.dir/bootstrap.cc.o"
+  "CMakeFiles/catfish_core.dir/bootstrap.cc.o.d"
+  "CMakeFiles/catfish_core.dir/client.cc.o"
+  "CMakeFiles/catfish_core.dir/client.cc.o.d"
+  "CMakeFiles/catfish_core.dir/server.cc.o"
+  "CMakeFiles/catfish_core.dir/server.cc.o.d"
+  "libcatfish_core.a"
+  "libcatfish_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catfish_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

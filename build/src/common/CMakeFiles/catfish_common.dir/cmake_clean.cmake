@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catfish_common.dir/stats.cc.o"
+  "CMakeFiles/catfish_common.dir/stats.cc.o.d"
+  "libcatfish_common.a"
+  "libcatfish_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catfish_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catfish_cuckoo.dir/cuckoo.cc.o"
+  "CMakeFiles/catfish_cuckoo.dir/cuckoo.cc.o.d"
+  "libcatfish_cuckoo.a"
+  "libcatfish_cuckoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catfish_cuckoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

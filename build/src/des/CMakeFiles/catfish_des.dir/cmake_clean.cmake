@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catfish_des.dir/resources.cc.o"
+  "CMakeFiles/catfish_des.dir/resources.cc.o.d"
+  "CMakeFiles/catfish_des.dir/scheduler.cc.o"
+  "CMakeFiles/catfish_des.dir/scheduler.cc.o.d"
+  "libcatfish_des.a"
+  "libcatfish_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catfish_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catfish_model.dir/cluster_sim.cc.o"
+  "CMakeFiles/catfish_model.dir/cluster_sim.cc.o.d"
+  "libcatfish_model.a"
+  "libcatfish_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catfish_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

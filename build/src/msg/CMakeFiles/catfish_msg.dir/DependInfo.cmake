@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msg/protocol.cc" "src/msg/CMakeFiles/catfish_msg.dir/protocol.cc.o" "gcc" "src/msg/CMakeFiles/catfish_msg.dir/protocol.cc.o.d"
+  "/root/repo/src/msg/ring.cc" "src/msg/CMakeFiles/catfish_msg.dir/ring.cc.o" "gcc" "src/msg/CMakeFiles/catfish_msg.dir/ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/catfish_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/catfish_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdmasim/CMakeFiles/catfish_rdmasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catfish_msg.dir/protocol.cc.o"
+  "CMakeFiles/catfish_msg.dir/protocol.cc.o.d"
+  "CMakeFiles/catfish_msg.dir/ring.cc.o"
+  "CMakeFiles/catfish_msg.dir/ring.cc.o.d"
+  "libcatfish_msg.a"
+  "libcatfish_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catfish_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catfish_rdmasim.dir/rdma.cc.o"
+  "CMakeFiles/catfish_rdmasim.dir/rdma.cc.o.d"
+  "libcatfish_rdmasim.a"
+  "libcatfish_rdmasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catfish_rdmasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

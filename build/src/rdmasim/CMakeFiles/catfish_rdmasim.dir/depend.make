@@ -1,0 +1,2 @@
+# Empty dependencies file for catfish_rdmasim.
+# This may be replaced when dependencies are built.

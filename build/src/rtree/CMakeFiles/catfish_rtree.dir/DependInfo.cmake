@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtree/arena.cc" "src/rtree/CMakeFiles/catfish_rtree.dir/arena.cc.o" "gcc" "src/rtree/CMakeFiles/catfish_rtree.dir/arena.cc.o.d"
+  "/root/repo/src/rtree/bulk_load.cc" "src/rtree/CMakeFiles/catfish_rtree.dir/bulk_load.cc.o" "gcc" "src/rtree/CMakeFiles/catfish_rtree.dir/bulk_load.cc.o.d"
+  "/root/repo/src/rtree/layout.cc" "src/rtree/CMakeFiles/catfish_rtree.dir/layout.cc.o" "gcc" "src/rtree/CMakeFiles/catfish_rtree.dir/layout.cc.o.d"
+  "/root/repo/src/rtree/node.cc" "src/rtree/CMakeFiles/catfish_rtree.dir/node.cc.o" "gcc" "src/rtree/CMakeFiles/catfish_rtree.dir/node.cc.o.d"
+  "/root/repo/src/rtree/rstar.cc" "src/rtree/CMakeFiles/catfish_rtree.dir/rstar.cc.o" "gcc" "src/rtree/CMakeFiles/catfish_rtree.dir/rstar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/catfish_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

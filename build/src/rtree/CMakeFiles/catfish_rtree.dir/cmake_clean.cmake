@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catfish_rtree.dir/arena.cc.o"
+  "CMakeFiles/catfish_rtree.dir/arena.cc.o.d"
+  "CMakeFiles/catfish_rtree.dir/bulk_load.cc.o"
+  "CMakeFiles/catfish_rtree.dir/bulk_load.cc.o.d"
+  "CMakeFiles/catfish_rtree.dir/layout.cc.o"
+  "CMakeFiles/catfish_rtree.dir/layout.cc.o.d"
+  "CMakeFiles/catfish_rtree.dir/node.cc.o"
+  "CMakeFiles/catfish_rtree.dir/node.cc.o.d"
+  "CMakeFiles/catfish_rtree.dir/rstar.cc.o"
+  "CMakeFiles/catfish_rtree.dir/rstar.cc.o.d"
+  "libcatfish_rtree.a"
+  "libcatfish_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catfish_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catfish_tcpkit.dir/stream.cc.o"
+  "CMakeFiles/catfish_tcpkit.dir/stream.cc.o.d"
+  "CMakeFiles/catfish_tcpkit.dir/tcp_rtree.cc.o"
+  "CMakeFiles/catfish_tcpkit.dir/tcp_rtree.cc.o.d"
+  "libcatfish_tcpkit.a"
+  "libcatfish_tcpkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catfish_tcpkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

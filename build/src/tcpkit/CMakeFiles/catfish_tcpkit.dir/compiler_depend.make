@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for catfish_tcpkit.
+# This may be replaced when dependencies are built.

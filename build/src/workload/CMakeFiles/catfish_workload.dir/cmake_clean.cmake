@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catfish_workload.dir/generators.cc.o"
+  "CMakeFiles/catfish_workload.dir/generators.cc.o.d"
+  "libcatfish_workload.a"
+  "libcatfish_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catfish_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catfish_integration_test.dir/catfish_integration_test.cc.o"
+  "CMakeFiles/catfish_integration_test.dir/catfish_integration_test.cc.o.d"
+  "catfish_integration_test"
+  "catfish_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catfish_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

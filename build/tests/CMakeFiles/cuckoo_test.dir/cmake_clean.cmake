@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuckoo_test.dir/cuckoo_test.cc.o"
+  "CMakeFiles/cuckoo_test.dir/cuckoo_test.cc.o.d"
+  "cuckoo_test"
+  "cuckoo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuckoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

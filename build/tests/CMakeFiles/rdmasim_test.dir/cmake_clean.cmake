@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmasim_test.dir/rdmasim_test.cc.o"
+  "CMakeFiles/rdmasim_test.dir/rdmasim_test.cc.o.d"
+  "rdmasim_test"
+  "rdmasim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmasim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpkit_test.dir/tcpkit_test.cc.o"
+  "CMakeFiles/tcpkit_test.dir/tcpkit_test.cc.o.d"
+  "tcpkit_test"
+  "tcpkit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpkit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
