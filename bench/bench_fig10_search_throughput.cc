@@ -12,11 +12,12 @@
 // offloading, 16.46× over TCP.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catfish;
   using namespace catfish::bench;
-  const BenchEnv env = BenchEnv::Load();
+  const BenchEnv env = BenchEnv::Load(argc, argv);
   PrintEnv("Figure 10: search-only throughput (Kops)", env);
+  CellExporter exporter("fig10_search_throughput", env);
 
   Testbed tb = MakeUniformTestbed(env.dataset, env.seed);
 
@@ -35,7 +36,7 @@ int main() {
     for (const auto s : kAllSchemes) {
       std::printf("%-18s", model::SchemeName(s));
       for (const size_t c : client_counts) {
-        const auto r = RunOne(tb, s, c, w, env);
+        const auto r = exporter.Run(tb, s, c, w, env);
         std::printf(" %10.1f", r.throughput_kops);
       }
       std::printf("\n");

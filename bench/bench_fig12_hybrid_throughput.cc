@@ -9,11 +9,12 @@
 // messaging / offloading / TCP.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catfish;
   using namespace catfish::bench;
-  const BenchEnv env = BenchEnv::Load();
+  const BenchEnv env = BenchEnv::Load(argc, argv);
   PrintEnv("Figure 12: 90/10 search+insert throughput (Kops)", env);
+  CellExporter exporter("fig12_hybrid_throughput", env);
 
   Testbed tb = MakeUniformTestbed(env.dataset, env.seed);
 
@@ -33,7 +34,7 @@ int main() {
     for (const auto s : kAllSchemes) {
       std::printf("%-18s", model::SchemeName(s));
       for (const size_t c : client_counts) {
-        const auto r = RunOne(tb, s, c, w, env);
+        const auto r = exporter.Run(tb, s, c, w, env);
         std::printf(" %10.1f", r.throughput_kops);
       }
       std::printf("\n");

@@ -15,11 +15,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
 #include "model/cluster_sim.h"
 #include "rtree/bulk_load.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
 #include "workload/generators.h"
 
 namespace catfish::bench {
@@ -28,8 +31,11 @@ struct BenchEnv {
   size_t dataset = 2'000'000;
   uint64_t requests = 300;
   uint64_t seed = 20260705;
+  /// JSONL sink for per-cell telemetry ("-" = stdout, "" = disabled).
+  /// Set with --telemetry-json <path> (or CATFISH_TELEMETRY_JSON).
+  std::string telemetry_json;
 
-  static BenchEnv Load() {
+  static BenchEnv Load(int argc = 0, char* const* argv = nullptr) {
     BenchEnv env;
     if (const char* q = std::getenv("CATFISH_QUICK"); q && q[0] == '1') {
       env.dataset = 200'000;
@@ -40,6 +46,17 @@ struct BenchEnv {
     }
     if (const char* r = std::getenv("CATFISH_REQUESTS")) {
       env.requests = std::strtoull(r, nullptr, 10);
+    }
+    if (const char* j = std::getenv("CATFISH_TELEMETRY_JSON")) {
+      env.telemetry_json = j;
+    }
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--telemetry-json") == 0 && i + 1 < argc) {
+        env.telemetry_json = argv[++i];
+      } else if (std::strncmp(arg, "--telemetry-json=", 17) == 0) {
+        env.telemetry_json = arg + 17;
+      }
     }
     return env;
   }
@@ -121,11 +138,6 @@ inline model::RunResult RunOne(Testbed& tb, model::Scheme s, size_t clients,
   return sim.Run();
 }
 
-inline constexpr model::Scheme kAllSchemes[] = {
-    model::Scheme::kTcp1G, model::Scheme::kTcp40G,
-    model::Scheme::kFastMessaging, model::Scheme::kRdmaOffloading,
-    model::Scheme::kCatfish};
-
 inline const char* ScaleLabel(const workload::RequestGen::Config& w) {
   switch (w.dist) {
     case workload::RequestGen::ScaleDist::kPowerLaw: return "power-law";
@@ -134,6 +146,84 @@ inline const char* ScaleLabel(const workload::RequestGen::Config& w) {
     default: return w.scale <= 1e-4 ? "0.00001" : "0.01";
   }
 }
+
+/// Per-cell telemetry sink. When the env names a JSONL path, Run()
+/// resets the global metrics registry before each cell, runs it, and
+/// appends one JSON line holding the cell coordinates, throughput,
+/// per-path latency histograms, adaptive counters and the full metric
+/// snapshot (rdma.*, catfish.*, ...). With no path it is a plain RunOne.
+class CellExporter {
+ public:
+  CellExporter(const char* figure, const BenchEnv& env) : figure_(figure) {
+    if (!env.telemetry_json.empty()) {
+      out_ = std::make_unique<telemetry::JsonLinesWriter>(env.telemetry_json);
+      if (!out_->ok()) {
+        std::fprintf(stderr, "warning: cannot open '%s' for telemetry JSON\n",
+                     env.telemetry_json.c_str());
+        out_.reset();
+      }
+    }
+  }
+
+  bool enabled() const noexcept { return out_ != nullptr; }
+
+  model::RunResult Run(Testbed& tb, model::Scheme s, size_t clients,
+                       const workload::RequestGen::Config& w,
+                       const BenchEnv& env) {
+    if (!out_) return RunOne(tb, s, clients, w, env);
+    telemetry::Registry::Global().Reset();
+    const model::RunResult r = RunOne(tb, s, clients, w, env);
+    WriteCell(r, s, clients, w, env);
+    return r;
+  }
+
+ private:
+  void WriteCell(const model::RunResult& r, model::Scheme s, size_t clients,
+                 const workload::RequestGen::Config& w, const BenchEnv& env) {
+    const auto snap = telemetry::Registry::Global().TakeSnapshot();
+    telemetry::JsonWriter j;
+    j.BeginObject();
+    j.Key("figure").Value(figure_);
+    j.Key("scheme").Value(model::SchemeName(s));
+    j.Key("workload").Value(ScaleLabel(w));
+    j.Key("insert_ratio").Value(w.insert_ratio);
+    j.Key("clients").Value(static_cast<uint64_t>(clients));
+    j.Key("dataset").Value(static_cast<uint64_t>(env.dataset));
+    j.Key("requests_per_client").Value(env.requests);
+    j.Key("completed").Value(r.completed);
+    j.Key("duration_us").Value(r.duration_us);
+    j.Key("throughput_kops").Value(r.throughput_kops);
+    j.Key("server_cpu_util").Value(r.server_cpu_util);
+    j.Key("server_tx_gbps").Value(r.server_tx_gbps);
+    j.Key("server_rx_gbps").Value(r.server_rx_gbps);
+    j.Key("latency_us");
+    telemetry::WriteHistogram(j, r.latency_us);
+    j.Key("fast_latency_us");
+    telemetry::WriteHistogram(j, r.fast_latency_us);
+    j.Key("offload_latency_us");
+    telemetry::WriteHistogram(j, r.offload_latency_us);
+    j.Key("insert_latency_us");
+    telemetry::WriteHistogram(j, r.insert_latency_us);
+    j.Key("adaptive");
+    j.BeginObject();
+    j.Key("mode_switches").Value(r.mode_switches);
+    j.Key("escalations").Value(r.adaptive_escalations);
+    j.Key("fast_searches").Value(r.fast_searches);
+    j.Key("offloaded_searches").Value(r.offloaded_searches);
+    j.EndObject();
+    j.Key("metrics").Raw(telemetry::SnapshotToJson(snap));
+    j.EndObject();
+    out_->WriteLine(j.str());
+  }
+
+  const char* figure_;
+  std::unique_ptr<telemetry::JsonLinesWriter> out_;
+};
+
+inline constexpr model::Scheme kAllSchemes[] = {
+    model::Scheme::kTcp1G, model::Scheme::kTcp40G,
+    model::Scheme::kFastMessaging, model::Scheme::kRdmaOffloading,
+    model::Scheme::kCatfish};
 
 inline void PrintEnv(const char* figure, const BenchEnv& env) {
   std::printf("=== %s ===\n", figure);

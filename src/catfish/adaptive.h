@@ -31,6 +31,20 @@ enum class UtilPredictor : uint8_t {
   kEwma,        ///< U = α·last + (1-α)·previous prediction
 };
 
+/// Counters the controller keeps about its own decisions (telemetry):
+/// how often each path was chosen, how often the chosen path flipped,
+/// and how many times the back-off window escalated. Cheap enough to be
+/// always on — reading them is how the benches and the telemetry layer
+/// observe Algorithm 1 without touching its state machine.
+struct AdaptiveStats {
+  uint64_t fast_decisions = 0;
+  uint64_t offload_decisions = 0;
+  /// Decisions that differ from the immediately preceding decision.
+  uint64_t mode_switches = 0;
+  /// Back-off window extensions (r_busy increments on busy heartbeats).
+  uint64_t escalations = 0;
+};
+
 struct AdaptiveConfig {
   /// Heartbeat interval Inv, microseconds (paper: 10 ms).
   uint64_t heartbeat_interval_us = 10'000;
@@ -78,6 +92,7 @@ class AdaptiveController {
     if (predicted > cfg_.busy_threshold) {
       if (r_off_ == 0) {
         ++r_busy_;
+        ++stats_.escalations;
         r_off_ = rng_.NextBounded(cfg_.window) +
                  static_cast<uint64_t>(r_busy_ - 1) * cfg_.window;
       }
@@ -85,21 +100,35 @@ class AdaptiveController {
       // Fresh heartbeat says the server recovered: reset the back-off.
       r_busy_ = 0;
     }
+    AccessMode mode = AccessMode::kFastMessaging;
     if (r_off_ > 0) {
       --r_off_;
-      return AccessMode::kRdmaOffloading;
+      mode = AccessMode::kRdmaOffloading;
     }
-    return AccessMode::kFastMessaging;
+    Record(mode);
+    return mode;
   }
 
   uint32_t r_busy() const noexcept { return r_busy_; }
   uint64_t r_off() const noexcept { return r_off_; }
   const AdaptiveConfig& config() const noexcept { return cfg_; }
+  const AdaptiveStats& stats() const noexcept { return stats_; }
 
   /// The current prediction (diagnostics / tests).
   double predicted_util() const noexcept { return ewma_; }
 
  private:
+  void Record(AccessMode mode) noexcept {
+    if (mode == AccessMode::kRdmaOffloading) {
+      ++stats_.offload_decisions;
+    } else {
+      ++stats_.fast_decisions;
+    }
+    if (have_last_mode_ && mode != last_mode_) ++stats_.mode_switches;
+    last_mode_ = mode;
+    have_last_mode_ = true;
+  }
+
   /// predUtil(·) — §IV-A with the §VI predictor extension.
   double PredictUtil(double most_recent) noexcept {
     switch (cfg_.predictor) {
@@ -121,6 +150,9 @@ class AdaptiveController {
   uint64_t t0_us_ = 0;
   uint32_t r_busy_ = 0;
   uint64_t r_off_ = 0;
+  AdaptiveStats stats_;
+  AccessMode last_mode_ = AccessMode::kFastMessaging;
+  bool have_last_mode_ = false;
 };
 
 }  // namespace catfish

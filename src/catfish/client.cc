@@ -5,8 +5,24 @@
 
 #include "common/clock.h"
 #include "rtree/layout.h"
+#include "telemetry/metrics.h"
 
 namespace catfish {
+
+bool RTreeClient::BeginTrace(const char* name) {
+  if (!cfg_.tracer || trace_) return false;
+  trace_ = cfg_.tracer->StartTrace(name);
+  if (!trace_) return false;
+  trace_root_ = trace_->root();
+  return true;
+}
+
+void RTreeClient::FinishTrace() {
+  if (!trace_) return;
+  cfg_.tracer->Finish(trace_);
+  trace_.reset();
+  trace_root_ = telemetry::kInvalidSpan;
+}
 
 RTreeClient::RTreeClient(std::shared_ptr<rdma::SimNode> node,
                          const HandshakeFn& shake, ClientConfig cfg)
@@ -63,6 +79,7 @@ void RTreeClient::SendRequest(msg::MsgType type,
 void RTreeClient::OnHeartbeatMessage(const msg::Heartbeat& hb) {
   controller_.OnHeartbeat(hb.cpu_util);
   ++stats_.heartbeats_received;
+  CATFISH_COUNT("catfish.client.heartbeats");
   if (cfg_.cache_internal_nodes &&
       (!cache_epoch_known_ || hb.tree_epoch != cached_epoch_)) {
     if (cache_epoch_known_ && !node_cache_.empty()) {
@@ -108,11 +125,27 @@ msg::Message RTreeClient::AwaitMessage() {
 
 std::vector<rtree::Entry> RTreeClient::SearchFast(const geo::Rect& rect) {
   PumpPending();
+  CATFISH_SCOPED_TIMER_US("catfish.client.search_fast_us");
+  const bool own_trace = BeginTrace("search.fast");
   const uint64_t req_id = ++next_req_id_;
+  if (trace_) trace_->SetAttr(trace_root_, "req_id", req_id);
+
+  auto write_span = telemetry::kInvalidSpan;
+  if (trace_) {
+    write_span = trace_->StartSpan(trace_root_, "ring_write",
+                                   cfg_.tracer->now_us());
+  }
   SendRequest(msg::MsgType::kSearchReq,
               msg::Encode(msg::SearchRequest{req_id, rect}));
+  auto collect_span = telemetry::kInvalidSpan;
+  if (trace_) {
+    trace_->EndSpan(write_span, cfg_.tracer->now_us());
+    collect_span = trace_->StartSpan(trace_root_, "collect_response",
+                                     cfg_.tracer->now_us());
+  }
 
   std::vector<rtree::Entry> results;
+  uint64_t segments = 0;
   for (;;) {
     const msg::Message m = AwaitMessage();
     if (static_cast<msg::MsgType>(m.type) != msg::MsgType::kSearchResp) {
@@ -122,10 +155,22 @@ std::vector<rtree::Entry> RTreeClient::SearchFast(const geo::Rect& rect) {
     if (!seg || seg->req_id != req_id) {
       throw std::logic_error("catfish client: response id mismatch");
     }
+    ++segments;
     results.insert(results.end(), seg->entries.begin(), seg->entries.end());
     if (m.flags & msg::kFlagEnd) break;
   }
   ++stats_.fast_searches;
+  CATFISH_COUNT("catfish.client.search.fast");
+  if (trace_) {
+    trace_->SetAttr(collect_span, "segments",
+                    static_cast<int64_t>(segments));
+    trace_->SetAttr(collect_span, "results",
+                    static_cast<int64_t>(results.size()));
+    trace_->EndSpan(collect_span, cfg_.tracer->now_us());
+    trace_->SetAttr(trace_root_, "results",
+                    static_cast<int64_t>(results.size()));
+    if (own_trace) FinishTrace();
+  }
   return results;
 }
 
@@ -188,6 +233,7 @@ void RTreeClient::ReadRemoteNode(rtree::ChunkId id, std::span<std::byte> buf,
     }
     if (TryDecodeNode(id, buf, out)) return;
     ++stats_.version_retries;
+    CATFISH_COUNT("catfish.client.version_retries");
     if (NowMicros() > deadline) {
       throw std::runtime_error("catfish client: node read livelock");
     }
@@ -213,6 +259,9 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
     const geo::Rect& rect, rtree::TraversalTrace* trace) {
   PumpPending();
   if (trace) trace->nodes_per_level.clear();
+  CATFISH_SCOPED_TIMER_US("catfish.client.search_offload_us");
+  const bool own_trace = BeginTrace("search.offload");
+  const ClientStats before = stats_;
 
   std::vector<rtree::Entry> results;
   std::vector<rtree::ChunkId> frontier{boot_.root};
@@ -226,11 +275,23 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
   // interval).
   const bool use_cache = cfg_.cache_internal_nodes && cache_epoch_known_;
 
+  int64_t level = 0;
   while (!frontier.empty()) {
     if (trace) {
       trace->nodes_per_level.push_back(
           static_cast<uint32_t>(frontier.size()));
     }
+    auto round_span = telemetry::kInvalidSpan;
+    ClientStats round_before;
+    if (trace_) {
+      round_span = trace_->StartSpan(trace_root_, "offload_round",
+                                     cfg_.tracer->now_us());
+      trace_->SetAttr(round_span, "level", level);
+      trace_->SetAttr(round_span, "frontier",
+                      static_cast<int64_t>(frontier.size()));
+      round_before = stats_;
+    }
+    ++level;
     next.clear();
     if (use_cache) {
       // Serve cached internal nodes without touching the wire.
@@ -239,6 +300,7 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
         const auto it = node_cache_.find(id);
         if (it != node_cache_.end()) {
           ++stats_.cache_hits;
+          CATFISH_COUNT("catfish.client.cache_hits");
           ProcessNode(it->second, rect, results, next);
         } else {
           to_fetch.push_back(id);
@@ -275,6 +337,7 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
             ++completed;
           } else {
             ++stats_.version_retries;
+            CATFISH_COUNT("catfish.client.version_retries");
             PostNodeRead(frontier[i], bufs[i], i);
           }
         }
@@ -291,14 +354,47 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
         if (use_cache && !node.IsLeaf()) node_cache_[id] = node;
       }
     }
+    if (trace_) {
+      trace_->SetAttr(
+          round_span, "reads",
+          static_cast<int64_t>(stats_.rdma_reads - round_before.rdma_reads));
+      trace_->SetAttr(round_span, "version_retries",
+                      static_cast<int64_t>(stats_.version_retries -
+                                           round_before.version_retries));
+      trace_->SetAttr(
+          round_span, "cache_hits",
+          static_cast<int64_t>(stats_.cache_hits - round_before.cache_hits));
+      trace_->EndSpan(round_span, cfg_.tracer->now_us());
+    }
     frontier.swap(next);
   }
   ++stats_.offloaded_searches;
+  CATFISH_COUNT("catfish.client.search.offload");
+  if (trace_) {
+    trace_->SetAttr(trace_root_, "rdma_reads",
+                    static_cast<int64_t>(stats_.rdma_reads -
+                                         before.rdma_reads));
+    trace_->SetAttr(trace_root_, "version_retries",
+                    static_cast<int64_t>(stats_.version_retries -
+                                         before.version_retries));
+    trace_->SetAttr(trace_root_, "cache_hits",
+                    static_cast<int64_t>(stats_.cache_hits -
+                                         before.cache_hits));
+    trace_->SetAttr(trace_root_, "results",
+                    static_cast<int64_t>(results.size()));
+    if (own_trace) FinishTrace();
+  }
   return results;
 }
 
 std::vector<rtree::Entry> RTreeClient::Search(const geo::Rect& rect) {
   PumpPending();
+  const bool own_trace = BeginTrace("search");
+  auto decide_span = telemetry::kInvalidSpan;
+  if (own_trace) {
+    decide_span =
+        trace_->StartSpan(trace_root_, "decide", cfg_.tracer->now_us());
+  }
   AccessMode mode;
   switch (cfg_.mode) {
     case ClientMode::kFastOnly:
@@ -312,9 +408,24 @@ std::vector<rtree::Entry> RTreeClient::Search(const geo::Rect& rect) {
       mode = controller_.NextMode(NowMicros());
       break;
   }
+  if (mode != last_mode_) CATFISH_COUNT("catfish.adaptive.mode_switches");
   last_mode_ = mode;
-  return mode == AccessMode::kFastMessaging ? SearchFast(rect)
-                                            : SearchOffloaded(rect);
+  if (own_trace) {
+    trace_->SetAttr(decide_span, "mode",
+                    mode == AccessMode::kRdmaOffloading ? 1 : 0);
+    trace_->SetAttr(decide_span, "r_busy",
+                    static_cast<int64_t>(controller_.r_busy()));
+    trace_->SetAttr(decide_span, "r_off",
+                    static_cast<int64_t>(controller_.r_off()));
+    trace_->EndSpan(decide_span, cfg_.tracer->now_us());
+    trace_->SetAttr(trace_root_, "mode",
+                    mode == AccessMode::kRdmaOffloading ? 1 : 0);
+  }
+  std::vector<rtree::Entry> results = mode == AccessMode::kFastMessaging
+                                          ? SearchFast(rect)
+                                          : SearchOffloaded(rect);
+  if (own_trace) FinishTrace();
+  return results;
 }
 
 bool RTreeClient::AwaitWriteAck(uint64_t req_id) {
@@ -336,6 +447,7 @@ bool RTreeClient::Insert(const geo::Rect& rect, uint64_t id) {
   SendRequest(msg::MsgType::kInsertReq,
               msg::Encode(msg::InsertRequest{req_id, rect, id}));
   ++stats_.inserts;
+  CATFISH_COUNT("catfish.client.insert");
   return AwaitWriteAck(req_id);
 }
 
@@ -345,6 +457,7 @@ bool RTreeClient::Delete(const geo::Rect& rect, uint64_t id) {
   SendRequest(msg::MsgType::kDeleteReq,
               msg::Encode(msg::DeleteRequest{req_id, rect, id}));
   ++stats_.deletes;
+  CATFISH_COUNT("catfish.client.delete");
   return AwaitWriteAck(req_id);
 }
 

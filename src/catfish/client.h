@@ -30,6 +30,7 @@
 #include "msg/ring.h"
 #include "rdmasim/rdma.h"
 #include "rtree/rstar.h"
+#include "telemetry/trace.h"
 
 namespace catfish {
 
@@ -54,6 +55,12 @@ struct ClientConfig {
   uint64_t seed = 1;
   /// Abort a stuck request after this long (guards tests/examples).
   uint64_t request_timeout_us = 30'000'000;
+  /// When set, every search records a span tree here: the adaptive
+  /// decision, then either the fast-messaging ring write + response
+  /// collection or the per-round offload fan-out (READ counts, version
+  /// retries, cache hits). Null = no tracing. The tracer must outlive
+  /// the client.
+  telemetry::Tracer* tracer = nullptr;
 };
 
 struct ClientStats {
@@ -167,6 +174,17 @@ class RTreeClient {
   std::unordered_map<rtree::ChunkId, rtree::NodeData> node_cache_;
   uint64_t cached_epoch_ = 0;
   bool cache_epoch_known_ = false;
+
+  /// The search currently being traced (null between requests or when
+  /// sampled out). Owned by Search()/SearchFast()/SearchOffloaded();
+  /// inner helpers attach child spans under trace_root_ when non-null.
+  std::shared_ptr<telemetry::Trace> trace_;
+  telemetry::SpanId trace_root_ = telemetry::kInvalidSpan;
+
+  /// Starts a trace for a top-level call when none is active; returns
+  /// true when this frame owns (and must finish) the trace.
+  bool BeginTrace(const char* name);
+  void FinishTrace();
 
   void OnHeartbeatMessage(const msg::Heartbeat& hb);
 };

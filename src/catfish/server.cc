@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/clock.h"
+#include "telemetry/metrics.h"
 
 namespace catfish {
 
@@ -93,59 +94,108 @@ void RTreeServer::SendResponse(Connection& conn, msg::MsgType type,
 }
 
 void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m) {
+  CATFISH_SCOPED_TIMER_US("catfish.server.service_us");
+  // One server-side span tree per request; joined with the client trace
+  // through the shared req_id attribute (there is deliberately no trace
+  // context on the wire — the protocol stays byte-identical).
+  std::shared_ptr<telemetry::Trace> trace;
+  if (cfg_.tracer) trace = cfg_.tracer->StartTrace("server.request");
+  const auto span_begin = [&](const char* name) {
+    return trace ? trace->StartSpan(trace->root(), name,
+                                    cfg_.tracer->now_us())
+                 : telemetry::kInvalidSpan;
+  };
+  const auto span_end = [&](telemetry::SpanId id) {
+    if (trace) trace->EndSpan(id, cfg_.tracer->now_us());
+  };
+  const auto set_attr = [&](const char* key, int64_t v) {
+    if (trace) trace->SetAttr(trace->root(), key, v);
+  };
+
   switch (static_cast<msg::MsgType>(m.type)) {
     case msg::MsgType::kSearchReq: {
       const auto req = msg::DecodeSearchRequest(m.payload);
-      if (!req) return;
+      if (!req) break;
+      set_attr("req_id", static_cast<int64_t>(req->req_id));
       std::vector<rtree::Entry> results;
+      const auto traverse = span_begin("traverse");
       tree_->Search(req->rect, results);
+      span_end(traverse);
       searches_.fetch_add(1, std::memory_order_relaxed);
+      CATFISH_COUNT("catfish.server.search");
       const auto segments = msg::EncodeSearchResponse(
           req->req_id, results, conn.response_tx->MaxPayload());
+      CATFISH_COUNT_ADD("catfish.server.segments", segments.size());
+      set_attr("results", static_cast<int64_t>(results.size()));
+      set_attr("segments", static_cast<int64_t>(segments.size()));
+      const auto respond = span_begin("respond");
       for (size_t i = 0; i < segments.size(); ++i) {
         const uint16_t flags =
             i + 1 < segments.size() ? msg::kFlagCont : msg::kFlagEnd;
         SendResponse(conn, msg::MsgType::kSearchResp, flags, segments[i]);
       }
-      return;
+      span_end(respond);
+      break;
     }
     case msg::MsgType::kKnnReq: {
       const auto req = msg::DecodeKnnRequest(m.payload);
-      if (!req) return;
+      if (!req) break;
+      set_attr("req_id", static_cast<int64_t>(req->req_id));
       std::vector<rtree::Entry> results;
+      const auto traverse = span_begin("traverse");
       tree_->NearestNeighbors(req->point, req->k, results);
+      span_end(traverse);
       searches_.fetch_add(1, std::memory_order_relaxed);
+      CATFISH_COUNT("catfish.server.search");
       const auto segments = msg::EncodeSearchResponse(
           req->req_id, results, conn.response_tx->MaxPayload());
+      CATFISH_COUNT_ADD("catfish.server.segments", segments.size());
+      set_attr("results", static_cast<int64_t>(results.size()));
+      set_attr("segments", static_cast<int64_t>(segments.size()));
+      const auto respond = span_begin("respond");
       for (size_t i = 0; i < segments.size(); ++i) {
         const uint16_t flags =
             i + 1 < segments.size() ? msg::kFlagCont : msg::kFlagEnd;
         SendResponse(conn, msg::MsgType::kKnnResp, flags, segments[i]);
       }
-      return;
+      span_end(respond);
+      break;
     }
     case msg::MsgType::kInsertReq: {
       const auto req = msg::DecodeInsertRequest(m.payload);
-      if (!req) return;
+      if (!req) break;
+      set_attr("req_id", static_cast<int64_t>(req->req_id));
+      const auto traverse = span_begin("traverse");
       tree_->Insert(req->rect, req->rect_id);
+      span_end(traverse);
       inserts_.fetch_add(1, std::memory_order_relaxed);
+      CATFISH_COUNT("catfish.server.insert");
       const auto ack = msg::Encode(msg::WriteAck{req->req_id, 1});
+      const auto respond = span_begin("respond");
       SendResponse(conn, msg::MsgType::kInsertAck, msg::kFlagEnd, ack);
-      return;
+      span_end(respond);
+      break;
     }
     case msg::MsgType::kDeleteReq: {
       const auto req = msg::DecodeDeleteRequest(m.payload);
-      if (!req) return;
+      if (!req) break;
+      set_attr("req_id", static_cast<int64_t>(req->req_id));
+      const auto traverse = span_begin("traverse");
       const bool ok = tree_->Delete(req->rect, req->rect_id);
+      span_end(traverse);
       deletes_.fetch_add(1, std::memory_order_relaxed);
+      CATFISH_COUNT("catfish.server.delete");
       const auto ack =
           msg::Encode(msg::WriteAck{req->req_id, ok ? uint8_t{1} : uint8_t{0}});
+      const auto respond = span_begin("respond");
       SendResponse(conn, msg::MsgType::kDeleteAck, msg::kFlagEnd, ack);
-      return;
+      span_end(respond);
+      break;
     }
     default:
-      return;  // unknown/unexpected types are dropped
+      break;  // unknown/unexpected types are dropped
   }
+  if (trace) cfg_.tracer->Finish(trace);
 }
 
 void RTreeServer::WorkerLoop(Connection& conn) {
@@ -202,6 +252,8 @@ void RTreeServer::MonitorLoop() {
     last_busy = busy;
     last_wall = wall;
     utilization_.store(util, std::memory_order_relaxed);
+    CATFISH_GAUGE_SET("catfish.server.utilization_pct",
+                      static_cast<int64_t>(util * 100.0));
 
     const double overridden = util_override_.load(std::memory_order_relaxed);
     const double advertised = overridden >= 0.0 ? overridden : util;
@@ -217,6 +269,7 @@ void RTreeServer::MonitorLoop() {
               static_cast<uint16_t>(msg::MsgType::kHeartbeat),
               msg::kFlagEnd, hb)) {
         heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
+        CATFISH_COUNT("catfish.server.heartbeats");
       }
     }
   }

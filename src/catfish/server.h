@@ -29,6 +29,7 @@
 #include "msg/ring.h"
 #include "rdmasim/rdma.h"
 #include "rtree/rstar.h"
+#include "telemetry/trace.h"
 
 namespace catfish {
 
@@ -43,6 +44,11 @@ struct ServerConfig {
   /// Core count used as the utilization denominator. 0 = hardware
   /// concurrency. (The paper's server has 28 cores.)
   unsigned cores = 0;
+  /// When set, every fast-messaging request handled by a worker records
+  /// a span tree here (dequeue → traverse → respond, keyed by the
+  /// request's req_id so it can be joined with the client-side trace).
+  /// Null = no tracing. The tracer must outlive the server.
+  telemetry::Tracer* tracer = nullptr;
 };
 
 /// What the client must learn during connection setup (the paper

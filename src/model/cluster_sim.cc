@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/metrics.h"
+
 namespace catfish::model {
 
 const char* SchemeName(Scheme s) {
@@ -58,7 +60,8 @@ double ClusterSim::ReadRetryProbability() const noexcept {
   return std::min(0.5, write_busy * cfg_.conflict_factor);
 }
 
-void ClusterSim::CompleteRequest(Client& c, workload::OpType op, double t0) {
+void ClusterSim::CompleteRequest(Client& c, workload::OpType op, double t0,
+                                 bool offloaded) {
   const double latency = sched_.now() - t0;
   result_.latency_us.Add(latency);
   if (op == workload::OpType::kInsert) {
@@ -66,6 +69,16 @@ void ClusterSim::CompleteRequest(Client& c, workload::OpType op, double t0) {
     ++result_.inserts;
   } else {
     result_.search_latency_us.Add(latency);
+    // Mirror the live client's per-path timers (same metric names) so a
+    // bench cell's registry snapshot reads identically whether the data
+    // came from the DES or from real client/server objects.
+    if (offloaded) {
+      result_.offload_latency_us.Add(latency);
+      CATFISH_TIMER_RECORD_US("catfish.client.search_offload_us", latency);
+    } else {
+      result_.fast_latency_us.Add(latency);
+      CATFISH_TIMER_RECORD_US("catfish.client.search_fast_us", latency);
+    }
   }
   ++result_.completed;
   --outstanding_;
@@ -132,9 +145,17 @@ void ClusterSim::ExecViaServer(Client& c, const workload::Request& req,
     if (cfg_.scheme == Scheme::kCatfish ||
         cfg_.scheme == Scheme::kFastMessaging) {
       ++result_.fast_searches;
+      CATFISH_COUNT("catfish.client.search.fast");
     }
   } else {
     resp_bytes = k.ack_bytes;
+    CATFISH_COUNT("catfish.client.insert");
+  }
+  if (!tcp) {
+    // The request is one RDMA WRITE into the server's ring and the
+    // response one WRITE back — mirror the rdmasim counter names.
+    CATFISH_COUNT_ADD("rdma.write.posted", 2);
+    CATFISH_COUNT_ADD("rdma.write.bytes", req_bytes + resp_bytes);
   }
 
   auto respond = [this, &c, t0, resp_bytes, tcp, op = req.op]() {
@@ -193,6 +214,7 @@ void ClusterSim::ExecOffloaded(Client& c, const geo::Rect& rect, double t0) {
   std::vector<rtree::Entry> out;
   tree_->SearchTraced(rect, out, &st, trace.get());
   ++result_.offloaded_searches;
+  CATFISH_COUNT("catfish.client.search.offload");
   OffloadRound(c, std::move(trace), 0, t0);
 }
 
@@ -200,7 +222,7 @@ void ClusterSim::OffloadRound(Client& c,
                               std::shared_ptr<rtree::TraversalTrace> trace,
                               size_t level, double t0) {
   if (level >= trace->nodes_per_level.size()) {
-    CompleteRequest(c, workload::OpType::kSearch, t0);
+    CompleteRequest(c, workload::OpType::kSearch, t0, /*offloaded=*/true);
     return;
   }
   const CostModel& k = cfg_.costs;
@@ -235,6 +257,8 @@ void ClusterSim::OffloadRound(Client& c,
 
     void Issue(std::shared_ptr<ReadOp> self) const {
       ++sim->result_.rdma_reads;
+      CATFISH_COUNT("rdma.read.posted");
+      CATFISH_COUNT_ADD("rdma.read.bytes", chunk_bytes);
       sim->down_->Transfer(sim->cfg_.costs.read_request_bytes, [self]() {
         self->sim->nic_->Submit(self->sim->cfg_.costs.nic_read_op_us,
                                 [self]() {
@@ -242,6 +266,7 @@ void ClusterSim::OffloadRound(Client& c,
             const double p = self->sim->ReadRetryProbability();
             if (p > 0.0 && self->client->rng.NextDouble() < p) {
               ++self->sim->result_.version_retries;
+              CATFISH_COUNT("catfish.client.version_retries");
               self->Issue(self);  // torn read: fetch again
               return;
             }
@@ -330,6 +355,19 @@ RunResult ClusterSim::Run() {
   if (cfg_.scheme == Scheme::kCatfish) ScheduleHeartbeat();
 
   sched_.Run();
+
+  for (const auto& c : clients_) {
+    const AdaptiveStats& st = c->ctrl.stats();
+    result_.mode_switches += st.mode_switches;
+    result_.adaptive_escalations += st.escalations;
+  }
+  if (result_.mode_switches > 0) {
+    CATFISH_COUNT_ADD("catfish.adaptive.mode_switches", result_.mode_switches);
+  }
+  if (result_.adaptive_escalations > 0) {
+    CATFISH_COUNT_ADD("catfish.adaptive.escalations",
+                      result_.adaptive_escalations);
+  }
 
   if (result_.duration_us > 0.0) {
     result_.throughput_kops =

@@ -71,6 +71,11 @@ struct RunResult {
   LogHistogram latency_us;         ///< all operations
   LogHistogram search_latency_us;
   LogHistogram insert_latency_us;
+  /// Per-path search latency: server-traversed (fast messaging / TCP)
+  /// vs client-traversed (offloaded) — what Fig 10/12's adaptive story
+  /// is about, split so the JSON export can show both distributions.
+  LogHistogram fast_latency_us;
+  LogHistogram offload_latency_us;
   double server_cpu_util = 0.0;    ///< mean worker utilization over run
   double server_tx_gbps = 0.0;
   double server_rx_gbps = 0.0;
@@ -79,6 +84,9 @@ struct RunResult {
   uint64_t inserts = 0;
   uint64_t rdma_reads = 0;
   uint64_t version_retries = 0;
+  /// Summed over every client's AdaptiveController (Catfish scheme only).
+  uint64_t mode_switches = 0;
+  uint64_t adaptive_escalations = 0;
 };
 
 class ClusterSim {
@@ -115,7 +123,8 @@ class ClusterSim {
   void ExecOffloaded(Client& c, const geo::Rect& rect, double t0);
   void OffloadRound(Client& c, std::shared_ptr<rtree::TraversalTrace> trace,
                     size_t level, double t0);
-  void CompleteRequest(Client& c, workload::OpType op, double t0);
+  void CompleteRequest(Client& c, workload::OpType op, double t0,
+                       bool offloaded = false);
   void ScheduleHeartbeat();
   double PollingPickupUs() const noexcept;
   /// Modeled probability that one offloaded node read hits a concurrent

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/bytes.h"
+#include "telemetry/metrics.h"
 
 namespace catfish::msg {
 namespace {
@@ -62,7 +63,11 @@ bool RingSender::TrySend(uint16_t type, uint16_t flags,
   const size_t contiguous = capacity_ - pos;
   const bool need_pad = wire > contiguous;
   const size_t need = need_pad ? contiguous + wire : wire;
-  if (capacity_ - static_cast<size_t>(tail_ - head) < need) return false;
+  if (capacity_ - static_cast<size_t>(tail_ - head) < need) {
+    // Back-pressure: the receiver has not acked enough space yet.
+    CATFISH_COUNT("msg.ring.stalls");
+    return false;
+  }
 
   if (need_pad) {
     // A PAD record: only the marker word travels; the receiver skips the
@@ -75,6 +80,7 @@ bool RingSender::TrySend(uint16_t type, uint16_t flags,
       return false;
     }
     tail_ += contiguous;
+    CATFISH_COUNT("msg.ring.wraps");
   }
 
   const size_t at = static_cast<size_t>(tail_ % capacity_);
@@ -95,6 +101,8 @@ bool RingSender::TrySend(uint16_t type, uint16_t flags,
                                        /*signaled=*/false);
   if (!ok) return false;
   tail_ += wire;
+  CATFISH_COUNT("msg.ring.msgs_sent");
+  CATFISH_COUNT_ADD("msg.ring.bytes_sent", wire);
   return true;
 }
 
@@ -154,6 +162,7 @@ std::optional<Message> RingReceiver::TryReceive() {
     std::memset(ring_.data() + pos, 0, size_word);
     head_ += size_word;
     Ack();
+    CATFISH_COUNT("msg.ring.msgs_received");
     return out;
   }
 }

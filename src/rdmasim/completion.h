@@ -15,6 +15,9 @@
 #include <optional>
 #include <span>
 
+#include "common/clock.h"
+#include "telemetry/metrics.h"
+
 namespace catfish::rdma {
 
 enum class Opcode : uint8_t {
@@ -36,6 +39,7 @@ struct WorkCompletion {
   uint32_t qp_num = 0;    ///< local QP the completion belongs to
   uint32_t imm_data = 0;  ///< valid only for kRecvImm
   uint32_t byte_len = 0;  ///< bytes moved by the operation
+  uint64_t posted_ns = 0; ///< when the NIC pushed it (telemetry)
 };
 
 class CompletionQueue {
@@ -46,8 +50,10 @@ class CompletionQueue {
     const std::scoped_lock lock(mu_);
     size_t n = 0;
     while (n < out.size() && !queue_.empty()) {
-      out[n++] = queue_.front();
+      out[n] = queue_.front();
       queue_.pop_front();
+      RecordDelay(out[n]);
+      ++n;
     }
     return n;
   }
@@ -62,6 +68,7 @@ class CompletionQueue {
     }
     WorkCompletion wc = queue_.front();
     queue_.pop_front();
+    RecordDelay(wc);
     return wc;
   }
 
@@ -70,6 +77,7 @@ class CompletionQueue {
     {
       const std::scoped_lock lock(mu_);
       queue_.push_back(wc);
+      queue_.back().posted_ns = NowNanos();
     }
     cv_.notify_one();
   }
@@ -80,6 +88,20 @@ class CompletionQueue {
   }
 
  private:
+  /// Time from NIC delivery to consumer pickup — the sim's analogue of
+  /// completion latency (how long work sat in the CQ).
+  static void RecordDelay(const WorkCompletion& wc) noexcept {
+#if CATFISH_TELEMETRY_ENABLED
+    if (wc.posted_ns != 0) {
+      CATFISH_TIMER_RECORD_US(
+          "rdma.cq.delay_us",
+          static_cast<double>(NowNanos() - wc.posted_ns) * 1e-3);
+    }
+#else
+    (void)wc;
+#endif
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<WorkCompletion> queue_;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "telemetry/metrics.h"
+
 namespace catfish::rdma {
 namespace {
 
@@ -138,9 +140,23 @@ void QueuePair::CompleteLocal(uint64_t wr_id, Opcode op, WcStatus status,
   send_cq_->Push(wc);
 }
 
+QpOpStats QueuePair::op_stats() const noexcept {
+  QpOpStats s;
+  s.writes_posted = writes_posted_.load(std::memory_order_relaxed);
+  s.write_bytes = write_bytes_.load(std::memory_order_relaxed);
+  s.reads_posted = reads_posted_.load(std::memory_order_relaxed);
+  s.read_bytes = read_bytes_.load(std::memory_order_relaxed);
+  s.imm_sent = imm_sent_.load(std::memory_order_relaxed);
+  return s;
+}
+
 bool QueuePair::PostWrite(uint64_t wr_id, std::span<const std::byte> local,
                           RemoteAddr dst, bool signaled) {
   node_->writes_posted_.fetch_add(1, std::memory_order_relaxed);
+  writes_posted_.fetch_add(1, std::memory_order_relaxed);
+  write_bytes_.fetch_add(local.size(), std::memory_order_relaxed);
+  CATFISH_COUNT("rdma.write.posted");
+  CATFISH_COUNT_ADD("rdma.write.bytes", local.size());
   std::shared_ptr<QueuePair> peer;
   std::shared_ptr<SimNode> peer_node;
   {
@@ -187,6 +203,8 @@ bool QueuePair::PostWriteImm(uint64_t wr_id, std::span<const std::byte> local,
     wc.byte_len = static_cast<uint32_t>(local.size());
     peer->recv_cq_->Push(wc);
     peer->node_->imm_delivered_.fetch_add(1, std::memory_order_relaxed);
+    imm_sent_.fetch_add(1, std::memory_order_relaxed);
+    CATFISH_COUNT("rdma.imm.delivered");
   }
   return true;
 }
@@ -194,6 +212,10 @@ bool QueuePair::PostWriteImm(uint64_t wr_id, std::span<const std::byte> local,
 bool QueuePair::PostRead(uint64_t wr_id, std::span<std::byte> local,
                          RemoteAddr src) {
   node_->reads_posted_.fetch_add(1, std::memory_order_relaxed);
+  reads_posted_.fetch_add(1, std::memory_order_relaxed);
+  read_bytes_.fetch_add(local.size(), std::memory_order_relaxed);
+  CATFISH_COUNT("rdma.read.posted");
+  CATFISH_COUNT_ADD("rdma.read.bytes", local.size());
   std::shared_ptr<SimNode> peer_node;
   {
     const std::scoped_lock lock(peer_mu_);

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "telemetry/metrics.h"
 
 namespace catfish::tcpkit {
 
@@ -70,7 +71,12 @@ bool FramedConnection::SendFrame(uint16_t type, uint16_t flags,
   StorePod(frame, 4, type);
   StorePod(frame, 6, flags);
   std::memcpy(frame.data() + 8, payload.data(), payload.size());
-  return stream_->Send(frame);
+  const bool ok = stream_->Send(frame);
+  if (ok) {
+    CATFISH_COUNT("tcp.frames_sent");
+    CATFISH_COUNT_ADD("tcp.bytes_sent", frame.size());
+  }
+  return ok;
 }
 
 bool FramedConnection::RecvExact(std::span<std::byte> out,
@@ -101,6 +107,8 @@ std::optional<msg::Message> FramedConnection::RecvFrame(
   m.flags = LoadPod<uint16_t>(header, 6);
   m.payload.resize(len);
   if (len > 0 && !RecvExact(m.payload, timeout)) return std::nullopt;
+  CATFISH_COUNT("tcp.frames_received");
+  CATFISH_COUNT_ADD("tcp.bytes_received", sizeof(header) + len);
   return m;
 }
 

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "telemetry/metrics.h"
+
 namespace catfish::tcpkit {
 
 using namespace std::chrono_literals;
@@ -97,6 +99,8 @@ msg::Message TcpRTreeClient::Await() {
 }
 
 std::vector<rtree::Entry> TcpRTreeClient::Search(const geo::Rect& rect) {
+  CATFISH_SCOPED_TIMER_US("tcp.client.search_us");
+  CATFISH_COUNT("tcp.client.search");
   const uint64_t req_id = ++next_req_id_;
   conn_.SendFrame(static_cast<uint16_t>(msg::MsgType::kSearchReq),
                   msg::kFlagEnd,

@@ -1,0 +1,244 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+
+namespace catfish::telemetry {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+void JsonWriter::Separator() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_.push_back(',');
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::Escape(std::string_view s) {
+  out_.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+void JsonWriter::BeginObject() {
+  Separator();
+  out_.push_back('{');
+  first_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  out_.push_back('}');
+  first_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  Separator();
+  out_.push_back('[');
+  first_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  out_.push_back(']');
+  first_.pop_back();
+}
+
+JsonWriter& JsonWriter::Key(std::string_view k) {
+  Separator();
+  Escape(k);
+  out_.push_back(':');
+  after_key_ = true;
+  return *this;
+}
+
+void JsonWriter::Value(std::string_view s) {
+  Separator();
+  Escape(s);
+}
+
+void JsonWriter::Value(double d) {
+  Separator();
+  if (!std::isfinite(d)) {
+    out_ += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", d);
+  out_ += buf;
+}
+
+void JsonWriter::Value(uint64_t v) {
+  Separator();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out_ += buf;
+}
+
+void JsonWriter::Value(int64_t v) {
+  Separator();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out_ += buf;
+}
+
+void JsonWriter::Value(bool b) {
+  Separator();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::Raw(std::string_view json) {
+  Separator();
+  out_ += json;
+}
+
+// ---------------------------------------------------------------------------
+// Metric exports
+// ---------------------------------------------------------------------------
+
+void WriteHistogram(JsonWriter& w, const LogHistogram& h) {
+  w.BeginObject();
+  w.Key("count").Value(h.count());
+  w.Key("mean").Value(h.mean());
+  w.Key("min").Value(h.min());
+  w.Key("max").Value(h.max());
+  w.Key("p50").Value(h.p50());
+  w.Key("p90").Value(h.Quantile(0.90));
+  w.Key("p95").Value(h.p95());
+  w.Key("p99").Value(h.p99());
+  w.EndObject();
+}
+
+std::string SnapshotToJson(const Snapshot& s) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, v] : s.counters) w.Key(name).Value(v);
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, v] : s.gauges) w.Key(name).Value(v);
+  w.EndObject();
+  w.Key("timers");
+  w.BeginObject();
+  for (const auto& [name, h] : s.timers) {
+    w.Key(name);
+    WriteHistogram(w, h);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string SnapshotToTable(const Snapshot& s) {
+  std::string out;
+  char line[256];
+  size_t width = 8;
+  for (const auto& [name, v] : s.counters) width = std::max(width, name.size());
+  for (const auto& [name, v] : s.gauges) width = std::max(width, name.size());
+  for (const auto& [name, h] : s.timers) width = std::max(width, name.size());
+  const int w = static_cast<int>(width);
+
+  for (const auto& [name, v] : s.counters) {
+    std::snprintf(line, sizeof line, "%-*s %20" PRIu64 "\n", w, name.c_str(),
+                  v);
+    out += line;
+  }
+  for (const auto& [name, v] : s.gauges) {
+    std::snprintf(line, sizeof line, "%-*s %20.4f\n", w, name.c_str(), v);
+    out += line;
+  }
+  for (const auto& [name, h] : s.timers) {
+    std::snprintf(line, sizeof line, "%-*s %s\n", w, name.c_str(),
+                  h.Summary().c_str());
+    out += line;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Trace export
+// ---------------------------------------------------------------------------
+
+std::string TraceToJson(const Trace& t) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("trace_id").Value(t.id());
+  w.Key("spans");
+  w.BeginArray();
+  for (size_t i = 0; i < t.span_count(); ++i) {
+    const Span& s = t.span(static_cast<SpanId>(i));
+    w.BeginObject();
+    w.Key("name").Value(s.name);
+    w.Key("start_us").Value(s.start_us);
+    w.Key("end_us").Value(s.end_us);
+    if (!s.attrs.empty()) {
+      w.Key("attrs");
+      w.BeginObject();
+      for (const auto& [k, v] : s.attrs) w.Key(k).Value(v);
+      w.EndObject();
+    }
+    if (!s.children.empty()) {
+      w.Key("children");
+      w.BeginArray();
+      for (const SpanId c : s.children) w.Value(static_cast<uint64_t>(c));
+      w.EndArray();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+// ---------------------------------------------------------------------------
+// JsonLinesWriter
+// ---------------------------------------------------------------------------
+
+JsonLinesWriter::JsonLinesWriter(const std::string& path) {
+  if (path == "-") {
+    f_ = stdout;
+  } else {
+    f_ = std::fopen(path.c_str(), "w");
+    owned_ = true;
+  }
+}
+
+JsonLinesWriter::~JsonLinesWriter() {
+  if (f_ && owned_) std::fclose(f_);
+}
+
+void JsonLinesWriter::WriteLine(std::string_view json) {
+  if (!f_) return;
+  // On stdout the stream is shared with human-readable reporting that may
+  // have left the cursor mid-line; break to column 0 so every record is
+  // greppable as a whole line (`grep '^{'`).
+  if (!owned_) std::fputc('\n', f_);
+  std::fwrite(json.data(), 1, json.size(), f_);
+  std::fputc('\n', f_);
+  std::fflush(f_);
+}
+
+}  // namespace catfish::telemetry

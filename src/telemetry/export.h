@@ -1,0 +1,97 @@
+// Machine-readable and human-readable sinks for metrics and traces.
+//
+// The JSON writer is a small streaming emitter (objects/arrays with
+// automatic commas, string escaping, finite-number enforcement) — enough
+// for benches, examples and tests to share one export schema instead of
+// each printing its own ad-hoc text. Schema (documented in README.md
+// §Telemetry):
+//
+//   SnapshotToJson  → {"counters":{name:u64,...},
+//                      "gauges":{name:f64,...},
+//                      "timers":{name:{"count","mean","min","max",
+//                                      "p50","p90","p95","p99"},...}}
+//   TraceToJson     → {"trace_id":u64,"spans":[{"name","start_us",
+//                      "end_us","attrs":{...},"children":[ids]}]}
+//
+// JsonLinesWriter appends one JSON document per line (JSONL), the format
+// the benches emit under --telemetry-json so the perf trajectory of the
+// repo is machine-diffable run over run.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace catfish::telemetry {
+
+/// Streaming JSON emitter. Usage:
+///   JsonWriter w;
+///   w.BeginObject(); w.Key("x"); w.Value(1); w.EndObject();
+///   w.str() == R"({"x":1})"
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  JsonWriter& Key(std::string_view k);
+  void Value(std::string_view s);
+  void Value(const char* s) { Value(std::string_view(s)); }
+  void Value(double d);
+  void Value(uint64_t v);
+  void Value(int64_t v);
+  void Value(int v) { Value(static_cast<int64_t>(v)); }
+  void Value(unsigned v) { Value(static_cast<uint64_t>(v)); }
+  void Value(bool b);
+  /// Splices a pre-rendered JSON document in as one value (no escaping).
+  void Raw(std::string_view json);
+
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  void Separator();
+  void Escape(std::string_view s);
+
+  std::string out_;
+  std::vector<bool> first_;  // per open container: no element emitted yet
+  bool after_key_ = false;
+};
+
+/// Writes {"count","mean","min","max","p50","p90","p95","p99"} for `h`
+/// as one JSON object value (call after Key()).
+void WriteHistogram(JsonWriter& w, const LogHistogram& h);
+
+/// One JSON object covering every metric in the snapshot.
+std::string SnapshotToJson(const Snapshot& s);
+
+/// Aligned human-readable table of the same snapshot.
+std::string SnapshotToTable(const Snapshot& s);
+
+/// One JSON object for a span tree (spans flattened, children by index).
+std::string TraceToJson(const Trace& t);
+
+/// Append-style JSON-lines file sink. Opens (truncates) on construction;
+/// "-" writes to stdout.
+class JsonLinesWriter {
+ public:
+  explicit JsonLinesWriter(const std::string& path);
+  ~JsonLinesWriter();
+
+  JsonLinesWriter(const JsonLinesWriter&) = delete;
+  JsonLinesWriter& operator=(const JsonLinesWriter&) = delete;
+
+  bool ok() const noexcept { return f_ != nullptr; }
+  /// Writes one document plus the line terminator and flushes.
+  void WriteLine(std::string_view json);
+
+ private:
+  std::FILE* f_ = nullptr;
+  bool owned_ = false;
+};
+
+}  // namespace catfish::telemetry

@@ -1,0 +1,195 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+
+namespace catfish::telemetry {
+
+namespace {
+
+std::atomic<uint64_t> g_next_registry_uid{1};
+
+/// Thread-local shard cache. Keyed by registry uid (not pointer: a test
+/// registry may die and a new one land at the same address). A handful
+/// of registries per process at most, so a linear scan wins.
+struct TlsEntry {
+  uint64_t reg_uid;
+  std::shared_ptr<void> shard;  // Registry::Shard, type-erased
+};
+thread_local std::vector<TlsEntry> tls_shards;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shard
+// ---------------------------------------------------------------------------
+
+void Registry::Shard::GrowCounters(uint32_t id) {
+  const std::scoped_lock lock(mu);
+  while (counters.size() <= id) counters.emplace_back(0);
+}
+
+void Registry::Shard::GrowTimers(uint32_t id) {
+  const std::scoped_lock lock(mu);
+  while (timers.size() <= id) timers.emplace_back();
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+void Counter::Add(uint64_t n) noexcept {
+  Registry::Shard& s = reg_->LocalShard();
+  // Only the owning thread grows its shard, so the unlocked size read
+  // cannot race a concurrent resize.
+  if (id_ >= s.counters.size()) s.GrowCounters(id_);
+  s.counters[id_].fetch_add(n, std::memory_order_relaxed);
+}
+
+void Timer::RecordUs(double us) noexcept {
+  Registry::Shard& s = reg_->LocalShard();
+  if (id_ >= s.timers.size()) s.GrowTimers(id_);
+  const std::scoped_lock lock(s.mu);
+  s.timers[id_].Add(us);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry::Registry()
+    : uid_(g_next_registry_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
+Registry::~Registry() = default;
+
+Registry& Registry::Global() {
+  // Leaked on purpose: instrumented worker threads may still be running
+  // during static destruction.
+  static Registry* const g = new Registry();
+  return *g;
+}
+
+Registry::Shard& Registry::LocalShard() {
+  for (const TlsEntry& e : tls_shards) {
+    if (e.reg_uid == uid_) return *static_cast<Shard*>(e.shard.get());
+  }
+  auto shard = std::make_shared<Shard>();
+  {
+    const std::scoped_lock lock(mu_);
+    shards_.push_back(shard);
+  }
+  tls_shards.push_back(TlsEntry{uid_, shard});
+  return *shard;
+}
+
+Counter* Registry::counter(std::string_view name) {
+  const std::scoped_lock lock(mu_);
+  const auto it = counter_ids_.find(std::string(name));
+  if (it != counter_ids_.end()) return &counter_handles_[it->second];
+  const uint32_t id = static_cast<uint32_t>(counter_handles_.size());
+  counter_handles_.push_back(Counter(this, id));
+  counter_names_.emplace_back(name);
+  counter_ids_.emplace(std::string(name), id);
+  return &counter_handles_[id];
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  const std::scoped_lock lock(mu_);
+  const auto it = gauge_ids_.find(std::string(name));
+  if (it != gauge_ids_.end()) return &gauge_handles_[it->second];
+  const uint32_t id = static_cast<uint32_t>(gauge_handles_.size());
+  gauge_handles_.emplace_back();
+  gauge_names_.emplace_back(name);
+  gauge_ids_.emplace(std::string(name), id);
+  return &gauge_handles_[id];
+}
+
+Timer* Registry::timer(std::string_view name) {
+  const std::scoped_lock lock(mu_);
+  const auto it = timer_ids_.find(std::string(name));
+  if (it != timer_ids_.end()) return &timer_handles_[it->second];
+  const uint32_t id = static_cast<uint32_t>(timer_handles_.size());
+  timer_handles_.push_back(Timer(this, id));
+  timer_names_.emplace_back(name);
+  timer_ids_.emplace(std::string(name), id);
+  return &timer_handles_[id];
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  Snapshot out;
+  const std::scoped_lock lock(mu_);
+
+  std::vector<uint64_t> counts(counter_names_.size(), 0);
+  std::vector<LogHistogram> hists(timer_names_.size());
+  for (const auto& shard : shards_) {
+    const std::scoped_lock shard_lock(shard->mu);
+    const size_t nc = std::min(counts.size(), shard->counters.size());
+    for (size_t i = 0; i < nc; ++i) {
+      counts[i] += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    const size_t nt = std::min(hists.size(), shard->timers.size());
+    for (size_t i = 0; i < nt; ++i) hists[i].Merge(shard->timers[i]);
+  }
+
+  for (size_t i = 0; i < counter_names_.size(); ++i) {
+    out.counters.emplace_back(counter_names_[i], counts[i]);
+  }
+  for (size_t i = 0; i < gauge_names_.size(); ++i) {
+    out.gauges.emplace_back(gauge_names_[i], gauge_handles_[i].value());
+  }
+  for (size_t i = 0; i < timer_names_.size(); ++i) {
+    out.timers.emplace_back(timer_names_[i], std::move(hists[i]));
+  }
+
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+  std::sort(out.timers.begin(), out.timers.end(), by_name);
+  return out;
+}
+
+void Registry::Reset() {
+  const std::scoped_lock lock(mu_);
+  for (const auto& shard : shards_) {
+    const std::scoped_lock shard_lock(shard->mu);
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& t : shard->timers) t = LogHistogram();
+  }
+  for (auto& g : gauge_handles_) g.Set(0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot lookups
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename Vec>
+auto FindByName(const Vec& v, std::string_view name) ->
+    typename Vec::const_pointer {
+  const auto it = std::lower_bound(
+      v.begin(), v.end(), name,
+      [](const auto& e, std::string_view n) { return e.first < n; });
+  if (it == v.end() || it->first != name) return nullptr;
+  return &*it;
+}
+
+}  // namespace
+
+uint64_t Snapshot::counter(std::string_view name) const noexcept {
+  const auto* e = FindByName(counters, name);
+  return e ? e->second : 0;
+}
+
+const LogHistogram* Snapshot::timer(std::string_view name) const noexcept {
+  const auto* e = FindByName(timers, name);
+  return e ? &e->second : nullptr;
+}
+
+double Snapshot::gauge(std::string_view name) const noexcept {
+  const auto* e = FindByName(gauges, name);
+  return e ? e->second : 0.0;
+}
+
+}  // namespace catfish::telemetry

@@ -1,0 +1,238 @@
+// Metrics registry: named counters, gauges and LogHistogram-backed
+// timers with thread-local sharding.
+//
+// Catfish's whole value proposition is a runtime tradeoff (server CPU vs
+// client RTTs, §IV-A); this registry is how every layer reports its side
+// of that tradeoff without perturbing it:
+//
+//  * a Counter increment is one uncontended relaxed fetch_add on a slot
+//    private to the calling thread — no shared cache line ever bounces
+//    between worker threads on the hot path;
+//  * a Timer records into a per-thread LogHistogram under a per-shard
+//    mutex that only a snapshot ever contends for;
+//  * TakeSnapshot() merges every thread's shard into one consistent
+//    view — the exporters (telemetry/export.h) turn that into JSON
+//    lines or a human table.
+//
+// Instrumentation sites use the CATFISH_COUNT / CATFISH_TIMER macros
+// below: each site resolves its metric handle once (function-local
+// static) and compiles to nothing when the build disables telemetry
+// (-DCATFISH_TELEMETRY=OFF sets CATFISH_TELEMETRY_ENABLED=0), keeping
+// the hot path byte-identical to an uninstrumented build.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/stats.h"
+
+#ifndef CATFISH_TELEMETRY_ENABLED
+#define CATFISH_TELEMETRY_ENABLED 1
+#endif
+
+namespace catfish::telemetry {
+
+class Registry;
+
+/// Monotonically increasing event count. Handles are created by a
+/// Registry, have stable addresses for the registry's lifetime, and are
+/// safe to use from any thread.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) noexcept;
+  void Increment() noexcept { Add(1); }
+
+ private:
+  friend class Registry;
+  Counter(Registry* reg, uint32_t id) : reg_(reg), id_(id) {}
+  Registry* reg_;
+  uint32_t id_;
+};
+
+/// Last-write-wins instantaneous value (e.g. utilization). Not sharded:
+/// a gauge is a single atomic the owner overwrites.
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Duration/value distribution backed by a per-thread LogHistogram.
+class Timer {
+ public:
+  void RecordUs(double us) noexcept;
+
+ private:
+  friend class Registry;
+  Timer(Registry* reg, uint32_t id) : reg_(reg), id_(id) {}
+  Registry* reg_;
+  uint32_t id_;
+};
+
+/// A merged, point-in-time view of every metric. Name-sorted so exports
+/// are deterministic.
+struct Snapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, LogHistogram>> timers;
+
+  /// Counter value by name; 0 when the counter does not exist.
+  uint64_t counter(std::string_view name) const noexcept;
+  /// Timer histogram by name; nullptr when absent.
+  const LogHistogram* timer(std::string_view name) const noexcept;
+  /// Gauge value by name; 0.0 when absent.
+  double gauge(std::string_view name) const noexcept;
+};
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide default registry all CATFISH_* macros report to.
+  /// Never destroyed (worker threads may outlive static teardown).
+  static Registry& Global();
+
+  /// Finds or creates the named metric. Returned handles live as long as
+  /// the registry and are shared: two calls with one name return the
+  /// same handle.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Timer* timer(std::string_view name);
+
+  /// Merges every thread's shard into one consistent view.
+  Snapshot TakeSnapshot() const;
+
+  /// Zeroes all values (counters, timers, gauges) while keeping every
+  /// handle valid — benches call this between cells.
+  void Reset();
+
+ private:
+  friend class Counter;
+  friend class Timer;
+
+  /// One thread's slice of the registry: counters are per-slot atomics
+  /// only the owning thread adds to; timer histograms are guarded by the
+  /// shard mutex (uncontended except while a snapshot merges).
+  struct Shard {
+    std::mutex mu;
+    std::deque<std::atomic<uint64_t>> counters;  // indexed by counter id
+    std::deque<LogHistogram> timers;             // indexed by timer id
+    void GrowCounters(uint32_t id);
+    void GrowTimers(uint32_t id);
+  };
+
+  Shard& LocalShard();
+
+  const uint64_t uid_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, uint32_t> counter_ids_;
+  std::unordered_map<std::string, uint32_t> gauge_ids_;
+  std::unordered_map<std::string, uint32_t> timer_ids_;
+  std::deque<Counter> counter_handles_;
+  std::deque<Gauge> gauge_handles_;
+  std::deque<Timer> timer_handles_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> timer_names_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+};
+
+/// RAII wall-clock timer recording elapsed microseconds at scope exit.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer* t) noexcept : t_(t), t0_(NowNanos()) {}
+  ~ScopedTimer() {
+    t_->RecordUs(static_cast<double>(NowNanos() - t0_) * 1e-3);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* t_;
+  uint64_t t0_;
+};
+
+}  // namespace catfish::telemetry
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. Each site pays one hash lookup ever (static
+// init), then a thread-local relaxed add. With telemetry compiled out
+// they expand to nothing — arguments are not evaluated.
+// ---------------------------------------------------------------------------
+
+#define CATFISH_TM_CONCAT2(a, b) a##b
+#define CATFISH_TM_CONCAT(a, b) CATFISH_TM_CONCAT2(a, b)
+
+#if CATFISH_TELEMETRY_ENABLED
+
+#define CATFISH_COUNT_ADD(name, n)                                      \
+  do {                                                                  \
+    static ::catfish::telemetry::Counter* const CATFISH_TM_CONCAT(      \
+        catfish_tm_c_, __LINE__) =                                      \
+        ::catfish::telemetry::Registry::Global().counter(name);         \
+    CATFISH_TM_CONCAT(catfish_tm_c_, __LINE__)->Add(n);                 \
+  } while (0)
+
+#define CATFISH_COUNT(name) CATFISH_COUNT_ADD(name, 1)
+
+#define CATFISH_GAUGE_SET(name, v)                                      \
+  do {                                                                  \
+    static ::catfish::telemetry::Gauge* const CATFISH_TM_CONCAT(        \
+        catfish_tm_g_, __LINE__) =                                      \
+        ::catfish::telemetry::Registry::Global().gauge(name);           \
+    CATFISH_TM_CONCAT(catfish_tm_g_, __LINE__)->Set(v);                 \
+  } while (0)
+
+#define CATFISH_TIMER_RECORD_US(name, us)                               \
+  do {                                                                  \
+    static ::catfish::telemetry::Timer* const CATFISH_TM_CONCAT(        \
+        catfish_tm_t_, __LINE__) =                                      \
+        ::catfish::telemetry::Registry::Global().timer(name);           \
+    CATFISH_TM_CONCAT(catfish_tm_t_, __LINE__)->RecordUs(us);           \
+  } while (0)
+
+/// Declares a scope-exit wall-clock timer; `name` must be a literal.
+#define CATFISH_SCOPED_TIMER_US(name)                                   \
+  static ::catfish::telemetry::Timer* const CATFISH_TM_CONCAT(          \
+      catfish_tm_sth_, __LINE__) =                                      \
+      ::catfish::telemetry::Registry::Global().timer(name);             \
+  ::catfish::telemetry::ScopedTimer CATFISH_TM_CONCAT(                  \
+      catfish_tm_st_, __LINE__)(CATFISH_TM_CONCAT(catfish_tm_sth_,      \
+                                                  __LINE__))
+
+#else  // !CATFISH_TELEMETRY_ENABLED
+
+#define CATFISH_COUNT_ADD(name, n) \
+  do {                             \
+  } while (0)
+#define CATFISH_COUNT(name) \
+  do {                      \
+  } while (0)
+#define CATFISH_GAUGE_SET(name, v) \
+  do {                             \
+  } while (0)
+#define CATFISH_TIMER_RECORD_US(name, us) \
+  do {                                    \
+  } while (0)
+#define CATFISH_SCOPED_TIMER_US(name) \
+  do {                                \
+  } while (0)
+
+#endif  // CATFISH_TELEMETRY_ENABLED

@@ -1,0 +1,156 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+
+namespace catfish::telemetry {
+
+// ---------------------------------------------------------------------------
+// Span / Trace
+// ---------------------------------------------------------------------------
+
+int64_t Span::AttrOr(std::string_view key, int64_t def) const noexcept {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return v;
+  }
+  return def;
+}
+
+Trace::Trace(std::string_view name, uint64_t id, uint64_t start_us)
+    : id_(id) {
+  Span root;
+  root.name.assign(name);
+  root.start_us = start_us;
+  spans_.push_back(std::move(root));
+}
+
+SpanId Trace::StartSpan(SpanId parent, std::string_view name,
+                        uint64_t now_us) {
+  const SpanId id = static_cast<SpanId>(spans_.size());
+  Span s;
+  s.name.assign(name);
+  s.start_us = now_us;
+  spans_.push_back(std::move(s));
+  spans_[parent].children.push_back(id);
+  return id;
+}
+
+void Trace::EndSpan(SpanId id, uint64_t now_us) {
+  // A span observed for zero microseconds still reads as ended.
+  spans_[id].end_us = std::max<uint64_t>(now_us, spans_[id].start_us + 1);
+}
+
+void Trace::SetAttr(SpanId id, std::string_view key, int64_t value) {
+  for (auto& [k, v] : spans_[id].attrs) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  spans_[id].attrs.emplace_back(std::string(key), value);
+}
+
+void Trace::IncAttr(SpanId id, std::string_view key, int64_t delta) {
+  for (auto& [k, v] : spans_[id].attrs) {
+    if (k == key) {
+      v += delta;
+      return;
+    }
+  }
+  spans_[id].attrs.emplace_back(std::string(key), delta);
+}
+
+const Span* Trace::Find(std::string_view name) const noexcept {
+  for (const Span& s : spans_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+size_t Trace::CountSpans(std::string_view name) const noexcept {
+  size_t n = 0;
+  for (const Span& s : spans_) n += s.name == name;
+  return n;
+}
+
+bool Trace::Complete() const noexcept {
+  for (const Span& s : spans_) {
+    if (!s.ended()) return false;
+  }
+  return !spans_.empty();
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+Tracer::Tracer(TracerConfig cfg, ClockFn clock)
+    : cfg_(cfg), clock_(clock) {
+  if (cfg_.sample_every == 0) cfg_.sample_every = 1;
+  if (cfg_.retain == 0) cfg_.retain = 1;
+}
+
+std::shared_ptr<Trace> Tracer::StartTrace(std::string_view name) {
+#if !CATFISH_TELEMETRY_ENABLED
+  (void)name;
+  return nullptr;
+#else
+  uint64_t id;
+  {
+    const std::scoped_lock lock(mu_);
+    ++started_;
+    if ((started_ - 1) % cfg_.sample_every != 0) return nullptr;
+    ++sampled_;
+    id = next_id_++;
+  }
+  return std::make_shared<Trace>(name, id, clock_());
+#endif
+}
+
+void Tracer::Finish(const std::shared_ptr<Trace>& trace) {
+  if (!trace) return;
+  trace->EndSpan(trace->root(), clock_());
+  const std::scoped_lock lock(mu_);
+  ++finished_;
+  ring_.push_back(trace);
+  while (ring_.size() > cfg_.retain) {
+    ring_.pop_front();
+    ++evicted_;
+  }
+}
+
+std::vector<std::shared_ptr<Trace>> Tracer::Finished() const {
+  const std::scoped_lock lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::shared_ptr<Trace> Tracer::Latest(std::string_view name) const {
+  const std::scoped_lock lock(mu_);
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (name.empty() || (*it)->span((*it)->root()).name == name) return *it;
+  }
+  return nullptr;
+}
+
+void Tracer::Clear() {
+  const std::scoped_lock lock(mu_);
+  ring_.clear();
+}
+
+uint64_t Tracer::started() const noexcept {
+  const std::scoped_lock lock(mu_);
+  return started_;
+}
+uint64_t Tracer::sampled() const noexcept {
+  const std::scoped_lock lock(mu_);
+  return sampled_;
+}
+uint64_t Tracer::finished() const noexcept {
+  const std::scoped_lock lock(mu_);
+  return finished_;
+}
+uint64_t Tracer::evicted() const noexcept {
+  const std::scoped_lock lock(mu_);
+  return evicted_;
+}
+
+}  // namespace catfish::telemetry

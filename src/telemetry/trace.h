@@ -1,0 +1,129 @@
+// Request tracing: per-request span trees with sampling and bounded
+// retention.
+//
+// A Trace is one request's tree of timed spans ("search" → "decide" /
+// "ring_write" / "offload_round[level]" …), each carrying integer
+// attributes (read counts, retry counts, result sizes). The client and
+// server each own a Tracer; a request is joined across the two sides by
+// its req_id attribute — the reproduction keeps trace context out of
+// the wire protocol on purpose (the paper's message format has no room
+// for it, and in-process both sides are observable anyway).
+//
+// Tracer::StartTrace applies sampling (keep 1 in N) and Finish retains
+// the trace in a fixed-size ring, overwriting the oldest — tracing a
+// million-request run costs bounded memory.
+//
+// A Trace is built by exactly one thread; the Tracer's ring is
+// thread-safe. With telemetry compiled out StartTrace always returns
+// nullptr, so instrumentation sites guarded by `if (trace)` vanish into
+// a never-taken branch.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "telemetry/metrics.h"  // CATFISH_TELEMETRY_ENABLED
+
+namespace catfish::telemetry {
+
+using SpanId = uint32_t;
+inline constexpr SpanId kInvalidSpan = ~SpanId{0};
+
+struct Span {
+  std::string name;
+  uint64_t start_us = 0;
+  uint64_t end_us = 0;  ///< 0 while the span is still open
+  std::vector<std::pair<std::string, int64_t>> attrs;
+  std::vector<SpanId> children;
+
+  bool ended() const noexcept { return end_us != 0; }
+  /// Attribute value by key; `def` when absent.
+  int64_t AttrOr(std::string_view key, int64_t def = 0) const noexcept;
+};
+
+/// One request's span tree. Span 0 is the root.
+class Trace {
+ public:
+  Trace(std::string_view name, uint64_t id, uint64_t start_us);
+
+  uint64_t id() const noexcept { return id_; }
+  SpanId root() const noexcept { return 0; }
+
+  SpanId StartSpan(SpanId parent, std::string_view name, uint64_t now_us);
+  void EndSpan(SpanId id, uint64_t now_us);
+  /// Sets (or overwrites) an integer attribute on a span.
+  void SetAttr(SpanId id, std::string_view key, int64_t value);
+  /// Adds `delta` to an attribute, creating it at 0 first.
+  void IncAttr(SpanId id, std::string_view key, int64_t delta = 1);
+
+  const Span& span(SpanId id) const { return spans_[id]; }
+  size_t span_count() const noexcept { return spans_.size(); }
+
+  /// First span with this name in creation order; nullptr when absent.
+  const Span* Find(std::string_view name) const noexcept;
+  /// Number of spans with this name.
+  size_t CountSpans(std::string_view name) const noexcept;
+  /// True when the root and every descendant span has been ended.
+  bool Complete() const noexcept;
+
+ private:
+  uint64_t id_;
+  std::deque<Span> spans_;  // deque: spans keep stable addresses
+};
+
+struct TracerConfig {
+  /// Finished traces retained (ring buffer; oldest overwritten).
+  size_t retain = 128;
+  /// Keep 1 of every `sample_every` traces (1 = trace everything).
+  uint64_t sample_every = 1;
+};
+
+class Tracer {
+ public:
+  using ClockFn = uint64_t (*)();
+
+  /// `clock` supplies span timestamps (microseconds); the default is the
+  /// process monotonic clock. Tests inject a fake.
+  explicit Tracer(TracerConfig cfg = {}, ClockFn clock = &NowMicros);
+
+  /// Begins a trace, or returns nullptr when this request is sampled
+  /// out (or telemetry is compiled out). The root span is started.
+  std::shared_ptr<Trace> StartTrace(std::string_view name);
+
+  /// Ends the root span and retains the trace in the ring.
+  void Finish(const std::shared_ptr<Trace>& trace);
+
+  uint64_t now_us() const { return clock_(); }
+
+  /// All retained traces, oldest first.
+  std::vector<std::shared_ptr<Trace>> Finished() const;
+  /// Most recently finished trace (optionally filtered by root-span
+  /// name); nullptr when none.
+  std::shared_ptr<Trace> Latest(std::string_view name = {}) const;
+  void Clear();
+
+  uint64_t started() const noexcept;   ///< StartTrace calls
+  uint64_t sampled() const noexcept;   ///< traces actually created
+  uint64_t finished() const noexcept;  ///< Finish calls
+  uint64_t evicted() const noexcept;   ///< traces pushed out of the ring
+
+ private:
+  TracerConfig cfg_;
+  ClockFn clock_;
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  uint64_t started_ = 0;
+  uint64_t sampled_ = 0;
+  uint64_t finished_ = 0;
+  uint64_t evicted_ = 0;
+  std::deque<std::shared_ptr<Trace>> ring_;
+};
+
+}  // namespace catfish::telemetry

@@ -1,0 +1,418 @@
+// Unit tests for the telemetry subsystem: the sharded metrics registry
+// (counters/gauges/timers, snapshot merging, reset), the trace span
+// trees with sampling and bounded retention, and the JSON/table
+// exporters (validated with a small hand-rolled JSON checker).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace catfish::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON validator — enough to assert the
+// exporters emit well-formed documents without a JSON library.
+// ---------------------------------------------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, CounterAccumulates) {
+  Registry reg;
+  Counter* c = reg.counter("test.counter");
+  c->Increment();
+  c->Add(41);
+  const Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counter("test.counter"), 42u);
+  EXPECT_EQ(snap.counter("no.such.counter"), 0u);
+}
+
+TEST(RegistryTest, SameNameSameHandle) {
+  Registry reg;
+  EXPECT_EQ(reg.counter("x"), reg.counter("x"));
+  EXPECT_NE(reg.counter("x"), reg.counter("y"));
+  EXPECT_EQ(reg.timer("t"), reg.timer("t"));
+  EXPECT_EQ(reg.gauge("g"), reg.gauge("g"));
+}
+
+TEST(RegistryTest, GaugeLastWriteWins) {
+  Registry reg;
+  Gauge* g = reg.gauge("util");
+  g->Set(0.25);
+  g->Set(0.75);
+  EXPECT_DOUBLE_EQ(reg.TakeSnapshot().gauge("util"), 0.75);
+}
+
+TEST(RegistryTest, TimerRecordsDistribution) {
+  Registry reg;
+  Timer* t = reg.timer("lat_us");
+  for (int i = 1; i <= 100; ++i) t->RecordUs(static_cast<double>(i));
+  const Snapshot snap = reg.TakeSnapshot();
+  const LogHistogram* h = snap.timer("lat_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 100u);
+  EXPECT_GT(h->p99(), h->p50());
+  EXPECT_EQ(snap.timer("nope"), nullptr);
+}
+
+TEST(RegistryTest, SnapshotIsNameSorted) {
+  Registry reg;
+  reg.counter("zz")->Increment();
+  reg.counter("aa")->Increment();
+  reg.counter("mm")->Increment();
+  const Snapshot snap = reg.TakeSnapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "aa");
+  EXPECT_EQ(snap.counters[1].first, "mm");
+  EXPECT_EQ(snap.counters[2].first, "zz");
+}
+
+TEST(RegistryTest, ResetZeroesEverything) {
+  Registry reg;
+  reg.counter("c")->Add(7);
+  reg.gauge("g")->Set(3.0);
+  reg.timer("t")->RecordUs(5.0);
+  reg.Reset();
+  const Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counter("c"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauge("g"), 0.0);
+  const LogHistogram* h = snap.timer("t");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 0u);
+}
+
+TEST(RegistryTest, ConcurrentCountersMergeExactly) {
+  // Each thread owns a private shard, so concurrent increments must
+  // merge to the exact total — no lost updates, no double counting.
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50'000;
+  Counter* c = reg.counter("shared");
+  Timer* t = reg.timer("shared_us");
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (uint64_t n = 0; n < kPerThread; ++n) {
+        c->Increment();
+        if (n % 1000 == 0) t->RecordUs(1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counter("shared"), kThreads * kPerThread);
+  EXPECT_EQ(snap.timer("shared_us")->count(), kThreads * (kPerThread / 1000));
+}
+
+TEST(RegistryTest, MacrosReportToGlobal) {
+  Registry::Global().Reset();
+  CATFISH_COUNT("macro.test.count");
+  CATFISH_COUNT_ADD("macro.test.count", 4);
+  CATFISH_TIMER_RECORD_US("macro.test.us", 12.5);
+  {
+    CATFISH_SCOPED_TIMER_US("macro.test.scoped_us");
+  }
+  const Snapshot snap = Registry::Global().TakeSnapshot();
+  EXPECT_EQ(snap.counter("macro.test.count"), 5u);
+  EXPECT_EQ(snap.timer("macro.test.us")->count(), 1u);
+  EXPECT_EQ(snap.timer("macro.test.scoped_us")->count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+uint64_t FakeClock() {
+  static uint64_t t = 0;
+  return t += 10;
+}
+
+TEST(TraceTest, SpanTreeStructure) {
+  Tracer tracer({}, &FakeClock);
+  auto trace = tracer.StartTrace("search");
+  ASSERT_NE(trace, nullptr);
+  const SpanId decide = trace->StartSpan(trace->root(), "decide",
+                                         tracer.now_us());
+  trace->SetAttr(decide, "mode", 1);
+  trace->EndSpan(decide, tracer.now_us());
+  const SpanId write = trace->StartSpan(trace->root(), "ring_write",
+                                        tracer.now_us());
+  trace->EndSpan(write, tracer.now_us());
+  tracer.Finish(trace);
+
+  EXPECT_TRUE(trace->Complete());
+  EXPECT_EQ(trace->span_count(), 3u);
+  EXPECT_EQ(trace->span(trace->root()).children.size(), 2u);
+  const Span* d = trace->Find("decide");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->AttrOr("mode"), 1);
+  EXPECT_EQ(d->AttrOr("missing", -1), -1);
+  EXPECT_GE(d->end_us, d->start_us);
+  EXPECT_EQ(trace->CountSpans("ring_write"), 1u);
+}
+
+TEST(TraceTest, IncAttrAccumulates) {
+  Tracer tracer({}, &FakeClock);
+  auto trace = tracer.StartTrace("t");
+  ASSERT_NE(trace, nullptr);
+  trace->IncAttr(trace->root(), "reads", 3);
+  trace->IncAttr(trace->root(), "reads", 2);
+  EXPECT_EQ(trace->span(trace->root()).AttrOr("reads"), 5);
+}
+
+TEST(TraceTest, SamplingKeepsOneInN) {
+  TracerConfig cfg;
+  cfg.sample_every = 4;
+  Tracer tracer(cfg, &FakeClock);
+  int kept = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (auto t = tracer.StartTrace("s")) {
+      tracer.Finish(t);
+      ++kept;
+    }
+  }
+  EXPECT_EQ(kept, 4);
+  EXPECT_EQ(tracer.started(), 16u);
+  EXPECT_EQ(tracer.sampled(), 4u);
+}
+
+TEST(TraceTest, RetentionRingEvictsOldest) {
+  TracerConfig cfg;
+  cfg.retain = 3;
+  Tracer tracer(cfg, &FakeClock);
+  for (int i = 0; i < 5; ++i) {
+    auto t = tracer.StartTrace("s");
+    ASSERT_NE(t, nullptr);
+    t->SetAttr(t->root(), "seq", i);
+    tracer.Finish(t);
+  }
+  const auto finished = tracer.Finished();
+  ASSERT_EQ(finished.size(), 3u);
+  EXPECT_EQ(finished.front()->span(0).AttrOr("seq"), 2);
+  EXPECT_EQ(finished.back()->span(0).AttrOr("seq"), 4);
+  EXPECT_EQ(tracer.evicted(), 2u);
+
+  auto latest = tracer.Latest("s");
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->span(0).AttrOr("seq"), 4);
+  EXPECT_EQ(tracer.Latest("other"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(ExportTest, JsonWriterBasics) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s").Value("a\"b\\c\nd");
+  w.Key("i").Value(int64_t{-3});
+  w.Key("u").Value(uint64_t{18446744073709551615ull});
+  w.Key("d").Value(1.5);
+  w.Key("b").Value(true);
+  w.Key("arr");
+  w.BeginArray();
+  w.Value(1);
+  w.Value(2);
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_TRUE(JsonChecker(w.str()).Valid()) << w.str();
+  EXPECT_NE(w.str().find("\\\""), std::string::npos);
+  EXPECT_NE(w.str().find("18446744073709551615"), std::string::npos);
+}
+
+TEST(ExportTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("nan").Value(std::nan(""));
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"nan":null})");
+}
+
+TEST(ExportTest, RawSplicesDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Value(1);
+  w.Key("m").Raw(R"({"x":2})");
+  w.Key("b").Value(3);
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"a":1,"m":{"x":2},"b":3})");
+  EXPECT_TRUE(JsonChecker(w.str()).Valid());
+}
+
+TEST(ExportTest, SnapshotToJsonIsValid) {
+  Registry reg;
+  reg.counter("rdma.read.posted")->Add(12);
+  reg.gauge("catfish.server.utilization_pct")->Set(42.0);
+  for (int i = 0; i < 10; ++i) {
+    reg.timer("catfish.client.search_fast_us")->RecordUs(i * 1.5);
+  }
+  const std::string json = SnapshotToJson(reg.TakeSnapshot());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"rdma.read.posted\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ExportTest, SnapshotToTableListsEveryMetric) {
+  Registry reg;
+  reg.counter("a.count")->Add(3);
+  reg.gauge("b.gauge")->Set(0.5);
+  reg.timer("c.timer_us")->RecordUs(7.0);
+  const std::string table = SnapshotToTable(reg.TakeSnapshot());
+  EXPECT_NE(table.find("a.count"), std::string::npos);
+  EXPECT_NE(table.find("b.gauge"), std::string::npos);
+  EXPECT_NE(table.find("c.timer_us"), std::string::npos);
+}
+
+TEST(ExportTest, TraceToJsonIsValid) {
+  Tracer tracer({}, &FakeClock);
+  auto trace = tracer.StartTrace("search");
+  ASSERT_NE(trace, nullptr);
+  const SpanId s = trace->StartSpan(trace->root(), "ring_write",
+                                    tracer.now_us());
+  trace->SetAttr(s, "req_id", 77);
+  trace->EndSpan(s, tracer.now_us());
+  tracer.Finish(trace);
+  const std::string json = TraceToJson(*trace);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"req_id\":77"), std::string::npos);
+  EXPECT_NE(json.find("\"children\""), std::string::npos);
+}
+
+TEST(ExportTest, JsonLinesWriterAppendsLines) {
+  const std::string path = ::testing::TempDir() + "/telemetry_test.jsonl";
+  {
+    JsonLinesWriter out(path);
+    ASSERT_TRUE(out.ok());
+    out.WriteLine(R"({"a":1})");
+    out.WriteLine(R"({"b":2})");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  std::string content;
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  EXPECT_EQ(content, "{\"a\":1}\n{\"b\":2}\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace catfish::telemetry
