@@ -8,19 +8,69 @@
 // saved round trip (or saved NIC slot under multi-issue). Internal nodes
 // are ~1/19 of the tree, so a warm cache should eliminate all non-leaf
 // fetches — about `height-1` READs of every search at small scales.
+//
+// READ counts come from the shared remote engine (src/remote) the
+// client's offload path runs on — the same counters every other consumer
+// reports — and each (scale, cache) cell can be dumped as one JSON line:
+//
+//   ./build/bench/bench_ablation_cache [--telemetry-json out.jsonl]
 #include <cstdio>
 
+#include "bench_util.h"
 #include "catfish/client.h"
 #include "catfish/server.h"
 #include "rtree/bulk_load.h"
+#include "telemetry/export.h"
 #include "workload/generators.h"
 
-int main() {
+namespace {
+
+/// One JSONL record per cell: the cell coordinates, reads/search from
+/// the engine's counters, and the full metric snapshot (remote.*,
+/// catfish.*, rdma.*).
+void ExportCell(catfish::telemetry::JsonLinesWriter* out, double scale,
+                bool cached, int searches,
+                const catfish::ClientStats& st,
+                const catfish::remote::EngineStats& eng) {
+  using namespace catfish;
+  if (!out) return;
+  const auto snap = telemetry::Registry::Global().TakeSnapshot();
+  telemetry::JsonWriter j;
+  j.BeginObject();
+  j.Key("bench").Value("ablation_cache");
+  j.Key("scale").Value(scale);
+  j.Key("cache").Value(cached ? "on" : "off");
+  j.Key("searches").Value(static_cast<uint64_t>(searches));
+  j.Key("reads_per_search").Value(static_cast<double>(eng.reads) /
+                                  static_cast<double>(searches));
+  j.Key("version_retries").Value(eng.version_retries);
+  j.Key("retry_exhausted").Value(eng.retry_exhausted);
+  j.Key("cache_hits").Value(st.cache_hits);
+  j.Key("cache_invalidations").Value(st.cache_invalidations);
+  j.Key("metrics").Raw(telemetry::SnapshotToJson(snap));
+  j.EndObject();
+  out->WriteLine(j.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace catfish;
   using namespace std::chrono_literals;
 
+  const auto env = bench::BenchEnv::Load(argc, argv);
   constexpr size_t kDataset = 300'000;
   constexpr int kSearches = 2000;
+
+  std::unique_ptr<telemetry::JsonLinesWriter> jsonl;
+  if (!env.telemetry_json.empty()) {
+    jsonl = std::make_unique<telemetry::JsonLinesWriter>(env.telemetry_json);
+    if (!jsonl->ok()) {
+      std::fprintf(stderr, "warning: cannot open '%s' for telemetry JSON\n",
+                   env.telemetry_json.c_str());
+      jsonl.reset();
+    }
+  }
 
   rtree::NodeArena arena(rtree::kChunkSize, 1 << 16);
   const auto items = workload::UniformDataset(kDataset, 1e-4, 9);
@@ -42,6 +92,7 @@ int main() {
     double results_per_search = 0;
     double hits_per_search = 0;
     for (const bool cached : {false, true}) {
+      if (jsonl) telemetry::Registry::Global().Reset();
       ClientConfig cfg;
       cfg.cache_internal_nodes = cached;
       RTreeClient client(fabric.CreateNode("client"), server, cfg);
@@ -56,12 +107,16 @@ int main() {
             workload::UniformRect(rng, scale)).size();
       }
       const auto st = client.stats();
+      // reads/search straight from the shared engine's counter — the
+      // same number `remote.rtree.reads` reports.
       reads_per_search[cached] =
-          static_cast<double>(st.rdma_reads) / kSearches;
+          static_cast<double>(client.remote_stats().reads) / kSearches;
       if (cached) {
         hits_per_search = static_cast<double>(st.cache_hits) / kSearches;
       }
       results_per_search = static_cast<double>(results) / kSearches;
+      ExportCell(jsonl.get(), scale, cached, kSearches, st,
+                 client.remote_stats());
     }
     std::printf("%10g %10s %14.2f %14s %12s %12.1f\n", scale, "off",
                 reads_per_search[0], "-", "-", results_per_search);

@@ -10,9 +10,16 @@
 // path — §IV-C), the cuckoo lookup needs a constant 2 independent READs
 // (perfectly multi-issuable), and the R-tree sits in between. This is
 // exactly the structural property that decides how expensive offloading
-// is for each structure.
+// is for each structure. Both offloaded paths run on the shared remote
+// engine (src/remote), so the read counters reported here and the
+// `remote.*` metrics in the JSONL sink come from the same source the
+// R-tree client uses.
+//
+//   ./build/bench/bench_ext_kv [--telemetry-json out.jsonl]
 #include <cstdio>
+#include <optional>
 
+#include "bench_util.h"
 #include "btree/bplus.h"
 #include "btree/remote_reader.h"
 #include "common/clock.h"
@@ -20,6 +27,8 @@
 #include "cuckoo/cuckoo.h"
 #include "cuckoo/remote_reader.h"
 #include "rdmasim/rdma.h"
+#include "remote/transport.h"
+#include "telemetry/export.h"
 
 namespace {
 
@@ -32,27 +41,57 @@ struct Rig {
   std::shared_ptr<rdma::CompletionQueue> cq = client->CreateCq();
   std::shared_ptr<rdma::QueuePair> c_qp, s_qp;
   rdma::MemoryRegionHandle mr;
+  std::unique_ptr<remote::QpFetchTransport> transport;
 
-  void Wire(std::span<std::byte> region) {
+  void Wire(std::span<std::byte> region, size_t chunk_size) {
     mr = server->RegisterMemory(region);
     s_qp = server->CreateQp(server->CreateCq(), server->CreateCq());
     c_qp = client->CreateQp(cq, client->CreateCq());
     rdma::QueuePair::Connect(s_qp, c_qp);
-  }
-
-  void Fetch(rtree::ChunkId id, std::span<std::byte> dst) {
-    c_qp->PostRead(1, dst, rdma::RemoteAddr{mr.rkey, id * 1024ull});
-    rdma::WorkCompletion wc;
-    while (cq->Poll({&wc, 1}) == 0) {
-    }
+    transport = std::make_unique<remote::QpFetchTransport>(
+        c_qp, cq, rdma::RemoteAddr{mr.rkey, 0}, chunk_size);
   }
 };
 
+/// One JSONL record per offloaded cell: reads/op straight from the
+/// shared engine's counters plus the full `remote.*` metric snapshot.
+void ExportCell(telemetry::JsonLinesWriter* out, const char* structure,
+                size_t lookups, double mops,
+                const remote::EngineStats& st) {
+  if (!out) return;
+  const auto snap = telemetry::Registry::Global().TakeSnapshot();
+  telemetry::JsonWriter j;
+  j.BeginObject();
+  j.Key("bench").Value("ext_kv");
+  j.Key("structure").Value(structure);
+  j.Key("path").Value("offloaded");
+  j.Key("lookups").Value(static_cast<uint64_t>(lookups));
+  j.Key("mops").Value(mops);
+  j.Key("reads_per_op").Value(static_cast<double>(st.reads) /
+                              static_cast<double>(lookups));
+  j.Key("version_retries").Value(st.version_retries);
+  j.Key("retry_exhausted").Value(st.retry_exhausted);
+  j.Key("metrics").Raw(telemetry::SnapshotToJson(snap));
+  j.EndObject();
+  out->WriteLine(j.str());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto env = bench::BenchEnv::Load(argc, argv);
   constexpr size_t kKeys = 200'000;
   constexpr size_t kLookups = 100'000;
+
+  std::unique_ptr<telemetry::JsonLinesWriter> jsonl;
+  if (!env.telemetry_json.empty()) {
+    jsonl = std::make_unique<telemetry::JsonLinesWriter>(env.telemetry_json);
+    if (!jsonl->ok()) {
+      std::fprintf(stderr, "warning: cannot open '%s' for telemetry JSON\n",
+                   env.telemetry_json.c_str());
+      jsonl.reset();
+    }
+  }
 
   std::printf("=== Extension: B+-tree & cuckoo hashing on the Catfish "
               "substrate (§VI) ===\n");
@@ -77,26 +116,26 @@ int main() {
     std::printf("%-26s %12.2f %14s %14s\n", "b+tree/server-side",
                 static_cast<double>(kLookups) / secs / 1e6, "0", "-");
 
+    telemetry::Registry::Global().Reset();
     Rig rig;
-    rig.Wire(arena.memory());
-    btree::RemoteBTreeReader reader(
-        [&rig](btree::ChunkId id, std::span<std::byte> dst) {
-          rig.Fetch(id, dst);
-        });
+    rig.Wire(arena.memory(), btree::kChunkSize);
+    btree::RemoteBTreeReader reader(rig.transport.get());
     Xoshiro256 rng2(1);  // hit-path: present keys
+    std::optional<uint64_t> value;
     t0 = NowNanos();
     for (size_t i = 0; i < kLookups; ++i) {
-      (void)reader.Get(rng2.Next() | 1);
+      (void)reader.Get(rng2.Next() | 1, value);
     }
     secs = static_cast<double>(NowNanos() - t0) * 1e-9;
+    const double mops = static_cast<double>(kLookups) / secs / 1e6;
     std::printf("%-26s %12.2f %14.2f %14llu   (height %u: one dependent "
                 "READ per level)\n",
-                "b+tree/offloaded",
-                static_cast<double>(kLookups) / secs / 1e6,
+                "b+tree/offloaded", mops,
                 static_cast<double>(reader.stats().reads) / kLookups,
                 static_cast<unsigned long long>(
                     reader.stats().version_retries),
                 tree.height());
+    ExportCell(jsonl.get(), "btree", kLookups, mops, reader.stats());
   }
 
   // --- cuckoo ---
@@ -120,28 +159,27 @@ int main() {
     std::printf("%-26s %12.2f %14s %14s\n", "cuckoo/server-side",
                 static_cast<double>(kLookups) / secs / 1e6, "0", "-");
 
+    telemetry::Registry::Global().Reset();
     Rig rig;
-    rig.Wire(arena.memory());
-    cuckoo::RemoteCuckooReader reader(
-        [&rig](cuckoo::ChunkId id, std::span<std::byte> dst) {
-          rig.Fetch(id, dst);
-        },
-        table.geometry());
+    rig.Wire(arena.memory(), cuckoo::kChunkSize);
+    cuckoo::RemoteCuckooReader reader(rig.transport.get(), table.geometry());
     // Hit-path cost: look up keys that are present (misses additionally
     // pay one consistency-confirm READ).
     Xoshiro256 rng2(1);
+    std::optional<uint64_t> value;
     t0 = NowNanos();
     for (size_t i = 0; i < kLookups; ++i) {
-      (void)reader.Get(rng2.Next() | 1);
+      (void)reader.Get(rng2.Next() | 1, value);
     }
     secs = static_cast<double>(NowNanos() - t0) * 1e-9;
+    const double mops = static_cast<double>(kLookups) / secs / 1e6;
     std::printf("%-26s %12.2f %14.2f %14llu   (constant 2 independent "
                 "READs: ideal multi-issue)\n",
-                "cuckoo/offloaded",
-                static_cast<double>(kLookups) / secs / 1e6,
+                "cuckoo/offloaded", mops,
                 static_cast<double>(reader.stats().reads) / kLookups,
                 static_cast<unsigned long long>(
                     reader.stats().version_retries));
+    ExportCell(jsonl.get(), "cuckoo", kLookups, mops, reader.stats());
     std::printf("\n(loaded %zu/%zu cuckoo keys at %.0f%% table load)\n",
                 inserted, kKeys,
                 100.0 * static_cast<double>(table.size()) /

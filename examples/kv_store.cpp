@@ -5,6 +5,7 @@
 //
 //   ./build/examples/kv_store
 #include <cstdio>
+#include <optional>
 
 #include "btree/bplus.h"
 #include "btree/remote_reader.h"
@@ -13,6 +14,7 @@
 #include "cuckoo/cuckoo.h"
 #include "cuckoo/remote_reader.h"
 #include "rdmasim/rdma.h"
+#include "remote/transport.h"
 
 int main() {
   using namespace catfish;
@@ -52,17 +54,15 @@ int main() {
   auto s_qp = server->CreateQp(server->CreateCq(), server->CreateCq());
   rdma::QueuePair::Connect(s_qp, c_qp);
 
-  const auto fetch = [&](uint32_t rkey) {
-    return [&, rkey](rtree::ChunkId id, std::span<std::byte> dst) {
-      c_qp->PostRead(1, dst, rdma::RemoteAddr{rkey, id * 1024ull});
-      rdma::WorkCompletion wc;
-      while (cq->Poll({&wc, 1}) == 0) {
-      }
-    };
-  };
-  btree::RemoteBTreeReader bt_reader(fetch(btree_mr.rkey));
-  cuckoo::RemoteCuckooReader ck_reader(fetch(cuckoo_mr.rkey),
-                                       table.geometry());
+  // One transport per registered arena (distinct rkeys), both multiplexed
+  // over the same QP/CQ; each reader runs its own shared-engine instance
+  // (src/remote) on top.
+  remote::QpFetchTransport bt_transport(
+      c_qp, cq, rdma::RemoteAddr{btree_mr.rkey, 0}, btree::kChunkSize);
+  remote::QpFetchTransport ck_transport(
+      c_qp, cq, rdma::RemoteAddr{cuckoo_mr.rkey, 0}, cuckoo::kChunkSize);
+  btree::RemoteBTreeReader bt_reader(&bt_transport);
+  cuckoo::RemoteCuckooReader ck_reader(&ck_transport, table.geometry());
 
   // Point lookups through both structures — identical answers, different
   // read counts (height-many dependent READs vs a constant two).
@@ -70,8 +70,13 @@ int main() {
   size_t checked = 0;
   for (int i = 0; i < 20'000; ++i) {
     const uint64_t key = 1 + probe.NextBounded(1u << 24);
-    const auto via_tree = bt_reader.Get(key);
-    const auto via_hash = ck_reader.Get(key);
+    std::optional<uint64_t> via_tree, via_hash;
+    if (bt_reader.Get(key, via_tree) != remote::FetchStatus::kOk ||
+        ck_reader.Get(key, via_hash) != remote::FetchStatus::kOk) {
+      std::printf("remote read failed at key %llu\n",
+                  static_cast<unsigned long long>(key));
+      return 1;
+    }
     if (via_tree != via_hash) {
       std::printf("MISMATCH at key %llu!\n",
                   static_cast<unsigned long long>(key));
@@ -88,7 +93,11 @@ int main() {
 
   // Range scan: only the B+-tree can serve it (leaf-chain walk).
   std::vector<btree::KeyValue> range;
-  bt_reader.Scan(1'000'000, 1'010'000, range);
+  if (bt_reader.Scan(1'000'000, 1'010'000, range) !=
+      remote::FetchStatus::kOk) {
+    std::printf("remote range scan failed\n");
+    return 1;
+  }
   std::printf("client: remote range scan [1e6, 1.01e6] → %zu records, all "
               "value == key*10: %s\n",
               range.size(),

@@ -1,106 +1,104 @@
 // Client-side (offloaded) B+-tree access over one-sided reads.
 //
 // The Catfish offloading pattern (§III-B) applied to the B+-tree: the
-// client fetches node chunks from the server's registered arena with
-// RDMA READs, validates the per-cache-line versions, and walks the tree
-// itself — no server CPU involvement. Because a B+-tree lookup is a
+// client fetches node chunks from the server's registered arena through
+// the shared remote-access engine (src/remote), which validates the
+// per-cache-line versions and bounds torn-read retries, and walks the
+// tree itself — no server CPU involvement. Because a B+-tree lookup is a
 // single root→leaf path there is nothing to multi-issue (§IV-C calls
 // this out); range scans pipeline along the leaf chain instead.
 //
-// The transport is injected as a fetch callback so the same reader runs
-// over the rdmasim queue pair (examples/tests), over a real ibverbs QP,
-// or over local memory (unit tests).
+// The transport is injected (remote/transport.h) so the same reader runs
+// over the rdmasim queue pair (examples/tests), over a real ibverbs QP
+// behind the same interface, or over local memory (unit tests).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <stdexcept>
 #include <vector>
 
 #include "btree/bplus.h"
+#include "remote/engine.h"
 #include "rtree/layout.h"
 
 namespace catfish::btree {
 
-/// Statistics of one remote traversal session.
-struct RemoteReadStats {
-  uint64_t reads = 0;
-  uint64_t version_retries = 0;
-};
-
 class RemoteBTreeReader {
  public:
-  /// `fetch` copies the raw chunk image of `id` into the destination
-  /// buffer (exactly chunk_size bytes) — e.g. an RDMA READ at offset
-  /// id * chunk_size of the registered arena.
-  using FetchFn = std::function<void(ChunkId id, std::span<std::byte> dst)>;
+  /// The transport must outlive the reader. Version-retry bounds come
+  /// from `policy`; exhaustion surfaces as a FetchStatus, never a hang.
+  explicit RemoteBTreeReader(remote::FetchTransport* transport,
+                             size_t chunk_size = kChunkSize,
+                             remote::RetryPolicy policy = {})
+      : engine_(transport, "btree", policy), buf_(chunk_size) {}
 
-  RemoteBTreeReader(FetchFn fetch, size_t chunk_size = kChunkSize,
-                    uint64_t max_retries = 1'000'000)
-      : fetch_(std::move(fetch)), buf_(chunk_size),
-        max_retries_(max_retries) {}
-
-  /// Offloaded point lookup.
-  std::optional<uint64_t> Get(uint64_t key) {
+  /// Offloaded point lookup. `out` is the value when the key exists,
+  /// nullopt otherwise; only meaningful when the status is kOk.
+  remote::FetchStatus Get(uint64_t key, std::optional<uint64_t>& out) {
+    out.reset();
     BNodeData node;
     ChunkId cur = kRootChunk;
     for (;;) {
-      FetchNode(cur, node);
+      if (const auto st = FetchNode(cur, node); st != remote::FetchStatus::kOk)
+        return st;
       if (node.IsLeaf()) {
         const size_t pos = node.LowerBound(key);
         if (pos < node.count && node.entries[pos].key == key) {
-          return node.entries[pos].value;
+          out = node.entries[pos].value;
         }
-        return std::nullopt;
+        return remote::FetchStatus::kOk;
       }
       cur = static_cast<ChunkId>(node.entries[node.ChildIndexFor(key)].value);
     }
   }
 
-  /// Offloaded range scan along the remote leaf chain.
-  size_t Scan(uint64_t lo, uint64_t hi, std::vector<KeyValue>& out) {
-    size_t found = 0;
+  /// Offloaded range scan along the remote leaf chain. Appends matches
+  /// to `out`; partial results may be present on a non-kOk status.
+  remote::FetchStatus Scan(uint64_t lo, uint64_t hi,
+                           std::vector<KeyValue>& out) {
     BNodeData node;
-    FetchNode(kRootChunk, node);
+    if (const auto st = FetchNode(kRootChunk, node);
+        st != remote::FetchStatus::kOk)
+      return st;
     while (!node.IsLeaf()) {
-      FetchNode(
-          static_cast<ChunkId>(node.entries[node.ChildIndexFor(lo)].value),
-          node);
+      if (const auto st = FetchNode(
+              static_cast<ChunkId>(node.entries[node.ChildIndexFor(lo)].value),
+              node);
+          st != remote::FetchStatus::kOk)
+        return st;
     }
     for (;;) {
       for (size_t i = node.LowerBound(lo); i < node.count; ++i) {
-        if (node.entries[i].key > hi) return found;
+        if (node.entries[i].key > hi) return remote::FetchStatus::kOk;
         out.push_back(node.entries[i]);
-        ++found;
       }
-      if (node.next == kNoLeaf) return found;
-      FetchNode(static_cast<ChunkId>(node.next), node);
+      if (node.next == kNoLeaf) return remote::FetchStatus::kOk;
+      if (const auto st = FetchNode(static_cast<ChunkId>(node.next), node);
+          st != remote::FetchStatus::kOk)
+        return st;
     }
   }
 
-  const RemoteReadStats& stats() const noexcept { return stats_; }
+  /// Shared-engine counters (reads, version_retries, retry_exhausted,
+  /// ...); also exported as `remote.btree.*` metrics.
+  const remote::EngineStats& stats() const noexcept {
+    return engine_.stats();
+  }
 
  private:
-  void FetchNode(ChunkId id, BNodeData& out) {
-    for (uint64_t attempt = 0; attempt <= max_retries_; ++attempt) {
-      fetch_(id, buf_);
-      ++stats_.reads;
-      // The same read-validate protocol as the R-tree offload path.
-      if (rtree::ValidateVersions(buf_).has_value()) {
-        std::byte payload[rtree::PayloadCapacity(kChunkSize)];
-        rtree::GatherPayload(buf_, payload);
-        if (DecodeBNode(payload, out) && out.self == id) return;
-      }
-      ++stats_.version_retries;
-    }
-    throw std::runtime_error("RemoteBTreeReader: node read livelock");
+  remote::FetchStatus FetchNode(ChunkId id, BNodeData& out) {
+    // The same read-validate protocol as the R-tree offload path, run by
+    // the shared engine; this reader only decodes accepted images.
+    return engine_.FetchOne(id, buf_, [&](std::span<const std::byte> image) {
+      if (!rtree::ValidateVersions(image).has_value()) return false;
+      std::byte payload[rtree::PayloadCapacity(kChunkSize)];
+      rtree::GatherPayload(image, payload);
+      return DecodeBNode(payload, out) && out.self == id;
+    });
   }
 
-  FetchFn fetch_;
+  remote::VersionedFetchEngine engine_;
   std::vector<std::byte> buf_;
-  uint64_t max_retries_;
-  RemoteReadStats stats_;
 };
 
 }  // namespace catfish::btree

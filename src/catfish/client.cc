@@ -49,6 +49,16 @@ RTreeClient::RTreeClient(std::shared_ptr<rdma::SimNode> node,
   response_rx_ = std::make_unique<msg::RingReceiver>(
       std::span<std::byte>(response_ring_mem_), qp_,
       boot_.response_ack_cell);
+
+  // The offload path: one-sided READs of the server's arena, run by the
+  // shared remote engine (read → validate versions → bounded retry).
+  // Ring writes are unsignaled, so send_cq_ carries only READ
+  // completions — exactly what the transport consumes.
+  fetch_transport_ = std::make_unique<remote::QpFetchTransport>(
+      qp_, send_cq_, rdma::RemoteAddr{boot_.arena_mr.rkey, 0},
+      boot_.chunk_size);
+  engine_ = std::make_unique<remote::VersionedFetchEngine>(
+      fetch_transport_.get(), "rtree", cfg_.remote_retry);
 }
 
 RTreeClient::RTreeClient(std::shared_ptr<rdma::SimNode> node,
@@ -198,17 +208,6 @@ std::vector<rtree::Entry> RTreeClient::NearestNeighbors(
   return results;
 }
 
-void RTreeClient::PostNodeRead(rtree::ChunkId id, std::span<std::byte> buf,
-                               uint64_t wr_id) {
-  const rdma::RemoteAddr src{
-      boot_.arena_mr.rkey,
-      static_cast<uint64_t>(id) * boot_.chunk_size};
-  if (!qp_->PostRead(wr_id, buf, src)) {
-    throw std::runtime_error("catfish client: RDMA READ failed");
-  }
-  ++stats_.rdma_reads;
-}
-
 bool RTreeClient::TryDecodeNode(rtree::ChunkId id,
                                 std::span<const std::byte> buf,
                                 rtree::NodeData& out) {
@@ -219,25 +218,12 @@ bool RTreeClient::TryDecodeNode(rtree::ChunkId id,
   return rtree::DecodeNode(payload, out) && out.self == id;
 }
 
-void RTreeClient::ReadRemoteNode(rtree::ChunkId id, std::span<std::byte> buf,
-                                 rtree::NodeData& out) {
-  const uint64_t deadline = NowMicros() + cfg_.request_timeout_us;
-  for (;;) {
-    PostNodeRead(id, buf, ++next_wr_id_);
-    rdma::WorkCompletion wc;
-    while (send_cq_->Poll({&wc, 1}) == 0) {
-      std::this_thread::yield();
-    }
-    if (wc.status != rdma::WcStatus::kSuccess) {
-      throw std::runtime_error("catfish client: READ failed");
-    }
-    if (TryDecodeNode(id, buf, out)) return;
-    ++stats_.version_retries;
-    CATFISH_COUNT("catfish.client.version_retries");
-    if (NowMicros() > deadline) {
-      throw std::runtime_error("catfish client: node read livelock");
-    }
-  }
+void RTreeClient::AccountEngineDelta(const remote::EngineStats& before) {
+  const remote::EngineStats& now = engine_->stats();
+  stats_.rdma_reads += now.reads - before.reads;
+  const uint64_t retries = now.version_retries - before.version_retries;
+  stats_.version_retries += retries;
+  CATFISH_COUNT_ADD("catfish.client.version_retries", retries);
 }
 
 void RTreeClient::ProcessNode(const rtree::NodeData& node,
@@ -268,6 +254,7 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
   std::vector<rtree::ChunkId> next;
   std::vector<rtree::ChunkId> to_fetch;
   std::vector<std::vector<std::byte>> bufs;
+  std::vector<remote::VersionedFetchEngine::Request> reqs;
   rtree::NodeData node;
 
   // Caching is only sound once a heartbeat supplied the epoch to
@@ -291,6 +278,7 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
                       static_cast<int64_t>(frontier.size()));
       round_before = stats_;
     }
+    const remote::EngineStats engine_round_before = engine_->stats();
     ++level;
     next.clear();
     if (use_cache) {
@@ -313,35 +301,29 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
       }
     }
     if (cfg_.multi_issue) {
-      // §IV-C: post every READ of this round back-to-back so they
-      // pipeline on the NICs and the wire, then consume completions as
-      // they return. wr_id carries the frontier index; a torn read is
-      // re-posted under the same id and resolves through the same loop.
+      // §IV-C: the engine multi-issues every READ of this round
+      // back-to-back so they pipeline on the NICs and the wire, then
+      // validates images in completion order; torn reads re-fetch under
+      // the engine's bounded backoff. Accepted nodes are processed right
+      // in the validate callback.
       bufs.resize(frontier.size());
+      reqs.resize(frontier.size());
       for (size_t i = 0; i < frontier.size(); ++i) {
         bufs[i].resize(boot_.chunk_size);
-        PostNodeRead(frontier[i], bufs[i], i);
+        reqs[i] = remote::VersionedFetchEngine::Request{frontier[i], bufs[i]};
       }
-      size_t completed = 0;
-      rdma::WorkCompletion wcs[16];
-      while (completed < frontier.size()) {
-        const size_t n = send_cq_->Poll(wcs);
-        for (size_t k = 0; k < n; ++k) {
-          if (wcs[k].status != rdma::WcStatus::kSuccess) {
-            throw std::runtime_error("catfish client: READ failed");
-          }
-          const size_t i = static_cast<size_t>(wcs[k].wr_id);
-          if (TryDecodeNode(frontier[i], bufs[i], node)) {
+      const auto st = engine_->FetchMany(
+          reqs, [&](size_t i, std::span<const std::byte> image) {
+            if (!TryDecodeNode(frontier[i], image, node)) return false;
             ProcessNode(node, rect, results, next);
             if (use_cache && !node.IsLeaf()) node_cache_[frontier[i]] = node;
-            ++completed;
-          } else {
-            ++stats_.version_retries;
-            CATFISH_COUNT("catfish.client.version_retries");
-            PostNodeRead(frontier[i], bufs[i], i);
-          }
-        }
-        if (n == 0) std::this_thread::yield();
+            return true;
+          });
+      if (st != remote::FetchStatus::kOk) {
+        AccountEngineDelta(engine_round_before);
+        throw std::runtime_error(
+            std::string("catfish client: offloaded read failed: ") +
+            remote::ToString(st));
       }
     } else {
       // One READ at a time: every node access pays a full round trip
@@ -349,11 +331,21 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
       bufs.resize(1);
       bufs[0].resize(boot_.chunk_size);
       for (const rtree::ChunkId id : frontier) {
-        ReadRemoteNode(id, bufs[0], node);
+        const auto st = engine_->FetchOne(
+            id, bufs[0], [&](std::span<const std::byte> image) {
+              return TryDecodeNode(id, image, node);
+            });
+        if (st != remote::FetchStatus::kOk) {
+          AccountEngineDelta(engine_round_before);
+          throw std::runtime_error(
+              std::string("catfish client: offloaded read failed: ") +
+              remote::ToString(st));
+        }
         ProcessNode(node, rect, results, next);
         if (use_cache && !node.IsLeaf()) node_cache_[id] = node;
       }
     }
+    AccountEngineDelta(engine_round_before);
     if (trace_) {
       trace_->SetAttr(
           round_span, "reads",

@@ -29,6 +29,7 @@
 #include "msg/protocol.h"
 #include "msg/ring.h"
 #include "rdmasim/rdma.h"
+#include "remote/engine.h"
 #include "rtree/rstar.h"
 #include "telemetry/trace.h"
 
@@ -55,6 +56,9 @@ struct ClientConfig {
   uint64_t seed = 1;
   /// Abort a stuck request after this long (guards tests/examples).
   uint64_t request_timeout_us = 30'000'000;
+  /// Bounds on the offload path's version-validated reads (the shared
+  /// remote engine's capped-backoff retry loop, src/remote).
+  remote::RetryPolicy remote_retry;
   /// When set, every search records a span tree here: the adaptive
   /// decision, then either the fast-messaging ring write + response
   /// collection or the per-round offload fan-out (READ counts, version
@@ -123,6 +127,13 @@ class RTreeClient {
   AccessMode last_mode() const noexcept { return last_mode_; }
 
   ClientStats stats() const noexcept { return stats_; }
+  /// The offload path's shared-engine counters (reads, version retries,
+  /// exhaustions); also exported as `remote.rtree.*` metrics. READ
+  /// counts here and in the §VI extension readers are directly
+  /// comparable — one engine produced both.
+  const remote::EngineStats& remote_stats() const noexcept {
+    return engine_->stats();
+  }
   AdaptiveController& controller() noexcept { return controller_; }
   uint32_t tree_height() const noexcept { return boot_.tree_height; }
 
@@ -134,17 +145,14 @@ class RTreeClient {
   msg::Message AwaitMessage();
   bool AwaitWriteAck(uint64_t req_id);
 
-  /// Fetches one node chunk via RDMA READ into `buf`, retrying until the
-  /// version check passes; decodes into `out`.
-  void ReadRemoteNode(rtree::ChunkId id, std::span<std::byte> buf,
-                      rtree::NodeData& out);
-
-  /// Posts one READ for chunk `id` without waiting for its completion.
-  void PostNodeRead(rtree::ChunkId id, std::span<std::byte> buf,
-                    uint64_t wr_id);
-  /// Validates+decodes a fetched chunk; false → caller must re-read.
+  /// Validates+decodes a fetched chunk image (the engine's validate
+  /// callback); false → the engine re-fetches within its retry bounds.
   bool TryDecodeNode(rtree::ChunkId id, std::span<const std::byte> buf,
                      rtree::NodeData& out);
+
+  /// Folds the engine's counters accumulated since `before` into
+  /// ClientStats and the legacy `catfish.client.version_retries` metric.
+  void AccountEngineDelta(const remote::EngineStats& before);
 
   /// Routes one fetched node's entries: hits to `results` (leaf) or the
   /// next frontier (internal).
@@ -164,11 +172,16 @@ class RTreeClient {
   std::unique_ptr<msg::RingSender> request_tx_;
   std::unique_ptr<msg::RingReceiver> response_rx_;
 
+  /// One-sided access to the server's arena: the QP transport plus the
+  /// shared read→validate→retry engine (src/remote) the offload path
+  /// runs on. Created right after the bootstrap handshake.
+  std::unique_ptr<remote::QpFetchTransport> fetch_transport_;
+  std::unique_ptr<remote::VersionedFetchEngine> engine_;
+
   AdaptiveController controller_;
   AccessMode last_mode_ = AccessMode::kFastMessaging;
   ClientStats stats_;
   uint64_t next_req_id_ = 0;
-  uint64_t next_wr_id_ = 0;
 
   /// Cell-style cache of internal nodes (cfg_.cache_internal_nodes).
   std::unordered_map<rtree::ChunkId, rtree::NodeData> node_cache_;

@@ -5,6 +5,7 @@
 // code free of alignment/aliasing UB (Core Guidelines type-safety profile).
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -14,6 +15,40 @@
 #include <vector>
 
 namespace catfish {
+
+/// Copies `n` bytes with relaxed word-sized atomic accesses.
+///
+/// For memory that is racily shared across threads under a seqlock (the
+/// versioned chunk layout, rtree/layout.h): the version stamps make torn
+/// data *detectable*, but the byte copies themselves must still be free
+/// of undefined behaviour. Plain memcpy between a seqlock writer and the
+/// simulated NIC's READ service is a data race; copying through relaxed
+/// atomics keeps the race defined (and ThreadSanitizer-clean) at zero
+/// cost on x86, where relaxed word accesses are ordinary loads/stores.
+inline void RelaxedCopy(std::byte* dst, const std::byte* src,
+                        size_t n) noexcept {
+  size_t off = 0;
+  const bool word_aligned =
+      reinterpret_cast<uintptr_t>(dst) % alignof(uint32_t) == 0 &&
+      reinterpret_cast<uintptr_t>(src) % alignof(uint32_t) == 0;
+  if (word_aligned) {
+    for (; off + sizeof(uint32_t) <= n; off += sizeof(uint32_t)) {
+      const uint32_t v =
+          std::atomic_ref<uint32_t>(
+              *const_cast<uint32_t*>(
+                  reinterpret_cast<const uint32_t*>(src + off)))
+              .load(std::memory_order_relaxed);
+      std::atomic_ref<uint32_t>(*reinterpret_cast<uint32_t*>(dst + off))
+          .store(v, std::memory_order_relaxed);
+    }
+  }
+  for (; off < n; ++off) {
+    const std::byte v =
+        std::atomic_ref<std::byte>(*const_cast<std::byte*>(src + off))
+            .load(std::memory_order_relaxed);
+    std::atomic_ref<std::byte>(dst[off]).store(v, std::memory_order_relaxed);
+  }
+}
 
 template <typename T>
 concept TriviallyCopyable = std::is_trivially_copyable_v<T>;

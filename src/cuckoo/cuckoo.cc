@@ -82,10 +82,12 @@ void CuckooTable::StoreBucket(uint64_t bucket, const Bucket& b) {
   std::byte payload[kBucketBytes];
   EncodeBucket(b, payload);
   rtree::BeginWrite(chunk);
-  // Scatter just this bucket's 60-byte line payload.
+  // Scatter just this bucket's 60-byte line payload. Remote readers copy
+  // the chunk concurrently; relaxed atomic stores keep that race defined
+  // while the seqlock versions detect the tear.
   const size_t line = geo_.PayloadOffsetOfBucket(bucket) / rtree::kLinePayload;
   assert(geo_.PayloadOffsetOfBucket(bucket) % rtree::kLinePayload == 0);
-  std::memcpy(chunk.data() + line * rtree::kLineSize + rtree::kVersionBytes,
+  RelaxedCopy(chunk.data() + line * rtree::kLineSize + rtree::kVersionBytes,
               payload, kBucketBytes);
   rtree::EndWrite(chunk);
 }

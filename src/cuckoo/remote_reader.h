@@ -1,59 +1,65 @@
 // Client-side (offloaded) cuckoo lookups over one-sided reads.
 //
-// A lookup fetches the key's two candidate chunks with two READs posted
-// back-to-back (multi-issue, §IV-C: no dependency between the two
-// probes), validates versions, and scans the two buckets locally — a
+// A lookup fetches the key's two candidate chunks through the shared
+// remote-access engine (src/remote), whose multi-issue batcher posts
+// both READs back-to-back (§IV-C: no dependency between the two probes),
+// validates versions, and scans the two buckets locally — a
 // constant-round-trip lookup with zero server CPU, the pattern Pilaf and
 // FaRM popularized and the paper cites as the framework's other target.
+//
+// On top of the engine's per-chunk validation this reader runs one
+// cross-chunk consistency recheck (a concurrent cuckoo move can shuttle
+// a key between the two separately-read chunks); that outer loop is
+// bounded by the same retry policy and surfaces exhaustion as a status.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <stdexcept>
 #include <vector>
 
 #include "cuckoo/cuckoo.h"
+#include "remote/engine.h"
 #include "rtree/layout.h"
 
 namespace catfish::cuckoo {
 
 class RemoteCuckooReader {
  public:
-  /// `fetch` copies the raw image of chunk `id` into `dst` (an RDMA READ
-  /// against the registered table region).
-  using FetchFn = std::function<void(ChunkId id, std::span<std::byte> dst)>;
+  /// The transport must outlive the reader. Whether the two probe READs
+  /// actually overlap on the wire is the transport's property; the
+  /// engine always posts them before waiting.
+  RemoteCuckooReader(remote::FetchTransport* transport, TableGeometry geo,
+                     remote::RetryPolicy policy = {})
+      : engine_(transport, "cuckoo", policy), geo_(geo),
+        bufs_{std::vector<std::byte>(kChunkSize),
+              std::vector<std::byte>(kChunkSize)} {}
 
-  /// `multi_fetch` posts all fetches before waiting (multi-issue); when
-  /// not provided, the two probes fall back to sequential `fetch` calls.
-  using MultiFetchFn = std::function<void(
-      const ChunkId* ids, std::span<std::byte>* dsts, size_t n)>;
-
-  RemoteCuckooReader(FetchFn fetch, TableGeometry geo,
-                     MultiFetchFn multi_fetch = nullptr,
-                     uint64_t max_retries = 1'000'000)
-      : fetch_(std::move(fetch)), multi_fetch_(std::move(multi_fetch)),
-        geo_(geo), bufs_{std::vector<std::byte>(kChunkSize),
-                         std::vector<std::byte>(kChunkSize)},
-        max_retries_(max_retries) {}
-
-  struct Stats {
-    uint64_t reads = 0;
-    uint64_t version_retries = 0;
-  };
-
-  std::optional<uint64_t> Get(uint64_t key) {
-    if (key == kEmptyKey) return std::nullopt;
+  /// Offloaded point lookup. `out` is the value when the key exists,
+  /// nullopt otherwise; only meaningful when the status is kOk.
+  remote::FetchStatus Get(uint64_t key, std::optional<uint64_t>& out) {
+    out.reset();
+    if (key == kEmptyKey) return remote::FetchStatus::kOk;
     const uint64_t b[2] = {geo_.BucketOf(key, 0), geo_.BucketOf(key, 1)};
-    ChunkId chunks[2] = {geo_.ChunkOfBucket(b[0]), geo_.ChunkOfBucket(b[1])};
+    const ChunkId chunks[2] = {geo_.ChunkOfBucket(b[0]),
+                               geo_.ChunkOfBucket(b[1])};
     const size_t n = chunks[0] == chunks[1] ? 1 : 2;
+    const remote::VersionedFetchEngine::Request reqs[2] = {
+        {chunks[0], bufs_[0]}, {chunks[1], bufs_[1]}};
 
-    for (uint64_t attempt = 0; attempt <= max_retries_; ++attempt) {
-      const auto v0 = FetchValidated(chunks, n);
-      if (!v0) {
-        ++stats_.version_retries;
-        continue;
-      }
+    for (uint32_t attempt = 0; attempt < engine_.policy().max_attempts;
+         ++attempt) {
+      // Both probes multi-issued; the engine validates versions per
+      // chunk and re-fetches torn images within its own bounds.
+      uint32_t versions[2] = {0, 0};
+      const auto st = engine_.FetchMany(
+          {reqs, n}, [&](size_t i, std::span<const std::byte> image) {
+            const auto v = rtree::ValidateVersions(image);
+            if (!v) return false;
+            versions[i] = *v;
+            return true;
+          });
+      if (st != remote::FetchStatus::kOk) return st;
+
       for (size_t i = 0; i < 2; ++i) {
         const size_t buf = n == 1 ? 0 : i;
         Bucket bucket;
@@ -62,53 +68,41 @@ class RemoteCuckooReader {
                                payload);
         DecodeBucket(payload, bucket);
         const int slot = bucket.FindKey(key);
-        if (slot >= 0) return bucket.slots[slot].value;
+        if (slot >= 0) {
+          out = bucket.slots[slot].value;
+          return remote::FetchStatus::kOk;
+        }
       }
-      if (n == 1) return std::nullopt;  // single chunk = consistent cut
+      if (n == 1) return remote::FetchStatus::kOk;  // one chunk: consistent
+
       // Miss across two separately-read chunks: a concurrent cuckoo move
       // could have copied the key from the not-yet-read chunk into the
       // already-read one between the two READs. Confirm the first chunk
       // did not change while we read the second — if it did, retry.
-      fetch_(chunks[0], bufs_[0]);
-      ++stats_.reads;
-      const auto vcheck = rtree::ValidateVersions(bufs_[0]);
-      if (vcheck && *vcheck == *v0) return std::nullopt;
-      ++stats_.version_retries;
+      std::optional<uint32_t> vcheck;
+      const auto cst = engine_.FetchOne(
+          chunks[0], bufs_[0], [&](std::span<const std::byte> image) {
+            vcheck = rtree::ValidateVersions(image);
+            return vcheck.has_value();
+          });
+      if (cst != remote::FetchStatus::kOk) return cst;
+      if (*vcheck == versions[0]) return remote::FetchStatus::kOk;  // miss
+      engine_.NoteConsistencyRetry();
     }
-    throw std::runtime_error("RemoteCuckooReader: read livelock");
+    engine_.NoteRetriesExhausted();
+    return remote::FetchStatus::kRetriesExhausted;
   }
 
-  const Stats& stats() const noexcept { return stats_; }
+  /// Shared-engine counters (reads, version_retries, retry_exhausted,
+  /// ...); also exported as `remote.cuckoo.*` metrics.
+  const remote::EngineStats& stats() const noexcept {
+    return engine_.stats();
+  }
 
  private:
-  /// Fetches the n candidate chunks; returns the version of chunk 0 on
-  /// success (all versions valid), nullopt for a torn read.
-  std::optional<uint32_t> FetchValidated(const ChunkId* chunks, size_t n) {
-    if (n == 2 && multi_fetch_) {
-      std::span<std::byte> dsts[2] = {bufs_[0], bufs_[1]};
-      multi_fetch_(chunks, dsts, 2);
-      stats_.reads += 2;
-    } else {
-      for (size_t i = 0; i < n; ++i) {
-        fetch_(chunks[i], bufs_[i]);
-        ++stats_.reads;
-      }
-    }
-    std::optional<uint32_t> v0;
-    for (size_t i = 0; i < n; ++i) {
-      const auto v = rtree::ValidateVersions(bufs_[i]);
-      if (!v) return std::nullopt;
-      if (i == 0) v0 = v;
-    }
-    return v0;
-  }
-
-  FetchFn fetch_;
-  MultiFetchFn multi_fetch_;
+  remote::VersionedFetchEngine engine_;
   TableGeometry geo_;
   std::vector<std::byte> bufs_[2];
-  uint64_t max_retries_;
-  Stats stats_;
 };
 
 }  // namespace catfish::cuckoo

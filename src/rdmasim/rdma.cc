@@ -2,23 +2,18 @@
 
 #include <cstring>
 
+#include "common/bytes.h"
+#include "rtree/layout.h"
 #include "telemetry/metrics.h"
 
 namespace catfish::rdma {
 namespace {
 
-constexpr size_t kCopyUnit = 64;  // cache-line granularity, like the NIC
-
-// Copies in cache-line units. On real hardware both RDMA and CPU stores
-// are atomic at this granularity; the versioned node layout depends on
-// torn data being *detectable per line*, which this preserves.
+// Outbound data (WRITE payloads) comes from buffers the poster owns, so a
+// relaxed word copy into the racily-shared registered region suffices: the
+// versioned layout — not ordering — detects tears on the reader side.
 void LineCopy(std::byte* dst, const std::byte* src, size_t n) noexcept {
-  size_t off = 0;
-  while (off < n) {
-    const size_t step = std::min(kCopyUnit, n - off);
-    std::memcpy(dst + off, src + off, step);
-    off += step;
-  }
+  RelaxedCopy(dst, src, n);
 }
 
 }  // namespace
@@ -230,8 +225,11 @@ bool QueuePair::PostRead(uint64_t wr_id, std::span<std::byte> local,
     CompleteLocal(wr_id, Opcode::kRead, WcStatus::kRemoteAccessError, 0);
     return false;
   }
-  // Served entirely by the "NIC": no peer CPU thread participates.
-  LineCopy(local.data(), region.data() + src.offset, local.size());
+  // Served entirely by the "NIC": no peer CPU thread participates. Real
+  // NICs read each 64-byte cache line as an atomic snapshot; SnapshotCopy
+  // reproduces that, so sub-line tears the seqlock could never see on
+  // hardware cannot happen here either (rtree/layout.h).
+  rtree::SnapshotCopy(local.data(), region.data() + src.offset, local.size());
   peer_node->reads_served_.fetch_add(1, std::memory_order_relaxed);
   peer_node->CountSent(local.size());
   node_->CountReceived(local.size());

@@ -1,0 +1,200 @@
+#include "remote/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "telemetry/metrics.h"
+
+namespace catfish::remote {
+
+namespace {
+
+// SplitMix64 step — enough randomness for backoff jitter.
+uint64_t NextJitter(uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+void Bump(telemetry::Counter* c, uint64_t n = 1) noexcept {
+  if (c != nullptr && n != 0) c->Add(n);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MultiIssueBatcher
+// ---------------------------------------------------------------------------
+
+bool MultiIssueBatcher::Post(uint64_t token, ChunkId id,
+                             std::span<std::byte> dst) {
+  if (!transport_->PostFetch(token, id, dst)) return false;
+  ++outstanding_;
+  return true;
+}
+
+size_t MultiIssueBatcher::WaitAny(std::span<FetchCompletion> out) {
+  if (outstanding_ == 0 || out.empty()) return 0;
+  for (;;) {
+    const size_t n = transport_->PollCompletions(out);
+    if (n > 0) {
+      outstanding_ -= std::min(outstanding_, n);
+      return n;
+    }
+    std::this_thread::yield();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VersionedFetchEngine
+// ---------------------------------------------------------------------------
+
+VersionedFetchEngine::VersionedFetchEngine(FetchTransport* transport,
+                                           std::string name,
+                                           RetryPolicy policy)
+    : transport_(transport), name_(std::move(name)), policy_(policy),
+      jitter_state_(policy.seed) {
+#if CATFISH_TELEMETRY_ENABLED
+  auto& reg = telemetry::Registry::Global();
+  m_reads_ = reg.counter("remote." + name_ + ".reads");
+  m_retries_ = reg.counter("remote." + name_ + ".version_retries");
+  m_all_reads_ = reg.counter("remote.reads");
+  m_all_retries_ = reg.counter("remote.version_retries");
+  m_exhausted_ = reg.counter("remote.version_retry_exhausted");
+  m_transport_errors_ = reg.counter("remote.transport_errors");
+  m_batches_ = reg.counter("remote.batches");
+#endif
+}
+
+void VersionedFetchEngine::Backoff(uint32_t attempt) {
+  if (attempt <= policy_.spin_attempts) {
+    std::this_thread::yield();
+    return;
+  }
+  const uint32_t step = std::min(attempt - policy_.spin_attempts - 1, 20u);
+  const uint64_t ceiling =
+      std::min<uint64_t>(policy_.backoff_cap_us,
+                         static_cast<uint64_t>(policy_.backoff_base_us)
+                             << step);
+  if (ceiling == 0) {
+    std::this_thread::yield();
+    return;
+  }
+  // Jitter to [ceiling/2, ceiling] so colliding retriers spread out.
+  const uint64_t half = ceiling - ceiling / 2;
+  const uint64_t us = ceiling / 2 + NextJitter(jitter_state_) % (half + 1);
+  ++stats_.backoff_waits;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+FetchStatus VersionedFetchEngine::FetchOne(
+    ChunkId id, std::span<std::byte> buf,
+    const std::function<bool(std::span<const std::byte>)>& validate) {
+  const Request req{id, buf};
+  return FetchMany(
+      {&req, 1},
+      [&validate](size_t, std::span<const std::byte> image) {
+        return validate(image);
+      });
+}
+
+FetchStatus VersionedFetchEngine::FetchMany(std::span<const Request> reqs,
+                                            const ValidateFn& validate) {
+  if (reqs.empty()) return FetchStatus::kOk;
+  if (reqs.size() > 1) {
+    ++stats_.batches;
+    Bump(m_batches_);
+  }
+  const uint32_t max_attempts = std::max(1u, policy_.max_attempts);
+
+  MultiIssueBatcher batch(transport_);
+  attempts_.assign(reqs.size(), 0);
+
+  FetchStatus result = FetchStatus::kOk;
+  // §IV-C: every independent READ of the round goes on the wire before
+  // we wait for the first completion.
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    attempts_[i] = 1;
+    ++stats_.reads;
+    Bump(m_reads_);
+    Bump(m_all_reads_);
+    if (!batch.Post(i, reqs[i].id, reqs[i].buf)) {
+      ++stats_.transport_errors;
+      Bump(m_transport_errors_);
+      result = FetchStatus::kTransportError;
+      break;
+    }
+  }
+
+  std::vector<size_t> repost;
+  FetchCompletion wcs[16];
+  while (batch.outstanding() > 0) {
+    const size_t n = batch.WaitAny(wcs);
+    for (size_t k = 0; k < n; ++k) {
+      const size_t i = static_cast<size_t>(wcs[k].token);
+      if (i >= reqs.size()) continue;  // stray completion: not ours
+      if (result != FetchStatus::kOk) continue;  // failing: just drain
+      if (wcs[k].ok) {
+        if (validate(i, reqs[i].buf)) continue;  // item done
+        ++stats_.version_retries;
+        Bump(m_retries_);
+        Bump(m_all_retries_);
+      } else {
+        ++stats_.transport_errors;
+        Bump(m_transport_errors_);
+      }
+      if (attempts_[i] >= max_attempts) {
+        if (wcs[k].ok) {
+          ++stats_.retry_exhausted;
+          Bump(m_exhausted_);
+          result = FetchStatus::kRetriesExhausted;
+        } else {
+          result = FetchStatus::kTransportError;
+        }
+        continue;
+      }
+      repost.push_back(i);
+    }
+    if (!repost.empty()) {
+      if (result != FetchStatus::kOk) {
+        repost.clear();
+        continue;
+      }
+      // One backoff per round, scheduled by the most-retried chunk: a
+      // round's torn reads share the same conflicting writer.
+      uint32_t worst = 0;
+      for (const size_t i : repost) worst = std::max(worst, attempts_[i]);
+      Backoff(worst);
+      for (const size_t i : repost) {
+        ++attempts_[i];
+        ++stats_.reads;
+        Bump(m_reads_);
+        Bump(m_all_reads_);
+        if (!batch.Post(i, reqs[i].id, reqs[i].buf)) {
+          ++stats_.transport_errors;
+          Bump(m_transport_errors_);
+          result = FetchStatus::kTransportError;
+          break;
+        }
+      }
+      repost.clear();
+    }
+  }
+  return result;
+}
+
+void VersionedFetchEngine::NoteConsistencyRetry() {
+  ++stats_.version_retries;
+  Bump(m_retries_);
+  Bump(m_all_retries_);
+}
+
+void VersionedFetchEngine::NoteRetriesExhausted() {
+  ++stats_.retry_exhausted;
+  Bump(m_exhausted_);
+}
+
+}  // namespace catfish::remote

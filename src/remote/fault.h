@@ -1,0 +1,114 @@
+// Fault-injecting FetchTransport wrapper for tests.
+//
+// Wraps any transport and perturbs its fetches deterministically:
+//
+//   * drop  — the fetch "fails on the wire": the inner transport is
+//             never asked, and a failed completion is delivered instead
+//             (how an RC transport surfaces exhausted NIC-level retries);
+//   * tear  — the fetch completes but the buffer looks torn: one version
+//             word is bumped to an odd value after the copy, so seqlock
+//             validation must reject it;
+//   * delay — completions are withheld for a number of polls before
+//             delivery, exercising the engine's wait loop.
+//
+// Faults fire per fetch in post order: fetch k (0-based) is dropped when
+// `drop.Hits(k)`, torn when `tear.Hits(k)`. This makes tests exact: a
+// plan of {first: 3} means fetches 0,1,2 fail and fetch 3 succeeds.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "remote/transport.h"
+#include "rtree/layout.h"
+
+namespace catfish::remote {
+
+/// Which fetch ordinals a fault applies to.
+struct FaultPlan {
+  /// Fault the first `first` fetches (then stop).
+  uint64_t first = 0;
+  /// Additionally fault every `every`-th fetch (0 = off).
+  uint64_t every = 0;
+
+  bool Hits(uint64_t ordinal) const noexcept {
+    if (ordinal < first) return true;
+    return every != 0 && (ordinal + 1) % every == 0;
+  }
+};
+
+class FaultInjectingTransport final : public FetchTransport {
+ public:
+  explicit FaultInjectingTransport(FetchTransport* inner) : inner_(inner) {}
+
+  FaultPlan drop;   ///< fail these fetches outright
+  FaultPlan tear;   ///< deliver these fetches with a torn version word
+  uint64_t delay_polls = 0;  ///< withhold each completion this many polls
+
+  bool PostFetch(uint64_t token, ChunkId id,
+                 std::span<std::byte> dst) override {
+    const uint64_t ordinal = fetches_++;
+    if (drop.Hits(ordinal)) {
+      held_.push_back(Held{FetchCompletion{token, false}, delay_polls});
+      return true;
+    }
+    if (!inner_->PostFetch(token, id, dst)) return false;
+    if (tear.Hits(ordinal)) pending_tears_.push_back(Tear{token, dst});
+    return true;
+  }
+
+  size_t PollCompletions(std::span<FetchCompletion> out) override {
+    // Pull everything the inner transport has ready, apply tears, then
+    // queue through the delay line.
+    FetchCompletion inner_out[16];
+    size_t n;
+    while ((n = inner_->PollCompletions(inner_out)) > 0) {
+      for (size_t i = 0; i < n; ++i) {
+        ApplyTear(inner_out[i]);
+        held_.push_back(Held{inner_out[i], delay_polls});
+      }
+    }
+    size_t produced = 0;
+    for (auto& h : held_) {
+      if (h.polls_left > 0) --h.polls_left;
+    }
+    while (produced < out.size() && !held_.empty() &&
+           held_.front().polls_left == 0) {
+      out[produced++] = held_.front().wc;
+      held_.pop_front();
+    }
+    return produced;
+  }
+
+  uint64_t fetches_posted() const noexcept { return fetches_; }
+
+ private:
+  struct Held {
+    FetchCompletion wc;
+    uint64_t polls_left;
+  };
+  struct Tear {
+    uint64_t token;
+    std::span<std::byte> dst;
+  };
+
+  void ApplyTear(const FetchCompletion& wc) {
+    for (auto it = pending_tears_.begin(); it != pending_tears_.end(); ++it) {
+      if (it->token != wc.token) continue;
+      if (wc.ok && it->dst.size() >= rtree::kLineSize) {
+        // Make line 0's version odd: validation must reject the image.
+        auto line0 = it->dst.first(rtree::kLineSize);
+        rtree::BeginWrite(line0);
+      }
+      pending_tears_.erase(it);
+      return;
+    }
+  }
+
+  FetchTransport* inner_;
+  uint64_t fetches_ = 0;
+  std::deque<Held> held_;
+  std::deque<Tear> pending_tears_;
+};
+
+}  // namespace catfish::remote

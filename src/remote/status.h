@@ -1,0 +1,34 @@
+// Result codes of the shared one-sided remote-access engine.
+//
+// The engine never hot-spins and never throws: a fetch that cannot be
+// validated within the retry policy's bounds surfaces as a status the
+// call site can recover from (fall back to fast messaging, re-issue the
+// whole operation, or report the error upward).
+#pragma once
+
+#include <cstdint>
+
+namespace catfish::remote {
+
+enum class FetchStatus : uint8_t {
+  /// Every requested chunk was fetched and validated.
+  kOk = 0,
+  /// Version validation kept failing for some chunk until the retry
+  /// policy's attempt budget ran out (a persistently torn read — e.g. a
+  /// writer livelocking the reader, or corrupted remote memory).
+  kRetriesExhausted,
+  /// The transport failed a fetch (post error or failed completion) and
+  /// the attempt budget ran out re-trying it.
+  kTransportError,
+};
+
+constexpr const char* ToString(FetchStatus s) noexcept {
+  switch (s) {
+    case FetchStatus::kOk: return "ok";
+    case FetchStatus::kRetriesExhausted: return "retries-exhausted";
+    case FetchStatus::kTransportError: return "transport-error";
+  }
+  return "unknown";
+}
+
+}  // namespace catfish::remote

@@ -1,0 +1,80 @@
+#include "remote/transport.h"
+
+#include "rtree/layout.h"
+
+namespace catfish::remote {
+
+// ---------------------------------------------------------------------------
+// QpFetchTransport
+// ---------------------------------------------------------------------------
+
+bool QpFetchTransport::PostFetch(uint64_t token, ChunkId id,
+                                 std::span<std::byte> dst) {
+  const rdma::RemoteAddr src{
+      base_.rkey, base_.offset + static_cast<uint64_t>(id) * chunk_size_};
+  return qp_->PostRead(token, dst, src);
+}
+
+size_t QpFetchTransport::PollCompletions(std::span<FetchCompletion> out) {
+  rdma::WorkCompletion wcs[16];
+  size_t produced = 0;
+  while (produced < out.size()) {
+    const size_t want = std::min(out.size() - produced, std::size(wcs));
+    const size_t n = cq_->Poll({wcs, want});
+    for (size_t i = 0; i < n; ++i) {
+      out[produced++] = FetchCompletion{
+          wcs[i].wr_id, wcs[i].status == rdma::WcStatus::kSuccess};
+    }
+    if (n < want) break;
+  }
+  return produced;
+}
+
+// ---------------------------------------------------------------------------
+// LocalMemoryTransport
+// ---------------------------------------------------------------------------
+
+bool LocalMemoryTransport::PostFetch(uint64_t token, ChunkId id,
+                                     std::span<std::byte> dst) {
+  const uint64_t off = static_cast<uint64_t>(id) * chunk_size_;
+  if (off + dst.size() > region_.size()) {
+    ready_.push_back(FetchCompletion{token, false});
+    return true;  // posted; fails at completion like a remote-access error
+  }
+  // Same per-line snapshot semantics as the simulated NIC's READ service:
+  // the region may have a live seqlock writer.
+  rtree::SnapshotCopy(dst.data(), region_.data() + off, dst.size());
+  ready_.push_back(FetchCompletion{token, true});
+  return true;
+}
+
+size_t LocalMemoryTransport::PollCompletions(std::span<FetchCompletion> out) {
+  size_t n = 0;
+  while (n < out.size() && !ready_.empty()) {
+    out[n++] = ready_.front();
+    ready_.pop_front();
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// CallbackTransport
+// ---------------------------------------------------------------------------
+
+bool CallbackTransport::PostFetch(uint64_t token, ChunkId id,
+                                  std::span<std::byte> dst) {
+  fetch_(id, dst);
+  ready_.push_back(FetchCompletion{token, true});
+  return true;
+}
+
+size_t CallbackTransport::PollCompletions(std::span<FetchCompletion> out) {
+  size_t n = 0;
+  while (n < out.size() && !ready_.empty()) {
+    out[n++] = ready_.front();
+    ready_.pop_front();
+  }
+  return n;
+}
+
+}  // namespace catfish::remote

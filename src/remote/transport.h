@@ -1,0 +1,115 @@
+// FetchTransport: the wire abstraction under the remote-access engine.
+//
+// A transport moves raw chunk images from a registered remote region
+// into caller-owned buffers. The interface is deliberately asynchronous
+// — post first, poll completions later — because that is what makes
+// multi-issue (§IV-C) possible: N independent READs on the wire before
+// the first one returns. Synchronous sources (local memory, a plain
+// callback) adapt by completing immediately.
+//
+// Implementations here:
+//   * QpFetchTransport     — rdmasim queue pair (or, one day, a real
+//                            ibverbs QP behind the same shape)
+//   * LocalMemoryTransport — in-process region, for unit tests
+//   * CallbackTransport    — any synchronous fetch function
+//   * FaultInjectingTransport (fault.h) — wraps another transport and
+//                            drops / delays / tears fetches for tests
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "rdmasim/rdma.h"
+#include "rtree/arena.h"
+
+namespace catfish::remote {
+
+using rtree::ChunkId;
+
+/// One finished fetch. `token` echoes the PostFetch token; `ok` is false
+/// when the transport could not complete the fetch (the buffer contents
+/// are then unspecified).
+struct FetchCompletion {
+  uint64_t token = 0;
+  bool ok = false;
+};
+
+class FetchTransport {
+ public:
+  virtual ~FetchTransport() = default;
+
+  /// Starts fetching the raw image of chunk `id` into `dst` (the caller
+  /// keeps `dst` alive and untouched until the completion arrives).
+  /// Returns false when the fetch could not even be posted — no
+  /// completion will be delivered for it.
+  virtual bool PostFetch(uint64_t token, ChunkId id,
+                         std::span<std::byte> dst) = 0;
+
+  /// Moves up to out.size() completions into `out`; returns the count.
+  /// Non-blocking.
+  virtual size_t PollCompletions(std::span<FetchCompletion> out) = 0;
+};
+
+/// One-sided READs over an (emulated) RC queue pair: chunk `id` lives at
+/// byte offset `base.offset + id * chunk_size` of the peer's registered
+/// region `base.rkey`. The CQ must not carry completions for any other
+/// in-flight traffic (unsignaled sends keep ring writes off data CQs).
+class QpFetchTransport final : public FetchTransport {
+ public:
+  QpFetchTransport(std::shared_ptr<rdma::QueuePair> qp,
+                   std::shared_ptr<rdma::CompletionQueue> cq,
+                   rdma::RemoteAddr base, size_t chunk_size)
+      : qp_(std::move(qp)), cq_(std::move(cq)), base_(base),
+        chunk_size_(chunk_size) {}
+
+  bool PostFetch(uint64_t token, ChunkId id,
+                 std::span<std::byte> dst) override;
+  size_t PollCompletions(std::span<FetchCompletion> out) override;
+
+ private:
+  std::shared_ptr<rdma::QueuePair> qp_;
+  std::shared_ptr<rdma::CompletionQueue> cq_;
+  rdma::RemoteAddr base_;
+  size_t chunk_size_;
+};
+
+/// Reads chunks straight out of an in-process region with the same
+/// cache-line-atomic copy the simulated NIC performs, so seqlock torn
+/// reads remain detectable (and defined) when a writer races the fetch.
+/// Completions are delivered on the next poll.
+class LocalMemoryTransport final : public FetchTransport {
+ public:
+  LocalMemoryTransport(std::span<std::byte> region, size_t chunk_size)
+      : region_(region), chunk_size_(chunk_size) {}
+
+  bool PostFetch(uint64_t token, ChunkId id,
+                 std::span<std::byte> dst) override;
+  size_t PollCompletions(std::span<FetchCompletion> out) override;
+
+ private:
+  std::span<std::byte> region_;
+  size_t chunk_size_;
+  std::deque<FetchCompletion> ready_;
+};
+
+/// Adapts a synchronous fetch function (the pre-engine reader interface:
+/// "copy chunk `id` into `dst`, blocking until done").
+class CallbackTransport final : public FetchTransport {
+ public:
+  using FetchFn = std::function<void(ChunkId id, std::span<std::byte> dst)>;
+
+  explicit CallbackTransport(FetchFn fetch) : fetch_(std::move(fetch)) {}
+
+  bool PostFetch(uint64_t token, ChunkId id,
+                 std::span<std::byte> dst) override;
+  size_t PollCompletions(std::span<FetchCompletion> out) override;
+
+ private:
+  FetchFn fetch_;
+  std::deque<FetchCompletion> ready_;
+};
+
+}  // namespace catfish::remote

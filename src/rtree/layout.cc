@@ -4,6 +4,16 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/bytes.h"
+
+// GCC's ThreadSanitizer pass does not model atomic_thread_fence and
+// warns (-Wtsan, an error under -Werror). The fences below only order
+// the chunk's atomic version/payload accesses, which TSan never reports
+// as races, so the unmodeled fences cannot cause false positives here.
+#if defined(__GNUC__) && !defined(__clang__) && defined(__SANITIZE_THREAD__)
+#pragma GCC diagnostic ignored "-Wtsan"
+#endif
+
 namespace catfish::rtree {
 namespace {
 
@@ -82,7 +92,10 @@ void ScatterPayload(std::span<std::byte> chunk,
   size_t line = 0;
   while (remaining > 0) {
     const size_t n = remaining < kLinePayload ? remaining : kLinePayload;
-    std::memcpy(chunk.data() + line * kLineSize + kVersionBytes,
+    // Remote readers copy the chunk concurrently (the seqlock race the
+    // version stamps exist to detect); store through relaxed atomics so
+    // the race stays defined.
+    RelaxedCopy(chunk.data() + line * kLineSize + kVersionBytes,
                 payload.data() + line * kLinePayload, n);
     remaining -= n;
     ++line;
@@ -105,8 +118,57 @@ void GatherPayloadAt(std::span<const std::byte> chunk, size_t offset,
   }
 }
 
+void SnapshotCopy(std::byte* dst, const std::byte* src, size_t n) noexcept {
+  const bool word_aligned =
+      reinterpret_cast<uintptr_t>(dst) % alignof(uint32_t) == 0 &&
+      reinterpret_cast<uintptr_t>(src) % alignof(uint32_t) == 0;
+  if (!word_aligned) {
+    RelaxedCopy(dst, src, n);
+    return;
+  }
+  constexpr int kSnapshotRetries = 16;
+  const size_t lines = n / kLineSize;
+  for (size_t i = 0; i < lines; ++i) {
+    std::byte* d = dst + i * kLineSize;
+    const std::byte* s = src + i * kLineSize;
+    const auto* w = VersionWord(s, 0);
+    uint32_t v1 = w->load(std::memory_order_acquire);
+    uint32_t v2 = v1;
+    for (int attempt = 0;; ++attempt) {
+      RelaxedCopy(d + kVersionBytes, s + kVersionBytes, kLinePayload);
+      // Order the payload loads above before the version re-read below,
+      // mirroring the writer's release fences.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      v2 = w->load(std::memory_order_acquire);
+      if (v1 == v2 || attempt >= kSnapshotRetries) break;
+      v1 = v2;
+    }
+    // Equal witness reads bracket a quiescent window: versions only grow,
+    // so the payload copy is a point-in-time snapshot and carries the
+    // witnessed version (odd simply means "mid-write", which validation
+    // rejects as usual). If the line never held still, stamp it odd so
+    // the tear stays detectable.
+    const uint32_t stamp = v1 == v2 ? v1 : (v2 | 1u);
+    std::atomic_ref<uint32_t>(*reinterpret_cast<uint32_t*>(d))
+        .store(stamp, std::memory_order_relaxed);
+  }
+  if (n % kLineSize != 0) {
+    RelaxedCopy(dst + lines * kLineSize, src + lines * kLineSize,
+                n % kLineSize);
+  }
+}
+
 void InitChunk(std::span<std::byte> chunk) noexcept {
-  std::memset(chunk.data(), 0, chunk.size());
+  // Fresh chunks come out of the RDMA-registered arena, which remote
+  // READs may already be copying (a reader chasing a stale child id, or
+  // the NIC sweeping the region); zero through relaxed atomics like every
+  // other store to live chunk memory so the race stays defined.
+  for (size_t off = 0; off + sizeof(uint32_t) <= chunk.size();
+       off += sizeof(uint32_t)) {
+    std::atomic_ref<uint32_t>(
+        *reinterpret_cast<uint32_t*>(chunk.data() + off))
+        .store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace catfish::rtree

@@ -12,8 +12,8 @@
 // then bump to the next even value (a seqlock per node). A reader copies
 // the chunk and accepts it only if all line versions are equal and even.
 // Both RDMA READ and CPU stores are cache-line atomic, which makes this
-// sound on real hardware; the simulated NIC copies in 64-byte units to
-// preserve exactly that granularity.
+// sound on real hardware; the simulated NIC reproduces that per-line
+// snapshot atomicity with SnapshotCopy below.
 #pragma once
 
 #include <cstddef>
@@ -67,6 +67,25 @@ void ScatterPayload(std::span<std::byte> chunk,
 /// (gathering across cache lines).
 void GatherPayloadAt(std::span<const std::byte> chunk, size_t offset,
                      std::span<std::byte> out) noexcept;
+
+/// Copies `n` bytes of live, possibly concurrently-written chunk memory
+/// into a private buffer while preserving the per-cache-line snapshot
+/// atomicity a real NIC's READ provides. A word-by-word copy can capture
+/// a *complete* writer cycle (odd bump, payload, even bump) inside one
+/// line's copy window after that line's version word was already taken,
+/// producing mixed payload under all-equal-even versions — a torn read
+/// the seqlock cannot detect. Real hardware cannot interleave at sub-line
+/// granularity, so the simulated data path must not either.
+///
+/// Per line: read the version word, copy the payload, re-read the version;
+/// equal means the line is a consistent snapshot (versions only grow, and
+/// payload stores happen only while the version is odd), so stamp the copy
+/// with it. After bounded retries, stamp the copy with an odd version so
+/// chunk validation deterministically rejects the line. For non-seqlock
+/// bytes (quiescent or unversioned regions) the first pass always matches
+/// and this degrades to a plain copy. A trailing sub-line remainder and
+/// unaligned buffers fall back to RelaxedCopy.
+void SnapshotCopy(std::byte* dst, const std::byte* src, size_t n) noexcept;
 
 /// Initializes a fresh chunk: zero payload, all versions set to an even
 /// starting value.

@@ -9,6 +9,7 @@
 #include "btree/remote_reader.h"
 #include "common/rng.h"
 #include "rdmasim/rdma.h"
+#include "remote/transport.h"
 
 namespace catfish::btree {
 namespace {
@@ -231,6 +232,8 @@ struct RemoteRig {
   rdma::MemoryRegionHandle mr;
   std::shared_ptr<rdma::CompletionQueue> cq;
   std::shared_ptr<rdma::QueuePair> qp;
+  std::shared_ptr<rdma::QueuePair> server_qp_keepalive;
+  std::unique_ptr<remote::QpFetchTransport> transport;
 
   RemoteRig() {
     mr = server->RegisterMemory(arena.memory());
@@ -239,17 +242,9 @@ struct RemoteRig {
     qp = client->CreateQp(cq, client->CreateCq());
     rdma::QueuePair::Connect(s_qp, qp);
     server_qp_keepalive = s_qp;
+    transport = std::make_unique<remote::QpFetchTransport>(
+        qp, cq, rdma::RemoteAddr{mr.rkey, 0}, kChunkSize);
   }
-
-  RemoteBTreeReader::FetchFn Fetch() {
-    return [this](ChunkId id, std::span<std::byte> dst) {
-      qp->PostRead(1, dst, rdma::RemoteAddr{mr.rkey, id * kChunkSize});
-      rdma::WorkCompletion wc;
-      while (cq->Poll({&wc, 1}) == 0) std::this_thread::yield();
-    };
-  }
-
-  std::shared_ptr<rdma::QueuePair> server_qp_keepalive;
 };
 
 TEST(RemoteBTreeTest, LookupsMatchLocal) {
@@ -262,9 +257,14 @@ TEST(RemoteBTreeTest, LookupsMatchLocal) {
     rig.tree.Put(k, v);
     oracle[k] = v;
   }
-  RemoteBTreeReader reader(rig.Fetch());
-  for (const auto& [k, v] : oracle) ASSERT_EQ(reader.Get(k), v);
-  EXPECT_FALSE(reader.Get(1u << 30).has_value());
+  RemoteBTreeReader reader(rig.transport.get());
+  std::optional<uint64_t> got;
+  for (const auto& [k, v] : oracle) {
+    ASSERT_EQ(reader.Get(k, got), remote::FetchStatus::kOk);
+    ASSERT_EQ(got, v);
+  }
+  ASSERT_EQ(reader.Get(1u << 30, got), remote::FetchStatus::kOk);
+  EXPECT_FALSE(got.has_value());
   EXPECT_GT(reader.stats().reads, 0u);
   EXPECT_EQ(reader.stats().version_retries, 0u);  // no concurrent writer
 }
@@ -272,9 +272,10 @@ TEST(RemoteBTreeTest, LookupsMatchLocal) {
 TEST(RemoteBTreeTest, RemoteScanFollowsLeafChain) {
   RemoteRig rig;
   for (uint64_t k = 1; k <= 3000; ++k) rig.tree.Put(k, k * 7);
-  RemoteBTreeReader reader(rig.Fetch());
+  RemoteBTreeReader reader(rig.transport.get());
   std::vector<KeyValue> out;
-  EXPECT_EQ(reader.Scan(500, 1499, out), 1000u);
+  ASSERT_EQ(reader.Scan(500, 1499, out), remote::FetchStatus::kOk);
+  ASSERT_EQ(out.size(), 1000u);
   EXPECT_EQ(out.front().key, 500u);
   EXPECT_EQ(out.back().key, 1499u);
   for (const auto& kv : out) EXPECT_EQ(kv.value, kv.key * 7);
@@ -295,11 +296,12 @@ TEST(RemoteBTreeTest, ConsistentUnderConcurrentWriter) {
     }
   });
 
-  RemoteBTreeReader reader(rig.Fetch());
+  RemoteBTreeReader reader(rig.transport.get());
   Xoshiro256 rng(5);
   for (int i = 0; i < 3000; ++i) {
     const uint64_t k = 1 + rng.NextBounded(2000);
-    const auto v = reader.Get(k);
+    std::optional<uint64_t> v;
+    ASSERT_EQ(reader.Get(k, v), remote::FetchStatus::kOk);
     ASSERT_TRUE(v.has_value()) << "stable key " << k << " lost";
     ASSERT_EQ(*v, k);
   }

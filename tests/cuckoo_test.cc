@@ -6,9 +6,11 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/bytes.h"
 #include "common/rng.h"
 #include "cuckoo/remote_reader.h"
 #include "rdmasim/rdma.h"
+#include "remote/transport.h"
 
 namespace catfish::cuckoo {
 namespace {
@@ -151,6 +153,7 @@ struct RemoteRig {
   std::shared_ptr<rdma::CompletionQueue> cq;
   std::shared_ptr<rdma::QueuePair> qp;
   std::shared_ptr<rdma::QueuePair> server_qp_keepalive;
+  std::unique_ptr<remote::QpFetchTransport> transport;
 
   RemoteRig() {
     mr = server->RegisterMemory(arena.memory());
@@ -159,27 +162,8 @@ struct RemoteRig {
     qp = client->CreateQp(cq, client->CreateCq());
     rdma::QueuePair::Connect(s_qp, qp);
     server_qp_keepalive = s_qp;
-  }
-
-  RemoteCuckooReader::FetchFn Fetch() {
-    return [this](ChunkId id, std::span<std::byte> dst) {
-      qp->PostRead(1, dst, rdma::RemoteAddr{mr.rkey, id * kChunkSize});
-      rdma::WorkCompletion wc;
-      while (cq->Poll({&wc, 1}) == 0) std::this_thread::yield();
-    };
-  }
-
-  RemoteCuckooReader::MultiFetchFn MultiFetch() {
-    return [this](const ChunkId* ids, std::span<std::byte>* dsts, size_t n) {
-      // Multi-issue: post all, then collect all (§IV-C).
-      for (size_t i = 0; i < n; ++i) {
-        qp->PostRead(i, dsts[i],
-                     rdma::RemoteAddr{mr.rkey, ids[i] * kChunkSize});
-      }
-      size_t done = 0;
-      rdma::WorkCompletion wcs[4];
-      while (done < n) done += cq->Poll(wcs);
-    };
+    transport = std::make_unique<remote::QpFetchTransport>(
+        qp, cq, rdma::RemoteAddr{mr.rkey, 0}, kChunkSize);
   }
 };
 
@@ -193,22 +177,36 @@ TEST(RemoteCuckooTest, LookupsMatchLocal) {
     ASSERT_TRUE(rig.table.Put(k, v));
     oracle[k] = v;
   }
-  RemoteCuckooReader reader(rig.Fetch(), rig.table.geometry(),
-                            rig.MultiFetch());
-  for (const auto& [k, v] : oracle) ASSERT_EQ(reader.Get(k), v);
+  RemoteCuckooReader reader(rig.transport.get(), rig.table.geometry());
+  std::optional<uint64_t> got;
+  for (const auto& [k, v] : oracle) {
+    ASSERT_EQ(reader.Get(k, got), remote::FetchStatus::kOk);
+    ASSERT_EQ(got, v);
+  }
   for (int i = 0; i < 500; ++i) {
     const uint64_t k = rng.Next() | 1;
-    ASSERT_EQ(reader.Get(k).has_value(), oracle.count(k) == 1);
+    ASSERT_EQ(reader.Get(k, got), remote::FetchStatus::kOk);
+    ASSERT_EQ(got.has_value(), oracle.count(k) == 1);
   }
   // Constant probe cost: ≤ 2 reads per lookup plus rare miss-confirms.
   EXPECT_LE(reader.stats().reads, (oracle.size() + 500) * 3);
 }
 
-TEST(RemoteCuckooTest, SequentialFallbackWithoutMultiFetch) {
+TEST(RemoteCuckooTest, WorksOverSynchronousCallbackTransport) {
+  // The reader is transport-agnostic: a plain synchronous callback (e.g.
+  // wrapping a local buffer or an RPC) satisfies the same interface the
+  // QP adapter does.
   RemoteRig rig;
   ASSERT_TRUE(rig.table.Put(77, 770));
-  RemoteCuckooReader reader(rig.Fetch(), rig.table.geometry());
-  EXPECT_EQ(reader.Get(77), 770u);
+  remote::CallbackTransport cb(
+      [&](rtree::ChunkId id, std::span<std::byte> dst) {
+        RelaxedCopy(dst.data(), rig.arena.memory().data() + id * kChunkSize,
+                    kChunkSize);
+      });
+  RemoteCuckooReader reader(&cb, rig.table.geometry());
+  std::optional<uint64_t> got;
+  ASSERT_EQ(reader.Get(77, got), remote::FetchStatus::kOk);
+  EXPECT_EQ(got, 770u);
 }
 
 TEST(RemoteCuckooTest, StableKeysSurviveConcurrentDisplacements) {
@@ -233,12 +231,12 @@ TEST(RemoteCuckooTest, StableKeysSurviveConcurrentDisplacements) {
     }
   });
 
-  RemoteCuckooReader reader(rig.Fetch(), rig.table.geometry(),
-                            rig.MultiFetch());
+  RemoteCuckooReader reader(rig.transport.get(), rig.table.geometry());
   Xoshiro256 prng(47);
   for (int i = 0; i < 5000; ++i) {
     const uint64_t k = stable[prng.NextBounded(stable.size())];
-    const auto v = reader.Get(k);
+    std::optional<uint64_t> v;
+    ASSERT_EQ(reader.Get(k, v), remote::FetchStatus::kOk);
     ASSERT_TRUE(v.has_value()) << "stable key " << k << " lost mid-move";
     ASSERT_EQ(*v, k * 3);
   }

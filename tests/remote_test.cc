@@ -1,0 +1,313 @@
+// Tests for the shared remote-memory access layer (src/remote): the
+// transport adapters, the bounded read→validate→retry engine, the
+// multi-issue batcher, fault injection, and the `remote.*` telemetry
+// schema every consumer (R-tree client, B+-tree reader, cuckoo reader)
+// reports through.
+#include "remote/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "remote/fault.h"
+#include "remote/transport.h"
+#include "rtree/layout.h"
+#include "rtree/node.h"
+#include "telemetry/metrics.h"
+
+namespace catfish::remote {
+namespace {
+
+constexpr size_t kChunk = rtree::kChunkSize;
+
+/// A versioned in-process region of seqlock-formatted chunks.
+struct Region {
+  std::vector<std::byte> mem;
+
+  explicit Region(size_t chunks) : mem(chunks * kChunk) {}
+
+  std::span<std::byte> Chunk(ChunkId id) {
+    return std::span(mem).subspan(id * kChunk, kChunk);
+  }
+
+  /// Seqlock-writes a payload of identical `fill` bytes into chunk `id`.
+  void WriteFill(ChunkId id, std::byte fill) {
+    std::vector<std::byte> payload(rtree::PayloadCapacity(kChunk), fill);
+    auto chunk = Chunk(id);
+    rtree::BeginWrite(chunk);
+    rtree::ScatterPayload(chunk, payload);
+    rtree::EndWrite(chunk);
+  }
+};
+
+bool VersionsValid(std::span<const std::byte> image) {
+  return rtree::ValidateVersions(image).has_value();
+}
+
+/// Gathers the payload and checks every byte is identical; the seqlock
+/// contract says a version-validated image can never be a mix of two
+/// writes.
+bool PayloadUniform(std::span<const std::byte> image, std::byte* fill_out) {
+  std::vector<std::byte> payload(rtree::PayloadCapacity(kChunk));
+  rtree::GatherPayload(image, payload);
+  for (const std::byte b : payload) {
+    if (b != payload[0]) return false;
+  }
+  if (fill_out != nullptr) *fill_out = payload[0];
+  return true;
+}
+
+TEST(RemoteEngineTest, FetchesAndValidatesLocalChunks) {
+  Region region(4);
+  for (ChunkId id = 0; id < 4; ++id) {
+    region.WriteFill(id, std::byte{static_cast<uint8_t>(id + 1)});
+  }
+  LocalMemoryTransport transport(region.mem, kChunk);
+  VersionedFetchEngine engine(&transport, "test");
+
+  std::vector<std::byte> buf(kChunk);
+  for (ChunkId id = 0; id < 4; ++id) {
+    ASSERT_EQ(engine.FetchOne(id, buf, VersionsValid), FetchStatus::kOk);
+    std::byte fill{};
+    ASSERT_TRUE(PayloadUniform(buf, &fill));
+    EXPECT_EQ(fill, std::byte{static_cast<uint8_t>(id + 1)});
+  }
+  EXPECT_EQ(engine.stats().reads, 4u);
+  EXPECT_EQ(engine.stats().version_retries, 0u);
+  EXPECT_EQ(engine.stats().retry_exhausted, 0u);
+}
+
+TEST(RemoteEngineTest, MultiIssueDeliversEveryItemOnce) {
+  Region region(8);
+  for (ChunkId id = 0; id < 8; ++id) {
+    region.WriteFill(id, std::byte{static_cast<uint8_t>(0x10 + id)});
+  }
+  LocalMemoryTransport transport(region.mem, kChunk);
+  VersionedFetchEngine engine(&transport, "test");
+
+  std::vector<std::vector<std::byte>> bufs(8, std::vector<std::byte>(kChunk));
+  std::vector<VersionedFetchEngine::Request> reqs(8);
+  for (size_t i = 0; i < 8; ++i) reqs[i] = {static_cast<ChunkId>(i), bufs[i]};
+
+  std::vector<int> seen(8, 0);
+  const auto st = engine.FetchMany(
+      reqs, [&](size_t i, std::span<const std::byte> image) {
+        if (!VersionsValid(image)) return false;
+        ++seen[i];
+        return true;
+      });
+  ASSERT_EQ(st, FetchStatus::kOk);
+  for (const int s : seen) EXPECT_EQ(s, 1);
+  EXPECT_EQ(engine.stats().reads, 8u);
+  EXPECT_EQ(engine.stats().batches, 1u);
+}
+
+TEST(RemoteEngineTest, PermanentlyTornChunkExhaustsBoundedly) {
+  telemetry::Registry::Global().Reset();
+  Region region(2);
+  region.WriteFill(1, std::byte{0xaa});
+  rtree::BeginWrite(region.Chunk(1));  // never ended: versions stay odd
+
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.spin_attempts = 2;
+  policy.backoff_base_us = 1;
+  policy.backoff_cap_us = 8;
+  LocalMemoryTransport transport(region.mem, kChunk);
+  VersionedFetchEngine engine(&transport, "test", policy);
+
+  std::vector<std::byte> buf(kChunk);
+  // Exhaustion is a status, not a throw or a hang — and it is exact:
+  // one fetch per allowed attempt, no hot spin beyond the bound.
+  EXPECT_EQ(engine.FetchOne(1, buf, VersionsValid),
+            FetchStatus::kRetriesExhausted);
+  EXPECT_EQ(engine.stats().reads, 8u);
+  EXPECT_EQ(engine.stats().version_retries, 8u);
+  EXPECT_EQ(engine.stats().retry_exhausted, 1u);
+  EXPECT_GE(engine.stats().backoff_waits, 1u);
+
+  // The call site can recover: the same engine keeps serving fetches.
+  EXPECT_EQ(engine.FetchOne(0, buf, VersionsValid), FetchStatus::kOk);
+
+  const auto snap = telemetry::Registry::Global().TakeSnapshot();
+  EXPECT_EQ(snap.counter("remote.version_retry_exhausted"), 1u);
+  EXPECT_EQ(snap.counter("remote.test.reads"), 9u);
+  EXPECT_EQ(snap.counter("remote.test.version_retries"), 8u);
+  EXPECT_EQ(snap.counter("remote.reads"), 9u);
+}
+
+TEST(RemoteEngineTest, OutOfRangeChunkIsTransportError) {
+  Region region(2);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_cap_us = 1;
+  LocalMemoryTransport transport(region.mem, kChunk);
+  VersionedFetchEngine engine(&transport, "test", policy);
+
+  std::vector<std::byte> buf(kChunk);
+  EXPECT_EQ(engine.FetchOne(100, buf, VersionsValid),
+            FetchStatus::kTransportError);
+  EXPECT_EQ(engine.stats().transport_errors, 3u);
+  EXPECT_EQ(engine.stats().retry_exhausted, 0u);  // not a version problem
+}
+
+TEST(RemoteFaultTest, DroppedFetchesFailCleanlyWithinBounds) {
+  Region region(2);
+  region.WriteFill(0, std::byte{0x11});
+  LocalMemoryTransport inner(region.mem, kChunk);
+  FaultInjectingTransport faulty(&inner);
+  faulty.drop.first = 1'000'000;  // every fetch fails on the wire
+
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.backoff_cap_us = 1;
+  VersionedFetchEngine engine(&faulty, "test", policy);
+
+  std::vector<std::byte> buf(kChunk);
+  EXPECT_EQ(engine.FetchOne(0, buf, VersionsValid),
+            FetchStatus::kTransportError);
+  // Bounded: exactly max_attempts posts reached the transport, not 1e6.
+  EXPECT_EQ(faulty.fetches_posted(), 5u);
+  EXPECT_EQ(engine.stats().transport_errors, 5u);
+}
+
+TEST(RemoteFaultTest, TransientTearsAreRetriedAndRecovered) {
+  telemetry::Registry::Global().Reset();
+  Region region(2);
+  region.WriteFill(0, std::byte{0x42});
+  LocalMemoryTransport inner(region.mem, kChunk);
+  FaultInjectingTransport faulty(&inner);
+  faulty.tear.first = 3;  // fetches 0,1,2 torn; fetch 3 clean
+
+  VersionedFetchEngine engine(&faulty, "test");
+  std::vector<std::byte> buf(kChunk);
+  ASSERT_EQ(engine.FetchOne(0, buf, VersionsValid), FetchStatus::kOk);
+  std::byte fill{};
+  ASSERT_TRUE(PayloadUniform(buf, &fill));
+  EXPECT_EQ(fill, std::byte{0x42});
+  EXPECT_EQ(engine.stats().reads, 4u);
+  EXPECT_EQ(engine.stats().version_retries, 3u);
+  EXPECT_EQ(engine.stats().retry_exhausted, 0u);
+
+  const auto snap = telemetry::Registry::Global().TakeSnapshot();
+  EXPECT_EQ(snap.counter("remote.test.version_retries"), 3u);
+  EXPECT_EQ(snap.counter("remote.version_retry_exhausted"), 0u);
+}
+
+TEST(RemoteFaultTest, DelayedCompletionsAreAwaited) {
+  Region region(4);
+  for (ChunkId id = 0; id < 4; ++id) {
+    region.WriteFill(id, std::byte{static_cast<uint8_t>(id)});
+  }
+  LocalMemoryTransport inner(region.mem, kChunk);
+  FaultInjectingTransport faulty(&inner);
+  faulty.delay_polls = 7;
+
+  VersionedFetchEngine engine(&faulty, "test");
+  std::vector<std::vector<std::byte>> bufs(4, std::vector<std::byte>(kChunk));
+  std::vector<VersionedFetchEngine::Request> reqs(4);
+  for (size_t i = 0; i < 4; ++i) reqs[i] = {static_cast<ChunkId>(i), bufs[i]};
+  EXPECT_EQ(engine.FetchMany(reqs,
+                             [](size_t, std::span<const std::byte> image) {
+                               return VersionsValid(image);
+                             }),
+            FetchStatus::kOk);
+  EXPECT_EQ(engine.stats().reads, 4u);
+}
+
+TEST(RemoteFaultTest, MultiIssueRetearsOnlyAffectedItems) {
+  Region region(4);
+  for (ChunkId id = 0; id < 4; ++id) {
+    region.WriteFill(id, std::byte{static_cast<uint8_t>(id)});
+  }
+  LocalMemoryTransport inner(region.mem, kChunk);
+  FaultInjectingTransport faulty(&inner);
+  faulty.tear.first = 2;  // the round's first two posts deliver torn
+
+  VersionedFetchEngine engine(&faulty, "test");
+  std::vector<std::vector<std::byte>> bufs(4, std::vector<std::byte>(kChunk));
+  std::vector<VersionedFetchEngine::Request> reqs(4);
+  for (size_t i = 0; i < 4; ++i) reqs[i] = {static_cast<ChunkId>(i), bufs[i]};
+  EXPECT_EQ(engine.FetchMany(reqs,
+                             [](size_t, std::span<const std::byte> image) {
+                               return VersionsValid(image);
+                             }),
+            FetchStatus::kOk);
+  // 4 initial multi-issued READs + one re-fetch per torn item.
+  EXPECT_EQ(engine.stats().reads, 6u);
+  EXPECT_EQ(engine.stats().version_retries, 2u);
+}
+
+TEST(RemoteEngineTest, TornReadHammer) {
+  // The shared engine against a live seqlock writer: validated images
+  // must never mix two writes, and bounded retries must always resolve
+  // (the writer never holds a chunk torn for long).
+  Region region(2);
+  region.WriteFill(1, std::byte{1});
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint8_t v = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      region.WriteFill(1, std::byte{v});
+      v = v == 250 ? 1 : static_cast<uint8_t>(v + 1);
+    }
+  });
+
+  LocalMemoryTransport transport(region.mem, kChunk);
+  VersionedFetchEngine engine(&transport, "test");
+  std::vector<std::byte> buf(kChunk);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(engine.FetchOne(1, buf, VersionsValid), FetchStatus::kOk);
+    std::byte fill{};
+    ASSERT_TRUE(PayloadUniform(buf, &fill)) << "torn image passed validation";
+    ASSERT_NE(fill, std::byte{0});
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(engine.stats().retry_exhausted, 0u);
+}
+
+TEST(RemoteEngineTest, PerEngineMetricsAggregate) {
+  telemetry::Registry::Global().Reset();
+  Region region(2);
+  region.WriteFill(0, std::byte{0x01});
+  LocalMemoryTransport transport(region.mem, kChunk);
+  VersionedFetchEngine a(&transport, "alpha");
+  VersionedFetchEngine b(&transport, "beta");
+
+  std::vector<std::byte> buf(kChunk);
+  ASSERT_EQ(a.FetchOne(0, buf, VersionsValid), FetchStatus::kOk);
+  ASSERT_EQ(b.FetchOne(0, buf, VersionsValid), FetchStatus::kOk);
+  ASSERT_EQ(b.FetchOne(0, buf, VersionsValid), FetchStatus::kOk);
+
+  const auto snap = telemetry::Registry::Global().TakeSnapshot();
+  EXPECT_EQ(snap.counter("remote.alpha.reads"), 1u);
+  EXPECT_EQ(snap.counter("remote.beta.reads"), 2u);
+  EXPECT_EQ(snap.counter("remote.reads"), 3u);  // aggregate spans engines
+}
+
+TEST(RemoteTransportTest, CallbackTransportCompletesSynchronously) {
+  Region region(2);
+  region.WriteFill(1, std::byte{0x77});
+  size_t calls = 0;
+  CallbackTransport transport([&](ChunkId id, std::span<std::byte> dst) {
+    ++calls;
+    const auto chunk = region.Chunk(id);
+    std::copy(chunk.begin(), chunk.end(), dst.begin());
+  });
+
+  VersionedFetchEngine engine(&transport, "test");
+  std::vector<std::byte> buf(kChunk);
+  ASSERT_EQ(engine.FetchOne(1, buf, VersionsValid), FetchStatus::kOk);
+  EXPECT_EQ(calls, 1u);
+  std::byte fill{};
+  ASSERT_TRUE(PayloadUniform(buf, &fill));
+  EXPECT_EQ(fill, std::byte{0x77});
+}
+
+}  // namespace
+}  // namespace catfish::remote
