@@ -37,18 +37,20 @@ void Header() {
 
 }  // namespace
 
-int main() {
-  const BenchEnv env = BenchEnv::Load();
+int main(int argc, char** argv) {
+  const BenchEnv env = BenchEnv::Load(argc, argv);
   PrintEnv("Ablation: adaptive-scheme knobs (scale 1e-5, 128 clients)", env);
 
   Testbed tb = MakeUniformTestbed(env.dataset, env.seed);
+  CellExporter exporter("ablation_adaptive", env);
+  const StatsEndpoint stats = MaybeServeStats(env);
   workload::RequestGen::Config w;
   w.scale = 1e-5;
 
-  const auto run = [&](auto&& mutate) {
+  const auto run = [&](const char* label, auto&& mutate) {
     auto cfg = MakeConfig(model::Scheme::kCatfish, 128, w, env);
     mutate(cfg);
-    return model::ClusterSim(*tb.tree, cfg).Run();
+    return exporter.RunConfig(tb, cfg, env, label);
   };
 
   std::printf("--- back-off window N (paper: 8) ---\n");
@@ -56,7 +58,7 @@ int main() {
   for (const uint32_t n : {2u, 8u, 32u, 128u}) {
     char label[64];
     std::snprintf(label, sizeof(label), "N = %u", n);
-    Report(label, run([n](model::ClusterConfig& c) {
+    Report(label, run(label, [n](model::ClusterConfig& c) {
              c.adaptive.window = n;
            }));
   }
@@ -70,7 +72,7 @@ int main() {
     std::snprintf(label, sizeof(label), "T = %.2f", t);
     auto cfg = MakeConfig(model::Scheme::kCatfish, 64, w, env);
     cfg.adaptive.busy_threshold = t;
-    Report(label, model::ClusterSim(*tb.tree, cfg).Run());
+    Report(label, exporter.RunConfig(tb, cfg, env, label));
   }
 
   std::printf("\n--- heartbeat interval Inv (paper: 10 ms) ---\n");
@@ -79,27 +81,27 @@ int main() {
     char label[64];
     std::snprintf(label, sizeof(label), "Inv = %llu us",
                   static_cast<unsigned long long>(inv));
-    Report(label, run([inv](model::ClusterConfig& c) {
+    Report(label, run(label, [inv](model::ClusterConfig& c) {
              c.adaptive.heartbeat_interval_us = inv;
            }));
   }
 
   std::printf("\n--- predUtil predictor (paper: most-recent; EWMA = §VI) ---\n");
   Header();
-  Report("most-recent", run([](model::ClusterConfig& c) {
+  Report("most-recent", run("most-recent", [](model::ClusterConfig& c) {
            c.adaptive.predictor = UtilPredictor::kMostRecent;
          }));
-  Report("EWMA alpha=0.4", run([](model::ClusterConfig& c) {
+  Report("EWMA alpha=0.4", run("EWMA alpha=0.4", [](model::ClusterConfig& c) {
            c.adaptive.predictor = UtilPredictor::kEwma;
          }));
 
   std::printf("\n--- enhancement ablation (event-driven / multi-issue) ---\n");
   Header();
-  Report("catfish (both on)", run([](model::ClusterConfig&) {}));
-  Report("no multi-issue", run([](model::ClusterConfig& c) {
+  Report("catfish (both on)", run("both on", [](model::ClusterConfig&) {}));
+  Report("no multi-issue", run("no multi-issue", [](model::ClusterConfig& c) {
            c.multi_issue = false;
          }));
-  Report("polling server", run([](model::ClusterConfig& c) {
+  Report("polling server", run("polling server", [](model::ClusterConfig& c) {
            c.notify = NotifyMode::kPolling;
          }));
   return 0;

@@ -11,13 +11,15 @@
 // bandwidth fraction.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catfish;
   using namespace catfish::bench;
-  const BenchEnv env = BenchEnv::Load();
+  const BenchEnv env = BenchEnv::Load(argc, argv);
   PrintEnv("Figure 2: server CPU vs bandwidth on TCP/IP-1G", env);
 
   Testbed tb = MakeUniformTestbed(env.dataset, env.seed);
+  CellExporter exporter("fig02_motivation", env);
+  const StatsEndpoint stats = MaybeServeStats(env);
 
   for (const double scale : {1e-2, 1e-5}) {
     std::printf("--- request scale %s (Fig 2%s) ---\n",
@@ -29,9 +31,7 @@ int main() {
       workload::RequestGen::Config w;
       w.dist = workload::RequestGen::ScaleDist::kFixed;
       w.scale = scale;
-      auto cfg = MakeConfig(model::Scheme::kTcp1G, clients, w, env);
-      model::ClusterSim sim(*tb.tree, cfg);
-      const auto r = sim.Run();
+      const auto r = exporter.Run(tb, model::Scheme::kTcp1G, clients, w, env);
       const double bw = r.server_tx_gbps + r.server_rx_gbps;
       std::printf("%8zu %12.3f %16.3f %14.3f %12.1f\n", clients,
                   r.server_cpu_util, bw, bw / 1.0, r.throughput_kops);
@@ -50,8 +50,7 @@ int main() {
   for (const auto scheme : {model::Scheme::kTcp1G, model::Scheme::kTcp40G}) {
     workload::RequestGen::Config w;
     w.scale = 1e-5;
-    auto cfg = MakeConfig(scheme, 256, w, env);
-    const auto r = model::ClusterSim(*tb.tree, cfg).Run();
+    const auto r = exporter.Run(tb, scheme, 256, w, env);
     std::printf("%12s %12.1f %12.3f\n", model::SchemeName(scheme),
                 r.throughput_kops, r.server_cpu_util);
   }

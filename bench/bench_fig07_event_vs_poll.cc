@@ -8,13 +8,15 @@
 // 3712.35 µs (18.2×) for polling and 152.50 µs → 680.47 µs for events.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catfish;
   using namespace catfish::bench;
-  const BenchEnv env = BenchEnv::Load();
+  const BenchEnv env = BenchEnv::Load(argc, argv);
   PrintEnv("Figure 7: polling vs event-based fast messaging (IB)", env);
 
   Testbed tb = MakeUniformTestbed(env.dataset, env.seed);
+  CellExporter exporter("fig07_event_vs_poll", env);
+  const StatsEndpoint stats = MaybeServeStats(env);
 
   for (const double scale : {1e-5, 1e-2}) {
     std::printf("--- request scale %s ---\n",
@@ -28,12 +30,12 @@ int main() {
       auto poll_cfg =
           MakeConfig(model::Scheme::kFastMessaging, clients, w, env);
       poll_cfg.notify = NotifyMode::kPolling;
-      const auto rp = model::ClusterSim(*tb.tree, poll_cfg).Run();
+      const auto rp = exporter.RunConfig(tb, poll_cfg, env, "polling");
 
       auto event_cfg =
           MakeConfig(model::Scheme::kFastMessaging, clients, w, env);
       event_cfg.notify = NotifyMode::kEventDriven;
-      const auto re = model::ClusterSim(*tb.tree, event_cfg).Run();
+      const auto re = exporter.RunConfig(tb, event_cfg, env, "event");
 
       std::printf("%8zu %18.2f %18.2f %9.2fx\n", clients,
                   rp.latency_us.mean(), re.latency_us.mean(),

@@ -8,13 +8,15 @@
 // to pipeline.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catfish;
   using namespace catfish::bench;
-  const BenchEnv env = BenchEnv::Load();
+  const BenchEnv env = BenchEnv::Load(argc, argv);
   PrintEnv("Figure 8: multi-issue offloading, 1 client", env);
 
   Testbed tb = MakeUniformTestbed(env.dataset, env.seed);
+  CellExporter exporter("fig08_multi_issue", env);
+  const StatsEndpoint stats = MaybeServeStats(env);
 
   std::printf("%10s %18s %18s %12s\n", "scale", "single_lat_us",
               "multi_lat_us", "reduction");
@@ -24,11 +26,11 @@ int main() {
 
     auto single = MakeConfig(model::Scheme::kRdmaOffloading, 1, w, env);
     single.multi_issue = false;
-    const auto rs = model::ClusterSim(*tb.tree, single).Run();
+    const auto rs = exporter.RunConfig(tb, single, env, "single-issue");
 
     auto multi = MakeConfig(model::Scheme::kRdmaOffloading, 1, w, env);
     multi.multi_issue = true;
-    const auto rm = model::ClusterSim(*tb.tree, multi).Run();
+    const auto rm = exporter.RunConfig(tb, multi, env, "multi-issue");
 
     std::printf("%10g %18.2f %18.2f %11.2f%%\n", scale,
                 rs.latency_us.mean(), rm.latency_us.mean(),

@@ -12,8 +12,11 @@
 // bandwidth-bound; throughput ordering IB >> 40G >> 1G, each reaching
 // line rate only for medium/large transfers.
 #include <cstdio>
+#include <memory>
 
+#include "bench_util.h"
 #include "rdmasim/fabric_profile.h"
+#include "telemetry/export.h"
 
 namespace {
 
@@ -45,10 +48,21 @@ double Gbps(size_t bytes, double us) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  using catfish::bench::BenchEnv;
+  const BenchEnv env = BenchEnv::Load(argc, argv);
   const auto ib = FabricProfile::InfiniBand100G();
   const auto e40 = FabricProfile::Ethernet40G();
   const auto e1 = FabricProfile::Ethernet1G();
+
+  // This bench is closed-form (no simulation, no registry), so the
+  // telemetry export is the computed table itself, one cell per line.
+  std::unique_ptr<catfish::telemetry::JsonLinesWriter> out;
+  if (!env.telemetry_json.empty()) {
+    out = std::make_unique<catfish::telemetry::JsonLinesWriter>(
+        env.telemetry_json);
+    if (!out->ok()) out.reset();
+  }
 
   std::printf("=== Figure 9: micro benchmark (ping-pong, one in flight) ===\n\n");
   std::printf("%10s | %12s %12s %12s %12s | %10s %10s %10s %10s\n", "size",
@@ -64,6 +78,22 @@ int main() {
     std::printf("%10zu | %12.2f %12.2f %12.2f %12.2f | %10.3f %10.3f %10.3f %10.3f\n",
                 bytes, t1, t40, rr, rw, Gbps(bytes, t1), Gbps(bytes, t40),
                 Gbps(bytes, rr), Gbps(bytes, rw));
+    if (out) {
+      catfish::telemetry::JsonWriter j;
+      j.BeginObject();
+      j.Key("figure").Value("fig09_micro");
+      j.Key("bytes").Value(static_cast<uint64_t>(bytes));
+      j.Key("lat_us_tcp1g").Value(t1);
+      j.Key("lat_us_tcp40g").Value(t40);
+      j.Key("lat_us_read").Value(rr);
+      j.Key("lat_us_write").Value(rw);
+      j.Key("gbps_tcp1g").Value(Gbps(bytes, t1));
+      j.Key("gbps_tcp40g").Value(Gbps(bytes, t40));
+      j.Key("gbps_read").Value(Gbps(bytes, rr));
+      j.Key("gbps_write").Value(Gbps(bytes, rw));
+      j.EndObject();
+      out->WriteLine(j.str());
+    }
   }
 
   std::printf(

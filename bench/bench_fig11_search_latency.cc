@@ -9,13 +9,15 @@
 // 161.58 µs vs fast messaging 299.10 / 321.52 / 302.91 µs.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catfish;
   using namespace catfish::bench;
-  const BenchEnv env = BenchEnv::Load();
+  const BenchEnv env = BenchEnv::Load(argc, argv);
   PrintEnv("Figure 11: search-only mean latency (us)", env);
 
   Testbed tb = MakeUniformTestbed(env.dataset, env.seed);
+  CellExporter exporter("fig11_search_latency", env);
+  const StatsEndpoint stats = MaybeServeStats(env);
 
   workload::RequestGen::Config scales[3];
   scales[0].scale = 1e-5;
@@ -32,7 +34,7 @@ int main() {
     for (const auto s : kAllSchemes) {
       std::printf("%-18s", model::SchemeName(s));
       for (const size_t c : client_counts) {
-        const auto r = RunOne(tb, s, c, w, env);
+        const auto r = exporter.Run(tb, s, c, w, env);
         std::printf(" %10.1f", r.latency_us.mean());
       }
       std::printf("\n");

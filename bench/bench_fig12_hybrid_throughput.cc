@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const BenchEnv env = BenchEnv::Load(argc, argv);
   PrintEnv("Figure 12: 90/10 search+insert throughput (Kops)", env);
   CellExporter exporter("fig12_hybrid_throughput", env);
+  const StatsEndpoint stats = MaybeServeStats(env);
 
   Testbed tb = MakeUniformTestbed(env.dataset, env.seed);
 

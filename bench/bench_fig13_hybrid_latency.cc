@@ -7,13 +7,15 @@
 // 1.90× (vs offloading), 58.09× (vs TCP).
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catfish;
   using namespace catfish::bench;
-  const BenchEnv env = BenchEnv::Load();
+  const BenchEnv env = BenchEnv::Load(argc, argv);
   PrintEnv("Figure 13: 90/10 search+insert mean latency (us)", env);
 
   Testbed tb = MakeUniformTestbed(env.dataset, env.seed);
+  CellExporter exporter("fig13_hybrid_latency", env);
+  const StatsEndpoint stats = MaybeServeStats(env);
 
   workload::RequestGen::Config scales[3];
   scales[0].scale = 1e-5;
@@ -31,7 +33,7 @@ int main() {
     for (const auto s : kAllSchemes) {
       std::printf("%-18s", model::SchemeName(s));
       for (const size_t c : client_counts) {
-        const auto r = RunOne(tb, s, c, w, env);
+        const auto r = exporter.Run(tb, s, c, w, env);
         std::printf(" %10.1f", r.latency_us.mean());
       }
       std::printf("\n");

@@ -10,10 +10,10 @@
 // offloading / TCP.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catfish;
   using namespace catfish::bench;
-  BenchEnv env = BenchEnv::Load();
+  BenchEnv env = BenchEnv::Load(argc, argv);
   PrintEnv("Figure 14: rea02 real-world dataset (synthetic stand-in)", env);
 
   workload::Rea02Config rcfg;
@@ -24,6 +24,8 @@ int main() {
   }
   const auto ds = workload::BuildRea02Synthetic(env.seed, rcfg);
   Testbed tb = MakeRea02Testbed(ds);
+  CellExporter exporter("fig14_rea02", env);
+  const StatsEndpoint stats = MaybeServeStats(env);
   std::printf("built rea02 tree: %zu segments, height %u\n\n",
               ds.insert_order.size(), tb.tree->height());
 
@@ -37,7 +39,7 @@ int main() {
               "mean_lat_us");
   for (const auto s : kAllSchemes) {
     for (const size_t c : client_counts) {
-      const auto r = RunOne(tb, s, c, w, env);
+      const auto r = exporter.Run(tb, s, c, w, env);
       std::printf("%-18s %8zu %14.1f %14.1f\n", model::SchemeName(s), c,
                   r.throughput_kops, r.latency_us.mean());
     }

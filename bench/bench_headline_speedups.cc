@@ -10,13 +10,15 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catfish;
   using namespace catfish::bench;
-  const BenchEnv env = BenchEnv::Load();
+  const BenchEnv env = BenchEnv::Load(argc, argv);
   PrintEnv("Headline: max Catfish speedups, search-only sweep", env);
 
   Testbed tb = MakeUniformTestbed(env.dataset, env.seed);
+  CellExporter exporter("headline_speedups", env);
+  const StatsEndpoint stats = MaybeServeStats(env);
 
   workload::RequestGen::Config scales[3];
   scales[0].scale = 1e-5;
@@ -32,11 +34,13 @@ int main() {
 
   for (const auto& w : scales) {
     for (const size_t c : client_counts) {
-      const auto rc = RunOne(tb, model::Scheme::kCatfish, c, w, env);
-      const auto rf = RunOne(tb, model::Scheme::kFastMessaging, c, w, env);
-      const auto ro = RunOne(tb, model::Scheme::kRdmaOffloading, c, w, env);
-      const auto r1 = RunOne(tb, model::Scheme::kTcp1G, c, w, env);
-      const auto r40 = RunOne(tb, model::Scheme::kTcp40G, c, w, env);
+      const auto rc = exporter.Run(tb, model::Scheme::kCatfish, c, w, env);
+      const auto rf =
+          exporter.Run(tb, model::Scheme::kFastMessaging, c, w, env);
+      const auto ro =
+          exporter.Run(tb, model::Scheme::kRdmaOffloading, c, w, env);
+      const auto r1 = exporter.Run(tb, model::Scheme::kTcp1G, c, w, env);
+      const auto r40 = exporter.Run(tb, model::Scheme::kTcp40G, c, w, env);
 
       vs_fast.thr = std::max(vs_fast.thr,
                              rc.throughput_kops / rf.throughput_kops);

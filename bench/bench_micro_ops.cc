@@ -5,6 +5,7 @@
 // against performance regressions in the data structures.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -13,6 +14,8 @@
 #include "msg/ring.h"
 #include "rtree/bulk_load.h"
 #include "rtree/rstar.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
 #include "workload/generators.h"
 
 namespace {
@@ -145,4 +148,20 @@ BENCHMARK(BM_AdaptiveDecision);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// google-benchmark owns the flag namespace, so the shared --telemetry-json
+// flag is env-only here: the benchmarked code paths (adaptive controller,
+// ring transport) report to the global registry, dumped once at exit.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* path = std::getenv("CATFISH_TELEMETRY_JSON")) {
+    catfish::telemetry::JsonLinesWriter out(path);
+    if (out.ok()) {
+      out.WriteLine(catfish::telemetry::SnapshotToJson(
+          catfish::telemetry::Registry::Global().TakeSnapshot()));
+    }
+  }
+  return 0;
+}

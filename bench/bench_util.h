@@ -21,8 +21,11 @@
 
 #include "model/cluster_sim.h"
 #include "rtree/bulk_load.h"
+#include "tcpkit/stats_server.h"
+#include "telemetry/events.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
+#include "telemetry/timeseries.h"
 #include "workload/generators.h"
 
 namespace catfish::bench {
@@ -34,6 +37,18 @@ struct BenchEnv {
   /// JSONL sink for per-cell telemetry ("-" = stdout, "" = disabled).
   /// Set with --telemetry-json <path> (or CATFISH_TELEMETRY_JSON).
   std::string telemetry_json;
+  /// JSONL sink for per-window timelines ("" = disabled). Set with
+  /// --timeline-json <path> (or CATFISH_TIMELINE_JSON). Each simulated
+  /// cell then runs with a MetricsSampler on virtual time and appends
+  /// one line per closed window (offload share, utilization, rates).
+  std::string timeline_json;
+  /// Virtual-time window length for --timeline-json, microseconds.
+  /// Set with --timeline-window-us <n> (or CATFISH_TIMELINE_WINDOW_US).
+  uint64_t timeline_window_us = 200;
+  /// When >= 0, serve live /metrics, /snapshot, /timeline and /events
+  /// on 127.0.0.1:<port> for the duration of the bench (0 = ephemeral).
+  /// Set with --stats-port <n> (or CATFISH_STATS_PORT).
+  int stats_port = -1;
 
   static BenchEnv Load(int argc = 0, char* const* argv = nullptr) {
     BenchEnv env;
@@ -50,14 +65,33 @@ struct BenchEnv {
     if (const char* j = std::getenv("CATFISH_TELEMETRY_JSON")) {
       env.telemetry_json = j;
     }
+    if (const char* t = std::getenv("CATFISH_TIMELINE_JSON")) {
+      env.timeline_json = t;
+    }
+    if (const char* w = std::getenv("CATFISH_TIMELINE_WINDOW_US")) {
+      env.timeline_window_us = std::strtoull(w, nullptr, 10);
+    }
+    if (const char* p = std::getenv("CATFISH_STATS_PORT")) {
+      env.stats_port = std::atoi(p);
+    }
     for (int i = 1; i < argc; ++i) {
       const char* arg = argv[i];
       if (std::strcmp(arg, "--telemetry-json") == 0 && i + 1 < argc) {
         env.telemetry_json = argv[++i];
       } else if (std::strncmp(arg, "--telemetry-json=", 17) == 0) {
         env.telemetry_json = arg + 17;
+      } else if (std::strcmp(arg, "--timeline-json") == 0 && i + 1 < argc) {
+        env.timeline_json = argv[++i];
+      } else if (std::strncmp(arg, "--timeline-json=", 16) == 0) {
+        env.timeline_json = arg + 16;
+      } else if (std::strcmp(arg, "--timeline-window-us") == 0 &&
+                 i + 1 < argc) {
+        env.timeline_window_us = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(arg, "--stats-port") == 0 && i + 1 < argc) {
+        env.stats_port = std::atoi(argv[++i]);
       }
     }
+    if (env.timeline_window_us == 0) env.timeline_window_us = 200;
     return env;
   }
 };
@@ -147,11 +181,19 @@ inline const char* ScaleLabel(const workload::RequestGen::Config& w) {
   }
 }
 
-/// Per-cell telemetry sink. When the env names a JSONL path, Run()
-/// resets the global metrics registry before each cell, runs it, and
-/// appends one JSON line holding the cell coordinates, throughput,
-/// per-path latency histograms, adaptive counters and the full metric
-/// snapshot (rdma.*, catfish.*, ...). With no path it is a plain RunOne.
+/// Per-cell telemetry sink plus per-window timeline sink.
+///
+/// When the env names a --telemetry-json path, Run() resets the global
+/// metrics registry before each cell, runs it, and appends one JSON
+/// line holding the cell coordinates, throughput, per-path latency
+/// histograms, adaptive counters and the full metric snapshot
+/// (rdma.*, catfish.*, ...).
+///
+/// When the env names a --timeline-json path, each cell additionally
+/// runs with a MetricsSampler ticked on virtual time and appends one
+/// line per closed window: the cell coordinates, the derived offload
+/// share / server utilization pair (the paper's Fig 12 dynamics), and
+/// the full window document. With neither path it is a plain RunOne.
 class CellExporter {
  public:
   CellExporter(const char* figure, const BenchEnv& env) : figure_(figure) {
@@ -163,33 +205,74 @@ class CellExporter {
         out_.reset();
       }
     }
+    if (!env.timeline_json.empty()) {
+      timeline_out_ =
+          std::make_unique<telemetry::JsonLinesWriter>(env.timeline_json);
+      if (!timeline_out_->ok()) {
+        std::fprintf(stderr, "warning: cannot open '%s' for timeline JSON\n",
+                     env.timeline_json.c_str());
+        timeline_out_.reset();
+      }
+    }
   }
 
   bool enabled() const noexcept { return out_ != nullptr; }
 
+  /// Standard per-scheme cell (MakeConfig defaults). `variant` labels
+  /// ablation rows that vary more than (scheme, clients, workload).
   model::RunResult Run(Testbed& tb, model::Scheme s, size_t clients,
                        const workload::RequestGen::Config& w,
-                       const BenchEnv& env) {
-    if (!out_) return RunOne(tb, s, clients, w, env);
+                       const BenchEnv& env, const char* variant = nullptr) {
+    return RunConfig(tb, MakeConfig(s, clients, w, env), env, variant);
+  }
+
+  /// Fully custom cell for benches that mutate ClusterConfig knobs
+  /// (notify mode, multi-issue, adaptive parameters, ...).
+  model::RunResult RunConfig(Testbed& tb, model::ClusterConfig cfg,
+                             const BenchEnv& env,
+                             const char* variant = nullptr) {
+    if (cfg.workload.insert_ratio > 0.0) tb.Reset();
+    if (!out_ && !timeline_out_) {
+      model::ClusterSim sim(*tb.tree, cfg);
+      return sim.Run();
+    }
     telemetry::Registry::Global().Reset();
-    const model::RunResult r = RunOne(tb, s, clients, w, env);
-    WriteCell(r, s, clients, w, env);
+    std::unique_ptr<telemetry::MetricsSampler> sampler;
+    if (timeline_out_) {
+      telemetry::SamplerConfig scfg;
+      scfg.window_us = env.timeline_window_us;
+      scfg.retain = 1 << 16;
+      sampler = std::make_unique<telemetry::MetricsSampler>(
+          &telemetry::Registry::Global(), scfg);
+      cfg.sampler = sampler.get();
+    }
+    model::ClusterSim sim(*tb.tree, cfg);
+    const model::RunResult r = sim.Run();
+    if (out_) WriteCell(r, cfg, env, variant);
+    if (sampler) WriteTimeline(*sampler, cfg, env, variant);
     return r;
   }
 
  private:
-  void WriteCell(const model::RunResult& r, model::Scheme s, size_t clients,
-                 const workload::RequestGen::Config& w, const BenchEnv& env) {
+  void WriteCellCoords(telemetry::JsonWriter& j,
+                       const model::ClusterConfig& cfg, const BenchEnv& env,
+                       const char* variant) {
+    j.Key("figure").Value(figure_);
+    j.Key("scheme").Value(model::SchemeName(cfg.scheme));
+    if (variant != nullptr) j.Key("variant").Value(variant);
+    j.Key("workload").Value(ScaleLabel(cfg.workload));
+    j.Key("insert_ratio").Value(cfg.workload.insert_ratio);
+    j.Key("clients").Value(static_cast<uint64_t>(cfg.num_clients));
+    j.Key("dataset").Value(static_cast<uint64_t>(env.dataset));
+    j.Key("requests_per_client").Value(env.requests);
+  }
+
+  void WriteCell(const model::RunResult& r, const model::ClusterConfig& cfg,
+                 const BenchEnv& env, const char* variant) {
     const auto snap = telemetry::Registry::Global().TakeSnapshot();
     telemetry::JsonWriter j;
     j.BeginObject();
-    j.Key("figure").Value(figure_);
-    j.Key("scheme").Value(model::SchemeName(s));
-    j.Key("workload").Value(ScaleLabel(w));
-    j.Key("insert_ratio").Value(w.insert_ratio);
-    j.Key("clients").Value(static_cast<uint64_t>(clients));
-    j.Key("dataset").Value(static_cast<uint64_t>(env.dataset));
-    j.Key("requests_per_client").Value(env.requests);
+    WriteCellCoords(j, cfg, env, variant);
     j.Key("completed").Value(r.completed);
     j.Key("duration_us").Value(r.duration_us);
     j.Key("throughput_kops").Value(r.throughput_kops);
@@ -216,9 +299,78 @@ class CellExporter {
     out_->WriteLine(j.str());
   }
 
+  /// One JSONL line per closed window: cell coordinates, the derived
+  /// offload-share / utilization pair, op rates, and the raw window.
+  void WriteTimeline(const telemetry::MetricsSampler& sampler,
+                     const model::ClusterConfig& cfg, const BenchEnv& env,
+                     const char* variant) {
+    for (const telemetry::MetricWindow& w : sampler.Windows()) {
+      telemetry::JsonWriter j;
+      j.BeginObject();
+      WriteCellCoords(j, cfg, env, variant);
+      j.Key("seq").Value(w.seq);
+      j.Key("start_us").Value(w.start_us);
+      j.Key("end_us").Value(w.end_us);
+      const uint64_t fast = w.counter("catfish.client.search.fast");
+      const uint64_t offload = w.counter("catfish.client.search.offload");
+      const uint64_t ops =
+          fast + offload + w.counter("catfish.client.insert");
+      j.Key("offload_share")
+          .Value(fast + offload > 0
+                     ? static_cast<double>(offload) /
+                           static_cast<double>(fast + offload)
+                     : 0.0);
+      j.Key("utilization").Value(w.gauge("catfish.server.utilization"));
+      j.Key("ops").Value(ops);
+      j.Key("kops")
+          .Value(w.seconds() > 0.0
+                     ? static_cast<double>(ops) / w.seconds() / 1e3
+                     : 0.0);
+      j.Key("escalations").Value(w.counter("adaptive.escalations"));
+      j.Key("mode_switches").Value(w.counter("adaptive.mode_switches"));
+      j.Key("window").Raw(telemetry::WindowToJson(w));
+      j.EndObject();
+      timeline_out_->WriteLine(j.str());
+    }
+  }
+
   const char* figure_;
   std::unique_ptr<telemetry::JsonLinesWriter> out_;
+  std::unique_ptr<telemetry::JsonLinesWriter> timeline_out_;
 };
+
+/// Live scrape endpoint for a running bench: when the env sets a stats
+/// port, owns a wall-clock MetricsSampler (500 ms windows) plus a
+/// StatsServer exposing /metrics, /snapshot, /timeline and /events on
+/// 127.0.0.1. Note the cell exporter resets the global registry between
+/// cells, so live counter windows saturate to zero at cell boundaries.
+struct StatsEndpoint {
+  std::unique_ptr<telemetry::MetricsSampler> sampler;
+  std::unique_ptr<tcpkit::StatsServer> server;
+};
+
+inline StatsEndpoint MaybeServeStats(const BenchEnv& env) {
+  StatsEndpoint ep;
+  if (env.stats_port < 0) return ep;
+  telemetry::SamplerConfig scfg;
+  scfg.window_us = 500'000;
+  scfg.retain = 1024;
+  ep.sampler = std::make_unique<telemetry::MetricsSampler>(
+      &telemetry::Registry::Global(), scfg);
+  ep.sampler->Start();
+  tcpkit::StatsServerConfig sscfg;
+  sscfg.port = static_cast<uint16_t>(env.stats_port);
+  sscfg.sampler = ep.sampler.get();
+  ep.server = std::make_unique<tcpkit::StatsServer>(sscfg);
+  if (ep.server->ok()) {
+    std::fprintf(stderr, "stats server on http://127.0.0.1:%u\n",
+                 ep.server->port());
+  } else {
+    std::fprintf(stderr, "warning: cannot bind stats port %d\n",
+                 env.stats_port);
+  }
+  return ep;
+}
 
 inline constexpr model::Scheme kAllSchemes[] = {
     model::Scheme::kTcp1G, model::Scheme::kTcp40G,

@@ -13,6 +13,8 @@
 #include <cstdint>
 
 #include "common/rng.h"
+#include "telemetry/events.h"
+#include "telemetry/metrics.h"
 
 namespace catfish {
 
@@ -59,8 +61,10 @@ struct AdaptiveConfig {
 
 class AdaptiveController {
  public:
-  AdaptiveController(AdaptiveConfig cfg, uint64_t seed)
-      : cfg_(cfg), rng_(seed) {}
+  /// `id` labels this controller's flight-recorder events (client id in
+  /// the DES / examples); 0 is fine when there is only one.
+  AdaptiveController(AdaptiveConfig cfg, uint64_t seed, uint64_t id = 0)
+      : cfg_(cfg), rng_(seed), id_(id) {}
 
   /// Records a heartbeat into u_serv (overwriting — predUtil uses the
   /// most recent value, §IV-A). A zero utilization is clamped up to a
@@ -95,17 +99,28 @@ class AdaptiveController {
         ++stats_.escalations;
         r_off_ = rng_.NextBounded(cfg_.window) +
                  static_cast<uint64_t>(r_busy_ - 1) * cfg_.window;
+        CATFISH_COUNT("adaptive.escalations");
+        CATFISH_GAUGE_SET("adaptive.r_busy", r_busy_);
+        CATFISH_EVENT(kBackoffEscalate, now_us, id_,
+                      static_cast<double>(r_busy_),
+                      static_cast<double>(r_off_));
       }
     } else if (predicted != 0.0) {
       // Fresh heartbeat says the server recovered: reset the back-off.
+      if (r_busy_ != 0) {
+        CATFISH_GAUGE_SET("adaptive.r_busy", 0);
+        CATFISH_EVENT(kBackoffReset, now_us, id_,
+                      static_cast<double>(r_busy_), predicted);
+      }
       r_busy_ = 0;
     }
+    if (predicted != 0.0) CATFISH_GAUGE_SET("adaptive.predicted_util", ewma_);
     AccessMode mode = AccessMode::kFastMessaging;
     if (r_off_ > 0) {
       --r_off_;
       mode = AccessMode::kRdmaOffloading;
     }
-    Record(mode);
+    Record(mode, now_us);
     return mode;
   }
 
@@ -118,13 +133,21 @@ class AdaptiveController {
   double predicted_util() const noexcept { return ewma_; }
 
  private:
-  void Record(AccessMode mode) noexcept {
+  void Record(AccessMode mode, [[maybe_unused]] uint64_t now_us) noexcept {
     if (mode == AccessMode::kRdmaOffloading) {
       ++stats_.offload_decisions;
+      CATFISH_COUNT("adaptive.decisions.offload");
     } else {
       ++stats_.fast_decisions;
+      CATFISH_COUNT("adaptive.decisions.fast");
     }
-    if (have_last_mode_ && mode != last_mode_) ++stats_.mode_switches;
+    if (have_last_mode_ && mode != last_mode_) {
+      ++stats_.mode_switches;
+      CATFISH_COUNT("adaptive.mode_switches");
+      CATFISH_EVENT(kModeSwitch, now_us, id_,
+                    mode == AccessMode::kRdmaOffloading ? 1.0 : 0.0,
+                    static_cast<double>(r_off_));
+    }
     last_mode_ = mode;
     have_last_mode_ = true;
   }
@@ -145,6 +168,7 @@ class AdaptiveController {
 
   AdaptiveConfig cfg_;
   Xoshiro256 rng_;
+  uint64_t id_ = 0;
   double u_serv_ = 0.0;  ///< heartbeat mailbox (0 = consumed/none)
   double ewma_ = 0.0;
   uint64_t t0_us_ = 0;

@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "rtree/layout.h"
+#include "telemetry/events.h"
 #include "telemetry/metrics.h"
 
 namespace catfish {
@@ -90,6 +91,8 @@ void RTreeClient::OnHeartbeatMessage(const msg::Heartbeat& hb) {
   controller_.OnHeartbeat(hb.cpu_util);
   ++stats_.heartbeats_received;
   CATFISH_COUNT("catfish.client.heartbeats");
+  CATFISH_EVENT(kHeartbeat, NowMicros(), hb.seq, hb.cpu_util,
+                static_cast<double>(hb.tree_epoch));
   if (cfg_.cache_internal_nodes &&
       (!cache_epoch_known_ || hb.tree_epoch != cached_epoch_)) {
     if (cache_epoch_known_ && !node_cache_.empty()) {
@@ -400,7 +403,8 @@ std::vector<rtree::Entry> RTreeClient::Search(const geo::Rect& rect) {
       mode = controller_.NextMode(NowMicros());
       break;
   }
-  if (mode != last_mode_) CATFISH_COUNT("catfish.adaptive.mode_switches");
+  // Mode-switch counting lives in AdaptiveController::Record (the
+  // adaptive.mode_switches counter + kModeSwitch flight-recorder event).
   last_mode_ = mode;
   if (own_trace) {
     trace_->SetAttr(decide_span, "mode",

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/clock.h"
+#include "telemetry/events.h"
 #include "telemetry/metrics.h"
 
 namespace catfish {
@@ -254,9 +255,11 @@ void RTreeServer::MonitorLoop() {
     utilization_.store(util, std::memory_order_relaxed);
     CATFISH_GAUGE_SET("catfish.server.utilization_pct",
                       static_cast<int64_t>(util * 100.0));
+    CATFISH_GAUGE_SET("catfish.server.utilization", util);
 
     const double overridden = util_override_.load(std::memory_order_relaxed);
     const double advertised = overridden >= 0.0 ? overridden : util;
+    CATFISH_EVENT(kUtilization, NowMicros(), hb_seq + 1, util, advertised);
 
     const auto hb = msg::Encode(
         msg::Heartbeat{++hb_seq, advertised, tree_->write_epoch()});

@@ -6,6 +6,19 @@
 
 namespace catfish {
 
+RunningStat RunningStat::FromMoments(uint64_t n, double sum, double m2,
+                                     double min, double max) noexcept {
+  RunningStat s;
+  if (n == 0) return s;
+  s.n_ = n;
+  s.sum_ = sum;
+  s.mean_ = sum / static_cast<double>(n);
+  s.m2_ = std::max(m2, 0.0);
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 void RunningStat::Add(double x) noexcept {
   if (n_ == 0) {
     min_ = max_ = x;
@@ -70,6 +83,43 @@ void LogHistogram::Merge(const LogHistogram& other) {
     buckets_.resize(other.buckets_.size(), 0);
   for (size_t i = 0; i < other.buckets_.size(); ++i)
     buckets_[i] += other.buckets_[i];
+}
+
+LogHistogram LogHistogram::Diff(const LogHistogram& earlier) const {
+  LogHistogram out = *this;
+  out.stat_ = RunningStat{};
+  std::fill(out.buckets_.begin(), out.buckets_.end(), 0);
+
+  uint64_t dn = 0;
+  size_t lo = buckets_.size();
+  size_t hi = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t before =
+        i < earlier.buckets_.size() ? earlier.buckets_[i] : 0;
+    const uint64_t d = buckets_[i] > before ? buckets_[i] - before : 0;
+    out.buckets_[i] = d;
+    if (d != 0) {
+      dn += d;
+      lo = std::min(lo, i);
+      hi = i;
+    }
+  }
+  if (dn == 0) return out;
+
+  const double dsum = std::max(stat_.sum() - earlier.stat_.sum(), 0.0);
+  const double mean = dsum / static_cast<double>(dn);
+  // Sum of squares is additive (Σx² = M2 + n·mean²), so the window's M2
+  // falls out of the difference of the two cumulative sums of squares.
+  const auto sum_squares = [](const RunningStat& s) {
+    return s.m2() + static_cast<double>(s.count()) * s.mean() * s.mean();
+  };
+  const double dm2 =
+      sum_squares(stat_) - sum_squares(earlier.stat_) -
+      static_cast<double>(dn) * mean * mean;
+  double min = std::min(BucketLower(lo), mean);
+  double max = std::max(std::min(BucketLower(hi + 1), stat_.max()), mean);
+  out.stat_ = RunningStat::FromMoments(dn, dsum, dm2, min, max);
+  return out;
 }
 
 double LogHistogram::Quantile(double q) const noexcept {

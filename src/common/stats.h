@@ -11,6 +11,12 @@ namespace catfish {
 /// Streaming mean / variance (Welford's algorithm).
 class RunningStat {
  public:
+  /// Reconstructs a stat from externally derived moments. `m2` is the
+  /// sum of squared deviations from the mean (Welford's M2). Used by
+  /// LogHistogram::Diff to express a window as later-minus-earlier.
+  static RunningStat FromMoments(uint64_t n, double sum, double m2,
+                                 double min, double max) noexcept;
+
   void Add(double x) noexcept;
   void Merge(const RunningStat& other) noexcept;
 
@@ -21,6 +27,8 @@ class RunningStat {
   double min() const noexcept { return n_ ? min_ : 0.0; }
   double max() const noexcept { return n_ ? max_ : 0.0; }
   double sum() const noexcept { return sum_; }
+  /// Sum of squared deviations from the mean (Welford's M2).
+  double m2() const noexcept { return m2_; }
 
  private:
   uint64_t n_ = 0;
@@ -42,6 +50,14 @@ class LogHistogram {
 
   void Add(double value) noexcept;
   void Merge(const LogHistogram& other);
+
+  /// Later-minus-earlier histogram. `*this` must be a later observation
+  /// of the same monotonically growing histogram that `earlier` was
+  /// taken from; bucket counts subtract saturating at zero, mean and
+  /// variance are reconstructed from moment differences, and min/max
+  /// are approximated from the populated delta buckets. This is what
+  /// makes windowed percentiles possible without per-window histograms.
+  LogHistogram Diff(const LogHistogram& earlier) const;
 
   uint64_t count() const noexcept { return stat_.count(); }
   double mean() const noexcept { return stat_.mean(); }

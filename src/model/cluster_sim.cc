@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/events.h"
 #include "telemetry/metrics.h"
 
 namespace catfish::model {
@@ -330,6 +331,8 @@ void ClusterSim::ScheduleHeartbeat() {
                           std::max(1.0, window * cfg_.server_cores));
     hb_window_start_busy_ = busy;
     hb_window_start_t_ = now;
+    CATFISH_GAUGE_SET("catfish.server.utilization", util);
+    CATFISH_EVENT(kUtilization, static_cast<uint64_t>(now), 0, util, util);
     for (auto& c : clients_) {
       // Heartbeats ride the response rings: the server writes them to
       // each connection in turn and every client consumes its mailbox at
@@ -340,9 +343,23 @@ void ClusterSim::ScheduleHeartbeat() {
           c->rng.NextDouble() *
           (static_cast<double>(cfg_.adaptive.heartbeat_interval_us) / 4.0);
       sched_.After(fabric_.base_latency_us + jitter,
-                   [&ctrl = c->ctrl, util]() { ctrl.OnHeartbeat(util); });
+                   [this, &ctrl = c->ctrl, util, idx = c->index]() {
+                     ctrl.OnHeartbeat(util);
+                     CATFISH_EVENT(kHeartbeat,
+                                   static_cast<uint64_t>(sched_.now()), idx,
+                                   util, 0.0);
+                   });
     }
     ScheduleHeartbeat();
+  });
+}
+
+void ClusterSim::ScheduleSample() {
+  telemetry::MetricsSampler* s = cfg_.sampler;
+  sched_.After(static_cast<double>(s->config().window_us), [this, s]() {
+    s->Tick(static_cast<uint64_t>(sched_.now()));
+    if (outstanding_ == 0) return;  // run drained; stop the pulse
+    ScheduleSample();
   });
 }
 
@@ -353,20 +370,23 @@ RunResult ClusterSim::Run() {
                  [this, &c = *c]() { StartNextRequest(c); });
   }
   if (cfg_.scheme == Scheme::kCatfish) ScheduleHeartbeat();
+  if (cfg_.sampler != nullptr) {
+    cfg_.sampler->Tick(static_cast<uint64_t>(sched_.now()));  // baseline
+    ScheduleSample();
+  }
 
   sched_.Run();
+  // Flush the partial final window (a no-op if the pulse just ticked).
+  if (cfg_.sampler != nullptr) {
+    cfg_.sampler->Tick(static_cast<uint64_t>(sched_.now()));
+  }
 
+  // The controllers emit adaptive.* metrics live; these sums only feed
+  // the RunResult the benches print.
   for (const auto& c : clients_) {
     const AdaptiveStats& st = c->ctrl.stats();
     result_.mode_switches += st.mode_switches;
     result_.adaptive_escalations += st.escalations;
-  }
-  if (result_.mode_switches > 0) {
-    CATFISH_COUNT_ADD("catfish.adaptive.mode_switches", result_.mode_switches);
-  }
-  if (result_.adaptive_escalations > 0) {
-    CATFISH_COUNT_ADD("catfish.adaptive.escalations",
-                      result_.adaptive_escalations);
   }
 
   if (result_.duration_us > 0.0) {

@@ -30,6 +30,7 @@
 #include "model/cost_model.h"
 #include "rdmasim/fabric_profile.h"
 #include "rtree/rstar.h"
+#include "telemetry/timeseries.h"
 #include "workload/generators.h"
 
 namespace catfish::model {
@@ -62,6 +63,11 @@ struct ClusterConfig {
   /// Scales the modeled probability that an offloaded node read races a
   /// concurrent insert and must retry (see DESIGN.md §5).
   double conflict_factor = 0.2;
+  /// When set, the sim drives this sampler on *virtual* time: one
+  /// Tick per `sampler->config().window_us` simulated microseconds plus
+  /// a final flush, so --timeline-json gets the same window shape a
+  /// live run would produce. The sim does not reset or re-baseline it.
+  telemetry::MetricsSampler* sampler = nullptr;
 };
 
 struct RunResult {
@@ -108,7 +114,7 @@ class ClusterSim {
 
     Client(size_t i, const workload::RequestGen::Config& wcfg,
            const AdaptiveConfig& acfg, uint64_t seed)
-        : index(i), gen(wcfg, seed), ctrl(acfg, seed ^ 0x9e3779b9u),
+        : index(i), gen(wcfg, seed), ctrl(acfg, seed ^ 0x9e3779b9u, i),
           rng(seed + 0x51ed2701u) {}
   };
 
@@ -126,6 +132,7 @@ class ClusterSim {
   void CompleteRequest(Client& c, workload::OpType op, double t0,
                        bool offloaded = false);
   void ScheduleHeartbeat();
+  void ScheduleSample();
   double PollingPickupUs() const noexcept;
   /// Modeled probability that one offloaded node read hits a concurrent
   /// write and retries (paper §III-B / Fig 12 degradation).

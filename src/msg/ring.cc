@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "common/bytes.h"
+#include "common/clock.h"
+#include "telemetry/events.h"
 #include "telemetry/metrics.h"
 
 namespace catfish::msg {
@@ -64,10 +66,20 @@ bool RingSender::TrySend(uint16_t type, uint16_t flags,
   const bool need_pad = wire > contiguous;
   const size_t need = need_pad ? contiguous + wire : wire;
   if (capacity_ - static_cast<size_t>(tail_ - head) < need) {
-    // Back-pressure: the receiver has not acked enough space yet.
+    // Back-pressure: the receiver has not acked enough space yet. Callers
+    // spin on TrySend, so the flight recorder only gets the first stall
+    // of a streak; the counter still counts every attempt.
     CATFISH_COUNT("msg.ring.stalls");
+    if (!stalled_) {
+      stalled_ = true;
+      CATFISH_EVENT(kRingStall, NowMicros(), 0,
+                    static_cast<double>(need),
+                    static_cast<double>(capacity_ -
+                                        static_cast<size_t>(tail_ - head)));
+    }
     return false;
   }
+  stalled_ = false;
 
   if (need_pad) {
     // A PAD record: only the marker word travels; the receiver skips the

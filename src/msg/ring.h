@@ -92,6 +92,7 @@ class RingSender {
   std::span<std::byte> ack_cell_;
   uint64_t tail_ = 0;   // absolute byte counter
   uint64_t wr_id_ = 0;
+  bool stalled_ = false;  // inside a back-pressure streak (event emitted)
 };
 
 /// Receiver half. Owns the local ring memory and writes head

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <thread>
 
+#include "common/clock.h"
+#include "telemetry/events.h"
 #include "telemetry/metrics.h"
 
 namespace catfish::remote {
@@ -150,6 +153,10 @@ FetchStatus VersionedFetchEngine::FetchMany(std::span<const Request> reqs,
         if (wcs[k].ok) {
           ++stats_.retry_exhausted;
           Bump(m_exhausted_);
+          CATFISH_EVENT(kRetryExhausted, NowMicros(),
+                        std::hash<std::string>{}(name_),
+                        static_cast<double>(attempts_[i]),
+                        static_cast<double>(reqs.size()));
           result = FetchStatus::kRetriesExhausted;
         } else {
           result = FetchStatus::kTransportError;

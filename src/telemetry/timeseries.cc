@@ -1,0 +1,214 @@
+#include "telemetry/timeseries.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/clock.h"
+#include "telemetry/export.h"
+
+namespace catfish::telemetry {
+namespace {
+
+template <typename V>
+const V* FindByName(const std::vector<std::pair<std::string, V>>& v,
+                    std::string_view name) noexcept {
+  auto it = std::lower_bound(
+      v.begin(), v.end(), name,
+      [](const auto& p, std::string_view n) { return p.first < n; });
+  if (it == v.end() || it->first != name) return nullptr;
+  return &it->second;
+}
+
+}  // namespace
+
+uint64_t MetricWindow::counter(std::string_view name) const noexcept {
+  const uint64_t* v = FindByName(counters, name);
+  return v ? *v : 0;
+}
+
+double MetricWindow::rate(std::string_view name) const noexcept {
+  const double secs = seconds();
+  if (secs <= 0.0) return 0.0;
+  return static_cast<double>(counter(name)) / secs;
+}
+
+double MetricWindow::gauge(std::string_view name) const noexcept {
+  const double* v = FindByName(gauges, name);
+  return v ? *v : 0.0;
+}
+
+const LogHistogram* MetricWindow::timer(std::string_view name) const noexcept {
+  return FindByName(timers, name);
+}
+
+MetricsSampler::MetricsSampler(Registry* reg, SamplerConfig cfg)
+    : reg_(reg), cfg_(cfg) {
+  if (cfg_.window_us == 0) cfg_.window_us = 1;
+  if (cfg_.retain == 0) cfg_.retain = 1;
+}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Tick(uint64_t now_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TickLocked(now_us);
+}
+
+void MetricsSampler::TickLocked(uint64_t now_us) {
+  Snapshot cur = reg_->TakeSnapshot();
+  if (!primed_) {
+    prev_ = std::move(cur);
+    prev_t_us_ = now_us;
+    primed_ = true;
+    return;
+  }
+  if (now_us <= prev_t_us_) return;
+
+  MetricWindow w;
+  w.seq = next_seq_++;
+  w.start_us = prev_t_us_;
+  w.end_us = now_us;
+
+  // Counters: keep only the ones that moved. Both snapshots are
+  // name-sorted, so a merge walk pairs them up; a counter absent from
+  // the previous snapshot was created this window (baseline 0).
+  w.counters.reserve(cur.counters.size());
+  {
+    size_t j = 0;
+    for (const auto& [name, val] : cur.counters) {
+      while (j < prev_.counters.size() && prev_.counters[j].first < name) ++j;
+      const uint64_t before =
+          (j < prev_.counters.size() && prev_.counters[j].first == name)
+              ? prev_.counters[j].second
+              : 0;
+      const uint64_t delta = val > before ? val - before : 0;
+      if (delta != 0) w.counters.emplace_back(name, delta);
+    }
+  }
+
+  w.gauges = cur.gauges;
+
+  w.timers.reserve(cur.timers.size());
+  {
+    size_t j = 0;
+    for (const auto& [name, hist] : cur.timers) {
+      while (j < prev_.timers.size() && prev_.timers[j].first < name) ++j;
+      LogHistogram delta =
+          (j < prev_.timers.size() && prev_.timers[j].first == name)
+              ? hist.Diff(prev_.timers[j].second)
+              : hist;
+      if (delta.count() != 0) w.timers.emplace_back(name, std::move(delta));
+    }
+  }
+
+  ring_.push_back(std::move(w));
+  while (ring_.size() > cfg_.retain) {
+    ring_.pop_front();
+    ++evicted_;
+  }
+  prev_ = std::move(cur);
+  prev_t_us_ = now_us;
+}
+
+void MetricsSampler::Start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(stop_mu_);
+    stop_ = false;
+  }
+  Tick(NowMicros());  // prime the baseline before the first window
+  thread_ = std::thread(&MetricsSampler::ThreadMain, this);
+}
+
+void MetricsSampler::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(stop_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  Tick(NowMicros());  // flush the partial final window
+}
+
+void MetricsSampler::ThreadMain() {
+  std::unique_lock<std::mutex> lk(stop_mu_);
+  while (!stop_) {
+    if (stop_cv_.wait_for(lk, std::chrono::microseconds(cfg_.window_us),
+                          [this] { return stop_; }))
+      break;
+    lk.unlock();
+    Tick(NowMicros());
+    lk.lock();
+  }
+}
+
+void MetricsSampler::Rebaseline(uint64_t now_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.clear();
+  prev_ = reg_->TakeSnapshot();
+  prev_t_us_ = now_us;
+  primed_ = true;
+}
+
+std::vector<MetricWindow> MetricsSampler::Windows() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+size_t MetricsSampler::window_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ring_.size();
+}
+
+uint64_t MetricsSampler::evicted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return evicted_;
+}
+
+void WriteWindow(JsonWriter& w, const MetricWindow& window) {
+  w.BeginObject();
+  w.Key("seq").Value(window.seq);
+  w.Key("start_us").Value(window.start_us);
+  w.Key("end_us").Value(window.end_us);
+  const double secs = window.seconds();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, delta] : window.counters) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("delta").Value(delta);
+    w.Key("rate").Value(secs > 0.0 ? static_cast<double>(delta) / secs : 0.0);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, v] : window.gauges) w.Key(name).Value(v);
+  w.EndObject();
+  w.Key("timers");
+  w.BeginObject();
+  for (const auto& [name, h] : window.timers) {
+    w.Key(name);
+    WriteHistogram(w, h);
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+std::string WindowToJson(const MetricWindow& window) {
+  JsonWriter w;
+  WriteWindow(w, window);
+  return w.str();
+}
+
+std::string TimelineToJson(const std::vector<MetricWindow>& windows) {
+  std::string out;
+  for (const MetricWindow& w : windows) {
+    out += WindowToJson(w);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace catfish::telemetry

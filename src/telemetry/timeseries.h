@@ -1,0 +1,140 @@
+// Windowed metrics timeline: the time axis for the registry.
+//
+// A point-in-time Snapshot cannot distinguish an adaptive controller
+// that converges smoothly from one that oscillates wildly — both end a
+// run with the same aggregates. MetricsSampler closes that gap: it
+// snapshots a Registry on a fixed cadence and diffs each snapshot
+// against the previous one, producing a bounded ring of MetricWindows
+// holding per-window counter deltas/rates, gauge values, and *windowed*
+// timer percentiles (via LogHistogram::Diff, which subtracts cumulative
+// bucket counts).
+//
+// Two clock domains are supported with one code path:
+//  * live runs call Start(), which spawns a thread ticking on wall
+//    clock (NowMicros);
+//  * the DES calls Tick(now_us) by hand with virtual time, so simulated
+//    milliseconds produce the same timeline shape real ones would.
+//
+// TimelineToJson renders the ring as JSONL (one window per line), the
+// format bench --timeline-json emits and EXPERIMENTS.md plots.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "telemetry/metrics.h"
+
+namespace catfish::telemetry {
+
+class JsonWriter;
+
+/// One closed sampling window: everything that changed in the registry
+/// between two consecutive ticks. Name-sorted like Snapshot; counters
+/// with a zero delta and timers with no new samples are omitted.
+struct MetricWindow {
+  uint64_t seq = 0;       // monotonically increasing window number
+  uint64_t start_us = 0;  // tick that opened the window
+  uint64_t end_us = 0;    // tick that closed it
+
+  std::vector<std::pair<std::string, uint64_t>> counters;  // deltas
+  std::vector<std::pair<std::string, double>> gauges;      // value at close
+  std::vector<std::pair<std::string, LogHistogram>> timers;  // windowed
+
+  double seconds() const noexcept {
+    return static_cast<double>(end_us - start_us) * 1e-6;
+  }
+  /// Counter delta by name; 0 when the counter did not move.
+  uint64_t counter(std::string_view name) const noexcept;
+  /// Counter delta divided by window length; 0 for empty windows.
+  double rate(std::string_view name) const noexcept;
+  /// Gauge value at window close; 0.0 when absent.
+  double gauge(std::string_view name) const noexcept;
+  /// Windowed timer histogram; nullptr when no samples landed.
+  const LogHistogram* timer(std::string_view name) const noexcept;
+};
+
+struct SamplerConfig {
+  /// Window length. Virtual microseconds under the DES, wall-clock
+  /// microseconds for Start()-driven live sampling.
+  uint64_t window_us = 10'000;
+  /// Ring capacity; the oldest window is evicted (and counted) beyond it.
+  size_t retain = 4096;
+};
+
+/// Periodic snapshot-and-diff over one Registry. Tick() is the whole
+/// engine; Start()/Stop() merely run it on a wall-clock thread.
+class MetricsSampler {
+ public:
+  explicit MetricsSampler(Registry* reg = &Registry::Global(),
+                          SamplerConfig cfg = {});
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Advances the timeline to `now_us`. The first call primes the
+  /// baseline snapshot and emits nothing; every later call with
+  /// now_us > the previous tick closes one window. Calls that do not
+  /// advance time are ignored.
+  void Tick(uint64_t now_us);
+
+  /// Spawns a thread calling Tick(NowMicros()) every cfg.window_us.
+  /// Idempotent; pair with Stop() (the destructor also stops).
+  void Start();
+  void Stop();
+  bool running() const noexcept { return thread_.joinable(); }
+
+  /// Drops all windows and re-primes the baseline at `now_us`, so the
+  /// next window never spans a registry Reset().
+  void Rebaseline(uint64_t now_us);
+
+  /// Copy of the retained windows, oldest first.
+  std::vector<MetricWindow> Windows() const;
+  size_t window_count() const;
+  /// Windows evicted from the ring so far.
+  uint64_t evicted() const;
+
+  const SamplerConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void TickLocked(uint64_t now_us);
+  void ThreadMain();
+
+  Registry* reg_;
+  SamplerConfig cfg_;
+
+  mutable std::mutex mu_;
+  Snapshot prev_;
+  bool primed_ = false;
+  uint64_t prev_t_us_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t evicted_ = 0;
+  std::deque<MetricWindow> ring_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Writes one window as a JSON object value (call standalone or after
+/// Key()): {"seq","start_us","end_us","counters":{name:{"delta","rate"}},
+/// "gauges":{name:value},"timers":{name:{histogram}}}.
+void WriteWindow(JsonWriter& w, const MetricWindow& window);
+
+/// One window as a standalone JSON document.
+std::string WindowToJson(const MetricWindow& window);
+
+/// JSONL: one WindowToJson document per line, oldest first.
+std::string TimelineToJson(const std::vector<MetricWindow>& windows);
+
+}  // namespace catfish::telemetry

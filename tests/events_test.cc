@@ -1,0 +1,167 @@
+// Tests of the flight recorder: per-thread rings, time-sorted drain,
+// bounded drop-oldest retention, the Peek/Drain distinction, the JSON
+// and table exporters, and the CATFISH_EVENT macro wiring.
+#include "telemetry/events.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_util.h"
+
+namespace catfish::telemetry {
+namespace {
+
+TEST(EventRecorderTest, DrainReturnsTimeSortedEvents) {
+  EventRecorder rec;
+  rec.Record(EventType::kModeSwitch, 300, 1);
+  rec.Record(EventType::kHeartbeat, 100, 2, 0.5);
+  rec.Record(EventType::kBackoffEscalate, 200, 3, 1.0, 2.0);
+  const auto events = rec.Drain();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].t_us, 100u);
+  EXPECT_EQ(events[1].t_us, 200u);
+  EXPECT_EQ(events[2].t_us, 300u);
+  EXPECT_EQ(events[0].type, EventType::kHeartbeat);
+  EXPECT_EQ(events[0].actor, 2u);
+  EXPECT_DOUBLE_EQ(events[0].a, 0.5);
+  EXPECT_DOUBLE_EQ(events[2].b, 0.0);
+}
+
+TEST(EventRecorderTest, StableSortKeepsRecordOrderWithinTimestamp) {
+  EventRecorder rec;
+  for (uint64_t i = 0; i < 5; ++i) {
+    rec.Record(EventType::kCustom, 42, /*actor=*/i);
+  }
+  const auto events = rec.Drain();
+  ASSERT_EQ(events.size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) EXPECT_EQ(events[i].actor, i);
+}
+
+TEST(EventRecorderTest, DrainConsumesPeekDoesNot) {
+  EventRecorder rec;
+  rec.Record(EventType::kRingStall, 10);
+  EXPECT_EQ(rec.Peek().size(), 1u);
+  EXPECT_EQ(rec.Peek().size(), 1u);
+  EXPECT_EQ(rec.Drain().size(), 1u);
+  EXPECT_TRUE(rec.Drain().empty());
+  EXPECT_EQ(rec.recorded(), 1u);
+}
+
+TEST(EventRecorderTest, BoundedRingDropsOldest) {
+  EventRecorderConfig cfg;
+  cfg.per_thread_capacity = 4;
+  EventRecorder rec(cfg);
+  for (uint64_t t = 1; t <= 10; ++t) {
+    rec.Record(EventType::kCustom, t);
+  }
+  const auto events = rec.Peek();
+  ASSERT_EQ(events.size(), 4u);
+  // The newest four survive.
+  EXPECT_EQ(events.front().t_us, 7u);
+  EXPECT_EQ(events.back().t_us, 10u);
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+}
+
+TEST(EventRecorderTest, ClearEmptiesWithoutCountingDrops) {
+  EventRecorder rec;
+  rec.Record(EventType::kCustom, 1);
+  rec.Record(EventType::kCustom, 2);
+  rec.Clear();
+  EXPECT_TRUE(rec.Peek().empty());
+}
+
+TEST(EventRecorderTest, MergesAcrossThreads) {
+  EventRecorder rec;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&rec, i] {
+      for (uint64_t n = 0; n < kPerThread; ++n) {
+        rec.Record(EventType::kHeartbeat, n * 10 + static_cast<uint64_t>(i),
+                   static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto events = rec.Drain();
+  ASSERT_EQ(events.size(), kThreads * kPerThread);
+  std::set<uint32_t> ordinals;
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].t_us, events[i - 1].t_us);
+    ordinals.insert(events[i].thread);
+  }
+  EXPECT_EQ(ordinals.size(), static_cast<size_t>(kThreads));
+  EXPECT_EQ(rec.recorded(), kThreads * kPerThread);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(EventTypeTest, NamesAreStable) {
+  EXPECT_STREQ(EventTypeName(EventType::kModeSwitch), "mode_switch");
+  EXPECT_STREQ(EventTypeName(EventType::kHeartbeat), "heartbeat");
+  EXPECT_STREQ(EventTypeName(EventType::kBackoffEscalate),
+               "backoff_escalate");
+  EXPECT_STREQ(EventTypeName(EventType::kBackoffReset), "backoff_reset");
+  EXPECT_STREQ(EventTypeName(EventType::kRetryExhausted), "retry_exhausted");
+  EXPECT_STREQ(EventTypeName(EventType::kRingStall), "ring_stall");
+  EXPECT_STREQ(EventTypeName(EventType::kUtilization), "utilization");
+  EXPECT_STREQ(EventTypeName(EventType::kCustom), "custom");
+}
+
+TEST(EventExportTest, EventsJsonRoundTrips) {
+  EventRecorder rec;
+  rec.Record(EventType::kModeSwitch, 1234, 7, 1.0, 4.0);
+  rec.Record(EventType::kBackoffReset, 5678, 7, 3.0, 0.4);
+  const std::string json = EventsToJson(rec.Peek(), rec.dropped());
+  const auto doc = testjson::Parse(json);
+  ASSERT_TRUE(doc.has_value()) << json;
+  EXPECT_EQ(doc->NumberOr("dropped", -1), 0.0);
+  const testjson::Value* events = doc->Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+  const testjson::Value& first = events->array[0];
+  EXPECT_EQ(first.NumberOr("t_us"), 1234.0);
+  EXPECT_EQ(first.NumberOr("actor"), 7.0);
+  EXPECT_DOUBLE_EQ(first.NumberOr("b"), 4.0);
+  const testjson::Value* type = first.Find("type");
+  ASSERT_NE(type, nullptr);
+  EXPECT_EQ(type->string, "mode_switch");
+}
+
+TEST(EventExportTest, DumpEventsWritesOneLinePerEvent) {
+  EventRecorder rec;
+  rec.Record(EventType::kRetryExhausted, 99, 5, 3.0, 16.0);
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  DumpEvents(f, rec.Peek());
+  std::rewind(f);
+  char buf[4096] = {};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  const std::string text(buf, n);
+  EXPECT_NE(text.find("retry_exhausted"), std::string::npos) << text;
+  EXPECT_NE(text.find("99"), std::string::npos);
+}
+
+#if CATFISH_TELEMETRY_ENABLED
+TEST(EventMacroTest, RecordsToGlobalRecorder) {
+  EventRecorder::Global().Clear();
+  CATFISH_EVENT(kCustom, 777, 3, 1.5, 2.5);
+  const auto events = EventRecorder::Global().Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].t_us, 777u);
+  EXPECT_EQ(events[0].actor, 3u);
+  EXPECT_DOUBLE_EQ(events[0].a, 1.5);
+  EXPECT_EQ(events[0].type, EventType::kCustom);
+}
+#endif
+
+}  // namespace
+}  // namespace catfish::telemetry

@@ -1,0 +1,214 @@
+// A minimal JSON parser for tests: just enough to round-trip the
+// documents the telemetry exporters emit (objects, arrays, strings with
+// escapes, numbers, literals) into an inspectable tree. Not a general
+// JSON library — duplicate keys keep the last value, \uXXXX escapes
+// decode only the ASCII range, and numbers go through strtod.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace catfish::testjson {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  // insertion order
+
+  bool is_null() const noexcept { return kind == Kind::kNull; }
+  bool is_object() const noexcept { return kind == Kind::kObject; }
+  bool is_array() const noexcept { return kind == Kind::kArray; }
+  bool is_number() const noexcept { return kind == Kind::kNumber; }
+  bool is_string() const noexcept { return kind == Kind::kString; }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const noexcept {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  double NumberOr(std::string_view key, double fallback = 0.0) const noexcept {
+    const Value* v = Find(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_(s) {}
+
+  std::optional<Value> Parse() {
+    SkipWs();
+    Value v;
+    if (!ParseValue(v)) return std::nullopt;
+    SkipWs();
+    if (pos_ != s_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  bool ParseValue(Value& out) {
+    switch (Peek()) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': out.kind = Value::Kind::kString; return ParseString(out.string);
+      case 't': out.kind = Value::Kind::kBool; out.boolean = true;
+                return Literal("true");
+      case 'f': out.kind = Value::Kind::kBool; out.boolean = false;
+                return Literal("false");
+      case 'n': out.kind = Value::Kind::kNull; return Literal("null");
+      default:  out.kind = Value::Kind::kNumber; return ParseNumber(out.number);
+    }
+  }
+
+  bool ParseObject(Value& out) {
+    out.kind = Value::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(key)) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      Value v;
+      if (!ParseValue(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool ParseArray(Value& out) {
+    out.kind = Value::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      SkipWs();
+      Value v;
+      if (!ParseValue(v)) return false;
+      out.array.push_back(std::move(v));
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string& out) {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // ASCII decodes exactly; anything wider is preserved as '?'
+          // (the exporters only \u-escape control characters).
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: return false;
+      }
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber(double& out) {
+    const char* begin = s_.data() + pos_;
+    char* end = nullptr;
+    out = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos_ += static_cast<size_t>(end - begin);
+    return true;
+  }
+
+  bool Literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  char Peek() const noexcept { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\r' ||
+            s_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+inline std::optional<Value> Parse(std::string_view s) {
+  return Parser(s).Parse();
+}
+
+/// Splits a JSONL document into per-line parsed values; nullopt if any
+/// line fails to parse.
+inline std::optional<std::vector<Value>> ParseLines(std::string_view s) {
+  std::vector<Value> out;
+  size_t start = 0;
+  while (start < s.size()) {
+    size_t end = s.find('\n', start);
+    if (end == std::string_view::npos) end = s.size();
+    const std::string_view line = s.substr(start, end - start);
+    if (!line.empty()) {
+      auto v = Parse(line);
+      if (!v) return std::nullopt;
+      out.push_back(std::move(*v));
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace catfish::testjson

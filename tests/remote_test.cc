@@ -132,11 +132,13 @@ TEST(RemoteEngineTest, PermanentlyTornChunkExhaustsBoundedly) {
   // The call site can recover: the same engine keeps serving fetches.
   EXPECT_EQ(engine.FetchOne(0, buf, VersionsValid), FetchStatus::kOk);
 
+#if CATFISH_TELEMETRY_ENABLED
   const auto snap = telemetry::Registry::Global().TakeSnapshot();
   EXPECT_EQ(snap.counter("remote.version_retry_exhausted"), 1u);
   EXPECT_EQ(snap.counter("remote.test.reads"), 9u);
   EXPECT_EQ(snap.counter("remote.test.version_retries"), 8u);
   EXPECT_EQ(snap.counter("remote.reads"), 9u);
+#endif
 }
 
 TEST(RemoteEngineTest, OutOfRangeChunkIsTransportError) {
@@ -192,9 +194,11 @@ TEST(RemoteFaultTest, TransientTearsAreRetriedAndRecovered) {
   EXPECT_EQ(engine.stats().version_retries, 3u);
   EXPECT_EQ(engine.stats().retry_exhausted, 0u);
 
+#if CATFISH_TELEMETRY_ENABLED
   const auto snap = telemetry::Registry::Global().TakeSnapshot();
   EXPECT_EQ(snap.counter("remote.test.version_retries"), 3u);
   EXPECT_EQ(snap.counter("remote.version_retry_exhausted"), 0u);
+#endif
 }
 
 TEST(RemoteFaultTest, DelayedCompletionsAreAwaited) {
@@ -284,10 +288,12 @@ TEST(RemoteEngineTest, PerEngineMetricsAggregate) {
   ASSERT_EQ(b.FetchOne(0, buf, VersionsValid), FetchStatus::kOk);
   ASSERT_EQ(b.FetchOne(0, buf, VersionsValid), FetchStatus::kOk);
 
+#if CATFISH_TELEMETRY_ENABLED
   const auto snap = telemetry::Registry::Global().TakeSnapshot();
   EXPECT_EQ(snap.counter("remote.alpha.reads"), 1u);
   EXPECT_EQ(snap.counter("remote.beta.reads"), 2u);
   EXPECT_EQ(snap.counter("remote.reads"), 3u);  // aggregate spans engines
+#endif
 }
 
 TEST(RemoteTransportTest, CallbackTransportCompletesSynchronously) {

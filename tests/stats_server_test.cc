@@ -1,0 +1,148 @@
+// Tests of the live stats endpoint: socket-free rendering (Prometheus
+// text, snapshot/timeline/events JSON, HTTP response assembly) plus one
+// real localhost GET against the acceptor thread.
+#include "tcpkit/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "json_util.h"
+#include "telemetry/events.h"
+#include "telemetry/metrics.h"
+#include "telemetry/timeseries.h"
+
+namespace catfish::tcpkit {
+namespace {
+
+struct Fixture {
+  telemetry::Registry reg;
+  telemetry::MetricsSampler sampler{&reg};
+  telemetry::EventRecorder events;
+  StatsServerConfig cfg;
+
+  Fixture() {
+    reg.counter("catfish.client.search.fast")->Add(120);
+    reg.gauge("catfish.server.utilization")->Set(0.42);
+    for (int i = 1; i <= 50; ++i) {
+      reg.timer("catfish.client.search_fast_us")->RecordUs(i * 2.0);
+    }
+    sampler.Tick(0);
+    reg.counter("catfish.client.search.offload")->Add(30);
+    sampler.Tick(10'000);
+    events.Record(telemetry::EventType::kModeSwitch, 5'000, 1, 1.0, 4.0);
+
+    cfg.registry = &reg;
+    cfg.sampler = &sampler;
+    cfg.events = &events;
+  }
+};
+
+TEST(StatsServerTest, MetricsTextIsPrometheusShaped) {
+  Fixture fx;
+  StatsServer srv(fx.cfg);
+  const std::string text = srv.MetricsText();
+  // Dots become underscores; each metric gets a TYPE line.
+  EXPECT_NE(text.find("# TYPE catfish_client_search_fast counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("catfish_client_search_fast 120"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE catfish_server_utilization gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE catfish_client_search_fast_us summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(text.find("catfish_client_search_fast_us_count 50"),
+            std::string::npos);
+}
+
+TEST(StatsServerTest, SnapshotAndEventsJsonParse) {
+  Fixture fx;
+  StatsServer srv(fx.cfg);
+  const auto snap = testjson::Parse(srv.SnapshotJson());
+  ASSERT_TRUE(snap.has_value());
+  const testjson::Value* counters = snap->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->NumberOr("catfish.client.search.fast"), 120.0);
+
+  const auto events = testjson::Parse(srv.EventsJson());
+  ASSERT_TRUE(events.has_value());
+  const testjson::Value* list = events->Find("events");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->array.size(), 1u);
+  EXPECT_EQ(list->array[0].Find("type")->string, "mode_switch");
+  // Scraping must not consume the flight recorder.
+  EXPECT_EQ(fx.events.Peek().size(), 1u);
+}
+
+TEST(StatsServerTest, TimelineJsonIsJsonl) {
+  Fixture fx;
+  StatsServer srv(fx.cfg);
+  const auto lines = testjson::ParseLines(srv.TimelineJson());
+  ASSERT_TRUE(lines.has_value());
+  ASSERT_EQ(lines->size(), 1u);
+  const testjson::Value* counters = (*lines)[0].Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("catfish.client.search.offload")->NumberOr("delta"),
+            30.0);
+}
+
+TEST(StatsServerTest, TimelineEmptyWithoutSampler) {
+  Fixture fx;
+  fx.cfg.sampler = nullptr;
+  StatsServer srv(fx.cfg);
+  EXPECT_TRUE(srv.TimelineJson().empty());
+}
+
+TEST(StatsServerTest, RespondRoutesAndStatusLines) {
+  Fixture fx;
+  StatsServer srv(fx.cfg);
+  EXPECT_NE(srv.Respond("/metrics").find("HTTP/1.0 200 OK"),
+            std::string::npos);
+  EXPECT_NE(srv.Respond("/").find("200 OK"), std::string::npos);
+  EXPECT_NE(srv.Respond("/snapshot").find("application/json"),
+            std::string::npos);
+  EXPECT_NE(srv.Respond("/timeline").find("200 OK"), std::string::npos);
+  EXPECT_NE(srv.Respond("/events").find("200 OK"), std::string::npos);
+  EXPECT_NE(srv.Respond("/nope").find("404"), std::string::npos);
+}
+
+TEST(StatsServerTest, ServesRealHttpGet) {
+  Fixture fx;
+  StatsServer srv(fx.cfg);
+  ASSERT_TRUE(srv.ok());
+  ASSERT_NE(srv.port(), 0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(srv.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd, req, sizeof(req) - 1, 0),
+            static_cast<ssize_t>(sizeof(req) - 1));
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("catfish_client_search_fast"), std::string::npos);
+  srv.Stop();
+  srv.Stop();  // idempotent
+  EXPECT_FALSE(srv.ok());
+}
+
+}  // namespace
+}  // namespace catfish::tcpkit

@@ -67,6 +67,9 @@ class TelemetryIntegrationTest : public ::testing::Test {
 };
 
 TEST_F(TelemetryIntegrationTest, AdaptiveSearchYieldsCompleteSpanTree) {
+#if !CATFISH_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (CATFISH_TELEMETRY=OFF)";
+#endif
   auto client = MakeClient();
   Xoshiro256 rng(1);
   const auto rect = RandomRect(rng, 0.05);
@@ -99,6 +102,9 @@ TEST_F(TelemetryIntegrationTest, AdaptiveSearchYieldsCompleteSpanTree) {
 }
 
 TEST_F(TelemetryIntegrationTest, ServerTraceJoinsClientTraceByReqId) {
+#if !CATFISH_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (CATFISH_TELEMETRY=OFF)";
+#endif
   auto client = MakeClient();
   Xoshiro256 rng(2);
   (void)client->Search(RandomRect(rng, 0.05));
@@ -121,6 +127,9 @@ TEST_F(TelemetryIntegrationTest, ServerTraceJoinsClientTraceByReqId) {
 }
 
 TEST_F(TelemetryIntegrationTest, OffloadTraceCountsMatchClientStats) {
+#if !CATFISH_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (CATFISH_TELEMETRY=OFF)";
+#endif
   auto client = MakeClient();
   Xoshiro256 rng(3);
 
@@ -154,6 +163,9 @@ TEST_F(TelemetryIntegrationTest, OffloadTraceCountsMatchClientStats) {
 }
 
 TEST_F(TelemetryIntegrationTest, GlobalCountersTrackClientStats) {
+#if !CATFISH_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (CATFISH_TELEMETRY=OFF)";
+#endif
   telemetry::Registry::Global().Reset();
   auto client = MakeClient();
   Xoshiro256 rng(4);
@@ -190,6 +202,9 @@ TEST_F(TelemetryIntegrationTest, GlobalCountersTrackClientStats) {
 }
 
 TEST_F(TelemetryIntegrationTest, SampledTracerKeepsOneInN) {
+#if !CATFISH_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (CATFISH_TELEMETRY=OFF)";
+#endif
   telemetry::TracerConfig tcfg;
   tcfg.sample_every = 2;
   telemetry::Tracer sampled(tcfg);

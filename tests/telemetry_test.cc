@@ -8,11 +8,13 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "json_util.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -216,6 +218,9 @@ TEST(RegistryTest, ConcurrentCountersMergeExactly) {
 }
 
 TEST(RegistryTest, MacrosReportToGlobal) {
+#if !CATFISH_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (CATFISH_TELEMETRY=OFF)";
+#endif
   Registry::Global().Reset();
   CATFISH_COUNT("macro.test.count");
   CATFISH_COUNT_ADD("macro.test.count", 4);
@@ -239,6 +244,9 @@ uint64_t FakeClock() {
 }
 
 TEST(TraceTest, SpanTreeStructure) {
+#if !CATFISH_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (CATFISH_TELEMETRY=OFF)";
+#endif
   Tracer tracer({}, &FakeClock);
   auto trace = tracer.StartTrace("search");
   ASSERT_NE(trace, nullptr);
@@ -263,6 +271,9 @@ TEST(TraceTest, SpanTreeStructure) {
 }
 
 TEST(TraceTest, IncAttrAccumulates) {
+#if !CATFISH_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (CATFISH_TELEMETRY=OFF)";
+#endif
   Tracer tracer({}, &FakeClock);
   auto trace = tracer.StartTrace("t");
   ASSERT_NE(trace, nullptr);
@@ -272,6 +283,9 @@ TEST(TraceTest, IncAttrAccumulates) {
 }
 
 TEST(TraceTest, SamplingKeepsOneInN) {
+#if !CATFISH_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (CATFISH_TELEMETRY=OFF)";
+#endif
   TracerConfig cfg;
   cfg.sample_every = 4;
   Tracer tracer(cfg, &FakeClock);
@@ -288,6 +302,9 @@ TEST(TraceTest, SamplingKeepsOneInN) {
 }
 
 TEST(TraceTest, RetentionRingEvictsOldest) {
+#if !CATFISH_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (CATFISH_TELEMETRY=OFF)";
+#endif
   TracerConfig cfg;
   cfg.retain = 3;
   Tracer tracer(cfg, &FakeClock);
@@ -381,6 +398,9 @@ TEST(ExportTest, SnapshotToTableListsEveryMetric) {
 }
 
 TEST(ExportTest, TraceToJsonIsValid) {
+#if !CATFISH_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (CATFISH_TELEMETRY=OFF)";
+#endif
   Tracer tracer({}, &FakeClock);
   auto trace = tracer.StartTrace("search");
   ASSERT_NE(trace, nullptr);
@@ -412,6 +432,74 @@ TEST(ExportTest, JsonLinesWriterAppendsLines) {
   std::fclose(f);
   EXPECT_EQ(content, "{\"a\":1}\n{\"b\":2}\n");
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Exporter edge cases (round-tripped through the tests' JSON parser)
+// ---------------------------------------------------------------------------
+
+TEST(ExportTest, ControlCharactersAreEscaped) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ctl").Value(std::string_view("a\x01b\x1f\t\r\n", 7));
+  w.EndObject();
+  // Raw control bytes must not survive into the document.
+  for (char c : w.str()) {
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\0') << w.str();
+  }
+  const auto doc = testjson::Parse(w.str());
+  ASSERT_TRUE(doc.has_value()) << w.str();
+  const testjson::Value* ctl = doc->Find("ctl");
+  ASSERT_NE(ctl, nullptr);
+  EXPECT_EQ(ctl->string, std::string("a\x01b\x1f\t\r\n", 7));
+}
+
+TEST(ExportTest, InfinitiesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(std::numeric_limits<double>::infinity());
+  w.Value(-std::numeric_limits<double>::infinity());
+  w.Value(1.0);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,1]");
+}
+
+TEST(ExportTest, RawInsideArrayKeepsCommas) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(1);
+  w.Raw(R"({"x":2})");
+  w.Raw("[3,4]");
+  w.Value(5);
+  w.EndArray();
+  EXPECT_EQ(w.str(), R"([1,{"x":2},[3,4],5])");
+  const auto doc = testjson::Parse(w.str());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->array.size(), 4u);
+  EXPECT_EQ(doc->array[1].NumberOr("x"), 2.0);
+  EXPECT_EQ(doc->array[2].array.size(), 2u);
+}
+
+TEST(ExportTest, SnapshotJsonRoundTripsExactValues) {
+  Registry reg;
+  reg.counter("ops.total")->Add(18446744073709551615ull);
+  reg.gauge("util")->Set(0.4375);  // exactly representable
+  for (int i = 1; i <= 8; ++i) reg.timer("lat_us")->RecordUs(i * 1.0);
+  const auto doc = testjson::Parse(SnapshotToJson(reg.TakeSnapshot()));
+  ASSERT_TRUE(doc.has_value());
+  const testjson::Value* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  // A full-range u64 survives textually even though it exceeds a
+  // double's integer range.
+  const testjson::Value* total = counters->Find("ops.total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_TRUE(total->is_number());
+  EXPECT_DOUBLE_EQ(doc->Find("gauges")->NumberOr("util"), 0.4375);
+  const testjson::Value* lat = doc->Find("timers")->Find("lat_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->NumberOr("count"), 8.0);
+  EXPECT_DOUBLE_EQ(lat->NumberOr("mean"), 4.5);
+  EXPECT_GE(lat->NumberOr("p99"), lat->NumberOr("p50"));
 }
 
 }  // namespace

@@ -1,0 +1,196 @@
+// End-to-end acceptance of the time-resolved observability stack: run
+// the DES Catfish cluster in the CPU-bound regime with a virtual-time
+// MetricsSampler attached and the global flight recorder armed, then
+// reconstruct the adaptive story *from the timeline and event output
+// alone* — offload share rising while the server utilization gauge sits
+// above the busy threshold T, and back-off escalations / mode switches
+// appearing in timestamp order, causally after a busy heartbeat.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "json_util.h"
+#include "model/cluster_sim.h"
+#include "rtree/bulk_load.h"
+#include "telemetry/events.h"
+#include "telemetry/metrics.h"
+#include "telemetry/timeseries.h"
+#include "workload/generators.h"
+
+namespace catfish::model {
+namespace {
+
+struct Testbed {
+  std::unique_ptr<rtree::NodeArena> arena;
+  std::unique_ptr<rtree::RStarTree> tree;
+
+  explicit Testbed(size_t n = 50'000) {
+    arena = std::make_unique<rtree::NodeArena>(rtree::kChunkSize, 1 << 15);
+    const auto items = workload::UniformDataset(n, 1e-4, 99);
+    tree = std::make_unique<rtree::RStarTree>(rtree::BulkLoad(*arena, items));
+  }
+};
+
+TEST(TimelineIntegrationTest, TimelineAndFlightRecorderTellAdaptiveStory) {
+#if !CATFISH_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (CATFISH_TELEMETRY=OFF)";
+#else
+  Testbed tb;
+
+  // The CPU-bound saturating regime of the ablation bench: many small
+  // searches through the worker pool until utilization crosses T.
+  ClusterConfig cfg;
+  cfg.scheme = Scheme::kCatfish;
+  cfg.num_clients = 128;
+  cfg.requests_per_client = 200;
+  cfg.workload.dist = workload::RequestGen::ScaleDist::kFixed;
+  cfg.workload.scale = 1e-5;
+  cfg.seed = 42;
+
+  telemetry::Registry::Global().Reset();
+  telemetry::EventRecorder::Global().Clear();
+  telemetry::SamplerConfig scfg;
+  scfg.window_us = 200;
+  scfg.retain = 1 << 16;
+  telemetry::MetricsSampler sampler(&telemetry::Registry::Global(), scfg);
+  cfg.sampler = &sampler;
+
+  const RunResult r = ClusterSim(*tb.tree, cfg).Run();
+  ASSERT_EQ(r.completed, 128u * 200u);
+  ASSERT_GT(r.offloaded_searches, 0u)
+      << "regime not saturating; adaptive scheme never offloaded";
+
+  // --- timeline -----------------------------------------------------------
+  const auto windows = sampler.Windows();
+  ASSERT_GE(windows.size(), 10u);
+  for (size_t i = 1; i < windows.size(); ++i) {
+    EXPECT_EQ(windows[i].start_us, windows[i - 1].end_us);
+    EXPECT_EQ(windows[i].seq, windows[i - 1].seq + 1);
+  }
+
+  // The server utilization gauge must show the busy condition (> T).
+  const double peak_util =
+      std::max_element(windows.begin(), windows.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.gauge("catfish.server.utilization") <
+                                b.gauge("catfish.server.utilization");
+                       })
+          ->gauge("catfish.server.utilization");
+  EXPECT_GT(peak_util, cfg.adaptive.busy_threshold);
+
+  // Offload share rises: once the controller reacts, the late half of
+  // the run offloads a strictly larger share than the early half.
+  uint64_t early_fast = 0, early_off = 0, late_fast = 0, late_off = 0;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const auto& w = windows[i];
+    if (i < windows.size() / 2) {
+      early_fast += w.counter("catfish.client.search.fast");
+      early_off += w.counter("catfish.client.search.offload");
+    } else {
+      late_fast += w.counter("catfish.client.search.fast");
+      late_off += w.counter("catfish.client.search.offload");
+    }
+  }
+  const double early_share =
+      early_fast + early_off > 0
+          ? static_cast<double>(early_off) /
+                static_cast<double>(early_fast + early_off)
+          : 0.0;
+  const double late_share =
+      late_fast + late_off > 0
+          ? static_cast<double>(late_off) /
+                static_cast<double>(late_fast + late_off)
+          : 0.0;
+  EXPECT_GT(late_share, early_share);
+
+  // The JSONL export of the same windows stays parseable end to end.
+  const auto lines = testjson::ParseLines(telemetry::TimelineToJson(windows));
+  ASSERT_TRUE(lines.has_value());
+  EXPECT_EQ(lines->size(), windows.size());
+
+  // --- flight recorder ----------------------------------------------------
+  const auto events = telemetry::EventRecorder::Global().Drain();
+  ASSERT_FALSE(events.empty());
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].t_us, events[i - 1].t_us);
+  }
+
+  uint64_t first_offload_switch = 0;
+  bool saw_offload_switch = false;
+  size_t escalations = 0, switches = 0, heartbeats = 0;
+  for (const auto& e : events) {
+    switch (e.type) {
+      case telemetry::EventType::kBackoffEscalate: ++escalations; break;
+      case telemetry::EventType::kHeartbeat: ++heartbeats; break;
+      case telemetry::EventType::kModeSwitch:
+        ++switches;
+        if (e.a == 1.0 && !saw_offload_switch) {
+          saw_offload_switch = true;
+          first_offload_switch = e.t_us;
+        }
+        break;
+      default: break;
+    }
+  }
+  EXPECT_GT(heartbeats, 0u);
+  EXPECT_GT(switches, 0u);
+  EXPECT_GT(escalations, 0u);
+  EXPECT_EQ(switches, r.mode_switches);
+  EXPECT_EQ(escalations, r.adaptive_escalations);
+
+  // Causality: the first switch to offload happens only after some
+  // heartbeat delivered a utilization above T.
+  ASSERT_TRUE(saw_offload_switch);
+  bool busy_heartbeat_before_switch = false;
+  for (const auto& e : events) {
+    if (e.t_us > first_offload_switch) break;
+    if (e.type == telemetry::EventType::kHeartbeat &&
+        e.a > cfg.adaptive.busy_threshold) {
+      busy_heartbeat_before_switch = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(busy_heartbeat_before_switch);
+#endif
+}
+
+TEST(TimelineIntegrationTest, SamplerWindowsCoverTheWholeRun) {
+#if !CATFISH_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (CATFISH_TELEMETRY=OFF)";
+#else
+  Testbed tb;
+  ClusterConfig cfg;
+  cfg.scheme = Scheme::kFastMessaging;
+  cfg.num_clients = 8;
+  cfg.requests_per_client = 100;
+  cfg.workload.dist = workload::RequestGen::ScaleDist::kFixed;
+  cfg.workload.scale = 1e-4;
+  cfg.seed = 7;
+
+  telemetry::Registry::Global().Reset();
+  telemetry::SamplerConfig scfg;
+  scfg.window_us = 500;
+  telemetry::MetricsSampler sampler(&telemetry::Registry::Global(), scfg);
+  cfg.sampler = &sampler;
+
+  const RunResult r = ClusterSim(*tb.tree, cfg).Run();
+  const auto windows = sampler.Windows();
+  ASSERT_FALSE(windows.empty());
+  // Every completed search appears in exactly one window: the deltas
+  // over the whole timeline add up to the run totals (the final flush
+  // closes the tail window).
+  uint64_t fast = 0;
+  for (const auto& w : windows) {
+    fast += w.counter("catfish.client.search.fast");
+  }
+  EXPECT_EQ(fast, r.fast_searches);
+  EXPECT_GE(windows.back().end_us,
+            static_cast<uint64_t>(r.duration_us) - scfg.window_us);
+#endif
+}
+
+}  // namespace
+}  // namespace catfish::model

@@ -1,0 +1,234 @@
+// Tests of the windowed metrics timeline: manual (DES-style) ticking,
+// counter deltas and rates, gauge capture, windowed timer percentiles
+// via LogHistogram::Diff, ring eviction, rebaselining, the JSONL
+// exporter, and the wall-clock sampling thread.
+#include "telemetry/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "json_util.h"
+#include "telemetry/metrics.h"
+
+namespace catfish::telemetry {
+namespace {
+
+constexpr uint64_t kSec = 1'000'000;
+
+TEST(MetricsSamplerTest, FirstTickPrimesWithoutWindow) {
+  Registry reg;
+  reg.counter("c")->Add(10);
+  MetricsSampler sampler(&reg);
+  sampler.Tick(5 * kSec);
+  EXPECT_EQ(sampler.window_count(), 0u);
+  // The pre-prime counts must not leak into the first real window.
+  sampler.Tick(6 * kSec);
+  const auto windows = sampler.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].counter("c"), 0u);
+}
+
+TEST(MetricsSamplerTest, CounterDeltasAndRates) {
+  Registry reg;
+  MetricsSampler sampler(&reg);
+  sampler.Tick(0);
+  reg.counter("ops")->Add(500);
+  sampler.Tick(1 * kSec);
+  reg.counter("ops")->Add(300);
+  sampler.Tick(3 * kSec);
+
+  const auto windows = sampler.Windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].seq, 0u);
+  EXPECT_EQ(windows[0].start_us, 0u);
+  EXPECT_EQ(windows[0].end_us, kSec);
+  EXPECT_EQ(windows[0].counter("ops"), 500u);
+  EXPECT_DOUBLE_EQ(windows[0].rate("ops"), 500.0);
+  // Second window spans 2 s: delta 300, rate 150/s.
+  EXPECT_EQ(windows[1].counter("ops"), 300u);
+  EXPECT_DOUBLE_EQ(windows[1].rate("ops"), 150.0);
+  EXPECT_EQ(windows[1].counter("absent"), 0u);
+}
+
+TEST(MetricsSamplerTest, UnmovedCountersAreOmitted) {
+  Registry reg;
+  MetricsSampler sampler(&reg);
+  reg.counter("idle")->Add(7);
+  sampler.Tick(0);
+  reg.counter("busy")->Increment();
+  sampler.Tick(kSec);
+  const auto windows = sampler.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  ASSERT_EQ(windows[0].counters.size(), 1u);
+  EXPECT_EQ(windows[0].counters[0].first, "busy");
+  EXPECT_EQ(windows[0].counter("idle"), 0u);
+}
+
+TEST(MetricsSamplerTest, NonAdvancingTicksAreIgnored) {
+  Registry reg;
+  MetricsSampler sampler(&reg);
+  sampler.Tick(100);
+  sampler.Tick(100);  // zero-length: no window
+  sampler.Tick(50);   // time went backwards: ignored
+  EXPECT_EQ(sampler.window_count(), 0u);
+  sampler.Tick(200);
+  ASSERT_EQ(sampler.window_count(), 1u);
+  EXPECT_EQ(sampler.Windows()[0].start_us, 100u);
+}
+
+TEST(MetricsSamplerTest, GaugeValueAtWindowClose) {
+  Registry reg;
+  MetricsSampler sampler(&reg);
+  sampler.Tick(0);
+  reg.gauge("util")->Set(0.3);
+  reg.gauge("util")->Set(0.9);
+  sampler.Tick(kSec);
+  reg.gauge("util")->Set(0.1);
+  sampler.Tick(2 * kSec);
+  const auto windows = sampler.Windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(windows[0].gauge("util"), 0.9);
+  EXPECT_DOUBLE_EQ(windows[1].gauge("util"), 0.1);
+  EXPECT_DOUBLE_EQ(windows[0].gauge("absent"), 0.0);
+}
+
+TEST(MetricsSamplerTest, WindowedTimerPercentiles) {
+  Registry reg;
+  MetricsSampler sampler(&reg);
+  sampler.Tick(0);
+  for (int i = 1; i <= 100; ++i) {
+    reg.timer("lat_us")->RecordUs(static_cast<double>(i));
+  }
+  sampler.Tick(kSec);
+  // A wildly different second window: the diff must isolate it from the
+  // cumulative histogram.
+  for (int i = 0; i < 10; ++i) reg.timer("lat_us")->RecordUs(1000.0);
+  sampler.Tick(2 * kSec);
+
+  const auto windows = sampler.Windows();
+  ASSERT_EQ(windows.size(), 2u);
+  const LogHistogram* w0 = windows[0].timer("lat_us");
+  const LogHistogram* w1 = windows[1].timer("lat_us");
+  ASSERT_NE(w0, nullptr);
+  ASSERT_NE(w1, nullptr);
+  EXPECT_EQ(w0->count(), 100u);
+  EXPECT_NEAR(w0->mean(), 50.5, 1e-9);
+  EXPECT_EQ(w1->count(), 10u);
+  EXPECT_NEAR(w1->mean(), 1000.0, 1e-9);
+  // The second window's percentiles reflect only its own samples.
+  EXPECT_GT(w1->p50(), w0->p99());
+}
+
+TEST(MetricsSamplerTest, QuietTimersAreOmitted) {
+  Registry reg;
+  MetricsSampler sampler(&reg);
+  reg.timer("warm_us")->RecordUs(5.0);
+  sampler.Tick(0);
+  sampler.Tick(kSec);
+  const auto windows = sampler.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_TRUE(windows[0].timers.empty());
+  EXPECT_EQ(windows[0].timer("warm_us"), nullptr);
+}
+
+TEST(MetricsSamplerTest, RingEvictsOldestBeyondRetain) {
+  Registry reg;
+  SamplerConfig cfg;
+  cfg.retain = 4;
+  MetricsSampler sampler(&reg, cfg);
+  for (uint64_t t = 0; t <= 10; ++t) sampler.Tick(t * kSec);
+  EXPECT_EQ(sampler.window_count(), 4u);
+  EXPECT_EQ(sampler.evicted(), 6u);
+  const auto windows = sampler.Windows();
+  EXPECT_EQ(windows.front().seq, 6u);
+  EXPECT_EQ(windows.back().seq, 9u);
+}
+
+TEST(MetricsSamplerTest, RebaselineDropsWindowsAndSkipsResetGap) {
+  Registry reg;
+  MetricsSampler sampler(&reg);
+  sampler.Tick(0);
+  reg.counter("ops")->Add(100);
+  sampler.Tick(kSec);
+  ASSERT_EQ(sampler.window_count(), 1u);
+
+  reg.Reset();
+  sampler.Rebaseline(2 * kSec);
+  EXPECT_EQ(sampler.window_count(), 0u);
+  reg.counter("ops")->Add(42);
+  sampler.Tick(3 * kSec);
+  const auto windows = sampler.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  // Delta is the post-reset 42, not a saturated reset-spanning value.
+  EXPECT_EQ(windows[0].counter("ops"), 42u);
+  EXPECT_EQ(windows[0].start_us, 2 * kSec);
+}
+
+TEST(MetricsSamplerTest, TimelineJsonRoundTrips) {
+  Registry reg;
+  MetricsSampler sampler(&reg);
+  sampler.Tick(0);
+  reg.counter("ops")->Add(250);
+  reg.gauge("util")->Set(0.5);
+  reg.timer("lat_us")->RecordUs(3.0);
+  sampler.Tick(kSec);
+  reg.counter("ops")->Add(750);
+  sampler.Tick(2 * kSec);
+
+  const std::string jsonl = TimelineToJson(sampler.Windows());
+  const auto lines = testjson::ParseLines(jsonl);
+  ASSERT_TRUE(lines.has_value()) << jsonl;
+  ASSERT_EQ(lines->size(), 2u);
+
+  const testjson::Value& first = (*lines)[0];
+  EXPECT_EQ(first.NumberOr("seq", -1), 0.0);
+  EXPECT_EQ(first.NumberOr("end_us", -1), static_cast<double>(kSec));
+  const testjson::Value* counters = first.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const testjson::Value* ops = counters->Find("ops");
+  ASSERT_NE(ops, nullptr);
+  EXPECT_EQ(ops->NumberOr("delta"), 250.0);
+  EXPECT_DOUBLE_EQ(ops->NumberOr("rate"), 250.0);
+  const testjson::Value* gauges = first.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->NumberOr("util"), 0.5);
+  const testjson::Value* timers = first.Find("timers");
+  ASSERT_NE(timers, nullptr);
+  const testjson::Value* lat = timers->Find("lat_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->NumberOr("count"), 1.0);
+
+  const testjson::Value& second = (*lines)[1];
+  const testjson::Value* ops2 = second.Find("counters")->Find("ops");
+  ASSERT_NE(ops2, nullptr);
+  EXPECT_EQ(ops2->NumberOr("delta"), 750.0);
+}
+
+TEST(MetricsSamplerTest, LiveThreadProducesWindows) {
+  Registry reg;
+  SamplerConfig cfg;
+  cfg.window_us = 5'000;
+  MetricsSampler sampler(&reg, cfg);
+  sampler.Start();
+  EXPECT_TRUE(sampler.running());
+  sampler.Start();  // idempotent
+  reg.counter("live")->Add(3);
+  // Generously sized for a loaded single-core machine; Stop() flushes a
+  // final window, so one window is guaranteed even if the thread never
+  // got scheduled.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sampler.Stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.window_count(), 1u);
+  uint64_t total = 0;
+  for (const auto& w : sampler.Windows()) total += w.counter("live");
+  EXPECT_EQ(total, 3u);
+}
+
+}  // namespace
+}  // namespace catfish::telemetry
