@@ -1,0 +1,148 @@
+// Recovery bench: how long does a client stay dark after a full server
+// crash/reboot?
+//
+// Each trial runs a warm client against a live server, kills the server
+// with Fabric::RestartNode (rkeys and QPNs die, generation bumps), and
+// measures restart → first successful fast-path search. That interval
+// covers the whole failover pipeline: watchdog escalation, typed
+// fail-fast errors, re-bootstrap through the new acceptor, ring rewire.
+//
+//   CATFISH_TRIALS  number of restart trials   (default 20)
+//
+// Prints one line per trial plus min/p50/max, and the per-trial
+// re-bootstrap durations the flight recorder captured (kReconnect.b) —
+// the same signal EXPERIMENTS.md plots from /events.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "catfish/bootstrap.h"
+#include "catfish/client.h"
+#include "catfish/server.h"
+#include "common/rng.h"
+#include "rtree/bulk_load.h"
+#include "telemetry/events.h"
+
+namespace catfish {
+namespace {
+
+geo::Rect RandomRect(Xoshiro256& rng, double max_edge) {
+  const double x = rng.NextDouble() * (1.0 - max_edge);
+  const double y = rng.NextDouble() * (1.0 - max_edge);
+  return geo::Rect{x, y, x + rng.NextDouble() * max_edge,
+                   y + rng.NextDouble() * max_edge};
+}
+
+int Run() {
+  size_t trials = 20;
+  if (const char* t = std::getenv("CATFISH_TRIALS")) {
+    trials = std::strtoull(t, nullptr, 10);
+  }
+
+  rtree::NodeArena arena(rtree::kChunkSize, 1 << 13);
+  Xoshiro256 rng(7);
+  std::vector<rtree::Entry> items;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    items.push_back({RandomRect(rng, 0.005), i});
+  }
+  rtree::RStarTree tree = rtree::BulkLoad(arena, items);
+
+  rdma::Fabric fabric(rdma::FabricProfile::Instant());
+  ServerConfig scfg;
+  scfg.heartbeat_interval_us = 1'000;
+  auto server_node = fabric.CreateNode("server");
+  auto server = std::make_unique<RTreeServer>(server_node, tree, scfg);
+  auto acceptor = std::make_unique<BootstrapAcceptor>(*server, fabric);
+
+  ClientConfig ccfg;
+  ccfg.adaptive.heartbeat_interval_us = 1'000;
+  ccfg.watchdog.enabled = true;
+  ccfg.watchdog.suspect_after = 5;
+  ccfg.watchdog.disconnect_after = 15;
+  ccfg.request_timeout_us = 2'000'000;
+  auto client = ConnectViaBootstrap(
+      [&] {
+        if (!acceptor) throw std::runtime_error("no acceptor");
+        return acceptor->Dial();
+      },
+      fabric.CreateNode("client"), ccfg);
+
+  telemetry::EventRecorder::Global().Clear();
+  std::printf("=== chaos recovery: server restart -> first good op ===\n");
+  std::printf("%zu trials (set CATFISH_TRIALS to change)\n\n", trials);
+
+  std::vector<double> recovery_ms;
+  for (size_t trial = 0; trial < trials; ++trial) {
+    // Warm burst so the trial starts from a healthy, cached state.
+    for (int i = 0; i < 10; ++i) (void)client->SearchFast(RandomRect(rng, 0.02));
+
+    acceptor->Stop();
+    server->Stop();
+    acceptor.reset();
+    server.reset();
+    server_node = fabric.RestartNode("server");
+    const auto t0 = std::chrono::steady_clock::now();
+    server = std::make_unique<RTreeServer>(server_node, tree, scfg);
+    acceptor = std::make_unique<BootstrapAcceptor>(*server, fabric);
+
+    // Hammer the fast path until it answers again; degraded attempts
+    // fail typed and fast, so this loop is the client's real experience.
+    const geo::Rect probe = RandomRect(rng, 0.02);
+    uint64_t failed_attempts = 0;
+    for (;;) {
+      try {
+        (void)client->SearchFast(probe);
+        break;
+      } catch (const ClientError&) {
+        ++failed_attempts;
+      }
+    }
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    recovery_ms.push_back(ms);
+    std::printf("trial %2zu: recovery %8.2f ms  (generation %llu, "
+                "%llu typed failures while dark)\n",
+                trial, ms,
+                static_cast<unsigned long long>(client->server_generation()),
+                static_cast<unsigned long long>(failed_attempts));
+  }
+
+  std::sort(recovery_ms.begin(), recovery_ms.end());
+  const auto pct = [&](double p) {
+    return recovery_ms[std::min(recovery_ms.size() - 1,
+                                static_cast<size_t>(p * recovery_ms.size()))];
+  };
+  std::printf("\nrecovery_ms min=%.2f p50=%.2f max=%.2f\n",
+              recovery_ms.front(), pct(0.5), recovery_ms.back());
+  std::printf("reconnects=%llu watchdog_trips=%llu timeouts=%llu\n",
+              static_cast<unsigned long long>(client->stats().reconnects),
+              static_cast<unsigned long long>(client->stats().watchdog_trips),
+              static_cast<unsigned long long>(client->stats().timeouts));
+
+  // The flight recorder's own view: each kReconnect carries the
+  // re-bootstrap duration (handshake + rewire only, excluding detection).
+  std::vector<double> rewire_us;
+  for (const auto& e : telemetry::EventRecorder::Global().Drain()) {
+    if (e.type == telemetry::EventType::kReconnect) rewire_us.push_back(e.b);
+  }
+  if (!rewire_us.empty()) {
+    std::sort(rewire_us.begin(), rewire_us.end());
+    std::printf("re-bootstrap_us (kReconnect.b) min=%.0f p50=%.0f max=%.0f "
+                "over %zu events\n",
+                rewire_us.front(), rewire_us[rewire_us.size() / 2],
+                rewire_us.back(), rewire_us.size());
+  }
+
+  acceptor->Stop();
+  server->Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace catfish
+
+int main() { return catfish::Run(); }

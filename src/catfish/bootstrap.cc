@@ -52,7 +52,7 @@ std::optional<WireClientHello> DecodeClientHello(
 }
 
 std::vector<std::byte> Encode(const WireServerHello& v) {
-  ByteWriter w(48);
+  ByteWriter w(56);
   w.Append(v.arena_rkey);
   w.Append(v.arena_length);
   w.Append(v.request_ring_rkey);
@@ -61,12 +61,13 @@ std::vector<std::byte> Encode(const WireServerHello& v) {
   w.Append(v.root);
   w.Append(v.chunk_size);
   w.Append(v.tree_height);
+  w.Append(v.generation);
   return w.Take();
 }
 
 std::optional<WireServerHello> DecodeServerHello(
     std::span<const std::byte> payload) {
-  if (payload.size() != 4 + 8 + 4 + 8 + 4 + 4 + 8 + 4) return std::nullopt;
+  if (payload.size() != 4 + 8 + 4 + 8 + 4 + 4 + 8 + 4 + 8) return std::nullopt;
   ByteReader r(payload);
   WireServerHello v;
   v.arena_rkey = r.Read<uint32_t>();
@@ -77,6 +78,7 @@ std::optional<WireServerHello> DecodeServerHello(
   v.root = r.Read<uint32_t>();
   v.chunk_size = r.Read<uint64_t>();
   v.tree_height = r.Read<uint32_t>();
+  v.generation = r.Read<uint64_t>();
   return v;
 }
 
@@ -144,8 +146,47 @@ void BootstrapAcceptor::Serve(std::shared_ptr<tcpkit::Stream> endpoint) {
   reply.root = sb.root;
   reply.chunk_size = sb.chunk_size;
   reply.tree_height = sb.tree_height;
+  reply.generation = sb.generation;
   conn.SendFrame(kServerHelloFrame, 0, Encode(reply));
 }
+
+namespace {
+
+/// The client half of one hello round trip: send our wiring, receive and
+/// deserialize the server's. Throws on any transport or decode failure
+/// (the recovery path catches and reports kReconnectFailed).
+ServerBootstrap HelloRoundTrip(tcpkit::FramedConnection& conn,
+                               const std::string& node_name,
+                               const ClientBootstrap& mine) {
+  WireClientHello hello;
+  hello.node_name = node_name;
+  hello.qp_num = mine.qp->qp_num();
+  hello.response_ring_rkey = mine.response_ring.rkey;
+  hello.response_ring_capacity = mine.response_ring_capacity;
+  hello.request_ack_rkey = mine.request_ack_cell.rkey;
+  if (!conn.SendFrame(kClientHelloFrame, 0, Encode(hello))) {
+    throw std::runtime_error("bootstrap: hello send failed");
+  }
+  const auto reply = conn.RecvFrame(10s);
+  if (!reply || reply->type != kServerHelloFrame) {
+    throw std::runtime_error("bootstrap: no server hello");
+  }
+  const auto sh = DecodeServerHello(reply->payload);
+  if (!sh) throw std::runtime_error("bootstrap: malformed server hello");
+
+  ServerBootstrap boot;
+  boot.arena_mr = rdma::MemoryRegionHandle{sh->arena_rkey, sh->arena_length};
+  boot.request_ring = rdma::RemoteAddr{sh->request_ring_rkey, 0};
+  boot.request_ring_capacity = sh->request_ring_capacity;
+  boot.response_ack_cell = rdma::RemoteAddr{sh->response_ack_rkey, 0};
+  boot.root = sh->root;
+  boot.chunk_size = sh->chunk_size;
+  boot.tree_height = sh->tree_height;
+  boot.generation = sh->generation;
+  return boot;
+}
+
+}  // namespace
 
 std::unique_ptr<RTreeClient> ConnectViaBootstrap(
     std::shared_ptr<tcpkit::Stream> stream,
@@ -153,34 +194,27 @@ std::unique_ptr<RTreeClient> ConnectViaBootstrap(
   tcpkit::FramedConnection conn(std::move(stream));
   const auto shake =
       [&conn, &node](const ClientBootstrap& mine) -> ServerBootstrap {
-    WireClientHello hello;
-    hello.node_name = node->name();
-    hello.qp_num = mine.qp->qp_num();
-    hello.response_ring_rkey = mine.response_ring.rkey;
-    hello.response_ring_capacity = mine.response_ring_capacity;
-    hello.request_ack_rkey = mine.request_ack_cell.rkey;
-    if (!conn.SendFrame(kClientHelloFrame, 0, Encode(hello))) {
-      throw std::runtime_error("bootstrap: hello send failed");
-    }
-    const auto reply = conn.RecvFrame(10s);
-    if (!reply || reply->type != kServerHelloFrame) {
-      throw std::runtime_error("bootstrap: no server hello");
-    }
-    const auto sh = DecodeServerHello(reply->payload);
-    if (!sh) throw std::runtime_error("bootstrap: malformed server hello");
-
-    ServerBootstrap boot;
-    boot.arena_mr = rdma::MemoryRegionHandle{sh->arena_rkey,
-                                             sh->arena_length};
-    boot.request_ring = rdma::RemoteAddr{sh->request_ring_rkey, 0};
-    boot.request_ring_capacity = sh->request_ring_capacity;
-    boot.response_ack_cell = rdma::RemoteAddr{sh->response_ack_rkey, 0};
-    boot.root = sh->root;
-    boot.chunk_size = sh->chunk_size;
-    boot.tree_height = sh->tree_height;
-    return boot;
+    return HelloRoundTrip(conn, node->name(), mine);
   };
   return std::make_unique<RTreeClient>(node, shake, cfg);
+}
+
+std::unique_ptr<RTreeClient> ConnectViaBootstrap(
+    BootstrapDialFn dial, std::shared_ptr<rdma::SimNode> node,
+    ClientConfig cfg) {
+  // Unlike the one-shot overload, this handshake owns no stream: it
+  // dials a fresh one per invocation, so the client can keep it for
+  // re-bootstrap after the watchdog declares the server dead.
+  const std::string name = node->name();
+  const auto shake =
+      [dial = std::move(dial),
+       name](const ClientBootstrap& mine) -> ServerBootstrap {
+    tcpkit::FramedConnection conn(dial());
+    return HelloRoundTrip(conn, name, mine);
+  };
+  auto client = std::make_unique<RTreeClient>(std::move(node), shake, cfg);
+  client->SetReconnectHandshake(shake);
+  return client;
 }
 
 }  // namespace catfish

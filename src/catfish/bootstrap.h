@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -44,6 +45,9 @@ struct WireServerHello {
   uint32_t root = 0;
   uint64_t chunk_size = 0;
   uint32_t tree_height = 0;
+  /// Server incarnation (bumped by a restart); lets a recovering client
+  /// tell a fresh server from the one it lost.
+  uint64_t generation = 0;
 };
 
 std::vector<std::byte> Encode(const WireClientHello& v);
@@ -91,9 +95,25 @@ class BootstrapAcceptor {
 
 /// Client side: performs the hello round trip over `stream` and returns
 /// a connected RTreeClient on `node`. The node must have been created
-/// through the same fabric the acceptor resolves against.
+/// through the same fabric the acceptor resolves against. One-shot: the
+/// stream is consumed, so the resulting client cannot re-bootstrap.
 std::unique_ptr<RTreeClient> ConnectViaBootstrap(
     std::shared_ptr<tcpkit::Stream> stream,
     std::shared_ptr<rdma::SimNode> node, ClientConfig cfg = {});
+
+/// Produces a fresh bootstrap stream per call — typically a closure over
+/// BootstrapAcceptor::Dial (possibly through an indirection that tracks
+/// the *current* acceptor across server restarts). May throw when no
+/// endpoint is reachable; the recovery path treats that as a failed
+/// re-bootstrap attempt.
+using BootstrapDialFn = std::function<std::shared_ptr<tcpkit::Stream>()>;
+
+/// Re-dialable variant: every handshake (the initial one and each
+/// recovery re-bootstrap) dials a fresh stream. The returned client has
+/// its reconnect handshake installed, so the liveness watchdog's
+/// Disconnected state can heal itself (see RTreeClient::Reconnect).
+std::unique_ptr<RTreeClient> ConnectViaBootstrap(
+    BootstrapDialFn dial, std::shared_ptr<rdma::SimNode> node,
+    ClientConfig cfg = {});
 
 }  // namespace catfish

@@ -10,6 +10,26 @@
 
 namespace catfish {
 
+const char* ToString(ClientStatus s) noexcept {
+  switch (s) {
+    case ClientStatus::kOk:
+      return "ok";
+    case ClientStatus::kTimedOut:
+      return "timed_out";
+    case ClientStatus::kRingStalled:
+      return "ring_stalled";
+    case ClientStatus::kDisconnected:
+      return "disconnected";
+    case ClientStatus::kTransportError:
+      return "transport_error";
+    case ClientStatus::kRetriesExhausted:
+      return "retries_exhausted";
+    case ClientStatus::kReconnectFailed:
+      return "reconnect_failed";
+  }
+  return "unknown";
+}
+
 bool RTreeClient::BeginTrace(const char* name) {
   if (!cfg_.tracer || trace_) return false;
   trace_ = cfg_.tracer->StartTrace(name);
@@ -29,11 +49,18 @@ RTreeClient::RTreeClient(std::shared_ptr<rdma::SimNode> node,
                          const HandshakeFn& shake, ClientConfig cfg)
     : node_(std::move(node)), cfg_(cfg),
       controller_(cfg.adaptive, cfg.seed) {
+  WireUp(shake);
+}
+
+void RTreeClient::WireUp(const HandshakeFn& shake) {
   send_cq_ = node_->CreateCq();
   recv_cq_ = node_->CreateCq();
   qp_ = node_->CreateQp(send_cq_, recv_cq_);
 
   response_ring_mem_.assign(cfg_.ring_capacity, std::byte{0});
+  // The ack cell must restart at zero: the new server's RingSender
+  // derives its head counter from it.
+  request_ack_cell_.fill(std::byte{0});
   const auto ring_mr = node_->RegisterMemory(response_ring_mem_);
   const auto ack_mr = node_->RegisterMemory(request_ack_cell_);
 
@@ -60,6 +87,102 @@ RTreeClient::RTreeClient(std::shared_ptr<rdma::SimNode> node,
       boot_.chunk_size);
   engine_ = std::make_unique<remote::VersionedFetchEngine>(
       fetch_transport_.get(), "rtree", cfg_.remote_retry);
+
+  // A fresh connection counts as a heartbeat: the watchdog measures
+  // silence from here.
+  last_heartbeat_us_ = NowMicros();
+}
+
+void RTreeClient::WatchdogTick(uint64_t now_us) {
+  if (!cfg_.watchdog.enabled) return;
+  const uint64_t interval = cfg_.adaptive.heartbeat_interval_us;
+  if (interval == 0) return;
+  const uint64_t missed = now_us > last_heartbeat_us_
+                              ? (now_us - last_heartbeat_us_) / interval
+                              : 0;
+  ConnState next = ConnState::kConnected;
+  if (missed >= cfg_.watchdog.disconnect_after) {
+    next = ConnState::kDisconnected;
+  } else if (missed >= cfg_.watchdog.suspect_after) {
+    next = ConnState::kSuspect;
+  }
+  // The tick only escalates; de-escalation happens on heartbeat receipt
+  // (OnHeartbeatMessage) or a successful Reconnect.
+  if (static_cast<int>(next) <= static_cast<int>(conn_state_)) return;
+  conn_state_ = next;
+  ++stats_.watchdog_trips;
+  if (next == ConnState::kSuspect) {
+    CATFISH_COUNT("catfish.client.watchdog.suspect");
+  } else {
+    CATFISH_COUNT("catfish.client.watchdog.disconnected");
+  }
+  CATFISH_EVENT(kWatchdogTrip, now_us, 0,
+                static_cast<double>(static_cast<int>(next)),
+                static_cast<double>(missed));
+}
+
+void RTreeClient::Poll() {
+  PumpPending();
+  WatchdogTick(NowMicros());
+}
+
+void RTreeClient::EnsureUsable(bool fast_path) {
+  WatchdogTick(NowMicros());
+  if (conn_state_ != ConnState::kDisconnected) return;
+  if (reconnect_shake_) {
+    if (Reconnect() == ClientStatus::kOk) return;
+    if (fast_path) {
+      throw ClientError(ClientStatus::kReconnectFailed,
+                        "catfish client: re-bootstrap failed");
+    }
+    // Degraded offload: keep serving one-sided reads from the
+    // last-known arena; a dead fabric surfaces as a typed transport
+    // error from the fetch engine, bounded by the retry policy.
+    return;
+  }
+  if (fast_path) {
+    throw ClientError(
+        ClientStatus::kDisconnected,
+        "catfish client: server declared dead by liveness watchdog");
+  }
+}
+
+ClientStatus RTreeClient::Reconnect() {
+  if (!reconnect_shake_) return ClientStatus::kReconnectFailed;
+  const uint64_t began = NowMicros();
+  const uint64_t old_generation = boot_.generation;
+  qp_->Close();
+  // The old ring's rkey stays registered; quarantine the memory so a
+  // stale mapping can never dangle (see retired_ring_mem_).
+  retired_ring_mem_.push_back(std::move(response_ring_mem_));
+  try {
+    WireUp(reconnect_shake_);
+  } catch (const std::exception&) {
+    // Still down. Stay Disconnected; the next operation retries.
+    conn_state_ = ConnState::kDisconnected;
+    CATFISH_COUNT("catfish.client.reconnect_failures");
+    return ClientStatus::kReconnectFailed;
+  }
+  // Everything cached from the old incarnation is garbage now.
+  node_cache_.clear();
+  cached_epoch_ = 0;
+  cache_epoch_known_ = false;
+  conn_state_ = ConnState::kConnected;
+  ++stats_.reconnects;
+  CATFISH_COUNT("catfish.client.reconnects");
+  CATFISH_EVENT(kReconnect, NowMicros(), boot_.generation,
+                static_cast<double>(old_generation),
+                static_cast<double>(NowMicros() - began));
+  return ClientStatus::kOk;
+}
+
+void RTreeClient::FailDeadline(ClientStatus status, bool ring_stalled,
+                               const char* what) {
+  ++stats_.timeouts;
+  CATFISH_COUNT("catfish.client.timeouts");
+  CATFISH_EVENT(kRequestTimeout, NowMicros(), 0, ring_stalled ? 1.0 : 0.0,
+                static_cast<double>(cfg_.request_timeout_us));
+  throw ClientError(status, what);
 }
 
 RTreeClient::RTreeClient(std::shared_ptr<rdma::SimNode> node,
@@ -70,7 +193,13 @@ RTreeClient::RTreeClient(std::shared_ptr<rdma::SimNode> node,
                   }),
                   cfg) {}
 
-RTreeClient::~RTreeClient() { qp_->Close(); }
+RTreeClient::~RTreeClient() {
+  // Close first so no new remote op can target our rings, then wait out
+  // any write the server NIC already started: the ring and ack buffers
+  // are members and die with us.
+  qp_->Close();
+  node_->DeregisterAll();
+}
 
 void RTreeClient::SendRequest(msg::MsgType type,
                               std::span<const std::byte> payload) {
@@ -79,8 +208,17 @@ void RTreeClient::SendRequest(msg::MsgType type,
   // a polling server simply never looks at its recv CQ.
   while (!request_tx_->TrySend(static_cast<uint16_t>(type), msg::kFlagEnd,
                                payload, static_cast<uint32_t>(type))) {
-    if (NowMicros() > deadline) {
-      throw std::runtime_error("catfish client: request ring stalled");
+    const uint64_t now = NowMicros();
+    WatchdogTick(now);
+    if (conn_state_ == ConnState::kDisconnected) {
+      // Fail fast: the watchdog declared the server dead mid-send, so
+      // spinning out the full request timeout would just burn it.
+      throw ClientError(ClientStatus::kDisconnected,
+                        "catfish client: server lost while sending request");
+    }
+    if (now > deadline) {
+      FailDeadline(ClientStatus::kRingStalled, true,
+                   "catfish client: request ring stalled");
     }
     PumpPending();  // ring full: keep consuming responses meanwhile
     std::this_thread::yield();
@@ -90,6 +228,14 @@ void RTreeClient::SendRequest(msg::MsgType type,
 void RTreeClient::OnHeartbeatMessage(const msg::Heartbeat& hb) {
   controller_.OnHeartbeat(hb.cpu_util);
   ++stats_.heartbeats_received;
+  last_heartbeat_us_ = NowMicros();
+  if (conn_state_ != ConnState::kConnected) {
+    // Liveness proof: the link recovered without a re-bootstrap (e.g. a
+    // healed partition — same QP, same rings, same server generation).
+    conn_state_ = ConnState::kConnected;
+    CATFISH_COUNT("catfish.client.watchdog.recovered");
+    CATFISH_EVENT(kWatchdogTrip, last_heartbeat_us_, 0, 0.0, 0.0);
+  }
   CATFISH_COUNT("catfish.client.heartbeats");
   CATFISH_EVENT(kHeartbeat, NowMicros(), hb.seq, hb.cpu_util,
                 static_cast<double>(hb.tree_epoch));
@@ -129,8 +275,16 @@ msg::Message RTreeClient::AwaitMessage() {
       }
       return std::move(*m);
     }
-    if (NowMicros() > deadline) {
-      throw std::runtime_error("catfish client: response timed out");
+    const uint64_t now = NowMicros();
+    WatchdogTick(now);
+    if (conn_state_ == ConnState::kDisconnected) {
+      throw ClientError(
+          ClientStatus::kDisconnected,
+          "catfish client: server lost while awaiting response");
+    }
+    if (now > deadline) {
+      FailDeadline(ClientStatus::kTimedOut, false,
+                   "catfish client: response timed out");
     }
     std::this_thread::yield();
   }
@@ -138,6 +292,7 @@ msg::Message RTreeClient::AwaitMessage() {
 
 std::vector<rtree::Entry> RTreeClient::SearchFast(const geo::Rect& rect) {
   PumpPending();
+  EnsureUsable(/*fast_path=*/true);
   CATFISH_SCOPED_TIMER_US("catfish.client.search_fast_us");
   const bool own_trace = BeginTrace("search.fast");
   const uint64_t req_id = ++next_req_id_;
@@ -190,6 +345,7 @@ std::vector<rtree::Entry> RTreeClient::SearchFast(const geo::Rect& rect) {
 std::vector<rtree::Entry> RTreeClient::NearestNeighbors(
     const geo::Point& point, uint32_t k) {
   PumpPending();
+  EnsureUsable(/*fast_path=*/true);
   const uint64_t req_id = ++next_req_id_;
   SendRequest(msg::MsgType::kKnnReq,
               msg::Encode(msg::KnnRequest{req_id, point, k}));
@@ -247,6 +403,7 @@ void RTreeClient::ProcessNode(const rtree::NodeData& node,
 std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
     const geo::Rect& rect, rtree::TraversalTrace* trace) {
   PumpPending();
+  EnsureUsable(/*fast_path=*/false);
   if (trace) trace->nodes_per_level.clear();
   CATFISH_SCOPED_TIMER_US("catfish.client.search_offload_us");
   const bool own_trace = BeginTrace("search.offload");
@@ -324,9 +481,12 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
           });
       if (st != remote::FetchStatus::kOk) {
         AccountEngineDelta(engine_round_before);
-        throw std::runtime_error(
+        throw ClientError(
+            st == remote::FetchStatus::kTransportError
+                ? ClientStatus::kTransportError
+                : ClientStatus::kRetriesExhausted,
             std::string("catfish client: offloaded read failed: ") +
-            remote::ToString(st));
+                remote::ToString(st));
       }
     } else {
       // One READ at a time: every node access pays a full round trip
@@ -340,9 +500,12 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
             });
         if (st != remote::FetchStatus::kOk) {
           AccountEngineDelta(engine_round_before);
-          throw std::runtime_error(
+          throw ClientError(
+              st == remote::FetchStatus::kTransportError
+                  ? ClientStatus::kTransportError
+                  : ClientStatus::kRetriesExhausted,
               std::string("catfish client: offloaded read failed: ") +
-              remote::ToString(st));
+                  remote::ToString(st));
         }
         ProcessNode(node, rect, results, next);
         if (use_cache && !node.IsLeaf()) node_cache_[id] = node;
@@ -384,6 +547,7 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
 
 std::vector<rtree::Entry> RTreeClient::Search(const geo::Rect& rect) {
   PumpPending();
+  EnsureUsable(/*fast_path=*/false);
   const bool own_trace = BeginTrace("search");
   auto decide_span = telemetry::kInvalidSpan;
   if (own_trace) {
@@ -402,6 +566,12 @@ std::vector<rtree::Entry> RTreeClient::Search(const geo::Rect& rect) {
     default:
       mode = controller_.NextMode(NowMicros());
       break;
+  }
+  // Degraded routing: with the watchdog tripped, the ring path would
+  // only burn its deadline against a silent server — one-sided reads of
+  // the last-known arena are the only useful work left.
+  if (conn_state_ != ConnState::kConnected) {
+    mode = AccessMode::kRdmaOffloading;
   }
   // Mode-switch counting lives in AdaptiveController::Record (the
   // adaptive.mode_switches counter + kModeSwitch flight-recorder event).
@@ -439,6 +609,7 @@ bool RTreeClient::AwaitWriteAck(uint64_t req_id) {
 
 bool RTreeClient::Insert(const geo::Rect& rect, uint64_t id) {
   PumpPending();
+  EnsureUsable(/*fast_path=*/true);
   const uint64_t req_id = ++next_req_id_;
   SendRequest(msg::MsgType::kInsertReq,
               msg::Encode(msg::InsertRequest{req_id, rect, id}));
@@ -449,6 +620,7 @@ bool RTreeClient::Insert(const geo::Rect& rect, uint64_t id) {
 
 bool RTreeClient::Delete(const geo::Rect& rect, uint64_t id) {
   PumpPending();
+  EnsureUsable(/*fast_path=*/true);
   const uint64_t req_id = ++next_req_id_;
   SendRequest(msg::MsgType::kDeleteReq,
               msg::Encode(msg::DeleteRequest{req_id, rect, id}));

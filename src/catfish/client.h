@@ -37,6 +37,54 @@ namespace catfish {
 
 enum class ClientMode : uint8_t { kAdaptive, kFastOnly, kOffloadOnly };
 
+/// Typed outcome classes for client-side failures. Carried by
+/// ClientError so callers can branch on *why* an operation failed
+/// instead of parsing what() strings.
+enum class ClientStatus : uint8_t {
+  kOk = 0,
+  kTimedOut,          ///< request sent, response deadline expired
+  kRingStalled,       ///< request ring never opened within the deadline
+  kDisconnected,      ///< liveness watchdog declared the server dead
+  kTransportError,    ///< one-sided fetch failed (QP error/partition/restart)
+  kRetriesExhausted,  ///< offload validation ran out of attempts
+  kReconnectFailed,   ///< re-bootstrap did not produce a connection
+};
+
+const char* ToString(ClientStatus s) noexcept;
+
+/// Client failure exception. Derives from std::runtime_error so callers
+/// that predate typed statuses keep working unchanged.
+class ClientError : public std::runtime_error {
+ public:
+  ClientError(ClientStatus status, const std::string& what)
+      : std::runtime_error(what), status_(status) {}
+  ClientStatus status() const noexcept { return status_; }
+
+ private:
+  ClientStatus status_;
+};
+
+/// Connection liveness as judged by the heartbeat watchdog.
+enum class ConnState : uint8_t { kConnected, kSuspect, kDisconnected };
+
+/// The liveness watchdog (failover layer): heartbeats are the server's
+/// only unsolicited traffic, so K missed heartbeat intervals escalate
+/// Connected → Suspect → Disconnected. While degraded, fast-path ops
+/// fail fast with kDisconnected instead of burning the request timeout;
+/// offloaded reads keep serving from the last-known arena (one-sided
+/// READs need no server CPU). With a reconnect handshake installed
+/// (see ConnectViaBootstrap's dial overload), Disconnected triggers a
+/// re-bootstrap at the next operation.
+struct WatchdogConfig {
+  /// Off by default: clients without heartbeat traffic (fast-only test
+  /// rigs, idle periods) must not spuriously disconnect.
+  bool enabled = false;
+  /// Missed heartbeat intervals before Connected → Suspect.
+  uint32_t suspect_after = 3;
+  /// Missed heartbeat intervals before → Disconnected.
+  uint32_t disconnect_after = 10;
+};
+
 struct ClientConfig {
   ClientMode mode = ClientMode::kAdaptive;
   AdaptiveConfig adaptive;
@@ -56,6 +104,9 @@ struct ClientConfig {
   uint64_t seed = 1;
   /// Abort a stuck request after this long (guards tests/examples).
   uint64_t request_timeout_us = 30'000'000;
+  /// Liveness watchdog; interval length comes from
+  /// `adaptive.heartbeat_interval_us` (the server's advertised Inv).
+  WatchdogConfig watchdog;
   /// Bounds on the offload path's version-validated reads (the shared
   /// remote engine's capped-backoff retry loop, src/remote).
   remote::RetryPolicy remote_retry;
@@ -77,6 +128,9 @@ struct ClientStats {
   uint64_t heartbeats_received = 0;
   uint64_t cache_hits = 0;        ///< internal nodes served from cache
   uint64_t cache_invalidations = 0;
+  uint64_t timeouts = 0;          ///< fast-path deadline expiries
+  uint64_t watchdog_trips = 0;    ///< Connected→Suspect/Disconnected edges
+  uint64_t reconnects = 0;        ///< successful re-bootstraps
 };
 
 class RTreeClient {
@@ -123,6 +177,30 @@ class RTreeClient {
   /// Deletes via the server. False when the entry did not exist.
   bool Delete(const geo::Rect& rect, uint64_t id);
 
+  /// Drains pending responses (heartbeats feed the adaptive controller
+  /// and the watchdog) and advances the liveness state machine without
+  /// issuing a request. Tests and idle loops use it to observe
+  /// Connected → Suspect → Disconnected transitions; it never
+  /// reconnects on its own.
+  void Poll();
+
+  /// Installs (or replaces) the handshake used for re-bootstrap after
+  /// the watchdog reaches Disconnected. ConnectViaBootstrap's dial
+  /// overload installs one automatically.
+  void SetReconnectHandshake(HandshakeFn shake) {
+    reconnect_shake_ = std::move(shake);
+  }
+
+  /// Tears down the old QP/rings and re-runs the bootstrap handshake:
+  /// fresh QP + CQs, fresh response ring + registrations, node cache
+  /// dropped, watchdog reset. Returns kOk or kReconnectFailed (the
+  /// client stays Disconnected on failure and may be retried).
+  ClientStatus Reconnect();
+
+  ConnState conn_state() const noexcept { return conn_state_; }
+  /// The generation of the server incarnation we are wired against.
+  uint64_t server_generation() const noexcept { return boot_.generation; }
+
   /// The mode the last Search() used.
   AccessMode last_mode() const noexcept { return last_mode_; }
 
@@ -138,6 +216,28 @@ class RTreeClient {
   uint32_t tree_height() const noexcept { return boot_.tree_height; }
 
  private:
+  /// Builds everything that depends on a live connection: CQs, QP,
+  /// response ring memory + registrations, the handshake, both ring
+  /// endpoints and the fetch engine. The constructor and Reconnect()
+  /// share it.
+  void WireUp(const HandshakeFn& shake);
+
+  /// Advances the watchdog from the wall clock; escalates the liveness
+  /// state when heartbeats have been silent too long. No-op unless
+  /// cfg_.watchdog.enabled.
+  void WatchdogTick(uint64_t now_us);
+
+  /// Pre-flight for every public operation. Disconnected + reconnect
+  /// handshake → re-bootstrap (throws kReconnectFailed on failure);
+  /// Disconnected without one → fast paths fail fast with
+  /// kDisconnected, offload paths proceed against the last-known arena.
+  void EnsureUsable(bool fast_path);
+
+  /// Typed deadline failure: counts catfish.client.timeouts, records a
+  /// kRequestTimeout event, throws ClientError(status).
+  [[noreturn]] void FailDeadline(ClientStatus status, bool ring_stalled,
+                                 const char* what);
+
   void SendRequest(msg::MsgType type, std::span<const std::byte> payload);
   /// Drains ready responses; heartbeats feed the controller. Non-wire
   /// messages for the in-flight request land in pending_*.
@@ -168,9 +268,19 @@ class RTreeClient {
   std::shared_ptr<rdma::CompletionQueue> recv_cq_;
   std::shared_ptr<rdma::QueuePair> qp_;
   std::vector<std::byte> response_ring_mem_;
+  /// Response rings from previous incarnations, kept mapped until the
+  /// client dies: their rkeys stay registered with the node, and a
+  /// straggler write against freed memory must stay impossible even if
+  /// an old peer outlives its closed QP.
+  std::vector<std::vector<std::byte>> retired_ring_mem_;
   alignas(8) std::array<std::byte, 8> request_ack_cell_{};
   std::unique_ptr<msg::RingSender> request_tx_;
   std::unique_ptr<msg::RingReceiver> response_rx_;
+
+  /// Failover state (see WatchdogConfig).
+  HandshakeFn reconnect_shake_;
+  ConnState conn_state_ = ConnState::kConnected;
+  uint64_t last_heartbeat_us_ = 0;  ///< also set at (re)connect time
 
   /// One-sided access to the server's arena: the QP transport plus the
   /// shared read→validate→retry engine (src/remote) the offload path

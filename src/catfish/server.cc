@@ -67,6 +67,7 @@ ServerBootstrap RTreeServer::AcceptConnection(const ClientBootstrap& client) {
   boot.root = tree_->root();
   boot.chunk_size = tree_->arena().chunk_size();
   boot.tree_height = tree_->height();
+  boot.generation = node_->generation();
 
   Connection* raw = conn.get();
   {
@@ -261,8 +262,8 @@ void RTreeServer::MonitorLoop() {
     const double advertised = overridden >= 0.0 ? overridden : util;
     CATFISH_EVENT(kUtilization, NowMicros(), hb_seq + 1, util, advertised);
 
-    const auto hb = msg::Encode(
-        msg::Heartbeat{++hb_seq, advertised, tree_->write_epoch()});
+    const auto hb = msg::Encode(msg::Heartbeat{
+        ++hb_seq, advertised, tree_->write_epoch(), node_->generation()});
     const std::scoped_lock lock(conns_mu_);
     for (auto& conn : conns_) {
       const std::scoped_lock send_lock(conn->send_mu);

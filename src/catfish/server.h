@@ -61,6 +61,10 @@ struct ServerBootstrap {
   rtree::ChunkId root = rtree::kRootChunk;
   size_t chunk_size = 0;
   uint32_t tree_height = 0;
+  /// The server node's incarnation (rdma::SimNode::generation). Bumped
+  /// by a restart; the client's failover path compares it to decide
+  /// whether cached rkeys/ring wiring survived.
+  uint64_t generation = 0;
 };
 
 /// What the server must learn about the client side.

@@ -50,6 +50,23 @@ inline void RelaxedCopy(std::byte* dst, const std::byte* src,
   }
 }
 
+/// Zeroes `n` bytes with the same relaxed word-sized atomic accesses as
+/// RelaxedCopy, for regions a remote QP may write concurrently (a ring
+/// receiver clearing consumed frames while the next WRITE is landing).
+inline void RelaxedZero(std::byte* dst, size_t n) noexcept {
+  size_t off = 0;
+  if (reinterpret_cast<uintptr_t>(dst) % alignof(uint32_t) == 0) {
+    for (; off + sizeof(uint32_t) <= n; off += sizeof(uint32_t)) {
+      std::atomic_ref<uint32_t>(*reinterpret_cast<uint32_t*>(dst + off))
+          .store(0, std::memory_order_relaxed);
+    }
+  }
+  for (; off < n; ++off) {
+    std::atomic_ref<std::byte>(dst[off]).store(std::byte{0},
+                                               std::memory_order_relaxed);
+  }
+}
+
 template <typename T>
 concept TriviallyCopyable = std::is_trivially_copyable_v<T>;
 

@@ -99,20 +99,22 @@ std::optional<WriteAck> DecodeWriteAck(std::span<const std::byte> payload) {
 }
 
 std::vector<std::byte> Encode(const Heartbeat& v) {
-  ByteWriter w(24);
+  ByteWriter w(32);
   w.Append(v.seq);
   w.Append(v.cpu_util);
   w.Append(v.tree_epoch);
+  w.Append(v.server_generation);
   return w.Take();
 }
 
 std::optional<Heartbeat> DecodeHeartbeat(std::span<const std::byte> payload) {
-  if (payload.size() != 24) return std::nullopt;
+  if (payload.size() != 32) return std::nullopt;
   ByteReader r(payload);
   Heartbeat v;
   v.seq = r.Read<uint64_t>();
   v.cpu_util = r.Read<double>();
   v.tree_epoch = r.Read<uint64_t>();
+  v.server_generation = r.Read<uint64_t>();
   return v;
 }
 

@@ -70,6 +70,10 @@ struct Heartbeat {
   uint64_t seq = 0;
   double cpu_util = 0.0;  ///< in [0,1]
   uint64_t tree_epoch = 0;
+  /// The server incarnation emitting this heartbeat (SimNode generation,
+  /// also carried in the bootstrap hello). A client that sees it change
+  /// knows its cached tree state came from a dead server.
+  uint64_t server_generation = 0;
 };
 
 /// One segment of a search response; a full response is one or more

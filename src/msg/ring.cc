@@ -143,7 +143,7 @@ std::optional<Message> RingReceiver::TryReceive() {
 
     if (size_word == kPadMarker) {
       const size_t contiguous = ring_.size() - pos;
-      std::memset(ring_.data() + pos, 0, sizeof(uint32_t));
+      RelaxedZero(ring_.data() + pos, sizeof(uint32_t));
       head_ += contiguous;
       Ack();
       continue;  // the real message is at offset 0
@@ -161,8 +161,14 @@ std::optional<Message> RingReceiver::TryReceive() {
       return std::nullopt;
     }
 
+    // Lift the frame out of the ring with the same relaxed atomics the
+    // simulated NIC writes it with (common/bytes.h): the region is
+    // racily shared by protocol design, and only the private copy may
+    // be parsed with plain loads.
+    scratch_.resize(size_word);
+    RelaxedCopy(scratch_.data(), ring_.data() + pos, size_word);
     Message out;
-    const std::span<const std::byte> frame(ring_.data() + pos, size_word);
+    const std::span<const std::byte> frame(scratch_.data(), size_word);
     const auto payload_len = LoadPod<uint32_t>(frame, 4);
     out.type = LoadPod<uint16_t>(frame, 8);
     out.flags = LoadPod<uint16_t>(frame, 10);
@@ -171,7 +177,7 @@ std::optional<Message> RingReceiver::TryReceive() {
 
     // Zero before advancing: the sender may reuse this region the moment
     // the ack lands, and the poll protocol relies on reading zeroes.
-    std::memset(ring_.data() + pos, 0, size_word);
+    RelaxedZero(ring_.data() + pos, size_word);
     head_ += size_word;
     Ack();
     CATFISH_COUNT("msg.ring.msgs_received");

@@ -116,6 +116,9 @@ class RingReceiver {
   rdma::RemoteAddr remote_ack_;
   uint64_t head_ = 0;  // absolute byte counter
   uint64_t wr_id_ = 0;
+  /// Reusable frame copy: ring memory is racily shared with the remote
+  /// QP, so frames are lifted out atomically before parsing.
+  std::vector<std::byte> scratch_;
   std::vector<std::byte> ack_buf_;
 };
 

@@ -30,6 +30,8 @@ enum class WcStatus : uint8_t {
   kSuccess,
   kFlushed,             ///< QP torn down with the request outstanding
   kRemoteAccessError,   ///< remote address outside the registered region
+  kRetryExceeded,       ///< transport retries exhausted (partition / drop)
+  kQpError,             ///< QP is in the error state; post refused
 };
 
 struct WorkCompletion {

@@ -3,7 +3,9 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "common/clock.h"
 #include "rtree/layout.h"
+#include "telemetry/events.h"
 #include "telemetry/metrics.h"
 
 namespace catfish::rdma {
@@ -17,6 +19,76 @@ void LineCopy(std::byte* dst, const std::byte* src, size_t n) noexcept {
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// FaultController
+// ---------------------------------------------------------------------------
+
+std::string FaultController::Key(const std::string& a, const std::string& b) {
+  // Links are undirected: one entry per unordered node-name pair.
+  return a < b ? a + "\x1f" + b : b + "\x1f" + a;
+}
+
+void FaultController::Partition(const std::string& a, const std::string& b) {
+  const std::scoped_lock lock(mu_);
+  links_[Key(a, b)].partitioned = true;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultController::Heal(const std::string& a, const std::string& b) {
+  const std::scoped_lock lock(mu_);
+  const auto it = links_.find(Key(a, b));
+  if (it != links_.end()) it->second.partitioned = false;
+}
+
+bool FaultController::Partitioned(const std::string& a,
+                                  const std::string& b) const {
+  const std::scoped_lock lock(mu_);
+  const auto it = links_.find(Key(a, b));
+  return it != links_.end() && it->second.partitioned;
+}
+
+void FaultController::SetDropPlan(const std::string& a, const std::string& b,
+                                  DropPlan plan) {
+  const std::scoped_lock lock(mu_);
+  Link& link = links_[Key(a, b)];
+  link.drop = plan;
+  link.ops = 0;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultController::ClearLink(const std::string& a, const std::string& b) {
+  const std::scoped_lock lock(mu_);
+  links_.erase(Key(a, b));
+  if (links_.empty()) armed_.store(false, std::memory_order_release);
+}
+
+void FaultController::Clear() {
+  const std::scoped_lock lock(mu_);
+  links_.clear();
+  armed_.store(false, std::memory_order_release);
+}
+
+void FaultController::FailQp(QueuePair& qp) { qp.EnterErrorState(); }
+
+bool FaultController::ShouldFail(const std::string& local,
+                                 const std::string& peer) {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  bool fail = false;
+  {
+    const std::scoped_lock lock(mu_);
+    const auto it = links_.find(Key(local, peer));
+    if (it == links_.end()) return false;
+    Link& link = it->second;
+    fail = link.partitioned || link.drop.Hits(link.ops);
+    ++link.ops;
+  }
+  if (fail) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    CATFISH_COUNT("rdma.fault.dropped_ops");
+  }
+  return fail;
+}
 
 // ---------------------------------------------------------------------------
 // SimNode
@@ -54,6 +126,34 @@ std::span<std::byte> SimNode::ResolveMr(uint32_t rkey) const {
   const std::scoped_lock lock(mu_);
   if (rkey == 0 || rkey > regions_.size()) return {};
   return regions_[rkey - 1];
+}
+
+void SimNode::DeregisterAll() {
+  // Exclusive on mr_mu_: in-flight copies hold it shared, so acquiring
+  // it waits them out; afterwards stale rkeys resolve an empty span.
+  const std::unique_lock barrier(mr_mu_);
+  const std::scoped_lock lock(mu_);
+  regions_.clear();
+}
+
+void SimNode::Invalidate() {
+  std::vector<std::shared_ptr<QueuePair>> live;
+  {
+    // Same in-flight barrier as DeregisterAll: a reboot must not yank
+    // memory out from under a copy the NIC already started serving.
+    const std::unique_lock barrier(mr_mu_);
+    const std::scoped_lock lock(mu_);
+    regions_.clear();  // stale rkeys now fail with kRemoteAccessError
+    for (auto& [num, weak] : qps_) {
+      if (auto qp = weak.lock()) live.push_back(std::move(qp));
+    }
+    qps_.clear();  // stale QPNs no longer resolve via FindQp
+  }
+  // Close + error outside mu_: Close reaches into the peer QP's state.
+  for (auto& qp : live) {
+    qp->EnterErrorState();
+    qp->Close();
+  }
 }
 
 void SimNode::CountSent(uint64_t bytes) {
@@ -106,7 +206,22 @@ void QueuePair::Connect(const std::shared_ptr<QueuePair>& a,
 
 bool QueuePair::connected() const {
   const std::scoped_lock lock(peer_mu_);
-  return !closed_ && !peer_.expired();
+  return !closed_ && !error_ && !peer_.expired();
+}
+
+bool QueuePair::in_error() const {
+  const std::scoped_lock lock(peer_mu_);
+  return error_;
+}
+
+void QueuePair::EnterErrorState() {
+  {
+    const std::scoped_lock lock(peer_mu_);
+    if (error_) return;
+    error_ = true;
+  }
+  CATFISH_COUNT("rdma.qp.errors");
+  CATFISH_EVENT(kQpError, NowMicros(), qp_num_, 0.0, 0.0);
 }
 
 void QueuePair::Close() {
@@ -135,6 +250,34 @@ void QueuePair::CompleteLocal(uint64_t wr_id, Opcode op, WcStatus status,
   send_cq_->Push(wc);
 }
 
+bool QueuePair::CheckPostFaults(uint64_t wr_id, Opcode op,
+                                std::shared_ptr<SimNode>& peer_node) {
+  std::shared_ptr<QueuePair> peer;
+  {
+    const std::scoped_lock lock(peer_mu_);
+    if (error_) {
+      // ERR is checked before closed: a QP that was errored and then
+      // torn down keeps reporting the error, like real hardware.
+      CompleteLocal(wr_id, op, WcStatus::kQpError, 0);
+      return false;
+    }
+    peer = peer_.lock();
+    peer_node = peer_node_;
+    if (closed_ || !peer) {
+      CompleteLocal(wr_id, op, WcStatus::kFlushed, 0);
+      return false;
+    }
+  }
+  // Scripted faults fire before any byte moves, so a dropped ring write
+  // can never leave a partially-written record behind.
+  if (node_->fabric_ != nullptr &&
+      node_->fabric_->faults().ShouldFail(node_->name_, peer_node->name_)) {
+    CompleteLocal(wr_id, op, WcStatus::kRetryExceeded, 0);
+    return false;
+  }
+  return true;
+}
+
 QpOpStats QueuePair::op_stats() const noexcept {
   QpOpStats s;
   s.writes_posted = writes_posted_.load(std::memory_order_relaxed);
@@ -152,17 +295,11 @@ bool QueuePair::PostWrite(uint64_t wr_id, std::span<const std::byte> local,
   write_bytes_.fetch_add(local.size(), std::memory_order_relaxed);
   CATFISH_COUNT("rdma.write.posted");
   CATFISH_COUNT_ADD("rdma.write.bytes", local.size());
-  std::shared_ptr<QueuePair> peer;
   std::shared_ptr<SimNode> peer_node;
-  {
-    const std::scoped_lock lock(peer_mu_);
-    peer = peer_.lock();
-    peer_node = peer_node_;
-    if (closed_ || !peer) {
-      CompleteLocal(wr_id, Opcode::kWrite, WcStatus::kFlushed, 0);
-      return false;
-    }
-  }
+  if (!CheckPostFaults(wr_id, Opcode::kWrite, peer_node)) return false;
+  // In-flight guard: holds off DeregisterAll/Invalidate until the copy
+  // lands, so owners can free registered memory after a quiesce.
+  const std::shared_lock region_guard(peer_node->mr_mu_);
   const auto region = peer_node->ResolveMr(dst.rkey);
   if (dst.offset + local.size() > region.size()) {
     CompleteLocal(wr_id, Opcode::kWrite, WcStatus::kRemoteAccessError, 0);
@@ -212,14 +349,8 @@ bool QueuePair::PostRead(uint64_t wr_id, std::span<std::byte> local,
   CATFISH_COUNT("rdma.read.posted");
   CATFISH_COUNT_ADD("rdma.read.bytes", local.size());
   std::shared_ptr<SimNode> peer_node;
-  {
-    const std::scoped_lock lock(peer_mu_);
-    if (closed_ || peer_.expired()) {
-      CompleteLocal(wr_id, Opcode::kRead, WcStatus::kFlushed, 0);
-      return false;
-    }
-    peer_node = peer_node_;
-  }
+  if (!CheckPostFaults(wr_id, Opcode::kRead, peer_node)) return false;
+  const std::shared_lock region_guard(peer_node->mr_mu_);
   const auto region = peer_node->ResolveMr(src.rkey);
   if (src.offset + local.size() > region.size()) {
     CompleteLocal(wr_id, Opcode::kRead, WcStatus::kRemoteAccessError, 0);
@@ -243,8 +374,9 @@ bool QueuePair::PostRead(uint64_t wr_id, std::span<std::byte> local,
 // ---------------------------------------------------------------------------
 
 std::shared_ptr<SimNode> Fabric::CreateNode(std::string name) {
-  auto node = std::shared_ptr<SimNode>(new SimNode(name));
   const std::scoped_lock lock(mu_);
+  const uint64_t generation = ++generations_[name];
+  auto node = std::shared_ptr<SimNode>(new SimNode(name, this, generation));
   nodes_[std::move(name)] = node;
   return node;
 }
@@ -253,6 +385,18 @@ std::shared_ptr<SimNode> Fabric::FindNode(const std::string& name) const {
   const std::scoped_lock lock(mu_);
   const auto it = nodes_.find(name);
   return it == nodes_.end() ? nullptr : it->second.lock();
+}
+
+std::shared_ptr<SimNode> Fabric::RestartNode(const std::string& name) {
+  std::shared_ptr<SimNode> old;
+  {
+    const std::scoped_lock lock(mu_);
+    const auto it = nodes_.find(name);
+    if (it != nodes_.end()) old = it->second.lock();
+  }
+  // Invalidate outside mu_: it closes QPs, which reaches peer state.
+  if (old) old->Invalidate();
+  return CreateNode(name);
 }
 
 }  // namespace catfish::rdma

@@ -17,12 +17,16 @@
 //
 // Timing is NOT injected here (operations execute synchronously); the
 // fabric profiles parameterize the discrete-event simulator instead.
+// Failures ARE injectable: Fabric::faults() scripts partitions, flaky
+// links and QP error transitions, and Fabric::RestartNode models a full
+// server reboot (see FaultController below).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -35,6 +39,7 @@ namespace catfish::rdma {
 
 class SimNode;
 class QueuePair;
+class Fabric;
 
 /// Remote memory location: a registration key plus a byte offset into
 /// that registration. (Real verbs use virtual addresses; offsets against
@@ -63,10 +68,88 @@ struct NicStats {
   uint64_t imm_delivered = 0;
 };
 
+/// Scripted fabric faults, owned by the Fabric (fault injection below
+/// the transport layer — DESIGN.md "fault domains"). Three independent
+/// primitives, mirroring how failures surface on real RC hardware:
+///
+///  * partitions   — every op between two named nodes fails with
+///                   kRetryExceeded (the NIC's retransmission budget
+///                   keeps exhausting) until the link is healed;
+///  * drop plans   — a flaky link fails individual ops by ordinal; the
+///                   QP stays usable, so sender retry loops and the
+///                   remote engine's bounded backoff absorb the loss;
+///  * QP error     — FailQp is the ibv modify-to-ERR transition: sticky,
+///                   every later post refused with kQpError. Recovery
+///                   requires a new QP (i.e. a reconnect).
+///
+/// All methods are thread-safe. Ops on faulted links fail before any
+/// byte moves, so rings never see partially-written records.
+class FaultController {
+ public:
+  /// Which per-link op ordinals a flaky link drops (same shape as the
+  /// transport-level remote::FaultPlan, counted per node pair here).
+  struct DropPlan {
+    uint64_t first = 0;  ///< drop the first `first` ops
+    uint64_t every = 0;  ///< additionally drop every `every`-th op (0 = off)
+    bool Hits(uint64_t ordinal) const noexcept {
+      if (ordinal < first) return true;
+      return every != 0 && (ordinal + 1) % every == 0;
+    }
+  };
+
+  /// Cuts both directions between the named nodes until Heal.
+  void Partition(const std::string& a, const std::string& b);
+  void Heal(const std::string& a, const std::string& b);
+  bool Partitioned(const std::string& a, const std::string& b) const;
+
+  /// Installs a drop plan on the link; ordinals count ops in either
+  /// direction, in post order.
+  void SetDropPlan(const std::string& a, const std::string& b, DropPlan plan);
+  /// Removes partition + drop plan from one link / from every link.
+  void ClearLink(const std::string& a, const std::string& b);
+  void Clear();
+
+  /// Transitions `qp` into the sticky error state (ibv QP → ERR).
+  static void FailQp(QueuePair& qp);
+
+  /// Ops failed by partitions/drop plans so far (diagnostics).
+  uint64_t dropped_ops() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class QueuePair;
+
+  struct Link {
+    bool partitioned = false;
+    DropPlan drop;
+    uint64_t ops = 0;  ///< ordinal counter for the drop plan
+  };
+
+  /// Consulted by every post touching the wire; counts the op against
+  /// the link's drop plan and returns true when it must fail.
+  bool ShouldFail(const std::string& local, const std::string& peer);
+
+  static std::string Key(const std::string& a, const std::string& b);
+
+  /// Fast-path gate: posts skip the mutex entirely until the first
+  /// fault is installed (stays set until Clear empties the table).
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Link> links_;
+};
+
 /// One machine's RDMA device. Created through Fabric::CreateNode.
 class SimNode : public std::enable_shared_from_this<SimNode> {
  public:
   const std::string& name() const noexcept { return name_; }
+
+  /// Which incarnation of this node name this is: 1 for the first
+  /// CreateNode("x"), bumped by every re-create/restart under the same
+  /// name. Carried through the bootstrap handshake so clients can tell
+  /// a restarted server from the one they wired against.
+  uint64_t generation() const noexcept { return generation_; }
 
   /// Registers `mem` with the NIC and returns the rkey handle. The memory
   /// must outlive the node. Registration is done once for the whole
@@ -84,6 +167,14 @@ class SimNode : public std::enable_shared_from_this<SimNode> {
   NicStats stats() const;
   void ResetStats();
 
+  /// Deregisters every memory region after waiting out in-flight
+  /// one-sided ops against this node — the sim equivalent of
+  /// ibv_dereg_mr draining the NIC. Close the node's QPs first so no
+  /// new op can begin; once this returns, the owner may free the
+  /// registered bytes (late ops resolve nothing and fail with
+  /// kRemoteAccessError without touching memory).
+  void DeregisterAll();
+
   /// Resolves a locally created QP by number — what the connection
   /// manager does with the QPN a peer sent over the bootstrap channel.
   std::shared_ptr<QueuePair> FindQp(uint32_t qp_num) const;
@@ -92,16 +183,32 @@ class SimNode : public std::enable_shared_from_this<SimNode> {
   friend class Fabric;
   friend class QueuePair;
 
-  explicit SimNode(std::string name) : name_(std::move(name)) {}
+  SimNode(std::string name, Fabric* fabric, uint64_t generation)
+      : name_(std::move(name)), fabric_(fabric), generation_(generation) {}
 
   /// Resolves an rkey to the registered bytes; empty span when invalid.
   std::span<std::byte> ResolveMr(uint32_t rkey) const;
+
+  /// The restart primitive's teardown half: deregisters every memory
+  /// region (stale rkeys resolve to nothing) and closes + errors every
+  /// QP — what a host reboot does to its NIC state. Called by
+  /// Fabric::RestartNode on the old incarnation.
+  void Invalidate();
 
   void CountSent(uint64_t bytes);
   void CountReceived(uint64_t bytes);
 
   std::string name_;
+  /// The owning fabric (for fault checks on the data path). Nodes are
+  /// only created by Fabric::CreateNode and must not outlive it.
+  Fabric* fabric_;
+  uint64_t generation_;
   mutable std::mutex mu_;
+  /// Region lifetime barrier: the data path holds it shared for the
+  /// duration of a copy into/out of this node's registered memory;
+  /// DeregisterAll/Invalidate take it exclusive to wait those copies
+  /// out before the regions (and their backing bytes) go away.
+  mutable std::shared_mutex mr_mu_;
   std::vector<std::span<std::byte>> regions_;
   std::unordered_map<uint32_t, std::weak_ptr<QueuePair>> qps_;
   std::atomic<uint32_t> next_qp_num_{1};
@@ -158,7 +265,12 @@ class QueuePair {
   /// Tears the connection down; subsequent posts fail with kFlushed.
   void Close();
 
+  /// Sticky error transition (ibv QP → ERR): subsequent posts fail with
+  /// kQpError completions. Also reachable via FaultController::FailQp.
+  void EnterErrorState();
+
   bool connected() const;
+  bool in_error() const;
 
  private:
   friend class SimNode;
@@ -179,10 +291,17 @@ class QueuePair {
   std::shared_ptr<CompletionQueue> send_cq_;
   std::shared_ptr<CompletionQueue> recv_cq_;
 
+  /// Fault gate shared by every post: kQpError when errored, kFlushed
+  /// when closed, kRetryExceeded when the fault controller fails the op.
+  /// Fills `peer_node` on success.
+  bool CheckPostFaults(uint64_t wr_id, Opcode op,
+                       std::shared_ptr<SimNode>& peer_node);
+
   mutable std::mutex peer_mu_;
   std::weak_ptr<QueuePair> peer_;
   std::shared_ptr<SimNode> peer_node_;
   bool closed_ = false;
+  bool error_ = false;
 
   std::atomic<uint64_t> writes_posted_{0};
   std::atomic<uint64_t> write_bytes_{0};
@@ -206,12 +325,25 @@ class Fabric {
   /// Looks a node up by name; nullptr when unknown.
   std::shared_ptr<SimNode> FindNode(const std::string& name) const;
 
+  /// Server-restart primitive: invalidates the current incarnation of
+  /// `name` (stale rkeys/QPNs die, peers' QPs get closed + errored —
+  /// what a host reboot looks like from the fabric) and registers a
+  /// fresh node under the same name with a bumped generation. Works
+  /// like CreateNode when the name is unknown.
+  std::shared_ptr<SimNode> RestartNode(const std::string& name);
+
+  /// Scripted faults on this fabric's links (chaos testing).
+  FaultController& faults() noexcept { return faults_; }
+
   const FabricProfile& profile() const noexcept { return profile_; }
 
  private:
   FabricProfile profile_;
+  FaultController faults_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::weak_ptr<SimNode>> nodes_;
+  /// Incarnation counters per node name (survive node destruction).
+  std::unordered_map<std::string, uint64_t> generations_;
 };
 
 }  // namespace catfish::rdma

@@ -117,53 +117,75 @@ FetchStatus VersionedFetchEngine::FetchMany(std::span<const Request> reqs,
   attempts_.assign(reqs.size(), 0);
 
   FetchStatus result = FetchStatus::kOk;
-  // §IV-C: every independent READ of the round goes on the wire before
-  // we wait for the first completion.
-  for (size_t i = 0; i < reqs.size(); ++i) {
-    attempts_[i] = 1;
+  // Posts the transport refuses synchronously (fabric drop plan, QP in
+  // error state) consume an attempt like a failed completion would, so a
+  // flaky link is absorbed by the same bounded retry stream instead of
+  // aborting the whole batch on the first refusal.
+  std::vector<size_t> sync_failed;
+  const auto IssueOne = [&](size_t i) {
     ++stats_.reads;
     Bump(m_reads_);
     Bump(m_all_reads_);
     if (!batch.Post(i, reqs[i].id, reqs[i].buf)) {
       ++stats_.transport_errors;
       Bump(m_transport_errors_);
-      result = FetchStatus::kTransportError;
-      break;
+      sync_failed.push_back(i);
     }
+  };
+
+  // §IV-C: every independent READ of the round goes on the wire before
+  // we wait for the first completion.
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    attempts_[i] = 1;
+    IssueOne(i);
   }
 
   std::vector<size_t> repost;
   FetchCompletion wcs[16];
-  while (batch.outstanding() > 0) {
-    const size_t n = batch.WaitAny(wcs);
-    for (size_t k = 0; k < n; ++k) {
-      const size_t i = static_cast<size_t>(wcs[k].token);
-      if (i >= reqs.size()) continue;  // stray completion: not ours
-      if (result != FetchStatus::kOk) continue;  // failing: just drain
-      if (wcs[k].ok) {
-        if (validate(i, reqs[i].buf)) continue;  // item done
-        ++stats_.version_retries;
-        Bump(m_retries_);
-        Bump(m_all_retries_);
-      } else {
-        ++stats_.transport_errors;
-        Bump(m_transport_errors_);
-      }
+  for (;;) {
+    for (const size_t i : sync_failed) {
+      if (result != FetchStatus::kOk) break;
       if (attempts_[i] >= max_attempts) {
-        if (wcs[k].ok) {
-          ++stats_.retry_exhausted;
-          Bump(m_exhausted_);
-          CATFISH_EVENT(kRetryExhausted, NowMicros(),
-                        std::hash<std::string>{}(name_),
-                        static_cast<double>(attempts_[i]),
-                        static_cast<double>(reqs.size()));
-          result = FetchStatus::kRetriesExhausted;
-        } else {
-          result = FetchStatus::kTransportError;
-        }
-        continue;
+        result = FetchStatus::kTransportError;
+        break;
       }
       repost.push_back(i);
+    }
+    sync_failed.clear();
+    if (result != FetchStatus::kOk) repost.clear();
+    if (batch.outstanding() == 0 && repost.empty()) break;
+
+    if (batch.outstanding() > 0) {
+      const size_t n = batch.WaitAny(wcs);
+      for (size_t k = 0; k < n; ++k) {
+        const size_t i = static_cast<size_t>(wcs[k].token);
+        if (i >= reqs.size()) continue;  // stray completion: not ours
+        if (result != FetchStatus::kOk) continue;  // failing: just drain
+        if (wcs[k].ok) {
+          if (validate(i, reqs[i].buf)) continue;  // item done
+          ++stats_.version_retries;
+          Bump(m_retries_);
+          Bump(m_all_retries_);
+        } else {
+          ++stats_.transport_errors;
+          Bump(m_transport_errors_);
+        }
+        if (attempts_[i] >= max_attempts) {
+          if (wcs[k].ok) {
+            ++stats_.retry_exhausted;
+            Bump(m_exhausted_);
+            CATFISH_EVENT(kRetryExhausted, NowMicros(),
+                          std::hash<std::string>{}(name_),
+                          static_cast<double>(attempts_[i]),
+                          static_cast<double>(reqs.size()));
+            result = FetchStatus::kRetriesExhausted;
+          } else {
+            result = FetchStatus::kTransportError;
+          }
+          continue;
+        }
+        repost.push_back(i);
+      }
     }
     if (!repost.empty()) {
       if (result != FetchStatus::kOk) {
@@ -177,15 +199,7 @@ FetchStatus VersionedFetchEngine::FetchMany(std::span<const Request> reqs,
       Backoff(worst);
       for (const size_t i : repost) {
         ++attempts_[i];
-        ++stats_.reads;
-        Bump(m_reads_);
-        Bump(m_all_reads_);
-        if (!batch.Post(i, reqs[i].id, reqs[i].buf)) {
-          ++stats_.transport_errors;
-          Bump(m_transport_errors_);
-          result = FetchStatus::kTransportError;
-          break;
-        }
+        IssueOne(i);
       }
       repost.clear();
     }

@@ -49,7 +49,7 @@ class FaultInjectingTransport final : public FetchTransport {
                  std::span<std::byte> dst) override {
     const uint64_t ordinal = fetches_++;
     if (drop.Hits(ordinal)) {
-      held_.push_back(Held{FetchCompletion{token, false}, delay_polls});
+      held_.push_back(Held{FetchCompletion{token, false}, delay_polls, true});
       return true;
     }
     if (!inner_->PostFetch(token, id, dst)) return false;
@@ -59,21 +59,28 @@ class FaultInjectingTransport final : public FetchTransport {
 
   size_t PollCompletions(std::span<FetchCompletion> out) override {
     // Pull everything the inner transport has ready, apply tears, then
-    // queue through the delay line.
+    // queue through the delay line. Entries surfaced by THIS poll are
+    // marked fresh and skip this poll's aging pass — otherwise they would
+    // be delivered one poll early (after delay_polls - 1 further polls
+    // instead of delay_polls).
     FetchCompletion inner_out[16];
     size_t n;
     while ((n = inner_->PollCompletions(inner_out)) > 0) {
       for (size_t i = 0; i < n; ++i) {
         ApplyTear(inner_out[i]);
-        held_.push_back(Held{inner_out[i], delay_polls});
+        held_.push_back(Held{inner_out[i], delay_polls, true});
+      }
+    }
+    for (auto& h : held_) {
+      if (h.fresh) {
+        h.fresh = false;
+      } else if (h.polls_left > 0) {
+        --h.polls_left;
       }
     }
     size_t produced = 0;
-    for (auto& h : held_) {
-      if (h.polls_left > 0) --h.polls_left;
-    }
     while (produced < out.size() && !held_.empty() &&
-           held_.front().polls_left == 0) {
+           held_.front().polls_left == 0 && !held_.front().fresh) {
       out[produced++] = held_.front().wc;
       held_.pop_front();
     }
@@ -86,6 +93,10 @@ class FaultInjectingTransport final : public FetchTransport {
   struct Held {
     FetchCompletion wc;
     uint64_t polls_left;
+    /// Set on the poll (or post) that enqueued the entry; cleared by the
+    /// next aging pass in lieu of a decrement, so every entry waits a
+    /// full `delay_polls` polls regardless of when it was enqueued.
+    bool fresh;
   };
   struct Tear {
     uint64_t token;

@@ -8,11 +8,28 @@ namespace catfish::remote {
 // QpFetchTransport
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Fetch wr_ids carry this tag so their completions are distinguishable
+// from any other traffic sharing the QP's send CQ. Ring writes are
+// unsignaled, but their *failures* still complete (errors are always
+// signaled, as on real hardware) — without the tag a dropped ring write
+// would be misread as a failed fetch whose token happens to collide.
+constexpr uint64_t kFetchWrTag = 1ull << 63;
+
+}  // namespace
+
 bool QpFetchTransport::PostFetch(uint64_t token, ChunkId id,
                                  std::span<std::byte> dst) {
   const rdma::RemoteAddr src{
       base_.rkey, base_.offset + static_cast<uint64_t>(id) * chunk_size_};
-  return qp_->PostRead(token, dst, src);
+  // Every posted READ produces exactly one completion, success or error
+  // (QP error, fabric fault, bad rkey). Report failures through that
+  // single channel only: returning false here as well would hand the
+  // engine the same failure twice, and the duplicate retry can fetch —
+  // and validate — the same chunk twice.
+  (void)qp_->PostRead(token | kFetchWrTag, dst, src);
+  return true;
 }
 
 size_t QpFetchTransport::PollCompletions(std::span<FetchCompletion> out) {
@@ -22,8 +39,10 @@ size_t QpFetchTransport::PollCompletions(std::span<FetchCompletion> out) {
     const size_t want = std::min(out.size() - produced, std::size(wcs));
     const size_t n = cq_->Poll({wcs, want});
     for (size_t i = 0; i < n; ++i) {
+      if ((wcs[i].wr_id & kFetchWrTag) == 0) continue;  // not a fetch
       out[produced++] = FetchCompletion{
-          wcs[i].wr_id, wcs[i].status == rdma::WcStatus::kSuccess};
+          wcs[i].wr_id & ~kFetchWrTag,
+          wcs[i].status == rdma::WcStatus::kSuccess};
     }
     if (n < want) break;
   }

@@ -55,8 +55,9 @@ class FetchTransport {
 
 /// One-sided READs over an (emulated) RC queue pair: chunk `id` lives at
 /// byte offset `base.offset + id * chunk_size` of the peer's registered
-/// region `base.rkey`. The CQ must not carry completions for any other
-/// in-flight traffic (unsignaled sends keep ring writes off data CQs).
+/// region `base.rkey`. Fetch wr_ids are tagged, so stray completions on
+/// a shared CQ (e.g. error completions of unsignaled ring writes — QP
+/// errors always signal) are filtered out rather than misattributed.
 class QpFetchTransport final : public FetchTransport {
  public:
   QpFetchTransport(std::shared_ptr<rdma::QueuePair> qp,

@@ -40,6 +40,14 @@ const char* EventTypeName(EventType t) noexcept {
       return "utilization";
     case EventType::kCustom:
       return "custom";
+    case EventType::kQpError:
+      return "qp_error";
+    case EventType::kWatchdogTrip:
+      return "watchdog_trip";
+    case EventType::kReconnect:
+      return "reconnect";
+    case EventType::kRequestTimeout:
+      return "request_timeout";
   }
   return "unknown";
 }

@@ -41,6 +41,13 @@ enum class EventType : uint8_t {
   kRingStall = 5,      // a=bytes needed, b=bytes free at stall start
   kUtilization = 6,    // a=measured util, b=advertised util
   kCustom = 7,
+  kQpError = 8,        // actor=qp_num; QP dropped into the error state
+  kWatchdogTrip = 9,   // a=state (0 connected/1 suspect/2 disconnected),
+                       // b=missed heartbeat intervals
+  kReconnect = 10,     // actor=new server generation, a=old generation,
+                       // b=re-bootstrap duration (us)
+  kRequestTimeout = 11,  // a=1 ring stalled / 0 response timeout,
+                         // b=deadline budget (us)
 };
 
 /// Stable lower-case name for JSON / table export, e.g. "mode_switch".

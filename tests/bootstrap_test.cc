@@ -40,10 +40,12 @@ TEST(BootstrapCodecTest, ServerHelloRoundTrip) {
   hello.root = 1;
   hello.chunk_size = 1024;
   hello.tree_height = 3;
+  hello.generation = 7;
   const auto decoded = DecodeServerHello(Encode(hello));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->arena_length, 1u << 20);
   EXPECT_EQ(decoded->tree_height, 3u);
+  EXPECT_EQ(decoded->generation, 7u);
 }
 
 TEST(BootstrapCodecTest, DecodersRejectJunk) {
@@ -54,6 +56,30 @@ TEST(BootstrapCodecTest, DecodersRejectJunk) {
   std::vector<std::byte> evil(8);
   StorePod(evil, 0, uint32_t{0xffffffff});
   EXPECT_FALSE(DecodeClientHello(evil).has_value());
+}
+
+TEST(BootstrapCodecTest, TruncatedHellosReturnNullopt) {
+  // Every proper prefix of a valid hello must decode to nullopt — a
+  // half-delivered frame can never wire a connection.
+  WireClientHello ch;
+  ch.node_name = "client-xyz";
+  ch.qp_num = 9;
+  const auto ch_bytes = Encode(ch);
+  for (size_t n = 0; n < ch_bytes.size(); ++n) {
+    EXPECT_FALSE(
+        DecodeClientHello(std::span(ch_bytes.data(), n)).has_value())
+        << "client hello prefix of " << n << " bytes decoded";
+  }
+
+  WireServerHello sh;
+  sh.arena_length = 1 << 20;
+  sh.generation = 2;
+  const auto sh_bytes = Encode(sh);
+  for (size_t n = 0; n < sh_bytes.size(); ++n) {
+    EXPECT_FALSE(
+        DecodeServerHello(std::span(sh_bytes.data(), n)).has_value())
+        << "server hello prefix of " << n << " bytes decoded";
+  }
 }
 
 class BootstrapTest : public ::testing::Test {
@@ -154,6 +180,53 @@ TEST_F(BootstrapTest, GarbageFrameIsIgnored) {
   conn.SendFrame(kClientHelloFrame, 0, junk);
   EXPECT_FALSE(conn.RecvFrame(std::chrono::milliseconds(100)).has_value());
   EXPECT_EQ(server_->connection_count(), 0u);
+}
+
+TEST_F(BootstrapTest, DialOverloadConnectsAndReportsGeneration) {
+  auto node = fabric_->CreateNode("client-redial");
+  auto client = ConnectViaBootstrap(
+      [this] { return acceptor_->Dial(); }, node);
+  EXPECT_EQ(client->server_generation(), server_node_->generation());
+  Xoshiro256 rng(9);
+  const auto q = RandomRect(rng, 0.05);
+  EXPECT_EQ(Ids(client->SearchFast(q)), oracle_.Search(q));
+  // An explicit re-bootstrap against the same incarnation succeeds and
+  // re-wires cleanly (same generation — no restart happened).
+  EXPECT_EQ(client->Reconnect(), ClientStatus::kOk);
+  EXPECT_EQ(acceptor_->handshakes(), 2u);
+  EXPECT_EQ(Ids(client->SearchFast(q)), oracle_.Search(q));
+}
+
+TEST_F(BootstrapTest, DialRacingStopDoesNotLeakOrHang) {
+  // Threads hammer Dial() while the main thread Stops the acceptor: each
+  // dial either completes a handshake or throws "dial after stop". Stop
+  // must join every handshake thread (leaks show up under TSan/ASan).
+  constexpr int kDialers = 6;
+  std::atomic<int> dialed{0}, refused{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kDialers; ++i) {
+    threads.emplace_back([&, i] {
+      for (int n = 0; n < 20; ++n) {
+        try {
+          auto stream = acceptor_->Dial();
+          ++dialed;
+          // Abandon the stream without handshaking: the serve thread
+          // must notice the close / stop flag and exit on its own.
+        } catch (const std::runtime_error&) {
+          ++refused;
+          return;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  acceptor_->Stop();
+  for (auto& t : threads) t.join();
+  EXPECT_GT(dialed.load(), 0);
+  // Stop() already joined every handshake thread; a second Stop is a
+  // no-op and further dials are refused.
+  acceptor_->Stop();
+  EXPECT_THROW(acceptor_->Dial(), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,308 @@
+// Chaos suite: scripted fault schedules against the full client/server
+// stack — server restart mid-burst, partition during offload, flaky
+// link under adaptive switching. Each test asserts the three recovery
+// invariants: bounded recovery time (no hangs), typed failures while
+// degraded, and post-recovery results that match a direct tree scan.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "catfish/bootstrap.h"
+#include "catfish/client.h"
+#include "catfish/server.h"
+#include "rtree/bulk_load.h"
+#include "telemetry/events.h"
+#include "test_util.h"
+
+namespace catfish {
+namespace {
+
+using namespace std::chrono_literals;
+using testutil::RandomRect;
+
+std::vector<uint64_t> Ids(std::vector<rtree::Entry> entries) {
+  std::vector<uint64_t> ids;
+  for (const auto& e : entries) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::EventRecorder::Global().Clear();
+    arena_ = std::make_unique<rtree::NodeArena>(rtree::kChunkSize, 1 << 13);
+    Xoshiro256 rng(11);
+    std::vector<rtree::Entry> items;
+    for (uint64_t i = 0; i < 800; ++i) {
+      const auto r = RandomRect(rng, 0.01);
+      items.push_back({r, i});
+      oracle_.Insert(r, i);
+    }
+    tree_ = std::make_unique<rtree::RStarTree>(rtree::BulkLoad(*arena_, items));
+    fabric_ = std::make_unique<rdma::Fabric>(rdma::FabricProfile::Instant());
+    server_cfg_.heartbeat_interval_us = 1'000;
+    server_node_ = fabric_->CreateNode("server");
+    StartServer();
+  }
+
+  void TearDown() override { StopServer(); }
+
+  void StartServer() {
+    server_ = std::make_unique<RTreeServer>(server_node_, *tree_, server_cfg_);
+    acceptor_ = std::make_unique<BootstrapAcceptor>(*server_, *fabric_);
+  }
+
+  void StopServer() {
+    if (acceptor_) acceptor_->Stop();
+    if (server_) server_->Stop();
+    acceptor_.reset();
+    server_.reset();
+  }
+
+  /// A full crash/reboot: old rkeys and QPNs die with the node; the new
+  /// incarnation re-registers everything under a bumped generation.
+  void RestartServer() {
+    StopServer();
+    server_node_ = fabric_->RestartNode("server");
+    StartServer();
+  }
+
+  /// Tight intervals so watchdog escalation and recovery resolve in
+  /// milliseconds; small retry backoff so flaky links are absorbed fast.
+  static ClientConfig ChaosClientConfig() {
+    ClientConfig cfg;
+    cfg.adaptive.heartbeat_interval_us = 1'000;
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.suspect_after = 5;
+    cfg.watchdog.disconnect_after = 15;
+    cfg.request_timeout_us = 2'000'000;
+    cfg.remote_retry.max_attempts = 8;
+    cfg.remote_retry.backoff_base_us = 1;
+    cfg.remote_retry.backoff_cap_us = 50;
+    return cfg;
+  }
+
+  /// Dials through the *current* acceptor, so a client created here can
+  /// re-bootstrap against whatever incarnation is live at recovery time.
+  std::unique_ptr<RTreeClient> Connect(const std::string& name,
+                                       ClientConfig cfg) {
+    auto node = fabric_->CreateNode(name);
+    return ConnectViaBootstrap(
+        [this] {
+          if (!acceptor_) throw std::runtime_error("no acceptor");
+          return acceptor_->Dial();
+        },
+        node, cfg);
+  }
+
+  std::unique_ptr<rtree::NodeArena> arena_;
+  std::unique_ptr<rtree::RStarTree> tree_;
+  std::unique_ptr<rdma::Fabric> fabric_;
+  std::shared_ptr<rdma::SimNode> server_node_;
+  ServerConfig server_cfg_;
+  std::unique_ptr<RTreeServer> server_;
+  std::unique_ptr<BootstrapAcceptor> acceptor_;
+  testutil::BruteForceIndex oracle_;
+};
+
+TEST_F(ChaosTest, ServerRestartMidBurstRecovers) {
+  auto client = Connect("client-a", ChaosClientConfig());
+  Xoshiro256 rng(21);
+
+  // Warm burst against generation 1.
+  for (int i = 0; i < 20; ++i) {
+    const auto q = RandomRect(rng, 0.05);
+    EXPECT_EQ(Ids(client->SearchFast(q)), oracle_.Search(q));
+  }
+  ASSERT_EQ(client->server_generation(), 1u);
+
+  // Crash/reboot mid-burst: rkeys and QPNs from generation 1 are dead.
+  RestartServer();
+
+  // The client must notice (watchdog), re-bootstrap against generation
+  // 2, and resume — bounded, not the 30s-timeout way.
+  const geo::Rect probe{0.2, 0.2, 0.4, 0.4};
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(testutil::WaitUntil(
+      [&] {
+        try {
+          return Ids(client->SearchFast(probe)) == oracle_.Search(probe);
+        } catch (const ClientError&) {
+          return false;  // still degraded / reconnecting
+        }
+      },
+      10s));
+  const auto recovery = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(recovery, 10s);
+
+  EXPECT_GE(client->stats().reconnects, 1u);
+  EXPECT_EQ(client->server_generation(), 2u);
+  EXPECT_EQ(client->conn_state(), ConnState::kConnected);
+
+  // Post-recovery correctness on both paths.
+  for (int i = 0; i < 20; ++i) {
+    const auto q = RandomRect(rng, 0.05);
+    EXPECT_EQ(Ids(client->SearchFast(q)), oracle_.Search(q));
+    EXPECT_EQ(Ids(client->SearchOffloaded(q)), oracle_.Search(q));
+  }
+  // Writes flow again through the new incarnation.
+  EXPECT_TRUE(client->Insert(geo::Rect{0.95, 0.95, 0.951, 0.951}, 9001));
+  EXPECT_TRUE(client->Delete(geo::Rect{0.95, 0.95, 0.951, 0.951}, 9001));
+
+  // The flight recorder observed the failover: a watchdog escalation
+  // followed by a reconnect.
+  const auto events = telemetry::EventRecorder::Global().Drain();
+  bool saw_trip = false, saw_reconnect = false;
+  for (const auto& e : events) {
+    if (e.type == telemetry::EventType::kWatchdogTrip && e.a > 0) {
+      saw_trip = true;
+    }
+    if (e.type == telemetry::EventType::kReconnect) saw_reconnect = true;
+  }
+  EXPECT_TRUE(saw_trip);
+  EXPECT_TRUE(saw_reconnect);
+}
+
+TEST_F(ChaosTest, PartitionDuringOffloadFailsTypedThenHeals) {
+  auto client = Connect("client-b", ChaosClientConfig());
+  Xoshiro256 rng(22);
+  const auto q = RandomRect(rng, 0.06);
+  ASSERT_EQ(Ids(client->SearchOffloaded(q)), oracle_.Search(q));
+
+  fabric_->faults().Partition("client-b", "server");
+
+  // Offloaded reads now hit the dead link: they must fail with a typed
+  // transport error after the (small) retry budget, never hang.
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    client->SearchOffloaded(q);
+    FAIL() << "expected a transport error under partition";
+  } catch (const ClientError& e) {
+    EXPECT_EQ(e.status(), ClientStatus::kTransportError);
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 1s);
+
+  // Heartbeats are cut too, so the watchdog degrades the connection.
+  ASSERT_TRUE(testutil::WaitUntil([&] {
+    client->Poll();
+    return client->conn_state() != ConnState::kConnected;
+  }));
+
+  // Heal: heartbeats resume and de-escalate the watchdog without a
+  // re-bootstrap — the server never died, so nothing needs rewiring.
+  fabric_->faults().Heal("client-b", "server");
+  ASSERT_TRUE(testutil::WaitUntil([&] {
+    client->Poll();
+    return client->conn_state() == ConnState::kConnected;
+  }));
+  EXPECT_EQ(client->stats().reconnects, 0u);
+  EXPECT_EQ(client->server_generation(), 1u);
+
+  EXPECT_EQ(Ids(client->SearchOffloaded(q)), oracle_.Search(q));
+  EXPECT_EQ(Ids(client->SearchFast(q)), oracle_.Search(q));
+}
+
+TEST_F(ChaosTest, FlakyLinkUnderAdaptiveSwitchingStaysCorrect) {
+  auto cfg = ChaosClientConfig();
+  cfg.mode = ClientMode::kAdaptive;
+  auto client = Connect("client-c", cfg);
+
+  // Every 9th op on the link vanishes; the engine's retry loop and the
+  // server's send-retry loop must absorb all of it.
+  fabric_->faults().SetDropPlan("client-c", "server",
+                                rdma::FaultController::DropPlan{0, 9});
+
+  Xoshiro256 rng(23);
+  bool saw_fast = false, saw_offload = false;
+  for (int i = 0; i < 150; ++i) {
+    if (i == 30) server_->OverrideUtilization(1.0);  // push toward offload
+    if (i == 90) server_->OverrideUtilization(0.1);  // pull back to fast
+    const auto q = RandomRect(rng, 0.04);
+    ASSERT_EQ(Ids(client->Search(q)), oracle_.Search(q)) << "op " << i;
+    if (client->last_mode() == AccessMode::kFastMessaging) saw_fast = true;
+    if (client->last_mode() == AccessMode::kRdmaOffloading) {
+      saw_offload = true;
+    }
+    // Give the heartbeat thread room to advertise the new utilization.
+    std::this_thread::sleep_for(200us);
+  }
+
+  EXPECT_TRUE(saw_fast);
+  EXPECT_TRUE(saw_offload);
+  EXPECT_GT(fabric_->faults().dropped_ops(), 0u);
+  EXPECT_EQ(client->stats().reconnects, 0u);
+  EXPECT_EQ(client->conn_state(), ConnState::kConnected);
+}
+
+TEST_F(ChaosTest, ScriptedFaultScheduleEndToEnd) {
+  auto client = Connect("client-d", ChaosClientConfig());
+  Xoshiro256 rng(24);
+
+  const auto run_ops = [&](int n) {
+    int ok = 0;
+    for (int i = 0; i < n; ++i) {
+      const auto q = RandomRect(rng, 0.04);
+      try {
+        if (Ids(client->Search(q)) == oracle_.Search(q)) ++ok;
+      } catch (const ClientError&) {
+        // Degraded phases may fail typed; never hang, never garbage.
+      }
+    }
+    return ok;
+  };
+
+  // Phase 1: flaky link — everything still succeeds via retries.
+  fabric_->faults().SetDropPlan("client-d", "server",
+                                rdma::FaultController::DropPlan{0, 7});
+  EXPECT_EQ(run_ops(40), 40);
+  fabric_->faults().ClearLink("client-d", "server");
+
+  // Phase 2: partition until the watchdog trips, then heal.
+  fabric_->faults().Partition("client-d", "server");
+  ASSERT_TRUE(testutil::WaitUntil([&] {
+    client->Poll();
+    return client->conn_state() != ConnState::kConnected;
+  }));
+  fabric_->faults().Heal("client-d", "server");
+  ASSERT_TRUE(testutil::WaitUntil([&] {
+    client->Poll();
+    return client->conn_state() == ConnState::kConnected;
+  }));
+  EXPECT_EQ(run_ops(20), 20);
+
+  // Phase 3: full server restart; the client re-bootstraps on demand.
+  RestartServer();
+  const geo::Rect probe{0.3, 0.3, 0.5, 0.5};
+  ASSERT_TRUE(testutil::WaitUntil(
+      [&] {
+        try {
+          return Ids(client->SearchFast(probe)) == oracle_.Search(probe);
+        } catch (const ClientError&) {
+          return false;
+        }
+      },
+      10s));
+
+  EXPECT_EQ(client->server_generation(), 2u);
+  EXPECT_GE(client->stats().reconnects, 1u);
+  EXPECT_EQ(run_ops(20), 20);
+
+  // Recovery is observable and bounded in the flight recorder: the
+  // kReconnect event carries the re-bootstrap duration in b.
+  const auto events = telemetry::EventRecorder::Global().Drain();
+  bool saw_reconnect = false;
+  for (const auto& e : events) {
+    if (e.type == telemetry::EventType::kReconnect) {
+      saw_reconnect = true;
+      EXPECT_LT(e.b, 10e6) << "re-bootstrap took " << e.b << "us";
+    }
+  }
+  EXPECT_TRUE(saw_reconnect);
+}
+
+}  // namespace
+}  // namespace catfish

@@ -3,6 +3,7 @@
 // when clients crash or networks partition.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <thread>
 
@@ -27,14 +28,14 @@ struct Rig {
   std::shared_ptr<rdma::SimNode> server_node = fabric.CreateNode("server");
   std::unique_ptr<RTreeServer> server;
 
-  Rig() {
+  explicit Rig(ServerConfig scfg = {}) {
     Xoshiro256 rng(3);
     std::vector<rtree::Entry> items;
     for (uint64_t i = 0; i < 500; ++i) {
       items.push_back({RandomRect(rng, 0.01), i});
     }
     tree = std::make_unique<rtree::RStarTree>(rtree::BulkLoad(arena, items));
-    server = std::make_unique<RTreeServer>(server_node, *tree, ServerConfig{});
+    server = std::make_unique<RTreeServer>(server_node, *tree, scfg);
   }
 };
 
@@ -63,6 +64,73 @@ TEST(FailureTest, FastPathTimesOutAfterServerStop) {
   // No worker is left to answer: the request must time out, not hang.
   EXPECT_THROW(client->SearchFast(geo::Rect{0.1, 0.1, 0.2, 0.2}),
                std::runtime_error);
+}
+
+TEST(FailureTest, FastPathTimeoutIsTypedAndCounted) {
+  Rig rig;
+  ClientConfig cfg;
+  cfg.request_timeout_us = 50'000;
+  auto client = std::make_unique<RTreeClient>(
+      rig.fabric.CreateNode("client"), *rig.server, cfg);
+  rig.server->Stop();
+  try {
+    client->SearchFast(geo::Rect{0.1, 0.1, 0.2, 0.2});
+    FAIL() << "expected a timeout";
+  } catch (const ClientError& e) {
+    EXPECT_EQ(e.status(), ClientStatus::kTimedOut);
+  }
+  EXPECT_EQ(client->stats().timeouts, 1u);
+}
+
+TEST(FailureTest, WatchdogEscalatesAndFastPathFailsFast) {
+  // Tight heartbeat interval so missed-interval arithmetic resolves in
+  // milliseconds, not the 10ms production default.
+  ServerConfig scfg;
+  scfg.heartbeat_interval_us = 1'000;
+  Rig rig(scfg);
+
+  ClientConfig cfg;
+  cfg.adaptive.heartbeat_interval_us = 1'000;
+  cfg.watchdog.enabled = true;
+  cfg.watchdog.suspect_after = 5;
+  cfg.watchdog.disconnect_after = 15;
+  auto client = std::make_unique<RTreeClient>(
+      rig.fabric.CreateNode("client"), *rig.server, cfg);
+
+  // Let at least one heartbeat land so the watchdog baseline is real.
+  ASSERT_TRUE(testutil::WaitUntil([&] {
+    client->Poll();
+    return client->stats().heartbeats_received > 0;
+  }));
+  EXPECT_EQ(client->conn_state(), ConnState::kConnected);
+
+  // Kill the server: heartbeats stop, the watchdog must walk
+  // Connected → Suspect → Disconnected.
+  rig.server->Stop();
+  ASSERT_TRUE(testutil::WaitUntil([&] {
+    client->Poll();
+    return client->conn_state() == ConnState::kDisconnected;
+  }));
+  EXPECT_GE(client->stats().watchdog_trips, 1u);
+
+  // Fast-path ops now fail fast with a typed status instead of burning
+  // the (default 30s) request timeout.
+  const auto before = std::chrono::steady_clock::now();
+  try {
+    client->SearchFast(geo::Rect{0.1, 0.1, 0.2, 0.2});
+    FAIL() << "expected kDisconnected";
+  } catch (const ClientError& e) {
+    EXPECT_EQ(e.status(), ClientStatus::kDisconnected);
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - before, 1s);
+
+  // Degraded mode: offloaded reads keep serving from the last-known
+  // arena — one-sided READs need no server CPU.
+  const geo::Rect q{0.1, 0.1, 0.3, 0.3};
+  const auto results = client->SearchOffloaded(q);
+  std::vector<rtree::Entry> direct;
+  rig.tree->Search(q, direct);
+  EXPECT_EQ(results.size(), direct.size());
 }
 
 TEST(FailureTest, ClosedQpFailsOffloadReads) {

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "btree/bplus.h"
+#include "catfish/bootstrap.h"
 #include "cuckoo/cuckoo.h"
 #include "rtree/rstar.h"
 #include "test_util.h"
@@ -185,6 +186,88 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(FuzzParam{301, 8000, 0.60, 0.20},
                       FuzzParam{302, 8000, 0.45, 0.40},
                       FuzzParam{303, 6000, 0.90, 0.05}));
+
+// ---------------------------------------------------------------------------
+// Bootstrap hello decoders: the handshake parses bytes straight off a
+// socket, so it must shrug off anything — truncations, bit flips, pure
+// noise — by returning nullopt, never by over-reading (ASan checks) or
+// crashing.
+// ---------------------------------------------------------------------------
+
+TEST(BootstrapFuzz, RandomBlobsNeverCrashDecoders) {
+  Xoshiro256 rng(401);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::byte> blob(rng.NextBounded(128));
+    for (auto& b : blob) {
+      b = static_cast<std::byte>(rng.Next() & 0xff);
+    }
+    // Any decode result is acceptable; surviving the bytes is the test.
+    (void)DecodeClientHello(blob);
+    (void)DecodeServerHello(blob);
+  }
+}
+
+TEST(BootstrapFuzz, MutatedClientHelloNeverOverReads) {
+  Xoshiro256 rng(402);
+  WireClientHello hello;
+  hello.node_name = "client-under-test";
+  hello.qp_num = 17;
+  hello.response_ring_rkey = 3;
+  hello.response_ring_capacity = 1 << 18;
+  hello.request_ack_rkey = 4;
+  const auto valid = Encode(hello);
+  ASSERT_TRUE(DecodeClientHello(valid).has_value());
+
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto mutated = valid;
+    // Flip a handful of bits, sometimes truncate, sometimes extend.
+    const int flips = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.NextBounded(mutated.size());
+      mutated[pos] ^= static_cast<std::byte>(1u << rng.NextBounded(8));
+    }
+    const uint64_t shape = rng.NextBounded(4);
+    if (shape == 1) {
+      mutated.resize(rng.NextBounded(mutated.size() + 1));
+    } else if (shape == 2) {
+      mutated.resize(mutated.size() + 1 + rng.NextBounded(16),
+                     std::byte{0x5a});
+    }
+    const auto decoded = DecodeClientHello(mutated);
+    if (decoded.has_value()) {
+      // A surviving decode must carry a name bounded by the input: the
+      // string length word can lie, but the decoder must not.
+      EXPECT_LE(decoded->node_name.size(), mutated.size());
+    }
+  }
+}
+
+TEST(BootstrapFuzz, MutatedServerHelloDecodesOrRejects) {
+  Xoshiro256 rng(403);
+  WireServerHello hello;
+  hello.arena_rkey = 1;
+  hello.arena_length = 1 << 20;
+  hello.request_ring_rkey = 2;
+  hello.request_ring_capacity = 4096;
+  hello.generation = 5;
+  const auto valid = Encode(hello);
+  ASSERT_TRUE(DecodeServerHello(valid).has_value());
+
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto mutated = valid;
+    const size_t pos = rng.NextBounded(mutated.size());
+    mutated[pos] ^= static_cast<std::byte>(1u << rng.NextBounded(8));
+    if (rng.NextBounded(3) == 0) {
+      mutated.resize(rng.NextBounded(mutated.size() + 1));
+      // The server hello is fixed-size: any truncation must be rejected.
+      if (mutated.size() != valid.size()) {
+        EXPECT_FALSE(DecodeServerHello(mutated).has_value());
+        continue;
+      }
+    }
+    (void)DecodeServerHello(mutated);
+  }
+}
 
 }  // namespace
 }  // namespace catfish

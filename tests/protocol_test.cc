@@ -40,11 +40,20 @@ TEST(ProtocolTest, WriteAckRoundTrip) {
 }
 
 TEST(ProtocolTest, HeartbeatRoundTrip) {
-  const auto decoded = DecodeHeartbeat(Encode(Heartbeat{5, 0.97, 12345}));
+  const auto decoded = DecodeHeartbeat(Encode(Heartbeat{5, 0.97, 12345, 3}));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->seq, 5u);
   EXPECT_DOUBLE_EQ(decoded->cpu_util, 0.97);
   EXPECT_EQ(decoded->tree_epoch, 12345u);
+  EXPECT_EQ(decoded->server_generation, 3u);
+}
+
+TEST(ProtocolTest, HeartbeatRejectsOldWireSize) {
+  // The pre-generation 24-byte heartbeat must not decode: a silent
+  // truncation here would hand the watchdog a garbage generation.
+  auto encoded = Encode(Heartbeat{5, 0.97, 12345, 3});
+  encoded.resize(24);
+  EXPECT_FALSE(DecodeHeartbeat(encoded).has_value());
 }
 
 TEST(ProtocolTest, DecodersRejectWrongSizes) {

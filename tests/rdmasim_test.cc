@@ -166,6 +166,152 @@ TEST(RdmaSimTest, PerQpCompletionOrdering) {
   for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(wcs[i].wr_id, i);
 }
 
+TEST(FaultControllerTest, QpErrorIsStickyAndTyped) {
+  Endpoints ep;
+  std::vector<std::byte> server_mem(64, std::byte{0});
+  const auto mr = ep.server->RegisterMemory(server_mem);
+
+  FaultController::FailQp(*ep.c_qp);
+  EXPECT_TRUE(ep.c_qp->in_error());
+  EXPECT_FALSE(ep.c_qp->connected());
+
+  std::vector<std::byte> data(8, std::byte{1});
+  EXPECT_FALSE(ep.c_qp->PostWrite(1, data, RemoteAddr{mr.rkey, 0}));
+  WorkCompletion wc;
+  ASSERT_EQ(ep.c_send->Poll({&wc, 1}), 1u);
+  EXPECT_EQ(wc.status, WcStatus::kQpError);
+  EXPECT_EQ(server_mem[0], std::byte{0}) << "errored post must not move bytes";
+
+  // Sticky: still kQpError on the next post, and even after Close (an
+  // errored-then-torn-down QP keeps reporting the error, like ibverbs).
+  EXPECT_FALSE(ep.c_qp->PostRead(2, data, RemoteAddr{mr.rkey, 0}));
+  ASSERT_EQ(ep.c_send->Poll({&wc, 1}), 1u);
+  EXPECT_EQ(wc.status, WcStatus::kQpError);
+  ep.c_qp->Close();
+  EXPECT_FALSE(ep.c_qp->PostWrite(3, data, RemoteAddr{mr.rkey, 0}));
+  ASSERT_EQ(ep.c_send->Poll({&wc, 1}), 1u);
+  EXPECT_EQ(wc.status, WcStatus::kQpError);
+
+  // The peer QP is unaffected until it talks to the dead end.
+  EXPECT_FALSE(ep.s_qp->in_error());
+}
+
+TEST(FaultControllerTest, PartitionFailsBothDirectionsUntilHealed) {
+  Endpoints ep;
+  std::vector<std::byte> server_mem(64, std::byte{0});
+  std::vector<std::byte> client_mem(64, std::byte{0});
+  const auto s_mr = ep.server->RegisterMemory(server_mem);
+  const auto c_mr = ep.client->RegisterMemory(client_mem);
+
+  ep.fabric.faults().Partition("client", "server");
+  EXPECT_TRUE(ep.fabric.faults().Partitioned("server", "client"));
+
+  std::vector<std::byte> data(8, std::byte{7});
+  EXPECT_FALSE(ep.c_qp->PostWrite(1, data, RemoteAddr{s_mr.rkey, 0}));
+  WorkCompletion wc;
+  ASSERT_EQ(ep.c_send->Poll({&wc, 1}), 1u);
+  EXPECT_EQ(wc.status, WcStatus::kRetryExceeded);
+  EXPECT_FALSE(ep.s_qp->PostWrite(2, data, RemoteAddr{c_mr.rkey, 0}));
+  ASSERT_EQ(ep.s_send->Poll({&wc, 1}), 1u);
+  EXPECT_EQ(wc.status, WcStatus::kRetryExceeded);
+  EXPECT_EQ(ep.fabric.faults().dropped_ops(), 2u);
+
+  // The QP survives the partition: healing restores service with no
+  // reconnect (unlike a QP error).
+  ep.fabric.faults().Heal("client", "server");
+  EXPECT_FALSE(ep.fabric.faults().Partitioned("client", "server"));
+  EXPECT_TRUE(ep.c_qp->PostWrite(3, data, RemoteAddr{s_mr.rkey, 0}));
+  EXPECT_EQ(server_mem[0], std::byte{7});
+}
+
+TEST(FaultControllerTest, DropPlanFailsScriptedOrdinals) {
+  Endpoints ep;
+  std::vector<std::byte> server_mem(64, std::byte{0});
+  const auto mr = ep.server->RegisterMemory(server_mem);
+
+  // Drop the first 2 ops, then every 3rd on the link.
+  ep.fabric.faults().SetDropPlan("client", "server",
+                                 FaultController::DropPlan{2, 3});
+
+  std::vector<std::byte> data(8, std::byte{1});
+  std::vector<bool> outcomes;
+  for (uint64_t i = 0; i < 9; ++i) {
+    outcomes.push_back(ep.c_qp->PostWrite(i, data, RemoteAddr{mr.rkey, 0}));
+  }
+  // Ordinals 0,1 (first=2) and 2,5,8 (every 3rd) fail.
+  const std::vector<bool> expect{false, false, false, true, true,
+                                 false, true,  true,  false};
+  EXPECT_EQ(outcomes, expect);
+  EXPECT_EQ(ep.fabric.faults().dropped_ops(), 5u);
+
+  ep.fabric.faults().ClearLink("client", "server");
+  EXPECT_TRUE(ep.c_qp->PostWrite(99, data, RemoteAddr{mr.rkey, 0}));
+}
+
+TEST(FaultControllerTest, FaultsOnOtherLinksDoNotInterfere) {
+  Fabric fabric{FabricProfile::Instant()};
+  auto a = fabric.CreateNode("a");
+  auto b = fabric.CreateNode("b");
+  auto c = fabric.CreateNode("c");
+  auto ab_a = a->CreateQp(a->CreateCq(), a->CreateCq());
+  auto ab_b = b->CreateQp(b->CreateCq(), b->CreateCq());
+  QueuePair::Connect(ab_a, ab_b);
+  auto ac_a = a->CreateQp(a->CreateCq(), a->CreateCq());
+  auto ac_c = c->CreateQp(c->CreateCq(), c->CreateCq());
+  QueuePair::Connect(ac_a, ac_c);
+
+  std::vector<std::byte> b_mem(32), c_mem(32);
+  const auto b_mr = b->RegisterMemory(b_mem);
+  const auto c_mr = c->RegisterMemory(c_mem);
+
+  fabric.faults().Partition("a", "b");
+  std::vector<std::byte> data(8, std::byte{3});
+  EXPECT_FALSE(ab_a->PostWrite(1, data, RemoteAddr{b_mr.rkey, 0}));
+  EXPECT_TRUE(ac_a->PostWrite(2, data, RemoteAddr{c_mr.rkey, 0}));
+  EXPECT_EQ(c_mem[0], std::byte{3});
+}
+
+TEST(FaultControllerTest, RestartNodeBumpsGenerationAndKillsState) {
+  Fabric fabric{FabricProfile::Instant()};
+  auto server = fabric.CreateNode("server");
+  auto client = fabric.CreateNode("client");
+  EXPECT_EQ(server->generation(), 1u);
+  EXPECT_EQ(client->generation(), 1u);
+
+  auto s_qp = server->CreateQp(server->CreateCq(), server->CreateCq());
+  auto c_cq = client->CreateCq();
+  auto c_qp = client->CreateQp(c_cq, client->CreateCq());
+  QueuePair::Connect(s_qp, c_qp);
+
+  std::vector<std::byte> arena(128, std::byte{0x5a});
+  const auto mr = server->RegisterMemory(arena);
+  std::vector<std::byte> local(16);
+  ASSERT_TRUE(c_qp->PostRead(1, local, RemoteAddr{mr.rkey, 0}));
+  WorkCompletion drain[4];
+  c_cq->Poll(drain);  // discard the successful read's completion
+
+  auto reborn = fabric.RestartNode("server");
+  EXPECT_EQ(reborn->generation(), 2u);
+  EXPECT_EQ(fabric.FindNode("server"), reborn);
+
+  // The old incarnation's rkeys are dead, the client's QP got errored,
+  // and its old QPN does not resolve on the new incarnation.
+  EXPECT_FALSE(c_qp->PostRead(2, local, RemoteAddr{mr.rkey, 0}));
+  WorkCompletion wc;
+  ASSERT_EQ(c_cq->Poll({&wc, 1}), 1u);
+  EXPECT_NE(wc.status, WcStatus::kSuccess);
+  EXPECT_EQ(reborn->FindQp(s_qp->qp_num()), nullptr);
+
+  // Fresh wiring against the new incarnation works.
+  auto s_qp2 = reborn->CreateQp(reborn->CreateCq(), reborn->CreateCq());
+  auto c_qp2 = client->CreateQp(client->CreateCq(), client->CreateCq());
+  QueuePair::Connect(s_qp2, c_qp2);
+  std::vector<std::byte> arena2(128, std::byte{0x77});
+  const auto mr2 = reborn->RegisterMemory(arena2);
+  ASSERT_TRUE(c_qp2->PostRead(3, local, RemoteAddr{mr2.rkey, 0}));
+  EXPECT_EQ(local[0], std::byte{0x77});
+}
+
 TEST(FabricProfileTest, DelayMath) {
   const auto ib = FabricProfile::InfiniBand100G();
   // 1 KB at 100 Gb/s ≈ 0.08 µs serialization + 1 µs base.

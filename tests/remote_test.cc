@@ -222,6 +222,61 @@ TEST(RemoteFaultTest, DelayedCompletionsAreAwaited) {
   EXPECT_EQ(engine.stats().reads, 4u);
 }
 
+TEST(RemoteFaultTest, DelayLineHoldsExactlyDelayPolls) {
+  // Pin the delay-line semantics: a completion surfaced by poll P is
+  // delivered by poll P + delay_polls, not P + delay_polls - 1. (The
+  // original implementation aged entries in the same poll that enqueued
+  // them, shipping everything one poll early.)
+  Region region(1);
+  region.WriteFill(0, std::byte{0x55});
+  LocalMemoryTransport inner(region.mem, kChunk);
+  FaultInjectingTransport faulty(&inner);
+  faulty.delay_polls = 2;
+
+  std::vector<std::byte> buf(kChunk);
+  ASSERT_TRUE(faulty.PostFetch(/*token=*/42, 0, buf));
+
+  FetchCompletion out[4];
+  // Poll 1 surfaces the inner completion into the delay line; polls 1
+  // and 2 must deliver nothing.
+  EXPECT_EQ(faulty.PollCompletions(out), 0u);
+  EXPECT_EQ(faulty.PollCompletions(out), 0u);
+  // Poll 3 — two polls after surfacing — delivers it intact.
+  ASSERT_EQ(faulty.PollCompletions(out), 1u);
+  EXPECT_EQ(out[0].token, 42u);
+  EXPECT_TRUE(out[0].ok);
+
+  // Dropped fetches ride the same line: enqueued at post time, first
+  // seen by the next poll, delivered two further polls later.
+  faulty.drop.first = 1'000'000;  // every subsequent fetch drops
+  ASSERT_TRUE(faulty.PostFetch(/*token=*/43, 0, buf));
+  EXPECT_EQ(faulty.PollCompletions(out), 0u);  // first sighting
+  EXPECT_EQ(faulty.PollCompletions(out), 0u);
+  ASSERT_EQ(faulty.PollCompletions(out), 1u);
+  EXPECT_EQ(out[0].token, 43u);
+  EXPECT_FALSE(out[0].ok);
+}
+
+TEST(RemoteFaultTest, ZeroDelayDeliversOnFirstPoll) {
+  Region region(1);
+  region.WriteFill(0, std::byte{0x66});
+  LocalMemoryTransport inner(region.mem, kChunk);
+  FaultInjectingTransport faulty(&inner);
+
+  std::vector<std::byte> buf(kChunk);
+  ASSERT_TRUE(faulty.PostFetch(/*token=*/7, 0, buf));
+  FetchCompletion out[4];
+  ASSERT_EQ(faulty.PollCompletions(out), 1u);
+  EXPECT_EQ(out[0].token, 7u);
+
+  // A dropped fetch with zero delay also fails on the very next poll.
+  faulty.drop.first = 1'000'000;
+  ASSERT_TRUE(faulty.PostFetch(/*token=*/8, 0, buf));
+  ASSERT_EQ(faulty.PollCompletions(out), 1u);
+  EXPECT_EQ(out[0].token, 8u);
+  EXPECT_FALSE(out[0].ok);
+}
+
 TEST(RemoteFaultTest, MultiIssueRetearsOnlyAffectedItems) {
   Region region(4);
   for (ChunkId id = 0; id < 4; ++id) {

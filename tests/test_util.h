@@ -1,9 +1,11 @@
-// Shared helpers for the test suites: random rectangle generation and a
-// brute-force spatial oracle.
+// Shared helpers for the test suites: random rectangle generation, a
+// brute-force spatial oracle, and deadline polling.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -11,6 +13,22 @@
 #include "geo/rect.h"
 
 namespace catfish::testutil {
+
+/// Polls `pred` until it returns true or `timeout` elapses. Use instead
+/// of fixed sleeps: passes as soon as the condition holds, fails loudly
+/// (returns false) instead of flaking when the machine is slow.
+template <typename Pred>
+inline bool WaitUntil(
+    Pred&& pred,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(5000),
+    std::chrono::microseconds poll_every = std::chrono::microseconds(200)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (pred()) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(poll_every);
+  }
+}
 
 /// Random rectangle in the unit square with edges uniform in (0, max_edge].
 inline geo::Rect RandomRect(Xoshiro256& rng, double max_edge) {
