@@ -1,0 +1,165 @@
+// Recovery bench: how long does the durable write path take to come
+// back, as a function of WAL length?
+//
+// Pure durability measurement — no sockets, no client: each point
+// builds a log of N records (optionally with a checkpoint capturing 90%
+// of them), then repeatedly recovers a fresh DurabilityManager + arena
+// from the surviving "disk" and times Recover() end to end. That is
+// exactly the window during which a restarted server refuses traffic.
+//
+//   CATFISH_TRIALS           recoveries per point        (default 3)
+//   CATFISH_QUICK=1          smaller sweep for CI smoke runs
+//   CATFISH_RECOVERY_JSONL   JSONL sink, "-" = stdout    (default off)
+//
+// JSONL schema (one line per trial):
+//   {"bench":"recovery","mode":...,"wal_records":N,"wal_bytes":B,
+//    "checkpoint_bytes":C,"trial":t,"recovery_ms":...,"replay_us":...,
+//    "records_replayed":...,"replay_records_per_s":...}
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "durable/manager.h"
+#include "durable/storage.h"
+#include "durable/wal.h"
+#include "rtree/node.h"
+#include "rtree/rstar.h"
+#include "telemetry/export.h"
+
+namespace catfish {
+namespace {
+
+constexpr size_t kArenaChunks = 1 << 14;
+
+geo::Rect RandomRect(Xoshiro256& rng, double max_edge) {
+  const double x = rng.NextDouble() * (1.0 - max_edge);
+  const double y = rng.NextDouble() * (1.0 - max_edge);
+  return geo::Rect{x, y, x + rng.NextDouble() * max_edge,
+                   y + rng.NextDouble() * max_edge};
+}
+
+struct DiskState {
+  std::shared_ptr<durable::MemLogStorage> wal;
+  std::shared_ptr<durable::MemCheckpointStore> ckpt;
+  size_t checkpoint_bytes = 0;
+};
+
+/// Produces the post-crash disk for one sweep point: N acked writes,
+/// with `checkpointed` of them captured in a checkpoint (0 = log only).
+DiskState BuildDisk(size_t records, size_t checkpointed, uint64_t seed) {
+  DiskState disk;
+  disk.wal = std::make_shared<durable::MemLogStorage>();
+  disk.ckpt = std::make_shared<durable::MemCheckpointStore>();
+  durable::DurabilityConfig cfg;
+  cfg.checkpoint_wal_bytes = 0;  // checkpoints only where scripted below
+  durable::DurabilityManager mgr(disk.wal, disk.ckpt, cfg);
+  rtree::NodeArena arena(rtree::kChunkSize, kArenaChunks);
+  rtree::RStarTree tree = mgr.Recover(arena);
+
+  Xoshiro256 rng(seed);
+  for (size_t i = 0; i < records; ++i) {
+    mgr.ExecuteInsert(tree, /*client_gen=*/1, /*req_id=*/i + 1,
+                      RandomRect(rng, 0.005), i);
+    if (checkpointed != 0 && i + 1 == checkpointed) {
+      mgr.Checkpoint(tree);
+    }
+  }
+  if (const auto blob = disk.ckpt->Read()) {
+    disk.checkpoint_bytes = blob->size();
+  }
+  return disk;
+}
+
+int Run() {
+  size_t trials = 3;
+  if (const char* t = std::getenv("CATFISH_TRIALS")) {
+    trials = std::strtoull(t, nullptr, 10);
+  }
+  std::vector<size_t> points = {1'000, 5'000, 10'000, 20'000, 50'000};
+  if (const char* q = std::getenv("CATFISH_QUICK"); q && q[0] == '1') {
+    points = {500, 2'000, 5'000};
+  }
+  std::unique_ptr<telemetry::JsonLinesWriter> jsonl;
+  if (const char* j = std::getenv("CATFISH_RECOVERY_JSONL")) {
+    jsonl = std::make_unique<telemetry::JsonLinesWriter>(j);
+    if (!jsonl->ok()) {
+      std::fprintf(stderr, "warning: cannot open '%s' for JSONL\n", j);
+      jsonl.reset();
+    }
+  }
+
+  std::printf("=== recovery latency vs WAL length ===\n");
+  std::printf("%zu trials per point (set CATFISH_TRIALS to change)\n\n",
+              trials);
+  std::printf("%-16s %12s %12s %12s %14s %16s\n", "mode", "wal_records",
+              "wal_KiB", "ckpt_KiB", "recovery_ms", "replay_rec/s");
+
+  for (const size_t records : points) {
+    struct Mode {
+      const char* name;
+      size_t checkpointed;
+    };
+    // log_only replays everything; checkpoint_tail restores the image
+    // and replays the last 10% — the steady-state shape when the server
+    // checkpoints on WAL growth.
+    const Mode modes[] = {{"log_only", 0},
+                          {"checkpoint_tail", records - records / 10}};
+    for (const Mode& mode : modes) {
+      const DiskState disk =
+          BuildDisk(records, mode.checkpointed, /*seed=*/records);
+      double sum_ms = 0;
+      double sum_rate = 0;
+      for (size_t trial = 0; trial < trials; ++trial) {
+        durable::DurabilityManager mgr(disk.wal, disk.ckpt);
+        rtree::NodeArena arena(rtree::kChunkSize, kArenaChunks);
+        const auto t0 = std::chrono::steady_clock::now();
+        rtree::RStarTree tree = mgr.Recover(arena);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        (void)tree;
+        const auto& report = mgr.recovery_report();
+        const double rate =
+            report.replay_us == 0
+                ? 0.0
+                : 1e6 * static_cast<double>(report.records_replayed) /
+                      static_cast<double>(report.replay_us);
+        sum_ms += ms;
+        sum_rate += rate;
+        if (jsonl) {
+          char line[512];
+          std::snprintf(
+              line, sizeof line,
+              "{\"bench\":\"recovery\",\"mode\":\"%s\","
+              "\"wal_records\":%zu,\"wal_bytes\":%zu,"
+              "\"checkpoint_bytes\":%zu,\"trial\":%zu,"
+              "\"recovery_ms\":%.3f,\"replay_us\":%llu,"
+              "\"records_replayed\":%llu,\"replay_records_per_s\":%.0f}",
+              mode.name, records, disk.wal->size(), disk.checkpoint_bytes,
+              trial, ms, static_cast<unsigned long long>(report.replay_us),
+              static_cast<unsigned long long>(report.records_replayed),
+              rate);
+          jsonl->WriteLine(line);
+        }
+      }
+      std::printf("%-16s %12zu %12.1f %12.1f %14.2f %16.0f\n", mode.name,
+                  records, disk.wal->size() / 1024.0,
+                  disk.checkpoint_bytes / 1024.0,
+                  sum_ms / static_cast<double>(trials),
+                  sum_rate / static_cast<double>(trials));
+    }
+  }
+  std::printf("\nWAL frame is %zu bytes; replay applies records through "
+              "the same R*-tree write path the server uses.\n",
+              durable::kWalFrameBytes);
+  return 0;
+}
+
+}  // namespace
+}  // namespace catfish
+
+int main() { return catfish::Run(); }

@@ -1,5 +1,8 @@
 #include "catfish/client.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstring>
 #include <stdexcept>
 #include <thread>
 
@@ -9,6 +12,26 @@
 #include "telemetry/metrics.h"
 
 namespace catfish {
+
+namespace {
+
+/// Write-session ids must never repeat within a server's dedup history;
+/// a process-wide counter suffices in the single-process simulation
+/// (every client object gets its own session).
+std::atomic<uint64_t> g_next_client_gen{1};
+
+/// Every response payload type leads with the request's req_id — the
+/// hook the stale-response filter keys on.
+uint64_t PayloadReqId(std::span<const std::byte> payload) {
+  if (payload.size() < 8) {
+    throw std::logic_error("catfish client: malformed response payload");
+  }
+  uint64_t id = 0;
+  std::memcpy(&id, payload.data(), sizeof id);
+  return id;
+}
+
+}  // namespace
 
 const char* ToString(ClientStatus s) noexcept {
   switch (s) {
@@ -48,7 +71,8 @@ void RTreeClient::FinishTrace() {
 RTreeClient::RTreeClient(std::shared_ptr<rdma::SimNode> node,
                          const HandshakeFn& shake, ClientConfig cfg)
     : node_(std::move(node)), cfg_(cfg),
-      controller_(cfg.adaptive, cfg.seed) {
+      controller_(cfg.adaptive, cfg.seed),
+      client_gen_(g_next_client_gen.fetch_add(1, std::memory_order_relaxed)) {
   WireUp(shake);
 }
 
@@ -149,8 +173,8 @@ void RTreeClient::EnsureUsable(bool fast_path) {
 
 ClientStatus RTreeClient::Reconnect() {
   if (!reconnect_shake_) return ClientStatus::kReconnectFailed;
-  const uint64_t began = NowMicros();
-  const uint64_t old_generation = boot_.generation;
+  [[maybe_unused]] const uint64_t began = NowMicros();
+  [[maybe_unused]] const uint64_t old_generation = boot_.generation;
   qp_->Close();
   // The old ring's rkey stays registered; quarantine the memory so a
   // stale mapping can never dangle (see retired_ring_mem_).
@@ -176,7 +200,8 @@ ClientStatus RTreeClient::Reconnect() {
   return ClientStatus::kOk;
 }
 
-void RTreeClient::FailDeadline(ClientStatus status, bool ring_stalled,
+void RTreeClient::FailDeadline(ClientStatus status,
+                               [[maybe_unused]] bool ring_stalled,
                                const char* what) {
   ++stats_.timeouts;
   CATFISH_COUNT("catfish.client.timeouts");
@@ -258,12 +283,16 @@ void RTreeClient::PumpPending() {
       }
       continue;
     }
-    // A non-heartbeat with no request in flight is a protocol bug.
-    throw std::logic_error("catfish client: unexpected response message");
+    // No request is in flight, so this answers a req_id we gave up on —
+    // typically the original ack of a write that was then retried (and
+    // deduped server-side). Dropping it here is what makes retries safe.
+    PayloadReqId(m->payload);  // malformed payloads still throw
+    ++stats_.stale_responses;
+    CATFISH_COUNT("catfish.client.stale_responses");
   }
 }
 
-msg::Message RTreeClient::AwaitMessage() {
+msg::Message RTreeClient::AwaitMessage(uint64_t expected_req_id) {
   const uint64_t deadline = NowMicros() + cfg_.request_timeout_us;
   for (;;) {
     if (auto m = response_rx_->TryReceive()) {
@@ -271,6 +300,12 @@ msg::Message RTreeClient::AwaitMessage() {
         if (const auto hb = msg::DecodeHeartbeat(m->payload)) {
           OnHeartbeatMessage(*hb);
         }
+        continue;
+      }
+      if (PayloadReqId(m->payload) != expected_req_id) {
+        // A response to a superseded request (see PumpPending).
+        ++stats_.stale_responses;
+        CATFISH_COUNT("catfish.client.stale_responses");
         continue;
       }
       return std::move(*m);
@@ -315,7 +350,7 @@ std::vector<rtree::Entry> RTreeClient::SearchFast(const geo::Rect& rect) {
   std::vector<rtree::Entry> results;
   uint64_t segments = 0;
   for (;;) {
-    const msg::Message m = AwaitMessage();
+    const msg::Message m = AwaitMessage(req_id);
     if (static_cast<msg::MsgType>(m.type) != msg::MsgType::kSearchResp) {
       throw std::logic_error("catfish client: expected search response");
     }
@@ -352,7 +387,7 @@ std::vector<rtree::Entry> RTreeClient::NearestNeighbors(
 
   std::vector<rtree::Entry> results;
   for (;;) {
-    const msg::Message m = AwaitMessage();
+    const msg::Message m = AwaitMessage(req_id);
     if (static_cast<msg::MsgType>(m.type) != msg::MsgType::kKnnResp) {
       throw std::logic_error("catfish client: expected knn response");
     }
@@ -595,7 +630,7 @@ std::vector<rtree::Entry> RTreeClient::Search(const geo::Rect& rect) {
 }
 
 bool RTreeClient::AwaitWriteAck(uint64_t req_id) {
-  const msg::Message m = AwaitMessage();
+  const msg::Message m = AwaitMessage(req_id);
   const auto t = static_cast<msg::MsgType>(m.type);
   if (t != msg::MsgType::kInsertAck && t != msg::MsgType::kDeleteAck) {
     throw std::logic_error("catfish client: expected write ack");
@@ -607,26 +642,60 @@ bool RTreeClient::AwaitWriteAck(uint64_t req_id) {
   return ack->ok != 0;
 }
 
+bool RTreeClient::ExecuteWrite(msg::MsgType type,
+                               const std::vector<std::byte>& payload,
+                               uint64_t req_id) {
+  // The request carries (client_gen_, req_id), so resending the same
+  // bytes is idempotent: the server's durable dedup table re-acks an
+  // already-applied write instead of applying it twice. Retries that
+  // find the watchdog tripped re-bootstrap first; an ack that was
+  // already applied-but-unacked before the crash is reconstructed from
+  // the recovered WAL.
+  for (uint32_t attempt = 1;; ++attempt) {
+    try {
+      // Re-bootstrap first when the watchdog already declared the server
+      // dead (throws kReconnectFailed while the new incarnation is still
+      // coming up — retried below like any transient failure).
+      EnsureUsable(/*fast_path=*/true);
+      SendRequest(type, payload);
+      return AwaitWriteAck(req_id);
+    } catch (const ClientError& e) {
+      const bool retryable = e.status() == ClientStatus::kTimedOut ||
+                             e.status() == ClientStatus::kRingStalled ||
+                             e.status() == ClientStatus::kDisconnected ||
+                             e.status() == ClientStatus::kReconnectFailed;
+      if (!retryable || attempt >= cfg_.write_attempts) throw;
+      ++stats_.write_retries;
+      CATFISH_COUNT("catfish.client.write_retries");
+      // Brief backoff: a restarting server needs a moment before its
+      // acceptor answers; spinning full-speed would burn the attempt
+      // budget inside the outage window.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(cfg_.adaptive.heartbeat_interval_us));
+    }
+  }
+}
+
 bool RTreeClient::Insert(const geo::Rect& rect, uint64_t id) {
   PumpPending();
   EnsureUsable(/*fast_path=*/true);
   const uint64_t req_id = ++next_req_id_;
-  SendRequest(msg::MsgType::kInsertReq,
-              msg::Encode(msg::InsertRequest{req_id, rect, id}));
   ++stats_.inserts;
   CATFISH_COUNT("catfish.client.insert");
-  return AwaitWriteAck(req_id);
+  return ExecuteWrite(
+      msg::MsgType::kInsertReq,
+      msg::Encode(msg::InsertRequest{req_id, client_gen_, rect, id}), req_id);
 }
 
 bool RTreeClient::Delete(const geo::Rect& rect, uint64_t id) {
   PumpPending();
   EnsureUsable(/*fast_path=*/true);
   const uint64_t req_id = ++next_req_id_;
-  SendRequest(msg::MsgType::kDeleteReq,
-              msg::Encode(msg::DeleteRequest{req_id, rect, id}));
   ++stats_.deletes;
   CATFISH_COUNT("catfish.client.delete");
-  return AwaitWriteAck(req_id);
+  return ExecuteWrite(
+      msg::MsgType::kDeleteReq,
+      msg::Encode(msg::DeleteRequest{req_id, client_gen_, rect, id}), req_id);
 }
 
 }  // namespace catfish

@@ -104,6 +104,12 @@ struct ClientConfig {
   uint64_t seed = 1;
   /// Abort a stuck request after this long (guards tests/examples).
   uint64_t request_timeout_us = 30'000'000;
+  /// Total tries per Insert/Delete. A write that times out or loses the
+  /// connection is resent (after Reconnect() when the watchdog tripped)
+  /// with the same (client_gen, req_id), so the server's dedup table
+  /// makes the retry exactly-once: an already-applied write is re-acked,
+  /// never re-applied. 1 = legacy fail-fast behavior.
+  uint32_t write_attempts = 3;
   /// Liveness watchdog; interval length comes from
   /// `adaptive.heartbeat_interval_us` (the server's advertised Inv).
   WatchdogConfig watchdog;
@@ -131,6 +137,8 @@ struct ClientStats {
   uint64_t timeouts = 0;          ///< fast-path deadline expiries
   uint64_t watchdog_trips = 0;    ///< Connected→Suspect/Disconnected edges
   uint64_t reconnects = 0;        ///< successful re-bootstraps
+  uint64_t write_retries = 0;     ///< Insert/Delete resends after a failure
+  uint64_t stale_responses = 0;   ///< responses for superseded req_ids dropped
 };
 
 class RTreeClient {
@@ -200,6 +208,9 @@ class RTreeClient {
   ConnState conn_state() const noexcept { return conn_state_; }
   /// The generation of the server incarnation we are wired against.
   uint64_t server_generation() const noexcept { return boot_.generation; }
+  /// This client's exactly-once write-session id (stamped on every
+  /// Insert/Delete, process-unique, survives reconnects).
+  uint64_t client_gen() const noexcept { return client_gen_; }
 
   /// The mode the last Search() used.
   AccessMode last_mode() const noexcept { return last_mode_; }
@@ -239,11 +250,19 @@ class RTreeClient {
                                  const char* what);
 
   void SendRequest(msg::MsgType type, std::span<const std::byte> payload);
-  /// Drains ready responses; heartbeats feed the controller. Non-wire
-  /// messages for the in-flight request land in pending_*.
+  /// Drains ready responses between requests; heartbeats feed the
+  /// controller, anything else is a stale response to a superseded
+  /// req_id (e.g. the original ack of a write that was retried) and is
+  /// dropped.
   void PumpPending();
-  msg::Message AwaitMessage();
+  /// Waits for the response to `expected_req_id`. Every response type
+  /// leads with its req_id, so responses to older requests are
+  /// recognized and dropped uniformly here.
+  msg::Message AwaitMessage(uint64_t expected_req_id);
   bool AwaitWriteAck(uint64_t req_id);
+  /// Send + await-ack with exactly-once retries (cfg_.write_attempts).
+  bool ExecuteWrite(msg::MsgType type, const std::vector<std::byte>& payload,
+                    uint64_t req_id);
 
   /// Validates+decodes a fetched chunk image (the engine's validate
   /// callback); false → the engine re-fetches within its retry bounds.
@@ -292,6 +311,7 @@ class RTreeClient {
   AccessMode last_mode_ = AccessMode::kFastMessaging;
   ClientStats stats_;
   uint64_t next_req_id_ = 0;
+  const uint64_t client_gen_;  ///< process-unique write-session id
 
   /// Cell-style cache of internal nodes (cfg_.cache_internal_nodes).
   std::unordered_map<rtree::ChunkId, rtree::NodeData> node_cache_;

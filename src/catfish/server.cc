@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/clock.h"
+#include "durable/manager.h"
 #include "telemetry/events.h"
 #include "telemetry/metrics.h"
 
@@ -168,11 +169,19 @@ void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m) {
       if (!req) break;
       set_attr("req_id", static_cast<int64_t>(req->req_id));
       const auto traverse = span_begin("traverse");
-      tree_->Insert(req->rect, req->rect_id);
+      uint8_t ok = 1;
+      if (cfg_.durability) {
+        const auto res = cfg_.durability->ExecuteInsert(
+            *tree_, req->client_gen, req->req_id, req->rect, req->rect_id);
+        ok = res.ok ? 1 : 0;
+        set_attr("duplicate", res.duplicate ? 1 : 0);
+      } else {
+        tree_->Insert(req->rect, req->rect_id);
+      }
       span_end(traverse);
       inserts_.fetch_add(1, std::memory_order_relaxed);
       CATFISH_COUNT("catfish.server.insert");
-      const auto ack = msg::Encode(msg::WriteAck{req->req_id, 1});
+      const auto ack = msg::Encode(msg::WriteAck{req->req_id, ok});
       const auto respond = span_begin("respond");
       SendResponse(conn, msg::MsgType::kInsertAck, msg::kFlagEnd, ack);
       span_end(respond);
@@ -183,7 +192,15 @@ void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m) {
       if (!req) break;
       set_attr("req_id", static_cast<int64_t>(req->req_id));
       const auto traverse = span_begin("traverse");
-      const bool ok = tree_->Delete(req->rect, req->rect_id);
+      bool ok;
+      if (cfg_.durability) {
+        const auto res = cfg_.durability->ExecuteDelete(
+            *tree_, req->client_gen, req->req_id, req->rect, req->rect_id);
+        ok = res.ok;
+        set_attr("duplicate", res.duplicate ? 1 : 0);
+      } else {
+        ok = tree_->Delete(req->rect, req->rect_id);
+      }
       span_end(traverse);
       deletes_.fetch_add(1, std::memory_order_relaxed);
       CATFISH_COUNT("catfish.server.delete");
@@ -236,6 +253,12 @@ void RTreeServer::MonitorLoop() {
   while (!stop_.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(cfg_.heartbeat_interval_us));
+
+    // Checkpoint off the monitor thread so workers only ever pay the
+    // WAL-append cost; the checkpoint itself quiesces writers briefly.
+    if (cfg_.durability && cfg_.durability->ShouldCheckpoint()) {
+      cfg_.durability->Checkpoint(*tree_);
+    }
 
     uint64_t busy = 0;
     {

@@ -31,6 +31,10 @@
 #include "rtree/rstar.h"
 #include "telemetry/trace.h"
 
+namespace catfish::durable {
+class DurabilityManager;
+}  // namespace catfish::durable
+
 namespace catfish {
 
 enum class NotifyMode : uint8_t { kPolling, kEventDriven };
@@ -49,6 +53,13 @@ struct ServerConfig {
   /// request's req_id so it can be joined with the client-side trace).
   /// Null = no tracing. The tracer must outlive the server.
   telemetry::Tracer* tracer = nullptr;
+  /// When set, inserts/deletes run through the durable write path:
+  /// WAL-logged, deduped on (client_gen, req_id), group-committed before
+  /// the ack. The monitor thread also checkpoints when the manager asks.
+  /// The caller must have run Recover() on it (serving the tree it
+  /// returned) before constructing the server. Null = volatile writes.
+  /// The manager must outlive the server.
+  durable::DurabilityManager* durability = nullptr;
 };
 
 /// What the client must learn during connection setup (the paper

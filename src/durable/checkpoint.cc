@@ -1,0 +1,121 @@
+#include "durable/checkpoint.h"
+
+#include "common/bytes.h"
+#include "durable/wal.h"
+
+namespace catfish::durable {
+
+namespace {
+inline constexpr uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+std::vector<std::byte> EncodeCheckpoint(const rtree::NodeArena& arena,
+                                        const DedupTable& dedup,
+                                        const CheckpointMeta& meta) {
+  const auto snap = arena.TakeSnapshot();
+
+  std::vector<DedupTable::SnapshotSession> sessions;
+  std::vector<DedupTable::SnapshotEntry> entries;
+  dedup.Visit([&](const DedupTable::SnapshotEntry& e) { entries.push_back(e); },
+              [&](const DedupTable::SnapshotSession& s) {
+                sessions.push_back(s);
+              });
+
+  ByteWriter w(256 + snap.bytes.size() + entries.size() * 25);
+  w.Append(kCheckpointMagic);
+  w.Append(kCheckpointVersion);
+  w.Append(meta.applied_lsn);
+  w.Append(meta.tree_size);
+  w.Append(meta.tree_height);
+  w.Append(meta.write_epoch);
+  w.Append(static_cast<uint64_t>(arena.chunk_size()));
+  w.Append(static_cast<uint64_t>(arena.max_chunks()));
+  w.Append(static_cast<uint64_t>(snap.next_fresh));
+  w.Append(static_cast<uint64_t>(snap.allocated));
+  w.Append(static_cast<uint32_t>(snap.free_list.size()));
+  for (const rtree::ChunkId id : snap.free_list) w.Append(id);
+  w.Append(static_cast<uint32_t>(dedup.window()));
+  w.Append(static_cast<uint32_t>(sessions.size()));
+  for (const auto& s : sessions) {
+    w.Append(s.client_gen);
+    w.Append(s.evicted_through);
+  }
+  w.Append(static_cast<uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    w.Append(e.client_gen);
+    w.Append(e.req_id);
+    w.Append(e.ok);
+    w.Append(e.lsn);
+  }
+  w.Append(static_cast<uint64_t>(snap.bytes.size()));
+  w.AppendBytes(snap.bytes);
+
+  // CRC over everything after the magic; appended last.
+  const auto body = w.bytes().subspan(sizeof kCheckpointMagic);
+  w.Append(Crc32(body));
+  return w.Take();
+}
+
+std::optional<DecodedCheckpoint> DecodeCheckpoint(
+    std::span<const std::byte> blob) {
+  // Fixed prefix through the free-list count.
+  constexpr size_t kFixedHead = 8 + 4 + 8 + 8 + 4 + 8 + 8 + 8 + 8 + 8 + 4;
+  if (blob.size() < kFixedHead + 4) return std::nullopt;
+  if (LoadPod<uint64_t>(blob, 0) != kCheckpointMagic) return std::nullopt;
+  const auto body = blob.subspan(8, blob.size() - 8 - 4);
+  const uint32_t stored_crc = LoadPod<uint32_t>(blob, blob.size() - 4);
+  if (Crc32(body) != stored_crc) return std::nullopt;
+
+  ByteReader r(body);
+  DecodedCheckpoint out;
+  if (r.Read<uint32_t>() != kCheckpointVersion) return std::nullopt;
+  out.meta.applied_lsn = r.Read<uint64_t>();
+  out.meta.tree_size = r.Read<uint64_t>();
+  out.meta.tree_height = r.Read<uint32_t>();
+  out.meta.write_epoch = r.Read<uint64_t>();
+  out.chunk_size = r.Read<uint64_t>();
+  out.max_chunks = r.Read<uint64_t>();
+  out.arena_snapshot.next_fresh =
+      static_cast<rtree::ChunkId>(r.Read<uint64_t>());
+  out.arena_snapshot.allocated = r.Read<uint64_t>();
+
+  const uint32_t free_count = r.Read<uint32_t>();
+  if (r.remaining() < uint64_t{free_count} * sizeof(rtree::ChunkId)) return std::nullopt;
+  out.arena_snapshot.free_list.reserve(free_count);
+  for (uint32_t i = 0; i < free_count; ++i) {
+    out.arena_snapshot.free_list.push_back(r.Read<rtree::ChunkId>());
+  }
+
+  if (r.remaining() < 8) return std::nullopt;
+  const uint32_t window = r.Read<uint32_t>();
+  out.dedup = DedupTable(window);
+  const uint32_t session_count = r.Read<uint32_t>();
+  if (r.remaining() < uint64_t{session_count} * 16) return std::nullopt;
+  for (uint32_t i = 0; i < session_count; ++i) {
+    const uint64_t gen = r.Read<uint64_t>();
+    const uint64_t horizon = r.Read<uint64_t>();
+    out.dedup.RestoreSession(gen, horizon);
+  }
+  if (r.remaining() < 4) return std::nullopt;
+  const uint32_t entry_count = r.Read<uint32_t>();
+  if (r.remaining() < uint64_t{entry_count} * 25) return std::nullopt;
+  for (uint32_t i = 0; i < entry_count; ++i) {
+    const uint64_t gen = r.Read<uint64_t>();
+    const uint64_t req_id = r.Read<uint64_t>();
+    const uint8_t ok = r.Read<uint8_t>();
+    const uint64_t lsn = r.Read<uint64_t>();
+    out.dedup.Record(gen, req_id, ok, lsn);
+  }
+
+  if (r.remaining() < 8) return std::nullopt;
+  const uint64_t arena_bytes = r.Read<uint64_t>();
+  if (arena_bytes != out.chunk_size * out.max_chunks ||
+      r.remaining() != arena_bytes) {
+    return std::nullopt;
+  }
+  const auto raw = r.ReadBytes(arena_bytes);
+  out.arena_snapshot.bytes.assign(raw.begin(), raw.end());
+  return out;
+}
+
+}  // namespace catfish::durable

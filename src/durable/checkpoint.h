@@ -1,0 +1,66 @@
+// Arena checkpoint codec: a point-in-time image of the whole durable
+// server state — NodeArena bytes + allocator, tree meta, the write-dedup
+// table, and the WAL position (`applied_lsn`) the image is consistent
+// with. Recovery restores the newest checkpoint and replays only WAL
+// records with lsn > applied_lsn; checkpointing truncates the log at the
+// same boundary.
+//
+// Blob layout (little-endian), CRC32-protected end to end:
+//
+//   u64 magic 'CATFCKP1'
+//   u32 version
+//   u64 applied_lsn
+//   u64 tree_size  u32 tree_height  u64 write_epoch
+//   u64 chunk_size u64 max_chunks   u64 next_fresh  u64 allocated
+//   u32 free_list_count, u32 ids...
+//   u32 dedup_window
+//   u32 session_count, { u64 client_gen, u64 evicted_through }...
+//   u32 entry_count,   { u64 client_gen, u64 req_id, u8 ok, u64 lsn }...
+//   u64 arena_bytes (== chunk_size * max_chunks), raw arena image
+//   u32 crc32 over everything after the magic
+//
+// The arena image is copied while the write path is quiesced (the
+// DurabilityManager's write mutex), so every seqlock line version in it
+// is even — a restored arena is immediately valid for readers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "durable/dedup.h"
+#include "rtree/arena.h"
+
+namespace catfish::durable {
+
+inline constexpr uint64_t kCheckpointMagic = 0x31504B4346544143ULL;  // CATFCKP1
+
+struct CheckpointMeta {
+  uint64_t applied_lsn = 0;
+  uint64_t tree_size = 0;
+  uint32_t tree_height = 1;
+  uint64_t write_epoch = 0;
+};
+
+/// Serializes arena + allocator state + dedup + meta into one blob.
+std::vector<std::byte> EncodeCheckpoint(const rtree::NodeArena& arena,
+                                        const DedupTable& dedup,
+                                        const CheckpointMeta& meta);
+
+/// Decoded checkpoint, ready to restore. `arena_snapshot` matches
+/// NodeArena::Restore's input.
+struct DecodedCheckpoint {
+  CheckpointMeta meta;
+  rtree::NodeArena::Snapshot arena_snapshot;
+  size_t chunk_size = 0;
+  size_t max_chunks = 0;
+  DedupTable dedup{64};
+};
+
+/// Returns nullopt on any structural or CRC mismatch — a half-written
+/// checkpoint must read as "no checkpoint", never as garbage state.
+std::optional<DecodedCheckpoint> DecodeCheckpoint(
+    std::span<const std::byte> blob);
+
+}  // namespace catfish::durable

@@ -1,0 +1,113 @@
+// Bounded write-dedup table: the server half of exactly-once writes.
+//
+// Clients stamp every Insert/Delete with (client_gen, req_id) —
+// client_gen identifies one client write session for its whole life
+// (surviving reconnects), req_id is monotonically increasing within it.
+// The server consults this table before applying a write: a hit means
+// the request was already applied (possibly by a previous server
+// incarnation) and only the stored ack is re-sent.
+//
+// The table needs no log records of its own: every WAL record carries
+// the (client_gen, req_id) key, and the delete outcome is recomputed
+// deterministically during replay, so recovery rebuilds the table as a
+// side effect of replaying the log.
+//
+// Eviction: per session, only the most recent `window` entries are kept
+// (clients retry only their single in-flight write, so the window
+// bounds how far back a resend can reach). Because req_ids within a
+// session are monotonic, the table also remembers the highest evicted
+// req_id per session — a resend older than the window is still
+// recognized as a duplicate (acked with ok, conservatively) instead of
+// being re-applied, so eviction can never break idempotency.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+namespace catfish::durable {
+
+struct DedupEntry {
+  uint8_t ok = 0;    ///< the original WriteAck.ok
+  uint64_t lsn = 0;  ///< the WAL record; re-acks wait for its durability
+};
+
+class DedupTable {
+ public:
+  explicit DedupTable(size_t window = 64) : window_(window) {}
+
+  /// The stored outcome for (client_gen, req_id), if already applied.
+  /// A req_id at or below the session's eviction horizon returns a
+  /// synthetic ok=1 entry: it was applied and acked long ago; the exact
+  /// ack value left the window but re-applying would be worse.
+  std::optional<DedupEntry> Lookup(uint64_t client_gen,
+                                   uint64_t req_id) const {
+    const auto it = sessions_.find(client_gen);
+    if (it == sessions_.end()) return std::nullopt;
+    const Session& s = it->second;
+    if (req_id <= s.evicted_through) return DedupEntry{1, 0};
+    const auto entry = s.entries.find(req_id);
+    if (entry == s.entries.end()) return std::nullopt;
+    return entry->second;
+  }
+
+  /// Records the outcome of a freshly applied write; evicts the oldest
+  /// entry of the session past the window.
+  void Record(uint64_t client_gen, uint64_t req_id, uint8_t ok,
+              uint64_t lsn) {
+    Session& s = sessions_[client_gen];
+    if (s.entries.emplace(req_id, DedupEntry{ok, lsn}).second) {
+      s.order.push_back(req_id);
+    }
+    while (s.order.size() > window_) {
+      const uint64_t oldest = s.order.front();
+      s.order.pop_front();
+      s.entries.erase(oldest);
+      if (oldest > s.evicted_through) s.evicted_through = oldest;
+    }
+  }
+
+  size_t sessions() const { return sessions_.size(); }
+  size_t window() const { return window_; }
+
+  /// Flat view for checkpointing: (gen, req_id, ok, lsn, horizon).
+  struct SnapshotEntry {
+    uint64_t client_gen = 0;
+    uint64_t req_id = 0;
+    uint8_t ok = 0;
+    uint64_t lsn = 0;
+  };
+  struct SnapshotSession {
+    uint64_t client_gen = 0;
+    uint64_t evicted_through = 0;
+  };
+
+  template <typename EntryFn, typename SessionFn>
+  void Visit(EntryFn&& entry_fn, SessionFn&& session_fn) const {
+    for (const auto& [gen, s] : sessions_) {
+      session_fn(SnapshotSession{gen, s.evicted_through});
+      for (const uint64_t req_id : s.order) {
+        const auto& e = s.entries.at(req_id);
+        entry_fn(SnapshotEntry{gen, req_id, e.ok, e.lsn});
+      }
+    }
+  }
+
+  /// Checkpoint-restore helpers.
+  void RestoreSession(uint64_t client_gen, uint64_t evicted_through) {
+    sessions_[client_gen].evicted_through = evicted_through;
+  }
+
+ private:
+  struct Session {
+    std::unordered_map<uint64_t, DedupEntry> entries;
+    std::deque<uint64_t> order;  ///< insertion order for eviction
+    uint64_t evicted_through = 0;
+  };
+
+  size_t window_;
+  std::unordered_map<uint64_t, Session> sessions_;
+};
+
+}  // namespace catfish::durable

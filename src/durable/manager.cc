@@ -1,0 +1,213 @@
+#include "durable/manager.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/clock.h"
+#include "telemetry/events.h"
+#include "telemetry/metrics.h"
+
+namespace catfish::durable {
+
+DurabilityManager::DurabilityManager(
+    std::shared_ptr<LogStorage> wal_storage,
+    std::shared_ptr<CheckpointStore> checkpoint_store, DurabilityConfig cfg)
+    : cfg_(cfg),
+      wal_storage_(std::move(wal_storage)),
+      checkpoint_store_(std::move(checkpoint_store)),
+      dedup_(cfg.dedup_window) {
+  if (!wal_storage_ || !checkpoint_store_) {
+    throw std::invalid_argument("durability manager: null storage");
+  }
+}
+
+rtree::RStarTree DurabilityManager::Recover(rtree::NodeArena& arena,
+                                            rtree::RStarConfig tree_cfg) {
+  if (recovered_) {
+    throw std::logic_error("durability manager: Recover called twice");
+  }
+  recovered_ = true;
+  const uint64_t began_us = NowMicros();
+
+  // 1. Newest complete checkpoint, if any. A blob that fails CRC or
+  //    structural checks reads as "no checkpoint" — we fall back to an
+  //    empty tree plus whatever the log holds from LSN 1.
+  std::optional<DecodedCheckpoint> ckpt;
+  if (const auto blob = checkpoint_store_->Read()) {
+    ckpt = DecodeCheckpoint(*blob);
+  }
+  if (ckpt) {
+    if (ckpt->chunk_size != arena.chunk_size() ||
+        ckpt->max_chunks != arena.max_chunks()) {
+      throw std::runtime_error(
+          "durability manager: checkpoint arena geometry mismatch");
+    }
+    report_.checkpoint_loaded = true;
+    report_.checkpoint_applied_lsn = ckpt->meta.applied_lsn;
+    applied_lsn_ = ckpt->meta.applied_lsn;
+    dedup_ = std::move(ckpt->dedup);
+    CATFISH_COUNT("recovery.checkpoint_loaded");
+  }
+
+  // 2. Longest valid log prefix; a torn or corrupt tail is the normal
+  //    outcome of a crash mid-append and is physically dropped so the
+  //    next append continues a clean stream.
+  const auto decoded = DecodeWalStream(wal_storage_->ReadAll());
+  if (!decoded.clean) {
+    std::vector<std::byte> image = wal_storage_->ReadAll();
+    image.resize(decoded.valid_bytes);
+    wal_storage_->Reset(image);
+    report_.tail_bytes_truncated = decoded.truncated_bytes;
+    CATFISH_COUNT_ADD("recovery.tail_truncated_bytes",
+                      static_cast<int64_t>(decoded.truncated_bytes));
+  }
+
+  // 3. Restore the arena image (or start fresh) and attach the tree.
+  rtree::RStarTree tree = [&] {
+    if (ckpt) {
+      arena.Restore(ckpt->arena_snapshot);
+      return rtree::RStarTree::Attach(arena, tree_cfg);
+    }
+    return rtree::RStarTree::Create(arena, tree_cfg);
+  }();
+
+  // 4. Replay records past the checkpoint in LSN order. Delete outcomes
+  //    are recomputed (they are deterministic given the replayed state),
+  //    which also rebuilds the dedup table for requests the previous
+  //    incarnation acked after its last checkpoint.
+  for (const WalRecord& rec : decoded.records) {
+    if (rec.lsn <= report_.checkpoint_applied_lsn) {
+      ++report_.records_skipped;
+      continue;
+    }
+    bool ok = true;
+    if (rec.op == WalOp::kInsert) {
+      tree.Insert(rec.rect, rec.rect_id);
+    } else {
+      ok = tree.Delete(rec.rect, rec.rect_id);
+    }
+    dedup_.Record(rec.client_gen, rec.req_id, ok ? 1 : 0, rec.lsn);
+    applied_lsn_ = rec.lsn;
+    ++report_.records_replayed;
+  }
+
+  // Everything surviving in the log is durable; new appends continue
+  // after the highest LSN either the log or the checkpoint has seen.
+  const uint64_t next_lsn =
+      std::max(applied_lsn_,
+               decoded.records.empty() ? 0 : decoded.records.back().lsn) +
+      1;
+  wal_.emplace(wal_storage_.get(), next_lsn, cfg_.wal_stall_threshold_us);
+
+  report_.replay_us = NowMicros() - began_us;
+  report_.dedup_sessions = dedup_.sessions();
+  CATFISH_COUNT_ADD("recovery.records_replayed",
+                    static_cast<int64_t>(report_.records_replayed));
+  CATFISH_TIMER_RECORD_US("recovery.replay_us", report_.replay_us);
+  CATFISH_GAUGE_SET("wal.bytes", static_cast<int64_t>(wal_->log_bytes()));
+  CATFISH_EVENT(kReplay, NowMicros(), report_.records_replayed,
+                static_cast<double>(report_.replay_us),
+                static_cast<double>(report_.tail_bytes_truncated));
+  return tree;
+}
+
+WriteResult DurabilityManager::ExecuteInsert(rtree::RStarTree& tree,
+                                             uint64_t client_gen,
+                                             uint64_t req_id,
+                                             const geo::Rect& rect,
+                                             uint64_t rect_id) {
+  return Execute(WalOp::kInsert, tree, client_gen, req_id, rect, rect_id);
+}
+
+WriteResult DurabilityManager::ExecuteDelete(rtree::RStarTree& tree,
+                                             uint64_t client_gen,
+                                             uint64_t req_id,
+                                             const geo::Rect& rect,
+                                             uint64_t rect_id) {
+  return Execute(WalOp::kDelete, tree, client_gen, req_id, rect, rect_id);
+}
+
+WriteResult DurabilityManager::Execute(WalOp op, rtree::RStarTree& tree,
+                                       uint64_t client_gen, uint64_t req_id,
+                                       const geo::Rect& rect,
+                                       uint64_t rect_id) {
+  if (!wal_) {
+    throw std::logic_error("durability manager: write before Recover()");
+  }
+  std::unique_lock lock(write_mu_);
+  if (const auto hit = dedup_.Lookup(client_gen, req_id)) {
+    lock.unlock();
+    // A resend must never overtake the original write's durability: the
+    // first execution may still be waiting on its sync when the retry
+    // arrives on a new connection.
+    if (hit->lsn != 0) wal_->Commit(hit->lsn);
+    CATFISH_COUNT("durable.dup_hits");
+    return WriteResult{hit->ok != 0, true, hit->lsn};
+  }
+
+  // Append + apply under write_mu_ so apply order == LSN order (the
+  // tree takes its own writer lock internally; this mutex adds the
+  // log-ordering guarantee on top).
+  WalRecord rec;
+  rec.op = op;
+  rec.client_gen = client_gen;
+  rec.req_id = req_id;
+  rec.rect = rect;
+  rec.rect_id = rect_id;
+  const uint64_t lsn = wal_->Append(rec);
+  bool ok = true;
+  if (op == WalOp::kInsert) {
+    tree.Insert(rect, rect_id);
+  } else {
+    ok = tree.Delete(rect, rect_id);
+  }
+  applied_lsn_ = lsn;
+  dedup_.Record(client_gen, req_id, ok ? 1 : 0, lsn);
+  lock.unlock();
+
+  // Group commit outside the mutex: concurrent writers batch their
+  // syncs without serializing the tree behind storage latency.
+  wal_->Commit(lsn);
+  CATFISH_COUNT("durable.writes");
+  return WriteResult{ok, false, lsn};
+}
+
+bool DurabilityManager::ShouldCheckpoint() const {
+  return cfg_.checkpoint_wal_bytes != 0 && wal_ &&
+         wal_->log_bytes() >= cfg_.checkpoint_wal_bytes;
+}
+
+uint64_t DurabilityManager::Checkpoint(rtree::RStarTree& tree) {
+  if (!wal_) {
+    throw std::logic_error("durability manager: checkpoint before Recover()");
+  }
+  const std::scoped_lock lock(write_mu_);
+  // Writers are quiesced: every seqlock line version in the arena is
+  // even and applied_lsn_ names exactly the state being imaged.
+  CheckpointMeta meta;
+  meta.applied_lsn = applied_lsn_;
+  meta.tree_size = tree.size();
+  meta.tree_height = tree.height();
+  meta.write_epoch = tree.write_epoch();
+  const auto blob = EncodeCheckpoint(tree.arena(), dedup_, meta);
+  [[maybe_unused]] const size_t wal_bytes_before = wal_->log_bytes();
+  checkpoint_store_->Write(blob);
+  // Only after the checkpoint is durable may the log prefix go away.
+  wal_->TruncateThrough(meta.applied_lsn);
+  ++checkpoints_;
+  CATFISH_COUNT("durable.checkpoints");
+  CATFISH_COUNT_ADD("durable.checkpoint_bytes",
+                    static_cast<int64_t>(blob.size()));
+  CATFISH_EVENT(kCheckpoint, NowMicros(), meta.applied_lsn,
+                static_cast<double>(blob.size()),
+                static_cast<double>(wal_bytes_before - wal_->log_bytes()));
+  return meta.applied_lsn;
+}
+
+uint64_t DurabilityManager::checkpoints_written() const {
+  const std::scoped_lock lock(write_mu_);
+  return checkpoints_;
+}
+
+}  // namespace catfish::durable

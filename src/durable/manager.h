@@ -1,0 +1,131 @@
+// DurabilityManager: the server's durable write path.
+//
+// Ties the pieces together around one invariant — *a write is acked iff
+// its WAL record is durable* — and one ordering rule: records are
+// appended and applied to the tree under a single write mutex, so apply
+// order equals LSN order and a checkpoint taken under that mutex is
+// consistent with an exact `applied_lsn`. Replay of checkpoint + tail is
+// then deterministic.
+//
+// Lifecycle per server incarnation:
+//
+//   auto mgr  = DurabilityManager(wal_disk, ckpt_disk, cfg);
+//   auto tree = mgr.Recover(arena);       // checkpoint restore + replay
+//   RTreeServer server(node, tree, {.durability = &mgr});  // serve
+//   ... monitor thread calls mgr.MaybeCheckpoint(tree) ...
+//
+// On the hot path the server calls ExecuteInsert/ExecuteDelete, which
+// dedup-check, log, apply, and group-commit; duplicates skip apply but
+// still wait for the original record's durability before re-acking (a
+// resend must never be acked faster than the write became safe).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "durable/checkpoint.h"
+#include "durable/dedup.h"
+#include "durable/storage.h"
+#include "durable/wal.h"
+#include "rtree/rstar.h"
+
+namespace catfish::durable {
+
+struct DurabilityConfig {
+  /// Write a checkpoint (and truncate the WAL) once the log exceeds
+  /// this many bytes. 0 disables automatic checkpointing.
+  size_t checkpoint_wal_bytes = 4 << 20;
+  /// Per-client-session dedup entries retained (see dedup.h).
+  size_t dedup_window = 64;
+  /// Commit waits longer than this emit a kWalStall event.
+  uint64_t wal_stall_threshold_us = 1000;
+};
+
+/// What Recover() did, for telemetry, benches and tests.
+struct RecoveryReport {
+  bool checkpoint_loaded = false;
+  uint64_t checkpoint_applied_lsn = 0;
+  uint64_t records_replayed = 0;
+  uint64_t records_skipped = 0;      ///< lsn <= checkpoint applied_lsn
+  uint64_t tail_bytes_truncated = 0; ///< torn/corrupt log tail dropped
+  uint64_t replay_us = 0;
+  uint64_t dedup_sessions = 0;
+};
+
+struct WriteResult {
+  bool ok = false;        ///< the WriteAck.ok value to send
+  bool duplicate = false; ///< dedup hit: applied previously, re-acked only
+  uint64_t lsn = 0;
+};
+
+class DurabilityManager {
+ public:
+  /// Storages model "the disk": they are shared so a test harness can
+  /// keep them alive across simulated server crashes. Both required.
+  DurabilityManager(std::shared_ptr<LogStorage> wal_storage,
+                    std::shared_ptr<CheckpointStore> checkpoint_store,
+                    DurabilityConfig cfg = {});
+
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
+
+  /// Rebuilds the durable state into `arena`: restores the newest
+  /// checkpoint if present (arena geometry must match), attaches or
+  /// creates the tree, then replays every WAL record past the
+  /// checkpoint in LSN order — writes acked by the previous incarnation
+  /// are all reapplied, the dedup table is rebuilt from the records,
+  /// and a torn log tail is truncated. Must complete before the server
+  /// starts accepting traffic. Call at most once per manager.
+  rtree::RStarTree Recover(rtree::NodeArena& arena,
+                           rtree::RStarConfig tree_cfg = {});
+
+  /// The durable write path (see file header). Blocks until the record
+  /// is durable. Safe to call from concurrent server workers.
+  WriteResult ExecuteInsert(rtree::RStarTree& tree, uint64_t client_gen,
+                            uint64_t req_id, const geo::Rect& rect,
+                            uint64_t rect_id);
+  WriteResult ExecuteDelete(rtree::RStarTree& tree, uint64_t client_gen,
+                            uint64_t req_id, const geo::Rect& rect,
+                            uint64_t rect_id);
+
+  /// True once the WAL has outgrown cfg.checkpoint_wal_bytes.
+  bool ShouldCheckpoint() const;
+
+  /// Quiesces writers, snapshots arena + dedup + applied LSN, writes
+  /// the checkpoint blob, then truncates the WAL through that LSN.
+  /// Returns the applied LSN the checkpoint captured.
+  uint64_t Checkpoint(rtree::RStarTree& tree);
+
+  const RecoveryReport& recovery_report() const { return report_; }
+  /// Valid only after Recover() (the log's starting LSN is only known
+  /// once the checkpoint and log tail have been read).
+  const Wal& wal() const { return *wal_; }
+  uint64_t checkpoints_written() const;
+  const DurabilityConfig& config() const { return cfg_; }
+
+ private:
+  WriteResult Execute(WalOp op, rtree::RStarTree& tree, uint64_t client_gen,
+                      uint64_t req_id, const geo::Rect& rect,
+                      uint64_t rect_id);
+
+  DurabilityConfig cfg_;
+  std::shared_ptr<LogStorage> wal_storage_;
+  std::shared_ptr<CheckpointStore> checkpoint_store_;
+  std::optional<Wal> wal_;  ///< constructed by Recover()
+
+  /// Serializes append+apply (and checkpoints) so apply order == LSN
+  /// order; also guards dedup_. The tree's own writer lock stays in
+  /// place underneath — all tree writes flow through here, so this
+  /// mutex sees no extra contention beyond what the tree already had.
+  mutable std::mutex write_mu_;
+  DedupTable dedup_;
+  uint64_t applied_lsn_ = 0;
+  uint64_t checkpoints_ = 0;
+
+  RecoveryReport report_;
+  bool recovered_ = false;
+};
+
+}  // namespace catfish::durable

@@ -45,8 +45,9 @@ std::optional<SearchRequest> DecodeSearchRequest(
 }
 
 std::vector<std::byte> Encode(const InsertRequest& v) {
-  ByteWriter w(16 + kRectBytes);
+  ByteWriter w(24 + kRectBytes);
   w.Append(v.req_id);
+  w.Append(v.client_gen);
   AppendRect(w, v.rect);
   w.Append(v.rect_id);
   return w.Take();
@@ -54,18 +55,20 @@ std::vector<std::byte> Encode(const InsertRequest& v) {
 
 std::optional<InsertRequest> DecodeInsertRequest(
     std::span<const std::byte> payload) {
-  if (payload.size() != 16 + kRectBytes) return std::nullopt;
+  if (payload.size() != 24 + kRectBytes) return std::nullopt;
   ByteReader r(payload);
   InsertRequest v;
   v.req_id = r.Read<uint64_t>();
+  v.client_gen = r.Read<uint64_t>();
   v.rect = ReadRect(r);
   v.rect_id = r.Read<uint64_t>();
   return v;
 }
 
 std::vector<std::byte> Encode(const DeleteRequest& v) {
-  ByteWriter w(16 + kRectBytes);
+  ByteWriter w(24 + kRectBytes);
   w.Append(v.req_id);
+  w.Append(v.client_gen);
   AppendRect(w, v.rect);
   w.Append(v.rect_id);
   return w.Take();
@@ -73,10 +76,11 @@ std::vector<std::byte> Encode(const DeleteRequest& v) {
 
 std::optional<DeleteRequest> DecodeDeleteRequest(
     std::span<const std::byte> payload) {
-  if (payload.size() != 16 + kRectBytes) return std::nullopt;
+  if (payload.size() != 24 + kRectBytes) return std::nullopt;
   ByteReader r(payload);
   DeleteRequest v;
   v.req_id = r.Read<uint64_t>();
+  v.client_gen = r.Read<uint64_t>();
   v.rect = ReadRect(r);
   v.rect_id = r.Read<uint64_t>();
   return v;

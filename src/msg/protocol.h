@@ -35,14 +35,21 @@ struct SearchRequest {
   geo::Rect rect;
 };
 
+/// Write requests carry an exactly-once identity: `client_gen` names one
+/// client write session for its whole life (it survives reconnects) and
+/// `req_id` increases monotonically within it. The server dedups on the
+/// pair, so a request resent after a reconnect is acked from the WAL's
+/// recorded outcome instead of being applied twice.
 struct InsertRequest {
   uint64_t req_id = 0;
+  uint64_t client_gen = 0;
   geo::Rect rect;
   uint64_t rect_id = 0;
 };
 
 struct DeleteRequest {
   uint64_t req_id = 0;
+  uint64_t client_gen = 0;
   geo::Rect rect;
   uint64_t rect_id = 0;
 };

@@ -1,5 +1,6 @@
 #include "tcpkit/tcp_rtree.h"
 
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
 
@@ -8,6 +9,10 @@
 namespace catfish::tcpkit {
 
 using namespace std::chrono_literals;
+
+namespace {
+std::atomic<uint64_t> g_next_tcp_client_gen{1u << 20};  // disjoint from rdma clients
+}  // namespace
 
 TcpRTreeServer::TcpRTreeServer(rtree::RStarTree& tree, TcpServerConfig cfg)
     : tree_(&tree), cfg_(cfg) {}
@@ -90,7 +95,9 @@ void TcpRTreeServer::Handle(FramedConnection& conn, const msg::Message& m) {
 }
 
 TcpRTreeClient::TcpRTreeClient(TcpRTreeServer& server)
-    : conn_(server.Connect()) {}
+    : conn_(server.Connect()),
+      client_gen_(
+          g_next_tcp_client_gen.fetch_add(1, std::memory_order_relaxed)) {}
 
 msg::Message TcpRTreeClient::Await() {
   auto m = conn_.RecvFrame(30s);
@@ -125,7 +132,7 @@ bool TcpRTreeClient::Insert(const geo::Rect& rect, uint64_t id) {
   const uint64_t req_id = ++next_req_id_;
   conn_.SendFrame(static_cast<uint16_t>(msg::MsgType::kInsertReq),
                   msg::kFlagEnd,
-                  msg::Encode(msg::InsertRequest{req_id, rect, id}));
+                  msg::Encode(msg::InsertRequest{req_id, client_gen_, rect, id}));
   const msg::Message m = Await();
   const auto ack = msg::DecodeWriteAck(m.payload);
   if (!ack || ack->req_id != req_id) {
@@ -138,7 +145,7 @@ bool TcpRTreeClient::Delete(const geo::Rect& rect, uint64_t id) {
   const uint64_t req_id = ++next_req_id_;
   conn_.SendFrame(static_cast<uint16_t>(msg::MsgType::kDeleteReq),
                   msg::kFlagEnd,
-                  msg::Encode(msg::DeleteRequest{req_id, rect, id}));
+                  msg::Encode(msg::DeleteRequest{req_id, client_gen_, rect, id}));
   const msg::Message m = Await();
   const auto ack = msg::DecodeWriteAck(m.payload);
   if (!ack || ack->req_id != req_id) {

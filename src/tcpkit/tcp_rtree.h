@@ -68,6 +68,10 @@ class TcpRTreeClient {
 
   FramedConnection conn_;
   uint64_t next_req_id_ = 0;
+  /// Exactly-once write-session id (process-unique); the TCP baseline
+  /// never retries, but requests must still carry a well-formed identity
+  /// so a durable server can dedup them correctly.
+  uint64_t client_gen_ = 0;
 };
 
 }  // namespace catfish::tcpkit

@@ -48,6 +48,12 @@ const char* EventTypeName(EventType t) noexcept {
       return "reconnect";
     case EventType::kRequestTimeout:
       return "request_timeout";
+    case EventType::kWalStall:
+      return "wal_stall";
+    case EventType::kCheckpoint:
+      return "checkpoint";
+    case EventType::kReplay:
+      return "replay";
   }
   return "unknown";
 }

@@ -48,6 +48,11 @@ enum class EventType : uint8_t {
                        // b=re-bootstrap duration (us)
   kRequestTimeout = 11,  // a=1 ring stalled / 0 response timeout,
                          // b=deadline budget (us)
+  kWalStall = 12,      // actor=lsn, a=commit wait (us), b=stall threshold
+  kCheckpoint = 13,    // actor=applied_lsn, a=checkpoint bytes,
+                       // b=WAL bytes dropped by truncation
+  kReplay = 14,        // actor=records replayed, a=replay duration (us),
+                       // b=torn tail bytes truncated
 };
 
 /// Stable lower-case name for JSON / table export, e.g. "mode_switch".

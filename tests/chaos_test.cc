@@ -3,16 +3,26 @@
 // link under adaptive switching. Each test asserts the three recovery
 // invariants: bounded recovery time (no hangs), typed failures while
 // degraded, and post-recovery results that match a direct tree scan.
+//
+// Server restarts are real crashes: RestartServer() destroys the arena
+// and tree objects outright and the next incarnation rebuilds them from
+// the durable stores (checkpoint + WAL replay), so every post-restart
+// oracle comparison is a test of the recovery path, not of a tree that
+// secretly survived. RestartServerKeepState() keeps the old volatile
+// state for connectivity-only scenarios.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "catfish/bootstrap.h"
 #include "catfish/client.h"
 #include "catfish/server.h"
+#include "durable/manager.h"
 #include "rtree/bulk_load.h"
 #include "telemetry/events.h"
 #include "test_util.h"
@@ -32,9 +42,23 @@ std::vector<uint64_t> Ids(std::vector<rtree::Entry> entries) {
 
 class ChaosTest : public ::testing::Test {
  protected:
+  static constexpr size_t kArenaChunks = 1 << 13;
+
+  static durable::DurabilityConfig DurableConfig() {
+    durable::DurabilityConfig cfg;
+    // Small enough that write bursts trigger real mid-test checkpoints.
+    cfg.checkpoint_wal_bytes = 32 * 1024;
+    return cfg;
+  }
+
   void SetUp() override {
     telemetry::EventRecorder::Global().Clear();
-    arena_ = std::make_unique<rtree::NodeArena>(rtree::kChunkSize, 1 << 13);
+    // "The disk": both stores outlive every server incarnation.
+    wal_disk_ = std::make_shared<durable::MemLogStorage>();
+    ckpt_disk_ = std::make_shared<durable::MemCheckpointStore>();
+
+    arena_ = std::make_unique<rtree::NodeArena>(rtree::kChunkSize,
+                                                kArenaChunks);
     Xoshiro256 rng(11);
     std::vector<rtree::Entry> items;
     for (uint64_t i = 0; i < 800; ++i) {
@@ -42,30 +66,70 @@ class ChaosTest : public ::testing::Test {
       items.push_back({r, i});
       oracle_.Insert(r, i);
     }
-    tree_ = std::make_unique<rtree::RStarTree>(rtree::BulkLoad(*arena_, items));
+    const auto loaded = rtree::BulkLoad(*arena_, items);
+    // Bulk load bypasses the WAL, so seed the disk with an explicit
+    // checkpoint of the loaded tree; recovery below then restores it —
+    // the first incarnation already serves durably-backed state.
+    durable::CheckpointMeta meta;
+    meta.applied_lsn = 0;
+    meta.tree_size = loaded.size();
+    meta.tree_height = loaded.height();
+    meta.write_epoch = loaded.write_epoch();
+    ckpt_disk_->Write(durable::EncodeCheckpoint(
+        *arena_, durable::DedupTable(DurableConfig().dedup_window), meta));
+
     fabric_ = std::make_unique<rdma::Fabric>(rdma::FabricProfile::Instant());
     server_cfg_.heartbeat_interval_us = 1'000;
     server_node_ = fabric_->CreateNode("server");
+    RecoverState();
     StartServer();
   }
 
   void TearDown() override { StopServer(); }
 
+  /// Rebuilds arena + tree from the durable stores, exactly as a fresh
+  /// server process would. Destroys whatever volatile state existed.
+  void RecoverState() {
+    tree_.reset();
+    arena_ =
+        std::make_unique<rtree::NodeArena>(rtree::kChunkSize, kArenaChunks);
+    durability_ = std::make_unique<durable::DurabilityManager>(
+        wal_disk_, ckpt_disk_, DurableConfig());
+    tree_ = std::make_unique<rtree::RStarTree>(durability_->Recover(*arena_));
+  }
+
   void StartServer() {
+    const std::scoped_lock lock(boot_mu_);
+    server_cfg_.durability = durability_.get();
     server_ = std::make_unique<RTreeServer>(server_node_, *tree_, server_cfg_);
     acceptor_ = std::make_unique<BootstrapAcceptor>(*server_, *fabric_);
   }
 
   void StopServer() {
-    if (acceptor_) acceptor_->Stop();
-    if (server_) server_->Stop();
-    acceptor_.reset();
-    server_.reset();
+    std::unique_ptr<BootstrapAcceptor> acceptor;
+    std::unique_ptr<RTreeServer> server;
+    {
+      const std::scoped_lock lock(boot_mu_);
+      acceptor = std::move(acceptor_);
+      server = std::move(server_);
+    }
+    if (acceptor) acceptor->Stop();
+    if (server) server->Stop();
   }
 
-  /// A full crash/reboot: old rkeys and QPNs die with the node; the new
-  /// incarnation re-registers everything under a bumped generation.
+  /// A full crash/reboot: old rkeys and QPNs die with the node, and the
+  /// volatile arena/tree die with the process image — the new
+  /// incarnation recovers from checkpoint + WAL before serving.
   void RestartServer() {
+    StopServer();
+    RecoverState();
+    server_node_ = fabric_->RestartNode("server");
+    StartServer();
+  }
+
+  /// Reboot that keeps the in-memory tree (connectivity-only fault: the
+  /// fabric identity changes but no state was lost).
+  void RestartServerKeepState() {
     StopServer();
     server_node_ = fabric_->RestartNode("server");
     StartServer();
@@ -88,22 +152,28 @@ class ChaosTest : public ::testing::Test {
 
   /// Dials through the *current* acceptor, so a client created here can
   /// re-bootstrap against whatever incarnation is live at recovery time.
+  /// Safe to call from helper threads concurrently with a restart.
   std::unique_ptr<RTreeClient> Connect(const std::string& name,
                                        ClientConfig cfg) {
     auto node = fabric_->CreateNode(name);
     return ConnectViaBootstrap(
         [this] {
+          const std::scoped_lock lock(boot_mu_);
           if (!acceptor_) throw std::runtime_error("no acceptor");
           return acceptor_->Dial();
         },
         node, cfg);
   }
 
+  std::shared_ptr<durable::MemLogStorage> wal_disk_;
+  std::shared_ptr<durable::MemCheckpointStore> ckpt_disk_;
+  std::unique_ptr<durable::DurabilityManager> durability_;
   std::unique_ptr<rtree::NodeArena> arena_;
   std::unique_ptr<rtree::RStarTree> tree_;
   std::unique_ptr<rdma::Fabric> fabric_;
   std::shared_ptr<rdma::SimNode> server_node_;
   ServerConfig server_cfg_;
+  std::mutex boot_mu_;  ///< guards server_/acceptor_ vs dialing threads
   std::unique_ptr<RTreeServer> server_;
   std::unique_ptr<BootstrapAcceptor> acceptor_;
   testutil::BruteForceIndex oracle_;
@@ -155,6 +225,7 @@ TEST_F(ChaosTest, ServerRestartMidBurstRecovers) {
 
   // The flight recorder observed the failover: a watchdog escalation
   // followed by a reconnect.
+#if CATFISH_TELEMETRY_ENABLED
   const auto events = telemetry::EventRecorder::Global().Drain();
   bool saw_trip = false, saw_reconnect = false;
   for (const auto& e : events) {
@@ -165,6 +236,160 @@ TEST_F(ChaosTest, ServerRestartMidBurstRecovers) {
   }
   EXPECT_TRUE(saw_trip);
   EXPECT_TRUE(saw_reconnect);
+#endif
+}
+
+TEST_F(ChaosTest, DurableRestartRecoversAckedWrites) {
+  auto cfg = ChaosClientConfig();
+  // A checkpoint quiesces writers and the monitor alike; a write (and
+  // the heartbeats) can stall past the watchdog budget while it runs.
+  // The retry path absorbs that — resends dedup server-side.
+  cfg.write_attempts = 50;
+  auto client = Connect("client-w", cfg);
+  Xoshiro256 rng(31);
+
+  // A write burst against the durable path: enough bytes to trip the
+  // 32 KB checkpoint threshold at least once mid-burst, plus a tail of
+  // writes that only the WAL has seen at crash time.
+  for (uint64_t i = 0; i < 600; ++i) {
+    const auto r = RandomRect(rng, 0.01);
+    ASSERT_TRUE(client->Insert(r, 10'000 + i));
+    oracle_.Insert(r, 10'000 + i);
+    if (i % 7 == 0) {
+      const auto q = RandomRect(rng, 0.02);
+      for (const uint64_t id : oracle_.Search(q)) {
+        if (id >= 10'000) {
+          // Delete an entry we inserted earlier — exercises the delete
+          // record path through WAL and replay.
+          const auto rect = oracle_.RectOf(id);
+          ASSERT_TRUE(client->Delete(rect, id));
+          oracle_.Delete(rect, id);
+          break;
+        }
+      }
+    }
+  }
+  // The last acked write before the crash must survive recovery.
+  const geo::Rect last{0.91, 0.91, 0.912, 0.912};
+  ASSERT_TRUE(client->Insert(last, 99'999));
+  oracle_.Insert(last, 99'999);
+
+  const uint64_t checkpoints_before = ckpt_disk_->writes();
+  EXPECT_GE(checkpoints_before, 2u)  // the seed write + >=1 triggered
+      << "write burst never tripped the checkpoint threshold";
+
+  // Crash. The arena and tree objects are destroyed; the only way the
+  // next incarnation can answer correctly is checkpoint + WAL replay.
+  RestartServer();
+  const auto& report = durability_->recovery_report();
+  EXPECT_TRUE(report.checkpoint_loaded);
+
+  ASSERT_TRUE(testutil::WaitUntil(
+      [&] {
+        try {
+          return Ids(client->SearchFast(last)) == oracle_.Search(last);
+        } catch (const ClientError&) {
+          return false;
+        }
+      },
+      10s));
+
+  // Full-domain scan equality: every acked write (including the final
+  // one) is present exactly once, nothing was lost or doubled.
+  const geo::Rect all{0.0, 0.0, 1.0, 1.0};
+  EXPECT_EQ(Ids(client->SearchFast(all)), oracle_.Search(all));
+  EXPECT_EQ(Ids(client->SearchOffloaded(all)), oracle_.Search(all));
+
+  // Recovery telemetry: the flight recorder saw the replay.
+#if CATFISH_TELEMETRY_ENABLED
+  const auto events = telemetry::EventRecorder::Global().Drain();
+  bool saw_replay = false;
+  for (const auto& e : events) {
+    if (e.type == telemetry::EventType::kReplay) saw_replay = true;
+  }
+  EXPECT_TRUE(saw_replay);
+#endif
+}
+
+TEST_F(ChaosTest, ExactlyOnceWritesAcrossCrashMidBurst) {
+  auto cfg = ChaosClientConfig();
+  // Generous retry budget: the writer must ride out the whole restart
+  // window (watchdog trip + failed re-dials while the acceptor is down)
+  // by resending the same (client_gen, req_id), never a fresh req_id.
+  cfg.write_attempts = 500;
+  auto client = Connect("client-x", cfg);
+
+  constexpr uint64_t kWrites = 300;
+  std::atomic<uint64_t> acked{0};
+  std::thread writer([&] {
+    Xoshiro256 rng(41);
+    for (uint64_t i = 0; i < kWrites; ++i) {
+      const auto r = RandomRect(rng, 0.01);
+      ASSERT_TRUE(client->Insert(r, 50'000 + i));
+      acked.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Crash the server mid-burst, while writes are in flight.
+  ASSERT_TRUE(testutil::WaitUntil(
+      [&] { return acked.load(std::memory_order_relaxed) >= 50; }, 30s));
+  RestartServer();
+  writer.join();
+  ASSERT_EQ(acked.load(), kWrites);
+
+  // Every insert was acked exactly once; now prove each was *applied*
+  // exactly once: a retried write that was already applied before the
+  // crash must have been deduped (from the replayed WAL), not re-run.
+  const geo::Rect all{0.0, 0.0, 1.0, 1.0};
+  std::vector<uint64_t> ids;
+  ASSERT_TRUE(testutil::WaitUntil(
+      [&] {
+        try {
+          ids = Ids(client->SearchFast(all));
+          return true;
+        } catch (const ClientError&) {
+          return false;
+        }
+      },
+      10s));
+  uint64_t mine = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] >= 50'000) {
+      ++mine;
+      ASSERT_TRUE(i + 1 == ids.size() || ids[i + 1] != ids[i])
+          << "write " << ids[i] << " applied twice";
+    }
+  }
+  EXPECT_EQ(mine, kWrites);
+}
+
+TEST_F(ChaosTest, KeepStateRestartIsConnectivityOnly) {
+  auto client = Connect("client-k", ChaosClientConfig());
+  Xoshiro256 rng(51);
+  const uint64_t wal_before = wal_disk_->sync_count();
+
+  // Reboot the fabric identity but keep the volatile tree: the client
+  // must re-bootstrap, and no recovery (checkpoint load / replay) may
+  // run — this is the path for connectivity-only faults.
+  RestartServerKeepState();
+  ASSERT_TRUE(testutil::WaitUntil(
+      [&] {
+        try {
+          const auto q = RandomRect(rng, 0.05);
+          return Ids(client->SearchFast(q)) == oracle_.Search(q);
+        } catch (const ClientError&) {
+          return false;
+        }
+      },
+      10s));
+  EXPECT_EQ(client->server_generation(), 2u);
+  EXPECT_EQ(durability_->recovery_report().records_replayed, 0u);
+  EXPECT_EQ(wal_disk_->sync_count(), wal_before);
+
+  for (int i = 0; i < 10; ++i) {
+    const auto q = RandomRect(rng, 0.05);
+    EXPECT_EQ(Ids(client->SearchFast(q)), oracle_.Search(q));
+  }
 }
 
 TEST_F(ChaosTest, PartitionDuringOffloadFailsTypedThenHeals) {
@@ -293,6 +518,7 @@ TEST_F(ChaosTest, ScriptedFaultScheduleEndToEnd) {
 
   // Recovery is observable and bounded in the flight recorder: the
   // kReconnect event carries the re-bootstrap duration in b.
+#if CATFISH_TELEMETRY_ENABLED
   const auto events = telemetry::EventRecorder::Global().Drain();
   bool saw_reconnect = false;
   for (const auto& e : events) {
@@ -302,6 +528,7 @@ TEST_F(ChaosTest, ScriptedFaultScheduleEndToEnd) {
     }
   }
   EXPECT_TRUE(saw_reconnect);
+#endif
 }
 
 }  // namespace

@@ -17,19 +17,30 @@ TEST(ProtocolTest, SearchRequestRoundTrip) {
 }
 
 TEST(ProtocolTest, InsertRequestRoundTrip) {
-  const InsertRequest req{7, geo::Rect{0.5, 0.6, 0.7, 0.8}, 1234};
+  const InsertRequest req{7, 11, geo::Rect{0.5, 0.6, 0.7, 0.8}, 1234};
   const auto decoded = DecodeInsertRequest(Encode(req));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->req_id, 7u);
+  EXPECT_EQ(decoded->client_gen, 11u);
   EXPECT_EQ(decoded->rect, req.rect);
   EXPECT_EQ(decoded->rect_id, 1234u);
 }
 
 TEST(ProtocolTest, DeleteRequestRoundTrip) {
-  const DeleteRequest req{8, geo::Rect{0.0, 0.0, 0.1, 0.1}, 99};
+  const DeleteRequest req{8, 12, geo::Rect{0.0, 0.0, 0.1, 0.1}, 99};
   const auto decoded = DecodeDeleteRequest(Encode(req));
   ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->client_gen, 12u);
   EXPECT_EQ(decoded->rect_id, 99u);
+}
+
+TEST(ProtocolTest, WriteRequestsRejectPreGenerationWireSize) {
+  // The pre-exactly-once 56-byte insert/delete frame must not decode: a
+  // silent field shift would hand the dedup table a garbage identity.
+  auto encoded = Encode(InsertRequest{7, 11, geo::Rect{0, 0, 1, 1}, 5});
+  encoded.resize(encoded.size() - 8);
+  EXPECT_FALSE(DecodeInsertRequest(encoded).has_value());
+  EXPECT_FALSE(DecodeDeleteRequest(encoded).has_value());
 }
 
 TEST(ProtocolTest, WriteAckRoundTrip) {

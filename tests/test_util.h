@@ -65,6 +65,14 @@ class BruteForceIndex {
     return out;
   }
 
+  /// Rect stored under `id` (first match). Precondition: id is present.
+  geo::Rect RectOf(uint64_t id) const {
+    for (const auto& [rect, stored] : items_) {
+      if (stored == id) return rect;
+    }
+    return geo::Rect{};
+  }
+
   size_t size() const { return items_.size(); }
   const std::vector<std::pair<geo::Rect, uint64_t>>& items() const {
     return items_;
