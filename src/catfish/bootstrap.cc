@@ -51,8 +51,14 @@ std::optional<WireClientHello> DecodeClientHello(
   return v;
 }
 
+namespace {
+/// The fixed prefix every server hello starts with; the shard tail
+/// (shard_id + length-prefixed extension) is optional behind it.
+inline constexpr size_t kServerHelloBaseBytes = 4 + 8 + 4 + 8 + 4 + 4 + 8 + 4 + 8;
+}  // namespace
+
 std::vector<std::byte> Encode(const WireServerHello& v) {
-  ByteWriter w(56);
+  ByteWriter w(kServerHelloBaseBytes + v.extension.size() + 8);
   w.Append(v.arena_rkey);
   w.Append(v.arena_length);
   w.Append(v.request_ring_rkey);
@@ -62,12 +68,19 @@ std::vector<std::byte> Encode(const WireServerHello& v) {
   w.Append(v.chunk_size);
   w.Append(v.tree_height);
   w.Append(v.generation);
+  // Emit the tail only when it carries information, so a single-node
+  // hello stays identical to the legacy format on the wire.
+  if (v.shard_id != 0 || !v.extension.empty()) {
+    w.Append(v.shard_id);
+    w.Append(static_cast<uint32_t>(v.extension.size()));
+    w.AppendBytes(v.extension);
+  }
   return w.Take();
 }
 
 std::optional<WireServerHello> DecodeServerHello(
     std::span<const std::byte> payload) {
-  if (payload.size() != 4 + 8 + 4 + 8 + 4 + 4 + 8 + 4 + 8) return std::nullopt;
+  if (payload.size() < kServerHelloBaseBytes) return std::nullopt;
   ByteReader r(payload);
   WireServerHello v;
   v.arena_rkey = r.Read<uint32_t>();
@@ -79,6 +92,14 @@ std::optional<WireServerHello> DecodeServerHello(
   v.chunk_size = r.Read<uint64_t>();
   v.tree_height = r.Read<uint32_t>();
   v.generation = r.Read<uint64_t>();
+  if (r.AtEnd()) return v;  // legacy hello, no shard tail
+  if (r.remaining() < 8) return std::nullopt;
+  v.shard_id = r.Read<uint32_t>();
+  const uint32_t ext_len = r.Read<uint32_t>();
+  if (ext_len > kMaxHelloExtensionBytes) return std::nullopt;
+  if (r.remaining() != ext_len) return std::nullopt;
+  const auto ext = r.ReadBytes(ext_len);
+  v.extension.assign(ext.begin(), ext.end());
   return v;
 }
 
@@ -96,6 +117,13 @@ void BootstrapAcceptor::Stop() {
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
+}
+
+void BootstrapAcceptor::SetHelloExtension(
+    uint32_t shard_id, std::function<std::vector<std::byte>()> provider) {
+  const std::scoped_lock lock(ext_mu_);
+  ext_shard_id_ = shard_id;
+  ext_provider_ = std::move(provider);
 }
 
 std::shared_ptr<tcpkit::Stream> BootstrapAcceptor::Dial() {
@@ -147,6 +175,13 @@ void BootstrapAcceptor::Serve(std::shared_ptr<tcpkit::Stream> endpoint) {
   reply.chunk_size = sb.chunk_size;
   reply.tree_height = sb.tree_height;
   reply.generation = sb.generation;
+  {
+    const std::scoped_lock lock(ext_mu_);
+    if (ext_provider_) {
+      reply.shard_id = ext_shard_id_;
+      reply.extension = ext_provider_();
+    }
+  }
   conn.SendFrame(kServerHelloFrame, 0, Encode(reply));
 }
 
@@ -183,6 +218,8 @@ ServerBootstrap HelloRoundTrip(tcpkit::FramedConnection& conn,
   boot.chunk_size = sh->chunk_size;
   boot.tree_height = sh->tree_height;
   boot.generation = sh->generation;
+  boot.shard_id = sh->shard_id;
+  boot.hello_extension = sh->extension;
   return boot;
 }
 

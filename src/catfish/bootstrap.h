@@ -48,6 +48,13 @@ struct WireServerHello {
   /// Server incarnation (bumped by a restart); lets a recovering client
   /// tell a fresh server from the one it lost.
   uint64_t generation = 0;
+  /// Optional tail (sharded deployments): which shard this endpoint
+  /// serves, plus an opaque extension blob — the encoded routing table
+  /// (shard::ShardMap) in the sharded stack. A legacy hello (no tail on
+  /// the wire) decodes to shard_id 0 and an empty extension, so
+  /// single-node deployments are unchanged byte-for-byte.
+  uint32_t shard_id = 0;
+  std::vector<std::byte> extension;
 };
 
 std::vector<std::byte> Encode(const WireClientHello& v);
@@ -61,6 +68,10 @@ std::optional<WireServerHello> DecodeServerHello(
 /// msg::MsgType space).
 inline constexpr uint16_t kClientHelloFrame = 100;
 inline constexpr uint16_t kServerHelloFrame = 101;
+
+/// Upper bound on the hello extension blob; a decoder must reject a
+/// claimed length above this before allocating.
+inline constexpr uint32_t kMaxHelloExtensionBytes = 1 << 20;
 
 /// Server side of the bootstrap channel: accepts TCP connections, runs
 /// one handshake per connection (resolve the client QP, wire the rings,
@@ -77,6 +88,15 @@ class BootstrapAcceptor {
   /// TCP stream whose server side is being served by a handshake thread.
   std::shared_ptr<tcpkit::Stream> Dial();
 
+  /// Installs the hello-extension hook: every subsequent server hello
+  /// carries `shard_id` and the bytes `provider` returns at handshake
+  /// time (re-evaluated per handshake, so a republished routing table is
+  /// picked up by the next bootstrap without restarting the acceptor).
+  /// The acceptor stays ignorant of the blob's meaning — src/shard owns
+  /// the encoding — so catfish keeps no dependency on the shard layer.
+  void SetHelloExtension(uint32_t shard_id,
+                         std::function<std::vector<std::byte>()> provider);
+
   void Stop();
   uint64_t handshakes() const noexcept {
     return handshakes_.load(std::memory_order_relaxed);
@@ -87,6 +107,9 @@ class BootstrapAcceptor {
 
   RTreeServer* server_;
   rdma::Fabric* fabric_;
+  mutable std::mutex ext_mu_;
+  uint32_t ext_shard_id_ = 0;
+  std::function<std::vector<std::byte>()> ext_provider_;
   std::atomic<bool> stop_{false};
   std::mutex threads_mu_;
   std::vector<std::thread> threads_;

@@ -254,6 +254,10 @@ void RTreeClient::OnHeartbeatMessage(const msg::Heartbeat& hb) {
   controller_.OnHeartbeat(hb.cpu_util);
   ++stats_.heartbeats_received;
   last_heartbeat_us_ = NowMicros();
+  if (hb.map_version != 0 &&
+      hb.map_version > advertised_map_version_.load(std::memory_order_relaxed)) {
+    advertised_map_version_.store(hb.map_version, std::memory_order_relaxed);
+  }
   if (conn_state_ != ConnState::kConnected) {
     // Liveness proof: the link recovered without a re-bootstrap (e.g. a
     // healed partition — same QP, same rings, same server generation).
@@ -374,6 +378,34 @@ std::vector<rtree::Entry> RTreeClient::SearchFast(const geo::Rect& rect) {
                     static_cast<int64_t>(results.size()));
     if (own_trace) FinishTrace();
   }
+  return results;
+}
+
+uint64_t RTreeClient::SearchFastBegin(const geo::Rect& rect) {
+  PumpPending();
+  EnsureUsable(/*fast_path=*/true);
+  const uint64_t req_id = ++next_req_id_;
+  SendRequest(msg::MsgType::kSearchReq,
+              msg::Encode(msg::SearchRequest{req_id, rect}));
+  return req_id;
+}
+
+std::vector<rtree::Entry> RTreeClient::SearchFastCollect(uint64_t req_id) {
+  std::vector<rtree::Entry> results;
+  for (;;) {
+    const msg::Message m = AwaitMessage(req_id);
+    if (static_cast<msg::MsgType>(m.type) != msg::MsgType::kSearchResp) {
+      throw std::logic_error("catfish client: expected search response");
+    }
+    const auto seg = msg::DecodeSearchResponseSegment(m.payload);
+    if (!seg || seg->req_id != req_id) {
+      throw std::logic_error("catfish client: response id mismatch");
+    }
+    results.insert(results.end(), seg->entries.begin(), seg->entries.end());
+    if (m.flags & msg::kFlagEnd) break;
+  }
+  ++stats_.fast_searches;
+  CATFISH_COUNT("catfish.client.search.fast");
   return results;
 }
 

@@ -18,6 +18,7 @@
 // the paper's "independent client threads" workload model.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -168,6 +169,16 @@ class RTreeClient {
   /// Forces the fast-messaging path for this request.
   std::vector<rtree::Entry> SearchFast(const geo::Rect& rect);
 
+  /// Split fast-path search for cross-shard fan-out: Begin stages the
+  /// request into the server's ring and returns without waiting, so a
+  /// sharded caller can put one sub-query in flight on every intersecting
+  /// shard before collecting any of them (the sub-queries' server-side
+  /// traversals then overlap instead of serializing). Each Begin must be
+  /// followed by exactly one Collect with the returned req_id before any
+  /// other operation runs on this client.
+  uint64_t SearchFastBegin(const geo::Rect& rect);
+  std::vector<rtree::Entry> SearchFastCollect(uint64_t req_id);
+
   /// Forces the offloading path; optionally reports the traversal trace.
   std::vector<rtree::Entry> SearchOffloaded(
       const geo::Rect& rect, rtree::TraversalTrace* trace = nullptr);
@@ -208,6 +219,22 @@ class RTreeClient {
   ConnState conn_state() const noexcept { return conn_state_; }
   /// The generation of the server incarnation we are wired against.
   uint64_t server_generation() const noexcept { return boot_.generation; }
+  /// Sharded deployments: which shard this connection serves and the
+  /// opaque hello extension (the encoded routing table) from the most
+  /// recent handshake — refreshed by Reconnect(), so after a failover
+  /// these reflect the new server incarnation's map.
+  uint32_t shard_id() const noexcept { return boot_.shard_id; }
+  const std::vector<std::byte>& hello_extension() const noexcept {
+    return boot_.hello_extension;
+  }
+  /// The newest routing-table version any heartbeat from this server has
+  /// advertised (0 until one arrives; single-node servers never advertise).
+  /// A value above the locally-cached map's version means the cluster
+  /// republished — ShardedRTreeClient re-bootstraps proactively instead
+  /// of waiting for an op against the restarted shard to fail.
+  uint64_t advertised_map_version() const noexcept {
+    return advertised_map_version_.load(std::memory_order_relaxed);
+  }
   /// This client's exactly-once write-session id (stamped on every
   /// Insert/Delete, process-unique, survives reconnects).
   uint64_t client_gen() const noexcept { return client_gen_; }
@@ -300,6 +327,9 @@ class RTreeClient {
   HandshakeFn reconnect_shake_;
   ConnState conn_state_ = ConnState::kConnected;
   uint64_t last_heartbeat_us_ = 0;  ///< also set at (re)connect time
+  /// Atomic: heartbeats are consumed on whichever thread pumps the ring,
+  /// while the sharded router reads this from its own op path.
+  std::atomic<uint64_t> advertised_map_version_{0};
 
   /// One-sided access to the server's arena: the QP transport plus the
   /// shared read→validate→retry engine (src/remote) the offload path

@@ -285,8 +285,12 @@ void RTreeServer::MonitorLoop() {
     const double advertised = overridden >= 0.0 ? overridden : util;
     CATFISH_EVENT(kUtilization, NowMicros(), hb_seq + 1, util, advertised);
 
-    const auto hb = msg::Encode(msg::Heartbeat{
-        ++hb_seq, advertised, tree_->write_epoch(), node_->generation()});
+    const uint64_t map_version =
+        cfg_.map_version ? cfg_.map_version->load(std::memory_order_relaxed)
+                         : 0;
+    const auto hb = msg::Encode(
+        msg::Heartbeat{++hb_seq, advertised, tree_->write_epoch(),
+                       node_->generation(), map_version});
     const std::scoped_lock lock(conns_mu_);
     for (auto& conn : conns_) {
       const std::scoped_lock send_lock(conn->send_mu);

@@ -60,6 +60,13 @@ struct ServerConfig {
   /// returned) before constructing the server. Null = volatile writes.
   /// The manager must outlive the server.
   durable::DurabilityManager* durability = nullptr;
+  /// Sharded deployments only: the host's routing-table version
+  /// (ShardHost points every shard's server at one shared counter). The
+  /// monitor thread reads it on each heartbeat so clients learn about a
+  /// republished map — any shard's restart — within one heartbeat
+  /// interval. Null = single-node; heartbeats carry no map version and
+  /// stay on the legacy wire size. Must outlive the server.
+  const std::atomic<uint64_t>* map_version = nullptr;
 };
 
 /// What the client must learn during connection setup (the paper
@@ -76,6 +83,11 @@ struct ServerBootstrap {
   /// by a restart; the client's failover path compares it to decide
   /// whether cached rkeys/ring wiring survived.
   uint64_t generation = 0;
+  /// Sharded deployments only (see catfish/bootstrap.h): the shard this
+  /// endpoint serves and the opaque hello extension (the encoded routing
+  /// table). Zero / empty on a single-node server.
+  uint32_t shard_id = 0;
+  std::vector<std::byte> hello_extension;
 };
 
 /// What the server must learn about the client side.
@@ -131,6 +143,11 @@ class RTreeServer {
   ServerStats stats() const;
   size_t connection_count() const;
   rtree::RStarTree& tree() noexcept { return *tree_; }
+  /// The arena registration handed to every client (the sharded host
+  /// publishes its rkey in the routing table).
+  const rdma::MemoryRegionHandle& arena_mr() const noexcept {
+    return arena_mr_;
+  }
   const std::shared_ptr<rdma::SimNode>& node() const noexcept {
     return node_;
   }

@@ -1,6 +1,7 @@
 // Simulated contended resources: multi-core CPU pools and network links.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -50,6 +51,31 @@ class CpuPool {
   unsigned busy_ = 0;
   std::deque<Job> queue_;
   double busy_core_us_ = 0.0;
+};
+
+/// Windowed-utilization accumulator for heartbeat emitters: each
+/// Advance() returns Δbusy / (Δwall · cores) since the previous call,
+/// clamped to [0,1], and opens the next window. This is the u_serv each
+/// heartbeat carries (Algorithm 1); keeping the window state here lets
+/// every model (single-server cluster, per-shard) share one definition
+/// instead of hand-rolling the start-of-window bookkeeping.
+class UtilizationWindow {
+ public:
+  /// `busy_core_us` is the emitter's cumulative busy core-time (e.g. the
+  /// sum over its CpuPools) at virtual time `now_us`.
+  double Advance(double now_us, double busy_core_us, double cores) noexcept {
+    const double window_us = now_us - start_t_us_;
+    const double util =
+        std::min(1.0, (busy_core_us - start_busy_us_) /
+                          std::max(1.0, window_us * cores));
+    start_busy_us_ = busy_core_us;
+    start_t_us_ = now_us;
+    return util;
+  }
+
+ private:
+  double start_busy_us_ = 0.0;
+  double start_t_us_ = 0.0;
 };
 
 /// A unidirectional link: transfers serialize at `bandwidth_gbps`, then

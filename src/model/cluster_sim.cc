@@ -324,13 +324,9 @@ void ClusterSim::ScheduleHeartbeat() {
   sched_.After(cfg_.adaptive.heartbeat_interval_us, [this]() {
     if (outstanding_ == 0) return;  // run drained; stop the pulse
     const double now = sched_.now();
-    const double window = now - hb_window_start_t_;
-    const double busy = cpu_->busy_core_us() + writer_->busy_core_us();
-    const double util =
-        std::min(1.0, (busy - hb_window_start_busy_) /
-                          std::max(1.0, window * cfg_.server_cores));
-    hb_window_start_busy_ = busy;
-    hb_window_start_t_ = now;
+    const double util = hb_window_.Advance(
+        now, cpu_->busy_core_us() + writer_->busy_core_us(),
+        cfg_.server_cores);
     CATFISH_GAUGE_SET("catfish.server.utilization", util);
     CATFISH_EVENT(kUtilization, static_cast<uint64_t>(now), 0, util, util);
     for (auto& c : clients_) {

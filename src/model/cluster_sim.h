@@ -153,8 +153,7 @@ class ClusterSim {
   RunResult result_;
   uint64_t outstanding_ = 0;
   double insert_service_cum_us_ = 0.0;
-  double hb_window_start_busy_ = 0.0;
-  double hb_window_start_t_ = 0.0;
+  des::UtilizationWindow hb_window_;
 };
 
 }  // namespace catfish::model

@@ -1,0 +1,419 @@
+#include "model/shard_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "rtree/bulk_load.h"
+#include "telemetry/metrics.h"
+
+namespace catfish::model {
+
+ShardedClusterSim::ShardedClusterSim(std::span<const rtree::Entry> items,
+                                     ShardedClusterConfig cfg)
+    : cfg_(cfg), fabric_(rdma::FabricProfile::InfiniBand100G()) {
+  if (cfg_.scheme == Scheme::kTcp1G || cfg_.scheme == Scheme::kTcp40G) {
+    throw std::invalid_argument(
+        "ShardedClusterSim: TCP schemes are not modeled");
+  }
+  if (cfg_.num_shards == 0) cfg_.num_shards = 1;
+
+  map_ = shard::BuildGridMap(items, cfg_.num_shards);
+  map_.version = 1;
+  // BuildGridMap's slop covers the bulk-loaded extents only; workload
+  // inserts can be larger (edges up to the scale draw), so raise the
+  // query expansion to their half-extent — the ShardHost::min_slop knob.
+  if (cfg_.workload.insert_ratio > 0.0) {
+    const double max_edge =
+        cfg_.workload.dist == workload::RequestGen::ScaleDist::kPowerLaw
+            ? cfg_.workload.pl_hi
+            : cfg_.workload.scale;
+    map_.slop = std::max(map_.slop, max_edge / 2.0);
+  }
+  auto buckets = shard::PartitionItems(map_, items);
+  oracle_items_.assign(items.begin(), items.end());
+
+  for (uint32_t i = 0; i < cfg_.num_shards; ++i) {
+    auto s = std::make_unique<ShardRes>();
+    s->arena = std::make_unique<rtree::NodeArena>(rtree::kChunkSize,
+                                                  cfg_.arena_chunks);
+    s->tree = std::make_unique<rtree::RStarTree>(
+        rtree::BulkLoad(*s->arena, buckets[i]));
+    s->cpu = std::make_unique<des::CpuPool>(sched_, cfg_.server_cores);
+    s->writer = std::make_unique<des::CpuPool>(sched_, 1);
+    s->nic = std::make_unique<des::CpuPool>(sched_, 1);
+    s->up = std::make_unique<des::Link>(sched_, fabric_.bandwidth_gbps,
+                                        fabric_.base_latency_us);
+    s->down = std::make_unique<des::Link>(sched_, fabric_.bandwidth_gbps,
+                                          fabric_.base_latency_us);
+    shards_.push_back(std::move(s));
+  }
+
+  for (size_t i = 0; i < cfg_.num_clients; ++i) {
+    auto c = std::make_unique<Client>(i, cfg_.workload,
+                                      cfg_.seed + i * 7919);
+    c->remaining = cfg_.requests_per_client;
+    for (uint32_t sh = 0; sh < cfg_.num_shards; ++sh) {
+      c->ctrl.emplace_back(cfg_.adaptive,
+                           (cfg_.seed + i * 7919) ^ (0x9e3779b9u + sh), i);
+    }
+    clients_.push_back(std::move(c));
+  }
+}
+
+ShardedClusterSim::~ShardedClusterSim() = default;
+
+double ShardedClusterSim::PollingPickupUs() const noexcept {
+  // Polling burn scales with connections per shard machine: clients
+  // spread their connections over every shard, so each shard carries
+  // num_clients connections but only 1/num_shards of the request rate.
+  const double c = static_cast<double>(cfg_.num_clients);
+  const double k = cfg_.server_cores;
+  if (c <= k) return 0.0;
+  return cfg_.costs.poll_quantum_us * c * c / k;
+}
+
+double ShardedClusterSim::ReadRetryProbability(
+    const ShardRes& s) const noexcept {
+  const double now = std::max(sched_.now(), 1.0);
+  const double write_busy = std::min(1.0, s.insert_service_cum_us / now);
+  return std::min(0.5, write_busy * cfg_.conflict_factor);
+}
+
+void ShardedClusterSim::CompleteRequest(Client& c, workload::OpType op,
+                                        double t0) {
+  const double latency = sched_.now() - t0;
+  result_.latency_us.Add(latency);
+  if (op == workload::OpType::kInsert) {
+    result_.insert_latency_us.Add(latency);
+    ++result_.inserts;
+  } else {
+    result_.search_latency_us.Add(latency);
+    CATFISH_TIMER_RECORD_US("shard.client.search_us", latency);
+  }
+  ++result_.completed;
+  --outstanding_;
+  result_.duration_us = sched_.now();
+  StartNextRequest(c);
+}
+
+void ShardedClusterSim::StartNextRequest(Client& c) {
+  if (c.remaining == 0) return;
+  --c.remaining;
+  ++outstanding_;
+  const workload::Request req = c.gen.Next();
+  if (req.op == workload::OpType::kInsert) {
+    ExecInsert(c, req);
+  } else {
+    StartSearch(c, req.rect);
+  }
+}
+
+void ShardedClusterSim::OracleCheck(const geo::Rect& rect) {
+  // Both sides evaluated at the same virtual instant: the union of the
+  // per-shard traversals against a scan of everything applied so far.
+  ++result_.oracle_checks;
+  std::vector<uint64_t> got;
+  std::vector<rtree::Entry> out;
+  std::vector<uint32_t> targets;
+  map_.QueryShards(rect, targets);
+  for (const uint32_t sh : targets) {
+    out.clear();
+    rtree::SearchStats st;
+    shards_[sh]->tree->SearchTraced(rect, out, &st, nullptr);
+    for (const auto& e : out) got.push_back(e.id);
+  }
+  std::vector<uint64_t> want;
+  for (const auto& e : oracle_items_) {
+    if (e.mbr.Intersects(rect)) want.push_back(e.id);
+  }
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  if (got != want) {
+    ++result_.oracle_mismatches;
+    CATFISH_COUNT("shard.sim.oracle_mismatches");
+  }
+}
+
+void ShardedClusterSim::StartSearch(Client& c, const geo::Rect& rect) {
+  const double t0 = sched_.now();
+  ++result_.searches;
+  map_.QueryShards(rect, fanout_scratch_);
+  const uint32_t width = static_cast<uint32_t>(fanout_scratch_.size());
+  result_.fanout_width.Add(static_cast<double>(width));
+  CATFISH_TIMER_RECORD_US("shard.client.fanout_width", width);
+  if (cfg_.oracle_every != 0 &&
+      (searches_started_++ % cfg_.oracle_every) == 0) {
+    OracleCheck(rect);
+  }
+
+  auto join = std::make_shared<Fanout>(Fanout{&c, width, t0});
+  // Sub-requests are posted back-to-back from the single client thread;
+  // the i-th leaves the client i+1 post slots after t0 (same pipelining
+  // model as multi-issued READs).
+  double post_delay = 0.0;
+  for (const uint32_t sh : fanout_scratch_) {
+    post_delay += cfg_.costs.verbs_post_us;
+    AccessMode mode;
+    switch (cfg_.scheme) {
+      case Scheme::kFastMessaging:
+        mode = AccessMode::kFastMessaging;
+        break;
+      case Scheme::kRdmaOffloading:
+        mode = AccessMode::kRdmaOffloading;
+        break;
+      default:
+        mode = c.ctrl[sh].NextMode(static_cast<uint64_t>(sched_.now()));
+        break;
+    }
+    if (mode == AccessMode::kFastMessaging) {
+      SubqueryFast(c, sh, rect, join, post_delay);
+    } else {
+      SubqueryOffloaded(c, sh, rect, join, post_delay);
+    }
+  }
+}
+
+void ShardedClusterSim::SubqueryDone(std::shared_ptr<Fanout> join) {
+  result_.subquery_latency_us.Add(sched_.now() - join->t0);
+  CATFISH_TIMER_RECORD_US("shard.client.subquery_us",
+                          sched_.now() - join->t0);
+  if (--join->remaining == 0) {
+    CompleteRequest(*join->client, workload::OpType::kSearch, join->t0);
+  }
+}
+
+void ShardedClusterSim::SubqueryFast(Client& c, uint32_t shard,
+                                     const geo::Rect& rect,
+                                     std::shared_ptr<Fanout> join,
+                                     double issue_delay) {
+  ShardRes& s = *shards_[shard];
+  const CostModel& k = cfg_.costs;
+  ++result_.fast_subqueries;
+  CATFISH_COUNT("catfish.client.search.fast");
+
+  rtree::SearchStats st;
+  std::vector<rtree::Entry> out;
+  s.tree->SearchTraced(rect, out, &st, nullptr);
+  const size_t segments =
+      1 + st.results * k.per_result_bytes / k.max_segment_payload_bytes;
+  const double service =
+      k.request_dispatch_us +
+      static_cast<double>(st.nodes_visited) * k.per_node_visit_us +
+      static_cast<double>(st.results) * k.per_result_us;
+  const size_t resp_bytes =
+      k.response_base_bytes * segments + st.results * k.per_result_bytes;
+  CATFISH_COUNT_ADD("rdma.write.posted", 2);
+  CATFISH_COUNT_ADD("rdma.write.bytes", k.search_request_bytes + resp_bytes);
+
+  sched_.After(issue_delay, [this, &c, &s, service, resp_bytes, join]() {
+    s.down->Transfer(cfg_.costs.search_request_bytes, [this, &c, &s, service,
+                                                       resp_bytes, join]() {
+      s.nic->Submit(cfg_.costs.nic_write_op_us, [this, &c, &s, service,
+                                                 resp_bytes, join]() {
+        const double pickup = cfg_.notify == NotifyMode::kPolling
+                                  ? PollingPickupUs()
+                                  : 0.0;
+        sched_.After(pickup, [this, &c, &s, service, resp_bytes, join]() {
+          s.cpu->Submit(service, [this, &s, resp_bytes, join]() {
+            s.nic->Submit(cfg_.costs.nic_write_op_us,
+                          [this, &s, resp_bytes, join]() {
+              s.up->Transfer(resp_bytes, [this, join]() {
+                sched_.After(cfg_.costs.verbs_post_us,
+                             [this, join]() { SubqueryDone(join); });
+              });
+            });
+          });
+        });
+      });
+    });
+  });
+}
+
+void ShardedClusterSim::SubqueryOffloaded(Client& c, uint32_t shard,
+                                          const geo::Rect& rect,
+                                          std::shared_ptr<Fanout> join,
+                                          double issue_delay) {
+  ShardRes& s = *shards_[shard];
+  ++result_.offload_subqueries;
+  CATFISH_COUNT("catfish.client.search.offload");
+  auto trace = std::make_shared<rtree::TraversalTrace>();
+  rtree::SearchStats st;
+  std::vector<rtree::Entry> out;
+  s.tree->SearchTraced(rect, out, &st, trace.get());
+  sched_.After(issue_delay, [this, &c, shard, trace, join]() {
+    OffloadRound(c, shard, trace, 0, join);
+  });
+}
+
+void ShardedClusterSim::OffloadRound(
+    Client& c, uint32_t shard, std::shared_ptr<rtree::TraversalTrace> trace,
+    size_t level, std::shared_ptr<Fanout> join) {
+  if (level >= trace->nodes_per_level.size()) {
+    SubqueryDone(join);
+    return;
+  }
+  ShardRes& s = *shards_[shard];
+  const CostModel& k = cfg_.costs;
+  const uint32_t n = trace->nodes_per_level[level];
+  const size_t chunk_bytes =
+      s.tree->arena().chunk_size() + k.read_response_overhead_bytes;
+
+  struct Round {
+    uint32_t remaining;
+    double client_free_at;
+  };
+  auto round = std::make_shared<Round>(Round{n, sched_.now()});
+  auto node_done = [this, &c, shard, trace, level, join, round]() {
+    if (--round->remaining == 0) {
+      const double resume = std::max(round->client_free_at, sched_.now());
+      sched_.At(resume, [this, &c, shard, trace, level, join]() {
+        OffloadRound(c, shard, trace, level + 1, join);
+      });
+    }
+  };
+
+  struct ReadOp {
+    ShardedClusterSim* sim;
+    ShardRes* shard_res;
+    Client* client;
+    size_t chunk_bytes;
+    std::function<void()> done;
+
+    void Issue(std::shared_ptr<ReadOp> self) const {
+      ++sim->result_.rdma_reads;
+      CATFISH_COUNT("rdma.read.posted");
+      CATFISH_COUNT_ADD("rdma.read.bytes", chunk_bytes);
+      shard_res->down->Transfer(sim->cfg_.costs.read_request_bytes, [self]() {
+        self->shard_res->nic->Submit(self->sim->cfg_.costs.nic_read_op_us,
+                                     [self]() {
+          self->shard_res->up->Transfer(self->chunk_bytes, [self]() {
+            const double p =
+                self->sim->ReadRetryProbability(*self->shard_res);
+            if (p > 0.0 && self->client->rng.NextDouble() < p) {
+              ++self->sim->result_.version_retries;
+              CATFISH_COUNT("catfish.client.version_retries");
+              self->Issue(self);
+              return;
+            }
+            self->done();
+          });
+        });
+      });
+    }
+  };
+
+  // Multi-issue only (the sharded stack inherits Catfish's pipelined
+  // offload; the single-issue baseline lives in cluster_sim).
+  for (uint32_t i = 0; i < n; ++i) {
+    auto process = [this, round, node_done]() {
+      const double start = std::max(round->client_free_at, sched_.now());
+      round->client_free_at = start + cfg_.costs.client_node_us;
+      sched_.At(round->client_free_at, node_done);
+    };
+    auto op = std::make_shared<ReadOp>(
+        ReadOp{this, &s, &c, chunk_bytes, std::move(process)});
+    sched_.After(k.verbs_post_us * (i + 1), [op]() { op->Issue(op); });
+  }
+}
+
+void ShardedClusterSim::ExecInsert(Client& c, const workload::Request& req) {
+  const double t0 = sched_.now();
+  const uint32_t owner = map_.OwnerOf(req.rect);
+  ShardRes& s = *shards_[owner];
+  const CostModel& k = cfg_.costs;
+  CATFISH_COUNT("catfish.client.insert");
+  CATFISH_COUNT_ADD("rdma.write.posted", 2);
+  CATFISH_COUNT_ADD("rdma.write.bytes", k.insert_request_bytes + k.ack_bytes);
+
+  auto respond = [this, &c, &s, t0]() {
+    s.nic->Submit(cfg_.costs.nic_write_op_us, [this, &c, &s, t0]() {
+      s.up->Transfer(cfg_.costs.ack_bytes, [this, &c, t0]() {
+        sched_.After(cfg_.costs.verbs_post_us, [this, &c, t0]() {
+          CompleteRequest(c, workload::OpType::kInsert, t0);
+        });
+      });
+    });
+  };
+
+  sched_.After(k.verbs_post_us, [this, &c, &s, req, respond]() {
+    s.down->Transfer(cfg_.costs.insert_request_bytes, [this, &c, &s, req,
+                                                       respond]() {
+      s.nic->Submit(cfg_.costs.nic_write_op_us, [this, &c, &s, req,
+                                                 respond]() {
+        const double pickup = cfg_.notify == NotifyMode::kPolling
+                                  ? PollingPickupUs()
+                                  : 0.0;
+        sched_.After(pickup, [this, &s, req, respond]() {
+          s.cpu->Submit(cfg_.costs.request_dispatch_us, [this, &s, req,
+                                                         respond]() {
+            s.writer->Submit(cfg_.costs.per_insert_us, [this, &s, req,
+                                                        respond]() {
+              s.tree->Insert(req.rect, req.id);  // real mutation
+              oracle_items_.push_back({req.rect, req.id});
+              s.insert_service_cum_us += cfg_.costs.per_insert_us;
+              respond();
+            });
+          });
+        });
+      });
+    });
+  });
+}
+
+void ShardedClusterSim::ScheduleHeartbeat() {
+  sched_.After(cfg_.adaptive.heartbeat_interval_us, [this]() {
+    if (outstanding_ == 0) return;
+    const double now = sched_.now();
+    for (uint32_t sh = 0; sh < cfg_.num_shards; ++sh) {
+      ShardRes& s = *shards_[sh];
+      const double util = s.hb_window.Advance(
+          now, s.cpu->busy_core_us() + s.writer->busy_core_us(),
+          cfg_.server_cores);
+      for (auto& c : clients_) {
+        const double jitter =
+            c->rng.NextDouble() *
+            (static_cast<double>(cfg_.adaptive.heartbeat_interval_us) / 4.0);
+        sched_.After(fabric_.base_latency_us + jitter,
+                     [&ctrl = c->ctrl[sh], util]() {
+                       ctrl.OnHeartbeat(util);
+                     });
+      }
+    }
+    ScheduleHeartbeat();
+  });
+}
+
+ShardedRunResult ShardedClusterSim::Run() {
+  for (auto& c : clients_) {
+    sched_.After(static_cast<double>(c->index) * 0.11,
+                 [this, &c = *c]() { StartNextRequest(c); });
+  }
+  if (cfg_.scheme == Scheme::kCatfish) ScheduleHeartbeat();
+  sched_.Run();
+
+  for (const auto& c : clients_) {
+    for (const auto& ctrl : c->ctrl) {
+      result_.mode_switches += ctrl.stats().mode_switches;
+    }
+  }
+  if (result_.duration_us > 0.0) {
+    result_.throughput_kops =
+        static_cast<double>(result_.completed) / result_.duration_us * 1e3;
+    double util_sum = 0.0;
+    for (const auto& s : shards_) {
+      util_sum += std::min(
+          1.0, (s->cpu->busy_core_us() + s->writer->busy_core_us()) /
+                   (result_.duration_us * cfg_.server_cores));
+    }
+    result_.mean_shard_cpu_util = util_sum / static_cast<double>(cfg_.num_shards);
+  }
+  result_.mean_fanout = result_.fanout_width.mean();
+  const double sub_p99 = result_.subquery_latency_us.p99();
+  if (sub_p99 > 0.0) {
+    result_.tail_amplification = result_.search_latency_us.p99() / sub_p99;
+  }
+  return result_;
+}
+
+}  // namespace catfish::model

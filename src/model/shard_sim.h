@@ -1,0 +1,171 @@
+// Execution-driven simulation of the *sharded* deployment: N shard
+// servers on N simulated nodes, each a full copy of cluster_sim's
+// single-server resource set (worker cores, writer lock, NIC, links),
+// plus client-side routing over a real shard::ShardMap.
+//
+// Requests execute for real against the per-shard R-trees: a range
+// query fans out to every shard the (slop-widened) rectangle touches,
+// each sub-query is costed against that shard's resources exactly like
+// cluster_sim costs a single-server request (fast messaging through the
+// worker pool, offloading as pipelined READs), and the query completes
+// when its last sub-query does — the join that makes fan-out queries
+// tail-sensitive: query p99 over sub-query p99 is reported as tail
+// amplification. Point writes route to the owning shard alone. Adaptive
+// clients run one production AdaptiveController per (client, shard)
+// pair, fed by per-shard utilization heartbeats, mirroring the real
+// ShardedRTreeClient's per-connection controllers.
+//
+// An optional oracle checks every Nth query synchronously: the union of
+// the per-shard traversal results is diffed against a brute-force scan
+// of everything loaded or inserted so far (both evaluated at the same
+// virtual instant, so concurrent inserts cannot fake a mismatch).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "catfish/adaptive.h"
+#include "catfish/server.h"  // NotifyMode
+#include "common/stats.h"
+#include "des/resources.h"
+#include "des/scheduler.h"
+#include "model/cluster_sim.h"  // Scheme
+#include "model/cost_model.h"
+#include "rdmasim/fabric_profile.h"
+#include "rtree/arena.h"
+#include "rtree/rstar.h"
+#include "shard/partition.h"
+#include "workload/generators.h"
+
+namespace catfish::model {
+
+struct ShardedClusterConfig {
+  /// Only the RDMA schemes apply (kFastMessaging / kRdmaOffloading /
+  /// kCatfish); the TCP baselines have no sharded story here.
+  Scheme scheme = Scheme::kCatfish;
+  uint32_t num_shards = 4;
+  /// Cores per shard node (each shard is its own server machine).
+  unsigned server_cores = 28;
+  NotifyMode notify = NotifyMode::kEventDriven;
+  bool multi_issue = true;
+  AdaptiveConfig adaptive;
+  CostModel costs;
+  size_t num_clients = 256;
+  uint64_t requests_per_client = 200;
+  workload::RequestGen::Config workload;
+  uint64_t seed = 1;
+  double conflict_factor = 0.2;
+  /// Chunks per shard arena.
+  size_t arena_chunks = 1 << 15;
+  /// Diff every Nth search against the brute-force oracle (0 = off).
+  uint32_t oracle_every = 0;
+};
+
+struct ShardedRunResult {
+  double duration_us = 0.0;
+  uint64_t completed = 0;
+  double throughput_kops = 0.0;
+  LogHistogram latency_us;
+  LogHistogram search_latency_us;
+  LogHistogram insert_latency_us;
+  /// Latency of individual per-shard sub-queries (a query of width w
+  /// contributes w samples here and one to search_latency_us).
+  LogHistogram subquery_latency_us;
+  /// Shards touched per search.
+  LogHistogram fanout_width;
+  double mean_fanout = 0.0;
+  /// search p99 / sub-query p99 — the fan-out join's tail cost.
+  double tail_amplification = 0.0;
+  double mean_shard_cpu_util = 0.0;
+  uint64_t searches = 0;
+  uint64_t fast_subqueries = 0;
+  uint64_t offload_subqueries = 0;
+  uint64_t inserts = 0;
+  uint64_t rdma_reads = 0;
+  uint64_t version_retries = 0;
+  uint64_t mode_switches = 0;
+  uint64_t oracle_checks = 0;
+  uint64_t oracle_mismatches = 0;
+};
+
+class ShardedClusterSim {
+ public:
+  /// Builds the shard map over `items`, partitions them by center
+  /// ownership, and bulk-loads one R-tree per shard.
+  ShardedClusterSim(std::span<const rtree::Entry> items,
+                    ShardedClusterConfig cfg);
+  ~ShardedClusterSim();
+
+  ShardedRunResult Run();
+
+  const shard::ShardMap& map() const noexcept { return map_; }
+
+ private:
+  /// One shard server = one simulated machine's contended resources.
+  struct ShardRes {
+    std::unique_ptr<rtree::NodeArena> arena;
+    std::unique_ptr<rtree::RStarTree> tree;
+    std::unique_ptr<des::CpuPool> cpu;
+    std::unique_ptr<des::CpuPool> writer;
+    std::unique_ptr<des::CpuPool> nic;
+    std::unique_ptr<des::Link> up;
+    std::unique_ptr<des::Link> down;
+    double insert_service_cum_us = 0.0;
+    des::UtilizationWindow hb_window;
+  };
+
+  struct Client {
+    size_t index = 0;
+    workload::RequestGen gen;
+    Xoshiro256 rng;
+    /// One controller per shard connection (as in ShardedRTreeClient).
+    std::vector<AdaptiveController> ctrl;
+    uint64_t remaining = 0;
+
+    Client(size_t i, const workload::RequestGen::Config& wcfg,
+           uint64_t seed)
+        : index(i), gen(wcfg, seed), rng(seed + 0x51ed2701u) {}
+  };
+
+  /// Join state for one fanned-out search.
+  struct Fanout {
+    Client* client = nullptr;
+    uint32_t remaining = 0;
+    double t0 = 0.0;
+  };
+
+  void StartNextRequest(Client& c);
+  void StartSearch(Client& c, const geo::Rect& rect);
+  void SubqueryFast(Client& c, uint32_t shard, const geo::Rect& rect,
+                    std::shared_ptr<Fanout> join, double issue_delay);
+  void SubqueryOffloaded(Client& c, uint32_t shard, const geo::Rect& rect,
+                         std::shared_ptr<Fanout> join, double issue_delay);
+  void OffloadRound(Client& c, uint32_t shard,
+                    std::shared_ptr<rtree::TraversalTrace> trace,
+                    size_t level, std::shared_ptr<Fanout> join);
+  void SubqueryDone(std::shared_ptr<Fanout> join);
+  void ExecInsert(Client& c, const workload::Request& req);
+  void CompleteRequest(Client& c, workload::OpType op, double t0);
+  void OracleCheck(const geo::Rect& rect);
+  void ScheduleHeartbeat();
+  double PollingPickupUs() const noexcept;
+  double ReadRetryProbability(const ShardRes& s) const noexcept;
+
+  ShardedClusterConfig cfg_;
+  rdma::FabricProfile fabric_;
+  des::Scheduler sched_;
+  shard::ShardMap map_;
+  std::vector<std::unique_ptr<ShardRes>> shards_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  /// Everything currently stored, for the brute-force oracle (bulk-load
+  /// snapshot + inserts applied so far, maintained at apply time).
+  std::vector<rtree::Entry> oracle_items_;
+  ShardedRunResult result_;
+  uint64_t outstanding_ = 0;
+  uint64_t searches_started_ = 0;
+  std::vector<uint32_t> fanout_scratch_;
+};
+
+}  // namespace catfish::model

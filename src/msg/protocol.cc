@@ -103,22 +103,26 @@ std::optional<WriteAck> DecodeWriteAck(std::span<const std::byte> payload) {
 }
 
 std::vector<std::byte> Encode(const Heartbeat& v) {
-  ByteWriter w(32);
+  // The map-version tail is emitted only when set, so single-node
+  // heartbeats remain byte-identical to the pre-sharding frame.
+  ByteWriter w(v.map_version != 0 ? 40 : 32);
   w.Append(v.seq);
   w.Append(v.cpu_util);
   w.Append(v.tree_epoch);
   w.Append(v.server_generation);
+  if (v.map_version != 0) w.Append(v.map_version);
   return w.Take();
 }
 
 std::optional<Heartbeat> DecodeHeartbeat(std::span<const std::byte> payload) {
-  if (payload.size() != 32) return std::nullopt;
+  if (payload.size() != 32 && payload.size() != 40) return std::nullopt;
   ByteReader r(payload);
   Heartbeat v;
   v.seq = r.Read<uint64_t>();
   v.cpu_util = r.Read<double>();
   v.tree_epoch = r.Read<uint64_t>();
   v.server_generation = r.Read<uint64_t>();
+  if (payload.size() == 40) v.map_version = r.Read<uint64_t>();
   return v;
 }
 

@@ -81,6 +81,13 @@ struct Heartbeat {
   /// also carried in the bootstrap hello). A client that sees it change
   /// knows its cached tree state came from a dead server.
   uint64_t server_generation = 0;
+  /// Sharded deployments only: the host's current routing-table version
+  /// (ShardMap::version). A client holding an older map learns the
+  /// cluster republished — e.g. another shard restarted — within one
+  /// heartbeat interval, instead of on its next failed op. Encoded as an
+  /// optional tail only when non-zero, so single-node heartbeats stay
+  /// byte-identical to the pre-sharding wire format.
+  uint64_t map_version = 0;
 };
 
 /// One segment of a search response; a full response is one or more

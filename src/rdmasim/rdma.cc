@@ -381,6 +381,15 @@ std::shared_ptr<SimNode> Fabric::CreateNode(std::string name) {
   return node;
 }
 
+size_t Fabric::node_count() const {
+  const std::scoped_lock lock(mu_);
+  size_t live = 0;
+  for (const auto& [name, node] : nodes_) {
+    if (!node.expired()) ++live;
+  }
+  return live;
+}
+
 std::shared_ptr<SimNode> Fabric::FindNode(const std::string& name) const {
   const std::scoped_lock lock(mu_);
   const auto it = nodes_.find(name);

@@ -332,6 +332,12 @@ class Fabric {
   /// like CreateNode when the name is unknown.
   std::shared_ptr<SimNode> RestartNode(const std::string& name);
 
+  /// Number of live nodes currently registered (expired registrations —
+  /// nodes whose owners dropped them, or pre-restart incarnations — are
+  /// not counted). Multi-node deployments export this for observability:
+  /// a sharded host expects num_shards server nodes plus one per client.
+  size_t node_count() const;
+
   /// Scripted faults on this fabric's links (chaos testing).
   FaultController& faults() noexcept { return faults_; }
 

@@ -1,0 +1,245 @@
+#include "shard/client.h"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "common/clock.h"
+#include "telemetry/events.h"
+#include "telemetry/metrics.h"
+
+namespace catfish::shard {
+
+namespace {
+
+ShardError Wrap(uint32_t shard, const ClientError& e) {
+  return ShardError(shard, e.status(),
+                    "shard " + std::to_string(shard) + ": " + e.what());
+}
+
+}  // namespace
+
+ShardedRTreeClient::ShardedRTreeClient(std::shared_ptr<rdma::SimNode> node,
+                                       ShardDialFn dial,
+                                       ShardedClientConfig cfg)
+    : node_(std::move(node)), dial_(std::move(dial)), cfg_(cfg) {
+  // Shard 0 first: its hello extension is the routing table. Without a
+  // decodable map nothing can be routed, so this is fatal.
+  auto first = ConnectViaBootstrap([this] { return dial_(0); }, node_,
+                                   cfg_.client);
+  const MapDecodeStatus st = DecodeShardMap(first->hello_extension(), map_);
+  if (st != MapDecodeStatus::kOk) {
+    throw std::runtime_error(
+        std::string("sharded client: bootstrap hello carried no usable "
+                    "routing table: ") +
+        ToString(st));
+  }
+  clients_.resize(map_.shard_count());
+  clients_[0] = std::move(first);
+  for (uint32_t i = 1; i < map_.shard_count(); ++i) {
+    clients_[i] = ConnectViaBootstrap(
+        [this, i] { return dial_(i); }, node_, cfg_.client);
+  }
+}
+
+AccessMode ShardedRTreeClient::DecideMode(uint32_t shard) {
+  RTreeClient& c = *clients_[shard];
+  if (c.conn_state() != ConnState::kConnected) {
+    return AccessMode::kRdmaOffloading;
+  }
+  switch (cfg_.client.mode) {
+    case ClientMode::kFastOnly:
+      return AccessMode::kFastMessaging;
+    case ClientMode::kOffloadOnly:
+      return AccessMode::kRdmaOffloading;
+    case ClientMode::kAdaptive:
+    default:
+      return c.controller().NextMode(NowMicros());
+  }
+}
+
+void ShardedRTreeClient::RefreshIfStale(uint32_t shard) {
+  RTreeClient& c = *clients_[shard];
+  if (c.server_generation() == map_.shards[shard].generation) {
+    // The connection itself is current, but its server's heartbeats may
+    // advertise a newer table version — some *other* shard restarted and
+    // the host republished. Re-bootstrap now to fetch the fresh hello,
+    // so a later fan-out to the restarted shard routes correctly on the
+    // first try instead of eating a generation-mismatch round trip.
+    if (c.conn_state() != ConnState::kConnected ||
+        c.advertised_map_version() <= map_.version) {
+      return;
+    }
+    if (c.Reconnect() != ClientStatus::kOk) return;  // retried next op
+    ++stats_.proactive_refreshes;
+    CATFISH_COUNT("shard.client.proactive_refreshes");
+  }
+  // Either the connection outlived our map (the shard restarted and the
+  // client re-bootstrapped) or we just re-bootstrapped proactively; the
+  // latest hello carries the republished table.
+  ShardMap fresh;
+  if (DecodeShardMap(c.hello_extension(), fresh) != MapDecodeStatus::kOk) {
+    return;  // malformed/absent; generations stay split, retried next op
+  }
+  if (fresh.version < map_.version) {
+    // The *connection* is the stale side: our map was adopted from
+    // another shard's hello after a republish (e.g. a heartbeat-driven
+    // refresh), while this shard's link still points at the dead
+    // incarnation. Re-bootstrap it now — adopting its old hello's
+    // generation would poison the fresher map.
+    if (c.Reconnect() != ClientStatus::kOk) return;  // retried next op
+    if (DecodeShardMap(c.hello_extension(), fresh) != MapDecodeStatus::kOk) {
+      return;
+    }
+  }
+  if (fresh.version <= map_.version) {
+    // Same-version hello (e.g. our own reconnect raced the republish):
+    // patch just this shard's identity so the staleness check converges.
+    map_.shards[shard].generation = c.server_generation();
+    return;
+  }
+  [[maybe_unused]] const uint64_t old_version = map_.version;
+  map_ = std::move(fresh);
+  ++stats_.map_refreshes;
+  CATFISH_COUNT("shard.client.map_refreshes");
+  CATFISH_EVENT(kShardMapRefresh, NowMicros(), 0,
+                static_cast<double>(map_.version),
+                static_cast<double>(old_version));
+}
+
+std::vector<rtree::Entry> ShardedRTreeClient::Search(const geo::Rect& rect) {
+  CATFISH_SCOPED_TIMER_US("shard.client.search_us");
+  // Refresh before staging: a heartbeat may have advertised a newer
+  // table, or a prior op may have adopted one while some shard's link
+  // still pointed at a dead incarnation. Healing first lets the first
+  // post-republish fan-out succeed outright instead of surfacing a
+  // one-shot ShardError; the common case is two relaxed loads per shard.
+  map_.QueryShards(rect, targets_);
+  for (const uint32_t shard : targets_) RefreshIfStale(shard);
+  map_.QueryShards(rect, targets_);  // re-route on the possibly-fresher map
+  last_fanout_ = static_cast<uint32_t>(targets_.size());
+  ++stats_.searches;
+  stats_.fanout_subqueries += targets_.size();
+  CATFISH_COUNT("shard.client.searches");
+  CATFISH_TIMER_RECORD_US("shard.client.fanout_width", targets_.size());
+
+  // Phase 1 — stage a fast-path sub-query on every shard whose
+  // controller picks messaging, so all their server-side traversals run
+  // concurrently. Shards picking offload are deferred to phase 2.
+  struct Pending {
+    uint32_t shard;
+    uint64_t req_id;
+  };
+  std::vector<Pending> pending;
+  std::vector<uint32_t> offload;
+  std::optional<ShardError> err;
+  for (const uint32_t shard : targets_) {
+    if (DecideMode(shard) != AccessMode::kFastMessaging) {
+      offload.push_back(shard);
+      continue;
+    }
+    try {
+      pending.push_back({shard, clients_[shard]->SearchFastBegin(rect)});
+    } catch (const ClientError& e) {
+      ++stats_.shard_errors;
+      CATFISH_COUNT("shard.client.subquery_errors");
+      if (!err) err = Wrap(shard, e);
+    }
+  }
+
+  // Phase 2 — offloaded sub-queries traverse with one-sided READs while
+  // the staged fast sub-queries are being served remotely.
+  std::vector<rtree::Entry> results;
+  for (const uint32_t shard : offload) {
+    try {
+      CATFISH_SCOPED_TIMER_US("shard.client.subquery_us");
+      const auto part = clients_[shard]->SearchOffloaded(rect);
+      results.insert(results.end(), part.begin(), part.end());
+    } catch (const ClientError& e) {
+      ++stats_.shard_errors;
+      CATFISH_COUNT("shard.client.subquery_errors");
+      if (!err) err = Wrap(shard, e);
+    }
+  }
+
+  // Phase 3 — collect the fast responses. Collection must run even
+  // after an earlier failure: an uncollected response would poison the
+  // next request on that connection (it is dropped as stale instead).
+  for (const Pending& p : pending) {
+    try {
+      CATFISH_SCOPED_TIMER_US("shard.client.subquery_us");
+      const auto part = clients_[p.shard]->SearchFastCollect(p.req_id);
+      results.insert(results.end(), part.begin(), part.end());
+    } catch (const ClientError& e) {
+      ++stats_.shard_errors;
+      CATFISH_COUNT("shard.client.subquery_errors");
+      if (!err) err = Wrap(p.shard, e);
+    }
+  }
+
+  for (const uint32_t shard : targets_) RefreshIfStale(shard);
+  if (err) throw *err;
+  return results;
+}
+
+std::vector<rtree::Entry> ShardedRTreeClient::NearestNeighbors(
+    const geo::Point& point, uint32_t k) {
+  ++stats_.knn_queries;
+  CATFISH_COUNT("shard.client.knn");
+  std::vector<rtree::Entry> all;
+  std::optional<ShardError> err;
+  for (uint32_t shard = 0; shard < map_.shard_count(); ++shard) {
+    try {
+      const auto part = clients_[shard]->NearestNeighbors(point, k);
+      all.insert(all.end(), part.begin(), part.end());
+    } catch (const ClientError& e) {
+      ++stats_.shard_errors;
+      if (!err) err = Wrap(shard, e);
+    }
+    RefreshIfStale(shard);
+  }
+  if (err) throw *err;
+  std::sort(all.begin(), all.end(),
+            [&point](const rtree::Entry& a, const rtree::Entry& b) {
+              const double da = geo::MinDist2(a.mbr, point);
+              const double db = geo::MinDist2(b.mbr, point);
+              return da != db ? da < db : a.id < b.id;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+bool ShardedRTreeClient::Insert(const geo::Rect& rect, uint64_t id) {
+  const uint32_t owner = map_.OwnerOf(rect);
+  ++stats_.inserts;
+  CATFISH_COUNT("shard.client.inserts");
+  // Exactly-once lives below: the owning shard's client retries with the
+  // original (client_gen, req_id); ownership is stable, so the write's
+  // destination never moves between attempts.
+  try {
+    const bool ok = clients_[owner]->Insert(rect, id);
+    RefreshIfStale(owner);
+    return ok;
+  } catch (const ClientError& e) {
+    ++stats_.shard_errors;
+    RefreshIfStale(owner);
+    throw Wrap(owner, e);
+  }
+}
+
+bool ShardedRTreeClient::Delete(const geo::Rect& rect, uint64_t id) {
+  const uint32_t owner = map_.OwnerOf(rect);
+  ++stats_.deletes;
+  CATFISH_COUNT("shard.client.deletes");
+  try {
+    const bool ok = clients_[owner]->Delete(rect, id);
+    RefreshIfStale(owner);
+    return ok;
+  } catch (const ClientError& e) {
+    ++stats_.shard_errors;
+    RefreshIfStale(owner);
+    throw Wrap(owner, e);
+  }
+}
+
+}  // namespace catfish::shard

@@ -1,0 +1,139 @@
+// ShardedRTreeClient: client-side routing + cross-shard fan-out.
+//
+// Owns one RTreeClient per shard (each with its own QP, rings, adaptive
+// controller, liveness watchdog and exactly-once write session) and a
+// cached copy of the routing table learned from the bootstrap hello.
+//
+// Routing: point ops (insert/delete) go to the shard owning the
+// rectangle's center — exactly one shard, so the single-node
+// (client_gen, req_id) exactly-once protocol carries through unchanged:
+// this layer NEVER retries a write itself (a retry here would mint a
+// fresh req_id and could double-apply); all resends happen inside the
+// owning shard's RTreeClient with the original id. Range queries fan
+// out to every shard whose cells the (slop-widened) query touches:
+// fast-path sub-queries are staged on all of them first
+// (SearchFastBegin) so their server-side traversals overlap, offloaded
+// sub-queries run while those are in flight, then the fast responses
+// are collected. Shards partition the data (center ownership, no
+// duplication), so merging is pure concatenation.
+//
+// Stale-map handling: every operation that touches a shard compares the
+// connection's server generation against the map entry. A mismatch
+// means the shard restarted since the map was published — the
+// underlying client has already re-bootstrapped (PR 4 watchdog +
+// Reconnect), and its fresh hello carries the republished map, which is
+// adopted when its version is newer. Heartbeats additionally piggyback
+// the host's current table version (msg::Heartbeat::map_version), so a
+// healthy connection learns that *another* shard republished within one
+// heartbeat interval and re-bootstraps proactively — queries that later
+// fan out to the restarted shard route correctly on the first try.
+// Failures surface as ShardError
+// (shard id + the underlying typed status) so callers know *which*
+// sub-query failed without losing the rest of the fan-out.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "catfish/bootstrap.h"
+#include "catfish/client.h"
+#include "shard/partition.h"
+
+namespace catfish::shard {
+
+/// A failed sub-operation, tagged with the shard it ran against.
+class ShardError : public std::runtime_error {
+ public:
+  ShardError(uint32_t shard, ClientStatus status, const std::string& what)
+      : std::runtime_error(what), shard_(shard), status_(status) {}
+  uint32_t shard() const noexcept { return shard_; }
+  ClientStatus status() const noexcept { return status_; }
+
+ private:
+  uint32_t shard_;
+  ClientStatus status_;
+};
+
+struct ShardedClientConfig {
+  /// Per-shard connection config (mode, watchdog, write_attempts, ...).
+  ClientConfig client;
+};
+
+struct ShardedClientStats {
+  uint64_t searches = 0;
+  uint64_t fanout_subqueries = 0;  ///< sum of fan-out widths
+  uint64_t map_refreshes = 0;      ///< newer routing tables adopted
+  /// Re-bootstraps triggered by a heartbeat advertising a newer table
+  /// version (vs. waiting for an op against the restarted shard to fail
+  /// its generation check). A healthy connection learns about *another*
+  /// shard's restart this way.
+  uint64_t proactive_refreshes = 0;
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t knn_queries = 0;
+  uint64_t shard_errors = 0;       ///< failed sub-operations observed
+};
+
+class ShardedRTreeClient {
+ public:
+  /// Dials shard `i`'s bootstrap endpoint (typically a closure over
+  /// ShardHost::Dial). Re-invoked on every per-shard re-bootstrap, so it
+  /// must resolve the *current* acceptor of that shard.
+  using ShardDialFn =
+      std::function<std::shared_ptr<tcpkit::Stream>(uint32_t shard)>;
+
+  /// Connects to every shard: shard 0's hello supplies the initial
+  /// routing table (throws std::runtime_error if the hello carries none
+  /// or it fails to decode), then one connection per remaining shard.
+  /// All connections share `node` — each gets its own QP and rings.
+  ShardedRTreeClient(std::shared_ptr<rdma::SimNode> node, ShardDialFn dial,
+                     ShardedClientConfig cfg = {});
+
+  ShardedRTreeClient(const ShardedRTreeClient&) = delete;
+  ShardedRTreeClient& operator=(const ShardedRTreeClient&) = delete;
+
+  /// Cross-shard range query; exact union of the per-shard answers.
+  std::vector<rtree::Entry> Search(const geo::Rect& rect);
+
+  /// k nearest neighbors, closest first. Every shard answers its local
+  /// top-k (cell geometry gives no distance bound that is both simple
+  /// and correct under slop), then the union is re-ranked by MINDIST.
+  std::vector<rtree::Entry> NearestNeighbors(const geo::Point& point,
+                                             uint32_t k);
+
+  /// Routed to the owning shard; exactly-once via that shard's session.
+  bool Insert(const geo::Rect& rect, uint64_t id);
+  bool Delete(const geo::Rect& rect, uint64_t id);
+
+  /// The routing table currently in use.
+  const ShardMap& map() const noexcept { return map_; }
+  uint32_t shard_count() const noexcept { return map_.shard_count(); }
+  ShardedClientStats stats() const noexcept { return stats_; }
+  /// Fan-out width of the last Search().
+  uint32_t last_fanout() const noexcept { return last_fanout_; }
+  /// The per-shard connection (tests poke controllers and stats).
+  RTreeClient& shard_client(uint32_t shard) { return *clients_[shard]; }
+
+ private:
+  /// Per-shard adaptive decision, mirroring RTreeClient::Search: the
+  /// configured mode, overridden to offload while that connection is
+  /// degraded (one-sided reads are the only useful work left).
+  AccessMode DecideMode(uint32_t shard);
+
+  /// Adopts a newer routing table after `shard`'s connection observed a
+  /// generation the map predates. No-op while generations agree.
+  void RefreshIfStale(uint32_t shard);
+
+  std::shared_ptr<rdma::SimNode> node_;
+  ShardDialFn dial_;
+  ShardedClientConfig cfg_;
+  ShardMap map_;
+  std::vector<std::unique_ptr<RTreeClient>> clients_;
+  ShardedClientStats stats_;
+  uint32_t last_fanout_ = 0;
+  std::vector<uint32_t> targets_;  // fan-out scratch
+};
+
+}  // namespace catfish::shard

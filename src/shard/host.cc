@@ -1,0 +1,155 @@
+#include "shard/host.h"
+
+#include <stdexcept>
+
+#include "durable/checkpoint.h"
+#include "rtree/bulk_load.h"
+#include "telemetry/metrics.h"
+
+namespace catfish::shard {
+
+ShardHost::ShardHost(rdma::Fabric& fabric, ShardHostConfig cfg)
+    : fabric_(&fabric), cfg_(cfg) {
+  if (cfg_.num_shards == 0) cfg_.num_shards = 1;
+  cfg_.server.durability = nullptr;  // managed per shard below
+}
+
+ShardHost::~ShardHost() { Stop(); }
+
+void ShardHost::Load(std::span<const rtree::Entry> items) {
+  if (loaded_) throw std::logic_error("ShardHost: Load called twice");
+  loaded_ = true;
+
+  ShardMap map = BuildGridMap(items, cfg_.num_shards);
+  map.version = 1;
+  if (map.slop < cfg_.min_slop) map.slop = cfg_.min_slop;
+  auto buckets = PartitionItems(map, items);
+
+  for (uint32_t i = 0; i < cfg_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->id = i;
+    shard->node = fabric_->CreateNode(map.shards[i].node_name);
+    shard->arena = std::make_unique<rtree::NodeArena>(rtree::kChunkSize,
+                                                      cfg_.arena_chunks);
+    auto loaded = rtree::BulkLoad(*shard->arena, buckets[i]);
+    if (cfg_.durable) {
+      // Bulk load bypasses the WAL; seed the checkpoint store with the
+      // loaded tree so the first incarnation already serves
+      // durably-backed state, then bring it up through the same
+      // recovery path a restart uses.
+      shard->wal_disk = std::make_shared<durable::MemLogStorage>();
+      shard->ckpt_disk = std::make_shared<durable::MemCheckpointStore>();
+      durable::CheckpointMeta meta;
+      meta.applied_lsn = 0;
+      meta.tree_size = loaded.size();
+      meta.tree_height = loaded.height();
+      meta.write_epoch = loaded.write_epoch();
+      shard->ckpt_disk->Write(durable::EncodeCheckpoint(
+          *shard->arena, durable::DedupTable(cfg_.durability.dedup_window),
+          meta));
+      RecoverState(*shard);
+    } else {
+      shard->tree = std::make_unique<rtree::RStarTree>(std::move(loaded));
+    }
+    shards_.push_back(std::move(shard));
+  }
+
+  for (uint32_t i = 0; i < cfg_.num_shards; ++i) {
+    Shard& s = *shards_[i];
+    StartServer(s);
+    map.shards[i].generation = s.node->generation();
+    map.shards[i].arena_rkey = s.server->arena_mr().rkey;
+  }
+  {
+    const std::scoped_lock lock(map_mu_);
+    map_ = std::move(map);
+  }
+  published_version_.store(1, std::memory_order_relaxed);
+  CATFISH_GAUGE_SET("shard.map.version", 1);
+  CATFISH_GAUGE_SET("shard.host.shards", cfg_.num_shards);
+  CATFISH_GAUGE_SET("shard.host.fabric_nodes",
+                    static_cast<int64_t>(fabric_->node_count()));
+}
+
+void ShardHost::StartServer(Shard& s) {
+  const std::scoped_lock lock(s.boot_mu);
+  ServerConfig scfg = cfg_.server;
+  scfg.durability = s.durability.get();
+  scfg.map_version = &published_version_;
+  s.server = std::make_unique<RTreeServer>(s.node, *s.tree, scfg);
+  s.acceptor = std::make_unique<BootstrapAcceptor>(*s.server, *fabric_);
+  s.acceptor->SetHelloExtension(s.id, [this] {
+    const std::scoped_lock map_lock(map_mu_);
+    return EncodeShardMap(map_);
+  });
+}
+
+void ShardHost::StopServer(Shard& s) {
+  std::unique_ptr<BootstrapAcceptor> acceptor;
+  std::unique_ptr<RTreeServer> server;
+  {
+    const std::scoped_lock lock(s.boot_mu);
+    acceptor = std::move(s.acceptor);
+    server = std::move(s.server);
+  }
+  if (acceptor) acceptor->Stop();
+  if (server) server->Stop();
+}
+
+void ShardHost::RecoverState(Shard& s) {
+  s.tree.reset();
+  s.arena = std::make_unique<rtree::NodeArena>(rtree::kChunkSize,
+                                               cfg_.arena_chunks);
+  s.durability = std::make_unique<durable::DurabilityManager>(
+      s.wal_disk, s.ckpt_disk, cfg_.durability);
+  s.tree =
+      std::make_unique<rtree::RStarTree>(s.durability->Recover(*s.arena));
+}
+
+void ShardHost::RestartShard(uint32_t shard) {
+  Shard& s = *shards_[shard];
+  StopServer(s);
+  const std::string name = s.node->name();
+  s.node = fabric_->RestartNode(name);
+  if (cfg_.durable) RecoverState(s);
+  StartServer(s);
+  Republish(shard);
+  CATFISH_COUNT("shard.host.restarts");
+}
+
+void ShardHost::Republish(uint32_t shard) {
+  Shard& s = *shards_[shard];
+  const std::scoped_lock lock(map_mu_);
+  map_.shards[shard].generation = s.node->generation();
+  map_.shards[shard].arena_rkey = s.server->arena_mr().rkey;
+  ++map_.version;
+  published_version_.store(map_.version, std::memory_order_relaxed);
+  CATFISH_GAUGE_SET("shard.map.version", map_.version);
+}
+
+std::shared_ptr<tcpkit::Stream> ShardHost::Dial(uint32_t shard) {
+  Shard& s = *shards_[shard];
+  const std::scoped_lock lock(s.boot_mu);
+  if (!s.acceptor) {
+    throw std::runtime_error("ShardHost: shard has no live acceptor");
+  }
+  return s.acceptor->Dial();
+}
+
+void ShardHost::Stop() {
+  for (auto& s : shards_) {
+    if (s) StopServer(*s);
+  }
+}
+
+ShardMap ShardHost::map() const {
+  const std::scoped_lock lock(map_mu_);
+  return map_;
+}
+
+uint64_t ShardHost::map_version() const {
+  const std::scoped_lock lock(map_mu_);
+  return map_.version;
+}
+
+}  // namespace catfish::shard

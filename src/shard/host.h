@@ -1,0 +1,128 @@
+// ShardHost: one process hosting N shards of a sharded R-tree.
+//
+// Lifts the single-node stack (arena + RStarTree + RTreeServer +
+// BootstrapAcceptor, optionally a per-shard durable WAL) behind one
+// object so a DES process — or a test — can stand up a whole sharded
+// deployment. Each shard is a full independent Catfish server: its own
+// fabric node ("shard-<i>"), its own registered arena, its own adaptive
+// heartbeats, its own bootstrap endpoint. Nothing is shared between
+// shards but the fabric and the routing table.
+//
+// The host owns the authoritative ShardMap. Every shard's acceptor
+// publishes it through the bootstrap hello extension, so any client
+// handshake — against any shard — delivers the current table.
+// RestartShard() models a single-shard crash: the node restarts (rkeys
+// and QPNs die, generation bumps), durable shards recover from their
+// disks, and the host republishes the map with a bumped version — the
+// stale-map signal clients converge on.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "catfish/bootstrap.h"
+#include "catfish/server.h"
+#include "durable/manager.h"
+#include "durable/storage.h"
+#include "rdmasim/rdma.h"
+#include "rtree/arena.h"
+#include "rtree/rstar.h"
+#include "shard/partition.h"
+
+namespace catfish::shard {
+
+struct ShardHostConfig {
+  uint32_t num_shards = 1;
+  /// Per-shard server config (heartbeat interval, ring capacity, ...).
+  /// The `durability` pointer is managed by the host; leave it null.
+  ServerConfig server;
+  /// Chunks per shard arena. Each shard holds ~1/num_shards of the data,
+  /// so this can shrink as the shard count grows.
+  size_t arena_chunks = 1 << 13;
+  /// When true each shard gets its own WAL + checkpoint store (both
+  /// in-memory "disks" that survive RestartShard), and writes are
+  /// exactly-once across shard crashes.
+  bool durable = false;
+  durable::DurabilityConfig durability;
+  /// Floor for the map's query expansion; raise it when post-load
+  /// inserts may be larger than anything in the bulk-loaded dataset.
+  double min_slop = 0.0;
+};
+
+class ShardHost {
+ public:
+  ShardHost(rdma::Fabric& fabric, ShardHostConfig cfg = {});
+  ~ShardHost();
+
+  ShardHost(const ShardHost&) = delete;
+  ShardHost& operator=(const ShardHost&) = delete;
+
+  /// Builds the routing table over `items`, partitions them by center
+  /// ownership, bulk-loads every shard (durable shards additionally seed
+  /// their checkpoint store so the first incarnation is recoverable),
+  /// and starts all servers + bootstrap acceptors. Call once.
+  void Load(std::span<const rtree::Entry> items);
+
+  /// Dials shard `i`'s bootstrap endpoint (thread-safe against
+  /// RestartShard; throws while the shard is between incarnations).
+  std::shared_ptr<tcpkit::Stream> Dial(uint32_t shard);
+
+  /// Full crash/reboot of one shard: stop serving, kill the fabric node
+  /// (stale rkeys/QPNs die, generation bumps), rebuild state — from the
+  /// durable stores when cfg.durable, else keeping the volatile tree —
+  /// restart the server, and republish the map with a bumped version.
+  void RestartShard(uint32_t shard);
+
+  void Stop();
+
+  /// Current routing table (copy: the authoritative one may be
+  /// republished concurrently by RestartShard).
+  ShardMap map() const;
+  uint64_t map_version() const;
+
+  uint32_t shard_count() const noexcept { return cfg_.num_shards; }
+  RTreeServer& server(uint32_t shard) { return *shards_[shard]->server; }
+  rtree::RStarTree& tree(uint32_t shard) { return *shards_[shard]->tree; }
+
+ private:
+  struct Shard {
+    uint32_t id = 0;
+    std::shared_ptr<rdma::SimNode> node;
+    std::unique_ptr<rtree::NodeArena> arena;
+    std::unique_ptr<rtree::RStarTree> tree;
+    /// Durable mode: the shard's "disks", surviving incarnations.
+    std::shared_ptr<durable::MemLogStorage> wal_disk;
+    std::shared_ptr<durable::MemCheckpointStore> ckpt_disk;
+    std::unique_ptr<durable::DurabilityManager> durability;
+    std::unique_ptr<RTreeServer> server;
+    std::unique_ptr<BootstrapAcceptor> acceptor;
+    std::mutex boot_mu;  ///< server/acceptor swap vs dialing threads
+  };
+
+  void StartServer(Shard& s);
+  void StopServer(Shard& s);
+  /// Rebuilds arena + manager + tree from the shard's disks (the crash
+  /// recovery path; durable mode only).
+  void RecoverState(Shard& s);
+  /// Re-encodes and republishes the map after `shard`'s identity
+  /// changed; bumps the version.
+  void Republish(uint32_t shard);
+
+  rdma::Fabric* fabric_;
+  ShardHostConfig cfg_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex map_mu_;
+  ShardMap map_;
+  /// Lock-free mirror of map_.version: every shard's server monitor
+  /// thread reads it on each heartbeat (ServerConfig::map_version), so
+  /// clients hear about a republish from *any* live connection without
+  /// the monitor contending on map_mu_.
+  std::atomic<uint64_t> published_version_{0};
+  bool loaded_ = false;
+};
+
+}  // namespace catfish::shard

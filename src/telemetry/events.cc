@@ -54,6 +54,8 @@ const char* EventTypeName(EventType t) noexcept {
       return "checkpoint";
     case EventType::kReplay:
       return "replay";
+    case EventType::kShardMapRefresh:
+      return "shard_map_refresh";
   }
   return "unknown";
 }

@@ -53,6 +53,8 @@ enum class EventType : uint8_t {
                        // b=WAL bytes dropped by truncation
   kReplay = 14,        // actor=records replayed, a=replay duration (us),
                        // b=torn tail bytes truncated
+  kShardMapRefresh = 15,  // actor=client id, a=new map version,
+                          // b=old map version
 };
 
 /// Stable lower-case name for JSON / table export, e.g. "mode_switch".

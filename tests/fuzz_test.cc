@@ -12,6 +12,7 @@
 #include "cuckoo/cuckoo.h"
 #include "durable/wal.h"
 #include "rtree/rstar.h"
+#include "shard/partition.h"
 #include "test_util.h"
 
 namespace catfish {
@@ -369,6 +370,126 @@ TEST(WalFuzz, MidRecordTruncationKeepsCompleteRecordsOnly) {
     EXPECT_EQ(decoded.valid_bytes,
               (cut / durable::kWalFrameBytes) * durable::kWalFrameBytes);
     EXPECT_EQ(decoded.clean, cut % durable::kWalFrameBytes == 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shard-map decoder: the routing table rides the bootstrap hello, so a
+// client decodes it from whatever a (possibly hostile or mid-crash)
+// server sent. The decoder must be total — typed rejection, no
+// over-reads, no allocation proportional to unvalidated claims — and a
+// failed decode must leave the output untouched.
+// ---------------------------------------------------------------------------
+
+shard::ShardMap FuzzSampleMap(Xoshiro256& rng) {
+  std::vector<rtree::Entry> items;
+  const size_t n = 16 + rng.NextBounded(64);
+  for (uint64_t i = 0; i < n; ++i) {
+    items.push_back({RandomRect(rng, 0.05), i});
+  }
+  auto map = shard::BuildGridMap(
+      items, 1 + static_cast<uint32_t>(rng.NextBounded(8)));
+  map.version = 1 + rng.NextBounded(100);
+  for (auto& s : map.shards) {
+    s.generation = 1 + rng.NextBounded(10);
+    s.arena_rkey = static_cast<uint32_t>(rng.Next());
+  }
+  return map;
+}
+
+TEST(ShardMapFuzz, RandomBlobsNeverCrashDecoder) {
+  Xoshiro256 rng(601);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::vector<std::byte> blob(rng.NextBounded(512));
+    for (auto& b : blob) b = static_cast<std::byte>(rng.Next() & 0xff);
+    shard::ShardMap out;
+    const auto st = shard::DecodeShardMap(blob, out);
+    if (st == shard::MapDecodeStatus::kOk) {
+      // Anything that survives must satisfy the structural invariants.
+      EXPECT_TRUE(out.Valid());
+    }
+  }
+}
+
+TEST(ShardMapFuzz, MutatedMapsDecodeExactlyOrRejectTyped) {
+  Xoshiro256 rng(602);
+  for (int iter = 0; iter < 1500; ++iter) {
+    const auto map = FuzzSampleMap(rng);
+    auto bytes = shard::EncodeShardMap(map);
+    const int flips = 1 + static_cast<int>(rng.NextBounded(6));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.NextBounded(bytes.size());
+      bytes[pos] ^= static_cast<std::byte>(1u << rng.NextBounded(8));
+    }
+    const uint64_t shape = rng.NextBounded(4);
+    if (shape == 1) {
+      bytes.resize(rng.NextBounded(bytes.size() + 1));
+    } else if (shape == 2) {
+      bytes.resize(bytes.size() + 1 + rng.NextBounded(32), std::byte{0x5a});
+    }
+    shard::ShardMap out;
+    out.version = 0xdead;  // sentinel: only kOk may overwrite
+    const auto st = shard::DecodeShardMap(bytes, out);
+    if (st == shard::MapDecodeStatus::kOk) {
+      EXPECT_TRUE(out.Valid());
+      // A surviving decode carries names bounded by the input (the
+      // length words can lie; the decoder must not).
+      for (const auto& s : out.shards) {
+        EXPECT_LE(s.node_name.size(), bytes.size());
+      }
+    } else {
+      EXPECT_EQ(out.version, 0xdeadu);
+    }
+  }
+}
+
+TEST(ShardMapFuzz, TruncationOfEveryValidMapIsTyped) {
+  Xoshiro256 rng(603);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto bytes = shard::EncodeShardMap(FuzzSampleMap(rng));
+    const size_t cut = rng.NextBounded(bytes.size());
+    shard::ShardMap out;
+    EXPECT_EQ(shard::DecodeShardMap(
+                  std::span<const std::byte>(bytes.data(), cut), out),
+              shard::MapDecodeStatus::kTruncated);
+  }
+}
+
+TEST(ShardMapFuzz, ServerHelloWithMutatedExtensionTailNeverOverReads) {
+  // The map travels as the hello's opaque extension; fuzz the *combined*
+  // frame so length-prefix lies at the hello layer are exercised too.
+  Xoshiro256 rng(604);
+  WireServerHello hello;
+  hello.arena_rkey = 1;
+  hello.arena_length = 1 << 20;
+  hello.request_ring_rkey = 2;
+  hello.request_ring_capacity = 4096;
+  hello.generation = 5;
+  hello.shard_id = 2;
+  auto map_bytes = shard::EncodeShardMap(FuzzSampleMap(rng));
+  hello.extension = map_bytes;
+  const auto valid = Encode(hello);
+  ASSERT_TRUE(DecodeServerHello(valid).has_value());
+
+  for (int iter = 0; iter < 3000; ++iter) {
+    auto mutated = valid;
+    const int flips = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.NextBounded(mutated.size());
+      mutated[pos] ^= static_cast<std::byte>(1u << rng.NextBounded(8));
+    }
+    const uint64_t shape = rng.NextBounded(4);
+    if (shape == 1) {
+      mutated.resize(rng.NextBounded(mutated.size() + 1));
+    } else if (shape == 2) {
+      mutated.resize(mutated.size() + 1 + rng.NextBounded(16),
+                     std::byte{0x5a});
+    }
+    const auto decoded = DecodeServerHello(mutated);
+    if (!decoded.has_value()) continue;
+    EXPECT_LE(decoded->extension.size(), mutated.size());
+    shard::ShardMap out;
+    (void)shard::DecodeShardMap(decoded->extension, out);
   }
 }
 

@@ -59,6 +59,29 @@ TEST(ProtocolTest, HeartbeatRoundTrip) {
   EXPECT_EQ(decoded->server_generation, 3u);
 }
 
+TEST(ProtocolTest, HeartbeatMapVersionTailRoundTrip) {
+  // A zero map version (single-node server) encodes to the legacy
+  // 32-byte frame — sharding must not change the wire for old setups.
+  const auto legacy = Encode(Heartbeat{5, 0.97, 12345, 3});
+  EXPECT_EQ(legacy.size(), 32u);
+  ASSERT_TRUE(DecodeHeartbeat(legacy).has_value());
+  EXPECT_EQ(DecodeHeartbeat(legacy)->map_version, 0u);
+
+  // A sharded host's heartbeat appends the routing-table version.
+  const auto sharded = Encode(Heartbeat{5, 0.97, 12345, 3, 9});
+  EXPECT_EQ(sharded.size(), 40u);
+  const auto decoded = DecodeHeartbeat(sharded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, 5u);
+  EXPECT_EQ(decoded->server_generation, 3u);
+  EXPECT_EQ(decoded->map_version, 9u);
+
+  // A partial tail is torn, not "version zero".
+  auto torn = sharded;
+  torn.resize(36);
+  EXPECT_FALSE(DecodeHeartbeat(torn).has_value());
+}
+
 TEST(ProtocolTest, HeartbeatRejectsOldWireSize) {
   // The pre-generation 24-byte heartbeat must not decode: a silent
   // truncation here would hand the watchdog a garbage generation.

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Regenerate BENCH_baseline.json from the figure benches' JSONL output.
+
+The baseline pins the single-server throughput/latency numbers that the
+sharded scale-out is compared against (see EXPERIMENTS.md "Shard
+scaling"). Reproduce it from a build directory with:
+
+    CATFISH_QUICK=1 ./bench/bench_fig10_search_throughput \
+        --telemetry-json fig10.jsonl > /dev/null
+    CATFISH_QUICK=1 ./bench/bench_fig12_hybrid_throughput \
+        --telemetry-json fig12.jsonl > /dev/null
+    python3 ../tools/make_baseline.py fig10.jsonl fig12.jsonl \
+        > ../BENCH_baseline.json
+
+CATFISH_QUICK=1 fixes dataset=200,000 rects and 100 requests/client;
+the seed is the bench default (20260705). The numbers are virtual-time
+simulation results, so they are bit-stable across machines for a given
+source tree.
+"""
+import json
+import sys
+
+
+def cell(line):
+    d = json.loads(line)
+    out = {
+        "figure": d["figure"],
+        "scheme": d["scheme"],
+        "workload": d["workload"],
+        "insert_ratio": d.get("insert_ratio", 0),
+        "clients": d["clients"],
+        "throughput_kops": round(d["throughput_kops"], 3),
+        "latency_p50_us": round(d["latency_us"]["p50"], 3),
+        "latency_p99_us": round(d["latency_us"]["p99"], 3),
+    }
+    return out
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    cells = []
+    settings = None
+    for path in argv[1:]:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                d = json.loads(line)
+                s = {
+                    "dataset": d["dataset"],
+                    "requests_per_client": d["requests_per_client"],
+                    "seed": 20260705,
+                }
+                if settings is None:
+                    settings = s
+                elif settings != s:
+                    sys.stderr.write(
+                        "error: mixed bench settings across inputs\n")
+                    return 1
+                cells.append(cell(line))
+    doc = {
+        "comment": "Single-server baseline for the shard-scaling "
+                   "comparison; regenerate with tools/make_baseline.py "
+                   "(see its docstring for the exact recipe).",
+        "settings": settings,
+        "cells": cells,
+    }
+    json.dump(doc, sys.stdout, indent=1)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
