@@ -136,6 +136,50 @@ void BM_RdmaSimRead(benchmark::State& state) {
 }
 BENCHMARK(BM_RdmaSimRead)->Arg(1024)->Arg(65536);
 
+// Doorbell batching on the sim: one PostBatch of N READs + one PollMany
+// drain vs N PostRead/Poll pairs (BM_RdmaSimRead is the N=1 anchor).
+// Sweep N over the EXPERIMENTS.md ablation points. Reported per READ so
+// the batch sizes compare directly: the gap between N=1 and N=16 is the
+// per-op lock/wakeup overhead the doorbell amortizes.
+void BM_RdmaSimReadBatch(benchmark::State& state) {
+  rdma::Fabric fabric(rdma::FabricProfile::Instant());
+  auto server = fabric.CreateNode("server");
+  auto client = fabric.CreateNode("client");
+  auto s_qp = server->CreateQp(server->CreateCq(), server->CreateCq());
+  auto c_send = client->CreateCq();
+  auto c_qp = client->CreateQp(c_send, client->CreateCq());
+  rdma::QueuePair::Connect(s_qp, c_qp);
+  std::vector<std::byte> mem(1 << 20, std::byte{1});
+  const auto mr = server->RegisterMemory(mem);
+
+  const size_t batch = static_cast<size_t>(state.range(0));
+  constexpr size_t kChunk = 1024;
+  std::vector<std::byte> local(batch * kChunk);
+  std::vector<rdma::WorkRequest> wrs(batch);
+  std::vector<rdma::WorkCompletion> wcs(batch);
+  uint64_t wr = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) {
+      wrs[i].kind = rdma::WorkRequest::Kind::kRead;
+      wrs[i].wr_id = ++wr;
+      wrs[i].dst = std::span<std::byte>(local).subspan(i * kChunk, kChunk);
+      wrs[i].remote = rdma::RemoteAddr{mr.rkey, i * kChunk};
+    }
+    c_qp->PostBatch(wrs);
+    size_t reaped = 0;
+    while (reaped < batch) {
+      reaped += c_send->PollMany(
+          std::span<rdma::WorkCompletion>(wcs).subspan(reaped));
+    }
+    benchmark::DoNotOptimize(local.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(batch * kChunk));
+}
+BENCHMARK(BM_RdmaSimReadBatch)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
 void BM_AdaptiveDecision(benchmark::State& state) {
   AdaptiveController ctrl(AdaptiveConfig{}, 3);
   uint64_t t = 0;

@@ -49,6 +49,11 @@ struct BenchEnv {
   /// on 127.0.0.1:<port> for the duration of the bench (0 = ephemeral).
   /// Set with --stats-port <n> (or CATFISH_STATS_PORT).
   int stats_port = -1;
+  /// Doorbell-batching override for the ablation sweep (EXPERIMENTS.md):
+  /// -1 = per-scheme default (baselines per-WR, Catfish batched at 16),
+  ///  0 = force batching off, N > 0 = force batching on with chain
+  /// limit N. Set with --doorbell-batch <n> (or CATFISH_DOORBELL_BATCH).
+  int doorbell_batch = -1;
 
   static BenchEnv Load(int argc = 0, char* const* argv = nullptr) {
     BenchEnv env;
@@ -74,6 +79,9 @@ struct BenchEnv {
     if (const char* p = std::getenv("CATFISH_STATS_PORT")) {
       env.stats_port = std::atoi(p);
     }
+    if (const char* b = std::getenv("CATFISH_DOORBELL_BATCH")) {
+      env.doorbell_batch = std::atoi(b);
+    }
     for (int i = 1; i < argc; ++i) {
       const char* arg = argv[i];
       if (std::strcmp(arg, "--telemetry-json") == 0 && i + 1 < argc) {
@@ -89,6 +97,8 @@ struct BenchEnv {
         env.timeline_window_us = std::strtoull(argv[++i], nullptr, 10);
       } else if (std::strcmp(arg, "--stats-port") == 0 && i + 1 < argc) {
         env.stats_port = std::atoi(argv[++i]);
+      } else if (std::strcmp(arg, "--doorbell-batch") == 0 && i + 1 < argc) {
+        env.doorbell_batch = std::atoi(argv[++i]);
       }
     }
     if (env.timeline_window_us == 0) env.timeline_window_us = 200;
@@ -154,9 +164,19 @@ inline model::ClusterConfig MakeConfig(model::Scheme scheme, size_t clients,
       scheme == model::Scheme::kRdmaOffloading) {
     cfg.notify = NotifyMode::kPolling;  // FaRM-style baseline
     cfg.multi_issue = false;
+    cfg.doorbell_batching = false;  // per-WR doorbells, per-CQE reaps
   } else {
     cfg.notify = NotifyMode::kEventDriven;
     cfg.multi_issue = true;
+    cfg.doorbell_batching = true;
+  }
+  // Ablation override (EXPERIMENTS.md batching sweep): 0 forces the
+  // unbatched issue path, N > 0 forces batching with chain limit N.
+  if (env.doorbell_batch == 0) {
+    cfg.doorbell_batching = false;
+  } else if (env.doorbell_batch > 0) {
+    cfg.doorbell_batching = true;
+    cfg.doorbell_batch_limit = static_cast<uint32_t>(env.doorbell_batch);
   }
   return cfg;
 }
@@ -287,6 +307,13 @@ class CellExporter {
     telemetry::WriteHistogram(j, r.offload_latency_us);
     j.Key("insert_latency_us");
     telemetry::WriteHistogram(j, r.insert_latency_us);
+    j.Key("rdma");
+    j.BeginObject();
+    j.Key("reads").Value(r.rdma_reads);
+    j.Key("doorbells").Value(r.doorbells);
+    j.Key("polls").Value(r.polls);
+    j.Key("version_retries").Value(r.version_retries);
+    j.EndObject();
     j.Key("adaptive");
     j.BeginObject();
     j.Key("mode_switches").Value(r.mode_switches);

@@ -111,6 +111,11 @@ void RTreeClient::WireUp(const HandshakeFn& shake) {
       boot_.chunk_size);
   engine_ = std::make_unique<remote::VersionedFetchEngine>(
       fetch_transport_.get(), "rtree", cfg_.remote_retry);
+  // Pooled fetch buffers: search rounds borrow chunk-sized scratch from
+  // this bounded pool instead of allocating per level. On real verbs
+  // the slab would be registered once here; the simulated NIC does not
+  // require registered local buffers, so no MR is created for it.
+  engine_->EnableScratch(boot_.chunk_size, cfg_.scratch_buffers);
 
   // A fresh connection counts as a heartbeat: the watchdog measures
   // silence from here.
@@ -480,8 +485,6 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
   std::vector<rtree::ChunkId> frontier{boot_.root};
   std::vector<rtree::ChunkId> next;
   std::vector<rtree::ChunkId> to_fetch;
-  std::vector<std::vector<std::byte>> bufs;
-  std::vector<remote::VersionedFetchEngine::Request> reqs;
   rtree::NodeData node;
 
   // Caching is only sound once a heartbeat supplied the epoch to
@@ -528,19 +531,14 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
       }
     }
     if (cfg_.multi_issue) {
-      // §IV-C: the engine multi-issues every READ of this round
-      // back-to-back so they pipeline on the NICs and the wire, then
+      // §IV-C + doorbell batching: the engine stages every READ of this
+      // round and rings one doorbell for the whole tree level, then
       // validates images in completion order; torn reads re-fetch under
-      // the engine's bounded backoff. Accepted nodes are processed right
-      // in the validate callback.
-      bufs.resize(frontier.size());
-      reqs.resize(frontier.size());
-      for (size_t i = 0; i < frontier.size(); ++i) {
-        bufs[i].resize(boot_.chunk_size);
-        reqs[i] = remote::VersionedFetchEngine::Request{frontier[i], bufs[i]};
-      }
-      const auto st = engine_->FetchMany(
-          reqs, [&](size_t i, std::span<const std::byte> image) {
+      // the engine's bounded backoff. Images land in the engine's
+      // pooled scratch — no per-level buffer allocation. Accepted nodes
+      // are processed right in the validate callback.
+      const auto st = engine_->FetchChunks(
+          frontier, [&](size_t i, std::span<const std::byte> image) {
             if (!TryDecodeNode(frontier[i], image, node)) return false;
             ProcessNode(node, rect, results, next);
             if (use_cache && !node.IsLeaf()) node_cache_[frontier[i]] = node;
@@ -557,12 +555,11 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
       }
     } else {
       // One READ at a time: every node access pays a full round trip
-      // (the baseline that Fig. 8 compares against).
-      bufs.resize(1);
-      bufs[0].resize(boot_.chunk_size);
+      // (the baseline that Fig. 8 compares against). Buffers still come
+      // from the pool — the comparison isolates batching, not malloc.
       for (const rtree::ChunkId id : frontier) {
-        const auto st = engine_->FetchOne(
-            id, bufs[0], [&](std::span<const std::byte> image) {
+        const auto st = engine_->FetchChunks(
+            {&id, 1}, [&](size_t, std::span<const std::byte> image) {
               return TryDecodeNode(id, image, node);
             });
         if (st != remote::FetchStatus::kOk) {

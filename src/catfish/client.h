@@ -117,6 +117,10 @@ struct ClientConfig {
   /// Bounds on the offload path's version-validated reads (the shared
   /// remote engine's capped-backoff retry loop, src/remote).
   remote::RetryPolicy remote_retry;
+  /// Pooled chunk-sized fetch buffers per connection (the engine's
+  /// ScratchPool). Wider traversal levels spill to counted heap
+  /// allocations, so this bounds memory, not correctness.
+  size_t scratch_buffers = 64;
   /// When set, every search records a span tree here: the adaptive
   /// decision, then either the fast-messaging ring write + response
   /// collection or the per-round offload fan-out (READ counts, version
@@ -250,6 +254,10 @@ class RTreeClient {
   const remote::EngineStats& remote_stats() const noexcept {
     return engine_->stats();
   }
+  /// The offload engine itself — for scratch-pool introspection (tests
+  /// assert scratch()->in_use() == 0 between operations, including
+  /// across Reconnect()).
+  remote::VersionedFetchEngine& remote_engine() noexcept { return *engine_; }
   AdaptiveController& controller() noexcept { return controller_; }
   uint32_t tree_height() const noexcept { return boot_.tree_height; }
 

@@ -154,9 +154,16 @@ void ClusterSim::ExecViaServer(Client& c, const workload::Request& req,
   }
   if (!tcp) {
     // The request is one RDMA WRITE into the server's ring and the
-    // response one WRITE back — mirror the rdmasim counter names.
+    // response one WRITE back — mirror the rdmasim counter names. Each
+    // WRITE is its own doorbell (a ring message cannot wait for a
+    // batch-mate), so the messaging path's doorbells/op stays at 2
+    // regardless of cfg_.doorbell_batching.
     CATFISH_COUNT_ADD("rdma.write.posted", 2);
     CATFISH_COUNT_ADD("rdma.write.bytes", req_bytes + resp_bytes);
+    result_.doorbells += 2;
+    CATFISH_COUNT_ADD("rdma.doorbells", 2);
+    CATFISH_TIMER_RECORD_US("rdma.doorbell.batch_size", 1.0);
+    CATFISH_TIMER_RECORD_US("rdma.doorbell.batch_size", 1.0);
   }
 
   auto respond = [this, &c, t0, resp_bytes, tcp, op = req.op]() {
@@ -164,6 +171,12 @@ void ClusterSim::ExecViaServer(Client& c, const workload::Request& req,
       up_->Transfer(resp_bytes, [this, &c, t0, tcp, op]() {
         const double recv_us =
             tcp ? cfg_.costs.tcp_kernel_us : cfg_.costs.verbs_post_us;
+        if (!tcp) {
+          // One recv-CQ reap per response; closed-loop clients have at
+          // most one response in flight, so nothing to coalesce here.
+          ++result_.polls;
+          CATFISH_COUNT("rdma.polls");
+        }
         sched_.After(recv_us, [this, &c, t0, op]() {
           CompleteRequest(c, op, t0);
         });
@@ -268,6 +281,14 @@ void ClusterSim::OffloadRound(Client& c,
             if (p > 0.0 && self->client->rng.NextDouble() < p) {
               ++self->sim->result_.version_retries;
               CATFISH_COUNT("catfish.client.version_retries");
+              // Reaping the torn completion and reposting it alone:
+              // retries arrive at their own times, so they don't ride
+              // a chain even when doorbell batching is on.
+              ++self->sim->result_.polls;
+              CATFISH_COUNT("rdma.polls");
+              ++self->sim->result_.doorbells;
+              CATFISH_COUNT("rdma.doorbells");
+              CATFISH_TIMER_RECORD_US("rdma.doorbell.batch_size", 1.0);
               self->Issue(self);  // torn read: fetch again
               return;
             }
@@ -280,18 +301,55 @@ void ClusterSim::OffloadRound(Client& c,
 
   if (cfg_.multi_issue) {
     // All reads of the round posted back-to-back (pipelined on the NICs
-    // and the wire); arrivals are processed as they land.
-    for (uint32_t i = 0; i < n; ++i) {
-      auto process = [this, round, node_done]() {
-        // Serial client CPU: decode + intersect this node.
-        const double start = std::max(round->client_free_at, sched_.now());
-        round->client_free_at = start + cfg_.costs.client_node_us;
-        sched_.At(round->client_free_at, node_done);
-      };
-      auto op = std::make_shared<ReadOp>(
-          ReadOp{this, &c, chunk_bytes, std::move(process)});
-      sched_.After(k.verbs_post_us * (i + 1), [op]() { op->Issue(op); });
+    // and the wire); arrivals are processed as they land. With doorbell
+    // batching the client stages each WR cheaply (verbs_stage_us) and
+    // rings one doorbell per chain of ≤ doorbell_batch_limit WRs; the
+    // chain's reads hit the wire together at flush time. Without it,
+    // read i pays its own full post — the per-WR issue cadence of the
+    // FaRM-style baseline (and of this sim before batching existed:
+    // limit == 1 reproduces the old verbs_post_us * (i + 1) schedule
+    // exactly).
+    const bool batched = cfg_.doorbell_batching;
+    const uint32_t limit =
+        !batched ? 1
+                 : (cfg_.doorbell_batch_limit == 0 ? n
+                                                   : cfg_.doorbell_batch_limit);
+    double t = 0.0;
+    for (uint32_t issued = 0; issued < n;) {
+      const uint32_t m = std::min(limit, n - issued);
+      t += k.verbs_post_us + k.verbs_stage_us * (m - 1);
+      ++result_.doorbells;
+      CATFISH_COUNT("rdma.doorbells");
+      CATFISH_TIMER_RECORD_US("rdma.doorbell.batch_size", m);
+      for (uint32_t j = 0; j < m; ++j) {
+        auto process = [this, round, batched, node_done]() {
+          // Completion pickup: a CQE that lands while the client is
+          // still chewing an earlier node rides that pass's coalesced
+          // reap (PollMany) for free; one that finds the client idle
+          // costs a fresh poll. Unbatched reaping pays one poll — and
+          // its CPU — per CQE.
+          double cpu = cfg_.costs.client_node_us;
+          if (!batched || sched_.now() >= round->client_free_at) {
+            ++result_.polls;
+            CATFISH_COUNT("rdma.polls");
+            cpu += cfg_.costs.verbs_reap_us;
+          }
+          // Serial client CPU: reap (if charged) + decode + intersect.
+          const double start = std::max(round->client_free_at, sched_.now());
+          round->client_free_at = start + cpu;
+          sched_.At(round->client_free_at, node_done);
+        };
+        auto op = std::make_shared<ReadOp>(
+            ReadOp{this, &c, chunk_bytes, std::move(process)});
+        sched_.After(t, [op]() { op->Issue(op); });
+      }
+      issued += m;
     }
+    // The client thread is inside the issue loop until the last flush:
+    // no completion can be reaped before it. This is where batching's
+    // CPU win lands — the loop releases the core (m-1) * (post - stage)
+    // microseconds earlier per chain than per-WR posting.
+    round->client_free_at = sched_.now() + t;
   } else {
     // Single-issue: read i+1 posts only after read i is fully processed
     // — every node access pays a full round trip (Fig 8's baseline).
@@ -300,8 +358,12 @@ void ClusterSim::OffloadRound(Client& c,
     *issue_seq = [this, &c, n, chunk_bytes, round, node_done,
                   issue_seq](uint32_t i) {
       auto process = [this, round, node_done, issue_seq, i, n]() {
+        // Lock-step issue: every completion is reaped alone.
+        ++result_.polls;
+        CATFISH_COUNT("rdma.polls");
         const double start = std::max(round->client_free_at, sched_.now());
-        round->client_free_at = start + cfg_.costs.client_node_us;
+        round->client_free_at =
+            start + cfg_.costs.client_node_us + cfg_.costs.verbs_reap_us;
         sched_.At(round->client_free_at, [node_done, issue_seq, i, n]() {
           node_done();
           if (i + 1 < n) {
@@ -314,6 +376,9 @@ void ClusterSim::OffloadRound(Client& c,
       };
       auto op = std::make_shared<ReadOp>(
           ReadOp{this, &c, chunk_bytes, std::move(process)});
+      ++result_.doorbells;  // one WR, one doorbell — nothing to chain
+      CATFISH_COUNT("rdma.doorbells");
+      CATFISH_TIMER_RECORD_US("rdma.doorbell.batch_size", 1.0);
       sched_.After(cfg_.costs.verbs_post_us, [op]() { op->Issue(op); });
     };
     (*issue_seq)(0);

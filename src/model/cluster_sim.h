@@ -54,6 +54,13 @@ struct ClusterConfig {
   NotifyMode notify = NotifyMode::kEventDriven;
   /// Multi-issue for offloaded traversals. Catfish: on; baseline: off.
   bool multi_issue = true;
+  /// Doorbell batching on the offload issue path: stage a round's READ
+  /// WRs (verbs_stage_us each) and ring one doorbell per chain
+  /// (verbs_post_us), with coalesced completion reaping. Catfish: on;
+  /// the FaRM-style baselines pay per-WR doorbells.
+  bool doorbell_batching = true;
+  /// Max WRs per doorbell chain (0 = a whole round in one chain).
+  uint32_t doorbell_batch_limit = 16;
   AdaptiveConfig adaptive;
   CostModel costs;
   size_t num_clients = 32;
@@ -90,6 +97,12 @@ struct RunResult {
   uint64_t inserts = 0;
   uint64_t rdma_reads = 0;
   uint64_t version_retries = 0;
+  /// Issue doorbells rung / completion reap passes on the offload path
+  /// (plus request-post doorbells on the messaging path). With batching
+  /// on, doorbells/op and polls/op drop while rdma_reads/op is
+  /// unchanged — the invariant the fig08 bench asserts.
+  uint64_t doorbells = 0;
+  uint64_t polls = 0;
   /// Summed over every client's AdaptiveController (Catfish scheme only).
   uint64_t mode_switches = 0;
   uint64_t adaptive_escalations = 0;

@@ -31,8 +31,19 @@ struct CostModel {
   double tcp_kernel_us = 2.5;
 
   // --- client CPU (uncontended; the paper's clients are lightly loaded) ---
-  /// Posting a verb and reaping its completion.
+  /// Posting a verb and reaping its completion — the doorbell MMIO plus
+  /// the NIC wakeup. Paid once per WR without doorbell batching, once
+  /// per flushed chain with it.
   double verbs_post_us = 0.2;
+  /// Staging one *additional* WR onto an open doorbell chain: building
+  /// the WQE, no MMIO. A chain of m WRs costs
+  /// verbs_post_us + (m-1) * verbs_stage_us of client CPU; the gap to
+  /// m * verbs_post_us is the issue-side batching win.
+  double verbs_stage_us = 0.05;
+  /// Reaping a CQE on its own poll pass. A completion that rides an
+  /// earlier completion's PollMany drain (coalesced reaping) skips
+  /// this — the reap-side batching win.
+  double verbs_reap_us = 0.1;
   /// Client-side processing of one fetched node while offloading:
   /// version validation, decode, intersection tests.
   double client_node_us = 0.6;

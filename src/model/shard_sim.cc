@@ -203,8 +203,17 @@ void ShardedClusterSim::SubqueryFast(Client& c, uint32_t shard,
       static_cast<double>(st.results) * k.per_result_us;
   const size_t resp_bytes =
       k.response_base_bytes * segments + st.results * k.per_result_bytes;
+  // Ring messages doorbell individually on their shard's QP (the live
+  // sharded client stages one ring doorbell per sub-query): request +
+  // response = 2 doorbells, and the response is reaped once.
   CATFISH_COUNT_ADD("rdma.write.posted", 2);
   CATFISH_COUNT_ADD("rdma.write.bytes", k.search_request_bytes + resp_bytes);
+  result_.doorbells += 2;
+  CATFISH_COUNT_ADD("rdma.doorbells", 2);
+  CATFISH_TIMER_RECORD_US("rdma.doorbell.batch_size", 1.0);
+  CATFISH_TIMER_RECORD_US("rdma.doorbell.batch_size", 1.0);
+  ++result_.polls;
+  CATFISH_COUNT("rdma.polls");
 
   sched_.After(issue_delay, [this, &c, &s, service, resp_bytes, join]() {
     s.down->Transfer(cfg_.costs.search_request_bytes, [this, &c, &s, service,
@@ -293,6 +302,13 @@ void ShardedClusterSim::OffloadRound(
             if (p > 0.0 && self->client->rng.NextDouble() < p) {
               ++self->sim->result_.version_retries;
               CATFISH_COUNT("catfish.client.version_retries");
+              // A torn read is reaped and reposted alone (cluster_sim
+              // models the same).
+              ++self->sim->result_.polls;
+              CATFISH_COUNT("rdma.polls");
+              ++self->sim->result_.doorbells;
+              CATFISH_COUNT("rdma.doorbells");
+              CATFISH_TIMER_RECORD_US("rdma.doorbell.batch_size", 1.0);
               self->Issue(self);
               return;
             }
@@ -304,17 +320,45 @@ void ShardedClusterSim::OffloadRound(
   };
 
   // Multi-issue only (the sharded stack inherits Catfish's pipelined
-  // offload; the single-issue baseline lives in cluster_sim).
-  for (uint32_t i = 0; i < n; ++i) {
-    auto process = [this, round, node_done]() {
-      const double start = std::max(round->client_free_at, sched_.now());
-      round->client_free_at = start + cfg_.costs.client_node_us;
-      sched_.At(round->client_free_at, node_done);
-    };
-    auto op = std::make_shared<ReadOp>(
-        ReadOp{this, &s, &c, chunk_bytes, std::move(process)});
-    sched_.After(k.verbs_post_us * (i + 1), [op]() { op->Issue(op); });
+  // offload; the single-issue baseline lives in cluster_sim). Doorbell
+  // batching follows cluster_sim's model: stage cheaply, ring one
+  // doorbell per chain, coalesce reaps that land while the client is
+  // busy. Limit 1 reproduces the old per-WR schedule.
+  const bool batched = cfg_.doorbell_batching;
+  const uint32_t limit =
+      !batched ? 1
+               : (cfg_.doorbell_batch_limit == 0 ? n
+                                                 : cfg_.doorbell_batch_limit);
+  double t = 0.0;
+  for (uint32_t issued = 0; issued < n;) {
+    const uint32_t m = std::min(limit, n - issued);
+    t += k.verbs_post_us + k.verbs_stage_us * (m - 1);
+    ++result_.doorbells;
+    CATFISH_COUNT("rdma.doorbells");
+    CATFISH_TIMER_RECORD_US("rdma.doorbell.batch_size", m);
+    for (uint32_t j = 0; j < m; ++j) {
+      auto process = [this, round, batched, node_done]() {
+        // Solo reap passes cost CPU; coalesced drains ride for free
+        // (same pickup model as cluster_sim).
+        double cpu = cfg_.costs.client_node_us;
+        if (!batched || sched_.now() >= round->client_free_at) {
+          ++result_.polls;
+          CATFISH_COUNT("rdma.polls");
+          cpu += cfg_.costs.verbs_reap_us;
+        }
+        const double start = std::max(round->client_free_at, sched_.now());
+        round->client_free_at = start + cpu;
+        sched_.At(round->client_free_at, node_done);
+      };
+      auto op = std::make_shared<ReadOp>(
+          ReadOp{this, &s, &c, chunk_bytes, std::move(process)});
+      sched_.After(t, [op]() { op->Issue(op); });
+    }
+    issued += m;
   }
+  // The client core is held by the issue loop until the last flush
+  // (see cluster_sim: batching releases it earlier per chain).
+  round->client_free_at = sched_.now() + t;
 }
 
 void ShardedClusterSim::ExecInsert(Client& c, const workload::Request& req) {
@@ -325,6 +369,12 @@ void ShardedClusterSim::ExecInsert(Client& c, const workload::Request& req) {
   CATFISH_COUNT("catfish.client.insert");
   CATFISH_COUNT_ADD("rdma.write.posted", 2);
   CATFISH_COUNT_ADD("rdma.write.bytes", k.insert_request_bytes + k.ack_bytes);
+  result_.doorbells += 2;
+  CATFISH_COUNT_ADD("rdma.doorbells", 2);
+  CATFISH_TIMER_RECORD_US("rdma.doorbell.batch_size", 1.0);
+  CATFISH_TIMER_RECORD_US("rdma.doorbell.batch_size", 1.0);
+  ++result_.polls;
+  CATFISH_COUNT("rdma.polls");
 
   auto respond = [this, &c, &s, t0]() {
     s.nic->Submit(cfg_.costs.nic_write_op_us, [this, &c, &s, t0]() {

@@ -50,6 +50,9 @@ struct ShardedClusterConfig {
   unsigned server_cores = 28;
   NotifyMode notify = NotifyMode::kEventDriven;
   bool multi_issue = true;
+  /// Doorbell batching on per-shard offload frontiers (see ClusterConfig).
+  bool doorbell_batching = true;
+  uint32_t doorbell_batch_limit = 16;
   AdaptiveConfig adaptive;
   CostModel costs;
   size_t num_clients = 256;
@@ -85,6 +88,9 @@ struct ShardedRunResult {
   uint64_t inserts = 0;
   uint64_t rdma_reads = 0;
   uint64_t version_retries = 0;
+  /// Issue doorbells / reap passes, as in RunResult.
+  uint64_t doorbells = 0;
+  uint64_t polls = 0;
   uint64_t mode_switches = 0;
   uint64_t oracle_checks = 0;
   uint64_t oracle_mismatches = 0;

@@ -81,21 +81,7 @@ bool RingSender::TrySend(uint16_t type, uint16_t flags,
   }
   stalled_ = false;
 
-  if (need_pad) {
-    // A PAD record: only the marker word travels; the receiver skips the
-    // whole remainder of the ring locally.
-    std::byte marker[4];
-    StorePod(marker, 0, kPadMarker);
-    if (!qp_->PostWrite(++wr_id_, marker,
-                        rdma::RemoteAddr{ring_.rkey, ring_.offset + pos},
-                        /*signaled=*/false)) {
-      return false;
-    }
-    tail_ += contiguous;
-    CATFISH_COUNT("msg.ring.wraps");
-  }
-
-  const size_t at = static_cast<size_t>(tail_ % capacity_);
+  const size_t at = need_pad ? 0 : pos;
   std::vector<std::byte> buf(wire);  // zero-initialized padding
   StorePod(buf, 0, static_cast<uint32_t>(wire));
   StorePod(buf, 4, static_cast<uint32_t>(payload.size()));
@@ -107,11 +93,48 @@ bool RingSender::TrySend(uint16_t type, uint16_t flags,
   // Ring writes are unsignaled: their consumers poll the ring memory
   // itself (or the remote's recv CQ for IMM), never the local send CQ.
   const rdma::RemoteAddr dst{ring_.rkey, ring_.offset + at};
-  const bool ok = imm ? qp_->PostWriteImm(++wr_id_, buf, dst, *imm,
-                                          /*signaled=*/false)
-                      : qp_->PostWrite(++wr_id_, buf, dst,
-                                       /*signaled=*/false);
-  if (!ok) return false;
+
+  if (need_pad) {
+    // Wrap: the PAD record (only the marker word travels; the receiver
+    // skips the rest of the ring locally) and the message ride one
+    // 2-WR doorbell instead of two posts. Per-WR fault checks are
+    // preserved, so the pair can fail independently:
+    //   * pad ok, msg dropped — advance past the pad only and fail;
+    //     the retry posts just the message at offset 0 (exactly the
+    //     old two-post behavior);
+    //   * pad dropped — advance nothing and fail. The message bytes
+    //     may already sit at offset 0, but the receiver cannot reach
+    //     them without the marker, and the retry re-writes both
+    //     records with identical bytes, so the duplicate WRITE (and a
+    //     duplicate IMM wakeup) is harmless.
+    std::byte marker[4];
+    StorePod(marker, 0, kPadMarker);
+    rdma::WorkRequest wrs[2];
+    wrs[0].kind = rdma::WorkRequest::Kind::kWrite;
+    wrs[0].wr_id = ++wr_id_;
+    wrs[0].src = std::span<const std::byte>(marker);
+    wrs[0].remote = rdma::RemoteAddr{ring_.rkey, ring_.offset + pos};
+    wrs[0].signaled = false;
+    wrs[1].kind = imm ? rdma::WorkRequest::Kind::kWriteImm
+                      : rdma::WorkRequest::Kind::kWrite;
+    wrs[1].wr_id = ++wr_id_;
+    wrs[1].src = buf;
+    wrs[1].remote = dst;
+    if (imm) wrs[1].imm = *imm;
+    wrs[1].signaled = false;
+    bool ok[2] = {false, false};
+    qp_->PostBatch(wrs, ok);
+    if (!ok[0]) return false;
+    tail_ += contiguous;
+    CATFISH_COUNT("msg.ring.wraps");
+    if (!ok[1]) return false;
+  } else {
+    const bool ok = imm ? qp_->PostWriteImm(++wr_id_, buf, dst, *imm,
+                                            /*signaled=*/false)
+                        : qp_->PostWrite(++wr_id_, buf, dst,
+                                         /*signaled=*/false);
+    if (!ok) return false;
+  }
   tail_ += wire;
   CATFISH_COUNT("msg.ring.msgs_sent");
   CATFISH_COUNT_ADD("msg.ring.bytes_sent", wire);

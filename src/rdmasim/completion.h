@@ -47,8 +47,16 @@ struct WorkCompletion {
 class CompletionQueue {
  public:
   /// Non-blocking: moves up to out.size() completions into `out`,
-  /// returning how many were delivered (ibv_poll_cq).
-  size_t Poll(std::span<WorkCompletion> out) {
+  /// returning how many were delivered (ibv_poll_cq). Each call counts
+  /// one `rdma.polls` CQ access, so polls/op directly compares one-at-a-
+  /// time reaping against the coalesced PollMany path.
+  size_t Poll(std::span<WorkCompletion> out) { return PollMany(out); }
+
+  /// Batch reaping (the coalesced-polling half of doorbell batching):
+  /// drains up to out.size() completions under a single lock acquisition
+  /// and counts a single `rdma.polls` access however many CQEs it moves.
+  size_t PollMany(std::span<WorkCompletion> out) {
+    CATFISH_COUNT("rdma.polls");
     const std::scoped_lock lock(mu_);
     size_t n = 0;
     while (n < out.size() && !queue_.empty()) {
@@ -82,6 +90,23 @@ class CompletionQueue {
       queue_.back().posted_ns = NowNanos();
     }
     cv_.notify_one();
+  }
+
+  /// NIC side, batched: delivers a whole doorbell batch's completions
+  /// with one lock acquisition and one wakeup — the delivery half of
+  /// QueuePair::PostBatch. notify_all because one batch may satisfy
+  /// several blocked waiters.
+  void PushMany(std::span<const WorkCompletion> wcs) {
+    if (wcs.empty()) return;
+    {
+      const std::scoped_lock lock(mu_);
+      const uint64_t now = NowNanos();
+      for (const WorkCompletion& wc : wcs) {
+        queue_.push_back(wc);
+        queue_.back().posted_ns = now;
+      }
+    }
+    cv_.notify_all();
   }
 
   size_t Depth() const {

@@ -1,6 +1,7 @@
 #include "rdmasim/rdma.h"
 
 #include <cstring>
+#include <iterator>
 
 #include "common/bytes.h"
 #include "common/clock.h"
@@ -239,43 +240,26 @@ void QueuePair::Close() {
   }
 }
 
-void QueuePair::CompleteLocal(uint64_t wr_id, Opcode op, WcStatus status,
-                              uint32_t byte_len) {
-  WorkCompletion wc;
-  wc.wr_id = wr_id;
-  wc.opcode = op;
-  wc.status = status;
-  wc.qp_num = qp_num_;
-  wc.byte_len = byte_len;
-  send_cq_->Push(wc);
-}
-
-bool QueuePair::CheckPostFaults(uint64_t wr_id, Opcode op,
-                                std::shared_ptr<SimNode>& peer_node) {
-  std::shared_ptr<QueuePair> peer;
+WcStatus QueuePair::CheckPostFaults(std::shared_ptr<SimNode>& peer_node,
+                                    std::shared_ptr<QueuePair>& peer) {
   {
     const std::scoped_lock lock(peer_mu_);
     if (error_) {
       // ERR is checked before closed: a QP that was errored and then
       // torn down keeps reporting the error, like real hardware.
-      CompleteLocal(wr_id, op, WcStatus::kQpError, 0);
-      return false;
+      return WcStatus::kQpError;
     }
     peer = peer_.lock();
     peer_node = peer_node_;
-    if (closed_ || !peer) {
-      CompleteLocal(wr_id, op, WcStatus::kFlushed, 0);
-      return false;
-    }
+    if (closed_ || !peer) return WcStatus::kFlushed;
   }
   // Scripted faults fire before any byte moves, so a dropped ring write
   // can never leave a partially-written record behind.
   if (node_->fabric_ != nullptr &&
       node_->fabric_->faults().ShouldFail(node_->name_, peer_node->name_)) {
-    CompleteLocal(wr_id, op, WcStatus::kRetryExceeded, 0);
-    return false;
+    return WcStatus::kRetryExceeded;
   }
-  return true;
+  return WcStatus::kSuccess;
 }
 
 QpOpStats QueuePair::op_stats() const noexcept {
@@ -288,52 +272,71 @@ QpOpStats QueuePair::op_stats() const noexcept {
   return s;
 }
 
-bool QueuePair::PostWrite(uint64_t wr_id, std::span<const std::byte> local,
-                          RemoteAddr dst, bool signaled) {
-  node_->writes_posted_.fetch_add(1, std::memory_order_relaxed);
-  writes_posted_.fetch_add(1, std::memory_order_relaxed);
-  write_bytes_.fetch_add(local.size(), std::memory_order_relaxed);
-  CATFISH_COUNT("rdma.write.posted");
-  CATFISH_COUNT_ADD("rdma.write.bytes", local.size());
+bool QueuePair::Execute(const WorkRequest& wr, WorkCompletion& wc,
+                        bool& deliver) {
+  const bool is_read = wr.kind == WorkRequest::Kind::kRead;
+  const size_t len = is_read ? wr.dst.size() : wr.src.size();
+  wc = WorkCompletion{};
+  wc.wr_id = wr.wr_id;
+  wc.opcode = is_read ? Opcode::kRead : Opcode::kWrite;
+  wc.qp_num = qp_num_;
+  deliver = true;  // errors always complete, even for unsignaled WRs
+  if (is_read) {
+    node_->reads_posted_.fetch_add(1, std::memory_order_relaxed);
+    reads_posted_.fetch_add(1, std::memory_order_relaxed);
+    read_bytes_.fetch_add(len, std::memory_order_relaxed);
+    CATFISH_COUNT("rdma.read.posted");
+    CATFISH_COUNT_ADD("rdma.read.bytes", len);
+  } else {
+    node_->writes_posted_.fetch_add(1, std::memory_order_relaxed);
+    writes_posted_.fetch_add(1, std::memory_order_relaxed);
+    write_bytes_.fetch_add(len, std::memory_order_relaxed);
+    CATFISH_COUNT("rdma.write.posted");
+    CATFISH_COUNT_ADD("rdma.write.bytes", len);
+  }
   std::shared_ptr<SimNode> peer_node;
-  if (!CheckPostFaults(wr_id, Opcode::kWrite, peer_node)) return false;
+  std::shared_ptr<QueuePair> peer;
+  const WcStatus gate = CheckPostFaults(peer_node, peer);
+  if (gate != WcStatus::kSuccess) {
+    wc.status = gate;
+    return false;
+  }
   // In-flight guard: holds off DeregisterAll/Invalidate until the copy
   // lands, so owners can free registered memory after a quiesce.
   const std::shared_lock region_guard(peer_node->mr_mu_);
-  const auto region = peer_node->ResolveMr(dst.rkey);
-  if (dst.offset + local.size() > region.size()) {
-    CompleteLocal(wr_id, Opcode::kWrite, WcStatus::kRemoteAccessError, 0);
+  const auto region = peer_node->ResolveMr(wr.remote.rkey);
+  if (wr.remote.offset + len > region.size()) {
+    wc.status = WcStatus::kRemoteAccessError;
     return false;
   }
-  LineCopy(region.data() + dst.offset, local.data(), local.size());
-  node_->CountSent(local.size());
-  peer_node->CountReceived(local.size());
-  if (signaled) {
-    CompleteLocal(wr_id, Opcode::kWrite, WcStatus::kSuccess,
-                  static_cast<uint32_t>(local.size()));
+  if (is_read) {
+    // Served entirely by the "NIC": no peer CPU thread participates.
+    // Real NICs read each 64-byte cache line as an atomic snapshot;
+    // SnapshotCopy reproduces that, so sub-line tears the seqlock could
+    // never see on hardware cannot happen here either (rtree/layout.h).
+    rtree::SnapshotCopy(wr.dst.data(), region.data() + wr.remote.offset, len);
+    peer_node->reads_served_.fetch_add(1, std::memory_order_relaxed);
+    peer_node->CountSent(len);
+    node_->CountReceived(len);
+  } else {
+    LineCopy(region.data() + wr.remote.offset, wr.src.data(), len);
+    node_->CountSent(len);
+    peer_node->CountReceived(len);
   }
-  return true;
-}
-
-bool QueuePair::PostWriteImm(uint64_t wr_id, std::span<const std::byte> local,
-                             RemoteAddr dst, uint32_t imm, bool signaled) {
-  std::shared_ptr<QueuePair> peer;
-  {
-    const std::scoped_lock lock(peer_mu_);
-    peer = peer_.lock();
-  }
-  if (!PostWrite(wr_id, local, dst, signaled)) return false;
-  // Data is placed before the notification fires, matching the RC
-  // guarantee that the IMM completion observes the written payload.
-  if (peer && peer->recv_cq_) {
-    WorkCompletion wc;
-    wc.wr_id = 0;
-    wc.opcode = Opcode::kRecvImm;
-    wc.status = WcStatus::kSuccess;
-    wc.qp_num = peer->qp_num_;
-    wc.imm_data = imm;
-    wc.byte_len = static_cast<uint32_t>(local.size());
-    peer->recv_cq_->Push(wc);
+  wc.status = WcStatus::kSuccess;
+  wc.byte_len = static_cast<uint32_t>(len);
+  deliver = is_read || wr.signaled;
+  if (wr.kind == WorkRequest::Kind::kWriteImm && peer && peer->recv_cq_) {
+    // Data is placed before the notification fires, matching the RC
+    // guarantee that the IMM completion observes the written payload.
+    WorkCompletion iwc;
+    iwc.wr_id = 0;
+    iwc.opcode = Opcode::kRecvImm;
+    iwc.status = WcStatus::kSuccess;
+    iwc.qp_num = peer->qp_num_;
+    iwc.imm_data = wr.imm;
+    iwc.byte_len = static_cast<uint32_t>(len);
+    peer->recv_cq_->Push(iwc);
     peer->node_->imm_delivered_.fetch_add(1, std::memory_order_relaxed);
     imm_sent_.fetch_add(1, std::memory_order_relaxed);
     CATFISH_COUNT("rdma.imm.delivered");
@@ -341,32 +344,75 @@ bool QueuePair::PostWriteImm(uint64_t wr_id, std::span<const std::byte> local,
   return true;
 }
 
+bool QueuePair::PostOne(const WorkRequest& wr) {
+  CATFISH_COUNT("rdma.doorbells");
+  CATFISH_TIMER_RECORD_US("rdma.doorbell.batch_size", 1.0);
+  WorkCompletion wc;
+  bool deliver = false;
+  const bool ok = Execute(wr, wc, deliver);
+  if (deliver) send_cq_->Push(wc);
+  return ok;
+}
+
+size_t QueuePair::PostBatch(std::span<const WorkRequest> wrs, bool* ok) {
+  if (wrs.empty()) return 0;
+  // The whole point: one doorbell for the chain, and one coalesced CQ
+  // delivery below, however many WRs ride it.
+  CATFISH_COUNT("rdma.doorbells");
+  CATFISH_TIMER_RECORD_US("rdma.doorbell.batch_size",
+                          static_cast<double>(wrs.size()));
+  WorkCompletion inline_wcs[16];
+  std::vector<WorkCompletion> heap_wcs;
+  WorkCompletion* wcs = inline_wcs;
+  if (wrs.size() > std::size(inline_wcs)) {
+    heap_wcs.resize(wrs.size());
+    wcs = heap_wcs.data();
+  }
+  size_t delivered = 0;
+  size_t succeeded = 0;
+  for (size_t i = 0; i < wrs.size(); ++i) {
+    WorkCompletion wc;
+    bool deliver = false;
+    const bool good = Execute(wrs[i], wc, deliver);
+    if (ok != nullptr) ok[i] = good;
+    if (good) ++succeeded;
+    if (deliver) wcs[delivered++] = wc;
+  }
+  send_cq_->PushMany({wcs, delivered});
+  return succeeded;
+}
+
+bool QueuePair::PostWrite(uint64_t wr_id, std::span<const std::byte> local,
+                          RemoteAddr dst, bool signaled) {
+  WorkRequest wr;
+  wr.kind = WorkRequest::Kind::kWrite;
+  wr.wr_id = wr_id;
+  wr.src = local;
+  wr.remote = dst;
+  wr.signaled = signaled;
+  return PostOne(wr);
+}
+
+bool QueuePair::PostWriteImm(uint64_t wr_id, std::span<const std::byte> local,
+                             RemoteAddr dst, uint32_t imm, bool signaled) {
+  WorkRequest wr;
+  wr.kind = WorkRequest::Kind::kWriteImm;
+  wr.wr_id = wr_id;
+  wr.src = local;
+  wr.remote = dst;
+  wr.imm = imm;
+  wr.signaled = signaled;
+  return PostOne(wr);
+}
+
 bool QueuePair::PostRead(uint64_t wr_id, std::span<std::byte> local,
                          RemoteAddr src) {
-  node_->reads_posted_.fetch_add(1, std::memory_order_relaxed);
-  reads_posted_.fetch_add(1, std::memory_order_relaxed);
-  read_bytes_.fetch_add(local.size(), std::memory_order_relaxed);
-  CATFISH_COUNT("rdma.read.posted");
-  CATFISH_COUNT_ADD("rdma.read.bytes", local.size());
-  std::shared_ptr<SimNode> peer_node;
-  if (!CheckPostFaults(wr_id, Opcode::kRead, peer_node)) return false;
-  const std::shared_lock region_guard(peer_node->mr_mu_);
-  const auto region = peer_node->ResolveMr(src.rkey);
-  if (src.offset + local.size() > region.size()) {
-    CompleteLocal(wr_id, Opcode::kRead, WcStatus::kRemoteAccessError, 0);
-    return false;
-  }
-  // Served entirely by the "NIC": no peer CPU thread participates. Real
-  // NICs read each 64-byte cache line as an atomic snapshot; SnapshotCopy
-  // reproduces that, so sub-line tears the seqlock could never see on
-  // hardware cannot happen here either (rtree/layout.h).
-  rtree::SnapshotCopy(local.data(), region.data() + src.offset, local.size());
-  peer_node->reads_served_.fetch_add(1, std::memory_order_relaxed);
-  peer_node->CountSent(local.size());
-  node_->CountReceived(local.size());
-  CompleteLocal(wr_id, Opcode::kRead, WcStatus::kSuccess,
-                static_cast<uint32_t>(local.size()));
-  return true;
+  WorkRequest wr;
+  wr.kind = WorkRequest::Kind::kRead;
+  wr.wr_id = wr_id;
+  wr.dst = local;
+  wr.remote = src;
+  return PostOne(wr);
 }
 
 // ---------------------------------------------------------------------------

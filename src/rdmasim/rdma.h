@@ -221,6 +221,23 @@ class SimNode : public std::enable_shared_from_this<SimNode> {
   std::atomic<uint64_t> imm_delivered_{0};
 };
 
+/// One staged work request for QueuePair::PostBatch — the doorbell-
+/// batched issue path (ibv post-lists / RDMAbox-style WR chaining).
+/// Exactly one of `dst` / `src` is meaningful: `dst` is the local
+/// destination of a kRead, `src` the local payload of a kWrite /
+/// kWriteImm.
+struct WorkRequest {
+  enum class Kind : uint8_t { kRead, kWrite, kWriteImm };
+
+  Kind kind = Kind::kRead;
+  uint64_t wr_id = 0;
+  std::span<std::byte> dst;        ///< READ: local destination buffer
+  std::span<const std::byte> src;  ///< WRITE: local payload
+  RemoteAddr remote;
+  uint32_t imm = 0;                ///< kWriteImm only
+  bool signaled = true;            ///< errors always complete regardless
+};
+
 /// Per-QP operation counters (telemetry): what this QP posted and how
 /// many bytes each op class moved. Readable from any thread.
 struct QpOpStats {
@@ -262,6 +279,18 @@ class QueuePair {
   /// at `src` into `local`. The peer's CPU is not involved.
   bool PostRead(uint64_t wr_id, std::span<std::byte> local, RemoteAddr src);
 
+  /// Doorbell-batched post: executes every WR in order but rings the
+  /// doorbell once — one `rdma.doorbells` count and one batched CQ
+  /// delivery (single lock acquisition, single wakeup) instead of the
+  /// per-WR costs the single-shot posts pay. Per-WR fault checks are
+  /// preserved: a dropped op in the middle of a batch signals its own
+  /// error CQE while the remaining WRs still execute (fabric drop plans
+  /// do not error the QP, so on this simulated RC a batch is not flushed
+  /// by one soft loss). Returns the number of WRs that succeeded; when
+  /// `ok` is non-null it must point at wrs.size() flags and receives the
+  /// per-WR outcome.
+  size_t PostBatch(std::span<const WorkRequest> wrs, bool* ok = nullptr);
+
   /// Tears the connection down; subsequent posts fail with kFlushed.
   void Close();
 
@@ -283,8 +312,15 @@ class QueuePair {
         send_cq_(std::move(send_cq)),
         recv_cq_(std::move(recv_cq)) {}
 
-  void CompleteLocal(uint64_t wr_id, Opcode op, WcStatus status,
-                     uint32_t byte_len);
+  /// Synchronously executes one WR against the fabric. Fills `wc` with
+  /// the resulting completion and sets `deliver` when it belongs on the
+  /// send CQ (always for errors and READs; for WRITEs only when
+  /// signaled). Does NOT touch the CQ itself — the caller delivers, so
+  /// PostBatch can coalesce a whole batch into one PushMany.
+  bool Execute(const WorkRequest& wr, WorkCompletion& wc, bool& deliver);
+
+  /// Posts one WR with its own doorbell (the legacy single-shot path).
+  bool PostOne(const WorkRequest& wr);
 
   std::shared_ptr<SimNode> node_;
   uint32_t qp_num_;
@@ -293,9 +329,10 @@ class QueuePair {
 
   /// Fault gate shared by every post: kQpError when errored, kFlushed
   /// when closed, kRetryExceeded when the fault controller fails the op.
-  /// Fills `peer_node` on success.
-  bool CheckPostFaults(uint64_t wr_id, Opcode op,
-                       std::shared_ptr<SimNode>& peer_node);
+  /// Fills `peer_node` / `peer` and returns kSuccess when the op may
+  /// proceed.
+  WcStatus CheckPostFaults(std::shared_ptr<SimNode>& peer_node,
+                           std::shared_ptr<QueuePair>& peer);
 
   mutable std::mutex peer_mu_;
   std::weak_ptr<QueuePair> peer_;

@@ -34,12 +34,40 @@ void Bump(telemetry::Counter* c, uint64_t n = 1) noexcept {
 
 bool MultiIssueBatcher::Post(uint64_t token, ChunkId id,
                              std::span<std::byte> dst) {
-  if (!transport_->PostFetch(token, id, dst)) return false;
-  ++outstanding_;
-  return true;
+  Stage(token, id, dst);
+  rejected_idx_.clear();
+  transport_->PostFetchBatch(staged_, rejected_idx_);
+  const bool ok = rejected_idx_.empty();
+  outstanding_ += staged_.size() - rejected_idx_.size();
+  staged_.clear();
+  return ok;
+}
+
+void MultiIssueBatcher::Stage(uint64_t token, ChunkId id,
+                              std::span<std::byte> dst) {
+  staged_.push_back(FetchRequest{token, id, dst});
+}
+
+size_t MultiIssueBatcher::Flush(std::vector<uint64_t>* rejected) {
+  if (staged_.empty()) return 0;
+  rejected_idx_.clear();
+  transport_->PostFetchBatch(staged_, rejected_idx_);
+  if (rejected != nullptr) {
+    for (const size_t i : rejected_idx_) {
+      rejected->push_back(staged_[i].token);
+    }
+  }
+  const size_t posted = staged_.size() - rejected_idx_.size();
+  outstanding_ += posted;
+  staged_.clear();
+  return posted;
 }
 
 size_t MultiIssueBatcher::WaitAny(std::span<FetchCompletion> out) {
+  if (!staged_.empty()) Flush();
+  // The empty case returns without touching the transport: with nothing
+  // outstanding and nothing staged no completion can ever arrive, so
+  // yielding into a poll loop here would spin forever.
   if (outstanding_ == 0 || out.empty()) return 0;
   for (;;) {
     const size_t n = transport_->PollCompletions(out);
@@ -121,29 +149,36 @@ FetchStatus VersionedFetchEngine::FetchMany(std::span<const Request> reqs,
   // error state) consume an attempt like a failed completion would, so a
   // flaky link is absorbed by the same bounded retry stream instead of
   // aborting the whole batch on the first refusal.
-  std::vector<size_t> sync_failed;
-  const auto IssueOne = [&](size_t i) {
+  std::vector<uint64_t> sync_failed;
+  const auto StageOne = [&](size_t i) {
     ++stats_.reads;
     Bump(m_reads_);
     Bump(m_all_reads_);
-    if (!batch.Post(i, reqs[i].id, reqs[i].buf)) {
-      ++stats_.transport_errors;
-      Bump(m_transport_errors_);
-      sync_failed.push_back(i);
-    }
+    batch.Stage(i, reqs[i].id, reqs[i].buf);
+  };
+  // One doorbell per issue round: §IV-C's stage-everything-first,
+  // flushed with a single batched post instead of per-WR doorbells.
+  const auto FlushRound = [&] {
+    if (batch.staged() == 0) return;
+    const size_t before = sync_failed.size();
+    batch.Flush(&sync_failed);
+    ++stats_.doorbells;
+    const uint64_t rejected = sync_failed.size() - before;
+    stats_.transport_errors += rejected;
+    Bump(m_transport_errors_, rejected);
   };
 
-  // §IV-C: every independent READ of the round goes on the wire before
-  // we wait for the first completion.
   for (size_t i = 0; i < reqs.size(); ++i) {
     attempts_[i] = 1;
-    IssueOne(i);
+    StageOne(i);
   }
+  FlushRound();
 
   std::vector<size_t> repost;
-  FetchCompletion wcs[16];
+  FetchCompletion wcs[64];
   for (;;) {
-    for (const size_t i : sync_failed) {
+    for (const uint64_t tok : sync_failed) {
+      const size_t i = static_cast<size_t>(tok);
       if (result != FetchStatus::kOk) break;
       if (attempts_[i] >= max_attempts) {
         result = FetchStatus::kTransportError;
@@ -156,6 +191,7 @@ FetchStatus VersionedFetchEngine::FetchMany(std::span<const Request> reqs,
     if (batch.outstanding() == 0 && repost.empty()) break;
 
     if (batch.outstanding() > 0) {
+      ++stats_.polls;  // one coalesced reap pass, however many CQEs land
       const size_t n = batch.WaitAny(wcs);
       for (size_t k = 0; k < n; ++k) {
         const size_t i = static_cast<size_t>(wcs[k].token);
@@ -199,12 +235,42 @@ FetchStatus VersionedFetchEngine::FetchMany(std::span<const Request> reqs,
       Backoff(worst);
       for (const size_t i : repost) {
         ++attempts_[i];
-        IssueOne(i);
+        StageOne(i);
       }
+      FlushRound();
       repost.clear();
     }
   }
   return result;
+}
+
+ScratchPool& VersionedFetchEngine::EnableScratch(size_t buf_bytes,
+                                                 size_t capacity) {
+  scratch_ = std::make_unique<ScratchPool>(buf_bytes, capacity);
+  return *scratch_;
+}
+
+FetchStatus VersionedFetchEngine::FetchChunks(std::span<const ChunkId> ids,
+                                              const ValidateFn& validate) {
+  if (ids.empty()) return FetchStatus::kOk;
+  if (scratch_ == nullptr) return FetchStatus::kTransportError;
+  // RAII release: whatever exit FetchMany takes — kOk, retry
+  // exhaustion, transport error, or an exception out of validate — the
+  // acquired buffers go back to the pool before control leaves here.
+  struct Lease {
+    ScratchPool* pool;
+    std::vector<Request>* reqs;
+    ~Lease() {
+      for (const Request& r : *reqs) pool->Release(r.buf);
+      reqs->clear();
+    }
+  };
+  pooled_reqs_.clear();
+  const Lease lease{scratch_.get(), &pooled_reqs_};
+  for (const ChunkId id : ids) {
+    pooled_reqs_.push_back(Request{id, scratch_->Acquire()});
+  }
+  return FetchMany(pooled_reqs_, validate);
 }
 
 void VersionedFetchEngine::NoteConsistencyRetry() {

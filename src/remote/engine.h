@@ -20,10 +20,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "remote/scratch.h"
 #include "remote/status.h"
 #include "remote/transport.h"
 
@@ -56,11 +58,18 @@ struct EngineStats {
   uint64_t transport_errors = 0;  ///< failed posts/completions observed
   uint64_t batches = 0;           ///< multi-issue rounds (≥2 chunks)
   uint64_t backoff_waits = 0;     ///< sleeps taken while retrying
+  uint64_t doorbells = 0;         ///< issue flushes (Stage/Flush rounds)
+  uint64_t polls = 0;             ///< completion reap passes
 };
 
 /// Posts N independent fetches before waiting for any of them — the
 /// multi-issue enhancement (§IV-C) generalized: the R-tree uses it per
 /// traversal level, the cuckoo reader for its two probes.
+///
+/// Issue follows a doorbell model: Stage() queues work requests locally
+/// at zero wire cost, Flush() hands the whole round to the transport in
+/// one batched post. Post() keeps the legacy one-shot shape (a staged
+/// round of one, flushed immediately).
 class MultiIssueBatcher {
  public:
   explicit MultiIssueBatcher(FetchTransport* transport)
@@ -69,16 +78,29 @@ class MultiIssueBatcher {
   /// Posts a fetch tagged `token`. False when the transport rejects it.
   bool Post(uint64_t token, ChunkId id, std::span<std::byte> dst);
 
+  /// Queues a fetch for the next Flush. Nothing touches the wire yet.
+  void Stage(uint64_t token, ChunkId id, std::span<std::byte> dst);
+
+  /// Posts every staged fetch with one transport doorbell. Tokens the
+  /// transport rejected synchronously (no completion will arrive) are
+  /// appended to `rejected` when non-null. Returns the number posted.
+  size_t Flush(std::vector<uint64_t>* rejected = nullptr);
+
   /// Waits (yielding) until at least one completion arrives, then moves
-  /// up to out.size() of them into `out`. Returns 0 immediately when
-  /// nothing is outstanding.
+  /// up to out.size() of them into `out`. Staged-but-unflushed fetches
+  /// are flushed first (their synchronous rejections are dropped — use
+  /// Flush directly to observe them). Returns 0 immediately when nothing
+  /// is staged or outstanding, without touching the transport.
   size_t WaitAny(std::span<FetchCompletion> out);
 
   size_t outstanding() const noexcept { return outstanding_; }
+  size_t staged() const noexcept { return staged_.size(); }
 
  private:
   FetchTransport* transport_;
   size_t outstanding_ = 0;
+  std::vector<FetchRequest> staged_;
+  std::vector<size_t> rejected_idx_;  // Flush scratch, reused
 };
 
 class VersionedFetchEngine {
@@ -114,9 +136,31 @@ class VersionedFetchEngine {
   /// Multi-issues every request, validating and re-fetching per item as
   /// completions arrive. Returns kOk only when every item validated;
   /// on failure the engine still drains all outstanding fetches before
-  /// returning, so the transport is immediately reusable.
+  /// returning, so the transport is immediately reusable. Each issue
+  /// round — the initial stage-all and every retry wave — is flushed
+  /// with a single transport doorbell.
   FetchStatus FetchMany(std::span<const Request> reqs,
                         const ValidateFn& validate);
+
+  /// Creates this engine's bounded scratch pool of `capacity` reusable
+  /// `buf_bytes`-sized fetch buffers; call once when the transport
+  /// geometry (chunk size) is known. Returns the pool so the owner can
+  /// register pool.slab() with its NIC. Calling again replaces the pool
+  /// (reconnect re-wires the transport and its chunk size with it).
+  ScratchPool& EnableScratch(size_t buf_bytes, size_t capacity);
+
+  /// The pool, or nullptr before EnableScratch. Exposed so owners and
+  /// tests can assert in_use() == 0 between operations (no leaked
+  /// buffers on any FetchStatus exit path).
+  ScratchPool* scratch() noexcept { return scratch_.get(); }
+
+  /// FetchMany without caller-supplied buffers: images land in pooled
+  /// scratch (acquired per id, released on EVERY exit path — success,
+  /// retry exhaustion, transport error, or a throwing validate).
+  /// Requires EnableScratch with buf_bytes ≥ the transport's chunk
+  /// image size.
+  FetchStatus FetchChunks(std::span<const ChunkId> ids,
+                          const ValidateFn& validate);
 
   /// For consumer-level optimistic loops layered on top of the engine
   /// (e.g. the cuckoo cross-chunk consistency recheck): account one
@@ -139,6 +183,8 @@ class VersionedFetchEngine {
   EngineStats stats_;
   uint64_t jitter_state_;
   std::vector<uint32_t> attempts_;  // per-request scratch, reused
+  std::unique_ptr<ScratchPool> scratch_;
+  std::vector<Request> pooled_reqs_;  // FetchChunks scratch, reused
 
   // Metric handles (null when telemetry is compiled out).
   telemetry::Counter* m_reads_ = nullptr;

@@ -53,7 +53,7 @@ class FaultInjectingTransport final : public FetchTransport {
       return true;
     }
     if (!inner_->PostFetch(token, id, dst)) return false;
-    if (tear.Hits(ordinal)) pending_tears_.push_back(Tear{token, dst});
+    if (tear.Hits(ordinal)) pending_tears_.Add(token, dst);
     return true;
   }
 
@@ -98,28 +98,23 @@ class FaultInjectingTransport final : public FetchTransport {
     /// full `delay_polls` polls regardless of when it was enqueued.
     bool fresh;
   };
-  struct Tear {
-    uint64_t token;
-    std::span<std::byte> dst;
-  };
-
   void ApplyTear(const FetchCompletion& wc) {
-    for (auto it = pending_tears_.begin(); it != pending_tears_.end(); ++it) {
-      if (it->token != wc.token) continue;
-      if (wc.ok && it->dst.size() >= rtree::kLineSize) {
-        // Make line 0's version odd: validation must reject the image.
-        auto line0 = it->dst.first(rtree::kLineSize);
-        rtree::BeginWrite(line0);
-      }
-      pending_tears_.erase(it);
-      return;
+    // Token-keyed in-flight bookkeeping shared with QpFetchTransport
+    // (PendingFetchMap): posted tears are looked up — and retired — by
+    // the completion's token.
+    const auto dst = pending_tears_.Take(wc.token);
+    if (!dst) return;
+    if (wc.ok && dst->size() >= rtree::kLineSize) {
+      // Make line 0's version odd: validation must reject the image.
+      auto line0 = dst->first(rtree::kLineSize);
+      rtree::BeginWrite(line0);
     }
   }
 
   FetchTransport* inner_;
   uint64_t fetches_ = 0;
   std::deque<Held> held_;
-  std::deque<Tear> pending_tears_;
+  PendingFetchMap pending_tears_;
 };
 
 }  // namespace catfish::remote

@@ -21,28 +21,50 @@ constexpr uint64_t kFetchWrTag = 1ull << 63;
 
 bool QpFetchTransport::PostFetch(uint64_t token, ChunkId id,
                                  std::span<std::byte> dst) {
-  const rdma::RemoteAddr src{
-      base_.rkey, base_.offset + static_cast<uint64_t>(id) * chunk_size_};
   // Every posted READ produces exactly one completion, success or error
   // (QP error, fabric fault, bad rkey). Report failures through that
   // single channel only: returning false here as well would hand the
   // engine the same failure twice, and the duplicate retry can fetch —
   // and validate — the same chunk twice.
-  (void)qp_->PostRead(token | kFetchWrTag, dst, src);
+  in_flight_.Add(token, dst);
+  (void)qp_->PostRead(token | kFetchWrTag, dst, ChunkAddr(id));
   return true;
 }
 
+void QpFetchTransport::PostFetchBatch(std::span<const FetchRequest> reqs,
+                                      std::vector<size_t>& /*rejected*/) {
+  // One WR chain, one doorbell. Same single-channel error policy as
+  // PostFetch: a WR the fabric drops mid-batch signals its own error
+  // CQE while the rest of the chain still executes, so nothing is ever
+  // appended to `rejected`.
+  wrs_.clear();
+  wrs_.reserve(reqs.size());
+  for (const FetchRequest& r : reqs) {
+    rdma::WorkRequest wr;
+    wr.kind = rdma::WorkRequest::Kind::kRead;
+    wr.wr_id = r.token | kFetchWrTag;
+    wr.dst = r.dst;
+    wr.remote = ChunkAddr(r.id);
+    wrs_.push_back(wr);
+    in_flight_.Add(r.token, r.dst);
+  }
+  (void)qp_->PostBatch(wrs_);
+}
+
 size_t QpFetchTransport::PollCompletions(std::span<FetchCompletion> out) {
-  rdma::WorkCompletion wcs[16];
+  // Coalesced reaping: one wide PollMany per pass (one CQ lock) instead
+  // of dribbling CQEs out one at a time.
+  rdma::WorkCompletion wcs[64];
   size_t produced = 0;
   while (produced < out.size()) {
     const size_t want = std::min(out.size() - produced, std::size(wcs));
-    const size_t n = cq_->Poll({wcs, want});
+    const size_t n = cq_->PollMany({wcs, want});
     for (size_t i = 0; i < n; ++i) {
       if ((wcs[i].wr_id & kFetchWrTag) == 0) continue;  // not a fetch
+      const uint64_t token = wcs[i].wr_id & ~kFetchWrTag;
+      if (!in_flight_.Take(token)) continue;  // stray/duplicate: drop
       out[produced++] = FetchCompletion{
-          wcs[i].wr_id & ~kFetchWrTag,
-          wcs[i].status == rdma::WcStatus::kSuccess};
+          token, wcs[i].status == rdma::WcStatus::kSuccess};
     }
     if (n < want) break;
   }

@@ -20,7 +20,9 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
+#include <vector>
 
 #include "rdmasim/rdma.h"
 #include "rtree/arena.h"
@@ -37,6 +39,51 @@ struct FetchCompletion {
   bool ok = false;
 };
 
+/// One staged fetch of a doorbell batch (PostFetchBatch).
+struct FetchRequest {
+  uint64_t token = 0;
+  ChunkId id = 0;
+  std::span<std::byte> dst;
+};
+
+/// Token-keyed bookkeeping for fetches that are in flight on the wire:
+/// Add() on post, Take() on completion. Transports that tag QP work
+/// requests (QpFetchTransport) and transports that perturb them
+/// (FaultInjectingTransport's pending tears) share this instead of each
+/// growing its own find-and-erase loop. Storage is a flat vector scanned
+/// linearly — in-flight counts are batch-sized, and entries stay in post
+/// order so FIFO completions hit the front. Thread-compatible, like the
+/// transports that embed it.
+class PendingFetchMap {
+ public:
+  void Add(uint64_t token, std::span<std::byte> dst) {
+    items_.push_back(Item{token, dst});
+  }
+
+  /// Removes and returns the entry for `token`; nullopt when the token
+  /// is unknown (a stray or duplicate completion — callers skip those).
+  std::optional<std::span<std::byte>> Take(uint64_t token) {
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (it->token != token) continue;
+      const std::span<std::byte> dst = it->dst;
+      items_.erase(it);
+      return dst;
+    }
+    return std::nullopt;
+  }
+
+  size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+  void clear() noexcept { items_.clear(); }
+
+ private:
+  struct Item {
+    uint64_t token;
+    std::span<std::byte> dst;
+  };
+  std::vector<Item> items_;
+};
+
 class FetchTransport {
  public:
   virtual ~FetchTransport() = default;
@@ -47,6 +94,22 @@ class FetchTransport {
   /// completion will be delivered for it.
   virtual bool PostFetch(uint64_t token, ChunkId id,
                          std::span<std::byte> dst) = 0;
+
+  /// Doorbell-batched issue: posts every request with (at most) one
+  /// doorbell where the transport supports it. Requests the transport
+  /// rejects synchronously — the PostFetch-returns-false case — have
+  /// their indices appended to `rejected`; no completion will arrive for
+  /// those. The default loops over the single-shot path, so synchronous
+  /// adapters (LocalMemoryTransport, CallbackTransport) and wrappers
+  /// (FaultInjectingTransport) batch correctly without overriding.
+  virtual void PostFetchBatch(std::span<const FetchRequest> reqs,
+                              std::vector<size_t>& rejected) {
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      if (!PostFetch(reqs[i].token, reqs[i].id, reqs[i].dst)) {
+        rejected.push_back(i);
+      }
+    }
+  }
 
   /// Moves up to out.size() completions into `out`; returns the count.
   /// Non-blocking.
@@ -68,13 +131,30 @@ class QpFetchTransport final : public FetchTransport {
 
   bool PostFetch(uint64_t token, ChunkId id,
                  std::span<std::byte> dst) override;
+  /// Builds one WR chain and rings a single QP doorbell for the whole
+  /// batch. Never rejects: like PostFetch, failures surface only as
+  /// error completions (single-channel error reporting).
+  void PostFetchBatch(std::span<const FetchRequest> reqs,
+                      std::vector<size_t>& rejected) override;
   size_t PollCompletions(std::span<FetchCompletion> out) override;
 
  private:
+  rdma::RemoteAddr ChunkAddr(ChunkId id) const noexcept {
+    return rdma::RemoteAddr{
+        base_.rkey, base_.offset + static_cast<uint64_t>(id) * chunk_size_};
+  }
+
   std::shared_ptr<rdma::QueuePair> qp_;
   std::shared_ptr<rdma::CompletionQueue> cq_;
   rdma::RemoteAddr base_;
   size_t chunk_size_;
+  /// Tokens with a READ on the wire: completions whose token is not in
+  /// here are strays (e.g. a duplicate from a torn-down engine) and are
+  /// dropped instead of handed to the engine.
+  PendingFetchMap in_flight_;
+  /// Reused WR staging area for PostFetchBatch (no per-batch allocation
+  /// once warmed up).
+  std::vector<rdma::WorkRequest> wrs_;
 };
 
 /// Reads chunks straight out of an in-process region with the same

@@ -125,7 +125,10 @@ std::vector<rtree::Entry> ShardedRTreeClient::Search(const geo::Rect& rect) {
 
   // Phase 1 — stage a fast-path sub-query on every shard whose
   // controller picks messaging, so all their server-side traversals run
-  // concurrently. Shards picking offload are deferred to phase 2.
+  // concurrently. Shards picking offload are deferred to phase 2. Each
+  // staged sub-query is one ring doorbell on its shard's QP (even when
+  // the ring wraps, the pad + message WRs ride a single batched post),
+  // so a fan-out of N costs N doorbells, not 2N posts.
   struct Pending {
     uint32_t shard;
     uint64_t req_id;
@@ -147,8 +150,14 @@ std::vector<rtree::Entry> ShardedRTreeClient::Search(const geo::Rect& rect) {
     }
   }
 
+  if (!pending.empty()) {
+    CATFISH_COUNT_ADD("shard.client.staged_subqueries", pending.size());
+  }
+
   // Phase 2 — offloaded sub-queries traverse with one-sided READs while
-  // the staged fast sub-queries are being served remotely.
+  // the staged fast sub-queries are being served remotely. Each
+  // traversal level flushes one doorbell for its whole frontier
+  // (engine-side Stage/Flush batching).
   std::vector<rtree::Entry> results;
   for (const uint32_t shard : offload) {
     try {

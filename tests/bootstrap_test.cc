@@ -197,6 +197,35 @@ TEST_F(BootstrapTest, DialOverloadConnectsAndReportsGeneration) {
   EXPECT_EQ(Ids(client->SearchFast(q)), oracle_.Search(q));
 }
 
+TEST_F(BootstrapTest, ScratchPoolSurvivesReconnectWithoutLeaks) {
+  auto node = fabric_->CreateNode("client-scratch");
+  auto client = ConnectViaBootstrap(
+      [this] { return acceptor_->Dial(); }, node);
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 4; ++i) {
+    const auto q = RandomRect(rng, 0.05);
+    EXPECT_EQ(Ids(client->SearchOffloaded(q)), oracle_.Search(q));
+    // Every offloaded traversal borrows fetch buffers from the engine's
+    // pool and must return all of them before the search returns.
+    remote::ScratchPool* pool = client->remote_engine().scratch();
+    ASSERT_NE(pool, nullptr);
+    EXPECT_EQ(pool->in_use(), 0u);
+  }
+
+  // Reconnect rebuilds the engine and its pool against the (possibly
+  // new) chunk geometry; nothing may leak across the swap and the fresh
+  // pool must serve traversals immediately.
+  ASSERT_EQ(client->Reconnect(), ClientStatus::kOk);
+  remote::ScratchPool* fresh = client->remote_engine().scratch();
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->in_use(), 0u);
+  for (int i = 0; i < 4; ++i) {
+    const auto q = RandomRect(rng, 0.05);
+    EXPECT_EQ(Ids(client->SearchOffloaded(q)), oracle_.Search(q));
+    EXPECT_EQ(client->remote_engine().scratch()->in_use(), 0u);
+  }
+}
+
 TEST_F(BootstrapTest, DialRacingStopDoesNotLeakOrHang) {
   // Threads hammer Dial() while the main thread Stops the acceptor: each
   // dial either completes a handshake or throws "dial after stop". Stop

@@ -137,6 +137,36 @@ TEST(ClusterSimTest, MultiIssueBeatsSingleIssue) {
   EXPECT_LT(rm.latency_us.mean(), rs.latency_us.mean());
 }
 
+TEST(ClusterSimTest, DoorbellBatchingReducesDoorbellsNotReads) {
+  // The batching ablation's invariant: chaining WRs changes how READs
+  // are issued and reaped, never how many. With no inserts there are no
+  // version retries, so the unbatched run must show exactly one doorbell
+  // and one reap per READ, and the batched run strictly fewer of both at
+  // an identical READ count — and no latency regression.
+  Testbed tb;
+  auto batched = BaseConfig(Scheme::kRdmaOffloading, 2, 1e-2, 100);
+  batched.multi_issue = true;
+  batched.doorbell_batching = true;
+  auto unbatched = batched;
+  unbatched.doorbell_batching = false;
+  const auto rb = ClusterSim(*tb.tree, batched).Run();
+  const auto ru = ClusterSim(*tb.tree, unbatched).Run();
+
+  EXPECT_EQ(rb.rdma_reads, ru.rdma_reads);
+  EXPECT_EQ(ru.doorbells, ru.rdma_reads);
+  EXPECT_EQ(ru.polls, ru.rdma_reads);
+  EXPECT_LT(rb.doorbells, ru.doorbells);
+  EXPECT_LT(rb.polls, ru.polls);
+  EXPECT_LE(rb.latency_us.mean(), ru.latency_us.mean());
+
+  // A chain limit of 1 still pays one doorbell per WR.
+  auto limit1 = batched;
+  limit1.doorbell_batch_limit = 1;
+  const auto r1 = ClusterSim(*tb.tree, limit1).Run();
+  EXPECT_EQ(r1.doorbells, r1.rdma_reads);
+  EXPECT_EQ(r1.rdma_reads, rb.rdma_reads);
+}
+
 TEST(ClusterSimTest, CatfishAdaptsUnderCpuSaturation) {
   // CPU-bound + many clients: Catfish must offload a meaningful share
   // and beat pure fast messaging on throughput (Fig 10a shape).

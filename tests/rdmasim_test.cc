@@ -166,6 +166,156 @@ TEST(RdmaSimTest, PerQpCompletionOrdering) {
   for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(wcs[i].wr_id, i);
 }
 
+TEST(RdmaSimTest, PostBatchCompletesEveryWorkRequest) {
+  Endpoints ep;
+  constexpr size_t kN = 8;
+  constexpr size_t kChunk = 64;
+  std::vector<std::byte> server_mem(kN * kChunk);
+  for (size_t i = 0; i < server_mem.size(); ++i) {
+    server_mem[i] = static_cast<std::byte>(i & 0xff);
+  }
+  const auto mr = ep.server->RegisterMemory(server_mem);
+
+  std::vector<std::byte> local(kN * kChunk, std::byte{0});
+  std::vector<WorkRequest> wrs(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    wrs[i].kind = WorkRequest::Kind::kRead;
+    wrs[i].wr_id = 100 + i;
+    wrs[i].dst = std::span<std::byte>(local).subspan(i * kChunk, kChunk);
+    wrs[i].remote = RemoteAddr{mr.rkey, i * kChunk};
+  }
+  bool ok[kN] = {};
+  EXPECT_EQ(ep.c_qp->PostBatch(wrs, ok), kN);
+  for (size_t i = 0; i < kN; ++i) EXPECT_TRUE(ok[i]);
+  EXPECT_EQ(local, server_mem);
+
+  // One CQE per READ, in post order, all successful.
+  WorkCompletion wcs[kN];
+  ASSERT_EQ(ep.c_send->PollMany(wcs), kN);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(wcs[i].wr_id, 100 + i);
+    EXPECT_EQ(wcs[i].status, WcStatus::kSuccess);
+    EXPECT_EQ(wcs[i].opcode, Opcode::kRead);
+    EXPECT_EQ(wcs[i].byte_len, kChunk);
+  }
+  EXPECT_EQ(ep.c_send->Depth(), 0u);
+}
+
+TEST(RdmaSimTest, PostBatchMixedKindsAndSignaling) {
+  Endpoints ep;
+  std::vector<std::byte> server_mem(256, std::byte{0});
+  const auto mr = ep.server->RegisterMemory(server_mem);
+
+  std::vector<std::byte> payload(16, std::byte{0x7E});
+  std::vector<std::byte> readback(16, std::byte{0});
+  WorkRequest wrs[3];
+  wrs[0].kind = WorkRequest::Kind::kWrite;  // unsignaled: no CQE
+  wrs[0].wr_id = 1;
+  wrs[0].src = payload;
+  wrs[0].remote = RemoteAddr{mr.rkey, 0};
+  wrs[0].signaled = false;
+  wrs[1].kind = WorkRequest::Kind::kRead;  // reads always complete
+  wrs[1].wr_id = 2;
+  wrs[1].dst = readback;
+  wrs[1].remote = RemoteAddr{mr.rkey, 0};
+  wrs[2].kind = WorkRequest::Kind::kWriteImm;
+  wrs[2].wr_id = 3;
+  wrs[2].src = payload;
+  wrs[2].remote = RemoteAddr{mr.rkey, 32};
+  wrs[2].imm = 0xf00d;
+  EXPECT_EQ(ep.c_qp->PostBatch(wrs), 3u);
+
+  // The READ ordered after the WRITE observes its bytes.
+  EXPECT_EQ(readback, payload);
+  WorkCompletion wcs[4];
+  ASSERT_EQ(ep.c_send->PollMany(wcs), 2u);  // unsignaled write skipped
+  EXPECT_EQ(wcs[0].wr_id, 2u);
+  EXPECT_EQ(wcs[1].wr_id, 3u);
+  const auto imm = ep.s_recv->Wait(100ms);
+  ASSERT_TRUE(imm.has_value());
+  EXPECT_EQ(imm->imm_data, 0xf00du);
+}
+
+TEST(RdmaSimTest, PostBatchMidBatchDropErrorsOnlyThatWr) {
+  Endpoints ep;
+  std::vector<std::byte> server_mem(512, std::byte{0x33});
+  const auto mr = ep.server->RegisterMemory(server_mem);
+
+  // every=3 drops ordinals 2, 5, 8, ... — only ordinal 2 lands inside
+  // this 5-WR batch, so exactly the middle read is lost.
+  ep.fabric.faults().SetDropPlan("client", "server",
+                                 FaultController::DropPlan{0, 3});
+
+  constexpr size_t kN = 5;
+  std::vector<std::byte> local(kN * 64, std::byte{0});
+  std::vector<WorkRequest> wrs(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    wrs[i].kind = WorkRequest::Kind::kRead;
+    wrs[i].wr_id = 10 + i;
+    wrs[i].dst = std::span<std::byte>(local).subspan(i * 64, 64);
+    wrs[i].remote = RemoteAddr{mr.rkey, i * 64};
+  }
+  bool ok[kN] = {};
+  EXPECT_EQ(ep.c_qp->PostBatch(wrs, ok), kN - 1);
+  const bool expect_ok[kN] = {true, true, false, true, true};
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(ok[i], expect_ok[i]);
+
+  // Exactly one error CQE, in order, and the later WRs still executed:
+  // a soft mid-batch drop does not flush the rest of the chain.
+  WorkCompletion wcs[kN];
+  ASSERT_EQ(ep.c_send->PollMany(wcs), kN);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(wcs[i].wr_id, 10 + i);
+    EXPECT_EQ(wcs[i].status,
+              i == 2 ? WcStatus::kRetryExceeded : WcStatus::kSuccess);
+  }
+  for (size_t i = 0; i < kN; ++i) {
+    const std::byte want = i == 2 ? std::byte{0} : std::byte{0x33};
+    EXPECT_EQ(local[i * 64], want) << i;
+  }
+}
+
+TEST(RdmaSimTest, PollManyMatchesRepeatedPoll) {
+  Endpoints pm, sp;  // identical traffic on two fabrics
+  std::vector<std::byte> pm_mem(256, std::byte{1}), sp_mem(256, std::byte{1});
+  const auto pm_mr = pm.server->RegisterMemory(pm_mem);
+  const auto sp_mr = sp.server->RegisterMemory(sp_mem);
+
+  std::vector<std::byte> buf(32);
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(pm.c_qp->PostRead(i, buf, RemoteAddr{pm_mr.rkey, 8 * i}));
+    ASSERT_TRUE(sp.c_qp->PostRead(i, buf, RemoteAddr{sp_mr.rkey, 8 * i}));
+  }
+
+  WorkCompletion many[8];
+  const size_t n_many = pm.c_send->PollMany(many);
+  std::vector<WorkCompletion> one_by_one;
+  WorkCompletion wc;
+  while (sp.c_send->Poll({&wc, 1}) == 1) one_by_one.push_back(wc);
+
+  ASSERT_EQ(n_many, one_by_one.size());
+  for (size_t i = 0; i < n_many; ++i) {
+    EXPECT_EQ(many[i].wr_id, one_by_one[i].wr_id);
+    EXPECT_EQ(many[i].status, one_by_one[i].status);
+    EXPECT_EQ(many[i].opcode, one_by_one[i].opcode);
+    EXPECT_EQ(many[i].byte_len, one_by_one[i].byte_len);
+  }
+  EXPECT_EQ(pm.c_send->Depth(), 0u);
+  EXPECT_EQ(sp.c_send->Depth(), 0u);
+
+  // A short output span drains incrementally without losing order.
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pm.c_qp->PostRead(50 + i, buf, RemoteAddr{pm_mr.rkey, 0}));
+  }
+  WorkCompletion two[2];
+  uint64_t next = 50;
+  size_t got;
+  while ((got = pm.c_send->PollMany(two)) > 0) {
+    for (size_t i = 0; i < got; ++i) EXPECT_EQ(two[i].wr_id, next++);
+  }
+  EXPECT_EQ(next, 55u);
+}
+
 TEST(FaultControllerTest, QpErrorIsStickyAndTyped) {
   Endpoints ep;
   std::vector<std::byte> server_mem(64, std::byte{0});

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Diff fresh figure-bench JSONL against the pinned BENCH_baseline.json.
+
+The baseline pins the single-server numbers the repo's perf claims rest
+on. This script re-matches a fresh pinned-seed run against it cell by
+cell and warns on drift, so a refactor that quietly regresses p99 or
+throughput shows up in CI output instead of months later.
+
+Usage (from a build directory):
+
+    CATFISH_QUICK=1 ./bench/bench_fig10_search_throughput \
+        --telemetry-json fig10.jsonl > /dev/null
+    python3 ../tools/compare_baseline.py ../BENCH_baseline.json fig10.jsonl
+
+Cells are matched on (figure, scheme, variant, workload, insert_ratio,
+clients). Fresh cells with no baseline counterpart (new variants, new
+figures) are reported and skipped; baseline cells the fresh run did not
+produce are only reported when the fresh run covered their figure.
+
+By default the exit code is 0 no matter what drifts — the baseline is
+warn-only, the simulation is deterministic but the model is allowed to
+be recalibrated deliberately. Pass --strict to exit 1 on any warning
+(for local use when you expect a perfect match).
+"""
+import argparse
+import json
+import sys
+
+# Drift beyond these fractions of the baseline value is warned about.
+# The simulator is virtual-time deterministic, so any drift is a real
+# source change; the thresholds just separate "recalibrated cost model"
+# noise from "broke the hot path" signal.
+THROUGHPUT_TOL = 0.05   # throughput_kops may drop by up to 5 %
+LATENCY_TOL = 0.05      # p50/p99 may rise by up to 5 %
+
+
+def key(cell):
+    return (
+        cell["figure"],
+        cell["scheme"],
+        cell.get("variant", ""),
+        str(cell["workload"]),
+        float(cell.get("insert_ratio", 0)),
+        int(cell["clients"]),
+    )
+
+
+def load_fresh(paths):
+    cells = {}
+    for path in paths:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                d = json.loads(line)
+                cells[key(d)] = {
+                    "throughput_kops": d["throughput_kops"],
+                    "latency_p50_us": d["latency_us"]["p50"],
+                    "latency_p99_us": d["latency_us"]["p99"],
+                }
+    return cells
+
+
+def fmt_key(k):
+    figure, scheme, variant, workload, insert_ratio, clients = k
+    bits = [figure, scheme]
+    if variant:
+        bits.append(variant)
+    bits.append(f"scale={workload}")
+    if insert_ratio:
+        bits.append(f"ins={insert_ratio:g}")
+    bits.append(f"c={clients}")
+    return " ".join(bits)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="Warn-only diff of fresh bench JSONL vs the pinned "
+                    "baseline.")
+    ap.add_argument("baseline", help="path to BENCH_baseline.json")
+    ap.add_argument("jsonl", nargs="+", help="fresh --telemetry-json files")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 if anything drifted or went missing")
+    args = ap.parse_args(argv[1:])
+
+    with open(args.baseline) as f:
+        doc = json.load(f)
+    base = {key(c): c for c in doc["cells"]}
+    fresh = load_fresh(args.jsonl)
+    fresh_figures = {k[0] for k in fresh}
+
+    warnings = []
+    compared = 0
+    unmatched_fresh = []
+    for k, got in sorted(fresh.items()):
+        want = base.get(k)
+        if want is None:
+            unmatched_fresh.append(k)
+            continue
+        compared += 1
+        tput, base_tput = got["throughput_kops"], want["throughput_kops"]
+        if tput < base_tput * (1 - THROUGHPUT_TOL):
+            warnings.append(
+                f"{fmt_key(k)}: throughput {tput:.1f} kops vs baseline "
+                f"{base_tput:.1f} ({tput / base_tput - 1:+.1%})")
+        for field, label in (("latency_p50_us", "p50"),
+                             ("latency_p99_us", "p99")):
+            lat, base_lat = got[field], want[field]
+            if lat > base_lat * (1 + LATENCY_TOL):
+                warnings.append(
+                    f"{fmt_key(k)}: {label} {lat:.1f} us vs baseline "
+                    f"{base_lat:.1f} ({lat / base_lat - 1:+.1%})")
+
+    missing = [k for k in sorted(base)
+               if k not in fresh and k[0] in fresh_figures]
+
+    print(f"compared {compared} cells "
+          f"({len(unmatched_fresh)} fresh-only, {len(missing)} "
+          f"baseline-only within covered figures)")
+    for k in unmatched_fresh:
+        print(f"  note: no baseline for {fmt_key(k)}")
+    for k in missing:
+        warnings.append(f"baseline cell not produced: {fmt_key(k)}")
+    if warnings:
+        for w in warnings:
+            print(f"  WARN: {w}")
+        print(f"{len(warnings)} warning(s); baseline is warn-only"
+              + (" (--strict: failing)" if args.strict else ""))
+        return 1 if args.strict else 0
+    print("all compared cells within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
