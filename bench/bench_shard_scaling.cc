@@ -26,6 +26,10 @@ catfish::model::ShardedClusterConfig MakeShardConfig(
   cfg.workload = w;
   cfg.seed = env.seed;
   cfg.arena_chunks = catfish::bench::ArenaChunksFor(env.dataset / shards + 1);
+  if (!env.trace_json.empty()) {
+    cfg.trace_sample_every = env.trace_sample_every;
+    cfg.trace_retain = 64;
+  }
   return cfg;
 }
 
@@ -46,6 +50,10 @@ int main(int argc, char** argv) {
       out.reset();
     }
   }
+
+  // Sampled distributed traces across all cells, flushed as one
+  // Chrome/Perfetto document on exit (--trace-json).
+  std::vector<std::shared_ptr<telemetry::Trace>> traces;
 
   const auto items = workload::UniformDataset(env.dataset, 1e-4, env.seed);
 
@@ -111,8 +119,26 @@ int main(int argc, char** argv) {
         j.EndObject();
         out->WriteLine(j.str());
       }
+      traces.insert(traces.end(), r.traces.begin(), r.traces.end());
     }
     std::printf("\n");
+  }
+  if (!env.trace_json.empty() && !traces.empty()) {
+    const std::string doc = telemetry::TracesToChromeJson(
+        std::span<const std::shared_ptr<telemetry::Trace>>(traces));
+    std::FILE* f = env.trace_json == "-"
+                       ? stdout
+                       : std::fopen(env.trace_json.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fputc('\n', f);
+      if (f != stdout) std::fclose(f);
+      std::fprintf(stderr, "wrote %zu sampled distributed traces to %s\n",
+                   traces.size(), env.trace_json.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot open '%s' for trace JSON\n",
+                   env.trace_json.c_str());
+    }
   }
   std::printf(
       "Shape: narrow queries (1e-5) fan out to ~1 shard and scale with\n"

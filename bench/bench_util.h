@@ -17,11 +17,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "model/cluster_sim.h"
 #include "rtree/bulk_load.h"
 #include "tcpkit/stats_server.h"
+#include "telemetry/assemble.h"
 #include "telemetry/events.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
@@ -54,6 +57,14 @@ struct BenchEnv {
   ///  0 = force batching off, N > 0 = force batching on with chain
   /// limit N. Set with --doorbell-batch <n> (or CATFISH_DOORBELL_BATCH).
   int doorbell_batch = -1;
+  /// Chrome/Perfetto trace-event sink ("-" = stdout, "" = disabled).
+  /// Set with --trace-json <path> (or CATFISH_TRACE_JSON). Each cell
+  /// then samples search span trees on virtual time; all retained
+  /// traces are written as one {"traceEvents":[...]} document at exit.
+  std::string trace_json;
+  /// Sample every Nth search for --trace-json. Set with
+  /// --trace-sample-every <n> (or CATFISH_TRACE_SAMPLE_EVERY).
+  uint64_t trace_sample_every = 64;
 
   static BenchEnv Load(int argc = 0, char* const* argv = nullptr) {
     BenchEnv env;
@@ -82,6 +93,12 @@ struct BenchEnv {
     if (const char* b = std::getenv("CATFISH_DOORBELL_BATCH")) {
       env.doorbell_batch = std::atoi(b);
     }
+    if (const char* tj = std::getenv("CATFISH_TRACE_JSON")) {
+      env.trace_json = tj;
+    }
+    if (const char* ts = std::getenv("CATFISH_TRACE_SAMPLE_EVERY")) {
+      env.trace_sample_every = std::strtoull(ts, nullptr, 10);
+    }
     for (int i = 1; i < argc; ++i) {
       const char* arg = argv[i];
       if (std::strcmp(arg, "--telemetry-json") == 0 && i + 1 < argc) {
@@ -99,9 +116,17 @@ struct BenchEnv {
         env.stats_port = std::atoi(argv[++i]);
       } else if (std::strcmp(arg, "--doorbell-batch") == 0 && i + 1 < argc) {
         env.doorbell_batch = std::atoi(argv[++i]);
+      } else if (std::strcmp(arg, "--trace-json") == 0 && i + 1 < argc) {
+        env.trace_json = argv[++i];
+      } else if (std::strncmp(arg, "--trace-json=", 13) == 0) {
+        env.trace_json = arg + 13;
+      } else if (std::strcmp(arg, "--trace-sample-every") == 0 &&
+                 i + 1 < argc) {
+        env.trace_sample_every = std::strtoull(argv[++i], nullptr, 10);
       }
     }
     if (env.timeline_window_us == 0) env.timeline_window_us = 200;
+    if (env.trace_sample_every == 0) env.trace_sample_every = 64;
     return env;
   }
 };
@@ -213,10 +238,18 @@ inline const char* ScaleLabel(const workload::RequestGen::Config& w) {
 /// runs with a MetricsSampler ticked on virtual time and appends one
 /// line per closed window: the cell coordinates, the derived offload
 /// share / server utilization pair (the paper's Fig 12 dynamics), and
-/// the full window document. With neither path it is a plain RunOne.
+/// the full window document.
+///
+/// When the env names a --trace-json path, each cell samples every Nth
+/// search into a span tree on virtual time (ClusterConfig::
+/// trace_sample_every); at destruction all retained traces across all
+/// cells are written as one Chrome/Perfetto {"traceEvents":[...]}
+/// document with critical-path spans marked args.critical=1. With no
+/// path set it is a plain RunOne.
 class CellExporter {
  public:
-  CellExporter(const char* figure, const BenchEnv& env) : figure_(figure) {
+  CellExporter(const char* figure, const BenchEnv& env)
+      : figure_(figure), trace_path_(env.trace_json) {
     if (!env.telemetry_json.empty()) {
       out_ = std::make_unique<telemetry::JsonLinesWriter>(env.telemetry_json);
       if (!out_->ok()) {
@@ -236,6 +269,22 @@ class CellExporter {
     }
   }
 
+  ~CellExporter() {
+    if (trace_path_.empty() || traces_.empty()) return;
+    const std::string doc = telemetry::TracesToChromeJson(
+        std::span<const std::shared_ptr<telemetry::Trace>>(traces_));
+    std::FILE* f = trace_path_ == "-" ? stdout
+                                      : std::fopen(trace_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot open '%s' for trace JSON\n",
+                   trace_path_.c_str());
+      return;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    if (f != stdout) std::fclose(f);
+  }
+
   bool enabled() const noexcept { return out_ != nullptr; }
 
   /// Standard per-scheme cell (MakeConfig defaults). `variant` labels
@@ -252,7 +301,11 @@ class CellExporter {
                              const BenchEnv& env,
                              const char* variant = nullptr) {
     if (cfg.workload.insert_ratio > 0.0) tb.Reset();
-    if (!out_ && !timeline_out_) {
+    if (!trace_path_.empty()) {
+      cfg.trace_sample_every = env.trace_sample_every;
+      cfg.trace_retain = 64;
+    }
+    if (!out_ && !timeline_out_ && trace_path_.empty()) {
       model::ClusterSim sim(*tb.tree, cfg);
       return sim.Run();
     }
@@ -270,6 +323,7 @@ class CellExporter {
     const model::RunResult r = sim.Run();
     if (out_) WriteCell(r, cfg, env, variant);
     if (sampler) WriteTimeline(*sampler, cfg, env, variant);
+    traces_.insert(traces_.end(), r.traces.begin(), r.traces.end());
     return r;
   }
 
@@ -362,8 +416,10 @@ class CellExporter {
   }
 
   const char* figure_;
+  std::string trace_path_;
   std::unique_ptr<telemetry::JsonLinesWriter> out_;
   std::unique_ptr<telemetry::JsonLinesWriter> timeline_out_;
+  std::vector<std::shared_ptr<telemetry::Trace>> traces_;
 };
 
 /// Live scrape endpoint for a running bench: when the env sets a stats

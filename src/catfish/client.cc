@@ -10,6 +10,7 @@
 #include "rtree/layout.h"
 #include "telemetry/events.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace_wire.h"
 
 namespace catfish {
 
@@ -284,12 +285,54 @@ void RTreeClient::OnHeartbeatMessage(const msg::Heartbeat& hb) {
   }
 }
 
+void RTreeClient::OnTraceFrame(const msg::Message& m) {
+  const auto tr = msg::DecodeTraceResponse(m.payload);
+  if (!tr) return;
+  trace_frame_req_ = tr->req_id;
+  ++stats_.trace_frames;
+  CATFISH_COUNT("catfish.client.trace_frames");
+  if (tr->blob.empty()) return;  // tracer-less server: arrival only
+  if (auto remote = telemetry::DecodeTrace(tr->blob)) {
+    last_remote_tree_ =
+        std::make_shared<telemetry::Trace>(std::move(*remote));
+    last_remote_tree_req_ = tr->req_id;
+  }
+}
+
+std::shared_ptr<telemetry::Trace> RTreeClient::TakeRemoteTree(
+    uint64_t req_id) {
+  if (!last_remote_tree_ || last_remote_tree_req_ != req_id) return nullptr;
+  last_remote_tree_req_ = 0;
+  return std::move(last_remote_tree_);
+}
+
+void RTreeClient::AwaitTraceFrame(uint64_t req_id) {
+  const uint64_t deadline = NowMicros() + cfg_.request_timeout_us;
+  while (trace_frame_req_ != req_id) {
+    PumpPending();
+    if (trace_frame_req_ == req_id) break;
+    const uint64_t now = NowMicros();
+    WatchdogTick(now);
+    if (conn_state_ == ConnState::kDisconnected || now > deadline) {
+      // Non-fatal: the results already arrived; only observability is
+      // lost for this one request.
+      CATFISH_COUNT("catfish.client.trace_frames_missed");
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
 void RTreeClient::PumpPending() {
   while (auto m = response_rx_->TryReceive()) {
     if (static_cast<msg::MsgType>(m->type) == msg::MsgType::kHeartbeat) {
       if (const auto hb = msg::DecodeHeartbeat(m->payload)) {
         OnHeartbeatMessage(*hb);
       }
+      continue;
+    }
+    if (static_cast<msg::MsgType>(m->type) == msg::MsgType::kTraceResp) {
+      OnTraceFrame(*m);
       continue;
     }
     // No request is in flight, so this answers a req_id we gave up on —
@@ -309,6 +352,13 @@ msg::Message RTreeClient::AwaitMessage(uint64_t expected_req_id) {
         if (const auto hb = msg::DecodeHeartbeat(m->payload)) {
           OnHeartbeatMessage(*hb);
         }
+        continue;
+      }
+      if (static_cast<msg::MsgType>(m->type) == msg::MsgType::kTraceResp) {
+        // Never surfaced as a response, even on a req_id match: a write
+        // retry reuses its req_id and the original's late trace frame
+        // must not be handed to AwaitWriteAck.
+        OnTraceFrame(*m);
         continue;
       }
       if (PayloadReqId(m->payload) != expected_req_id) {
@@ -342,13 +392,25 @@ std::vector<rtree::Entry> RTreeClient::SearchFast(const geo::Rect& rect) {
   const uint64_t req_id = ++next_req_id_;
   if (trace_) trace_->SetAttr(trace_root_, "req_id", req_id);
 
+  // Wire context: a staged one (the sharded fan-out caller) wins;
+  // otherwise an active local trace stamps itself so even a single-node
+  // traced search gets the server's span tree grafted in.
+  msg::TraceContext ctx = TakeStagedContext();
+  const bool self_stamped = !ctx.present() && trace_ != nullptr;
+  if (self_stamped) {
+    ctx.trace_id = trace_->id();
+    ctx.parent_span = trace_root_;
+    ctx.sampled = 1;
+  }
+
   auto write_span = telemetry::kInvalidSpan;
   if (trace_) {
     write_span = trace_->StartSpan(trace_root_, "ring_write",
                                    cfg_.tracer->now_us());
   }
-  SendRequest(msg::MsgType::kSearchReq,
-              msg::Encode(msg::SearchRequest{req_id, rect}));
+  msg::SearchRequest sreq{req_id, rect, {}};
+  sreq.trace = ctx;
+  SendRequest(msg::MsgType::kSearchReq, msg::Encode(sreq));
   auto collect_span = telemetry::kInvalidSpan;
   if (trace_) {
     trace_->EndSpan(write_span, cfg_.tracer->now_us());
@@ -371,6 +433,15 @@ std::vector<rtree::Entry> RTreeClient::SearchFast(const geo::Rect& rect) {
     results.insert(results.end(), seg->entries.begin(), seg->entries.end());
     if (m.flags & msg::kFlagEnd) break;
   }
+  if (ctx.present() && ctx.sampled) {
+    AwaitTraceFrame(req_id);
+    if (self_stamped) {
+      if (const auto remote = TakeRemoteTree(req_id)) {
+        trace_->Graft(trace_root_, *remote,
+                      {{"shard", static_cast<int64_t>(boot_.shard_id)}});
+      }
+    }
+  }
   ++stats_.fast_searches;
   CATFISH_COUNT("catfish.client.search.fast");
   if (trace_) {
@@ -390,8 +461,11 @@ uint64_t RTreeClient::SearchFastBegin(const geo::Rect& rect) {
   PumpPending();
   EnsureUsable(/*fast_path=*/true);
   const uint64_t req_id = ++next_req_id_;
-  SendRequest(msg::MsgType::kSearchReq,
-              msg::Encode(msg::SearchRequest{req_id, rect}));
+  const msg::TraceContext ctx = TakeStagedContext();
+  begun_sampled_ = ctx.present() && ctx.sampled != 0;
+  msg::SearchRequest sreq{req_id, rect, {}};
+  sreq.trace = ctx;
+  SendRequest(msg::MsgType::kSearchReq, msg::Encode(sreq));
   return req_id;
 }
 
@@ -408,6 +482,10 @@ std::vector<rtree::Entry> RTreeClient::SearchFastCollect(uint64_t req_id) {
     }
     results.insert(results.end(), seg->entries.begin(), seg->entries.end());
     if (m.flags & msg::kFlagEnd) break;
+  }
+  if (begun_sampled_) {
+    begun_sampled_ = false;
+    AwaitTraceFrame(req_id);  // tree claimed by the caller (TakeRemoteTree)
   }
   ++stats_.fast_searches;
   CATFISH_COUNT("catfish.client.search.fast");
@@ -711,9 +789,14 @@ bool RTreeClient::Insert(const geo::Rect& rect, uint64_t id) {
   const uint64_t req_id = ++next_req_id_;
   ++stats_.inserts;
   CATFISH_COUNT("catfish.client.insert");
-  return ExecuteWrite(
-      msg::MsgType::kInsertReq,
-      msg::Encode(msg::InsertRequest{req_id, client_gen_, rect, id}), req_id);
+  msg::InsertRequest req{req_id, client_gen_, rect, id, {}};
+  req.trace = TakeStagedContext();
+  const bool ok =
+      ExecuteWrite(msg::MsgType::kInsertReq, msg::Encode(req), req_id);
+  // The retry path resends identical bytes, so a retried sampled write
+  // still yields (at least) one trace frame for this req_id.
+  if (req.trace.present() && req.trace.sampled) AwaitTraceFrame(req_id);
+  return ok;
 }
 
 bool RTreeClient::Delete(const geo::Rect& rect, uint64_t id) {
@@ -722,9 +805,12 @@ bool RTreeClient::Delete(const geo::Rect& rect, uint64_t id) {
   const uint64_t req_id = ++next_req_id_;
   ++stats_.deletes;
   CATFISH_COUNT("catfish.client.delete");
-  return ExecuteWrite(
-      msg::MsgType::kDeleteReq,
-      msg::Encode(msg::DeleteRequest{req_id, client_gen_, rect, id}), req_id);
+  msg::DeleteRequest req{req_id, client_gen_, rect, id, {}};
+  req.trace = TakeStagedContext();
+  const bool ok =
+      ExecuteWrite(msg::MsgType::kDeleteReq, msg::Encode(req), req_id);
+  if (req.trace.present() && req.trace.sampled) AwaitTraceFrame(req_id);
+  return ok;
 }
 
 }  // namespace catfish

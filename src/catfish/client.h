@@ -144,6 +144,7 @@ struct ClientStats {
   uint64_t reconnects = 0;        ///< successful re-bootstraps
   uint64_t write_retries = 0;     ///< Insert/Delete resends after a failure
   uint64_t stale_responses = 0;   ///< responses for superseded req_ids dropped
+  uint64_t trace_frames = 0;      ///< kTraceResp frames consumed
 };
 
 class RTreeClient {
@@ -199,6 +200,28 @@ class RTreeClient {
 
   /// Deletes via the server. False when the entry did not exist.
   bool Delete(const geo::Rect& rect, uint64_t id);
+
+  /// Stages a wire trace context to ride on the *next* request
+  /// (Search*/Insert/Delete). One-shot: consumed by that request, then
+  /// cleared. A sampled context makes the server open a span tree for
+  /// the request (regardless of its own sampling) and ship it back in a
+  /// kTraceResp frame; fetch it afterwards with TakeRemoteTree. The
+  /// sharded client stages one per sub-query so a fan-out search yields
+  /// one tree per shard, all under the same trace_id.
+  void StageTraceContext(const msg::TraceContext& ctx) noexcept {
+    staged_ctx_ = ctx;
+  }
+
+  /// The server-side span tree shipped back for `req_id`, if one
+  /// arrived and was not taken yet. Null for unsampled requests, notel
+  /// servers, or a trace frame that never arrived (non-fatal timeout).
+  std::shared_ptr<telemetry::Trace> TakeRemoteTree(uint64_t req_id);
+  /// Same, for callers that do not know the req_id (the sharded write
+  /// path: Insert/Delete mint their req_id internally). Returns the
+  /// most recently stashed tree, whatever request produced it.
+  std::shared_ptr<telemetry::Trace> TakeRemoteTree() {
+    return TakeRemoteTree(last_remote_tree_req_);
+  }
 
   /// Drains pending responses (heartbeats feed the adaptive controller
   /// and the watchdog) and advances the liveness state machine without
@@ -294,6 +317,23 @@ class RTreeClient {
   /// leads with its req_id, so responses to older requests are
   /// recognized and dropped uniformly here.
   msg::Message AwaitMessage(uint64_t expected_req_id);
+  /// Consumes a kTraceResp frame wherever the pump encounters one:
+  /// records its arrival under its req_id and stashes the decoded
+  /// server span tree (an empty blob still records arrival, so waiters
+  /// stop deterministically). Trace frames are never surfaced as
+  /// responses — a write retry resends the same req_id, and the
+  /// original's late trace frame must not be mistaken for its ack.
+  void OnTraceFrame(const msg::Message& m);
+  /// Bounded, non-fatal wait for `req_id`'s kTraceResp frame after its
+  /// response/ack was consumed (the server sends it last, on the same
+  /// FIFO ring). Expiry just means no remote tree for this request.
+  void AwaitTraceFrame(uint64_t req_id);
+  /// Consumes the staged one-shot context (empty when none staged).
+  msg::TraceContext TakeStagedContext() noexcept {
+    const msg::TraceContext ctx = staged_ctx_;
+    staged_ctx_ = msg::TraceContext{};
+    return ctx;
+  }
   bool AwaitWriteAck(uint64_t req_id);
   /// Send + await-ack with exactly-once retries (cfg_.write_attempts).
   bool ExecuteWrite(msg::MsgType type, const std::vector<std::byte>& payload,
@@ -361,6 +401,19 @@ class RTreeClient {
   /// inner helpers attach child spans under trace_root_ when non-null.
   std::shared_ptr<telemetry::Trace> trace_;
   telemetry::SpanId trace_root_ = telemetry::kInvalidSpan;
+
+  /// Distributed-tracing state. staged_ctx_ is the one-shot wire
+  /// context for the next request; trace_frame_req_ is the req_id of
+  /// the last kTraceResp consumed (arrival marker, set even for empty
+  /// blobs); last_remote_tree_ holds the newest decoded server span
+  /// tree until TakeRemoteTree (or a local graft) claims it.
+  msg::TraceContext staged_ctx_{};
+  uint64_t trace_frame_req_ = 0;
+  std::shared_ptr<telemetry::Trace> last_remote_tree_;
+  uint64_t last_remote_tree_req_ = 0;
+  /// SearchFastBegin→Collect carry-over: whether the in-flight split
+  /// request was stamped with a sampled context.
+  bool begun_sampled_ = false;
 
   /// Starts a trace for a top-level call when none is active; returns
   /// true when this frame owns (and must finish) the trace.

@@ -2,10 +2,12 @@
 
 #include <chrono>
 
+#include "common/bytes.h"
 #include "common/clock.h"
 #include "durable/manager.h"
 #include "telemetry/events.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace_wire.h"
 
 namespace catfish {
 
@@ -96,13 +98,37 @@ void RTreeServer::SendResponse(Connection& conn, msg::MsgType type,
   }
 }
 
-void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m) {
+void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m,
+                                uint64_t picked_up_us) {
   CATFISH_SCOPED_TIMER_US("catfish.server.service_us");
-  // One server-side span tree per request; joined with the client trace
-  // through the shared req_id attribute (there is deliberately no trace
-  // context on the wire — the protocol stays byte-identical).
+  // One server-side span tree per request. A request carrying a sampled
+  // wire trace context forces a trace (the client already made the
+  // sampling decision); the finished tree travels back in a kTraceResp
+  // frame right after the response, so the client can graft it into its
+  // distributed trace. Context-free requests keep the old behavior:
+  // locally sampled, joined by req_id.
   std::shared_ptr<telemetry::Trace> trace;
-  if (cfg_.tracer) trace = cfg_.tracer->StartTrace("server.request");
+  msg::TraceContext ctx;
+  uint64_t ctx_req_id = 0;
+
+  const auto start_trace = [&](const msg::TraceContext& c, uint64_t req_id) {
+    ctx = c;
+    ctx_req_id = req_id;
+    if (!cfg_.tracer) return;
+    trace = c.sampled ? cfg_.tracer->StartTraceForced("server.request")
+                      : cfg_.tracer->StartTrace("server.request");
+    if (!trace) return;
+    trace->SetAttr(trace->root(), "req_id", static_cast<int64_t>(req_id));
+    if (c.present()) {
+      trace->SetAttr(trace->root(), "ctx_trace_id",
+                     static_cast<int64_t>(c.trace_id));
+      trace->SetAttr(trace->root(), "parent_span",
+                     static_cast<int64_t>(c.parent_span));
+    }
+    // The ring-dequeue stage: worker wakeup (or poll pickup) → decode.
+    const auto dq = trace->StartSpan(trace->root(), "dequeue", picked_up_us);
+    trace->EndSpan(dq, cfg_.tracer->now_us());
+  };
   const auto span_begin = [&](const char* name) {
     return trace ? trace->StartSpan(trace->root(), name,
                                     cfg_.tracer->now_us())
@@ -114,20 +140,27 @@ void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m) {
   const auto set_attr = [&](const char* key, int64_t v) {
     if (trace) trace->SetAttr(trace->root(), key, v);
   };
+  const auto maybe_delay = [&] {
+    const uint64_t d = service_delay_us_.load(std::memory_order_relaxed);
+    if (d != 0) std::this_thread::sleep_for(std::chrono::microseconds(d));
+  };
 
   switch (static_cast<msg::MsgType>(m.type)) {
     case msg::MsgType::kSearchReq: {
       const auto req = msg::DecodeSearchRequest(m.payload);
       if (!req) break;
-      set_attr("req_id", static_cast<int64_t>(req->req_id));
+      start_trace(req->trace, req->req_id);
       std::vector<rtree::Entry> results;
       const auto traverse = span_begin("traverse");
+      maybe_delay();
       tree_->Search(req->rect, results);
       span_end(traverse);
       searches_.fetch_add(1, std::memory_order_relaxed);
       CATFISH_COUNT("catfish.server.search");
-      const auto segments = msg::EncodeSearchResponse(
-          req->req_id, results, conn.response_tx->MaxPayload());
+      msg::EncodeSearchResponseInto(req->req_id, results,
+                                    conn.response_tx->MaxPayload(),
+                                    conn.seg_scratch);
+      const auto& segments = conn.seg_scratch;
       CATFISH_COUNT_ADD("catfish.server.segments", segments.size());
       set_attr("results", static_cast<int64_t>(results.size()));
       set_attr("segments", static_cast<int64_t>(segments.size()));
@@ -143,15 +176,18 @@ void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m) {
     case msg::MsgType::kKnnReq: {
       const auto req = msg::DecodeKnnRequest(m.payload);
       if (!req) break;
-      set_attr("req_id", static_cast<int64_t>(req->req_id));
+      start_trace({}, req->req_id);
       std::vector<rtree::Entry> results;
       const auto traverse = span_begin("traverse");
+      maybe_delay();
       tree_->NearestNeighbors(req->point, req->k, results);
       span_end(traverse);
       searches_.fetch_add(1, std::memory_order_relaxed);
       CATFISH_COUNT("catfish.server.search");
-      const auto segments = msg::EncodeSearchResponse(
-          req->req_id, results, conn.response_tx->MaxPayload());
+      msg::EncodeSearchResponseInto(req->req_id, results,
+                                    conn.response_tx->MaxPayload(),
+                                    conn.seg_scratch);
+      const auto& segments = conn.seg_scratch;
       CATFISH_COUNT_ADD("catfish.server.segments", segments.size());
       set_attr("results", static_cast<int64_t>(results.size()));
       set_attr("segments", static_cast<int64_t>(segments.size()));
@@ -167,12 +203,14 @@ void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m) {
     case msg::MsgType::kInsertReq: {
       const auto req = msg::DecodeInsertRequest(m.payload);
       if (!req) break;
-      set_attr("req_id", static_cast<int64_t>(req->req_id));
+      start_trace(req->trace, req->req_id);
       const auto traverse = span_begin("traverse");
+      maybe_delay();
       uint8_t ok = 1;
       if (cfg_.durability) {
         const auto res = cfg_.durability->ExecuteInsert(
-            *tree_, req->client_gen, req->req_id, req->rect, req->rect_id);
+            *tree_, req->client_gen, req->req_id, req->rect, req->rect_id,
+            trace.get(), traverse);
         ok = res.ok ? 1 : 0;
         set_attr("duplicate", res.duplicate ? 1 : 0);
       } else {
@@ -181,21 +219,24 @@ void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m) {
       span_end(traverse);
       inserts_.fetch_add(1, std::memory_order_relaxed);
       CATFISH_COUNT("catfish.server.insert");
-      const auto ack = msg::Encode(msg::WriteAck{req->req_id, ok});
+      msg::EncodeInto(msg::WriteAck{req->req_id, ok}, conn.ack_scratch);
       const auto respond = span_begin("respond");
-      SendResponse(conn, msg::MsgType::kInsertAck, msg::kFlagEnd, ack);
+      SendResponse(conn, msg::MsgType::kInsertAck, msg::kFlagEnd,
+                   conn.ack_scratch);
       span_end(respond);
       break;
     }
     case msg::MsgType::kDeleteReq: {
       const auto req = msg::DecodeDeleteRequest(m.payload);
       if (!req) break;
-      set_attr("req_id", static_cast<int64_t>(req->req_id));
+      start_trace(req->trace, req->req_id);
       const auto traverse = span_begin("traverse");
+      maybe_delay();
       bool ok;
       if (cfg_.durability) {
         const auto res = cfg_.durability->ExecuteDelete(
-            *tree_, req->client_gen, req->req_id, req->rect, req->rect_id);
+            *tree_, req->client_gen, req->req_id, req->rect, req->rect_id,
+            trace.get(), traverse);
         ok = res.ok;
         set_attr("duplicate", res.duplicate ? 1 : 0);
       } else {
@@ -204,10 +245,11 @@ void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m) {
       span_end(traverse);
       deletes_.fetch_add(1, std::memory_order_relaxed);
       CATFISH_COUNT("catfish.server.delete");
-      const auto ack =
-          msg::Encode(msg::WriteAck{req->req_id, ok ? uint8_t{1} : uint8_t{0}});
+      msg::EncodeInto(msg::WriteAck{req->req_id, ok ? uint8_t{1} : uint8_t{0}},
+                      conn.ack_scratch);
       const auto respond = span_begin("respond");
-      SendResponse(conn, msg::MsgType::kDeleteAck, msg::kFlagEnd, ack);
+      SendResponse(conn, msg::MsgType::kDeleteAck, msg::kFlagEnd,
+                   conn.ack_scratch);
       span_end(respond);
       break;
     }
@@ -215,16 +257,33 @@ void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m) {
       break;  // unknown/unexpected types are dropped
   }
   if (trace) cfg_.tracer->Finish(trace);
+  if (ctx.present() && ctx.sampled) {
+    // Always reply — even with an empty tree when this server has no
+    // tracer (or telemetry is compiled out) — so the client's wait for
+    // the trace frame on the FIFO ring is deterministic.
+    auto& buf = conn.trace_scratch;
+    buf.clear();
+    buf.resize(sizeof(uint64_t));
+    StorePod(std::span<std::byte>(buf), 0, ctx_req_id);
+    if (trace) telemetry::EncodeTrace(*trace, buf);
+    SendResponse(conn, msg::MsgType::kTraceResp, msg::kFlagEnd, buf);
+  }
 }
 
 void RTreeServer::WorkerLoop(Connection& conn) {
+  // One Message reused across the loop: together with the connection's
+  // reply scratch this keeps the steady-state request path off the
+  // allocator entirely.
+  msg::Message m;
   if (cfg_.mode == NotifyMode::kPolling) {
     // Fig 6a: burn the core polling the ring tail. The whole loop counts
     // as busy time — exactly why polling saturates the CPU (§IV-B).
     uint64_t last = NowNanos();
     while (!stop_.load(std::memory_order_relaxed)) {
-      while (auto m = conn.request_rx->TryReceive()) {
-        HandleMessage(conn, *m);
+      uint64_t picked_up_us = NowMicros();
+      while (conn.request_rx->TryReceive(m)) {
+        HandleMessage(conn, m, picked_up_us);
+        picked_up_us = NowMicros();
       }
       const uint64_t now = NowNanos();
       conn.busy_ns.fetch_add(now - last, std::memory_order_relaxed);
@@ -234,13 +293,16 @@ void RTreeServer::WorkerLoop(Connection& conn) {
   }
 
   // Fig 6b: block on the completion channel; the IMM completion wakes us
-  // when a request lands. Only handling time counts as busy.
+  // when a request lands. Only handling time counts as busy. Every
+  // message of one drain batch shares the wakeup timestamp, so the
+  // dequeue spans of coalesced requests show their queueing delay.
   while (!stop_.load(std::memory_order_relaxed)) {
     const auto wc = conn.recv_cq->Wait(1ms);
     if (!wc) continue;
     const uint64_t t0 = NowNanos();
-    while (auto m = conn.request_rx->TryReceive()) {
-      HandleMessage(conn, *m);
+    const uint64_t wake_us = NowMicros();
+    while (conn.request_rx->TryReceive(m)) {
+      HandleMessage(conn, m, wake_us);
     }
     conn.busy_ns.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
   }

@@ -48,9 +48,12 @@ struct ServerConfig {
   /// Core count used as the utilization denominator. 0 = hardware
   /// concurrency. (The paper's server has 28 cores.)
   unsigned cores = 0;
-  /// When set, every fast-messaging request handled by a worker records
-  /// a span tree here (dequeue → traverse → respond, keyed by the
-  /// request's req_id so it can be joined with the client-side trace).
+  /// When set, fast-messaging requests record span trees here (dequeue
+  /// → traverse → respond, plus the WAL stages on the durable path).
+  /// Requests carrying a sampled wire trace context force a trace
+  /// regardless of this tracer's sampling, and the finished tree is
+  /// shipped back to the client in a kTraceResp frame; context-free
+  /// requests are sampled locally and joined by req_id as before.
   /// Null = no tracing. The tracer must outlive the server.
   telemetry::Tracer* tracer = nullptr;
   /// When set, inserts/deletes run through the durable write path:
@@ -140,6 +143,13 @@ class RTreeServer {
     util_override_.store(-1.0, std::memory_order_relaxed);
   }
 
+  /// Test hook: every request's tree walk sleeps this long first —
+  /// turns one shard into a deterministic straggler so tracing tests
+  /// can assert the assembled critical path names it. 0 = off.
+  void SetServiceDelayForTest(uint64_t us) noexcept {
+    service_delay_us_.store(us, std::memory_order_relaxed);
+  }
+
   ServerStats stats() const;
   size_t connection_count() const;
   rtree::RStarTree& tree() noexcept { return *tree_; }
@@ -166,11 +176,20 @@ class RTreeServer {
     std::mutex send_mu;  ///< worker (responses) vs monitor (heartbeats)
     std::thread worker;
     std::atomic<uint64_t> busy_ns{0};
+    /// Worker-private reply scratch: the steady-state request loop
+    /// encodes every response into these instead of fresh vectors, so
+    /// it never touches the allocator (tests/alloc_test.cc).
+    std::vector<std::vector<std::byte>> seg_scratch;
+    std::vector<std::byte> ack_scratch;
+    std::vector<std::byte> trace_scratch;
   };
 
   void WorkerLoop(Connection& conn);
   void MonitorLoop();
-  void HandleMessage(Connection& conn, const msg::Message& m);
+  /// `picked_up_us` is when the worker woke (event mode) or resumed
+  /// polling — the start of the request's ring-dequeue span.
+  void HandleMessage(Connection& conn, const msg::Message& m,
+                     uint64_t picked_up_us);
   void SendResponse(Connection& conn, msg::MsgType type, uint16_t flags,
                     std::span<const std::byte> payload);
 
@@ -187,6 +206,7 @@ class RTreeServer {
   std::thread monitor_;
   std::atomic<double> utilization_{0.0};
   std::atomic<double> util_override_{-1.0};
+  std::atomic<uint64_t> service_delay_us_{0};
 
   std::atomic<uint64_t> searches_{0};
   std::atomic<uint64_t> inserts_{0};

@@ -116,32 +116,52 @@ WriteResult DurabilityManager::ExecuteInsert(rtree::RStarTree& tree,
                                              uint64_t client_gen,
                                              uint64_t req_id,
                                              const geo::Rect& rect,
-                                             uint64_t rect_id) {
-  return Execute(WalOp::kInsert, tree, client_gen, req_id, rect, rect_id);
+                                             uint64_t rect_id,
+                                             telemetry::Trace* trace,
+                                             telemetry::SpanId parent) {
+  return Execute(WalOp::kInsert, tree, client_gen, req_id, rect, rect_id,
+                 trace, parent);
 }
 
 WriteResult DurabilityManager::ExecuteDelete(rtree::RStarTree& tree,
                                              uint64_t client_gen,
                                              uint64_t req_id,
                                              const geo::Rect& rect,
-                                             uint64_t rect_id) {
-  return Execute(WalOp::kDelete, tree, client_gen, req_id, rect, rect_id);
+                                             uint64_t rect_id,
+                                             telemetry::Trace* trace,
+                                             telemetry::SpanId parent) {
+  return Execute(WalOp::kDelete, tree, client_gen, req_id, rect, rect_id,
+                 trace, parent);
 }
 
 WriteResult DurabilityManager::Execute(WalOp op, rtree::RStarTree& tree,
                                        uint64_t client_gen, uint64_t req_id,
                                        const geo::Rect& rect,
-                                       uint64_t rect_id) {
+                                       uint64_t rect_id,
+                                       telemetry::Trace* trace,
+                                       telemetry::SpanId parent) {
   if (!wal_) {
     throw std::logic_error("durability manager: write before Recover()");
   }
+  const auto span = [&](const char* name) {
+    return trace ? trace->StartSpan(parent, name, NowMicros())
+                 : telemetry::kInvalidSpan;
+  };
+  const auto end = [&](telemetry::SpanId id) {
+    if (trace) trace->EndSpan(id, NowMicros());
+  };
+
+  const auto lock_span = span("wal_lock");
   std::unique_lock lock(write_mu_);
+  end(lock_span);
   if (const auto hit = dedup_.Lookup(client_gen, req_id)) {
     lock.unlock();
     // A resend must never overtake the original write's durability: the
     // first execution may still be waiting on its sync when the retry
     // arrives on a new connection.
+    const auto dup_span = span("dup_wait");
     if (hit->lsn != 0) wal_->Commit(hit->lsn);
+    end(dup_span);
     CATFISH_COUNT("durable.dup_hits");
     return WriteResult{hit->ok != 0, true, hit->lsn};
   }
@@ -155,20 +175,27 @@ WriteResult DurabilityManager::Execute(WalOp op, rtree::RStarTree& tree,
   rec.req_id = req_id;
   rec.rect = rect;
   rec.rect_id = rect_id;
+  const auto append_span = span("wal_append");
   const uint64_t lsn = wal_->Append(rec);
+  end(append_span);
+  const auto apply_span = span("apply");
   bool ok = true;
   if (op == WalOp::kInsert) {
     tree.Insert(rect, rect_id);
   } else {
     ok = tree.Delete(rect, rect_id);
   }
+  end(apply_span);
   applied_lsn_ = lsn;
   dedup_.Record(client_gen, req_id, ok ? 1 : 0, lsn);
   lock.unlock();
 
   // Group commit outside the mutex: concurrent writers batch their
   // syncs without serializing the tree behind storage latency.
+  const auto commit_span = span("group_commit");
   wal_->Commit(lsn);
+  end(commit_span);
+  if (trace) trace->SetAttr(parent, "lsn", static_cast<int64_t>(lsn));
   CATFISH_COUNT("durable.writes");
   return WriteResult{ok, false, lsn};
 }

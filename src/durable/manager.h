@@ -30,6 +30,7 @@
 #include "durable/storage.h"
 #include "durable/wal.h"
 #include "rtree/rstar.h"
+#include "telemetry/trace.h"
 
 namespace catfish::durable {
 
@@ -83,12 +84,23 @@ class DurabilityManager {
 
   /// The durable write path (see file header). Blocks until the record
   /// is durable. Safe to call from concurrent server workers.
+  ///
+  /// When `trace` is set the stages are recorded as child spans of
+  /// `parent` — "wal_lock" (write-mutex wait), "wal_append", "apply",
+  /// and "group_commit" (or "dup_wait" on a dedup hit) — so an
+  /// assembled distributed trace shows WAL append and group-commit
+  /// stalls on the durable path. Timestamps come from the process
+  /// monotonic clock (the server tracer's default clock domain).
   WriteResult ExecuteInsert(rtree::RStarTree& tree, uint64_t client_gen,
                             uint64_t req_id, const geo::Rect& rect,
-                            uint64_t rect_id);
+                            uint64_t rect_id,
+                            telemetry::Trace* trace = nullptr,
+                            telemetry::SpanId parent = 0);
   WriteResult ExecuteDelete(rtree::RStarTree& tree, uint64_t client_gen,
                             uint64_t req_id, const geo::Rect& rect,
-                            uint64_t rect_id);
+                            uint64_t rect_id,
+                            telemetry::Trace* trace = nullptr,
+                            telemetry::SpanId parent = 0);
 
   /// True once the WAL has outgrown cfg.checkpoint_wal_bytes.
   bool ShouldCheckpoint() const;
@@ -108,7 +120,8 @@ class DurabilityManager {
  private:
   WriteResult Execute(WalOp op, rtree::RStarTree& tree, uint64_t client_gen,
                       uint64_t req_id, const geo::Rect& rect,
-                      uint64_t rect_id);
+                      uint64_t rect_id, telemetry::Trace* trace,
+                      telemetry::SpanId parent);
 
   DurabilityConfig cfg_;
   std::shared_ptr<LogStorage> wal_storage_;

@@ -61,8 +61,30 @@ double ClusterSim::ReadRetryProbability() const noexcept {
   return std::min(0.5, write_busy * cfg_.conflict_factor);
 }
 
+void ClusterSim::TraceStage(const std::shared_ptr<SubTrace>& st,
+                            const char* next) {
+  if (!st || !st->trace) return;
+  const auto now = static_cast<uint64_t>(sched_.now());
+  if (st->open != telemetry::kInvalidSpan) {
+    st->trace->EndSpan(st->open, now);
+    st->open = telemetry::kInvalidSpan;
+  }
+  if (next != nullptr) {
+    st->open = st->trace->StartSpan(st->span, next, now);
+  }
+}
+
 void ClusterSim::CompleteRequest(Client& c, workload::OpType op, double t0,
-                                 bool offloaded) {
+                                 bool offloaded,
+                                 const std::shared_ptr<SubTrace>& st) {
+  if (st && st->trace) {
+    TraceStage(st, nullptr);  // close the last stage child
+    st->trace->EndSpan(st->span, static_cast<uint64_t>(sched_.now()));
+    result_.traces.push_back(st->trace);
+    if (result_.traces.size() > cfg_.trace_retain) {
+      result_.traces.erase(result_.traces.begin());
+    }
+  }
   const double latency = sched_.now() - t0;
   result_.latency_us.Add(latency);
   if (op == workload::OpType::kInsert) {
@@ -96,27 +118,38 @@ void ClusterSim::StartNextRequest(Client& c) {
   const workload::Request req = c.gen.Next();
   const double t0 = sched_.now();
 
+  // Every Nth search builds a span tree on the virtual clock.
+  std::shared_ptr<SubTrace> st;
+  if (req.op == workload::OpType::kSearch && cfg_.trace_sample_every != 0 &&
+      (searches_started_++ % cfg_.trace_sample_every) == 0) {
+    st = std::make_shared<SubTrace>();
+    st->trace = std::make_shared<telemetry::Trace>(
+        "sim.search", next_trace_id_++, static_cast<uint64_t>(t0));
+    st->span = st->trace->root();
+    st->trace->SetAttr(st->span, "client", static_cast<int64_t>(c.index));
+  }
+
   if (req.op == workload::OpType::kInsert || IsTcp() ||
       cfg_.scheme == Scheme::kFastMessaging) {
-    ExecViaServer(c, req, t0);
+    ExecViaServer(c, req, t0, std::move(st));
     return;
   }
   if (cfg_.scheme == Scheme::kRdmaOffloading) {
-    ExecOffloaded(c, req.rect, t0);
+    ExecOffloaded(c, req.rect, t0, std::move(st));
     return;
   }
   // Catfish: Algorithm 1 decides per request.
   const AccessMode mode =
       c.ctrl.NextMode(static_cast<uint64_t>(sched_.now()));
   if (mode == AccessMode::kRdmaOffloading) {
-    ExecOffloaded(c, req.rect, t0);
+    ExecOffloaded(c, req.rect, t0, std::move(st));
   } else {
-    ExecViaServer(c, req, t0);
+    ExecViaServer(c, req, t0, std::move(st));
   }
 }
 
 void ClusterSim::ExecViaServer(Client& c, const workload::Request& req,
-                               double t0) {
+                               double t0, std::shared_ptr<SubTrace> st) {
   const CostModel& k = cfg_.costs;
   const bool tcp = IsTcp();
   const bool search = req.op == workload::OpType::kSearch;
@@ -166,9 +199,10 @@ void ClusterSim::ExecViaServer(Client& c, const workload::Request& req,
     CATFISH_TIMER_RECORD_US("rdma.doorbell.batch_size", 1.0);
   }
 
-  auto respond = [this, &c, t0, resp_bytes, tcp, op = req.op]() {
-    auto deliver = [this, &c, t0, resp_bytes, tcp, op]() {
-      up_->Transfer(resp_bytes, [this, &c, t0, tcp, op]() {
+  auto respond = [this, &c, t0, resp_bytes, tcp, op = req.op, st]() {
+    TraceStage(st, "reply");
+    auto deliver = [this, &c, t0, resp_bytes, tcp, op, st]() {
+      up_->Transfer(resp_bytes, [this, &c, t0, tcp, op, st]() {
         const double recv_us =
             tcp ? cfg_.costs.tcp_kernel_us : cfg_.costs.verbs_post_us;
         if (!tcp) {
@@ -177,8 +211,8 @@ void ClusterSim::ExecViaServer(Client& c, const workload::Request& req,
           ++result_.polls;
           CATFISH_COUNT("rdma.polls");
         }
-        sched_.After(recv_us, [this, &c, t0, op]() {
-          CompleteRequest(c, op, t0);
+        sched_.After(recv_us, [this, &c, t0, op, st]() {
+          CompleteRequest(c, op, t0, /*offloaded=*/false, st);
         });
       });
     };
@@ -189,12 +223,15 @@ void ClusterSim::ExecViaServer(Client& c, const workload::Request& req,
     }
   };
 
-  auto handle = [this, &c, req, service, search, tcp, respond]() {
+  auto handle = [this, &c, req, service, search, tcp, respond, st]() {
+    TraceStage(st, "dequeue");
     const double pickup = (!tcp && cfg_.notify == NotifyMode::kPolling)
                               ? PollingPickupUs()
                               : 0.0;
-    sched_.After(pickup, [this, &c, req, service, search, tcp, respond]() {
+    sched_.After(pickup, [this, &c, req, service, search, tcp, respond,
+                          st]() {
       if (search) {
+        TraceStage(st, "traverse");  // includes the worker-pool queue wait
         cpu_->Submit(service, respond);
       } else {
         // Parse on a worker, then serialize on the tree writer lock.
@@ -211,6 +248,7 @@ void ClusterSim::ExecViaServer(Client& c, const workload::Request& req,
     });
   };
 
+  TraceStage(st, "net_down");
   sched_.After(post_us, [this, req_bytes, tcp, handle]() {
     down_->Transfer(req_bytes, [this, tcp, handle]() {
       if (tcp) {
@@ -222,22 +260,31 @@ void ClusterSim::ExecViaServer(Client& c, const workload::Request& req,
   });
 }
 
-void ClusterSim::ExecOffloaded(Client& c, const geo::Rect& rect, double t0) {
+void ClusterSim::ExecOffloaded(Client& c, const geo::Rect& rect, double t0,
+                               std::shared_ptr<SubTrace> st) {
   auto trace = std::make_shared<rtree::TraversalTrace>();
-  rtree::SearchStats st;
+  rtree::SearchStats sst;
   std::vector<rtree::Entry> out;
-  tree_->SearchTraced(rect, out, &st, trace.get());
+  tree_->SearchTraced(rect, out, &sst, trace.get());
   ++result_.offloaded_searches;
   CATFISH_COUNT("catfish.client.search.offload");
-  OffloadRound(c, std::move(trace), 0, t0);
+  if (st && st->trace) st->trace->SetAttr(st->span, "offload", 1);
+  OffloadRound(c, std::move(trace), 0, t0, std::move(st));
 }
 
 void ClusterSim::OffloadRound(Client& c,
                               std::shared_ptr<rtree::TraversalTrace> trace,
-                              size_t level, double t0) {
+                              size_t level, double t0,
+                              std::shared_ptr<SubTrace> st) {
   if (level >= trace->nodes_per_level.size()) {
-    CompleteRequest(c, workload::OpType::kSearch, t0, /*offloaded=*/true);
+    CompleteRequest(c, workload::OpType::kSearch, t0, /*offloaded=*/true, st);
     return;
+  }
+  TraceStage(st, "offload_round");
+  if (st && st->trace) {
+    st->trace->SetAttr(st->open, "level", static_cast<int64_t>(level));
+    st->trace->SetAttr(st->open, "reads",
+                       static_cast<int64_t>(trace->nodes_per_level[level]));
   }
   const CostModel& k = cfg_.costs;
   const uint32_t n = trace->nodes_per_level[level];
@@ -252,11 +299,11 @@ void ClusterSim::OffloadRound(Client& c,
   };
   auto round = std::make_shared<Round>(Round{n, sched_.now()});
 
-  auto node_done = [this, &c, trace, level, t0, round]() {
+  auto node_done = [this, &c, trace, level, t0, round, st]() {
     if (--round->remaining == 0) {
       const double resume = std::max(round->client_free_at, sched_.now());
-      sched_.At(resume, [this, &c, trace, level, t0]() {
-        OffloadRound(c, trace, level + 1, t0);
+      sched_.At(resume, [this, &c, trace, level, t0, st]() {
+        OffloadRound(c, trace, level + 1, t0, st);
       });
     }
   };

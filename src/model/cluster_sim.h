@@ -31,6 +31,7 @@
 #include "rdmasim/fabric_profile.h"
 #include "rtree/rstar.h"
 #include "telemetry/timeseries.h"
+#include "telemetry/trace.h"
 #include "workload/generators.h"
 
 namespace catfish::model {
@@ -75,6 +76,14 @@ struct ClusterConfig {
   /// a final flush, so --timeline-json gets the same window shape a
   /// live run would produce. The sim does not reset or re-baseline it.
   telemetry::MetricsSampler* sampler = nullptr;
+  /// Build a span tree for every Nth search (0 = off): a "sim.search"
+  /// root with net_down/dequeue/traverse/reply stage children on the
+  /// fast path, or per-level offload_round children when offloaded —
+  /// all on the scheduler's virtual clock, same stage names as the
+  /// sharded sim's sub-queries.
+  uint64_t trace_sample_every = 0;
+  /// Sampled traces retained in RunResult::traces (oldest dropped).
+  size_t trace_retain = 32;
 };
 
 struct RunResult {
@@ -106,6 +115,9 @@ struct RunResult {
   /// Summed over every client's AdaptiveController (Catfish scheme only).
   uint64_t mode_switches = 0;
   uint64_t adaptive_escalations = 0;
+  /// Sampled search traces (virtual-clock timestamps), oldest first;
+  /// see ClusterConfig::trace_sample_every.
+  std::vector<std::shared_ptr<telemetry::Trace>> traces;
 };
 
 class ClusterSim {
@@ -135,15 +147,30 @@ class ClusterSim {
     return cfg_.scheme == Scheme::kTcp1G || cfg_.scheme == Scheme::kTcp40G;
   }
 
+  /// Per-request trace state: the root span plus the currently open
+  /// stage child (the sim is single-threaded on virtual time, so plain
+  /// mutation is safe). Null end-to-end when the request is unsampled.
+  struct SubTrace {
+    std::shared_ptr<telemetry::Trace> trace;
+    telemetry::SpanId span = telemetry::kInvalidSpan;
+    telemetry::SpanId open = telemetry::kInvalidSpan;
+  };
+
   void StartNextRequest(Client& c);
   /// Fast-messaging / TCP request through the server worker pool.
-  void ExecViaServer(Client& c, const workload::Request& req, double t0);
+  void ExecViaServer(Client& c, const workload::Request& req, double t0,
+                     std::shared_ptr<SubTrace> st);
   /// One-sided READ traversal on the client.
-  void ExecOffloaded(Client& c, const geo::Rect& rect, double t0);
+  void ExecOffloaded(Client& c, const geo::Rect& rect, double t0,
+                     std::shared_ptr<SubTrace> st);
   void OffloadRound(Client& c, std::shared_ptr<rtree::TraversalTrace> trace,
-                    size_t level, double t0);
+                    size_t level, double t0, std::shared_ptr<SubTrace> st);
   void CompleteRequest(Client& c, workload::OpType op, double t0,
-                       bool offloaded = false);
+                       bool offloaded = false,
+                       const std::shared_ptr<SubTrace>& st = nullptr);
+  /// Ends the open stage child (if any) and starts `next` (unless null)
+  /// under the root span, at the current virtual time.
+  void TraceStage(const std::shared_ptr<SubTrace>& st, const char* next);
   void ScheduleHeartbeat();
   void ScheduleSample();
   double PollingPickupUs() const noexcept;
@@ -165,6 +192,8 @@ class ClusterSim {
   std::vector<std::unique_ptr<Client>> clients_;
   RunResult result_;
   uint64_t outstanding_ = 0;
+  uint64_t searches_started_ = 0;
+  uint64_t next_trace_id_ = 1;
   double insert_service_cum_us_ = 0.0;
   des::UtilizationWindow hb_window_;
 };

@@ -135,6 +135,19 @@ void ShardedClusterSim::OracleCheck(const geo::Rect& rect) {
   }
 }
 
+void ShardedClusterSim::TraceStage(const std::shared_ptr<SubTrace>& st,
+                                   const char* next) {
+  if (!st || !st->trace) return;
+  const auto now = static_cast<uint64_t>(sched_.now());
+  if (st->open != telemetry::kInvalidSpan) {
+    st->trace->EndSpan(st->open, now);
+    st->open = telemetry::kInvalidSpan;
+  }
+  if (next != nullptr) {
+    st->open = st->trace->StartSpan(st->span, next, now);
+  }
+}
+
 void ShardedClusterSim::StartSearch(Client& c, const geo::Rect& rect) {
   const double t0 = sched_.now();
   ++result_.searches;
@@ -147,7 +160,16 @@ void ShardedClusterSim::StartSearch(Client& c, const geo::Rect& rect) {
     OracleCheck(rect);
   }
 
-  auto join = std::make_shared<Fanout>(Fanout{&c, width, t0});
+  auto join = std::make_shared<Fanout>(Fanout{&c, width, t0, nullptr});
+  // Counter-based sampling (the DES must stay deterministic): every Nth
+  // search builds a full distributed trace on the virtual clock.
+  if (cfg_.trace_sample_every != 0 &&
+      ((result_.searches - 1) % cfg_.trace_sample_every) == 0) {
+    join->trace = std::make_shared<telemetry::Trace>(
+        "shard.search", next_trace_id_++, static_cast<uint64_t>(t0));
+    join->trace->SetAttr(join->trace->root(), "fanout",
+                         static_cast<int64_t>(width));
+  }
   // Sub-requests are posted back-to-back from the single client thread;
   // the i-th leaves the client i+1 post slots after t0 (same pipelining
   // model as multi-issued READs).
@@ -166,19 +188,41 @@ void ShardedClusterSim::StartSearch(Client& c, const geo::Rect& rect) {
         mode = c.ctrl[sh].NextMode(static_cast<uint64_t>(sched_.now()));
         break;
     }
+    std::shared_ptr<SubTrace> st;
+    if (join->trace) {
+      st = std::make_shared<SubTrace>();
+      st->trace = join->trace;
+      st->span = join->trace->StartSpan(join->trace->root(), "subquery",
+                                        static_cast<uint64_t>(t0));
+      join->trace->SetAttr(st->span, "shard", sh);
+    }
     if (mode == AccessMode::kFastMessaging) {
-      SubqueryFast(c, sh, rect, join, post_delay);
+      SubqueryFast(c, sh, rect, join, post_delay, std::move(st));
     } else {
-      SubqueryOffloaded(c, sh, rect, join, post_delay);
+      if (st) join->trace->SetAttr(st->span, "offload", 1);
+      SubqueryOffloaded(c, sh, rect, join, post_delay, std::move(st));
     }
   }
 }
 
-void ShardedClusterSim::SubqueryDone(std::shared_ptr<Fanout> join) {
+void ShardedClusterSim::SubqueryDone(std::shared_ptr<Fanout> join,
+                                     const std::shared_ptr<SubTrace>& st) {
   result_.subquery_latency_us.Add(sched_.now() - join->t0);
   CATFISH_TIMER_RECORD_US("shard.client.subquery_us",
                           sched_.now() - join->t0);
+  if (st && st->trace) {
+    TraceStage(st, nullptr);  // close the last stage child
+    st->trace->EndSpan(st->span, static_cast<uint64_t>(sched_.now()));
+  }
   if (--join->remaining == 0) {
+    if (join->trace) {
+      join->trace->EndSpan(join->trace->root(),
+                           static_cast<uint64_t>(sched_.now()));
+      result_.traces.push_back(join->trace);
+      if (result_.traces.size() > cfg_.trace_retain) {
+        result_.traces.erase(result_.traces.begin());
+      }
+    }
     CompleteRequest(*join->client, workload::OpType::kSearch, join->t0);
   }
 }
@@ -186,23 +230,24 @@ void ShardedClusterSim::SubqueryDone(std::shared_ptr<Fanout> join) {
 void ShardedClusterSim::SubqueryFast(Client& c, uint32_t shard,
                                      const geo::Rect& rect,
                                      std::shared_ptr<Fanout> join,
-                                     double issue_delay) {
+                                     double issue_delay,
+                                     std::shared_ptr<SubTrace> st) {
   ShardRes& s = *shards_[shard];
   const CostModel& k = cfg_.costs;
   ++result_.fast_subqueries;
   CATFISH_COUNT("catfish.client.search.fast");
 
-  rtree::SearchStats st;
+  rtree::SearchStats sst;
   std::vector<rtree::Entry> out;
-  s.tree->SearchTraced(rect, out, &st, nullptr);
+  s.tree->SearchTraced(rect, out, &sst, nullptr);
   const size_t segments =
-      1 + st.results * k.per_result_bytes / k.max_segment_payload_bytes;
+      1 + sst.results * k.per_result_bytes / k.max_segment_payload_bytes;
   const double service =
       k.request_dispatch_us +
-      static_cast<double>(st.nodes_visited) * k.per_node_visit_us +
-      static_cast<double>(st.results) * k.per_result_us;
+      static_cast<double>(sst.nodes_visited) * k.per_node_visit_us +
+      static_cast<double>(sst.results) * k.per_result_us;
   const size_t resp_bytes =
-      k.response_base_bytes * segments + st.results * k.per_result_bytes;
+      k.response_base_bytes * segments + sst.results * k.per_result_bytes;
   // Ring messages doorbell individually on their shard's QP (the live
   // sharded client stages one ring doorbell per sub-query): request +
   // response = 2 doorbells, and the response is reaped once.
@@ -215,21 +260,26 @@ void ShardedClusterSim::SubqueryFast(Client& c, uint32_t shard,
   ++result_.polls;
   CATFISH_COUNT("rdma.polls");
 
-  sched_.After(issue_delay, [this, &c, &s, service, resp_bytes, join]() {
+  sched_.After(issue_delay, [this, &c, &s, service, resp_bytes, join, st]() {
+    TraceStage(st, "net_down");
     s.down->Transfer(cfg_.costs.search_request_bytes, [this, &c, &s, service,
-                                                       resp_bytes, join]() {
+                                                       resp_bytes, join,
+                                                       st]() {
       s.nic->Submit(cfg_.costs.nic_write_op_us, [this, &c, &s, service,
-                                                 resp_bytes, join]() {
+                                                 resp_bytes, join, st]() {
         const double pickup = cfg_.notify == NotifyMode::kPolling
                                   ? PollingPickupUs()
                                   : 0.0;
-        sched_.After(pickup, [this, &c, &s, service, resp_bytes, join]() {
-          s.cpu->Submit(service, [this, &s, resp_bytes, join]() {
+        TraceStage(st, "dequeue");
+        sched_.After(pickup, [this, &c, &s, service, resp_bytes, join, st]() {
+          TraceStage(st, "traverse");
+          s.cpu->Submit(service, [this, &s, resp_bytes, join, st]() {
+            TraceStage(st, "reply");
             s.nic->Submit(cfg_.costs.nic_write_op_us,
-                          [this, &s, resp_bytes, join]() {
-              s.up->Transfer(resp_bytes, [this, join]() {
+                          [this, &s, resp_bytes, join, st]() {
+              s.up->Transfer(resp_bytes, [this, join, st]() {
                 sched_.After(cfg_.costs.verbs_post_us,
-                             [this, join]() { SubqueryDone(join); });
+                             [this, join, st]() { SubqueryDone(join, st); });
               });
             });
           });
@@ -242,25 +292,33 @@ void ShardedClusterSim::SubqueryFast(Client& c, uint32_t shard,
 void ShardedClusterSim::SubqueryOffloaded(Client& c, uint32_t shard,
                                           const geo::Rect& rect,
                                           std::shared_ptr<Fanout> join,
-                                          double issue_delay) {
+                                          double issue_delay,
+                                          std::shared_ptr<SubTrace> st) {
   ShardRes& s = *shards_[shard];
   ++result_.offload_subqueries;
   CATFISH_COUNT("catfish.client.search.offload");
   auto trace = std::make_shared<rtree::TraversalTrace>();
-  rtree::SearchStats st;
+  rtree::SearchStats sst;
   std::vector<rtree::Entry> out;
-  s.tree->SearchTraced(rect, out, &st, trace.get());
-  sched_.After(issue_delay, [this, &c, shard, trace, join]() {
-    OffloadRound(c, shard, trace, 0, join);
+  s.tree->SearchTraced(rect, out, &sst, trace.get());
+  sched_.After(issue_delay, [this, &c, shard, trace, join, st]() {
+    OffloadRound(c, shard, trace, 0, join, st);
   });
 }
 
 void ShardedClusterSim::OffloadRound(
     Client& c, uint32_t shard, std::shared_ptr<rtree::TraversalTrace> trace,
-    size_t level, std::shared_ptr<Fanout> join) {
+    size_t level, std::shared_ptr<Fanout> join,
+    std::shared_ptr<SubTrace> st) {
   if (level >= trace->nodes_per_level.size()) {
-    SubqueryDone(join);
+    SubqueryDone(join, st);
     return;
+  }
+  TraceStage(st, "offload_round");
+  if (st && st->trace) {
+    st->trace->SetAttr(st->open, "level", static_cast<int64_t>(level));
+    st->trace->SetAttr(st->open, "reads",
+                       static_cast<int64_t>(trace->nodes_per_level[level]));
   }
   ShardRes& s = *shards_[shard];
   const CostModel& k = cfg_.costs;
@@ -273,11 +331,11 @@ void ShardedClusterSim::OffloadRound(
     double client_free_at;
   };
   auto round = std::make_shared<Round>(Round{n, sched_.now()});
-  auto node_done = [this, &c, shard, trace, level, join, round]() {
+  auto node_done = [this, &c, shard, trace, level, join, round, st]() {
     if (--round->remaining == 0) {
       const double resume = std::max(round->client_free_at, sched_.now());
-      sched_.At(resume, [this, &c, shard, trace, level, join]() {
-        OffloadRound(c, shard, trace, level + 1, join);
+      sched_.At(resume, [this, &c, shard, trace, level, join, st]() {
+        OffloadRound(c, shard, trace, level + 1, join, st);
       });
     }
   };

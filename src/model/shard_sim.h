@@ -37,6 +37,7 @@
 #include "rtree/arena.h"
 #include "rtree/rstar.h"
 #include "shard/partition.h"
+#include "telemetry/trace.h"
 #include "workload/generators.h"
 
 namespace catfish::model {
@@ -64,6 +65,15 @@ struct ShardedClusterConfig {
   size_t arena_chunks = 1 << 15;
   /// Diff every Nth search against the brute-force oracle (0 = off).
   uint32_t oracle_every = 0;
+  /// Build a distributed trace for every Nth search (0 = off): one
+  /// "shard.search" root, a "subquery" span per contacted shard with
+  /// net_down/dequeue/traverse/reply (fast) or offload_round children,
+  /// all on the scheduler's virtual clock. The join's critical path is
+  /// then computable exactly as for live traces.
+  uint64_t trace_sample_every = 0;
+  /// Sampled traces retained in ShardedRunResult::traces (oldest
+  /// dropped beyond this).
+  size_t trace_retain = 32;
 };
 
 struct ShardedRunResult {
@@ -94,6 +104,9 @@ struct ShardedRunResult {
   uint64_t mode_switches = 0;
   uint64_t oracle_checks = 0;
   uint64_t oracle_mismatches = 0;
+  /// Sampled distributed traces (virtual-clock timestamps), oldest
+  /// first; see ShardedClusterConfig::trace_sample_every.
+  std::vector<std::shared_ptr<telemetry::Trace>> traces;
 };
 
 class ShardedClusterSim {
@@ -140,18 +153,37 @@ class ShardedClusterSim {
     Client* client = nullptr;
     uint32_t remaining = 0;
     double t0 = 0.0;
+    /// Set when this search is trace-sampled; finished and retained
+    /// when the last sub-query joins.
+    std::shared_ptr<telemetry::Trace> trace;
+  };
+
+  /// Per-sub-query trace state: the subquery span plus the currently
+  /// open stage child. The sim is single-threaded (virtual time), so
+  /// plain mutation is safe.
+  struct SubTrace {
+    std::shared_ptr<telemetry::Trace> trace;
+    telemetry::SpanId span = telemetry::kInvalidSpan;
+    telemetry::SpanId open = telemetry::kInvalidSpan;
   };
 
   void StartNextRequest(Client& c);
   void StartSearch(Client& c, const geo::Rect& rect);
   void SubqueryFast(Client& c, uint32_t shard, const geo::Rect& rect,
-                    std::shared_ptr<Fanout> join, double issue_delay);
+                    std::shared_ptr<Fanout> join, double issue_delay,
+                    std::shared_ptr<SubTrace> st);
   void SubqueryOffloaded(Client& c, uint32_t shard, const geo::Rect& rect,
-                         std::shared_ptr<Fanout> join, double issue_delay);
+                         std::shared_ptr<Fanout> join, double issue_delay,
+                         std::shared_ptr<SubTrace> st);
   void OffloadRound(Client& c, uint32_t shard,
                     std::shared_ptr<rtree::TraversalTrace> trace,
-                    size_t level, std::shared_ptr<Fanout> join);
-  void SubqueryDone(std::shared_ptr<Fanout> join);
+                    size_t level, std::shared_ptr<Fanout> join,
+                    std::shared_ptr<SubTrace> st);
+  void SubqueryDone(std::shared_ptr<Fanout> join,
+                    const std::shared_ptr<SubTrace>& st);
+  /// Ends the open stage child (if any) and starts `next` (unless
+  /// null) under the subquery span, at the current virtual time.
+  void TraceStage(const std::shared_ptr<SubTrace>& st, const char* next);
   void ExecInsert(Client& c, const workload::Request& req);
   void CompleteRequest(Client& c, workload::OpType op, double t0);
   void OracleCheck(const geo::Rect& rect);
@@ -171,6 +203,7 @@ class ShardedClusterSim {
   ShardedRunResult result_;
   uint64_t outstanding_ = 0;
   uint64_t searches_started_ = 0;
+  uint64_t next_trace_id_ = 1;
   std::vector<uint32_t> fanout_scratch_;
 };
 

@@ -1,6 +1,8 @@
 #include "msg/protocol.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "common/bytes.h"
 
@@ -25,64 +27,102 @@ geo::Rect ReadRect(ByteReader& r) {
 
 constexpr size_t kRectBytes = 4 * sizeof(double);
 
+// Trace-context tail: appended only when present, same opaque-extension
+// idiom as the heartbeat map-version tail. A request frame is either
+// exactly the legacy size or legacy + kTraceContextBytes; anything else
+// (a torn tail) is rejected by the size checks below.
+void AppendTraceTail(ByteWriter& w, const TraceContext& t) {
+  if (!t.present()) return;
+  w.Append(t.trace_id);
+  w.Append(t.parent_span);
+  w.Append(t.sampled);
+}
+
+TraceContext ReadTraceTail(ByteReader& r) {
+  TraceContext t;
+  t.trace_id = r.Read<uint64_t>();
+  t.parent_span = r.Read<uint32_t>();
+  t.sampled = r.Read<uint8_t>();
+  return t;
+}
+
+bool SizeWithOptionalTail(size_t got, size_t base) {
+  return got == base || got == base + kTraceContextBytes;
+}
+
 }  // namespace
 
 std::vector<std::byte> Encode(const SearchRequest& v) {
-  ByteWriter w(8 + kRectBytes);
+  ByteWriter w(8 + kRectBytes +
+               (v.trace.present() ? kTraceContextBytes : 0));
   w.Append(v.req_id);
   AppendRect(w, v.rect);
+  AppendTraceTail(w, v.trace);
   return w.Take();
 }
 
 std::optional<SearchRequest> DecodeSearchRequest(
     std::span<const std::byte> payload) {
-  if (payload.size() != 8 + kRectBytes) return std::nullopt;
+  if (!SizeWithOptionalTail(payload.size(), 8 + kRectBytes)) {
+    return std::nullopt;
+  }
   ByteReader r(payload);
   SearchRequest v;
   v.req_id = r.Read<uint64_t>();
   v.rect = ReadRect(r);
+  if (!r.AtEnd()) v.trace = ReadTraceTail(r);
   return v;
 }
 
 std::vector<std::byte> Encode(const InsertRequest& v) {
-  ByteWriter w(24 + kRectBytes);
+  ByteWriter w(24 + kRectBytes +
+               (v.trace.present() ? kTraceContextBytes : 0));
   w.Append(v.req_id);
   w.Append(v.client_gen);
   AppendRect(w, v.rect);
   w.Append(v.rect_id);
+  AppendTraceTail(w, v.trace);
   return w.Take();
 }
 
 std::optional<InsertRequest> DecodeInsertRequest(
     std::span<const std::byte> payload) {
-  if (payload.size() != 24 + kRectBytes) return std::nullopt;
+  if (!SizeWithOptionalTail(payload.size(), 24 + kRectBytes)) {
+    return std::nullopt;
+  }
   ByteReader r(payload);
   InsertRequest v;
   v.req_id = r.Read<uint64_t>();
   v.client_gen = r.Read<uint64_t>();
   v.rect = ReadRect(r);
   v.rect_id = r.Read<uint64_t>();
+  if (!r.AtEnd()) v.trace = ReadTraceTail(r);
   return v;
 }
 
 std::vector<std::byte> Encode(const DeleteRequest& v) {
-  ByteWriter w(24 + kRectBytes);
+  ByteWriter w(24 + kRectBytes +
+               (v.trace.present() ? kTraceContextBytes : 0));
   w.Append(v.req_id);
   w.Append(v.client_gen);
   AppendRect(w, v.rect);
   w.Append(v.rect_id);
+  AppendTraceTail(w, v.trace);
   return w.Take();
 }
 
 std::optional<DeleteRequest> DecodeDeleteRequest(
     std::span<const std::byte> payload) {
-  if (payload.size() != 24 + kRectBytes) return std::nullopt;
+  if (!SizeWithOptionalTail(payload.size(), 24 + kRectBytes)) {
+    return std::nullopt;
+  }
   ByteReader r(payload);
   DeleteRequest v;
   v.req_id = r.Read<uint64_t>();
   v.client_gen = r.Read<uint64_t>();
   v.rect = ReadRect(r);
   v.rect_id = r.Read<uint64_t>();
+  if (!r.AtEnd()) v.trace = ReadTraceTail(r);
   return v;
 }
 
@@ -147,26 +187,75 @@ std::optional<KnnRequest> DecodeKnnRequest(
   return v;
 }
 
-std::vector<std::vector<std::byte>> EncodeSearchResponse(
-    uint64_t req_id, std::span<const rtree::Entry> entries,
-    size_t max_payload) {
+std::vector<std::byte> Encode(const TraceResponse& v) {
+  ByteWriter w(8 + v.blob.size());
+  w.Append(v.req_id);
+  w.AppendBytes(v.blob);
+  return w.Take();
+}
+
+std::optional<TraceResponse> DecodeTraceResponse(
+    std::span<const std::byte> payload) {
+  if (payload.size() < 8) return std::nullopt;
+  TraceResponse v;
+  v.req_id = LoadPod<uint64_t>(payload, 0);
+  const auto blob = payload.subspan(8);
+  v.blob.assign(blob.begin(), blob.end());
+  return v;
+}
+
+namespace {
+
+// Append into a caller-owned buffer whose capacity persists across
+// messages — the hot reply path must not touch the allocator.
+template <TriviallyCopyable T>
+void AppendPod(std::vector<std::byte>& out, const T& value) {
+  const size_t off = out.size();
+  out.resize(off + sizeof(T));
+  std::memcpy(out.data() + off, &value, sizeof(T));
+}
+
+}  // namespace
+
+void EncodeInto(const WriteAck& v, std::vector<std::byte>& out) {
+  out.clear();
+  AppendPod(out, v.req_id);
+  AppendPod(out, v.ok);
+}
+
+void EncodeSearchResponseInto(uint64_t req_id,
+                              std::span<const rtree::Entry> entries,
+                              size_t max_payload,
+                              std::vector<std::vector<std::byte>>& segments) {
   assert(max_payload >= 12 + kWireEntryBytes);
   const size_t per_segment = (max_payload - 12) / kWireEntryBytes;
-  std::vector<std::vector<std::byte>> segments;
+  size_t used = 0;
   size_t i = 0;
   do {
     const size_t n = std::min(per_segment, entries.size() - i);
-    ByteWriter w(12 + n * kWireEntryBytes);
-    w.Append(req_id);
-    w.Append(static_cast<uint32_t>(n));
+    if (used == segments.size()) segments.emplace_back();
+    std::vector<std::byte>& seg = segments[used++];
+    seg.clear();
+    AppendPod(seg, req_id);
+    AppendPod(seg, static_cast<uint32_t>(n));
     for (size_t k = 0; k < n; ++k) {
       const rtree::Entry& e = entries[i + k];
-      AppendRect(w, e.mbr);
-      w.Append(e.id);
+      AppendPod(seg, e.mbr.min_x);
+      AppendPod(seg, e.mbr.min_y);
+      AppendPod(seg, e.mbr.max_x);
+      AppendPod(seg, e.mbr.max_y);
+      AppendPod(seg, e.id);
     }
-    segments.push_back(w.Take());
     i += n;
   } while (i < entries.size());
+  segments.resize(used);
+}
+
+std::vector<std::vector<std::byte>> EncodeSearchResponse(
+    uint64_t req_id, std::span<const rtree::Entry> entries,
+    size_t max_payload) {
+  std::vector<std::vector<std::byte>> segments;
+  EncodeSearchResponseInto(req_id, entries, max_payload, segments);
   return segments;
 }
 

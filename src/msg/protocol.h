@@ -28,11 +28,30 @@ enum class MsgType : uint16_t {
   kHeartbeat = 7,
   kKnnReq = 8,
   kKnnResp = 9,
+  kTraceResp = 10,
 };
+
+/// Distributed-tracing context carried on Search/Insert/Delete requests
+/// as an optional 13-byte tail (trace_id, parent span, sampled bit) —
+/// the same opaque-extension idiom as the heartbeat's map-version tail:
+/// emitted only when trace_id != 0, so context-free frames stay
+/// byte-identical to the legacy wire format and legacy peers
+/// interoperate unchanged. A server that sees sampled=1 opens a span
+/// tree for the request and ships it back in a kTraceResp frame.
+struct TraceContext {
+  uint64_t trace_id = 0;  ///< 0 = no context (legacy frame)
+  uint32_t parent_span = 0;
+  uint8_t sampled = 0;
+
+  bool present() const noexcept { return trace_id != 0; }
+};
+
+inline constexpr size_t kTraceContextBytes = 8 + 4 + 1;
 
 struct SearchRequest {
   uint64_t req_id = 0;
   geo::Rect rect;
+  TraceContext trace;
 };
 
 /// Write requests carry an exactly-once identity: `client_gen` names one
@@ -45,6 +64,7 @@ struct InsertRequest {
   uint64_t client_gen = 0;
   geo::Rect rect;
   uint64_t rect_id = 0;
+  TraceContext trace;
 };
 
 struct DeleteRequest {
@@ -52,6 +72,7 @@ struct DeleteRequest {
   uint64_t client_gen = 0;
   geo::Rect rect;
   uint64_t rect_id = 0;
+  TraceContext trace;
 };
 
 /// k-nearest-neighbor query. Served on the server only: best-first kNN
@@ -97,6 +118,17 @@ struct SearchResponseSegment {
   std::vector<rtree::Entry> entries;
 };
 
+/// Server→client: the completed server-side span tree for a sampled
+/// request, sent right after the response's END segment (or write ack)
+/// on the same FIFO ring. `blob` is a telemetry/trace_wire.h encoding;
+/// it is empty when the server has no tracer (or telemetry is compiled
+/// out) — the frame is still sent so the client's wait is
+/// deterministic.
+struct TraceResponse {
+  uint64_t req_id = 0;
+  std::vector<std::byte> blob;
+};
+
 // --- codecs; each Decode returns nullopt on malformed payloads ---
 
 std::vector<std::byte> Encode(const SearchRequest& v);
@@ -105,6 +137,7 @@ std::vector<std::byte> Encode(const DeleteRequest& v);
 std::vector<std::byte> Encode(const WriteAck& v);
 std::vector<std::byte> Encode(const Heartbeat& v);
 std::vector<std::byte> Encode(const KnnRequest& v);
+std::vector<std::byte> Encode(const TraceResponse& v);
 
 std::optional<SearchRequest> DecodeSearchRequest(
     std::span<const std::byte> payload);
@@ -115,6 +148,8 @@ std::optional<DeleteRequest> DecodeDeleteRequest(
 std::optional<WriteAck> DecodeWriteAck(std::span<const std::byte> payload);
 std::optional<Heartbeat> DecodeHeartbeat(std::span<const std::byte> payload);
 std::optional<KnnRequest> DecodeKnnRequest(std::span<const std::byte> payload);
+std::optional<TraceResponse> DecodeTraceResponse(
+    std::span<const std::byte> payload);
 
 /// Splits `entries` into response segments whose encoded payloads each
 /// fit `max_payload` bytes. Always yields at least one segment (possibly
@@ -125,6 +160,22 @@ std::vector<std::vector<std::byte>> EncodeSearchResponse(
 
 std::optional<SearchResponseSegment> DecodeSearchResponseSegment(
     std::span<const std::byte> payload);
+
+// --- allocation-free reply codecs (fast-messaging hot path) ---
+//
+// The server encodes every reply through these, reusing per-connection
+// scratch so the steady-state request loop performs zero heap
+// allocations (see tests/alloc_test.cc for the regression harness).
+
+/// Encodes `v` into `out` (cleared first; capacity reused).
+void EncodeInto(const WriteAck& v, std::vector<std::byte>& out);
+
+/// EncodeSearchResponse into reusable segment buffers: `segments` is
+/// resized to the segment count, each inner vector's capacity reused.
+void EncodeSearchResponseInto(uint64_t req_id,
+                              std::span<const rtree::Entry> entries,
+                              size_t max_payload,
+                              std::vector<std::vector<std::byte>>& segments);
 
 /// Bytes one encoded result entry occupies in a response segment.
 inline constexpr size_t kWireEntryBytes = rtree::kEntryBytes;

@@ -82,7 +82,10 @@ bool RingSender::TrySend(uint16_t type, uint16_t flags,
   stalled_ = false;
 
   const size_t at = need_pad ? 0 : pos;
-  std::vector<std::byte> buf(wire);  // zero-initialized padding
+  // assign() zeroes the padding while reusing the buffer's capacity —
+  // the steady-state send path never touches the allocator.
+  frame_.assign(wire, std::byte{0});
+  const std::span<std::byte> buf(frame_);
   StorePod(buf, 0, static_cast<uint32_t>(wire));
   StorePod(buf, 4, static_cast<uint32_t>(payload.size()));
   StorePod(buf, 8, type);
@@ -159,10 +162,16 @@ void RingReceiver::Ack() {
 }
 
 std::optional<Message> RingReceiver::TryReceive() {
+  Message out;
+  if (!TryReceive(out)) return std::nullopt;
+  return out;
+}
+
+bool RingReceiver::TryReceive(Message& out) {
   for (;;) {
     const size_t pos = static_cast<size_t>(head_ % ring_.size());
     const uint32_t size_word = ReadSizeWord(ring_.data() + pos);
-    if (size_word == 0) return std::nullopt;
+    if (size_word == 0) return false;
 
     if (size_word == kPadMarker) {
       const size_t contiguous = ring_.size() - pos;
@@ -181,7 +190,7 @@ std::optional<Message> RingReceiver::TryReceive() {
     }
     if (ReadCommitByte(ring_.data() + pos + size_word - 1) != kCommitByte) {
       // Header landed but the WRITE has not fully arrived yet.
-      return std::nullopt;
+      return false;
     }
 
     // Lift the frame out of the ring with the same relaxed atomics the
@@ -190,7 +199,6 @@ std::optional<Message> RingReceiver::TryReceive() {
     // be parsed with plain loads.
     scratch_.resize(size_word);
     RelaxedCopy(scratch_.data(), ring_.data() + pos, size_word);
-    Message out;
     const std::span<const std::byte> frame(scratch_.data(), size_word);
     const auto payload_len = LoadPod<uint32_t>(frame, 4);
     out.type = LoadPod<uint16_t>(frame, 8);
@@ -204,7 +212,7 @@ std::optional<Message> RingReceiver::TryReceive() {
     head_ += size_word;
     Ack();
     CATFISH_COUNT("msg.ring.msgs_received");
-    return out;
+    return true;
   }
 }
 

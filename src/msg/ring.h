@@ -93,6 +93,9 @@ class RingSender {
   uint64_t tail_ = 0;   // absolute byte counter
   uint64_t wr_id_ = 0;
   bool stalled_ = false;  // inside a back-pressure streak (event emitted)
+  /// Reusable frame build buffer: after warm-up, sends are allocation-
+  /// free (tests/alloc_test.cc pins this down).
+  std::vector<std::byte> frame_;
 };
 
 /// Receiver half. Owns the local ring memory and writes head
@@ -104,6 +107,11 @@ class RingReceiver {
                rdma::RemoteAddr remote_ack_cell);
 
   /// Non-blocking: consumes the next complete message if one is ready.
+  /// The reference form reuses `out.payload`'s capacity — a caller that
+  /// keeps one Message across its receive loop makes the steady state
+  /// allocation-free. The optional form is a convenience wrapper that
+  /// pays one payload allocation per message.
+  bool TryReceive(Message& out);
   std::optional<Message> TryReceive();
 
   uint64_t head() const noexcept { return head_; }

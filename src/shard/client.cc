@@ -123,6 +123,16 @@ std::vector<rtree::Entry> ShardedRTreeClient::Search(const geo::Rect& rect) {
   CATFISH_COUNT("shard.client.searches");
   CATFISH_TIMER_RECORD_US("shard.client.fanout_width", targets_.size());
 
+  // Sampled queries build a distributed trace: one subquery span per
+  // shard, each fast-path one carrying a sampled wire context so its
+  // server opens (and ships back) a span tree of its own.
+  std::shared_ptr<telemetry::Trace> trace;
+  if (cfg_.tracer) trace = cfg_.tracer->StartTrace("shard.search");
+  if (trace) {
+    trace->SetAttr(trace->root(), "fanout",
+                   static_cast<int64_t>(targets_.size()));
+  }
+
   // Phase 1 — stage a fast-path sub-query on every shard whose
   // controller picks messaging, so all their server-side traversals run
   // concurrently. Shards picking offload are deferred to phase 2. Each
@@ -132,6 +142,7 @@ std::vector<rtree::Entry> ShardedRTreeClient::Search(const geo::Rect& rect) {
   struct Pending {
     uint32_t shard;
     uint64_t req_id;
+    telemetry::SpanId span = telemetry::kInvalidSpan;
   };
   std::vector<Pending> pending;
   std::vector<uint32_t> offload;
@@ -141,9 +152,24 @@ std::vector<rtree::Entry> ShardedRTreeClient::Search(const geo::Rect& rect) {
       offload.push_back(shard);
       continue;
     }
+    auto span = telemetry::kInvalidSpan;
+    if (trace) {
+      span = trace->StartSpan(trace->root(), "subquery",
+                              cfg_.tracer->now_us());
+      trace->SetAttr(span, "shard", shard);
+      clients_[shard]->StageTraceContext(
+          msg::TraceContext{trace->id(), span, 1});
+    }
     try {
-      pending.push_back({shard, clients_[shard]->SearchFastBegin(rect)});
+      pending.push_back({shard, clients_[shard]->SearchFastBegin(rect), span});
     } catch (const ClientError& e) {
+      if (trace) {
+        // The context may not have been consumed; clear it so it cannot
+        // ride an unrelated later request on this connection.
+        clients_[shard]->StageTraceContext(msg::TraceContext{});
+        trace->SetAttr(span, "error", 1);
+        trace->EndSpan(span, cfg_.tracer->now_us());
+      }
       ++stats_.shard_errors;
       CATFISH_COUNT("shard.client.subquery_errors");
       if (!err) err = Wrap(shard, e);
@@ -157,32 +183,91 @@ std::vector<rtree::Entry> ShardedRTreeClient::Search(const geo::Rect& rect) {
   // Phase 2 — offloaded sub-queries traverse with one-sided READs while
   // the staged fast sub-queries are being served remotely. Each
   // traversal level flushes one doorbell for its whole frontier
-  // (engine-side Stage/Flush batching).
+  // (engine-side Stage/Flush batching). One-sided reads never touch the
+  // server CPU, so there is no remote tree: the subquery span itself is
+  // the whole record (offload=1 marks it).
   std::vector<rtree::Entry> results;
   for (const uint32_t shard : offload) {
+    auto span = telemetry::kInvalidSpan;
+    if (trace) {
+      span = trace->StartSpan(trace->root(), "subquery",
+                              cfg_.tracer->now_us());
+      trace->SetAttr(span, "shard", shard);
+      trace->SetAttr(span, "offload", 1);
+    }
     try {
       CATFISH_SCOPED_TIMER_US("shard.client.subquery_us");
       const auto part = clients_[shard]->SearchOffloaded(rect);
       results.insert(results.end(), part.begin(), part.end());
+      if (trace) {
+        trace->SetAttr(span, "results", static_cast<int64_t>(part.size()));
+      }
     } catch (const ClientError& e) {
+      if (trace) trace->SetAttr(span, "error", 1);
       ++stats_.shard_errors;
       CATFISH_COUNT("shard.client.subquery_errors");
       if (!err) err = Wrap(shard, e);
     }
+    if (trace) trace->EndSpan(span, cfg_.tracer->now_us());
   }
 
   // Phase 3 — collect the fast responses. Collection must run even
   // after an earlier failure: an uncollected response would poison the
   // next request on that connection (it is dropped as stale instead).
+  // Each collected sub-query may also yield its server's span tree.
+  std::vector<telemetry::RemoteTree> remotes;
   for (const Pending& p : pending) {
     try {
       CATFISH_SCOPED_TIMER_US("shard.client.subquery_us");
       const auto part = clients_[p.shard]->SearchFastCollect(p.req_id);
       results.insert(results.end(), part.begin(), part.end());
+      if (trace) {
+        trace->SetAttr(p.span, "results", static_cast<int64_t>(part.size()));
+      }
     } catch (const ClientError& e) {
+      if (trace) trace->SetAttr(p.span, "error", 1);
       ++stats_.shard_errors;
       CATFISH_COUNT("shard.client.subquery_errors");
       if (!err) err = Wrap(p.shard, e);
+    }
+    if (trace) {
+      // Collection is sequential, so ending the span at collect time
+      // would charge one sub-query with another's join wait (a shard
+      // collected after a straggler looks like the straggler). The
+      // server's tree end is the honest completion estimate — same
+      // process-wide steady clock — so prefer it when a tree arrived;
+      // the residual join wait lands in the root span's self-time.
+      uint64_t end_us = cfg_.tracer->now_us();
+      auto tree = clients_[p.shard]->TakeRemoteTree(p.req_id);
+      if (tree) {
+        const telemetry::Span& rroot = tree->span(tree->root());
+        const uint64_t started = trace->span(p.span).start_us;
+        if (rroot.ended()) {
+          end_us = std::clamp(rroot.end_us, started + 1, end_us);
+        }
+      }
+      trace->EndSpan(p.span, end_us);
+      if (tree) {
+        if (cfg_.assembler) {
+          remotes.push_back({static_cast<int64_t>(p.shard), std::move(tree)});
+        } else {
+          // No assembler: still deliver a distributed tree to whoever
+          // reads the tracer ring, just without critical-path analysis.
+          trace->Graft(p.span, *tree,
+                       {{"shard", static_cast<int64_t>(p.shard)}});
+        }
+      }
+    }
+  }
+
+  if (trace) {
+    trace->SetAttr(trace->root(), "results",
+                   static_cast<int64_t>(results.size()));
+    cfg_.tracer->Finish(trace);  // ends the root; the tree is complete
+    if (cfg_.assembler) {
+      cfg_.assembler->Assemble(trace, remotes);
+      ++stats_.assembled_traces;
+      CATFISH_COUNT("shard.client.assembled_traces");
     }
   }
 
@@ -218,6 +303,51 @@ std::vector<rtree::Entry> ShardedRTreeClient::NearestNeighbors(
   return all;
 }
 
+bool ShardedRTreeClient::ExecuteRoutedWrite(
+    const char* trace_name, uint32_t owner,
+    const std::function<bool(RTreeClient&)>& op) {
+  // Sampled writes get a two-level trace: root + one "subquery" span for
+  // the owning shard, whose server tree (WAL stages included) is grafted
+  // back just like a fan-out sub-query's.
+  std::shared_ptr<telemetry::Trace> trace;
+  auto span = telemetry::kInvalidSpan;
+  if (cfg_.tracer) trace = cfg_.tracer->StartTrace(trace_name);
+  if (trace) {
+    span = trace->StartSpan(trace->root(), "subquery", cfg_.tracer->now_us());
+    trace->SetAttr(span, "shard", owner);
+    clients_[owner]->StageTraceContext(
+        msg::TraceContext{trace->id(), span, 1});
+  }
+  const auto finish = [&](bool error) {
+    if (!trace) return;
+    if (error) {
+      clients_[owner]->StageTraceContext(msg::TraceContext{});
+      trace->SetAttr(span, "error", 1);
+    }
+    trace->EndSpan(span, cfg_.tracer->now_us());
+    cfg_.tracer->Finish(trace);
+    telemetry::RemoteTree rt{static_cast<int64_t>(owner),
+                             clients_[owner]->TakeRemoteTree()};
+    if (cfg_.assembler) {
+      cfg_.assembler->Assemble(trace, {&rt, rt.tree ? size_t{1} : size_t{0}});
+      ++stats_.assembled_traces;
+    } else if (rt.tree) {
+      trace->Graft(span, *rt.tree, {{"shard", rt.shard}});
+    }
+  };
+  try {
+    const bool ok = op(*clients_[owner]);
+    finish(/*error=*/false);
+    RefreshIfStale(owner);
+    return ok;
+  } catch (const ClientError& e) {
+    finish(/*error=*/true);
+    ++stats_.shard_errors;
+    RefreshIfStale(owner);
+    throw Wrap(owner, e);
+  }
+}
+
 bool ShardedRTreeClient::Insert(const geo::Rect& rect, uint64_t id) {
   const uint32_t owner = map_.OwnerOf(rect);
   ++stats_.inserts;
@@ -225,30 +355,18 @@ bool ShardedRTreeClient::Insert(const geo::Rect& rect, uint64_t id) {
   // Exactly-once lives below: the owning shard's client retries with the
   // original (client_gen, req_id); ownership is stable, so the write's
   // destination never moves between attempts.
-  try {
-    const bool ok = clients_[owner]->Insert(rect, id);
-    RefreshIfStale(owner);
-    return ok;
-  } catch (const ClientError& e) {
-    ++stats_.shard_errors;
-    RefreshIfStale(owner);
-    throw Wrap(owner, e);
-  }
+  return ExecuteRoutedWrite("shard.insert", owner, [&](RTreeClient& c) {
+    return c.Insert(rect, id);
+  });
 }
 
 bool ShardedRTreeClient::Delete(const geo::Rect& rect, uint64_t id) {
   const uint32_t owner = map_.OwnerOf(rect);
   ++stats_.deletes;
   CATFISH_COUNT("shard.client.deletes");
-  try {
-    const bool ok = clients_[owner]->Delete(rect, id);
-    RefreshIfStale(owner);
-    return ok;
-  } catch (const ClientError& e) {
-    ++stats_.shard_errors;
-    RefreshIfStale(owner);
-    throw Wrap(owner, e);
-  }
+  return ExecuteRoutedWrite("shard.delete", owner, [&](RTreeClient& c) {
+    return c.Delete(rect, id);
+  });
 }
 
 }  // namespace catfish::shard

@@ -40,6 +40,7 @@
 #include "catfish/bootstrap.h"
 #include "catfish/client.h"
 #include "shard/partition.h"
+#include "telemetry/assemble.h"
 
 namespace catfish::shard {
 
@@ -58,7 +59,24 @@ class ShardError : public std::runtime_error {
 
 struct ShardedClientConfig {
   /// Per-shard connection config (mode, watchdog, write_attempts, ...).
+  /// Leave client.tracer null here: the fan-out trace is owned by this
+  /// layer (see tracer below), and a per-shard tracer would record each
+  /// sub-query twice.
   ClientConfig client;
+  /// When set, sampled cross-shard operations build one *distributed*
+  /// trace: a "shard.search" (or shard.insert/shard.delete) root, one
+  /// "subquery" child span per contacted shard, and — for fast-path
+  /// sub-queries — the server's own span tree, forced by a sampled wire
+  /// trace context and shipped back in a kTraceResp frame. Null = no
+  /// tracing. Must outlive the client.
+  telemetry::Tracer* tracer = nullptr;
+  /// When set (and tracer is set), finished distributed traces are
+  /// joined here: remote trees grafted under their subquery spans and
+  /// the fan-out critical path computed (which shard/stage the query
+  /// actually waited on). Without an assembler the remote trees are
+  /// still grafted, but no critical path is derived. Must outlive the
+  /// client.
+  telemetry::TraceAssembler* assembler = nullptr;
 };
 
 struct ShardedClientStats {
@@ -74,6 +92,7 @@ struct ShardedClientStats {
   uint64_t deletes = 0;
   uint64_t knn_queries = 0;
   uint64_t shard_errors = 0;       ///< failed sub-operations observed
+  uint64_t assembled_traces = 0;   ///< distributed traces joined
 };
 
 class ShardedRTreeClient {
@@ -125,6 +144,12 @@ class ShardedRTreeClient {
   /// Adopts a newer routing table after `shard`'s connection observed a
   /// generation the map predates. No-op while generations agree.
   void RefreshIfStale(uint32_t shard);
+
+  /// Shared Insert/Delete scaffolding: trace the routed write (root +
+  /// subquery span + grafted server tree when sampled), run `op` on the
+  /// owning shard, wrap failures in ShardError.
+  bool ExecuteRoutedWrite(const char* trace_name, uint32_t owner,
+                          const std::function<bool(RTreeClient&)>& op);
 
   std::shared_ptr<rdma::SimNode> node_;
   ShardDialFn dial_;

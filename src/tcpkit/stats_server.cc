@@ -189,6 +189,18 @@ std::string StatsServer::EventsJson() const {
   return telemetry::EventsToJson(cfg_.events->Peek(), cfg_.events->dropped());
 }
 
+std::string StatsServer::TracesJson() const {
+  if (cfg_.assembler != nullptr) {
+    const auto assembled = cfg_.assembler->Assembled();
+    return telemetry::TracesToChromeJson(assembled);
+  }
+  if (cfg_.tracer != nullptr) {
+    const auto finished = cfg_.tracer->Finished();
+    return telemetry::TracesToChromeJson(finished);
+  }
+  return "{\"traceEvents\":[]}";
+}
+
 std::string StatsServer::Respond(const std::string& target) const {
   if (target == "/metrics" || target == "/") {
     return HttpResponse(200, "OK", "text/plain; version=0.0.4",
@@ -202,6 +214,9 @@ std::string StatsServer::Respond(const std::string& target) const {
   }
   if (target == "/events") {
     return HttpResponse(200, "OK", "application/json", EventsJson());
+  }
+  if (target == "/traces") {
+    return HttpResponse(200, "OK", "application/json", TracesJson());
   }
   return HttpResponse(404, "Not Found", "text/plain", "not found\n");
 }

@@ -12,6 +12,9 @@
 //   /timeline  TimelineToJson of the attached MetricsSampler (JSONL)
 //   /events    EventsToJson of the attached EventRecorder (Peek — the
 //              flight recorder is not consumed by scraping)
+//   /traces    Chrome/Perfetto trace-event JSON of the attached
+//              TraceAssembler's ring (falls back to the attached
+//              Tracer's finished traces; empty document when neither)
 //
 // Rendering is exposed as plain methods so tests can validate output
 // without a socket, and so a port-less environment degrades gracefully
@@ -23,9 +26,11 @@
 #include <string>
 #include <thread>
 
+#include "telemetry/assemble.h"
 #include "telemetry/events.h"
 #include "telemetry/metrics.h"
 #include "telemetry/timeseries.h"
+#include "telemetry/trace.h"
 
 namespace catfish::tcpkit {
 
@@ -38,6 +43,12 @@ struct StatsServerConfig {
   telemetry::MetricsSampler* sampler = nullptr;
   /// Event source for /events; nullptr means EventRecorder::Global().
   telemetry::EventRecorder* events = nullptr;
+  /// Optional assembled-trace source for /traces (distributed traces
+  /// with critical paths). Preferred over `tracer` when both are set.
+  telemetry::TraceAssembler* assembler = nullptr;
+  /// Optional raw-trace fallback for /traces when no assembler is
+  /// attached (single-node traces; critical paths computed on render).
+  telemetry::Tracer* tracer = nullptr;
 };
 
 class StatsServer {
@@ -63,6 +74,7 @@ class StatsServer {
   std::string SnapshotJson() const;
   std::string TimelineJson() const;
   std::string EventsJson() const;
+  std::string TracesJson() const;
 
   /// Full HTTP response (status line through body) for a request
   /// target, 404 for unknown paths. Exposed for socket-free tests.

@@ -111,7 +111,7 @@ std::vector<rtree::Entry> TcpRTreeClient::Search(const geo::Rect& rect) {
   const uint64_t req_id = ++next_req_id_;
   conn_.SendFrame(static_cast<uint16_t>(msg::MsgType::kSearchReq),
                   msg::kFlagEnd,
-                  msg::Encode(msg::SearchRequest{req_id, rect}));
+                  msg::Encode(msg::SearchRequest{req_id, rect, {}}));
   std::vector<rtree::Entry> results;
   for (;;) {
     const msg::Message m = Await();
@@ -130,9 +130,9 @@ std::vector<rtree::Entry> TcpRTreeClient::Search(const geo::Rect& rect) {
 
 bool TcpRTreeClient::Insert(const geo::Rect& rect, uint64_t id) {
   const uint64_t req_id = ++next_req_id_;
-  conn_.SendFrame(static_cast<uint16_t>(msg::MsgType::kInsertReq),
-                  msg::kFlagEnd,
-                  msg::Encode(msg::InsertRequest{req_id, client_gen_, rect, id}));
+  conn_.SendFrame(
+      static_cast<uint16_t>(msg::MsgType::kInsertReq), msg::kFlagEnd,
+      msg::Encode(msg::InsertRequest{req_id, client_gen_, rect, id, {}}));
   const msg::Message m = Await();
   const auto ack = msg::DecodeWriteAck(m.payload);
   if (!ack || ack->req_id != req_id) {
@@ -143,9 +143,9 @@ bool TcpRTreeClient::Insert(const geo::Rect& rect, uint64_t id) {
 
 bool TcpRTreeClient::Delete(const geo::Rect& rect, uint64_t id) {
   const uint64_t req_id = ++next_req_id_;
-  conn_.SendFrame(static_cast<uint16_t>(msg::MsgType::kDeleteReq),
-                  msg::kFlagEnd,
-                  msg::Encode(msg::DeleteRequest{req_id, client_gen_, rect, id}));
+  conn_.SendFrame(
+      static_cast<uint16_t>(msg::MsgType::kDeleteReq), msg::kFlagEnd,
+      msg::Encode(msg::DeleteRequest{req_id, client_gen_, rect, id, {}}));
   const msg::Message m = Await();
   const auto ack = msg::DecodeWriteAck(m.payload);
   if (!ack || ack->req_id != req_id) {

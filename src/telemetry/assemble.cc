@@ -1,0 +1,231 @@
+#include "telemetry/assemble.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace catfish::telemetry {
+
+TraceAssembler::TraceAssembler(size_t retain)
+    : retain_(retain == 0 ? 1 : retain) {}
+
+AssembledTrace TraceAssembler::Assemble(const std::shared_ptr<Trace>& root,
+                                        std::span<const RemoteTree> remotes) {
+  // Resolve every graft target before the first graft: grafted remote
+  // roots carry the same "shard" attribute as the client spans they
+  // hang under, and must not themselves be matched.
+  std::unordered_map<int64_t, SpanId> target;
+  for (SpanId i = 0; i < root->span_count(); ++i) {
+    const int64_t shard = root->span(i).AttrOr("shard", -1);
+    if (shard >= 0) target.emplace(shard, i);  // first span wins
+  }
+  for (const RemoteTree& rt : remotes) {
+    if (!rt.tree) continue;
+    const auto it = target.find(rt.shard);
+    const SpanId parent = it != target.end() ? it->second : root->root();
+    root->Graft(parent, *rt.tree, {{"shard", rt.shard}, {"remote", 1}});
+  }
+  AssembledTrace at{root, ComputeCriticalPath(*root)};
+  Retain(at);
+  return at;
+}
+
+AssembledTrace TraceAssembler::Add(const std::shared_ptr<Trace>& trace) {
+  AssembledTrace at{trace, ComputeCriticalPath(*trace)};
+  Retain(at);
+  return at;
+}
+
+void TraceAssembler::Retain(AssembledTrace at) {
+  const std::scoped_lock lock(mu_);
+  ring_.push_back(std::move(at));
+  while (ring_.size() > retain_) ring_.pop_front();
+}
+
+std::vector<AssembledTrace> TraceAssembler::Assembled() const {
+  const std::scoped_lock lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+size_t TraceAssembler::size() const {
+  const std::scoped_lock lock(mu_);
+  return ring_.size();
+}
+
+void TraceAssembler::Clear() {
+  const std::scoped_lock lock(mu_);
+  ring_.clear();
+}
+
+CriticalPath TraceAssembler::ComputeCriticalPath(const Trace& t) {
+  CriticalPath cp;
+  if (t.span_count() == 0) return cp;
+  const Span& root = t.span(t.root());
+  cp.total_us = root.ended() ? root.end_us - root.start_us : 0;
+
+  // Gating walk (classic trace critical-path analysis): a span's end is
+  // gated by its last-ending child; *that* child's start is in turn
+  // gated by the sibling that ended last before it started, and so on
+  // back to the span's own start. Walking the cursor backwards like
+  // this yields, per span, the chain of non-overlapping children that
+  // actually serialized its completion — in a fan-out join that is the
+  // slowest sub-query; in a sequential stage chain (dequeue → traverse
+  // → reply) it is every stage, so a slow middle stage lands on the
+  // path instead of being lumped into its parent's self-time.
+  //
+  // Each path span's exclusive self-time is its duration minus the time
+  // its gating children cover; the shard context flows down the path
+  // (client spans inherit -1 until a "shard"-tagged span is crossed).
+  const auto dur_of = [&t](SpanId id) -> uint64_t {
+    const Span& s = t.span(id);
+    return s.ended() ? s.end_us - s.start_us : 0;
+  };
+  // Explicit stack of (span, inherited shard); children pushed so the
+  // walk emits parent first, then gating children in start order.
+  std::vector<std::pair<SpanId, int64_t>> stack{{t.root(), -1}};
+  while (!stack.empty()) {
+    auto [id, shard] = stack.back();
+    stack.pop_back();
+    const Span& s = t.span(id);
+    shard = s.AttrOr("shard", shard);
+    cp.spans.push_back(id);
+
+    std::vector<SpanId> gating;  // latest first
+    uint64_t covered = 0;
+    uint64_t cursor = s.ended() ? s.end_us : 0;
+    for (;;) {
+      SpanId next = kInvalidSpan;
+      uint64_t best = s.start_us;
+      for (SpanId child : s.children) {
+        const Span& c = t.span(child);
+        if (!c.ended()) continue;
+        if (c.end_us <= cursor && c.end_us > best) {
+          best = c.end_us;
+          next = child;
+        }
+      }
+      if (next == kInvalidSpan) break;
+      gating.push_back(next);
+      covered += dur_of(next);
+      cursor = t.span(next).start_us;  // strictly decreases: terminates
+    }
+    const uint64_t dur = dur_of(id);
+    const uint64_t self = dur > covered ? dur - covered : 0;
+    cp.stages.push_back({s.name, shard, self});
+    // Prefer non-root hops, and later (deeper) hops on ties: the
+    // leaf-most stage is the root cause.
+    if (self >= cp.slowest_self_us && id != t.root()) {
+      cp.slowest_self_us = self;
+      cp.slowest_stage = s.name;
+      cp.slowest_shard = shard;
+    }
+    // gating is latest-first; pushing it as-is makes the stack pop the
+    // earliest child next (chronological emit order).
+    for (SpanId g : gating) stack.push_back({g, shard});
+  }
+  // A single-span trace: the root is the only candidate stage.
+  if (cp.slowest_stage.empty() && !cp.stages.empty()) {
+    cp.slowest_stage = cp.stages[0].stage;
+    cp.slowest_shard = cp.stages[0].shard;
+    cp.slowest_self_us = cp.stages[0].self_us;
+  }
+  return cp;
+}
+
+namespace {
+
+void AppendChromeEvents(JsonWriter& w, const AssembledTrace& at,
+                        uint64_t pid) {
+  const Trace& t = *at.trace;
+  std::unordered_set<SpanId> critical(at.critical.spans.begin(),
+                                      at.critical.spans.end());
+  // DFS with inherited shard so every span lands on its shard's track
+  // (tid = shard + 1; pure client spans on tid 0).
+  std::vector<std::pair<SpanId, int64_t>> stack{{t.root(), -1}};
+  std::unordered_set<int64_t> tids;
+  while (!stack.empty()) {
+    auto [id, shard] = stack.back();
+    stack.pop_back();
+    const Span& s = t.span(id);
+    shard = s.AttrOr("shard", shard);
+    tids.insert(shard);
+    for (SpanId child : s.children) stack.push_back({child, shard});
+    if (!s.ended()) continue;
+    w.BeginObject();
+    w.Key("name");
+    w.Value(s.name);
+    w.Key("cat");
+    w.Value("catfish");
+    w.Key("ph");
+    w.Value("X");
+    w.Key("ts");
+    w.Value(s.start_us);
+    w.Key("dur");
+    w.Value(s.end_us - s.start_us);
+    w.Key("pid");
+    w.Value(pid);
+    w.Key("tid");
+    w.Value(static_cast<uint64_t>(shard + 1));
+    w.Key("args");
+    w.BeginObject();
+    w.Key("trace_id");
+    w.Value(t.id());
+    if (critical.count(id)) {
+      w.Key("critical");
+      w.Value(1);
+    }
+    for (const auto& [k, v] : s.attrs) {
+      w.Key(k);
+      w.Value(v);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  // Thread-name metadata makes Perfetto tracks self-describing.
+  for (int64_t shard : tids) {
+    w.BeginObject();
+    w.Key("name");
+    w.Value("thread_name");
+    w.Key("ph");
+    w.Value("M");
+    w.Key("pid");
+    w.Value(pid);
+    w.Key("tid");
+    w.Value(static_cast<uint64_t>(shard + 1));
+    w.Key("args");
+    w.BeginObject();
+    w.Key("name");
+    w.Value(shard < 0 ? std::string("client")
+                      : "shard " + std::to_string(shard));
+    w.EndObject();
+    w.EndObject();
+  }
+}
+
+}  // namespace
+
+std::string TracesToChromeJson(std::span<const AssembledTrace> traces) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  uint64_t pid = 1;
+  for (const AssembledTrace& at : traces) {
+    if (at.trace) AppendChromeEvents(w, at, pid++);
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string TracesToChromeJson(
+    std::span<const std::shared_ptr<Trace>> traces) {
+  std::vector<AssembledTrace> assembled;
+  assembled.reserve(traces.size());
+  for (const auto& t : traces) {
+    if (t) assembled.push_back({t, TraceAssembler::ComputeCriticalPath(*t)});
+  }
+  return TracesToChromeJson(std::span<const AssembledTrace>(assembled));
+}
+
+}  // namespace catfish::telemetry

@@ -1,0 +1,108 @@
+// Cross-shard trace assembly and fan-out critical-path analysis.
+//
+// A sharded query produces one client-side trace (root + one "subquery"
+// span per contacted shard) and up to N server-side span trees shipped
+// back over the wire (telemetry/trace_wire.h). The TraceAssembler joins
+// them into one causally-ordered distributed trace — each remote tree is
+// grafted under the client span carrying the matching "shard" attribute
+// — then computes the critical path through the fan-out join with a
+// gating walk: a span's end is gated by its last-ending child, whose
+// start is gated by the sibling that ended last before it, and so on
+// back to the span's own start. In a fan-out join that selects the
+// slowest sub-query; in a sequential stage chain it keeps every stage,
+// so a slow middle stage (a straggling traverse) is attributed directly
+// instead of hiding in its parent's self-time. Each hop's exclusive
+// cost (duration minus its gating children's) attributes tail latency
+// to a {shard, stage} pair; retry and doorbell-wait show up as span
+// attributes along the path.
+//
+// Assembled traces are retained in a bounded ring and exported as
+// Chrome/Perfetto trace-event JSON ({"traceEvents":[{"ph":"X",...}]}),
+// loadable in chrome://tracing or ui.perfetto.dev; critical-path spans
+// carry args.critical=1 so tools/analyze_traces.py can aggregate
+// per-stage contributions without re-deriving the path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "telemetry/export.h"
+#include "telemetry/trace.h"
+
+namespace catfish::telemetry {
+
+/// One hop of the critical path: the span's exclusive contribution
+/// (its duration minus its gating children's) and the shard it ran on
+/// (-1 = client side).
+struct StageCost {
+  std::string stage;
+  int64_t shard = -1;
+  uint64_t self_us = 0;
+};
+
+struct CriticalPath {
+  std::vector<SpanId> spans;  ///< gating walk, parent before children
+  uint64_t total_us = 0;      ///< root span duration
+  /// The costliest hop on the path: where the tail actually went.
+  std::string slowest_stage;
+  int64_t slowest_shard = -1;
+  uint64_t slowest_self_us = 0;
+  std::vector<StageCost> stages;  ///< per-hop exclusive costs, root → leaf
+};
+
+/// A server-side span tree returned by shard `shard`.
+struct RemoteTree {
+  int64_t shard = -1;
+  std::shared_ptr<const Trace> tree;
+};
+
+struct AssembledTrace {
+  std::shared_ptr<Trace> trace;
+  CriticalPath critical;
+};
+
+class TraceAssembler {
+ public:
+  explicit TraceAssembler(size_t retain = 64);
+
+  /// Grafts each remote tree under the first span of `root` whose
+  /// "shard" attribute matches (under the root span when none does),
+  /// computes the critical path, and retains the result. `root` is
+  /// mutated in place; the caller must be its only writer.
+  AssembledTrace Assemble(const std::shared_ptr<Trace>& root,
+                          std::span<const RemoteTree> remotes);
+
+  /// Retains an already-merged trace (the DES simulators build the
+  /// whole distributed tree in one Trace) after computing its path.
+  AssembledTrace Add(const std::shared_ptr<Trace>& trace);
+
+  std::vector<AssembledTrace> Assembled() const;  ///< oldest first
+  size_t size() const;
+  void Clear();
+
+  static CriticalPath ComputeCriticalPath(const Trace& t);
+
+ private:
+  void Retain(AssembledTrace at);
+
+  size_t retain_;
+  mutable std::mutex mu_;
+  std::deque<AssembledTrace> ring_;
+};
+
+/// Renders assembled traces as one Chrome trace-event JSON document.
+/// pid = 1-based trace index, tid = shard + 1 (0 = client side, spans
+/// inherit their parent's shard); critical-path spans get
+/// args.critical=1.
+std::string TracesToChromeJson(std::span<const AssembledTrace> traces);
+
+/// Convenience for raw traces (computes each critical path first).
+std::string TracesToChromeJson(
+    std::span<const std::shared_ptr<Trace>> traces);
+
+}  // namespace catfish::telemetry

@@ -59,6 +59,23 @@ void Trace::IncAttr(SpanId id, std::string_view key, int64_t delta) {
   spans_[id].attrs.emplace_back(std::string(key), delta);
 }
 
+SpanId Trace::Graft(
+    SpanId parent, const Trace& remote,
+    std::initializer_list<std::pair<std::string_view, int64_t>> extra_attrs) {
+  // Remote span ids are creation-order indices with parents always
+  // earlier, so a flat copy with an index offset preserves the tree.
+  const SpanId base = static_cast<SpanId>(spans_.size());
+  for (SpanId i = 0; i < remote.span_count(); ++i) {
+    Span copy = remote.span(i);
+    for (SpanId& child : copy.children) child += base;
+    spans_.push_back(std::move(copy));
+  }
+  if (remote.span_count() == 0) return kInvalidSpan;
+  spans_[parent].children.push_back(base);
+  for (const auto& [k, v] : extra_attrs) SetAttr(base, k, v);
+  return base;
+}
+
 const Span* Trace::Find(std::string_view name) const noexcept {
   for (const Span& s : spans_) {
     if (s.name == name) return &s;
@@ -99,6 +116,22 @@ std::shared_ptr<Trace> Tracer::StartTrace(std::string_view name) {
     const std::scoped_lock lock(mu_);
     ++started_;
     if ((started_ - 1) % cfg_.sample_every != 0) return nullptr;
+    ++sampled_;
+    id = next_id_++;
+  }
+  return std::make_shared<Trace>(name, id, clock_());
+#endif
+}
+
+std::shared_ptr<Trace> Tracer::StartTraceForced(std::string_view name) {
+#if !CATFISH_TELEMETRY_ENABLED
+  (void)name;
+  return nullptr;
+#else
+  uint64_t id;
+  {
+    const std::scoped_lock lock(mu_);
+    ++started_;
     ++sampled_;
     id = next_id_++;
   }

@@ -4,10 +4,13 @@
 // A Trace is one request's tree of timed spans ("search" → "decide" /
 // "ring_write" / "offload_round[level]" …), each carrying integer
 // attributes (read counts, retry counts, result sizes). The client and
-// server each own a Tracer; a request is joined across the two sides by
-// its req_id attribute — the reproduction keeps trace context out of
-// the wire protocol on purpose (the paper's message format has no room
-// for it, and in-process both sides are observable anyway).
+// server each own a Tracer. Single-node traces can still be joined by
+// req_id, but since the wire protocol grew an optional trace-context
+// tail (trace_id, parent span, sampled bit — see msg/protocol.h) a
+// sampled client request forces a server-side span tree which is
+// shipped back over the ring (msg kTraceResp) and grafted into the
+// client's trace with Trace::Graft — one causally-ordered distributed
+// trace per fan-out query.
 //
 // Tracer::StartTrace applies sampling (keep 1 in N) and Finish retains
 // the trace in a fixed-size ring, overwriting the oldest — tracing a
@@ -21,6 +24,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <initializer_list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -66,6 +70,17 @@ class Trace {
   const Span& span(SpanId id) const { return spans_[id]; }
   size_t span_count() const noexcept { return spans_.size(); }
 
+  /// Grafts a copy of `remote`'s whole span tree under `parent`: remote
+  /// spans are appended with their ids re-indexed, the remote root
+  /// becomes a child of `parent`, and `extra_attrs` (e.g. the shard id)
+  /// are stamped onto the grafted root. Both sides must share a clock
+  /// domain (same-process NowMicros, or the same virtual DES clock) for
+  /// the merged timestamps to be comparable. Returns the grafted root's
+  /// new id.
+  SpanId Graft(SpanId parent, const Trace& remote,
+               std::initializer_list<std::pair<std::string_view, int64_t>>
+                   extra_attrs = {});
+
   /// First span with this name in creation order; nullptr when absent.
   const Span* Find(std::string_view name) const noexcept;
   /// Number of spans with this name.
@@ -96,6 +111,11 @@ class Tracer {
   /// Begins a trace, or returns nullptr when this request is sampled
   /// out (or telemetry is compiled out). The root span is started.
   std::shared_ptr<Trace> StartTrace(std::string_view name);
+
+  /// Begins a trace unconditionally (no sampling): the remote side
+  /// already made the sampling decision and set the wire context's
+  /// sampled bit. Still nullptr when telemetry is compiled out.
+  std::shared_ptr<Trace> StartTraceForced(std::string_view name);
 
   /// Ends the root span and retains the trace in the ring.
   void Finish(const std::shared_ptr<Trace>& trace);

@@ -1,0 +1,132 @@
+#include "telemetry/trace_wire.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace catfish::telemetry {
+
+namespace {
+
+template <typename T>
+void Put(std::vector<std::byte>& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const size_t off = out.size();
+  out.resize(off + sizeof(T));
+  std::memcpy(out.data() + off, &v, sizeof(T));
+}
+
+void PutName(std::vector<std::byte>& out, std::string_view s, size_t cap) {
+  const size_t n = std::min(s.size(), cap);
+  Put<uint8_t>(out, static_cast<uint8_t>(n));
+  const size_t off = out.size();
+  out.resize(off + n);
+  std::memcpy(out.data() + off, s.data(), n);
+}
+
+// Every read is bounds-checked; a short blob reads as failure, never UB.
+class SafeReader {
+ public:
+  explicit SafeReader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+  bool Read(T& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (data_.size() - pos_ < sizeof(T)) return false;
+    std::memcpy(&out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadString(std::string& out) {
+    uint8_t len = 0;
+    if (!Read(len)) return false;
+    if (data_.size() - pos_ < len) return false;
+    out.assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+void EncodeTrace(const Trace& trace, std::vector<std::byte>& out) {
+  const uint32_t count = static_cast<uint32_t>(
+      std::min<size_t>(trace.span_count(), kTraceWireMaxSpans));
+  // Parent index per span, recovered from the children lists. Children
+  // always have larger ids than their parent, so one forward pass fills
+  // every slot. Stack storage (the cap bounds it) keeps the encoder
+  // allocation-free once `out` has capacity (tests/alloc_test.cc).
+  std::array<uint32_t, kTraceWireMaxSpans> parent;
+  parent.fill(kTraceWireNoParent);
+  for (uint32_t i = 0; i < count; ++i) {
+    for (SpanId child : trace.span(i).children) {
+      if (child < count) parent[child] = i;
+    }
+  }
+  Put<uint64_t>(out, trace.id());
+  Put<uint32_t>(out, count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const Span& s = trace.span(i);
+    PutName(out, s.name, kTraceWireMaxName);
+    Put<uint32_t>(out, parent[i]);
+    Put<uint64_t>(out, s.start_us);
+    Put<uint64_t>(out, s.end_us);
+    const uint8_t attrs = static_cast<uint8_t>(
+        std::min(s.attrs.size(), kTraceWireMaxAttrs));
+    Put<uint8_t>(out, attrs);
+    for (uint8_t a = 0; a < attrs; ++a) {
+      PutName(out, s.attrs[a].first, kTraceWireMaxName);
+      Put<int64_t>(out, s.attrs[a].second);
+    }
+  }
+}
+
+std::optional<Trace> DecodeTrace(std::span<const std::byte> wire) {
+  SafeReader r(wire);
+  uint64_t trace_id = 0;
+  uint32_t count = 0;
+  if (!r.Read(trace_id) || !r.Read(count)) return std::nullopt;
+  if (count == 0 || count > kTraceWireMaxSpans) return std::nullopt;
+
+  std::optional<Trace> trace;
+  std::string name;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t parent = 0;
+    uint64_t start = 0, end = 0;
+    uint8_t attrs = 0;
+    if (!r.ReadString(name) || !r.Read(parent) || !r.Read(start) ||
+        !r.Read(end) || !r.Read(attrs)) {
+      return std::nullopt;
+    }
+    SpanId id;
+    if (i == 0) {
+      if (parent != kTraceWireNoParent) return std::nullopt;
+      trace.emplace(name, trace_id, start);
+      id = trace->root();
+    } else {
+      if (parent >= i) return std::nullopt;  // parents precede children
+      id = trace->StartSpan(parent, name, start);
+    }
+    if (end != 0) trace->EndSpan(id, end);
+    if (attrs > kTraceWireMaxAttrs) return std::nullopt;
+    for (uint8_t a = 0; a < attrs; ++a) {
+      int64_t value = 0;
+      if (!r.ReadString(name) || !r.Read(value)) return std::nullopt;
+      trace->SetAttr(id, name, value);
+    }
+  }
+  if (!r.AtEnd()) return std::nullopt;  // trailing bytes: torn frame
+  return trace;
+}
+
+}  // namespace catfish::telemetry

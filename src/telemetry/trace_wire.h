@@ -1,0 +1,50 @@
+// Bounded wire codec for a completed span tree.
+//
+// A server that honored a sampled trace-context tail ships its span
+// tree back to the client inside a kTraceResp ring message; this codec
+// turns a Trace into a flat, size-capped blob and back. The format is
+// creation-order spans with a parent index (parents always precede
+// children, matching Trace's id assignment):
+//
+//   u64  trace_id
+//   u32  span_count
+//   per span:
+//     u8   name_len, name bytes            (names capped at 48 bytes)
+//     u32  parent                          (kNoParent for the root)
+//     u64  start_us, u64 end_us
+//     u8   attr_count                      (capped at 16)
+//     per attr: u8 key_len, key bytes, i64 value
+//
+// Encode truncates oversized traces instead of failing: dropping the
+// *last* spans keeps every surviving parent link valid. Decode is
+// strictly bounds-checked — a torn or hostile blob yields nullopt, not
+// UB. The codec depends only on the Trace container, so it compiles
+// (and round-trips) identically with CATFISH_TELEMETRY=OFF.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "telemetry/trace.h"
+
+namespace catfish::telemetry {
+
+inline constexpr uint32_t kTraceWireMaxSpans = 128;
+inline constexpr size_t kTraceWireMaxName = 48;
+inline constexpr size_t kTraceWireMaxAttrs = 16;
+inline constexpr uint32_t kTraceWireNoParent = ~uint32_t{0};
+
+/// Serializes `trace` (first kTraceWireMaxSpans spans; names/attrs
+/// clamped to the caps above). Appends to `out`, reusing its capacity.
+void EncodeTrace(const Trace& trace, std::vector<std::byte>& out);
+
+/// Parses a blob produced by EncodeTrace. Returns nullopt on any
+/// structural violation: short reads, span_count over the cap,
+/// a parent index that is not an earlier span, or trailing bytes.
+std::optional<Trace> DecodeTrace(std::span<const std::byte> wire);
+
+}  // namespace catfish::telemetry

@@ -1,0 +1,196 @@
+// Allocation regression harness for the messaging hot path: after
+// warm-up, the steady-state ring send/receive loop and the server's
+// reply codecs must not touch the global allocator (RingSender::frame_,
+// RingReceiver::scratch_, per-connection reply scratch, trace_wire's
+// append-into-capacity encoder). Counting is done by replacing the
+// global operator new; disabled under sanitizers, whose own allocator
+// interposition this would fight.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "msg/protocol.h"
+#include "msg/ring.h"
+#include "rdmasim/rdma.h"
+#include "telemetry/trace_wire.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CATFISH_ALLOC_COUNTING 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define CATFISH_ALLOC_COUNTING 0
+#endif
+#endif
+#ifndef CATFISH_ALLOC_COUNTING
+#define CATFISH_ALLOC_COUNTING 1
+#endif
+
+#if CATFISH_ALLOC_COUNTING
+
+namespace {
+std::atomic<size_t> g_allocs{0};
+std::atomic<bool> g_counting{false};
+}  // namespace
+
+// The replaced new is malloc-backed, so free() in the deletes below is
+// the matching deallocator; GCC's -Wmismatched-new-delete can't see
+// through the replacement once call sites inline it.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t n) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // CATFISH_ALLOC_COUNTING
+
+namespace catfish::msg {
+namespace {
+
+#if CATFISH_ALLOC_COUNTING
+
+/// Counts global operator new calls within a scope.
+class AllocCounter {
+ public:
+  AllocCounter() {
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  }
+  ~AllocCounter() { g_counting.store(false, std::memory_order_relaxed); }
+  size_t count() const { return g_allocs.load(std::memory_order_relaxed); }
+};
+
+// A connected sender/receiver pair over the instant fabric (the same
+// harness ring_test.cc uses).
+struct RingPair {
+  rdma::Fabric fabric{rdma::FabricProfile::Instant()};
+  std::shared_ptr<rdma::SimNode> a = fabric.CreateNode("sender");
+  std::shared_ptr<rdma::SimNode> b = fabric.CreateNode("receiver");
+  std::shared_ptr<rdma::QueuePair> a_qp, b_qp;
+  std::vector<std::byte> ring_mem;
+  alignas(8) std::array<std::byte, 8> ack_cell{};
+  std::unique_ptr<RingSender> tx;
+  std::unique_ptr<RingReceiver> rx;
+
+  explicit RingPair(size_t capacity = 4096) : ring_mem(capacity) {
+    a_qp = a->CreateQp(a->CreateCq(), a->CreateCq());
+    b_qp = b->CreateQp(b->CreateCq(), b->CreateCq());
+    rdma::QueuePair::Connect(a_qp, b_qp);
+    const auto ring_mr = b->RegisterMemory(ring_mem);
+    const auto ack_mr = a->RegisterMemory(ack_cell);
+    tx = std::make_unique<RingSender>(a_qp, rdma::RemoteAddr{ring_mr.rkey, 0},
+                                      capacity,
+                                      std::span<std::byte>(ack_cell));
+    rx = std::make_unique<RingReceiver>(std::span<std::byte>(ring_mem), b_qp,
+                                        rdma::RemoteAddr{ack_mr.rkey, 0});
+  }
+};
+
+TEST(AllocTest, SteadyStateRingRoundTripIsAllocationFree) {
+  RingPair p;
+  const std::vector<std::byte> payload(256, std::byte{0x5a});
+  Message m;  // reused across the loop: payload capacity is retained
+
+  // Warm-up grows every scratch buffer and initializes the metric
+  // statics — 64 round trips cross the ring boundary several times, so
+  // the PAD/wrap path warms too.
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(p.tx->TrySend(1, kFlagEnd, payload));
+    ASSERT_TRUE(p.rx->TryReceive(m));
+  }
+
+  size_t failures = 0;
+  size_t allocs = 0;
+  {
+    const AllocCounter counter;
+    for (int i = 0; i < 512; ++i) {
+      if (!p.tx->TrySend(1, kFlagEnd, payload)) ++failures;
+      if (!p.rx->TryReceive(m)) ++failures;
+    }
+    allocs = counter.count();
+  }
+  EXPECT_EQ(failures, 0u);
+  EXPECT_EQ(allocs, 0u) << "steady-state ring traffic hit the allocator";
+}
+
+TEST(AllocTest, ServerReplyCodecsReuseScratch) {
+  // The shapes the server's reply path reuses per connection.
+  std::vector<rtree::Entry> entries;
+  for (uint64_t i = 0; i < 300; ++i) {
+    const double x = static_cast<double>(i) / 300.0;
+    entries.push_back({geo::Rect{x, x, x + 0.001, x + 0.001}, i});
+  }
+  std::vector<std::vector<std::byte>> seg_scratch;
+  std::vector<std::byte> ack_scratch;
+  constexpr size_t kMaxPayload = 2'000;
+
+  EncodeSearchResponseInto(7, entries, kMaxPayload, seg_scratch);
+  EncodeInto(WriteAck{7, 1}, ack_scratch);
+  const size_t segs = seg_scratch.size();
+  ASSERT_GT(segs, 1u);  // actually exercises segmentation
+
+  size_t allocs = 0;
+  {
+    const AllocCounter counter;
+    for (int i = 0; i < 256; ++i) {
+      EncodeSearchResponseInto(7, entries, kMaxPayload, seg_scratch);
+      EncodeInto(WriteAck{7, 1}, ack_scratch);
+    }
+    allocs = counter.count();
+  }
+  EXPECT_EQ(seg_scratch.size(), segs);
+  EXPECT_EQ(allocs, 0u) << "reply codecs hit the allocator";
+}
+
+TEST(AllocTest, TraceWireEncoderReusesCapacity) {
+  telemetry::Trace t("server.request", 11, 100);
+  const auto dq = t.StartSpan(t.root(), "dequeue", 100);
+  t.EndSpan(dq, 105);
+  const auto tr = t.StartSpan(t.root(), "traverse", 105);
+  t.SetAttr(tr, "nodes", 12);
+  t.EndSpan(tr, 160);
+  t.EndSpan(t.root(), 170);
+
+  std::vector<std::byte> wire;
+  telemetry::EncodeTrace(t, wire);  // warm: sizes the buffer
+
+  size_t allocs = 0;
+  {
+    const AllocCounter counter;
+    for (int i = 0; i < 256; ++i) {
+      wire.clear();
+      telemetry::EncodeTrace(t, wire);
+    }
+    allocs = counter.count();
+  }
+  EXPECT_EQ(allocs, 0u) << "trace encoder hit the allocator";
+}
+
+#else  // !CATFISH_ALLOC_COUNTING
+
+TEST(AllocTest, DisabledUnderSanitizers) {
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+}
+
+#endif
+
+}  // namespace
+}  // namespace catfish::msg

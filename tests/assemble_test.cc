@@ -1,0 +1,192 @@
+#include "telemetry/assemble.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "json_util.h"
+
+namespace catfish::telemetry {
+namespace {
+
+/// A fan-out root: one "subquery" span per shard, ending when that
+/// shard's sub-query joined. Shard `slow` joins last by `slow_extra`.
+std::shared_ptr<Trace> MakeFanout(int shards, int slow,
+                                  uint64_t slow_extra) {
+  auto t = std::make_shared<Trace>("shard.search", 1, 1000);
+  uint64_t last_end = 0;
+  for (int sh = 0; sh < shards; ++sh) {
+    const SpanId sub = t->StartSpan(t->root(), "subquery", 1000);
+    t->SetAttr(sub, "shard", sh);
+    const uint64_t end = 1100 + (sh == slow ? slow_extra : 10 * sh);
+    t->EndSpan(sub, end);
+    last_end = std::max(last_end, end);
+  }
+  t->EndSpan(t->root(), last_end + 5);
+  return t;
+}
+
+/// A server-side tree whose dominant stage is `stage` (of dequeue /
+/// traverse / reply), covering [start, start+total).
+std::shared_ptr<Trace> MakeServerTree(uint64_t start, uint64_t total,
+                                      const char* stage) {
+  auto t = std::make_shared<Trace>("server.request", 99, start);
+  const uint64_t slice = total / 10;
+  uint64_t at = start;
+  for (const char* name : {"dequeue", "traverse", "reply"}) {
+    const uint64_t dur =
+        std::string_view(name) == stage ? total - 2 * slice : slice;
+    const SpanId s = t->StartSpan(t->root(), name, at);
+    at += dur;
+    t->EndSpan(s, at);
+  }
+  t->EndSpan(t->root(), start + total);
+  return t;
+}
+
+TEST(AssembleTest, GraftsRemotesUnderMatchingSubquerySpans) {
+  auto root = MakeFanout(4, 2, 500);
+  std::vector<RemoteTree> remotes;
+  for (int sh = 0; sh < 4; ++sh) {
+    remotes.push_back(
+        {sh, MakeServerTree(1010, sh == 2 ? 580 : 80, "traverse")});
+  }
+  TraceAssembler asms;
+  const AssembledTrace at = asms.Assemble(root, remotes);
+
+  // 1 root + 4 subqueries + 4 * (1 remote root + 3 stages).
+  EXPECT_EQ(root->span_count(), 1u + 4u + 4u * 4u);
+  // Each remote root became a child of its shard's subquery span and
+  // carries the graft markers.
+  size_t grafted = 0;
+  for (SpanId i = 0; i < root->span_count(); ++i) {
+    const Span& s = root->span(i);
+    if (s.name != "server.request") continue;
+    ++grafted;
+    EXPECT_EQ(s.AttrOr("remote"), 1);
+    // Its parent is the subquery span tagged with the same shard.
+    for (SpanId p = 0; p < root->span_count(); ++p) {
+      const Span& ps = root->span(p);
+      for (SpanId c : ps.children) {
+        if (c == i) {
+          EXPECT_EQ(ps.name, "subquery");
+          EXPECT_EQ(ps.AttrOr("shard", -1), s.AttrOr("shard", -2));
+        }
+      }
+    }
+  }
+  EXPECT_EQ(grafted, 4u);
+  EXPECT_TRUE(at.trace->Complete());
+}
+
+TEST(AssembleTest, CriticalPathNamesTheSlowestSubquerysShardAndStage) {
+  auto root = MakeFanout(4, 2, 500);
+  std::vector<RemoteTree> remotes;
+  for (int sh = 0; sh < 4; ++sh) {
+    remotes.push_back(
+        {sh, MakeServerTree(1010, sh == 2 ? 580 : 80, "traverse")});
+  }
+  TraceAssembler asms;
+  const AssembledTrace at = asms.Assemble(root, remotes);
+
+  // The path descends root -> slow subquery -> its remote tree's
+  // traverse stage, and the costliest hop is attributed to shard 2.
+  ASSERT_GE(at.critical.spans.size(), 3u);
+  const Span& hop1 = at.trace->span(at.critical.spans[1]);
+  EXPECT_EQ(hop1.name, "subquery");
+  EXPECT_EQ(hop1.AttrOr("shard", -1), 2);
+  EXPECT_EQ(at.critical.slowest_shard, 2);
+  EXPECT_EQ(at.critical.slowest_stage, "traverse");
+  EXPECT_EQ(at.critical.total_us,
+            at.trace->span(at.trace->root()).end_us - 1000);
+
+  // Stage costs cover the whole path, root first.
+  ASSERT_EQ(at.critical.stages.size(), at.critical.spans.size());
+  EXPECT_EQ(at.critical.stages[0].stage, "shard.search");
+  EXPECT_EQ(at.critical.stages[0].shard, -1);  // client side
+}
+
+TEST(AssembleTest, RemoteWithoutMatchingSpanLandsUnderRoot) {
+  auto root = MakeFanout(2, 0, 50);
+  std::vector<RemoteTree> remotes{{7, MakeServerTree(1010, 40, "reply")}};
+  TraceAssembler asms;
+  asms.Assemble(root, remotes);
+  const Span& r = root->span(root->root());
+  // Root gained a third child (no subquery is tagged shard 7).
+  ASSERT_EQ(r.children.size(), 3u);
+  EXPECT_EQ(root->span(r.children[2]).name, "server.request");
+  EXPECT_EQ(root->span(r.children[2]).AttrOr("shard"), 7);
+}
+
+TEST(AssembleTest, NullRemoteTreesAreSkipped) {
+  auto root = MakeFanout(2, 1, 50);
+  std::vector<RemoteTree> remotes{{0, nullptr}, {1, nullptr}};
+  TraceAssembler asms;
+  const AssembledTrace at = asms.Assemble(root, remotes);
+  EXPECT_EQ(root->span_count(), 3u);  // nothing grafted
+  EXPECT_EQ(at.critical.slowest_stage, "subquery");
+}
+
+TEST(AssembleTest, RingRetainsNewestAndBoundsMemory) {
+  TraceAssembler asms(2);
+  for (int i = 0; i < 5; ++i) {
+    asms.Add(MakeFanout(2, 0, static_cast<uint64_t>(i)));
+  }
+  EXPECT_EQ(asms.size(), 2u);
+  const auto all = asms.Assembled();
+  ASSERT_EQ(all.size(), 2u);
+  // Oldest first; the last two Adds survive.
+  EXPECT_EQ(all[1].critical.total_us >= all[0].critical.total_us, true);
+  asms.Clear();
+  EXPECT_EQ(asms.size(), 0u);
+}
+
+TEST(AssembleTest, ChromeJsonIsValidAndMarksCriticalPath) {
+  auto root = MakeFanout(4, 3, 700);
+  std::vector<RemoteTree> remotes;
+  for (int sh = 0; sh < 4; ++sh) {
+    remotes.push_back(
+        {sh, MakeServerTree(1010, sh == 3 ? 760 : 60, "dequeue")});
+  }
+  TraceAssembler asms;
+  asms.Assemble(root, remotes);
+
+  const std::string doc = TracesToChromeJson(asms.Assembled());
+  const auto parsed = testjson::Parse(doc);
+  ASSERT_TRUE(parsed.has_value()) << doc;
+  const testjson::Value* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  size_t complete = 0, critical = 0, meta = 0;
+  for (const auto& e : events->array) {
+    const testjson::Value* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "M") {
+      ++meta;
+      continue;
+    }
+    ASSERT_EQ(ph->string, "X");
+    ++complete;
+    EXPECT_NE(e.Find("ts"), nullptr);
+    EXPECT_NE(e.Find("dur"), nullptr);
+    EXPECT_GE(e.NumberOr("pid", -1), 1.0);
+    const testjson::Value* args = e.Find("args");
+    ASSERT_NE(args, nullptr);
+    if (args->NumberOr("critical") == 1.0) ++critical;
+  }
+  EXPECT_EQ(complete, root->span_count());
+  // Root + slow subquery + remote root + its dominant stage, at least.
+  EXPECT_GE(critical, 3u);
+  EXPECT_GT(meta, 0u);  // thread_name metadata rows
+
+  // The raw-trace overload renders too (critical path computed inline).
+  std::vector<std::shared_ptr<Trace>> raw{MakeFanout(2, 1, 30)};
+  const auto raw_doc =
+      TracesToChromeJson(std::span<const std::shared_ptr<Trace>>(raw));
+  EXPECT_TRUE(testjson::Parse(raw_doc).has_value());
+}
+
+}  // namespace
+}  // namespace catfish::telemetry

@@ -9,7 +9,7 @@ namespace catfish::msg {
 namespace {
 
 TEST(ProtocolTest, SearchRequestRoundTrip) {
-  const SearchRequest req{42, geo::Rect{0.1, 0.2, 0.3, 0.4}};
+  const SearchRequest req{42, geo::Rect{0.1, 0.2, 0.3, 0.4}, {}};
   const auto decoded = DecodeSearchRequest(Encode(req));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->req_id, 42u);
@@ -17,7 +17,7 @@ TEST(ProtocolTest, SearchRequestRoundTrip) {
 }
 
 TEST(ProtocolTest, InsertRequestRoundTrip) {
-  const InsertRequest req{7, 11, geo::Rect{0.5, 0.6, 0.7, 0.8}, 1234};
+  const InsertRequest req{7, 11, geo::Rect{0.5, 0.6, 0.7, 0.8}, 1234, {}};
   const auto decoded = DecodeInsertRequest(Encode(req));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->req_id, 7u);
@@ -27,7 +27,7 @@ TEST(ProtocolTest, InsertRequestRoundTrip) {
 }
 
 TEST(ProtocolTest, DeleteRequestRoundTrip) {
-  const DeleteRequest req{8, 12, geo::Rect{0.0, 0.0, 0.1, 0.1}, 99};
+  const DeleteRequest req{8, 12, geo::Rect{0.0, 0.0, 0.1, 0.1}, 99, {}};
   const auto decoded = DecodeDeleteRequest(Encode(req));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->client_gen, 12u);
@@ -37,7 +37,7 @@ TEST(ProtocolTest, DeleteRequestRoundTrip) {
 TEST(ProtocolTest, WriteRequestsRejectPreGenerationWireSize) {
   // The pre-exactly-once 56-byte insert/delete frame must not decode: a
   // silent field shift would hand the dedup table a garbage identity.
-  auto encoded = Encode(InsertRequest{7, 11, geo::Rect{0, 0, 1, 1}, 5});
+  auto encoded = Encode(InsertRequest{7, 11, geo::Rect{0, 0, 1, 1}, 5, {}});
   encoded.resize(encoded.size() - 8);
   EXPECT_FALSE(DecodeInsertRequest(encoded).has_value());
   EXPECT_FALSE(DecodeDeleteRequest(encoded).has_value());
@@ -143,6 +143,117 @@ TEST(ProtocolTest, SegmentationHandlesNonDivisibleCounts) {
   const auto last = DecodeSearchResponseSegment(segments.back());
   ASSERT_TRUE(last.has_value());
   EXPECT_EQ(last->entries.size(), 1u);
+}
+
+TEST(ProtocolTest, TraceContextTailRoundTripsOnAllRequestTypes) {
+  const TraceContext ctx{0xdeadbeefcafeull, 17, 1};
+  ASSERT_TRUE(ctx.present());
+
+  SearchRequest sreq{42, geo::Rect{0.1, 0.2, 0.3, 0.4}, ctx};
+  const auto sdec = DecodeSearchRequest(Encode(sreq));
+  ASSERT_TRUE(sdec.has_value());
+  EXPECT_EQ(sdec->trace.trace_id, ctx.trace_id);
+  EXPECT_EQ(sdec->trace.parent_span, 17u);
+  EXPECT_EQ(sdec->trace.sampled, 1);
+
+  InsertRequest ireq{7, 11, geo::Rect{0, 0, 1, 1}, 5, ctx};
+  const auto idec = DecodeInsertRequest(Encode(ireq));
+  ASSERT_TRUE(idec.has_value());
+  EXPECT_EQ(idec->trace.trace_id, ctx.trace_id);
+  EXPECT_EQ(idec->req_id, 7u);  // leading fields unshifted by the tail
+
+  DeleteRequest dreq{8, 12, geo::Rect{0, 0, 1, 1}, 9, ctx};
+  const auto ddec = DecodeDeleteRequest(Encode(dreq));
+  ASSERT_TRUE(ddec.has_value());
+  EXPECT_EQ(ddec->trace.trace_id, ctx.trace_id);
+  EXPECT_EQ(ddec->trace.sampled, 1);
+}
+
+TEST(ProtocolTest, ContextFreeRequestsStayByteIdenticalToLegacyFrames) {
+  // The tail is appended only when a context is present, so a legacy
+  // (context-free) client and a tracing-capable one produce the exact
+  // same bytes — interop is byte-level, not just semantic.
+  const auto legacy_search =
+      Encode(SearchRequest{42, geo::Rect{0.1, 0.2, 0.3, 0.4}, {}});
+  EXPECT_EQ(legacy_search.size(), 40u);
+  const auto legacy_insert =
+      Encode(InsertRequest{7, 11, geo::Rect{0, 0, 1, 1}, 5, {}});
+  EXPECT_EQ(legacy_insert.size(), 56u);
+  const auto legacy_delete =
+      Encode(DeleteRequest{8, 12, geo::Rect{0, 0, 1, 1}, 9, {}});
+  EXPECT_EQ(legacy_delete.size(), 56u);
+
+  // Decoding the legacy frame yields an absent context, not garbage.
+  const auto sdec = DecodeSearchRequest(legacy_search);
+  ASSERT_TRUE(sdec.has_value());
+  EXPECT_FALSE(sdec->trace.present());
+  EXPECT_EQ(sdec->trace.sampled, 0);
+
+  // And a present context grows each frame by exactly the tail.
+  const TraceContext ctx{1, 0, 1};
+  EXPECT_EQ(Encode(SearchRequest{42, sdec->rect, ctx}).size(),
+            40u + kTraceContextBytes);
+  EXPECT_EQ(Encode(InsertRequest{7, 11, geo::Rect{0, 0, 1, 1}, 5, ctx}).size(),
+            56u + kTraceContextBytes);
+}
+
+TEST(ProtocolTest, TruncatedOrOversizedTraceTailsAreRejected) {
+  const TraceContext ctx{99, 3, 1};
+  auto stamped = Encode(SearchRequest{1, geo::Rect{0, 0, 1, 1}, ctx});
+  ASSERT_EQ(stamped.size(), 40u + kTraceContextBytes);
+
+  // A torn tail (any length strictly between legacy and stamped) must
+  // not decode — neither as "no context" nor as a shifted context.
+  for (size_t cut = 1; cut < kTraceContextBytes; ++cut) {
+    auto torn = stamped;
+    torn.resize(stamped.size() - cut);
+    EXPECT_FALSE(DecodeSearchRequest(torn).has_value()) << "cut=" << cut;
+  }
+
+  // Trailing junk beyond the tail is rejected too.
+  auto oversized = stamped;
+  oversized.push_back(std::byte{0xff});
+  EXPECT_FALSE(DecodeSearchRequest(oversized).has_value());
+
+  // Same discipline on the write requests.
+  auto istamped = Encode(InsertRequest{1, 2, geo::Rect{0, 0, 1, 1}, 3, ctx});
+  istamped.resize(istamped.size() - 1);
+  EXPECT_FALSE(DecodeInsertRequest(istamped).has_value());
+  auto dstamped = Encode(DeleteRequest{1, 2, geo::Rect{0, 0, 1, 1}, 3, ctx});
+  dstamped.resize(dstamped.size() - 1);
+  EXPECT_FALSE(DecodeDeleteRequest(dstamped).has_value());
+}
+
+TEST(ProtocolTest, UnsampledContextStillRoundTrips) {
+  // present() is keyed on trace_id alone: an unsampled-but-present
+  // context (sampled=0) must survive the wire so a server can decline
+  // to trace without mistaking the request for a legacy frame.
+  const TraceContext ctx{77, 5, 0};
+  ASSERT_TRUE(ctx.present());
+  const auto dec = DecodeSearchRequest(
+      Encode(SearchRequest{1, geo::Rect{0, 0, 1, 1}, ctx}));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_TRUE(dec->trace.present());
+  EXPECT_EQ(dec->trace.sampled, 0);
+  EXPECT_EQ(dec->trace.parent_span, 5u);
+}
+
+TEST(ProtocolTest, TraceResponseRoundTrip) {
+  // An empty blob is the "request was sampled but I have no tracer"
+  // arrival marker — it must round-trip as empty, not fail to decode.
+  const auto empty = DecodeTraceResponse(Encode(TraceResponse{31, {}}));
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->req_id, 31u);
+  EXPECT_TRUE(empty->blob.empty());
+
+  std::vector<std::byte> blob{std::byte{1}, std::byte{2}, std::byte{3}};
+  const auto full = DecodeTraceResponse(Encode(TraceResponse{32, blob}));
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->req_id, 32u);
+  EXPECT_EQ(full->blob, blob);
+
+  std::vector<std::byte> junk(7, std::byte{1});
+  EXPECT_FALSE(DecodeTraceResponse(junk).has_value());
 }
 
 }  // namespace

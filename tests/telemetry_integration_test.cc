@@ -98,7 +98,14 @@ TEST_F(TelemetryIntegrationTest, AdaptiveSearchYieldsCompleteSpanTree) {
   const telemetry::Span& root = trace->span(trace->root());
   EXPECT_EQ(root.AttrOr("mode"), 0);
   EXPECT_EQ(root.AttrOr("results"), static_cast<int64_t>(results.size()));
-  EXPECT_EQ(root.children.size(), 3u);  // decide, ring_write, collect
+  // decide, ring_write, collect — plus the server's span tree: a locally
+  // sampled fast search self-stamps a wire context, so the server ships
+  // its tree back and the client grafts it under the root.
+  EXPECT_EQ(root.children.size(), 4u);
+  const telemetry::Span* remote = trace->Find("server.request");
+  ASSERT_NE(remote, nullptr);
+  EXPECT_EQ(remote->AttrOr("shard", -1), 0);  // single-node server
+  EXPECT_NE(trace->Find("traverse"), nullptr);  // server stage, grafted
 }
 
 TEST_F(TelemetryIntegrationTest, ServerTraceJoinsClientTraceByReqId) {

@@ -1,0 +1,143 @@
+#include "telemetry/trace_wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace catfish::telemetry {
+namespace {
+
+Trace MakeServerTree() {
+  Trace t("server.request", 42, 100);
+  const SpanId dequeue = t.StartSpan(t.root(), "dequeue", 100);
+  t.EndSpan(dequeue, 110);
+  const SpanId traverse = t.StartSpan(t.root(), "traverse", 110);
+  t.SetAttr(traverse, "nodes", 37);
+  t.SetAttr(traverse, "results", 5);
+  t.EndSpan(traverse, 230);
+  const SpanId respond = t.StartSpan(t.root(), "respond", 230);
+  t.EndSpan(respond, 250);
+  t.SetAttr(t.root(), "req_id", 7);
+  t.EndSpan(t.root(), 255);
+  return t;
+}
+
+TEST(TraceWireTest, RoundTripPreservesTreeTimesAndAttrs) {
+  const Trace t = MakeServerTree();
+  std::vector<std::byte> wire;
+  EncodeTrace(t, wire);
+  const auto back = DecodeTrace(wire);
+  ASSERT_TRUE(back.has_value());
+
+  EXPECT_EQ(back->id(), 42u);
+  ASSERT_EQ(back->span_count(), t.span_count());
+  for (SpanId i = 0; i < t.span_count(); ++i) {
+    EXPECT_EQ(back->span(i).name, t.span(i).name);
+    EXPECT_EQ(back->span(i).start_us, t.span(i).start_us);
+    EXPECT_EQ(back->span(i).end_us, t.span(i).end_us);
+    EXPECT_EQ(back->span(i).children, t.span(i).children);
+    EXPECT_EQ(back->span(i).attrs, t.span(i).attrs);
+  }
+  const Span* traverse = back->Find("traverse");
+  ASSERT_NE(traverse, nullptr);
+  EXPECT_EQ(traverse->AttrOr("nodes"), 37);
+}
+
+TEST(TraceWireTest, EncodeAppendsAndReusesCapacity) {
+  const Trace t = MakeServerTree();
+  std::vector<std::byte> wire;
+  EncodeTrace(t, wire);
+  const size_t one = wire.size();
+  ASSERT_GT(one, 0u);
+
+  // Appends after existing content rather than clobbering it.
+  EncodeTrace(t, wire);
+  EXPECT_EQ(wire.size(), 2 * one);
+  EXPECT_TRUE(DecodeTrace(std::span(wire).subspan(one)).has_value());
+
+  // A cleared-but-reserved buffer round-trips without growing.
+  wire.clear();
+  const size_t cap = wire.capacity();
+  EncodeTrace(t, wire);
+  EXPECT_EQ(wire.capacity(), cap);
+}
+
+TEST(TraceWireTest, OversizedTraceTruncatesKeepingParentLinksValid) {
+  Trace t("big", 7, 0);
+  // Depth-first growth: span i's parent is span i-1, far past the cap.
+  SpanId parent = t.root();
+  for (int i = 0; i < 400; ++i) {
+    parent = t.StartSpan(parent, "hop", static_cast<uint64_t>(i));
+  }
+  std::vector<std::byte> wire;
+  EncodeTrace(t, wire);
+  const auto back = DecodeTrace(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->span_count(), kTraceWireMaxSpans);
+  // Every surviving span's parent survived too (decode validates this,
+  // but assert the shape directly: child ids only reference priors).
+  for (SpanId i = 0; i < back->span_count(); ++i) {
+    for (const SpanId c : back->span(i).children) {
+      EXPECT_GT(c, i);
+      EXPECT_LT(c, back->span_count());
+    }
+  }
+}
+
+TEST(TraceWireTest, LongNamesAndExcessAttrsAreClamped) {
+  Trace t(std::string(200, 'n'), 9, 0);
+  for (int i = 0; i < 40; ++i) {
+    t.SetAttr(t.root(), "attr_" + std::to_string(i), i);
+  }
+  t.EndSpan(t.root(), 10);
+  std::vector<std::byte> wire;
+  EncodeTrace(t, wire);
+  const auto back = DecodeTrace(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->span(0).name.size(), kTraceWireMaxName);
+  EXPECT_EQ(back->span(0).attrs.size(), kTraceWireMaxAttrs);
+}
+
+TEST(TraceWireTest, TruncatedBlobsDecodeToNulloptAtEveryLength) {
+  const Trace t = MakeServerTree();
+  std::vector<std::byte> wire;
+  EncodeTrace(t, wire);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(DecodeTrace(std::span(wire).first(len)).has_value())
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(TraceWireTest, TrailingBytesRejected) {
+  const Trace t = MakeServerTree();
+  std::vector<std::byte> wire;
+  EncodeTrace(t, wire);
+  wire.push_back(std::byte{0});
+  EXPECT_FALSE(DecodeTrace(wire).has_value());
+}
+
+TEST(TraceWireTest, HostileCountsRejected) {
+  const Trace t = MakeServerTree();
+  std::vector<std::byte> wire;
+  EncodeTrace(t, wire);
+  // span_count lives at bytes [8, 12); patch it over the cap.
+  auto hostile = wire;
+  hostile[8] = std::byte{0xff};
+  hostile[9] = std::byte{0xff};
+  hostile[10] = std::byte{0xff};
+  hostile[11] = std::byte{0x7f};
+  EXPECT_FALSE(DecodeTrace(hostile).has_value());
+
+  // A parent index pointing at a later span is structurally invalid.
+  // Span 0's parent field sits right after its name: 8 + 4 + 1 + len.
+  const size_t parent_off = 8 + 4 + 1 + t.span(0).name.size();
+  hostile = wire;
+  hostile[parent_off] = std::byte{0x07};  // root claims parent 7
+  hostile[parent_off + 1] = std::byte{0};
+  hostile[parent_off + 2] = std::byte{0};
+  hostile[parent_off + 3] = std::byte{0};
+  EXPECT_FALSE(DecodeTrace(hostile).has_value());
+}
+
+}  // namespace
+}  // namespace catfish::telemetry

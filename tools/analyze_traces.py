@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Summarize Chrome/Perfetto trace-event JSON emitted by the benches.
+
+Consumes the {"traceEvents":[...]} documents written by --trace-json
+(bench_shard_scaling, any CellExporter bench) or scraped from a stats
+server's /traces endpoint, and answers the three questions a tail hunt
+starts with:
+
+  1. Which sampled queries were slowest, and what did each one's
+     critical path look like (stage-by-stage, with shard and self-time)?
+  2. Across all traces, which stage contributes the critical-path time
+     (p50/p99 of per-hop self-time, share of total)?
+  3. Which shard is the straggler — how often does each shard's
+     sub-query sit on the critical path, and at what p99?
+
+The emitter marks critical-path spans args.critical=1 (the C++
+TraceAssembler already ran the gating walk: last-ending child gates the
+parent's end, the sibling ending last before it gates its start), so
+this script aggregates rather than re-deriving the path. A hop's
+exclusive self-time is its duration minus the durations of the critical
+spans nested directly inside it. Spans land on tid = shard + 1 (tid 0 =
+client side).
+
+Usage:
+
+    tools/analyze_traces.py traces.json [--top 5]
+    curl -s localhost:9100/traces | tools/analyze_traces.py -
+"""
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def percentile(sorted_vals, q):
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(q * (len(sorted_vals) - 1) + 0.5))
+    return sorted_vals[idx]
+
+
+def load_events(path):
+    f = sys.stdin if path == "-" else open(path)
+    with f:
+        doc = json.load(f)
+    if isinstance(doc, dict):
+        return doc.get("traceEvents", [])
+    return doc  # bare array form is also valid Chrome JSON
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="Critical-path summary of --trace-json output.")
+    ap.add_argument("traces", help="trace-event JSON file, or - for stdin")
+    ap.add_argument("--top", type=int, default=5,
+                    help="slowest traces to detail (default 5)")
+    args = ap.parse_args(argv[1:])
+
+    events = load_events(args.traces)
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        print("no complete spans in input")
+        return 1
+
+    traces = defaultdict(list)  # pid -> spans
+    for s in spans:
+        traces[s["pid"]].append(s)
+
+    # Per-trace shape: the root is the span that starts first and ends
+    # last (the emitter writes one request tree per pid).
+    summaries = []
+    for pid, ss in traces.items():
+        t0 = min(s["ts"] for s in ss)
+        t1 = max(s["ts"] + s["dur"] for s in ss)
+        root = max(ss, key=lambda s: s["dur"])
+        crit = sorted((s for s in ss if s.get("args", {}).get("critical")),
+                      key=lambda s: (s["ts"], -s["dur"]))
+        summaries.append({
+            "pid": pid,
+            "name": root["name"],
+            "dur": t1 - t0,
+            "spans": ss,
+            "critical": crit,
+        })
+    summaries.sort(key=lambda t: -t["dur"])
+
+    # Each critical hop's exclusive self-time: its duration minus the
+    # durations of critical spans nested directly inside it. Nesting is
+    # recovered from intervals — a hop's parent is the shortest critical
+    # span whose [ts, ts+dur] contains it.
+    def self_times(crit):
+        order = sorted(range(len(crit)), key=lambda i: crit[i]["dur"])
+        child_sum = [0] * len(crit)
+        for pos, i in enumerate(order):
+            s = crit[i]
+            for j in order[pos + 1:]:  # candidates no shorter than s
+                p = crit[j]
+                if (p["ts"] <= s["ts"]
+                        and s["ts"] + s["dur"] <= p["ts"] + p["dur"]):
+                    child_sum[j] += s["dur"]
+                    break
+        return [max(0, s["dur"] - child_sum[i])
+                for i, s in enumerate(crit)]
+
+    stage_self = defaultdict(list)   # stage -> [self_us]
+    shard_crit = defaultdict(int)    # shard -> times on a critical path
+    for t in summaries:
+        crit = t["critical"]
+        t["self"] = self_times(crit)
+        for s, self_us in zip(crit, t["self"]):
+            stage_self[s["name"]].append(self_us)
+            if s["name"] == "subquery":
+                shard_crit[s["tid"] - 1] += 1
+
+    print(f"{len(summaries)} traces, "
+          f"{sum(len(t['spans']) for t in summaries)} spans")
+
+    print(f"\n=== top {min(args.top, len(summaries))} slowest traces ===")
+    for t in summaries[:args.top]:
+        print(f"  {t['name']} (pid {t['pid']}): {t['dur']} us")
+        crit = t["critical"]
+        for s, self_us in zip(crit, t["self"]):
+            shard = s["tid"] - 1
+            where = "client" if shard < 0 else f"shard {shard}"
+            print(f"    {s['name']:<16} {where:<9} dur {s['dur']:>8} us  "
+                  f"self {self_us:>8} us")
+        if not crit:
+            print("    (no critical-path marks in this trace)")
+
+    print("\n=== critical-path self-time by stage ===")
+    total_self = sum(sum(v) for v in stage_self.values()) or 1
+    print(f"  {'stage':<16} {'hops':>6} {'p50_us':>8} {'p99_us':>8} "
+          f"{'share':>7}")
+    for stage, vals in sorted(stage_self.items(),
+                              key=lambda kv: -sum(kv[1])):
+        vals = sorted(vals)
+        print(f"  {stage:<16} {len(vals):>6} "
+              f"{percentile(vals, 0.5):>8.0f} "
+              f"{percentile(vals, 0.99):>8.0f} "
+              f"{sum(vals) / total_self:>6.1%}")
+
+    # Straggler table: every subquery span by shard, vs how often that
+    # shard was the one the join waited on.
+    sub_dur = defaultdict(list)
+    for t in summaries:
+        for s in t["spans"]:
+            if s["name"] == "subquery":
+                sub_dur[s["tid"] - 1].append(s["dur"])
+    if sub_dur:
+        print("\n=== per-shard sub-queries ===")
+        print(f"  {'shard':>5} {'count':>6} {'p50_us':>8} {'p99_us':>8} "
+              f"{'on critical path':>17}")
+        for shard in sorted(sub_dur):
+            vals = sorted(sub_dur[shard])
+            print(f"  {shard:>5} {len(vals):>6} "
+                  f"{percentile(vals, 0.5):>8.0f} "
+                  f"{percentile(vals, 0.99):>8.0f} "
+                  f"{shard_crit.get(shard, 0):>17}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

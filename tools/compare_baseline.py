@@ -14,8 +14,11 @@ Usage (from a build directory):
 
 Cells are matched on (figure, scheme, variant, workload, insert_ratio,
 clients). Fresh cells with no baseline counterpart (new variants, new
-figures) are reported and skipped; baseline cells the fresh run did not
-produce are only reported when the fresh run covered their figure.
+figures) are reported and skipped, as are fresh lines without the
+compared fields (e.g. shard-scaling rows, which report
+search_latency_us rather than latency_us); baseline cells the fresh run
+did not produce are only reported when the fresh run covered their
+figure.
 
 By default the exit code is 0 no matter what drifts — the baseline is
 warn-only, the simulation is deterministic but the model is allowed to
@@ -46,20 +49,35 @@ def key(cell):
 
 
 def load_fresh(paths):
+    """Returns (cells, skipped): comparable cells keyed by `key`, plus
+    human-readable notes for lines that could not be compared (missing
+    match keys or missing compared fields) rather than crashing on
+    them — bench JSONL schemas are allowed to grow."""
     cells = {}
+    skipped = []
     for path in paths:
         with open(path) as f:
-            for line in f:
+            for n, line in enumerate(f, 1):
                 line = line.strip()
                 if not line:
                     continue
                 d = json.loads(line)
-                cells[key(d)] = {
-                    "throughput_kops": d["throughput_kops"],
-                    "latency_p50_us": d["latency_us"]["p50"],
-                    "latency_p99_us": d["latency_us"]["p99"],
-                }
-    return cells
+                try:
+                    k = key(d)
+                except (KeyError, TypeError, ValueError) as e:
+                    skipped.append(f"{path}:{n}: unkeyable cell ({e})")
+                    continue
+                try:
+                    cells[k] = {
+                        "throughput_kops": d["throughput_kops"],
+                        "latency_p50_us": d["latency_us"]["p50"],
+                        "latency_p99_us": d["latency_us"]["p99"],
+                    }
+                except (KeyError, TypeError) as e:
+                    skipped.append(
+                        f"{path}:{n}: {fmt_key(k)} lacks compared field "
+                        f"{e}")
+    return cells, skipped
 
 
 def fmt_key(k):
@@ -87,7 +105,7 @@ def main(argv):
     with open(args.baseline) as f:
         doc = json.load(f)
     base = {key(c): c for c in doc["cells"]}
-    fresh = load_fresh(args.jsonl)
+    fresh, skipped = load_fresh(args.jsonl)
     fresh_figures = {k[0] for k in fresh}
 
     warnings = []
@@ -116,10 +134,13 @@ def main(argv):
                if k not in fresh and k[0] in fresh_figures]
 
     print(f"compared {compared} cells "
-          f"({len(unmatched_fresh)} fresh-only, {len(missing)} "
-          f"baseline-only within covered figures)")
+          f"({len(unmatched_fresh)} fresh-only, {len(skipped)} "
+          f"incomparable, {len(missing)} baseline-only within covered "
+          f"figures)")
     for k in unmatched_fresh:
         print(f"  note: no baseline for {fmt_key(k)}")
+    for note in skipped:
+        print(f"  note: skipped {note}")
     for k in missing:
         warnings.append(f"baseline cell not produced: {fmt_key(k)}")
     if warnings:

@@ -9,8 +9,10 @@ scaling"). Reproduce it from a build directory with:
         --telemetry-json fig10.jsonl > /dev/null
     CATFISH_QUICK=1 ./bench/bench_fig12_hybrid_throughput \
         --telemetry-json fig12.jsonl > /dev/null
+    CATFISH_QUICK=1 ./bench/bench_fig08_multi_issue \
+        --telemetry-json fig08.jsonl > /dev/null
     python3 ../tools/make_baseline.py fig10.jsonl fig12.jsonl \
-        > ../BENCH_baseline.json
+        fig08.jsonl > ../BENCH_baseline.json
 
 CATFISH_QUICK=1 fixes dataset=200,000 rects and 100 requests/client;
 the seed is the bench default (20260705). The numbers are virtual-time
@@ -33,6 +35,10 @@ def cell(line):
         "latency_p50_us": round(d["latency_us"]["p50"], 3),
         "latency_p99_us": round(d["latency_us"]["p99"], 3),
     }
+    # Ablation rows (e.g. fig08's doorbell variants) key on a variant
+    # label too; carry it so compare_baseline.py can match them.
+    if "variant" in d:
+        out["variant"] = d["variant"]
     return out
 
 
