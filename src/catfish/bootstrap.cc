@@ -68,12 +68,18 @@ std::vector<std::byte> Encode(const WireServerHello& v) {
   w.Append(v.chunk_size);
   w.Append(v.tree_height);
   w.Append(v.generation);
-  // Emit the tail only when it carries information, so a single-node
-  // hello stays identical to the legacy format on the wire.
-  if (v.shard_id != 0 || !v.extension.empty()) {
+  // Emit tails only when they carry information, so a single-node hello
+  // stays identical to the legacy format on the wire. The repl tail
+  // rides behind the shard tail and forces it to appear (possibly
+  // empty), keeping the tail order unambiguous.
+  if (v.shard_id != 0 || !v.extension.empty() || v.repl_role != 0) {
     w.Append(v.shard_id);
     w.Append(static_cast<uint32_t>(v.extension.size()));
     w.AppendBytes(v.extension);
+    if (v.repl_role != 0) {
+      w.Append(v.repl_role);
+      w.Append(v.repl_epoch);
+    }
   }
   return w.Take();
 }
@@ -97,9 +103,19 @@ std::optional<WireServerHello> DecodeServerHello(
   v.shard_id = r.Read<uint32_t>();
   const uint32_t ext_len = r.Read<uint32_t>();
   if (ext_len > kMaxHelloExtensionBytes) return std::nullopt;
-  if (r.remaining() != ext_len) return std::nullopt;
+  // Behind the extension rides the optional repl tail (role + epoch);
+  // anything else is a torn frame.
+  constexpr size_t kReplTailBytes = 1 + 8;
+  if (r.remaining() != ext_len && r.remaining() != ext_len + kReplTailBytes) {
+    return std::nullopt;
+  }
   const auto ext = r.ReadBytes(ext_len);
   v.extension.assign(ext.begin(), ext.end());
+  if (!r.AtEnd()) {
+    v.repl_role = r.Read<uint8_t>();
+    if (v.repl_role == 0 || v.repl_role > 2) return std::nullopt;
+    v.repl_epoch = r.Read<uint64_t>();
+  }
   return v;
 }
 
@@ -175,6 +191,8 @@ void BootstrapAcceptor::Serve(std::shared_ptr<tcpkit::Stream> endpoint) {
   reply.chunk_size = sb.chunk_size;
   reply.tree_height = sb.tree_height;
   reply.generation = sb.generation;
+  reply.repl_role = sb.repl_role;
+  reply.repl_epoch = sb.repl_epoch;
   {
     const std::scoped_lock lock(ext_mu_);
     if (ext_provider_) {
@@ -220,6 +238,8 @@ ServerBootstrap HelloRoundTrip(tcpkit::FramedConnection& conn,
   boot.generation = sh->generation;
   boot.shard_id = sh->shard_id;
   boot.hello_extension = sh->extension;
+  boot.repl_role = sh->repl_role;
+  boot.repl_epoch = sh->repl_epoch;
   return boot;
 }
 

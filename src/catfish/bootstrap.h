@@ -55,6 +55,14 @@ struct WireServerHello {
   /// single-node deployments are unchanged byte-for-byte.
   uint32_t shard_id = 0;
   std::vector<std::byte> extension;
+  /// Second optional tail (replicated deployments): the endpoint's
+  /// replication role (msg::ReplRole value) and the epoch it serves
+  /// under. Emitted only when role != 0; when present the shard tail is
+  /// always emitted too (even empty) so tail order stays unambiguous. A
+  /// client that bootstraps onto a follower learns it immediately and
+  /// routes writes elsewhere.
+  uint8_t repl_role = 0;
+  uint64_t repl_epoch = 0;
 };
 
 std::vector<std::byte> Encode(const WireClientHello& v);

@@ -88,6 +88,8 @@ void RTreeClient::WireUp(const HandshakeFn& shake) {
   request_ack_cell_.fill(std::byte{0});
   const auto ring_mr = node_->RegisterMemory(response_ring_mem_);
   const auto ack_mr = node_->RegisterMemory(request_ack_cell_);
+  owned_mrs_.push_back(ring_mr);
+  owned_mrs_.push_back(ack_mr);
 
   ClientBootstrap mine;
   mine.qp = qp_;
@@ -227,9 +229,12 @@ RTreeClient::RTreeClient(std::shared_ptr<rdma::SimNode> node,
 RTreeClient::~RTreeClient() {
   // Close first so no new remote op can target our rings, then wait out
   // any write the server NIC already started: the ring and ack buffers
-  // are members and die with us.
+  // are members and die with us. Only our own registrations are retired
+  // — the node may be shared with sibling clients (a sharded client
+  // multiplexes one node), so DeregisterAll would yank theirs too and
+  // let later registrations alias their rkeys.
   qp_->Close();
-  node_->DeregisterAll();
+  for (const auto& mr : owned_mrs_) node_->Deregister(mr);
 }
 
 void RTreeClient::SendRequest(msg::MsgType type,
@@ -263,6 +268,15 @@ void RTreeClient::OnHeartbeatMessage(const msg::Heartbeat& hb) {
   if (hb.map_version != 0 &&
       hb.map_version > advertised_map_version_.load(std::memory_order_relaxed)) {
     advertised_map_version_.store(hb.map_version, std::memory_order_relaxed);
+  }
+  if (hb.role != 0) {
+    if (hb.epoch > advertised_repl_epoch_.load(std::memory_order_relaxed)) {
+      advertised_repl_epoch_.store(hb.epoch, std::memory_order_relaxed);
+    }
+    if (hb.durable_lsn >
+        advertised_durable_lsn_.load(std::memory_order_relaxed)) {
+      advertised_durable_lsn_.store(hb.durable_lsn, std::memory_order_relaxed);
+    }
   }
   if (conn_state_ != ConnState::kConnected) {
     // Liveness proof: the link recovered without a re-bootstrap (e.g. a

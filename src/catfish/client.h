@@ -262,6 +262,20 @@ class RTreeClient {
   uint64_t advertised_map_version() const noexcept {
     return advertised_map_version_.load(std::memory_order_relaxed);
   }
+  /// Replicated deployments: the peer's replication role and epoch from
+  /// the most recent handshake (msg::ReplRole value; 0 = unreplicated),
+  /// and the live view from heartbeats — the epoch the server currently
+  /// serves under and its durable WAL LSN. The LSN lets a reader bound a
+  /// follower's replication lag (primary durable_lsn − follower
+  /// durable_lsn) without any extra round trip.
+  uint8_t repl_role() const noexcept { return boot_.repl_role; }
+  uint64_t repl_epoch() const noexcept { return boot_.repl_epoch; }
+  uint64_t advertised_repl_epoch() const noexcept {
+    return advertised_repl_epoch_.load(std::memory_order_relaxed);
+  }
+  uint64_t advertised_durable_lsn() const noexcept {
+    return advertised_durable_lsn_.load(std::memory_order_relaxed);
+  }
   /// This client's exactly-once write-session id (stamped on every
   /// Insert/Delete, process-unique, survives reconnects).
   uint64_t client_gen() const noexcept { return client_gen_; }
@@ -367,6 +381,12 @@ class RTreeClient {
   /// straggler write against freed memory must stay impossible even if
   /// an old peer outlives its closed QP.
   std::vector<std::vector<std::byte>> retired_ring_mem_;
+  /// Every region this client registered (one ring + ack pair per
+  /// incarnation). The destructor retires exactly these — the node may
+  /// be shared with sibling clients whose registrations must survive,
+  /// so a blanket DeregisterAll would yank theirs and let fresh
+  /// registrations alias their rkeys.
+  std::vector<rdma::MemoryRegionHandle> owned_mrs_;
   alignas(8) std::array<std::byte, 8> request_ack_cell_{};
   std::unique_ptr<msg::RingSender> request_tx_;
   std::unique_ptr<msg::RingReceiver> response_rx_;
@@ -378,6 +398,8 @@ class RTreeClient {
   /// Atomic: heartbeats are consumed on whichever thread pumps the ring,
   /// while the sharded router reads this from its own op path.
   std::atomic<uint64_t> advertised_map_version_{0};
+  std::atomic<uint64_t> advertised_repl_epoch_{0};
+  std::atomic<uint64_t> advertised_durable_lsn_{0};
 
   /// One-sided access to the server's arena: the QP transport plus the
   /// shared read→validate→retry engine (src/remote) the offload path

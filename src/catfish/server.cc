@@ -32,6 +32,20 @@ RTreeServer::~RTreeServer() {
   // builds on.
   const std::scoped_lock lock(conns_mu_);
   for (auto& conn : conns_) conn->qp->Close();
+  // The ring/ack buffers are Connection members and die with us, but a
+  // client-side ring ack is a one-sided WRITE the peer NIC may already
+  // be serving: deregistration waits those copies out (sim
+  // ibv_dereg_mr), so a late write fails with kRemoteAccessError
+  // instead of landing in freed memory. Per-region, not DeregisterAll —
+  // on a promotion the node survives and hosts the successor server's
+  // registrations.
+  for (auto& conn : conns_) {
+    node_->Deregister(conn->ring_mr);
+    node_->Deregister(conn->ack_mr);
+  }
+  // arena_mr_ stays registered: the arena is owned by our creator and
+  // outlives us, and degraded clients may still serve one-sided reads
+  // from it until the node itself is invalidated.
 }
 
 void RTreeServer::Stop() {
@@ -52,8 +66,10 @@ ServerBootstrap RTreeServer::AcceptConnection(const ClientBootstrap& client) {
   rdma::QueuePair::Connect(conn->qp, client.qp);
 
   conn->request_ring_mem.assign(cfg_.ring_capacity, std::byte{0});
-  const auto ring_mr = node_->RegisterMemory(conn->request_ring_mem);
-  const auto ack_mr = node_->RegisterMemory(conn->response_ack_cell);
+  conn->ring_mr = node_->RegisterMemory(conn->request_ring_mem);
+  conn->ack_mr = node_->RegisterMemory(conn->response_ack_cell);
+  const auto ring_mr = conn->ring_mr;
+  const auto ack_mr = conn->ack_mr;
 
   conn->request_rx = std::make_unique<msg::RingReceiver>(
       std::span<std::byte>(conn->request_ring_mem), conn->qp,
@@ -71,6 +87,10 @@ ServerBootstrap RTreeServer::AcceptConnection(const ClientBootstrap& client) {
   boot.chunk_size = tree_->arena().chunk_size();
   boot.tree_height = tree_->height();
   boot.generation = node_->generation();
+  boot.repl_role = cfg_.repl_role;
+  boot.repl_epoch = cfg_.repl_epoch
+                        ? cfg_.repl_epoch->load(std::memory_order_relaxed)
+                        : 0;
 
   Connection* raw = conn.get();
   {
@@ -350,9 +370,19 @@ void RTreeServer::MonitorLoop() {
     const uint64_t map_version =
         cfg_.map_version ? cfg_.map_version->load(std::memory_order_relaxed)
                          : 0;
-    const auto hb = msg::Encode(
-        msg::Heartbeat{++hb_seq, advertised, tree_->write_epoch(),
-                       node_->generation(), map_version});
+    msg::Heartbeat beat{++hb_seq, advertised, tree_->write_epoch(),
+                        node_->generation(), map_version};
+    if (cfg_.repl_role != 0) {
+      beat.role = cfg_.repl_role;
+      beat.epoch = cfg_.repl_epoch
+                       ? cfg_.repl_epoch->load(std::memory_order_relaxed)
+                       : 0;
+      beat.durable_lsn =
+          cfg_.repl_durable_lsn
+              ? cfg_.repl_durable_lsn->load(std::memory_order_relaxed)
+              : 0;
+    }
+    const auto hb = msg::Encode(beat);
     const std::scoped_lock lock(conns_mu_);
     for (auto& conn : conns_) {
       const std::scoped_lock send_lock(conn->send_mu);

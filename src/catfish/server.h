@@ -70,6 +70,15 @@ struct ServerConfig {
   /// interval. Null = single-node; heartbeats carry no map version and
   /// stay on the legacy wire size. Must outlive the server.
   const std::atomic<uint64_t>* map_version = nullptr;
+  /// Replicated deployments only: the node's replication role
+  /// (msg::ReplRole value) and pointers to the live epoch / durable-LSN
+  /// counters the ShardHost maintains. When repl_role != 0 heartbeats
+  /// and bootstrap hellos carry the role+epoch tail (durable_lsn rides
+  /// in heartbeats so clients can bound follower read lag). Both
+  /// pointers must outlive the server when set.
+  uint8_t repl_role = 0;
+  const std::atomic<uint64_t>* repl_epoch = nullptr;
+  const std::atomic<uint64_t>* repl_durable_lsn = nullptr;
 };
 
 /// What the client must learn during connection setup (the paper
@@ -91,6 +100,11 @@ struct ServerBootstrap {
   /// table). Zero / empty on a single-node server.
   uint32_t shard_id = 0;
   std::vector<std::byte> hello_extension;
+  /// Replicated deployments only: the endpoint's replication role
+  /// (msg::ReplRole value) and current epoch at handshake time. Zero on
+  /// an unreplicated server.
+  uint8_t repl_role = 0;
+  uint64_t repl_epoch = 0;
 };
 
 /// What the server must learn about the client side.
@@ -171,6 +185,10 @@ class RTreeServer {
     std::shared_ptr<rdma::CompletionQueue> recv_cq;
     std::vector<std::byte> request_ring_mem;
     alignas(8) std::array<std::byte, 8> response_ack_cell{};
+    /// Registrations backed by this connection's own members; the
+    /// server destructor retires them before the memory is freed.
+    rdma::MemoryRegionHandle ring_mr;
+    rdma::MemoryRegionHandle ack_mr;
     std::unique_ptr<msg::RingReceiver> request_rx;
     std::unique_ptr<msg::RingSender> response_tx;
     std::mutex send_mu;  ///< worker (responses) vs monitor (heartbeats)

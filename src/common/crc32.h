@@ -1,0 +1,41 @@
+// CRC32 (ISO-HDLC polynomial, the zlib crc32), table-driven.
+//
+// Shared by every CRC-framed on-disk and on-wire format in the tree —
+// the WAL and checkpoint blobs (durable), and the replication batch/ack
+// frames (msg). Lives in common so msg does not have to depend on
+// durable for a checksum.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace catfish {
+
+namespace detail {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr auto kCrc32Table = MakeCrc32Table();
+
+}  // namespace detail
+
+inline uint32_t Crc32(std::span<const std::byte> bytes) noexcept {
+  uint32_t c = 0xFFFFFFFFu;
+  for (const std::byte b : bytes) {
+    c = detail::kCrc32Table[(c ^ static_cast<uint8_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace catfish

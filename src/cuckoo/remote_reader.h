@@ -75,18 +75,26 @@ class RemoteCuckooReader {
       }
       if (n == 1) return remote::FetchStatus::kOk;  // one chunk: consistent
 
-      // Miss across two separately-read chunks: a concurrent cuckoo move
-      // could have copied the key from the not-yet-read chunk into the
-      // already-read one between the two READs. Confirm the first chunk
-      // did not change while we read the second — if it did, retry.
-      std::optional<uint32_t> vcheck;
-      const auto cst = engine_.FetchOne(
-          chunks[0], bufs_[0], [&](std::span<const std::byte> image) {
-            vcheck = rtree::ValidateVersions(image);
-            return vcheck.has_value();
+      // Miss across two separately-read chunks: the engine posts both
+      // READs back-to-back, so the two snapshots are unordered — a
+      // concurrent destination-first move can land the key in whichever
+      // chunk was imaged earlier, in either direction, leaving it out of
+      // both images. Confirm NEITHER chunk changed since its image: both
+      // snapshots precede both rechecks, so unchanged versions on both
+      // sides pin a common instant where both images were
+      // simultaneously valid and the miss is genuine.
+      uint32_t recheck[2] = {0, 0};
+      const auto cst = engine_.FetchMany(
+          {reqs, n}, [&](size_t i, std::span<const std::byte> image) {
+            const auto v = rtree::ValidateVersions(image);
+            if (!v) return false;
+            recheck[i] = *v;
+            return true;
           });
       if (cst != remote::FetchStatus::kOk) return cst;
-      if (*vcheck == versions[0]) return remote::FetchStatus::kOk;  // miss
+      if (recheck[0] == versions[0] && recheck[1] == versions[1]) {
+        return remote::FetchStatus::kOk;  // miss
+      }
       engine_.NoteConsistencyRetry();
     }
     engine_.NoteRetriesExhausted();

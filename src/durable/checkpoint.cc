@@ -6,7 +6,7 @@
 namespace catfish::durable {
 
 namespace {
-inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr uint32_t kCheckpointVersion = 2;  // v2: + meta.repl_epoch
 }  // namespace
 
 std::vector<std::byte> EncodeCheckpoint(const rtree::NodeArena& arena,
@@ -28,6 +28,7 @@ std::vector<std::byte> EncodeCheckpoint(const rtree::NodeArena& arena,
   w.Append(meta.tree_size);
   w.Append(meta.tree_height);
   w.Append(meta.write_epoch);
+  w.Append(meta.repl_epoch);
   w.Append(static_cast<uint64_t>(arena.chunk_size()));
   w.Append(static_cast<uint64_t>(arena.max_chunks()));
   w.Append(static_cast<uint64_t>(snap.next_fresh));
@@ -59,7 +60,7 @@ std::vector<std::byte> EncodeCheckpoint(const rtree::NodeArena& arena,
 std::optional<DecodedCheckpoint> DecodeCheckpoint(
     std::span<const std::byte> blob) {
   // Fixed prefix through the free-list count.
-  constexpr size_t kFixedHead = 8 + 4 + 8 + 8 + 4 + 8 + 8 + 8 + 8 + 8 + 4;
+  constexpr size_t kFixedHead = 8 + 4 + 8 + 8 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 4;
   if (blob.size() < kFixedHead + 4) return std::nullopt;
   if (LoadPod<uint64_t>(blob, 0) != kCheckpointMagic) return std::nullopt;
   const auto body = blob.subspan(8, blob.size() - 8 - 4);
@@ -73,6 +74,7 @@ std::optional<DecodedCheckpoint> DecodeCheckpoint(
   out.meta.tree_size = r.Read<uint64_t>();
   out.meta.tree_height = r.Read<uint32_t>();
   out.meta.write_epoch = r.Read<uint64_t>();
+  out.meta.repl_epoch = r.Read<uint64_t>();
   out.chunk_size = r.Read<uint64_t>();
   out.max_chunks = r.Read<uint64_t>();
   out.arena_snapshot.next_fresh =

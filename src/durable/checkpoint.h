@@ -41,6 +41,11 @@ struct CheckpointMeta {
   uint64_t tree_size = 0;
   uint32_t tree_height = 1;
   uint64_t write_epoch = 0;
+  /// Replication epoch the shard was serving under when the image was
+  /// taken (0 = unreplicated). Recovery restores it so a rebooted node
+  /// rejoins with the fencing state it had, even after the WAL prefix
+  /// carrying the epoch-stamped records was truncated.
+  uint64_t repl_epoch = 0;
 };
 
 /// Serializes arena + allocator state + dedup + meta into one blob.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/clock.h"
+#include "durable/replication.h"
 #include "telemetry/events.h"
 #include "telemetry/metrics.h"
 
@@ -47,6 +48,7 @@ rtree::RStarTree DurabilityManager::Recover(rtree::NodeArena& arena,
     report_.checkpoint_applied_lsn = ckpt->meta.applied_lsn;
     applied_lsn_ = ckpt->meta.applied_lsn;
     dedup_ = std::move(ckpt->dedup);
+    epoch_.store(ckpt->meta.repl_epoch, std::memory_order_relaxed);
     CATFISH_COUNT("recovery.checkpoint_loaded");
   }
 
@@ -89,6 +91,9 @@ rtree::RStarTree DurabilityManager::Recover(rtree::NodeArena& arena,
     }
     dedup_.Record(rec.client_gen, rec.req_id, ok ? 1 : 0, rec.lsn);
     applied_lsn_ = rec.lsn;
+    if (rec.epoch > epoch_.load(std::memory_order_relaxed)) {
+      epoch_.store(rec.epoch, std::memory_order_relaxed);
+    }
     ++report_.records_replayed;
   }
 
@@ -99,6 +104,8 @@ rtree::RStarTree DurabilityManager::Recover(rtree::NodeArena& arena,
                decoded.records.empty() ? 0 : decoded.records.back().lsn) +
       1;
   wal_.emplace(wal_storage_.get(), next_lsn, cfg_.wal_stall_threshold_us);
+  published_durable_lsn_.store(wal_->durable_lsn(),
+                               std::memory_order_relaxed);
 
   report_.replay_us = NowMicros() - began_us;
   report_.dedup_sessions = dedup_.sessions();
@@ -154,13 +161,26 @@ WriteResult DurabilityManager::Execute(WalOp op, rtree::RStarTree& tree,
   const auto lock_span = span("wal_lock");
   std::unique_lock lock(write_mu_);
   end(lock_span);
+  // Snapshot under write_mu_ (SetReplicationGate takes the same mutex);
+  // the pointer stays valid past unlock because teardown joins every
+  // writer thread before the shipper clears and destroys the gate.
+  ReplicationGate* const gate = gate_;
   if (const auto hit = dedup_.Lookup(client_gen, req_id)) {
     lock.unlock();
     // A resend must never overtake the original write's durability: the
     // first execution may still be waiting on its sync when the retry
-    // arrives on a new connection.
+    // arrives on a new connection. Under replication the same applies to
+    // the follower ack — a duplicate is re-acked no earlier than the
+    // original would have been.
     const auto dup_span = span("dup_wait");
-    if (hit->lsn != 0) wal_->Commit(hit->lsn);
+    if (hit->lsn != 0) {
+      wal_->Commit(hit->lsn);
+      if (gate && !gate->WaitAcked(hit->lsn)) {
+        end(dup_span);
+        CATFISH_COUNT("repl.fenced_writes");
+        return WriteResult{false, true, hit->lsn};
+      }
+    }
     end(dup_span);
     CATFISH_COUNT("durable.dup_hits");
     return WriteResult{hit->ok != 0, true, hit->lsn};
@@ -173,6 +193,7 @@ WriteResult DurabilityManager::Execute(WalOp op, rtree::RStarTree& tree,
   rec.op = op;
   rec.client_gen = client_gen;
   rec.req_id = req_id;
+  rec.epoch = epoch_.load(std::memory_order_relaxed);
   rec.rect = rect;
   rec.rect_id = rect_id;
   const auto append_span = span("wal_append");
@@ -188,6 +209,11 @@ WriteResult DurabilityManager::Execute(WalOp op, rtree::RStarTree& tree,
   end(apply_span);
   applied_lsn_ = lsn;
   dedup_.Record(client_gen, req_id, ok ? 1 : 0, lsn);
+  if (commit_sink_) {
+    // Still under write_mu_, so the shipper sees records in LSN order.
+    rec.lsn = lsn;
+    commit_sink_(rec);
+  }
   lock.unlock();
 
   // Group commit outside the mutex: concurrent writers batch their
@@ -195,6 +221,22 @@ WriteResult DurabilityManager::Execute(WalOp op, rtree::RStarTree& tree,
   const auto commit_span = span("group_commit");
   wal_->Commit(lsn);
   end(commit_span);
+  {
+    uint64_t prev = published_durable_lsn_.load(std::memory_order_relaxed);
+    while (prev < lsn && !published_durable_lsn_.compare_exchange_weak(
+                             prev, lsn, std::memory_order_relaxed)) {
+    }
+  }
+  if (gate) {
+    // Semi-sync: hold the ack until a follower has the record durable.
+    const auto repl_span = span("repl_ack_wait");
+    const bool acked = gate->WaitAcked(lsn);
+    end(repl_span);
+    if (!acked) {
+      CATFISH_COUNT("repl.fenced_writes");
+      return WriteResult{false, false, lsn};
+    }
+  }
   if (trace) trace->SetAttr(parent, "lsn", static_cast<int64_t>(lsn));
   CATFISH_COUNT("durable.writes");
   return WriteResult{ok, false, lsn};
@@ -217,11 +259,15 @@ uint64_t DurabilityManager::Checkpoint(rtree::RStarTree& tree) {
   meta.tree_size = tree.size();
   meta.tree_height = tree.height();
   meta.write_epoch = tree.write_epoch();
+  meta.repl_epoch = epoch_.load(std::memory_order_relaxed);
   const auto blob = EncodeCheckpoint(tree.arena(), dedup_, meta);
   [[maybe_unused]] const size_t wal_bytes_before = wal_->log_bytes();
   checkpoint_store_->Write(blob);
-  // Only after the checkpoint is durable may the log prefix go away.
-  wal_->TruncateThrough(meta.applied_lsn);
+  // Only after the checkpoint is durable may the log prefix go away —
+  // and never past the replication retention floor: a record no
+  // follower has acked must stay resyncable.
+  wal_->TruncateThrough(std::min(
+      meta.applied_lsn, truncate_floor_.load(std::memory_order_relaxed)));
   ++checkpoints_;
   CATFISH_COUNT("durable.checkpoints");
   CATFISH_COUNT_ADD("durable.checkpoint_bytes",
@@ -235,6 +281,70 @@ uint64_t DurabilityManager::Checkpoint(rtree::RStarTree& tree) {
 uint64_t DurabilityManager::checkpoints_written() const {
   const std::scoped_lock lock(write_mu_);
   return checkpoints_;
+}
+
+void DurabilityManager::SetCommitSink(CommitSink sink) {
+  const std::scoped_lock lock(write_mu_);
+  commit_sink_ = std::move(sink);
+}
+
+void DurabilityManager::SetReplicationGate(ReplicationGate* gate) {
+  const std::scoped_lock lock(write_mu_);
+  gate_ = gate;
+}
+
+void DurabilityManager::SetEpoch(uint64_t epoch) {
+  uint64_t prev = epoch_.load(std::memory_order_relaxed);
+  while (prev < epoch && !epoch_.compare_exchange_weak(
+                             prev, epoch, std::memory_order_relaxed)) {
+  }
+}
+
+bool DurabilityManager::ApplyReplicated(rtree::RStarTree& tree,
+                                        const WalRecord& rec) {
+  if (!wal_) {
+    throw std::logic_error("durability manager: apply before Recover()");
+  }
+  const std::scoped_lock lock(write_mu_);
+  if (rec.lsn <= applied_lsn_) return true;  // replayed batch overlap
+  if (!wal_->AppendAt(rec)) return false;    // gap — follower must resync
+  bool ok = true;
+  if (rec.op == WalOp::kInsert) {
+    tree.Insert(rec.rect, rec.rect_id);
+  } else {
+    ok = tree.Delete(rec.rect, rec.rect_id);
+  }
+  applied_lsn_ = rec.lsn;
+  dedup_.Record(rec.client_gen, rec.req_id, ok ? 1 : 0, rec.lsn);
+  if (rec.epoch > epoch_.load(std::memory_order_relaxed)) {
+    epoch_.store(rec.epoch, std::memory_order_relaxed);
+  }
+  CATFISH_COUNT("repl.records_applied");
+  return true;
+}
+
+void DurabilityManager::CommitThrough(uint64_t lsn) {
+  if (!wal_) return;
+  wal_->Commit(lsn);
+  uint64_t prev = published_durable_lsn_.load(std::memory_order_relaxed);
+  while (prev < lsn && !published_durable_lsn_.compare_exchange_weak(
+                           prev, lsn, std::memory_order_relaxed)) {
+  }
+}
+
+void DurabilityManager::SetTruncateFloor(uint64_t lsn) {
+  truncate_floor_.store(lsn, std::memory_order_relaxed);
+}
+
+std::vector<WalRecord> DurabilityManager::ReadLogTail(
+    uint64_t from_lsn) const {
+  const std::scoped_lock lock(write_mu_);
+  const auto decoded = DecodeWalStream(wal_storage_->ReadAll());
+  std::vector<WalRecord> out;
+  for (const WalRecord& rec : decoded.records) {
+    if (rec.lsn >= from_lsn) out.push_back(rec);
+  }
+  return out;
 }
 
 }  // namespace catfish::durable

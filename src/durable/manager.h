@@ -20,10 +20,13 @@
 // resend must never be acked faster than the write became safe).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "durable/checkpoint.h"
 #include "durable/dedup.h"
@@ -33,6 +36,8 @@
 #include "telemetry/trace.h"
 
 namespace catfish::durable {
+
+class ReplicationGate;
 
 struct DurabilityConfig {
   /// Write a checkpoint (and truncate the WAL) once the log exceeds
@@ -117,6 +122,64 @@ class DurabilityManager {
   uint64_t checkpoints_written() const;
   const DurabilityConfig& config() const { return cfg_; }
 
+  // --- replication hooks (see durable/replication.h) ---
+
+  /// Called under the write mutex right after each WAL append, so the
+  /// shipper observes records in exact LSN order. Must be fast and must
+  /// not re-enter the manager. Install before serving traffic.
+  using CommitSink = std::function<void(const WalRecord&)>;
+  void SetCommitSink(CommitSink sink);
+
+  /// Semi-synchronous replication: when set, Execute blocks after the
+  /// local group commit until the gate has released the record's LSN
+  /// (>= 1 follower made it durable) — or reports a fenced write (the
+  /// gate was fenced by an epoch rejection or shipper shutdown), which
+  /// surfaces as ok=false so the client never sees an ack a promoted
+  /// follower might not have. Null = local durability only.
+  void SetReplicationGate(ReplicationGate* gate);
+
+  /// The replication epoch stamped on every subsequent record. Promotion
+  /// bumps it; followers adopt the stream's epoch as batches apply.
+  /// Never moves backwards.
+  void SetEpoch(uint64_t epoch);
+  uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+  /// Live cells for heartbeat plumbing (ServerConfig::repl_epoch /
+  /// repl_durable_lsn point here). Stable addresses for the manager's
+  /// lifetime.
+  const std::atomic<uint64_t>& epoch_cell() const { return epoch_; }
+  const std::atomic<uint64_t>& durable_lsn_cell() const {
+    return published_durable_lsn_;
+  }
+  uint64_t durable_lsn() const {
+    return published_durable_lsn_.load(std::memory_order_relaxed);
+  }
+
+  /// The follower apply path: appends `rec` at its primary-assigned LSN
+  /// (buffered, not yet durable — batch-commit via CommitThrough),
+  /// applies it to `tree`, and records the dedup entry so exactly-once
+  /// survives a promotion. A record at or below the applied LSN is a
+  /// harmless replay and returns true without reapplying; a gap returns
+  /// false and changes nothing (the follower acks kGap to force resync).
+  bool ApplyReplicated(rtree::RStarTree& tree, const WalRecord& rec);
+
+  /// Group-commits everything through `lsn` (the follower's per-batch
+  /// durability boundary) and publishes the new durable LSN.
+  void CommitThrough(uint64_t lsn);
+
+  /// Replication retention floor: Checkpoint() truncates the WAL only
+  /// through min(applied_lsn, floor), so records a follower has not yet
+  /// acked survive for resync. The shipper keeps this at the minimum
+  /// acked LSN across followers. Default UINT64_MAX = no floor.
+  void SetTruncateFloor(uint64_t lsn);
+
+  /// Re-reads the log and returns every record with lsn >= from_lsn —
+  /// the shipper's resync source when a follower is behind its
+  /// in-memory window. Requires from_lsn above the last checkpoint's
+  /// truncation boundary (guaranteed by the truncate floor).
+  std::vector<WalRecord> ReadLogTail(uint64_t from_lsn) const;
+
  private:
   WriteResult Execute(WalOp op, rtree::RStarTree& tree, uint64_t client_gen,
                       uint64_t req_id, const geo::Rect& rect,
@@ -136,6 +199,11 @@ class DurabilityManager {
   DedupTable dedup_;
   uint64_t applied_lsn_ = 0;
   uint64_t checkpoints_ = 0;
+  CommitSink commit_sink_;
+  ReplicationGate* gate_ = nullptr;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> published_durable_lsn_{0};
+  std::atomic<uint64_t> truncate_floor_{UINT64_MAX};
 
   RecoveryReport report_;
   bool recovered_ = false;

@@ -11,36 +11,6 @@
 namespace catfish::durable {
 
 // ---------------------------------------------------------------------------
-// CRC32
-// ---------------------------------------------------------------------------
-
-namespace {
-
-constexpr std::array<uint32_t, 256> MakeCrcTable() {
-  std::array<uint32_t, 256> table{};
-  for (uint32_t i = 0; i < 256; ++i) {
-    uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-constexpr auto kCrcTable = MakeCrcTable();
-
-}  // namespace
-
-uint32_t Crc32(std::span<const std::byte> bytes) noexcept {
-  uint32_t c = 0xFFFFFFFFu;
-  for (const std::byte b : bytes) {
-    c = kCrcTable[(c ^ static_cast<uint8_t>(b)) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
-}
-
-// ---------------------------------------------------------------------------
 // Record framing
 // ---------------------------------------------------------------------------
 
@@ -49,6 +19,7 @@ void EncodeWalRecord(const WalRecord& rec, std::vector<std::byte>& out) {
   payload.Append(static_cast<uint8_t>(rec.op));
   payload.Append(rec.client_gen);
   payload.Append(rec.req_id);
+  payload.Append(rec.epoch);
   payload.Append(rec.rect.min_x);
   payload.Append(rec.rect.min_y);
   payload.Append(rec.rect.max_x);
@@ -87,6 +58,7 @@ bool DecodePayload(std::span<const std::byte> payload, WalRecord& out) {
   out.op = static_cast<WalOp>(op);
   out.client_gen = r.Read<uint64_t>();
   out.req_id = r.Read<uint64_t>();
+  out.epoch = r.Read<uint64_t>();
   out.rect.min_x = r.Read<double>();
   out.rect.min_y = r.Read<double>();
   out.rect.max_x = r.Read<double>();
@@ -152,6 +124,18 @@ uint64_t Wal::Append(WalRecord rec) {
   ++stats_.appends;
   CATFISH_COUNT("wal.appends");
   return rec.lsn;
+}
+
+bool Wal::AppendAt(const WalRecord& rec) {
+  const std::scoped_lock lock(mu_);
+  if (rec.lsn != next_lsn_) return false;
+  ++next_lsn_;
+  encode_buf_.clear();
+  EncodeWalRecord(rec, encode_buf_);
+  storage_->Append(encode_buf_);
+  ++stats_.appends;
+  CATFISH_COUNT("wal.appends");
+  return true;
 }
 
 void Wal::Commit(uint64_t lsn) {

@@ -35,13 +35,13 @@
 #include <span>
 #include <vector>
 
+#include "common/crc32.h"
 #include "durable/storage.h"
 #include "geo/rect.h"
 
 namespace catfish::durable {
 
-/// CRC32 (ISO-HDLC polynomial, the zlib crc32), table-driven.
-uint32_t Crc32(std::span<const std::byte> bytes) noexcept;
+using ::catfish::Crc32;
 
 enum class WalOp : uint8_t {
   kInsert = 1,
@@ -56,14 +56,21 @@ struct WalRecord {
   WalOp op = WalOp::kInsert;
   uint64_t client_gen = 0;
   uint64_t req_id = 0;
+  /// Replication epoch the record was written under (0 = unreplicated).
+  /// Promotion bumps the shard's epoch, so records fence the incarnation
+  /// that produced them: a follower rejects batches from an older epoch
+  /// (a zombie primary), and recovery restores the highest epoch seen.
+  uint64_t epoch = 0;
   geo::Rect rect;
   uint64_t rect_id = 0;
+
+  bool operator==(const WalRecord&) const = default;
 };
 
 inline constexpr uint32_t kWalMagic = 0x574C4152u;  // 'WALR'
 inline constexpr size_t kWalHeaderBytes = 4 + 4 + 8 + 4;
-/// Encoded payload bytes of a WalRecord (op + gen + req + rect + id).
-inline constexpr size_t kWalPayloadBytes = 1 + 8 + 8 + 4 * 8 + 8;
+/// Encoded payload bytes of a WalRecord (op + gen + req + epoch + rect + id).
+inline constexpr size_t kWalPayloadBytes = 1 + 8 + 8 + 8 + 4 * 8 + 8;
 inline constexpr size_t kWalFrameBytes = kWalHeaderBytes + kWalPayloadBytes;
 
 /// Appends one framed record to `out`.
@@ -105,6 +112,12 @@ class Wal {
   /// Appends one record (buffered; not yet durable). Assigns and
   /// returns its LSN. Thread-safe.
   uint64_t Append(WalRecord rec);
+
+  /// Appends one record at its *caller-assigned* LSN (the replication
+  /// apply path: the primary assigned it and the follower must keep the
+  /// stream identical). Requires rec.lsn to be the next expected LSN;
+  /// returns false — appending nothing — on a gap or replay overlap.
+  bool AppendAt(const WalRecord& rec);
 
   /// Blocks until every record with lsn' <= lsn is durable. Group
   /// commit: one caller syncs for everyone waiting. Thread-safe.

@@ -71,6 +71,17 @@ struct CostModel {
   size_t read_request_bytes = 30;     ///< one-sided READ request packet
   size_t read_response_overhead_bytes = 30;  ///< per-chunk framing
   size_t max_segment_payload_bytes = 128 * 1024;  ///< ring/2 (256 KB ring)
+
+  // --- replication (WAL log shipping to followers) ---
+  /// Follower-side cost per shipped record: WAL append + tree apply +
+  /// dedup bookkeeping (cheaper than a primary insert — no R* descent
+  /// heuristics re-run, the split decisions replay deterministically).
+  double follower_apply_us = 8.0;
+  /// One shipped record on the wire: 57-byte frame + batch header share
+  /// + ring framing (single-record batch; batching amortizes the rest).
+  size_t repl_record_bytes = 91;
+  /// A follower's durable-LSN ack frame (33 bytes + ring framing).
+  size_t repl_ack_bytes = 37;
 };
 
 }  // namespace catfish::model

@@ -46,6 +46,17 @@ ShardedClusterSim::ShardedClusterSim(std::span<const rtree::Entry> items,
                                         fabric_.base_latency_us);
     s->down = std::make_unique<des::Link>(sched_, fabric_.bandwidth_gbps,
                                           fabric_.base_latency_us);
+    for (uint32_t j = 0; j < cfg_.num_replicas; ++j) {
+      auto r = std::make_unique<ReplicaRes>();
+      r->nic = std::make_unique<des::CpuPool>(sched_, 1);
+      r->applier = std::make_unique<des::CpuPool>(sched_, 1);
+      r->up = std::make_unique<des::Link>(sched_, fabric_.bandwidth_gbps,
+                                          fabric_.base_latency_us);
+      r->down = std::make_unique<des::Link>(sched_, fabric_.bandwidth_gbps,
+                                            fabric_.base_latency_us);
+      s->replicas.push_back(std::move(r));
+    }
+    s->live_replicas = cfg_.num_replicas;
     shards_.push_back(std::move(s));
   }
 
@@ -188,6 +199,12 @@ void ShardedClusterSim::StartSearch(Client& c, const geo::Rect& rect) {
         mode = c.ctrl[sh].NextMode(static_cast<uint64_t>(sched_.now()));
         break;
     }
+    // A dead primary cannot serve the two-sided fast path; its
+    // followers' arenas still answer one-sided reads — the live client
+    // makes the same call (follower routing + primary fallback).
+    if (shards_[sh]->primary_down && shards_[sh]->live_replicas > 0) {
+      mode = AccessMode::kRdmaOffloading;
+    }
     std::shared_ptr<SubTrace> st;
     if (join->trace) {
       st = std::make_shared<SubTrace>();
@@ -301,15 +318,28 @@ void ShardedClusterSim::SubqueryOffloaded(Client& c, uint32_t shard,
   rtree::SearchStats sst;
   std::vector<rtree::Entry> out;
   s.tree->SearchTraced(rect, out, &sst, trace.get());
-  sched_.After(issue_delay, [this, &c, shard, trace, join, st]() {
-    OffloadRound(c, shard, trace, 0, join, st);
+  // Follower read routing: spread the configured fraction of offloaded
+  // sub-queries round-robin over the live followers (they hold the same
+  // tree, shipped record by record); a dead primary forces it.
+  int replica = -1;
+  if (s.live_replicas > 0 &&
+      (s.primary_down ||
+       (cfg_.follower_read_fraction > 0.0 &&
+        c.rng.NextDouble() < cfg_.follower_read_fraction))) {
+    replica = static_cast<int>(s.read_rr++ % s.live_replicas);
+    ++result_.follower_reads;
+    CATFISH_COUNT("shard.client.follower_reads");
+    if (st && st->trace) st->trace->SetAttr(st->span, "follower", 1);
+  }
+  sched_.After(issue_delay, [this, &c, shard, replica, trace, join, st]() {
+    OffloadRound(c, shard, replica, trace, 0, join, st);
   });
 }
 
 void ShardedClusterSim::OffloadRound(
-    Client& c, uint32_t shard, std::shared_ptr<rtree::TraversalTrace> trace,
-    size_t level, std::shared_ptr<Fanout> join,
-    std::shared_ptr<SubTrace> st) {
+    Client& c, uint32_t shard, int replica,
+    std::shared_ptr<rtree::TraversalTrace> trace, size_t level,
+    std::shared_ptr<Fanout> join, std::shared_ptr<SubTrace> st) {
   if (level >= trace->nodes_per_level.size()) {
     SubqueryDone(join, st);
     return;
@@ -321,6 +351,16 @@ void ShardedClusterSim::OffloadRound(
                        static_cast<int64_t>(trace->nodes_per_level[level]));
   }
   ShardRes& s = *shards_[shard];
+  // The read plane: the chosen follower's NIC + links, or the primary's.
+  des::CpuPool* nic = s.nic.get();
+  des::Link* up = s.up.get();
+  des::Link* down = s.down.get();
+  if (replica >= 0 && static_cast<size_t>(replica) < s.replicas.size()) {
+    ReplicaRes& r = *s.replicas[replica];
+    nic = r.nic.get();
+    up = r.up.get();
+    down = r.down.get();
+  }
   const CostModel& k = cfg_.costs;
   const uint32_t n = trace->nodes_per_level[level];
   const size_t chunk_bytes =
@@ -331,11 +371,12 @@ void ShardedClusterSim::OffloadRound(
     double client_free_at;
   };
   auto round = std::make_shared<Round>(Round{n, sched_.now()});
-  auto node_done = [this, &c, shard, trace, level, join, round, st]() {
+  auto node_done = [this, &c, shard, replica, trace, level, join, round,
+                    st]() {
     if (--round->remaining == 0) {
       const double resume = std::max(round->client_free_at, sched_.now());
-      sched_.At(resume, [this, &c, shard, trace, level, join, st]() {
-        OffloadRound(c, shard, trace, level + 1, join, st);
+      sched_.At(resume, [this, &c, shard, replica, trace, level, join, st]() {
+        OffloadRound(c, shard, replica, trace, level + 1, join, st);
       });
     }
   };
@@ -343,6 +384,9 @@ void ShardedClusterSim::OffloadRound(
   struct ReadOp {
     ShardedClusterSim* sim;
     ShardRes* shard_res;
+    des::CpuPool* nic;
+    des::Link* up;
+    des::Link* down;
     Client* client;
     size_t chunk_bytes;
     std::function<void()> done;
@@ -351,10 +395,10 @@ void ShardedClusterSim::OffloadRound(
       ++sim->result_.rdma_reads;
       CATFISH_COUNT("rdma.read.posted");
       CATFISH_COUNT_ADD("rdma.read.bytes", chunk_bytes);
-      shard_res->down->Transfer(sim->cfg_.costs.read_request_bytes, [self]() {
-        self->shard_res->nic->Submit(self->sim->cfg_.costs.nic_read_op_us,
+      down->Transfer(sim->cfg_.costs.read_request_bytes, [self]() {
+        self->nic->Submit(self->sim->cfg_.costs.nic_read_op_us,
                                      [self]() {
-          self->shard_res->up->Transfer(self->chunk_bytes, [self]() {
+          self->up->Transfer(self->chunk_bytes, [self]() {
             const double p =
                 self->sim->ReadRetryProbability(*self->shard_res);
             if (p > 0.0 && self->client->rng.NextDouble() < p) {
@@ -409,7 +453,8 @@ void ShardedClusterSim::OffloadRound(
         sched_.At(round->client_free_at, node_done);
       };
       auto op = std::make_shared<ReadOp>(
-          ReadOp{this, &s, &c, chunk_bytes, std::move(process)});
+          ReadOp{this, &s, nic, up, down, &c, chunk_bytes,
+                 std::move(process)});
       sched_.After(t, [op]() { op->Issue(op); });
     }
     issued += m;
@@ -419,10 +464,63 @@ void ShardedClusterSim::OffloadRound(
   round->client_free_at = sched_.now() + t;
 }
 
+void ShardedClusterSim::ReplicateWrite(ShardRes& s,
+                                       const std::function<void()>& done) {
+  const uint32_t live = s.live_replicas;
+  const uint32_t quorum = std::min(cfg_.ack_followers, live);
+  const double t0 = sched_.now();
+  if (quorum > 0) {
+    ++result_.replicated_writes;
+  } else {
+    done();  // asynchronous shipping: the write never waits
+  }
+  struct Gate {
+    uint32_t acks = 0;
+    bool released = false;
+  };
+  auto gate = std::make_shared<Gate>();
+  auto on_ack = [this, gate, quorum, t0, done]() {
+    ++gate->acks;
+    if (quorum > 0 && !gate->released && gate->acks >= quorum) {
+      gate->released = true;
+      result_.repl_ack_us.Add(sched_.now() - t0);
+      CATFISH_TIMER_RECORD_US("repl.sim.ack_us", sched_.now() - t0);
+      done();
+    }
+  };
+  // One shipped record per live follower: primary NIC → follower link →
+  // follower WAL/tree apply → ack back over the follower's uplink.
+  for (uint32_t j = 0; j < live && j < s.replicas.size(); ++j) {
+    ReplicaRes& r = *s.replicas[j];
+    s.nic->Submit(cfg_.costs.nic_write_op_us, [this, &r, on_ack]() {
+      r.down->Transfer(cfg_.costs.repl_record_bytes, [this, &r, on_ack]() {
+        r.applier->Submit(cfg_.costs.follower_apply_us, [this, &r,
+                                                         on_ack]() {
+          r.nic->Submit(cfg_.costs.nic_write_op_us, [this, &r, on_ack]() {
+            r.up->Transfer(cfg_.costs.repl_ack_bytes, on_ack);
+          });
+        });
+      });
+    });
+  }
+}
+
 void ShardedClusterSim::ExecInsert(Client& c, const workload::Request& req) {
   const double t0 = sched_.now();
   const uint32_t owner = map_.OwnerOf(req.rect);
   ShardRes& s = *shards_[owner];
+  if (s.primary_down) {
+    // The primary is dead and promotion hasn't finished: the live
+    // client's watchdog would park this write and re-route after the
+    // re-bootstrap. Model the park as a retry once the shard is
+    // writable again.
+    ++result_.stalled_writes;
+    result_.write_stall_us.Add(s.primary_up_at - sched_.now());
+    CATFISH_COUNT("shard.sim.stalled_writes");
+    sched_.At(s.primary_up_at,
+              [this, &c, req]() { ExecInsert(c, req); });
+    return;
+  }
   const CostModel& k = cfg_.costs;
   CATFISH_COUNT("catfish.client.insert");
   CATFISH_COUNT_ADD("rdma.write.posted", 2);
@@ -460,7 +558,11 @@ void ShardedClusterSim::ExecInsert(Client& c, const workload::Request& req) {
               s.tree->Insert(req.rect, req.id);  // real mutation
               oracle_items_.push_back({req.rect, req.id});
               s.insert_service_cum_us += cfg_.costs.per_insert_us;
-              respond();
+              if (s.live_replicas > 0) {
+                ReplicateWrite(s, respond);  // semi-sync gate
+              } else {
+                respond();
+              }
             });
           });
         });
@@ -496,6 +598,25 @@ ShardedRunResult ShardedClusterSim::Run() {
   for (auto& c : clients_) {
     sched_.After(static_cast<double>(c->index) * 0.11,
                  [this, &c = *c]() { StartNextRequest(c); });
+  }
+  // Kill schedule: each event crashes a primary at a virtual instant.
+  // Writes park for detection + promotion; promotion consumes one
+  // follower (it *becomes* the primary), shrinking the read pool.
+  for (const auto& ev : cfg_.kill_schedule) {
+    if (ev.shard >= cfg_.num_shards) continue;
+    sched_.At(ev.at_us, [this, shard = ev.shard]() {
+      ShardRes& s = *shards_[shard];
+      if (s.primary_down || s.live_replicas == 0) return;
+      s.primary_down = true;
+      s.primary_up_at =
+          sched_.now() + cfg_.failover_detect_us + cfg_.failover_promote_us;
+      ++result_.failovers;
+      CATFISH_COUNT("shard.sim.failovers");
+      sched_.At(s.primary_up_at, [&s]() {
+        s.primary_down = false;
+        --s.live_replicas;  // the promoted follower is the new primary
+      });
+    });
   }
   if (cfg_.scheme == Scheme::kCatfish) ScheduleHeartbeat();
   sched_.Run();

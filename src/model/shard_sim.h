@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -74,6 +75,31 @@ struct ShardedClusterConfig {
   /// Sampled traces retained in ShardedRunResult::traces (oldest
   /// dropped beyond this).
   size_t trace_retain = 32;
+
+  // --- replication (mirrors ShardHostConfig) ---
+  /// Followers per shard: each is a replica machine (own NIC + links)
+  /// that serves one-sided offloaded reads and must durably apply a
+  /// write before the semi-sync gate releases it.
+  uint32_t num_replicas = 0;
+  /// Followers that must ack a write before it completes (clamped to
+  /// num_replicas; 0 = asynchronous shipping, writes never wait).
+  uint32_t ack_followers = 1;
+  /// Fraction of offloaded sub-queries routed to a follower when the
+  /// shard has replicas (round-robin over them); the rest stay on the
+  /// primary. 1.0 = all reads offloaded to followers.
+  double follower_read_fraction = 1.0;
+  /// Virtual-time kill schedule: at `at_us` the primary of `shard`
+  /// dies. Writes to it park until detection + promotion elapse;
+  /// offloaded reads keep flowing against the surviving followers.
+  struct KillEvent {
+    double at_us = 0.0;
+    uint32_t shard = 0;
+  };
+  std::vector<KillEvent> kill_schedule;
+  /// Failover decomposition (virtual time): watchdog detection, then
+  /// promotion + republish, before the shard accepts writes again.
+  double failover_detect_us = 30'000.0;
+  double failover_promote_us = 2'000.0;
 };
 
 struct ShardedRunResult {
@@ -104,6 +130,19 @@ struct ShardedRunResult {
   uint64_t mode_switches = 0;
   uint64_t oracle_checks = 0;
   uint64_t oracle_mismatches = 0;
+  /// Replication: writes that waited on the semi-sync gate, offloaded
+  /// sub-queries a follower served, primaries failed over, and writes
+  /// parked while their shard's primary was dead.
+  uint64_t replicated_writes = 0;
+  uint64_t follower_reads = 0;
+  uint64_t failovers = 0;
+  uint64_t stalled_writes = 0;
+  /// Added write latency from the semi-sync gate (local durability →
+  /// quorum follower ack).
+  LogHistogram repl_ack_us;
+  /// Park time of writes caught by a dead primary (detection +
+  /// promotion remainder at arrival).
+  LogHistogram write_stall_us;
   /// Sampled distributed traces (virtual-clock timestamps), oldest
   /// first; see ShardedClusterConfig::trace_sample_every.
   std::vector<std::shared_ptr<telemetry::Trace>> traces;
@@ -122,6 +161,16 @@ class ShardedClusterSim {
   const shard::ShardMap& map() const noexcept { return map_; }
 
  private:
+  /// One follower replica machine: the resources a one-sided read (NIC
+  /// + links) and a shipped-record apply (single applier core) contend
+  /// on. No worker pool — followers never serve two-sided requests.
+  struct ReplicaRes {
+    std::unique_ptr<des::CpuPool> nic;
+    std::unique_ptr<des::CpuPool> applier;
+    std::unique_ptr<des::Link> up;
+    std::unique_ptr<des::Link> down;
+  };
+
   /// One shard server = one simulated machine's contended resources.
   struct ShardRes {
     std::unique_ptr<rtree::NodeArena> arena;
@@ -133,6 +182,14 @@ class ShardedClusterSim {
     std::unique_ptr<des::Link> down;
     double insert_service_cum_us = 0.0;
     des::UtilizationWindow hb_window;
+    /// Replication state (empty when num_replicas == 0). Promotion
+    /// consumes a follower: `live_replicas` shrinks but the ReplicaRes
+    /// objects stay alive so in-flight chains on them stay valid.
+    std::vector<std::unique_ptr<ReplicaRes>> replicas;
+    uint32_t live_replicas = 0;
+    bool primary_down = false;
+    double primary_up_at = 0.0;  ///< when writes flow again after a kill
+    uint32_t read_rr = 0;        ///< follower read round-robin cursor
   };
 
   struct Client {
@@ -175,10 +232,16 @@ class ShardedClusterSim {
   void SubqueryOffloaded(Client& c, uint32_t shard, const geo::Rect& rect,
                          std::shared_ptr<Fanout> join, double issue_delay,
                          std::shared_ptr<SubTrace> st);
-  void OffloadRound(Client& c, uint32_t shard,
+  /// `replica` < 0 reads the primary's arena; otherwise the follower's
+  /// (same tree geometry — replication keeps them in lockstep here).
+  void OffloadRound(Client& c, uint32_t shard, int replica,
                     std::shared_ptr<rtree::TraversalTrace> trace,
                     size_t level, std::shared_ptr<Fanout> join,
                     std::shared_ptr<SubTrace> st);
+  /// Ships one committed record to every live follower and runs `done`
+  /// once `ack_followers` of them have durably applied it (immediately
+  /// when the quorum is 0).
+  void ReplicateWrite(ShardRes& s, const std::function<void()>& done);
   void SubqueryDone(std::shared_ptr<Fanout> join,
                     const std::shared_ptr<SubTrace>& st);
   /// Ends the open stage child (if any) and starts `next` (unless

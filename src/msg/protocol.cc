@@ -143,26 +143,47 @@ std::optional<WriteAck> DecodeWriteAck(std::span<const std::byte> payload) {
 }
 
 std::vector<std::byte> Encode(const Heartbeat& v) {
-  // The map-version tail is emitted only when set, so single-node
-  // heartbeats remain byte-identical to the pre-sharding frame.
-  ByteWriter w(v.map_version != 0 ? 40 : 32);
+  // Tails are emitted only when set, so single-node heartbeats remain
+  // byte-identical to the pre-sharding frame (32B), sharded ones to the
+  // pre-replication frame (40B). A replicated node (role != 0) encodes
+  // the map-version tail unconditionally so the three sizes (32/40/57)
+  // discriminate the layouts.
+  const bool repl = v.role != 0;
+  const bool map = repl || v.map_version != 0;
+  ByteWriter w(repl ? 57 : (map ? 40 : 32));
   w.Append(v.seq);
   w.Append(v.cpu_util);
   w.Append(v.tree_epoch);
   w.Append(v.server_generation);
-  if (v.map_version != 0) w.Append(v.map_version);
+  if (map) w.Append(v.map_version);
+  if (repl) {
+    w.Append(v.role);
+    w.Append(v.epoch);
+    w.Append(v.durable_lsn);
+  }
   return w.Take();
 }
 
 std::optional<Heartbeat> DecodeHeartbeat(std::span<const std::byte> payload) {
-  if (payload.size() != 32 && payload.size() != 40) return std::nullopt;
+  if (payload.size() != 32 && payload.size() != 40 && payload.size() != 57) {
+    return std::nullopt;
+  }
   ByteReader r(payload);
   Heartbeat v;
   v.seq = r.Read<uint64_t>();
   v.cpu_util = r.Read<double>();
   v.tree_epoch = r.Read<uint64_t>();
   v.server_generation = r.Read<uint64_t>();
-  if (payload.size() == 40) v.map_version = r.Read<uint64_t>();
+  if (payload.size() >= 40) v.map_version = r.Read<uint64_t>();
+  if (payload.size() == 57) {
+    v.role = r.Read<uint8_t>();
+    if (v.role == 0 ||
+        v.role > static_cast<uint8_t>(ReplRole::kFollower)) {
+      return std::nullopt;  // repl tail without a valid role is torn
+    }
+    v.epoch = r.Read<uint64_t>();
+    v.durable_lsn = r.Read<uint64_t>();
+  }
   return v;
 }
 

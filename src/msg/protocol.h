@@ -29,6 +29,8 @@ enum class MsgType : uint16_t {
   kKnnReq = 8,
   kKnnResp = 9,
   kTraceResp = 10,
+  kReplBatch = 11,  ///< primary→follower WAL record batch (msg/repl.h)
+  kReplAck = 12,    ///< follower→primary durability ack (msg/repl.h)
 };
 
 /// Distributed-tracing context carried on Search/Insert/Delete requests
@@ -109,6 +111,23 @@ struct Heartbeat {
   /// optional tail only when non-zero, so single-node heartbeats stay
   /// byte-identical to the pre-sharding wire format.
   uint64_t map_version = 0;
+  /// Replicated deployments only (second optional tail, emitted when
+  /// role != kReplRoleNone): the node's replication role, the epoch it
+  /// serves under, and its durable WAL LSN. Clients use role+epoch to
+  /// detect promotions between map republishes, and durable_lsn to bound
+  /// follower read lag. When this tail is present the map-version tail
+  /// is always encoded too (even if 0) so the frame size stays
+  /// unambiguous.
+  uint8_t role = 0;  ///< msg::ReplRole value; 0 = unreplicated
+  uint64_t epoch = 0;
+  uint64_t durable_lsn = 0;
+};
+
+/// Replication role a node advertises in heartbeats and hellos.
+enum class ReplRole : uint8_t {
+  kNone = 0,      ///< unreplicated single node (legacy frames)
+  kPrimary = 1,
+  kFollower = 2,
 };
 
 /// One segment of a search response; a full response is one or more

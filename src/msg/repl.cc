@@ -1,0 +1,179 @@
+#include "msg/repl.h"
+
+#include <cmath>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+
+namespace catfish::msg {
+
+namespace {
+
+void Set(ReplDecodeStatus* status, ReplDecodeStatus s) {
+  if (status) *status = s;
+}
+
+bool ValidOp(uint8_t op) { return op == 1 || op == 2; }
+
+}  // namespace
+
+const char* ToString(ReplDecodeStatus s) noexcept {
+  switch (s) {
+    case ReplDecodeStatus::kOk: return "ok";
+    case ReplDecodeStatus::kTruncated: return "truncated";
+    case ReplDecodeStatus::kBadMagic: return "bad_magic";
+    case ReplDecodeStatus::kVersionSkew: return "version_skew";
+    case ReplDecodeStatus::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> Encode(const ReplBatch& v) {
+  ByteWriter w(kReplBatchOverheadBytes + v.records.size() * kReplRecordBytes);
+  w.Append(kReplBatchMagic);
+  w.Append(kReplFormatVersion);
+  w.Append(static_cast<uint16_t>(0));
+  w.Append(v.shard);
+  w.Append(v.epoch);
+  w.Append(v.first_lsn);
+  w.Append(static_cast<uint16_t>(v.records.size()));
+  for (const ReplRecord& rec : v.records) {
+    w.Append(rec.op);
+    w.Append(rec.client_gen);
+    w.Append(rec.req_id);
+    w.Append(rec.rect.min_x);
+    w.Append(rec.rect.min_y);
+    w.Append(rec.rect.max_x);
+    w.Append(rec.rect.max_y);
+    w.Append(rec.rect_id);
+  }
+  const auto body = w.bytes().subspan(sizeof kReplBatchMagic);
+  w.Append(Crc32(body));
+  return w.Take();
+}
+
+std::optional<ReplBatch> DecodeReplBatch(std::span<const std::byte> payload,
+                                         ReplDecodeStatus* status) {
+  if (payload.size() < kReplBatchOverheadBytes) {
+    Set(status, ReplDecodeStatus::kTruncated);
+    return std::nullopt;
+  }
+  ByteReader r(payload);
+  if (r.Read<uint32_t>() != kReplBatchMagic) {
+    Set(status, ReplDecodeStatus::kBadMagic);
+    return std::nullopt;
+  }
+  if (r.Read<uint16_t>() != kReplFormatVersion) {
+    Set(status, ReplDecodeStatus::kVersionSkew);
+    return std::nullopt;
+  }
+  if (r.Read<uint16_t>() != 0) {
+    Set(status, ReplDecodeStatus::kCorrupt);
+    return std::nullopt;
+  }
+  ReplBatch v;
+  v.shard = r.Read<uint32_t>();
+  v.epoch = r.Read<uint64_t>();
+  v.first_lsn = r.Read<uint64_t>();
+  const uint16_t count = r.Read<uint16_t>();
+  if (count > kMaxReplBatchRecords) {
+    Set(status, ReplDecodeStatus::kCorrupt);
+    return std::nullopt;
+  }
+  const size_t want =
+      kReplBatchOverheadBytes + size_t{count} * kReplRecordBytes;
+  if (payload.size() < want) {
+    Set(status, ReplDecodeStatus::kTruncated);
+    return std::nullopt;
+  }
+  if (payload.size() != want) {
+    Set(status, ReplDecodeStatus::kCorrupt);  // trailing garbage
+    return std::nullopt;
+  }
+  // CRC before touching the records: a mutated frame must not yield a
+  // structurally-valid-looking batch.
+  const auto body = payload.subspan(4, payload.size() - 4 - 4);
+  const uint32_t stored_crc = LoadPod<uint32_t>(payload, payload.size() - 4);
+  if (Crc32(body) != stored_crc) {
+    Set(status, ReplDecodeStatus::kCorrupt);
+    return std::nullopt;
+  }
+  v.records.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    ReplRecord rec;
+    rec.op = r.Read<uint8_t>();
+    if (!ValidOp(rec.op)) {
+      Set(status, ReplDecodeStatus::kCorrupt);
+      return std::nullopt;
+    }
+    rec.client_gen = r.Read<uint64_t>();
+    rec.req_id = r.Read<uint64_t>();
+    rec.rect.min_x = r.Read<double>();
+    rec.rect.min_y = r.Read<double>();
+    rec.rect.max_x = r.Read<double>();
+    rec.rect.max_y = r.Read<double>();
+    rec.rect_id = r.Read<uint64_t>();
+    v.records.push_back(rec);
+  }
+  Set(status, ReplDecodeStatus::kOk);
+  return v;
+}
+
+std::vector<std::byte> Encode(const ReplAck& v) {
+  ByteWriter w(kReplAckBytes);
+  w.Append(kReplAckMagic);
+  w.Append(kReplFormatVersion);
+  w.Append(static_cast<uint16_t>(0));
+  w.Append(v.shard);
+  w.Append(v.epoch);
+  w.Append(v.durable_lsn);
+  w.Append(static_cast<uint8_t>(v.status));
+  const auto body = w.bytes().subspan(sizeof kReplAckMagic);
+  w.Append(Crc32(body));
+  return w.Take();
+}
+
+std::optional<ReplAck> DecodeReplAck(std::span<const std::byte> payload,
+                                     ReplDecodeStatus* status) {
+  if (payload.size() < kReplAckBytes) {
+    Set(status, ReplDecodeStatus::kTruncated);
+    return std::nullopt;
+  }
+  if (payload.size() != kReplAckBytes) {
+    Set(status, ReplDecodeStatus::kCorrupt);
+    return std::nullopt;
+  }
+  ByteReader r(payload);
+  if (r.Read<uint32_t>() != kReplAckMagic) {
+    Set(status, ReplDecodeStatus::kBadMagic);
+    return std::nullopt;
+  }
+  if (r.Read<uint16_t>() != kReplFormatVersion) {
+    Set(status, ReplDecodeStatus::kVersionSkew);
+    return std::nullopt;
+  }
+  if (r.Read<uint16_t>() != 0) {
+    Set(status, ReplDecodeStatus::kCorrupt);
+    return std::nullopt;
+  }
+  const auto body = payload.subspan(4, payload.size() - 4 - 4);
+  const uint32_t stored_crc = LoadPod<uint32_t>(payload, payload.size() - 4);
+  if (Crc32(body) != stored_crc) {
+    Set(status, ReplDecodeStatus::kCorrupt);
+    return std::nullopt;
+  }
+  ReplAck v;
+  v.shard = r.Read<uint32_t>();
+  v.epoch = r.Read<uint64_t>();
+  v.durable_lsn = r.Read<uint64_t>();
+  const uint8_t st = r.Read<uint8_t>();
+  if (st > static_cast<uint8_t>(ReplAckStatus::kGap)) {
+    Set(status, ReplDecodeStatus::kCorrupt);
+    return std::nullopt;
+  }
+  v.status = static_cast<ReplAckStatus>(st);
+  Set(status, ReplDecodeStatus::kOk);
+  return v;
+}
+
+}  // namespace catfish::msg

@@ -1,0 +1,125 @@
+// Replication wire frames: primary→follower WAL batches and
+// follower→primary durability acks.
+//
+// The shipper streams committed WAL records to each follower as CRC-
+// framed batches over the ordinary msg ring path (MsgType::kReplBatch /
+// kReplAck). Records inside a batch are LSN-contiguous, so only the
+// first LSN travels on the wire; the follower reconstructs the rest by
+// position. Both frames carry the shard id and the primary's epoch —
+// the follower rejects batches from an older epoch (a zombie primary
+// that lost a promotion race), and the primary rejects acks likewise.
+//
+// Batch frame, little-endian, CRC32 over everything after the magic:
+//
+//   u32 magic 'RPLB'
+//   u16 format version
+//   u16 reserved (0)
+//   u32 shard
+//   u64 epoch
+//   u64 first_lsn
+//   u16 count (<= kMaxReplBatchRecords)
+//   count * { u8 op, u64 client_gen, u64 req_id, 4*f64 rect, u64 rect_id }
+//   u32 crc
+//
+// Ack frame (fixed size):
+//
+//   u32 magic 'RPLA'
+//   u16 format version
+//   u16 reserved (0)
+//   u32 shard
+//   u64 epoch       follower's current epoch (so a fenced primary learns it)
+//   u64 durable_lsn highest LSN the follower has made durable
+//   u8  status      ReplAckStatus
+//   u32 crc
+//
+// Decoders are *total*: every frame either round-trips or is rejected
+// with a typed status — truncation, mutation, and hostile input never
+// over-read (fuzzed in tests/fuzz_test.cc, ReplFuzz).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geo/rect.h"
+
+namespace catfish::msg {
+
+/// One replicated write. Mirrors durable::WalRecord minus lsn and epoch
+/// (both carried once per batch) — msg deliberately does not depend on
+/// durable, so the replication layer converts at the boundary.
+struct ReplRecord {
+  uint8_t op = 1;  ///< durable::WalOp value: 1 = insert, 2 = delete
+  uint64_t client_gen = 0;
+  uint64_t req_id = 0;
+  geo::Rect rect;
+  uint64_t rect_id = 0;
+
+  bool operator==(const ReplRecord&) const = default;
+};
+
+/// Encoded bytes of one ReplRecord inside a batch.
+inline constexpr size_t kReplRecordBytes = 1 + 8 + 8 + 4 * 8 + 8;
+
+inline constexpr uint32_t kReplBatchMagic = 0x424C5052u;  // 'RPLB'
+inline constexpr uint32_t kReplAckMagic = 0x414C5052u;    // 'RPLA'
+inline constexpr uint16_t kReplFormatVersion = 1;
+/// Cap on records per batch; bounds both frame size and the allocation
+/// a decoder performs before the CRC has vouched for the frame.
+inline constexpr size_t kMaxReplBatchRecords = 512;
+
+/// Fixed bytes of a batch frame around the record array.
+inline constexpr size_t kReplBatchOverheadBytes =
+    4 + 2 + 2 + 4 + 8 + 8 + 2 + 4;
+/// Total bytes of an ack frame.
+inline constexpr size_t kReplAckBytes = 4 + 2 + 2 + 4 + 8 + 8 + 1 + 4;
+
+struct ReplBatch {
+  uint32_t shard = 0;
+  uint64_t epoch = 0;
+  uint64_t first_lsn = 0;  ///< records[i] has LSN first_lsn + i
+  std::vector<ReplRecord> records;
+
+  bool operator==(const ReplBatch&) const = default;
+};
+
+enum class ReplAckStatus : uint8_t {
+  kOk = 0,
+  kEpochReject = 1,  ///< batch epoch < follower epoch (zombie primary)
+  kGap = 2,          ///< first_lsn beyond the follower's tail — resync
+};
+
+struct ReplAck {
+  uint32_t shard = 0;
+  uint64_t epoch = 0;
+  uint64_t durable_lsn = 0;
+  ReplAckStatus status = ReplAckStatus::kOk;
+
+  bool operator==(const ReplAck&) const = default;
+};
+
+/// Typed decode rejection; the shipper treats anything but kOk as a
+/// transport fault and falls back to retry/resync.
+enum class ReplDecodeStatus : uint8_t {
+  kOk = 0,
+  kTruncated,    ///< shorter than its own framing claims
+  kBadMagic,
+  kVersionSkew,  ///< format version from a different build
+  kCorrupt,      ///< CRC mismatch or structurally invalid fields
+};
+
+const char* ToString(ReplDecodeStatus s) noexcept;
+
+std::vector<std::byte> Encode(const ReplBatch& v);
+std::vector<std::byte> Encode(const ReplAck& v);
+
+/// Decodes one batch frame. On any rejection `*status` (when non-null)
+/// says why and the returned optional is empty.
+std::optional<ReplBatch> DecodeReplBatch(std::span<const std::byte> payload,
+                                         ReplDecodeStatus* status = nullptr);
+
+std::optional<ReplAck> DecodeReplAck(std::span<const std::byte> payload,
+                                     ReplDecodeStatus* status = nullptr);
+
+}  // namespace catfish::msg

@@ -129,6 +129,16 @@ std::span<std::byte> SimNode::ResolveMr(uint32_t rkey) const {
   return regions_[rkey - 1];
 }
 
+void SimNode::Deregister(MemoryRegionHandle mr) {
+  // Exclusive on mr_mu_ waits out any copy the "NIC" already started
+  // against this region; blanking the slot (indices are rkeys) keeps
+  // every other registration's rkey stable.
+  const std::unique_lock barrier(mr_mu_);
+  const std::scoped_lock lock(mu_);
+  if (mr.rkey == 0 || mr.rkey > regions_.size()) return;
+  regions_[mr.rkey - 1] = {};
+}
+
 void SimNode::DeregisterAll() {
   // Exclusive on mr_mu_: in-flight copies hold it shared, so acquiring
   // it waits them out; afterwards stale rkeys resolve an empty span.

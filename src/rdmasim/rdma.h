@@ -175,6 +175,14 @@ class SimNode : public std::enable_shared_from_this<SimNode> {
   /// kRemoteAccessError without touching memory).
   void DeregisterAll();
 
+  /// Deregisters one region with the same in-flight barrier as
+  /// DeregisterAll, for owners whose memory dies while the node (and
+  /// other owners' regions) live on — e.g. one connection's ring on a
+  /// node that keeps serving. The rkey slot is retired, never reused,
+  /// so a peer still holding the stale rkey fails with
+  /// kRemoteAccessError instead of aliasing a later registration.
+  void Deregister(MemoryRegionHandle mr);
+
   /// Resolves a locally created QP by number — what the connection
   /// manager does with the QPN a peer sent over the bootstrap channel.
   std::shared_ptr<QueuePair> FindQp(uint32_t qp_num) const;

@@ -40,6 +40,7 @@ ShardedRTreeClient::ShardedRTreeClient(std::shared_ptr<rdma::SimNode> node,
     clients_[i] = ConnectViaBootstrap(
         [this, i] { return dial_(i); }, node_, cfg_.client);
   }
+  replica_clients_.resize(map_.shard_count());
 }
 
 AccessMode ShardedRTreeClient::DecideMode(uint32_t shard) {
@@ -100,6 +101,11 @@ void ShardedRTreeClient::RefreshIfStale(uint32_t shard) {
   }
   [[maybe_unused]] const uint64_t old_version = map_.version;
   map_ = std::move(fresh);
+  // The follower set may have changed (a promotion consumes one, a
+  // republish re-keys generations); drop all follower links and let
+  // them re-dial lazily against the fresh table.
+  replica_clients_.clear();
+  replica_clients_.resize(map_.shard_count());
   ++stats_.map_refreshes;
   CATFISH_COUNT("shard.client.map_refreshes");
   CATFISH_EVENT(kShardMapRefresh, NowMicros(), 0,
@@ -108,6 +114,82 @@ void ShardedRTreeClient::RefreshIfStale(uint32_t shard) {
 }
 
 std::vector<rtree::Entry> ShardedRTreeClient::Search(const geo::Rect& rect) {
+  PartialResult pr = DoSearch(rect);
+  if (!pr.complete()) {
+    if (!cfg_.allow_partial) throw pr.errors.front();
+    ++stats_.partial_results;
+    CATFISH_COUNT("shard.client.partial_results");
+  }
+  return std::move(pr.entries);
+}
+
+PartialResult ShardedRTreeClient::SearchPartial(const geo::Rect& rect) {
+  PartialResult pr = DoSearch(rect);
+  if (!pr.complete()) {
+    ++stats_.partial_results;
+    CATFISH_COUNT("shard.client.partial_results");
+  }
+  return pr;
+}
+
+RTreeClient* ShardedRTreeClient::FollowerFor(uint32_t shard) {
+  if (!cfg_.read_from_followers || !cfg_.replica_dial) return nullptr;
+  const auto& followers = map_.shards[shard].followers;
+  if (followers.empty()) return nullptr;
+  if (replica_clients_.size() <= shard) {
+    replica_clients_.resize(map_.shard_count());
+  }
+  auto& conns = replica_clients_[shard];
+  conns.resize(followers.size());
+
+  const uint64_t primary_lsn = clients_[shard]->advertised_durable_lsn();
+  const uint32_t n = static_cast<uint32_t>(followers.size());
+  for (uint32_t probe = 0; probe < n; ++probe) {
+    const uint32_t j = (follower_rr_++) % n;
+    auto& conn = conns[j];
+    if (!conn) {
+      try {
+        conn = ConnectViaBootstrap(
+            [this, shard, j] { return cfg_.replica_dial(shard, j); }, node_,
+            cfg_.client);
+      } catch (const std::exception&) {
+        continue;  // follower down or between incarnations; try the next
+      }
+    }
+    if (conn->conn_state() != ConnState::kConnected) continue;
+    // Identity + role checks: the link must point at the incarnation the
+    // map advertised, and that incarnation must still be a follower (a
+    // promoted one is now the primary under another name).
+    if (conn->server_generation() != followers[j].generation) {
+      conn.reset();  // stale incarnation; re-dialed on a later read
+      continue;
+    }
+    if (conn->repl_role() !=
+        static_cast<uint8_t>(msg::ReplRole::kFollower)) {
+      continue;
+    }
+    // Staleness bound: a follower whose heartbeat-advertised durable LSN
+    // trails the primary's by more than the configured lag serves
+    // arbitrarily old state — skip it rather than return it.
+    const uint64_t follower_lsn = conn->advertised_durable_lsn();
+    if (primary_lsn > follower_lsn &&
+        primary_lsn - follower_lsn > cfg_.max_replica_lag) {
+      ++stats_.follower_lag_skips;
+      CATFISH_COUNT("shard.client.follower_lag_skips");
+      continue;
+    }
+    // Epoch check: a follower still on an older reign may be feeding off
+    // a zombie primary; only read from one that has caught up with the
+    // epoch the map was published under.
+    const uint64_t follower_epoch =
+        std::max(conn->advertised_repl_epoch(), conn->repl_epoch());
+    if (follower_epoch < map_.shards[shard].epoch) continue;
+    return conn.get();
+  }
+  return nullptr;
+}
+
+PartialResult ShardedRTreeClient::DoSearch(const geo::Rect& rect) {
   CATFISH_SCOPED_TIMER_US("shard.client.search_us");
   // Refresh before staging: a heartbeat may have advertised a newer
   // table, or a prior op may have adopted one while some shard's link
@@ -146,7 +228,7 @@ std::vector<rtree::Entry> ShardedRTreeClient::Search(const geo::Rect& rect) {
   };
   std::vector<Pending> pending;
   std::vector<uint32_t> offload;
-  std::optional<ShardError> err;
+  PartialResult out;
   for (const uint32_t shard : targets_) {
     if (DecideMode(shard) != AccessMode::kFastMessaging) {
       offload.push_back(shard);
@@ -172,7 +254,7 @@ std::vector<rtree::Entry> ShardedRTreeClient::Search(const geo::Rect& rect) {
       }
       ++stats_.shard_errors;
       CATFISH_COUNT("shard.client.subquery_errors");
-      if (!err) err = Wrap(shard, e);
+      out.errors.push_back(Wrap(shard, e));
     }
   }
 
@@ -188,16 +270,36 @@ std::vector<rtree::Entry> ShardedRTreeClient::Search(const geo::Rect& rect) {
   // the whole record (offload=1 marks it).
   std::vector<rtree::Entry> results;
   for (const uint32_t shard : offload) {
+    // Follower read routing: one-sided reads need no primary CPU *or*
+    // primary arena — any caught-up follower's tree is just as good, and
+    // the fetch engine's version validation detects a torn snapshot
+    // there exactly as it would on the primary. Fall back to the primary
+    // on any follower failure; never fail a query a primary could serve.
+    RTreeClient* follower = FollowerFor(shard);
     auto span = telemetry::kInvalidSpan;
     if (trace) {
       span = trace->StartSpan(trace->root(), "subquery",
                               cfg_.tracer->now_us());
       trace->SetAttr(span, "shard", shard);
       trace->SetAttr(span, "offload", 1);
+      if (follower) trace->SetAttr(span, "follower", 1);
     }
     try {
       CATFISH_SCOPED_TIMER_US("shard.client.subquery_us");
-      const auto part = clients_[shard]->SearchOffloaded(rect);
+      std::vector<rtree::Entry> part;
+      if (follower) {
+        try {
+          part = follower->SearchOffloaded(rect);
+          ++stats_.follower_reads;
+          CATFISH_COUNT("shard.client.follower_reads");
+        } catch (const ClientError&) {
+          ++stats_.follower_fallbacks;
+          CATFISH_COUNT("shard.client.follower_fallbacks");
+          part = clients_[shard]->SearchOffloaded(rect);
+        }
+      } else {
+        part = clients_[shard]->SearchOffloaded(rect);
+      }
       results.insert(results.end(), part.begin(), part.end());
       if (trace) {
         trace->SetAttr(span, "results", static_cast<int64_t>(part.size()));
@@ -206,7 +308,7 @@ std::vector<rtree::Entry> ShardedRTreeClient::Search(const geo::Rect& rect) {
       if (trace) trace->SetAttr(span, "error", 1);
       ++stats_.shard_errors;
       CATFISH_COUNT("shard.client.subquery_errors");
-      if (!err) err = Wrap(shard, e);
+      out.errors.push_back(Wrap(shard, e));
     }
     if (trace) trace->EndSpan(span, cfg_.tracer->now_us());
   }
@@ -228,7 +330,7 @@ std::vector<rtree::Entry> ShardedRTreeClient::Search(const geo::Rect& rect) {
       if (trace) trace->SetAttr(p.span, "error", 1);
       ++stats_.shard_errors;
       CATFISH_COUNT("shard.client.subquery_errors");
-      if (!err) err = Wrap(p.shard, e);
+      out.errors.push_back(Wrap(p.shard, e));
     }
     if (trace) {
       // Collection is sequential, so ending the span at collect time
@@ -272,8 +374,8 @@ std::vector<rtree::Entry> ShardedRTreeClient::Search(const geo::Rect& rect) {
   }
 
   for (const uint32_t shard : targets_) RefreshIfStale(shard);
-  if (err) throw *err;
-  return results;
+  out.entries = std::move(results);
+  return out;
 }
 
 std::vector<rtree::Entry> ShardedRTreeClient::NearestNeighbors(

@@ -57,12 +57,37 @@ class ShardError : public std::runtime_error {
   ClientStatus status_;
 };
 
+/// Dials follower `replica` of `shard` (typically a closure over
+/// ShardHost::DialReplica). Re-invoked on every lazy follower connect.
+using ReplicaDialFn =
+    std::function<std::shared_ptr<tcpkit::Stream>(uint32_t shard,
+                                                  uint32_t replica)>;
+
 struct ShardedClientConfig {
   /// Per-shard connection config (mode, watchdog, write_attempts, ...).
   /// Leave client.tracer null here: the fan-out trace is owned by this
   /// layer (see tracer below), and a per-shard tracer would record each
   /// sub-query twice.
   ClientConfig client;
+  /// Graceful degradation: when true, Search() returns whatever the
+  /// healthy shards answered instead of throwing on the first failed
+  /// sub-query (counted in shard.client.partial_results). Callers that
+  /// need per-shard error detail use SearchPartial() directly.
+  bool allow_partial = false;
+  /// Follower read routing: offloaded fan-out sub-queries are spread
+  /// over the shard's followers (advertised in the v2 map) instead of
+  /// always hitting the primary. Requires `replica_dial`. Reads fall
+  /// back to the primary on any follower failure, role/epoch mismatch,
+  /// or replication lag beyond `max_replica_lag` — a stale or torn
+  /// follower read is never silently returned (the fetch engine's
+  /// version validation catches torn pages; the lag bound catches
+  /// wholesale staleness).
+  bool read_from_followers = false;
+  /// Max advertised durable-LSN gap (primary minus follower, both from
+  /// heartbeats) before a follower is skipped for reads. 0 = the
+  /// follower must have acked everything the primary has advertised.
+  uint64_t max_replica_lag = 0;
+  ReplicaDialFn replica_dial;
   /// When set, sampled cross-shard operations build one *distributed*
   /// trace: a "shard.search" (or shard.insert/shard.delete) root, one
   /// "subquery" child span per contacted shard, and — for fast-path
@@ -93,6 +118,19 @@ struct ShardedClientStats {
   uint64_t knn_queries = 0;
   uint64_t shard_errors = 0;       ///< failed sub-operations observed
   uint64_t assembled_traces = 0;   ///< distributed traces joined
+  uint64_t partial_results = 0;    ///< fan-outs delivered incomplete
+  uint64_t follower_reads = 0;     ///< sub-queries served by a follower
+  uint64_t follower_fallbacks = 0; ///< follower failed → primary retried
+  uint64_t follower_lag_skips = 0; ///< follower too stale, primary used
+};
+
+/// A fan-out answer that tolerates per-shard failures: the union of the
+/// healthy shards' results plus one ShardError per failed sub-query.
+struct PartialResult {
+  std::vector<rtree::Entry> entries;
+  std::vector<ShardError> errors;
+
+  bool complete() const noexcept { return errors.empty(); }
 };
 
 class ShardedRTreeClient {
@@ -114,7 +152,14 @@ class ShardedRTreeClient {
   ShardedRTreeClient& operator=(const ShardedRTreeClient&) = delete;
 
   /// Cross-shard range query; exact union of the per-shard answers.
+  /// Throws the first ShardError on any failed sub-query unless
+  /// cfg.allow_partial, in which case the healthy shards' union is
+  /// returned (and shard.client.partial_results counts the degradation).
   std::vector<rtree::Entry> Search(const geo::Rect& rect);
+
+  /// Like Search, but never throws on sub-query failure: every failed
+  /// shard is reported alongside the surviving results.
+  PartialResult SearchPartial(const geo::Rect& rect);
 
   /// k nearest neighbors, closest first. Every shard answers its local
   /// top-k (cell geometry gives no distance bound that is both simple
@@ -134,6 +179,12 @@ class ShardedRTreeClient {
   uint32_t last_fanout() const noexcept { return last_fanout_; }
   /// The per-shard connection (tests poke controllers and stats).
   RTreeClient& shard_client(uint32_t shard) { return *clients_[shard]; }
+  /// The lazily-dialed follower connection, or null if none was made.
+  RTreeClient* replica_client(uint32_t shard, uint32_t replica) {
+    if (shard >= replica_clients_.size()) return nullptr;
+    if (replica >= replica_clients_[shard].size()) return nullptr;
+    return replica_clients_[shard][replica].get();
+  }
 
  private:
   /// Per-shard adaptive decision, mirroring RTreeClient::Search: the
@@ -144,6 +195,16 @@ class ShardedRTreeClient {
   /// Adopts a newer routing table after `shard`'s connection observed a
   /// generation the map predates. No-op while generations agree.
   void RefreshIfStale(uint32_t shard);
+
+  /// The fan-out body shared by Search and SearchPartial: all errors
+  /// accumulated, nothing thrown.
+  PartialResult DoSearch(const geo::Rect& rect);
+
+  /// Picks a usable follower connection for an offloaded read on
+  /// `shard` (round-robin over the map's follower list, lazily dialed,
+  /// role/epoch/generation-checked, lag-bounded), or null when the read
+  /// must go to the primary.
+  RTreeClient* FollowerFor(uint32_t shard);
 
   /// Shared Insert/Delete scaffolding: trace the routed write (root +
   /// subquery span + grafted server tree when sampled), run `op` on the
@@ -156,8 +217,12 @@ class ShardedRTreeClient {
   ShardedClientConfig cfg_;
   ShardMap map_;
   std::vector<std::unique_ptr<RTreeClient>> clients_;
+  /// [shard][replica] lazy follower connections; dropped wholesale on a
+  /// map refresh (the follower set may have changed under promotion).
+  std::vector<std::vector<std::unique_ptr<RTreeClient>>> replica_clients_;
   ShardedClientStats stats_;
   uint32_t last_fanout_ = 0;
+  uint32_t follower_rr_ = 0;  ///< round-robin cursor for follower reads
   std::vector<uint32_t> targets_;  // fan-out scratch
 };
 

@@ -1,8 +1,13 @@
 #include "shard/host.h"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
+#include "common/clock.h"
 #include "durable/checkpoint.h"
+#include "msg/protocol.h"
 #include "rtree/bulk_load.h"
 #include "telemetry/metrics.h"
 
@@ -11,6 +16,9 @@ namespace catfish::shard {
 ShardHost::ShardHost(rdma::Fabric& fabric, ShardHostConfig cfg)
     : fabric_(&fabric), cfg_(cfg) {
   if (cfg_.num_shards == 0) cfg_.num_shards = 1;
+  if (cfg_.num_replicas > kMaxFollowers) cfg_.num_replicas = kMaxFollowers;
+  // Replication is WAL shipping; there is no replicated-but-volatile mode.
+  if (cfg_.num_replicas > 0) cfg_.durable = true;
   cfg_.server.durability = nullptr;  // managed per shard below
 }
 
@@ -44,9 +52,29 @@ void ShardHost::Load(std::span<const rtree::Entry> items) {
       meta.tree_size = loaded.size();
       meta.tree_height = loaded.height();
       meta.write_epoch = loaded.write_epoch();
-      shard->ckpt_disk->Write(durable::EncodeCheckpoint(
+      const auto seed = durable::EncodeCheckpoint(
           *shard->arena, durable::DedupTable(cfg_.durability.dedup_window),
-          meta));
+          meta);
+      shard->ckpt_disk->Write(seed);
+      // Followers start from the same checkpoint image: bulk-loaded
+      // state never travels through the log, so it must be seeded.
+      for (uint32_t j = 0; j < cfg_.num_replicas; ++j) {
+        auto rep = std::make_unique<Replica>();
+        rep->shard = i;
+        rep->idx = j;
+        rep->node = fabric_->CreateNode(map.shards[i].node_name + "-r" +
+                                        std::to_string(j));
+        rep->wal_disk = std::make_shared<durable::MemLogStorage>();
+        rep->ckpt_disk = std::make_shared<durable::MemCheckpointStore>();
+        rep->ckpt_disk->Write(seed);
+        rep->arena = std::make_unique<rtree::NodeArena>(rtree::kChunkSize,
+                                                        cfg_.arena_chunks);
+        rep->durability = std::make_unique<durable::DurabilityManager>(
+            rep->wal_disk, rep->ckpt_disk, cfg_.durability);
+        rep->tree = std::make_unique<rtree::RStarTree>(
+            rep->durability->Recover(*rep->arena));
+        shard->replicas.push_back(std::move(rep));
+      }
       RecoverState(*shard);
     } else {
       shard->tree = std::make_unique<rtree::RStarTree>(std::move(loaded));
@@ -56,9 +84,19 @@ void ShardHost::Load(std::span<const rtree::Entry> items) {
 
   for (uint32_t i = 0; i < cfg_.num_shards; ++i) {
     Shard& s = *shards_[i];
+    // Shipper before server: no write may Execute before the gate and
+    // commit sink are installed.
+    RewireReplication(s);
     StartServer(s);
+    for (auto& rp : s.replicas) StartReplicaServer(s, *rp);
     map.shards[i].generation = s.node->generation();
     map.shards[i].arena_rkey = s.server->arena_mr().rkey;
+    if (s.durability) map.shards[i].epoch = s.durability->epoch();
+    for (auto& rp : s.replicas) {
+      map.shards[i].followers.push_back(ReplicaInfo{
+          rp->node->name(), rp->node->generation(),
+          rp->server->arena_mr().rkey});
+    }
   }
   {
     const std::scoped_lock lock(map_mu_);
@@ -67,8 +105,15 @@ void ShardHost::Load(std::span<const rtree::Entry> items) {
   published_version_.store(1, std::memory_order_relaxed);
   CATFISH_GAUGE_SET("shard.map.version", 1);
   CATFISH_GAUGE_SET("shard.host.shards", cfg_.num_shards);
+  CATFISH_GAUGE_SET("shard.host.replicas",
+                    static_cast<int64_t>(cfg_.num_replicas));
   CATFISH_GAUGE_SET("shard.host.fabric_nodes",
                     static_cast<int64_t>(fabric_->node_count()));
+
+  if (cfg_.auto_failover) {
+    failover_stop_.store(false, std::memory_order_release);
+    failover_thread_ = std::thread([this] { FailoverLoop(); });
+  }
 }
 
 void ShardHost::StartServer(Shard& s) {
@@ -76,6 +121,11 @@ void ShardHost::StartServer(Shard& s) {
   ServerConfig scfg = cfg_.server;
   scfg.durability = s.durability.get();
   scfg.map_version = &published_version_;
+  if (!s.replicas.empty() && s.durability) {
+    scfg.repl_role = static_cast<uint8_t>(msg::ReplRole::kPrimary);
+    scfg.repl_epoch = &s.durability->epoch_cell();
+    scfg.repl_durable_lsn = &s.durability->durable_lsn_cell();
+  }
   s.server = std::make_unique<RTreeServer>(s.node, *s.tree, scfg);
   s.acceptor = std::make_unique<BootstrapAcceptor>(*s.server, *fabric_);
   s.acceptor->SetHelloExtension(s.id, [this] {
@@ -96,6 +146,37 @@ void ShardHost::StopServer(Shard& s) {
   if (server) server->Stop();
 }
 
+void ShardHost::StartReplicaServer(Shard& s, Replica& r) {
+  const std::scoped_lock lock(r.boot_mu);
+  ServerConfig scfg = cfg_.server;
+  // Followers never Execute client writes — mutations arrive only as
+  // shipped WAL records through the applier — so the server gets no
+  // durability hook (its monitor must not checkpoint under the applier).
+  scfg.durability = nullptr;
+  scfg.map_version = &published_version_;
+  scfg.repl_role = static_cast<uint8_t>(msg::ReplRole::kFollower);
+  scfg.repl_epoch = &r.durability->epoch_cell();
+  scfg.repl_durable_lsn = &r.durability->durable_lsn_cell();
+  r.server = std::make_unique<RTreeServer>(r.node, *r.tree, scfg);
+  r.acceptor = std::make_unique<BootstrapAcceptor>(*r.server, *fabric_);
+  r.acceptor->SetHelloExtension(s.id, [this] {
+    const std::scoped_lock map_lock(map_mu_);
+    return EncodeShardMap(map_);
+  });
+}
+
+void ShardHost::StopReplicaServer(Replica& r) {
+  std::unique_ptr<BootstrapAcceptor> acceptor;
+  std::unique_ptr<RTreeServer> server;
+  {
+    const std::scoped_lock lock(r.boot_mu);
+    acceptor = std::move(r.acceptor);
+    server = std::move(r.server);
+  }
+  if (acceptor) acceptor->Stop();
+  if (server) server->Stop();
+}
+
 void ShardHost::RecoverState(Shard& s) {
   s.tree.reset();
   s.arena = std::make_unique<rtree::NodeArena>(rtree::kChunkSize,
@@ -106,22 +187,179 @@ void ShardHost::RecoverState(Shard& s) {
       std::make_unique<rtree::RStarTree>(s.durability->Recover(*s.arena));
 }
 
+void ShardHost::AttachFollower(Shard& s, Replica& r) {
+  r.channel = std::make_unique<durable::ReplChannel>(s.node, r.node);
+  r.applier = std::make_unique<durable::FollowerApplier>(
+      *r.durability, *r.tree, &r.channel->batch_rx(), &r.channel->ack_tx(),
+      durable::FollowerApplierConfig{s.id});
+  s.shipper->AddFollower(&r.channel->batch_tx(), &r.channel->ack_rx());
+  r.applier->Start();
+}
+
+void ShardHost::RewireReplication(Shard& s) {
+  if (s.shipper) {
+    s.shipper->Stop();
+    s.shipper.reset();
+  }
+  for (auto& rp : s.replicas) {
+    if (rp->applier) {
+      rp->applier->Stop();
+      rp->applier.reset();
+    }
+    rp->channel.reset();
+  }
+  bool any_live = false;
+  for (auto& rp : s.replicas) any_live |= !rp->dead;
+  if (!any_live || !s.durability) return;
+  durable::ReplicationShipperConfig rcfg = cfg_.replication;
+  rcfg.shard = s.id;
+  s.shipper = std::make_unique<durable::ReplicationShipper>(*s.durability,
+                                                            rcfg);
+  for (auto& rp : s.replicas) {
+    if (!rp->dead) AttachFollower(s, *rp);
+  }
+  s.shipper->Start();
+}
+
 void ShardHost::RestartShard(uint32_t shard) {
+  const std::scoped_lock repl_lock(repl_mu_);
   Shard& s = *shards_[shard];
+  // Server first: joining the workers drains any in-flight write while
+  // the shipper is still alive to ack it — stopping the shipper first
+  // would tear the replication gate out from under a blocked Execute.
+  // Then the rest of the replication plane quiesces before the node
+  // dies, so no thread touches a dead QP.
   StopServer(s);
+  if (s.shipper) {
+    s.shipper->Stop();
+    s.shipper.reset();
+  }
+  for (auto& rp : s.replicas) {
+    if (rp->applier) {
+      rp->applier->Stop();
+      rp->applier.reset();
+    }
+    rp->channel.reset();
+  }
   const std::string name = s.node->name();
   s.node = fabric_->RestartNode(name);
   if (cfg_.durable) RecoverState(s);
+  RewireReplication(s);
   StartServer(s);
   Republish(shard);
   CATFISH_COUNT("shard.host.restarts");
 }
 
+void ShardHost::KillPrimary(uint32_t shard) {
+  const std::scoped_lock repl_lock(repl_mu_);
+  Shard& s = *shards_[shard];
+  StopServer(s);
+  if (s.shipper) {
+    s.shipper->Stop();  // fences the gate: no in-flight write false-acks
+    s.shipper.reset();
+  }
+  for (auto& rp : s.replicas) {
+    if (rp->applier) {
+      rp->applier->Stop();
+      rp->applier.reset();
+    }
+    rp->channel.reset();
+  }
+  // Kill the fabric node: stale rkeys and QPNs die with it. Nothing
+  // restarts — heartbeat silence is what trips the client watchdog.
+  s.node = fabric_->RestartNode(s.node->name());
+  s.primary_down_since_us.store(NowMicros(), std::memory_order_release);
+  CATFISH_COUNT("shard.host.primary_kills");
+}
+
+uint32_t ShardHost::Promote(uint32_t shard) {
+  const std::scoped_lock repl_lock(repl_mu_);
+  Shard& s = *shards_[shard];
+  uint32_t best = UINT32_MAX;
+  uint64_t best_lsn = 0;
+  for (uint32_t j = 0; j < s.replicas.size(); ++j) {
+    Replica& r = *s.replicas[j];
+    if (r.dead || !r.durability) continue;
+    const uint64_t lsn = r.durability->durable_lsn();
+    if (best == UINT32_MAX || lsn > best_lsn) {
+      best = j;
+      best_lsn = lsn;
+    }
+  }
+  if (best == UINT32_MAX) return UINT32_MAX;
+
+  // Quiesce the old plane (no-op after KillPrimary; on a planned
+  // failover this is what demotes the still-live old primary).
+  StopServer(s);
+  if (s.shipper) {
+    s.shipper->Stop();
+    s.shipper.reset();
+  }
+  for (auto& rp : s.replicas) {
+    if (rp->applier) {
+      rp->applier->Stop();
+      rp->applier.reset();
+    }
+    rp->channel.reset();
+  }
+
+  Replica& w = *s.replicas[best];
+  StopReplicaServer(w);  // its role is changing; restarted as primary
+  const uint64_t fence_from = std::max(
+      {w.durability->epoch(), s.durability ? s.durability->epoch() : 0,
+       map().shards[shard].epoch});
+  // Swap the winner's whole stack into the primary slot; the old
+  // primary's corpse parks in the replica slot, marked dead (its disks
+  // are kept — a future rejoin path could resync it as a follower).
+  std::swap(s.node, w.node);
+  std::swap(s.arena, w.arena);
+  std::swap(s.tree, w.tree);
+  std::swap(s.wal_disk, w.wal_disk);
+  std::swap(s.ckpt_disk, w.ckpt_disk);
+  std::swap(s.durability, w.durability);
+  w.dead = true;
+  // Epoch fence: the new reign is strictly above anything the old
+  // primary ever stamped, so its zombie's late batches bounce.
+  s.durability->SetEpoch(fence_from + 1);
+  RewireReplication(s);
+  StartServer(s);
+  s.primary_down_since_us.store(0, std::memory_order_release);
+  Republish(shard);
+  promotions_.fetch_add(1, std::memory_order_relaxed);
+  CATFISH_COUNT("shard.host.promotions");
+  return best;
+}
+
+void ShardHost::FailoverLoop() {
+  while (!failover_stop_.load(std::memory_order_acquire)) {
+    const uint64_t now = NowMicros();
+    for (auto& sp : shards_) {
+      const uint64_t down =
+          sp->primary_down_since_us.load(std::memory_order_acquire);
+      if (down != 0 && now - down >= cfg_.failover_grace_us) {
+        Promote(sp->id);
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(cfg_.failover_check_interval_us));
+  }
+}
+
 void ShardHost::Republish(uint32_t shard) {
   Shard& s = *shards_[shard];
   const std::scoped_lock lock(map_mu_);
-  map_.shards[shard].generation = s.node->generation();
-  map_.shards[shard].arena_rkey = s.server->arena_mr().rkey;
+  ShardInfo& info = map_.shards[shard];
+  info.node_name = s.node->name();
+  info.generation = s.node->generation();
+  info.arena_rkey = s.server->arena_mr().rkey;
+  info.epoch = s.durability ? s.durability->epoch() : 0;
+  info.followers.clear();
+  for (auto& rp : s.replicas) {
+    if (rp->dead || !rp->server) continue;
+    info.followers.push_back(ReplicaInfo{
+        rp->node->name(), rp->node->generation(),
+        rp->server->arena_mr().rkey});
+  }
   ++map_.version;
   published_version_.store(map_.version, std::memory_order_relaxed);
   CATFISH_GAUGE_SET("shard.map.version", map_.version);
@@ -136,9 +374,35 @@ std::shared_ptr<tcpkit::Stream> ShardHost::Dial(uint32_t shard) {
   return s.acceptor->Dial();
 }
 
+std::shared_ptr<tcpkit::Stream> ShardHost::DialReplica(uint32_t shard,
+                                                       uint32_t replica) {
+  Replica& r = *shards_[shard]->replicas[replica];
+  const std::scoped_lock lock(r.boot_mu);
+  if (!r.acceptor) {
+    throw std::runtime_error("ShardHost: replica has no live acceptor");
+  }
+  return r.acceptor->Dial();
+}
+
 void ShardHost::Stop() {
+  if (!failover_stop_.exchange(true, std::memory_order_acq_rel)) {
+    if (failover_thread_.joinable()) failover_thread_.join();
+  }
   for (auto& s : shards_) {
-    if (s) StopServer(*s);
+    if (!s) continue;
+    StopServer(*s);
+    for (auto& rp : s->replicas) StopReplicaServer(*rp);
+    if (s->shipper) {
+      s->shipper->Stop();
+      s->shipper.reset();
+    }
+    for (auto& rp : s->replicas) {
+      if (rp->applier) {
+        rp->applier->Stop();
+        rp->applier.reset();
+      }
+      rp->channel.reset();
+    }
   }
 }
 

@@ -21,11 +21,13 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "catfish/bootstrap.h"
 #include "catfish/server.h"
 #include "durable/manager.h"
+#include "durable/replication.h"
 #include "durable/storage.h"
 #include "rdmasim/rdma.h"
 #include "rtree/arena.h"
@@ -50,6 +52,22 @@ struct ShardHostConfig {
   /// Floor for the map's query expansion; raise it when post-load
   /// inserts may be larger than anything in the bulk-loaded dataset.
   double min_slop = 0.0;
+  /// Follower replicas per shard (0–2 in practice). Non-zero forces
+  /// durable mode: replication is WAL log shipping, so there must be a
+  /// WAL. Each replica is a full server stack on its own fabric node
+  /// ("shard-<i>-r<j>") serving one-sided offloaded reads; a write acks
+  /// only after `replication.ack_followers` of them have it durable.
+  uint32_t num_replicas = 0;
+  /// Shipper knobs (batch size, in-flight window, retry, quorum). The
+  /// per-shard `shard` field is filled by the host.
+  durable::ReplicationShipperConfig replication;
+  /// When true the host runs a failover watchdog: a primary that has
+  /// been down (KillPrimary) for `failover_grace_us` with a live
+  /// follower is promoted automatically — the control-plane half of
+  /// failover, mirroring the client watchdog's Disconnected trip.
+  bool auto_failover = false;
+  uint64_t failover_grace_us = 20'000;
+  uint64_t failover_check_interval_us = 5'000;
 };
 
 class ShardHost {
@@ -83,11 +101,67 @@ class ShardHost {
   ShardMap map() const;
   uint64_t map_version() const;
 
+  /// Crash the primary of `shard` without recovery: the server and
+  /// shipper stop, the fabric node dies (stale rkeys/QPNs invalid), and
+  /// nothing restarts. Heartbeats go silent — the client watchdog is what
+  /// notices. The shard stays write-dead until Promote() (or the
+  /// auto-failover watchdog) installs a follower as the new primary.
+  void KillPrimary(uint32_t shard);
+
+  /// Fails `shard` over to its most-caught-up live follower (highest
+  /// durable LSN wins). Bumps the replication epoch — a zombie of the
+  /// old primary is fenced, its late acks rejected — rewires the
+  /// remaining followers to ship from the new primary, and republishes
+  /// the map under a bumped version + epoch. Returns the index the
+  /// promoted replica had, or UINT32_MAX if no live follower exists.
+  uint32_t Promote(uint32_t shard);
+
+  /// Dials follower `replica` of `shard` for read bootstraps.
+  std::shared_ptr<tcpkit::Stream> DialReplica(uint32_t shard,
+                                              uint32_t replica);
+
   uint32_t shard_count() const noexcept { return cfg_.num_shards; }
+  uint32_t replica_count(uint32_t shard) const {
+    return static_cast<uint32_t>(shards_[shard]->replicas.size());
+  }
   RTreeServer& server(uint32_t shard) { return *shards_[shard]->server; }
   rtree::RStarTree& tree(uint32_t shard) { return *shards_[shard]->tree; }
+  rtree::RStarTree& replica_tree(uint32_t shard, uint32_t replica) {
+    return *shards_[shard]->replicas[replica]->tree;
+  }
+  durable::DurabilityManager& durability(uint32_t shard) {
+    return *shards_[shard]->durability;
+  }
+  const durable::ReplicationShipper* shipper(uint32_t shard) const {
+    return shards_[shard]->shipper.get();
+  }
+  /// Total failover promotions performed so far (all shards).
+  uint64_t promotions() const noexcept {
+    return promotions_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// One follower replica: a full server stack on its own fabric node.
+  /// Reads are served exactly like a primary's (one-sided offload against
+  /// its arena, epoch-stamped by its VersionedFetchEngine); writes only
+  /// ever arrive through the applier, as shipped WAL records.
+  struct Replica {
+    uint32_t shard = 0;
+    uint32_t idx = 0;  ///< stable index within the shard ("shard-<i>-r<j>")
+    bool dead = false;  ///< former primary corpse parked after failover
+    std::shared_ptr<rdma::SimNode> node;
+    std::unique_ptr<rtree::NodeArena> arena;
+    std::unique_ptr<rtree::RStarTree> tree;
+    std::shared_ptr<durable::MemLogStorage> wal_disk;
+    std::shared_ptr<durable::MemCheckpointStore> ckpt_disk;
+    std::unique_ptr<durable::DurabilityManager> durability;
+    std::unique_ptr<RTreeServer> server;
+    std::unique_ptr<BootstrapAcceptor> acceptor;
+    std::unique_ptr<durable::ReplChannel> channel;
+    std::unique_ptr<durable::FollowerApplier> applier;
+    std::mutex boot_mu;  ///< server/acceptor swap vs dialing threads
+  };
+
   struct Shard {
     uint32_t id = 0;
     std::shared_ptr<rdma::SimNode> node;
@@ -100,20 +174,43 @@ class ShardHost {
     std::unique_ptr<RTreeServer> server;
     std::unique_ptr<BootstrapAcceptor> acceptor;
     std::mutex boot_mu;  ///< server/acceptor swap vs dialing threads
+    /// Replication (num_replicas > 0): the primary's shipper plus the
+    /// follower stacks. Protected by the host-level repl_mu_ for
+    /// promotion vs accessor races.
+    std::unique_ptr<durable::ReplicationShipper> shipper;
+    std::vector<std::unique_ptr<Replica>> replicas;
+    /// Microsecond timestamp of KillPrimary, 0 while the primary is up.
+    /// The auto-failover watchdog promotes once now - this > grace.
+    std::atomic<uint64_t> primary_down_since_us{0};
   };
 
   void StartServer(Shard& s);
   void StopServer(Shard& s);
+  void StartReplicaServer(Shard& s, Replica& r);
+  void StopReplicaServer(Replica& r);
   /// Rebuilds arena + manager + tree from the shard's disks (the crash
   /// recovery path; durable mode only).
   void RecoverState(Shard& s);
+  /// Wires channel + applier from the shard's current primary to `r` and
+  /// registers it with the shard's shipper.
+  void AttachFollower(Shard& s, Replica& r);
+  /// Tears down and rebuilds the shard's whole replication plane
+  /// (shipper + channels + appliers) against the current primary.
+  void RewireReplication(Shard& s);
   /// Re-encodes and republishes the map after `shard`'s identity
   /// changed; bumps the version.
   void Republish(uint32_t shard);
+  void FailoverLoop();
 
   rdma::Fabric* fabric_;
   ShardHostConfig cfg_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Serializes KillPrimary / Promote / RestartShard against each other
+  /// and against the failover watchdog.
+  std::mutex repl_mu_;
+  std::atomic<uint64_t> promotions_{0};
+  std::thread failover_thread_;
+  std::atomic<bool> failover_stop_{true};
 
   mutable std::mutex map_mu_;
   ShardMap map_;

@@ -76,6 +76,12 @@ bool ShardMap::Valid() const noexcept {
     if (s.node_name.empty() || s.node_name.size() > kMaxShardNameLen) {
       return false;
     }
+    if (s.followers.size() > kMaxFollowers) return false;
+    for (const auto& f : s.followers) {
+      if (f.node_name.empty() || f.node_name.size() > kMaxShardNameLen) {
+        return false;
+      }
+    }
   }
   return std::isfinite(slop) && slop >= 0.0;
 }
@@ -129,6 +135,16 @@ std::vector<std::byte> EncodeShardMap(const ShardMap& map) {
         std::span(s.node_name.data(), s.node_name.size())));
     w.Append(s.generation);
     w.Append(s.arena_rkey);
+    // v2 extension per shard: replication epoch + follower endpoints.
+    w.Append(s.epoch);
+    w.Append(static_cast<uint8_t>(s.followers.size()));
+    for (const auto& f : s.followers) {
+      w.Append(static_cast<uint16_t>(f.node_name.size()));
+      w.AppendBytes(std::as_bytes(
+          std::span(f.node_name.data(), f.node_name.size())));
+      w.Append(f.generation);
+      w.Append(f.arena_rkey);
+    }
   }
   return w.Take();
 }
@@ -138,7 +154,8 @@ MapDecodeStatus DecodeShardMap(std::span<const std::byte> payload,
   ByteReader r(payload);
   if (r.remaining() < 8) return MapDecodeStatus::kTruncated;
   if (r.Read<uint32_t>() != kShardMapMagic) return MapDecodeStatus::kBadMagic;
-  if (r.Read<uint16_t>() != kShardMapFormatVersion) {
+  const uint16_t fmt = r.Read<uint16_t>();
+  if (fmt != 1 && fmt != kShardMapFormatVersion) {
     return MapDecodeStatus::kVersionSkew;
   }
   r.Read<uint16_t>();  // reserved
@@ -183,6 +200,26 @@ MapDecodeStatus DecodeShardMap(std::span<const std::byte> payload,
     s.node_name.assign(reinterpret_cast<const char*>(name.data()), name_len);
     s.generation = r.Read<uint64_t>();
     s.arena_rkey = r.Read<uint32_t>();
+    if (fmt >= 2) {
+      if (r.remaining() < 8 + 1) return MapDecodeStatus::kTruncated;
+      s.epoch = r.Read<uint64_t>();
+      const uint32_t nfollowers = r.Read<uint8_t>();
+      if (nfollowers > kMaxFollowers) return MapDecodeStatus::kCorrupt;
+      s.followers.resize(nfollowers);
+      for (auto& f : s.followers) {
+        if (r.remaining() < 2) return MapDecodeStatus::kTruncated;
+        const uint32_t flen = r.Read<uint16_t>();
+        if (flen == 0 || flen > kMaxShardNameLen) {
+          return MapDecodeStatus::kCorrupt;
+        }
+        if (r.remaining() < flen + 8 + 4) return MapDecodeStatus::kTruncated;
+        const auto fname = r.ReadBytes(flen);
+        f.node_name.assign(reinterpret_cast<const char*>(fname.data()),
+                           flen);
+        f.generation = r.Read<uint64_t>();
+        f.arena_rkey = r.Read<uint32_t>();
+      }
+    }
   }
   if (!r.AtEnd()) return MapDecodeStatus::kCorrupt;
   if (!m.Valid()) return MapDecodeStatus::kCorrupt;

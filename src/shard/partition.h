@@ -32,13 +32,30 @@
 
 namespace catfish::shard {
 
+/// A follower replica's read endpoint: enough identity for a client to
+/// dial it and run one-sided offloaded reads against its arena.
+struct ReplicaInfo {
+  std::string node_name;
+  uint64_t generation = 0;
+  uint32_t arena_rkey = 0;
+
+  bool operator==(const ReplicaInfo&) const = default;
+};
+
 /// Identity of one shard as published in the routing table. A client
 /// whose connection to this shard observes a different generation knows
 /// its map predates a restart and must be refreshed.
 struct ShardInfo {
-  std::string node_name;   ///< fabric node hosting the shard
+  std::string node_name;   ///< fabric node hosting the shard *primary*
   uint64_t generation = 0; ///< SimNode incarnation at publish time
   uint32_t arena_rkey = 0; ///< the shard's registered arena (offload path)
+  /// Replication epoch of the current primary (format v2; 0 when the
+  /// shard is unreplicated or the map came from a v1 peer). Bumped by
+  /// every failover promotion, so a client can tell a promoted map from
+  /// a merely-restarted one.
+  uint64_t epoch = 0;
+  /// Follower read endpoints (format v2; empty = no replicas).
+  std::vector<ReplicaInfo> followers;
 
   bool operator==(const ShardInfo&) const = default;
 };
@@ -100,12 +117,16 @@ enum class MapDecodeStatus : uint8_t {
 const char* ToString(MapDecodeStatus s) noexcept;
 
 inline constexpr uint32_t kShardMapMagic = 0x50414D53;  // "SMAP"
-inline constexpr uint16_t kShardMapFormatVersion = 1;
+/// v2 adds per-shard epoch + follower list. The decoder still accepts
+/// v1 frames (epoch 0, no followers), so a replicated client
+/// interoperates with an unreplicated host mid-rollout.
+inline constexpr uint16_t kShardMapFormatVersion = 2;
 /// Decoder bounds: reject maps claiming absurd geometry before
 /// allocating anything proportional to the claim.
 inline constexpr uint32_t kMaxGridDim = 1024;
 inline constexpr uint32_t kMaxShards = 4096;
 inline constexpr uint32_t kMaxShardNameLen = 255;
+inline constexpr uint32_t kMaxFollowers = 15;
 
 std::vector<std::byte> EncodeShardMap(const ShardMap& map);
 /// Bounded, total decoder: never over-reads, never throws; `out` is

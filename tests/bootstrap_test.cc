@@ -248,6 +248,12 @@ TEST_F(BootstrapTest, DialRacingStopDoesNotLeakOrHang) {
       }
     });
   }
+  // Under load the dialer threads can take longer than any fixed sleep
+  // to start; the race under test needs at least one dial to land
+  // before Stop flips further ones to refusal.
+  while (dialed.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
   std::this_thread::sleep_for(std::chrono::milliseconds(2));
   acceptor_->Stop();
   for (auto& t : threads) t.join();

@@ -230,6 +230,16 @@ TEST(RemoteCuckooTest, StableKeysSurviveConcurrentDisplacements) {
       if (wrng.NextDouble() < 0.3) rig.table.Erase(k);
     }
   });
+  // ASSERT early-returns must still join the writer, or the joinable
+  // thread's destructor terminates the process and masks the failure.
+  struct JoinGuard {
+    std::atomic<bool>& stop;
+    std::thread& t;
+    ~JoinGuard() {
+      stop.store(true);
+      if (t.joinable()) t.join();
+    }
+  } join_guard{stop, writer};
 
   RemoteCuckooReader reader(rig.transport.get(), rig.table.geometry());
   Xoshiro256 prng(47);
@@ -240,8 +250,6 @@ TEST(RemoteCuckooTest, StableKeysSurviveConcurrentDisplacements) {
     ASSERT_TRUE(v.has_value()) << "stable key " << k << " lost mid-move";
     ASSERT_EQ(*v, k * 3);
   }
-  stop.store(true);
-  writer.join();
 }
 
 }  // namespace

@@ -113,7 +113,10 @@ TEST_F(DistributedTraceTest, CriticalPathNamesInjectedStragglerShardAndStage) {
   GTEST_SKIP() << "telemetry compiled out (CATFISH_TELEMETRY=OFF)";
 #endif
   constexpr uint32_t kStraggler = 2;
-  constexpr uint64_t kDelayUs = 2'000;
+  // Large enough to dominate scheduler noise on a loaded machine (a
+  // parallel ctest run can stall a sibling shard's thread for tens of
+  // milliseconds, which must not out-straggle the injected delay).
+  constexpr uint64_t kDelayUs = 60'000;
   host_->server(kStraggler).SetServiceDelayForTest(kDelayUs);
 
   auto& client = Connect("client-straggler");
@@ -162,7 +165,9 @@ TEST_F(DistributedTraceTest, AssembledTraceExportsAsValidChromeJson) {
   GTEST_SKIP() << "telemetry compiled out (CATFISH_TELEMETRY=OFF)";
 #endif
   constexpr uint32_t kStraggler = 1;
-  host_->server(kStraggler).SetServiceDelayForTest(1'500);
+  // Must dominate scheduler noise under a loaded parallel test run,
+  // or a stalled sibling shard out-straggles the injected delay.
+  host_->server(kStraggler).SetServiceDelayForTest(60'000);
   auto& client = Connect("client-json");
   (void)client.Search(WideQuery());
   ASSERT_EQ(assembler_.size(), 1u);

@@ -4,6 +4,7 @@
 // near its cause.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <unordered_map>
 
@@ -11,6 +12,7 @@
 #include "catfish/bootstrap.h"
 #include "cuckoo/cuckoo.h"
 #include "durable/wal.h"
+#include "msg/repl.h"
 #include "rtree/rstar.h"
 #include "shard/partition.h"
 #include "test_util.h"
@@ -490,6 +492,131 @@ TEST(ShardMapFuzz, ServerHelloWithMutatedExtensionTailNeverOverReads) {
     EXPECT_LE(decoded->extension.size(), mutated.size());
     shard::ShardMap out;
     (void)shard::DecodeShardMap(decoded->extension, out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replication frame decoders: a follower applies whatever rides the
+// batch ring and a primary trusts acks off the ack ring, so both
+// decoders must be total — typed rejection for truncation, mutation and
+// pure noise; no over-reads; no allocation proportional to a count
+// field the CRC has not vouched for.
+// ---------------------------------------------------------------------------
+
+msg::ReplBatch FuzzSampleBatch(Xoshiro256& rng) {
+  msg::ReplBatch b;
+  b.shard = static_cast<uint32_t>(rng.NextBounded(16));
+  b.epoch = rng.NextBounded(1'000);
+  b.first_lsn = 1 + rng.NextBounded(1'000'000);
+  const size_t n = 1 + rng.NextBounded(12);
+  for (size_t i = 0; i < n; ++i) {
+    msg::ReplRecord r;
+    r.op = rng.NextBounded(2) == 0 ? 1 : 2;
+    r.client_gen = rng.Next();
+    r.req_id = rng.Next();
+    r.rect = RandomRect(rng, 0.1);
+    r.rect_id = rng.Next();
+    b.records.push_back(r);
+  }
+  return b;
+}
+
+TEST(ReplFuzz, RandomBlobsNeverCrashEitherDecoder) {
+  Xoshiro256 rng(701);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::vector<std::byte> blob(rng.NextBounded(512));
+    for (auto& b : blob) b = static_cast<std::byte>(rng.Next() & 0xff);
+    msg::ReplDecodeStatus ds;
+    const auto batch = msg::DecodeReplBatch(blob, &ds);
+    if (batch.has_value()) {
+      EXPECT_EQ(ds, msg::ReplDecodeStatus::kOk);
+      // A surviving batch is structurally bounded by its own frame.
+      EXPECT_LE(batch->records.size(), msg::kMaxReplBatchRecords);
+      EXPECT_EQ(blob.size(), msg::kReplBatchOverheadBytes +
+                                 batch->records.size() *
+                                     msg::kReplRecordBytes);
+    } else {
+      EXPECT_NE(ds, msg::ReplDecodeStatus::kOk);
+    }
+    (void)msg::DecodeReplAck(blob);
+  }
+}
+
+TEST(ReplFuzz, MutatedBatchesRoundTripExactlyOrRejectTyped) {
+  Xoshiro256 rng(702);
+  for (int iter = 0; iter < 1500; ++iter) {
+    const auto batch = FuzzSampleBatch(rng);
+    auto bytes = msg::Encode(batch);
+    const int flips = 1 + static_cast<int>(rng.NextBounded(6));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.NextBounded(bytes.size());
+      bytes[pos] ^= static_cast<std::byte>(1u << rng.NextBounded(8));
+    }
+    const uint64_t shape = rng.NextBounded(4);
+    if (shape == 1) {
+      bytes.resize(rng.NextBounded(bytes.size() + 1));  // truncate
+    } else if (shape == 2) {
+      bytes.resize(bytes.size() + 1 + rng.NextBounded(32),
+                   std::byte{0x5a});  // garbage tail
+    }
+    msg::ReplDecodeStatus ds;
+    const auto decoded = msg::DecodeReplBatch(bytes, &ds);
+    if (decoded.has_value()) {
+      // Whatever survives must re-encode to the exact bytes it came
+      // from — the CRC makes a silent reinterpretation overwhelmingly
+      // unlikely, and this catches any decoder that resynchronizes.
+      EXPECT_EQ(msg::Encode(*decoded), bytes);
+    } else {
+      EXPECT_NE(ds, msg::ReplDecodeStatus::kOk);
+    }
+  }
+}
+
+TEST(ReplFuzz, MutatedAcksRoundTripExactlyOrRejectTyped) {
+  Xoshiro256 rng(703);
+  for (int iter = 0; iter < 2000; ++iter) {
+    msg::ReplAck ack;
+    ack.shard = static_cast<uint32_t>(rng.NextBounded(16));
+    ack.epoch = rng.NextBounded(1'000);
+    ack.durable_lsn = rng.Next();
+    ack.status = static_cast<msg::ReplAckStatus>(rng.NextBounded(3));
+    auto bytes = msg::Encode(ack);
+    const int flips = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.NextBounded(bytes.size());
+      bytes[pos] ^= static_cast<std::byte>(1u << rng.NextBounded(8));
+    }
+    if (rng.NextBounded(3) == 0) {
+      bytes.resize(rng.NextBounded(bytes.size() + 1));
+    }
+    const auto decoded = msg::DecodeReplAck(bytes);
+    if (decoded.has_value()) {
+      EXPECT_EQ(msg::Encode(*decoded), bytes);
+    }
+  }
+}
+
+TEST(ReplFuzz, CountFieldLiesAreRejectedBeforeAllocation) {
+  // Stamp every possible count into an otherwise valid single-record
+  // frame: only the truthful one may decode; lies must reject without
+  // reading past the buffer or allocating for the claimed count.
+  Xoshiro256 rng(704);
+  auto batch = FuzzSampleBatch(rng);
+  batch.records.resize(1);
+  const auto valid = msg::Encode(batch);
+  const size_t count_off = 4 + 2 + 2 + 4 + 8 + 8;
+  for (uint32_t lie = 0; lie <= 0xffff; lie += (lie < 1024 ? 1 : 257)) {
+    auto bytes = valid;
+    const uint16_t c = static_cast<uint16_t>(lie);
+    std::memcpy(bytes.data() + count_off, &c, sizeof(c));
+    const auto decoded = msg::DecodeReplBatch(bytes);
+    if (lie == 1) {
+      // Count is CRC-covered, so even the truthful value only decodes
+      // with the original CRC — which this is.
+      EXPECT_TRUE(decoded.has_value());
+    } else {
+      EXPECT_FALSE(decoded.has_value()) << "count=" << lie;
+    }
   }
 }
 

@@ -82,6 +82,46 @@ TEST(ProtocolTest, HeartbeatMapVersionTailRoundTrip) {
   EXPECT_FALSE(DecodeHeartbeat(torn).has_value());
 }
 
+TEST(ProtocolTest, HeartbeatReplicationTailRoundTrip) {
+  // A replicated node appends role + epoch + durable LSN; the presence
+  // of this tail forces the map-version tail too (even when 0), so
+  // every frame size remains unambiguous: 32, 40 or 57 bytes.
+  Heartbeat hb{5, 0.5, 100, 3};
+  hb.role = static_cast<uint8_t>(ReplRole::kFollower);
+  hb.epoch = 7;
+  hb.durable_lsn = 4'242;
+  const auto replicated = Encode(hb);
+  EXPECT_EQ(replicated.size(), 57u);
+  const auto decoded = DecodeHeartbeat(replicated);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->map_version, 0u);
+  EXPECT_EQ(decoded->role, static_cast<uint8_t>(ReplRole::kFollower));
+  EXPECT_EQ(decoded->epoch, 7u);
+  EXPECT_EQ(decoded->durable_lsn, 4'242u);
+
+  // With both tails live, everything round-trips.
+  hb.map_version = 9;
+  hb.role = static_cast<uint8_t>(ReplRole::kPrimary);
+  const auto both = DecodeHeartbeat(Encode(hb));
+  ASSERT_TRUE(both.has_value());
+  EXPECT_EQ(both->map_version, 9u);
+  EXPECT_EQ(both->role, static_cast<uint8_t>(ReplRole::kPrimary));
+
+  // An unreplicated node (role none) never emits the tail: the frame is
+  // byte-identical to the sharded (40) or legacy (32) format.
+  hb.role = static_cast<uint8_t>(ReplRole::kNone);
+  hb.epoch = 0;
+  hb.durable_lsn = 0;
+  EXPECT_EQ(Encode(hb).size(), 40u);
+
+  // Every cut between the valid sizes is torn, not reinterpreted.
+  for (size_t cut = 41; cut < 57; ++cut) {
+    auto torn = replicated;
+    torn.resize(cut);
+    EXPECT_FALSE(DecodeHeartbeat(torn).has_value()) << "cut=" << cut;
+  }
+}
+
 TEST(ProtocolTest, HeartbeatRejectsOldWireSize) {
   // The pre-generation 24-byte heartbeat must not decode: a silent
   // truncation here would hand the watchdog a garbage generation.

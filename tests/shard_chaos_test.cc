@@ -88,10 +88,17 @@ TEST_F(ShardChaosTest, SingleShardRestartMidBurstKeepsWritesExactlyOnce) {
   std::vector<uint64_t> unacked;
 
   std::atomic<bool> crashed{false};
+  // Connect before the crash timer starts: a bootstrap that races into
+  // the restart window throws by contract (fresh clients retry
+  // construction); the test is about established clients riding it out.
+  std::vector<std::unique_ptr<shard::ShardedRTreeClient>> writer_clients;
+  for (int t = 0; t < kWriters; ++t) {
+    writer_clients.push_back(Connect("writer-" + std::to_string(t)));
+  }
   std::vector<std::thread> writers;
   for (int t = 0; t < kWriters; ++t) {
     writers.emplace_back([&, t] {
-      auto client = Connect("writer-" + std::to_string(t));
+      shard::ShardedRTreeClient* client = writer_clients[t].get();
       Xoshiro256 rng(100 + t);
       for (uint64_t i = 0; i < kWritesPerThread; ++i) {
         const auto r = RandomRect(rng, 0.01);

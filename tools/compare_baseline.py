@@ -23,7 +23,11 @@ figure.
 By default the exit code is 0 no matter what drifts — the baseline is
 warn-only, the simulation is deterministic but the model is allowed to
 be recalibrated deliberately. Pass --strict to exit 1 on any warning
-(for local use when you expect a perfect match).
+(for local use when you expect a perfect match), or --strict-cells
+<patterns.json> to enforce only a curated stable-cell subset: warnings
+on cells matching any pattern fail the run, the rest stay warn-only.
+CI uses the latter with tools/stable_cells.json, so the load-bearing
+figures are gated while recalibration-prone cells keep warning.
 """
 import argparse
 import json
@@ -80,6 +84,41 @@ def load_fresh(paths):
     return cells, skipped
 
 
+def load_patterns(path):
+    """Returns the curated stable-cell patterns: a list of dicts whose
+    given fields must all equal the cell's key fields to match."""
+    with open(path) as f:
+        doc = json.load(f)
+    return doc["patterns"]
+
+
+def matches(k, pattern):
+    figure, scheme, variant, workload, insert_ratio, clients = k
+    fields = {
+        "figure": figure,
+        "scheme": scheme,
+        "variant": variant,
+        "workload": workload,
+        "insert_ratio": insert_ratio,
+        "clients": clients,
+    }
+    for field, want in pattern.items():
+        got = fields[field]
+        if field == "insert_ratio":
+            if float(got) != float(want):
+                return False
+        elif field == "clients":
+            if int(got) != int(want):
+                return False
+        elif str(got) != str(want):
+            return False
+    return True
+
+
+def is_stable(k, patterns):
+    return any(matches(k, p) for p in patterns)
+
+
 def fmt_key(k):
     figure, scheme, variant, workload, insert_ratio, clients = k
     bits = [figure, scheme]
@@ -100,6 +139,10 @@ def main(argv):
     ap.add_argument("jsonl", nargs="+", help="fresh --telemetry-json files")
     ap.add_argument("--strict", action="store_true",
                     help="exit 1 if anything drifted or went missing")
+    ap.add_argument("--strict-cells", metavar="PATTERNS_JSON",
+                    help="exit 1 only when a warning hits a cell matching "
+                         "the curated patterns (tools/stable_cells.json); "
+                         "other warnings stay warn-only")
     args = ap.parse_args(argv[1:])
 
     with open(args.baseline) as f:
@@ -107,8 +150,10 @@ def main(argv):
     base = {key(c): c for c in doc["cells"]}
     fresh, skipped = load_fresh(args.jsonl)
     fresh_figures = {k[0] for k in fresh}
+    patterns = load_patterns(args.strict_cells) if args.strict_cells else []
 
-    warnings = []
+    warnings = []  # (key, message) pairs
+
     compared = 0
     unmatched_fresh = []
     for k, got in sorted(fresh.items()):
@@ -120,15 +165,15 @@ def main(argv):
         tput, base_tput = got["throughput_kops"], want["throughput_kops"]
         if tput < base_tput * (1 - THROUGHPUT_TOL):
             warnings.append(
-                f"{fmt_key(k)}: throughput {tput:.1f} kops vs baseline "
-                f"{base_tput:.1f} ({tput / base_tput - 1:+.1%})")
+                (k, f"{fmt_key(k)}: throughput {tput:.1f} kops vs baseline "
+                    f"{base_tput:.1f} ({tput / base_tput - 1:+.1%})"))
         for field, label in (("latency_p50_us", "p50"),
                              ("latency_p99_us", "p99")):
             lat, base_lat = got[field], want[field]
             if lat > base_lat * (1 + LATENCY_TOL):
                 warnings.append(
-                    f"{fmt_key(k)}: {label} {lat:.1f} us vs baseline "
-                    f"{base_lat:.1f} ({lat / base_lat - 1:+.1%})")
+                    (k, f"{fmt_key(k)}: {label} {lat:.1f} us vs baseline "
+                        f"{base_lat:.1f} ({lat / base_lat - 1:+.1%})"))
 
     missing = [k for k in sorted(base)
                if k not in fresh and k[0] in fresh_figures]
@@ -142,13 +187,26 @@ def main(argv):
     for note in skipped:
         print(f"  note: skipped {note}")
     for k in missing:
-        warnings.append(f"baseline cell not produced: {fmt_key(k)}")
+        warnings.append((k, f"baseline cell not produced: {fmt_key(k)}"))
     if warnings:
-        for w in warnings:
-            print(f"  WARN: {w}")
-        print(f"{len(warnings)} warning(s); baseline is warn-only"
-              + (" (--strict: failing)" if args.strict else ""))
-        return 1 if args.strict else 0
+        strict_hits = 0
+        for k, w in warnings:
+            if patterns and is_stable(k, patterns):
+                strict_hits += 1
+                print(f"  FAIL: {w}")
+            else:
+                print(f"  WARN: {w}")
+        if args.strict:
+            print(f"{len(warnings)} warning(s) (--strict: failing)")
+            return 1
+        if strict_hits:
+            print(f"{strict_hits} of {len(warnings)} warning(s) hit the "
+                  f"curated stable-cell subset (--strict-cells: failing)")
+            return 1
+        print(f"{len(warnings)} warning(s); none on curated cells"
+              if patterns else
+              f"{len(warnings)} warning(s); baseline is warn-only")
+        return 0
     print("all compared cells within tolerance")
     return 0
 
