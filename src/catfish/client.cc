@@ -50,6 +50,12 @@ const char* ToString(ClientStatus s) noexcept {
       return "retries_exhausted";
     case ClientStatus::kReconnectFailed:
       return "reconnect_failed";
+    case ClientStatus::kOverloaded:
+      return "overloaded";
+    case ClientStatus::kDeadlineExpired:
+      return "deadline_expired";
+    case ClientStatus::kBreakerOpen:
+      return "breaker_open";
   }
   return "unknown";
 }
@@ -73,7 +79,13 @@ RTreeClient::RTreeClient(std::shared_ptr<rdma::SimNode> node,
                          const HandshakeFn& shake, ClientConfig cfg)
     : node_(std::move(node)), cfg_(cfg),
       controller_(cfg.adaptive, cfg.seed),
-      client_gen_(g_next_client_gen.fetch_add(1, std::memory_order_relaxed)) {
+      client_gen_(g_next_client_gen.fetch_add(1, std::memory_order_relaxed)),
+      // Mix the write-session id into the jitter seeds: fleets often
+      // construct their clients from one config, and identical seeds
+      // are exactly the synchronized-retry-storm failure the jitter
+      // exists to prevent.
+      breaker_(cfg.breaker, cfg.seed ^ (client_gen_ << 1)),
+      retry_jitter_(cfg.seed ^ client_gen_) {
   WireUp(shake);
 }
 
@@ -129,9 +141,12 @@ void RTreeClient::WatchdogTick(uint64_t now_us) {
   if (!cfg_.watchdog.enabled) return;
   const uint64_t interval = cfg_.adaptive.heartbeat_interval_us;
   if (interval == 0) return;
-  const uint64_t missed = now_us > last_heartbeat_us_
-                              ? (now_us - last_heartbeat_us_) / interval
-                              : 0;
+  const uint64_t silence =
+      now_us > last_heartbeat_us_ ? now_us - last_heartbeat_us_ : 0;
+  // Absolute floor first: heartbeats delayed behind an overloaded
+  // worker's backlog must read as "slow", not "dead" (gray failure).
+  if (silence < cfg_.watchdog.min_silence_us) return;
+  const uint64_t missed = silence / interval;
   ConnState next = ConnState::kConnected;
   if (missed >= cfg_.watchdog.disconnect_after) {
     next = ConnState::kDisconnected;
@@ -215,7 +230,56 @@ void RTreeClient::FailDeadline(ClientStatus status,
   CATFISH_COUNT("catfish.client.timeouts");
   CATFISH_EVENT(kRequestTimeout, NowMicros(), 0, ring_stalled ? 1.0 : 0.0,
                 static_cast<double>(cfg_.request_timeout_us));
+  // A fast-path timeout is an overload signal like a shed reply: the
+  // server is alive (the watchdog would have said otherwise) but not
+  // keeping up.
+  NoteFastFailure(NowMicros(), 0);
   throw ClientError(status, what);
+}
+
+void RTreeClient::ArmOpDeadline() {
+  if (op_deadline_override_us_ != 0) {
+    cur_deadline_us_ = op_deadline_override_us_;
+  } else if (cfg_.op_deadline_us != 0) {
+    cur_deadline_us_ = NowMicros() + cfg_.op_deadline_us;
+  } else {
+    cur_deadline_us_ = 0;
+    return;
+  }
+  if (NowMicros() >= cur_deadline_us_) {
+    FailDeadlineExpired("catfish client: op deadline expired before send");
+  }
+}
+
+uint64_t RTreeClient::WaitDeadline(uint64_t now) const noexcept {
+  const uint64_t flat = now + cfg_.request_timeout_us;
+  return cur_deadline_us_ != 0 && cur_deadline_us_ < flat ? cur_deadline_us_
+                                                          : flat;
+}
+
+void RTreeClient::FailDeadlineExpired(const char* what) {
+  ++stats_.deadline_expired;
+  CATFISH_COUNT("overload.client.deadline_expired");
+  CATFISH_EVENT(kRequestTimeout, NowMicros(), client_gen_, 0.0,
+                static_cast<double>(cur_deadline_us_));
+  throw ClientError(ClientStatus::kDeadlineExpired, what);
+}
+
+void RTreeClient::AdmitFastOrThrow() {
+  if (breaker_.Admit(NowMicros())) return;
+  ++stats_.breaker_fast_fails;
+  CATFISH_COUNT("breaker.fast_fails");
+  throw ClientError(ClientStatus::kBreakerOpen,
+                    "catfish client: circuit breaker open");
+}
+
+void RTreeClient::NoteFastFailure(uint64_t now_us, uint32_t server_hint_us) {
+  if (!breaker_.OnFailure(now_us, server_hint_us)) return;
+  ++stats_.breaker_opens;
+  CATFISH_COUNT("breaker.opens");
+  CATFISH_EVENT(kBreakerOpen, now_us, client_gen_,
+                static_cast<double>(static_cast<int>(breaker_.state())),
+                static_cast<double>(breaker_.last_open_window_us()));
 }
 
 RTreeClient::RTreeClient(std::shared_ptr<rdma::SimNode> node,
@@ -239,7 +303,7 @@ RTreeClient::~RTreeClient() {
 
 void RTreeClient::SendRequest(msg::MsgType type,
                               std::span<const std::byte> payload) {
-  const uint64_t deadline = NowMicros() + cfg_.request_timeout_us;
+  const uint64_t deadline = WaitDeadline(NowMicros());
   // Requests always use WRITE-with-IMM so the event-driven server wakes;
   // a polling server simply never looks at its recv CQ.
   while (!request_tx_->TrySend(static_cast<uint16_t>(type), msg::kFlagEnd,
@@ -253,6 +317,10 @@ void RTreeClient::SendRequest(msg::MsgType type,
                         "catfish client: server lost while sending request");
     }
     if (now > deadline) {
+      if (cur_deadline_us_ != 0 && now >= cur_deadline_us_) {
+        FailDeadlineExpired(
+            "catfish client: op deadline expired in ring send");
+      }
       FailDeadline(ClientStatus::kRingStalled, true,
                    "catfish client: request ring stalled");
     }
@@ -359,7 +427,7 @@ void RTreeClient::PumpPending() {
 }
 
 msg::Message RTreeClient::AwaitMessage(uint64_t expected_req_id) {
-  const uint64_t deadline = NowMicros() + cfg_.request_timeout_us;
+  const uint64_t deadline = WaitDeadline(NowMicros());
   for (;;) {
     if (auto m = response_rx_->TryReceive()) {
       if (static_cast<msg::MsgType>(m->type) == msg::MsgType::kHeartbeat) {
@@ -381,6 +449,18 @@ msg::Message RTreeClient::AwaitMessage(uint64_t expected_req_id) {
         CATFISH_COUNT("catfish.client.stale_responses");
         continue;
       }
+      if (static_cast<msg::MsgType>(m->type) == msg::MsgType::kOverloaded) {
+        // Admission control shed this request. Surface it as a typed
+        // error and feed the breaker; the retry-after hint steers both
+        // the breaker's open window and the write retry backoff.
+        const auto ov = msg::DecodeOverloadReply(m->payload);
+        last_retry_after_us_ = ov ? ov->retry_after_us : 0;
+        ++stats_.overloaded;
+        CATFISH_COUNT("overload.client.shed_replies");
+        NoteFastFailure(NowMicros(), last_retry_after_us_);
+        throw ClientError(ClientStatus::kOverloaded,
+                          "catfish client: request shed by server");
+      }
       return std::move(*m);
     }
     const uint64_t now = NowMicros();
@@ -391,6 +471,10 @@ msg::Message RTreeClient::AwaitMessage(uint64_t expected_req_id) {
           "catfish client: server lost while awaiting response");
     }
     if (now > deadline) {
+      if (cur_deadline_us_ != 0 && now >= cur_deadline_us_) {
+        FailDeadlineExpired(
+            "catfish client: op deadline expired awaiting response");
+      }
       FailDeadline(ClientStatus::kTimedOut, false,
                    "catfish client: response timed out");
     }
@@ -401,6 +485,8 @@ msg::Message RTreeClient::AwaitMessage(uint64_t expected_req_id) {
 std::vector<rtree::Entry> RTreeClient::SearchFast(const geo::Rect& rect) {
   PumpPending();
   EnsureUsable(/*fast_path=*/true);
+  ArmOpDeadline();
+  AdmitFastOrThrow();
   CATFISH_SCOPED_TIMER_US("catfish.client.search_fast_us");
   const bool own_trace = BeginTrace("search.fast");
   const uint64_t req_id = ++next_req_id_;
@@ -424,6 +510,7 @@ std::vector<rtree::Entry> RTreeClient::SearchFast(const geo::Rect& rect) {
   }
   msg::SearchRequest sreq{req_id, rect, {}};
   sreq.trace = ctx;
+  sreq.deadline_us = cur_deadline_us_;
   SendRequest(msg::MsgType::kSearchReq, msg::Encode(sreq));
   auto collect_span = telemetry::kInvalidSpan;
   if (trace_) {
@@ -458,6 +545,7 @@ std::vector<rtree::Entry> RTreeClient::SearchFast(const geo::Rect& rect) {
   }
   ++stats_.fast_searches;
   CATFISH_COUNT("catfish.client.search.fast");
+  breaker_.OnSuccess();
   if (trace_) {
     trace_->SetAttr(collect_span, "segments",
                     static_cast<int64_t>(segments));
@@ -474,17 +562,24 @@ std::vector<rtree::Entry> RTreeClient::SearchFast(const geo::Rect& rect) {
 uint64_t RTreeClient::SearchFastBegin(const geo::Rect& rect) {
   PumpPending();
   EnsureUsable(/*fast_path=*/true);
+  ArmOpDeadline();
+  AdmitFastOrThrow();
   const uint64_t req_id = ++next_req_id_;
   const msg::TraceContext ctx = TakeStagedContext();
   begun_sampled_ = ctx.present() && ctx.sampled != 0;
   msg::SearchRequest sreq{req_id, rect, {}};
   sreq.trace = ctx;
+  sreq.deadline_us = cur_deadline_us_;
   SendRequest(msg::MsgType::kSearchReq, msg::Encode(sreq));
+  poll_req_id_ = req_id;
+  poll_results_.clear();
   return req_id;
 }
 
 std::vector<rtree::Entry> RTreeClient::SearchFastCollect(uint64_t req_id) {
+  // Adopt whatever a prior Poll already accumulated for this request.
   std::vector<rtree::Entry> results;
+  if (poll_req_id_ == req_id) results = std::move(poll_results_);
   for (;;) {
     const msg::Message m = AwaitMessage(req_id);
     if (static_cast<msg::MsgType>(m.type) != msg::MsgType::kSearchResp) {
@@ -497,19 +592,101 @@ std::vector<rtree::Entry> RTreeClient::SearchFastCollect(uint64_t req_id) {
     results.insert(results.end(), seg->entries.begin(), seg->entries.end());
     if (m.flags & msg::kFlagEnd) break;
   }
+  poll_req_id_ = 0;
+  poll_results_.clear();
   if (begun_sampled_) {
     begun_sampled_ = false;
     AwaitTraceFrame(req_id);  // tree claimed by the caller (TakeRemoteTree)
   }
   ++stats_.fast_searches;
   CATFISH_COUNT("catfish.client.search.fast");
+  breaker_.OnSuccess();
   return results;
+}
+
+bool RTreeClient::SearchFastPoll(uint64_t req_id,
+                                 std::vector<rtree::Entry>& out) {
+  if (poll_req_id_ != req_id) {
+    throw std::logic_error("catfish client: poll without a matching begin");
+  }
+  while (auto m = response_rx_->TryReceive()) {
+    const auto type = static_cast<msg::MsgType>(m->type);
+    if (type == msg::MsgType::kHeartbeat) {
+      if (const auto hb = msg::DecodeHeartbeat(m->payload)) {
+        OnHeartbeatMessage(*hb);
+      }
+      continue;
+    }
+    if (type == msg::MsgType::kTraceResp) {
+      OnTraceFrame(*m);
+      continue;
+    }
+    if (PayloadReqId(m->payload) != req_id) {
+      ++stats_.stale_responses;
+      CATFISH_COUNT("catfish.client.stale_responses");
+      continue;
+    }
+    if (type == msg::MsgType::kOverloaded) {
+      const auto ov = msg::DecodeOverloadReply(m->payload);
+      last_retry_after_us_ = ov ? ov->retry_after_us : 0;
+      ++stats_.overloaded;
+      CATFISH_COUNT("overload.client.shed_replies");
+      NoteFastFailure(NowMicros(), last_retry_after_us_);
+      poll_req_id_ = 0;
+      poll_results_.clear();
+      throw ClientError(ClientStatus::kOverloaded,
+                        "catfish client: request shed by server");
+    }
+    if (type != msg::MsgType::kSearchResp) {
+      throw std::logic_error("catfish client: expected search response");
+    }
+    const auto seg = msg::DecodeSearchResponseSegment(m->payload);
+    if (!seg || seg->req_id != req_id) {
+      throw std::logic_error("catfish client: response id mismatch");
+    }
+    poll_results_.insert(poll_results_.end(), seg->entries.begin(),
+                         seg->entries.end());
+    if (m->flags & msg::kFlagEnd) {
+      out = std::move(poll_results_);
+      poll_req_id_ = 0;
+      poll_results_.clear();
+      if (begun_sampled_) {
+        begun_sampled_ = false;
+        AwaitTraceFrame(req_id);
+      }
+      ++stats_.fast_searches;
+      CATFISH_COUNT("catfish.client.search.fast");
+      breaker_.OnSuccess();
+      return true;
+    }
+  }
+  // Nothing ready; keep the watchdog honest so a dead server surfaces
+  // as kDisconnected instead of an infinite poll loop.
+  WatchdogTick(NowMicros());
+  if (conn_state_ == ConnState::kDisconnected) {
+    poll_req_id_ = 0;
+    poll_results_.clear();
+    throw ClientError(ClientStatus::kDisconnected,
+                      "catfish client: server lost while polling response");
+  }
+  return false;
+}
+
+void RTreeClient::SearchFastAbandon(uint64_t req_id) {
+  if (poll_req_id_ != req_id) return;  // already finished or abandoned
+  poll_req_id_ = 0;
+  poll_results_.clear();
+  begun_sampled_ = false;
+  // Late frames for this req_id now fall through the normal stale-
+  // response filter in PumpPending/AwaitMessage.
 }
 
 std::vector<rtree::Entry> RTreeClient::NearestNeighbors(
     const geo::Point& point, uint32_t k) {
   PumpPending();
   EnsureUsable(/*fast_path=*/true);
+  ArmOpDeadline();
+  AdmitFastOrThrow();
   const uint64_t req_id = ++next_req_id_;
   SendRequest(msg::MsgType::kKnnReq,
               msg::Encode(msg::KnnRequest{req_id, point, k}));
@@ -528,6 +705,7 @@ std::vector<rtree::Entry> RTreeClient::NearestNeighbors(
     if (m.flags & msg::kFlagEnd) break;
   }
   ++stats_.fast_searches;
+  breaker_.OnSuccess();
   return results;
 }
 
@@ -568,6 +746,7 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
     const geo::Rect& rect, rtree::TraversalTrace* trace) {
   PumpPending();
   EnsureUsable(/*fast_path=*/false);
+  ArmOpDeadline();
   if (trace) trace->nodes_per_level.clear();
   CATFISH_SCOPED_TIMER_US("catfish.client.search_offload_us");
   const bool own_trace = BeginTrace("search.offload");
@@ -586,6 +765,13 @@ std::vector<rtree::Entry> RTreeClient::SearchOffloaded(
 
   int64_t level = 0;
   while (!frontier.empty()) {
+    // The offload path has no server to shed for us, so the budget is
+    // enforced between rounds: a deadline that expired mid-traversal
+    // stops issuing READs for an answer nobody will use.
+    if (cur_deadline_us_ != 0 && NowMicros() >= cur_deadline_us_) {
+      FailDeadlineExpired(
+          "catfish client: op deadline expired mid-offload");
+    }
     if (trace) {
       trace->nodes_per_level.push_back(
           static_cast<uint32_t>(frontier.size()));
@@ -729,6 +915,17 @@ std::vector<rtree::Entry> RTreeClient::Search(const geo::Rect& rect) {
   if (conn_state_ != ConnState::kConnected) {
     mode = AccessMode::kRdmaOffloading;
   }
+  // Breaker-open routing: an overloaded server is still serving
+  // one-sided READs (they cost it no CPU), so an adaptive search
+  // brownouts to offloading instead of failing fast. Uses the const
+  // peek — the half-open probe slot belongs to callers with no
+  // alternative path (writes, forced SearchFast).
+  if (mode == AccessMode::kFastMessaging &&
+      breaker_.WouldReject(NowMicros())) {
+    ++stats_.breaker_fast_fails;
+    CATFISH_COUNT("breaker.search_brownouts");
+    mode = AccessMode::kRdmaOffloading;
+  }
   // Mode-switch counting lives in AdaptiveController::Record (the
   // adaptive.mode_switches counter + kModeSwitch flight-recorder event).
   last_mode_ = mode;
@@ -778,21 +975,43 @@ bool RTreeClient::ExecuteWrite(msg::MsgType type,
       // dead (throws kReconnectFailed while the new incarnation is still
       // coming up — retried below like any transient failure).
       EnsureUsable(/*fast_path=*/true);
+      AdmitFastOrThrow();
       SendRequest(type, payload);
-      return AwaitWriteAck(req_id);
+      const bool ok = AwaitWriteAck(req_id);
+      breaker_.OnSuccess();
+      return ok;
     } catch (const ClientError& e) {
-      const bool retryable = e.status() == ClientStatus::kTimedOut ||
-                             e.status() == ClientStatus::kRingStalled ||
-                             e.status() == ClientStatus::kDisconnected ||
-                             e.status() == ClientStatus::kReconnectFailed;
+      // A shed write is retryable only while the server hands out a
+      // retry-after hint; hint 0 means the request's own deadline had
+      // expired on arrival, so a resend would just be shed again.
+      const bool retryable =
+          e.status() == ClientStatus::kTimedOut ||
+          e.status() == ClientStatus::kRingStalled ||
+          e.status() == ClientStatus::kDisconnected ||
+          e.status() == ClientStatus::kReconnectFailed ||
+          (e.status() == ClientStatus::kOverloaded &&
+           last_retry_after_us_ != 0);
       if (!retryable || attempt >= cfg_.write_attempts) throw;
       ++stats_.write_retries;
       CATFISH_COUNT("catfish.client.write_retries");
-      // Brief backoff: a restarting server needs a moment before its
-      // acceptor answers; spinning full-speed would burn the attempt
-      // budget inside the outage window.
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(cfg_.adaptive.heartbeat_interval_us));
+      // Jittered capped-exponential backoff: a restarting server needs
+      // a moment before its acceptor answers, and a fleet retrying a
+      // shed burst must not re-arrive in lockstep. The server's
+      // retry-after hint sets the floor after a shed.
+      uint64_t wait_us = JitteredBackoff(
+          retry_jitter_, attempt, cfg_.adaptive.heartbeat_interval_us,
+          cfg_.adaptive.heartbeat_interval_us * 8);
+      if (e.status() == ClientStatus::kOverloaded &&
+          wait_us < last_retry_after_us_) {
+        wait_us = last_retry_after_us_;
+      }
+      // Never sleep past the op budget — surface the expiry now.
+      if (cur_deadline_us_ != 0 &&
+          NowMicros() + wait_us >= cur_deadline_us_) {
+        FailDeadlineExpired(
+            "catfish client: op deadline expired in write retry");
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(wait_us));
     }
   }
 }
@@ -800,11 +1019,13 @@ bool RTreeClient::ExecuteWrite(msg::MsgType type,
 bool RTreeClient::Insert(const geo::Rect& rect, uint64_t id) {
   PumpPending();
   EnsureUsable(/*fast_path=*/true);
+  ArmOpDeadline();
   const uint64_t req_id = ++next_req_id_;
   ++stats_.inserts;
   CATFISH_COUNT("catfish.client.insert");
   msg::InsertRequest req{req_id, client_gen_, rect, id, {}};
   req.trace = TakeStagedContext();
+  req.deadline_us = cur_deadline_us_;
   const bool ok =
       ExecuteWrite(msg::MsgType::kInsertReq, msg::Encode(req), req_id);
   // The retry path resends identical bytes, so a retried sampled write
@@ -816,11 +1037,13 @@ bool RTreeClient::Insert(const geo::Rect& rect, uint64_t id) {
 bool RTreeClient::Delete(const geo::Rect& rect, uint64_t id) {
   PumpPending();
   EnsureUsable(/*fast_path=*/true);
+  ArmOpDeadline();
   const uint64_t req_id = ++next_req_id_;
   ++stats_.deletes;
   CATFISH_COUNT("catfish.client.delete");
   msg::DeleteRequest req{req_id, client_gen_, rect, id, {}};
   req.trace = TakeStagedContext();
+  req.deadline_us = cur_deadline_us_;
   const bool ok =
       ExecuteWrite(msg::MsgType::kDeleteReq, msg::Encode(req), req_id);
   if (req.trace.present() && req.trace.sampled) AwaitTraceFrame(req_id);

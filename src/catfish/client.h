@@ -26,7 +26,9 @@
 #include <vector>
 
 #include "catfish/adaptive.h"
+#include "catfish/breaker.h"
 #include "catfish/server.h"
+#include "common/backoff.h"
 #include "msg/protocol.h"
 #include "msg/ring.h"
 #include "rdmasim/rdma.h"
@@ -49,6 +51,9 @@ enum class ClientStatus : uint8_t {
   kTransportError,    ///< one-sided fetch failed (QP error/partition/restart)
   kRetriesExhausted,  ///< offload validation ran out of attempts
   kReconnectFailed,   ///< re-bootstrap did not produce a connection
+  kOverloaded,        ///< server shed the request (admission control)
+  kDeadlineExpired,   ///< per-op deadline budget exhausted
+  kBreakerOpen,       ///< circuit breaker failing fast, request not sent
 };
 
 const char* ToString(ClientStatus s) noexcept;
@@ -84,6 +89,12 @@ struct WatchdogConfig {
   uint32_t suspect_after = 3;
   /// Missed heartbeat intervals before → Disconnected.
   uint32_t disconnect_after = 10;
+  /// Absolute silence floor before ANY escalation: an overloaded-but-
+  /// alive server delays heartbeats behind its request backlog, and a
+  /// trip there would convert "slow" into "dead" exactly when failing
+  /// over helps least. Overload tests raise this so only the interval
+  /// thresholds they configure decide. 0 = intervals alone decide.
+  uint64_t min_silence_us = 0;
 };
 
 struct ClientConfig {
@@ -114,6 +125,19 @@ struct ClientConfig {
   /// Liveness watchdog; interval length comes from
   /// `adaptive.heartbeat_interval_us` (the server's advertised Inv).
   WatchdogConfig watchdog;
+  /// Per-connection circuit breaker over kOverloaded replies and
+  /// fast-path timeouts (catfish/breaker.h). While open, SearchFast /
+  /// writes fail fast with kBreakerOpen and adaptive Search degrades
+  /// to offloading; probes close it again. Off by default.
+  BreakerConfig breaker;
+  /// Default per-op deadline budget: every public operation gets
+  /// `now + op_deadline_us` as its absolute deadline, covering retries
+  /// and reconnects, propagated on the wire (the deadline tail) so the
+  /// server can drop it once expired. 0 = legacy behavior (each wait
+  /// bounded by request_timeout_us only, nothing on the wire).
+  /// SetOpDeadline overrides this per op (the sharded fan-out's
+  /// budget-splitting path).
+  uint64_t op_deadline_us = 0;
   /// Bounds on the offload path's version-validated reads (the shared
   /// remote engine's capped-backoff retry loop, src/remote).
   remote::RetryPolicy remote_retry;
@@ -145,6 +169,10 @@ struct ClientStats {
   uint64_t write_retries = 0;     ///< Insert/Delete resends after a failure
   uint64_t stale_responses = 0;   ///< responses for superseded req_ids dropped
   uint64_t trace_frames = 0;      ///< kTraceResp frames consumed
+  uint64_t overloaded = 0;        ///< kOverloaded replies received
+  uint64_t deadline_expired = 0;  ///< ops abandoned on budget expiry
+  uint64_t breaker_opens = 0;     ///< Closed/Half-open → Open transitions
+  uint64_t breaker_fast_fails = 0;  ///< requests rejected while Open
 };
 
 class RTreeClient {
@@ -183,6 +211,40 @@ class RTreeClient {
   /// other operation runs on this client.
   uint64_t SearchFastBegin(const geo::Rect& rect);
   std::vector<rtree::Entry> SearchFastCollect(uint64_t req_id);
+
+  /// Non-blocking Collect: drains whatever responses are ready,
+  /// accumulating segments for `req_id` internally. Returns true once
+  /// the END segment arrived, moving the full result into `out`;
+  /// false means "not yet" (call again). The hedged fan-out path polls
+  /// this across shards to spot stragglers instead of blocking on each
+  /// sub-query in turn. Same contract as Collect otherwise: one
+  /// in-flight Begin per client, finished by exactly one successful
+  /// Poll(=true)/Collect or an Abandon.
+  bool SearchFastPoll(uint64_t req_id, std::vector<rtree::Entry>& out);
+
+  /// Gives up on an in-flight Begin (a hedge won the race): partial
+  /// segments are dropped and any late frames for `req_id` are drained
+  /// as stale by the normal pump, keeping the connection usable.
+  void SearchFastAbandon(uint64_t req_id);
+
+  /// Overrides the per-op deadline for subsequent operations: an
+  /// absolute NowMicros()-clock instant the whole op (including
+  /// retries) must finish by, propagated on the wire. 0 reverts to the
+  /// cfg_.op_deadline_us default. The sharded client uses this to hand
+  /// each sub-query its slice of the parent budget.
+  void SetOpDeadline(uint64_t abs_deadline_us) noexcept {
+    op_deadline_override_us_ = abs_deadline_us;
+  }
+
+  /// The connection's circuit breaker (read-only observers; the client
+  /// drives the transitions).
+  const CircuitBreaker& breaker() const noexcept { return breaker_; }
+
+  /// retry_after_us from the most recent kOverloaded reply (the
+  /// server's backlog-scaled hint; 0 = none seen or "do not retry").
+  uint32_t last_retry_after_us() const noexcept {
+    return last_retry_after_us_;
+  }
 
   /// Forces the offloading path; optionally reports the traversal trace.
   std::vector<rtree::Entry> SearchOffloaded(
@@ -321,6 +383,22 @@ class RTreeClient {
   [[noreturn]] void FailDeadline(ClientStatus status, bool ring_stalled,
                                  const char* what);
 
+  /// Anchors the current op's absolute deadline (override, else the
+  /// cfg_.op_deadline_us default, else 0) and throws kDeadlineExpired
+  /// if it already passed. Every public op calls it once on entry.
+  void ArmOpDeadline();
+  /// The wait bound for one blocking stretch: request_timeout_us capped
+  /// by the armed op deadline.
+  uint64_t WaitDeadline(uint64_t now) const noexcept;
+  [[noreturn]] void FailDeadlineExpired(const char* what);
+
+  /// Breaker gate for one fast-path attempt; throws kBreakerOpen while
+  /// the window holds.
+  void AdmitFastOrThrow();
+  /// Feeds an overload signal (kOverloaded reply or fast-path timeout)
+  /// to the breaker; records the kBreakerOpen event on a trip.
+  void NoteFastFailure(uint64_t now_us, uint32_t server_hint_us);
+
   void SendRequest(msg::MsgType type, std::span<const std::byte> payload);
   /// Drains ready responses between requests; heartbeats feed the
   /// controller, anything else is a stale response to a superseded
@@ -429,6 +507,21 @@ class RTreeClient {
   /// the last kTraceResp consumed (arrival marker, set even for empty
   /// blobs); last_remote_tree_ holds the newest decoded server span
   /// tree until TakeRemoteTree (or a local graft) claims it.
+  /// Overload-protection state: the per-connection breaker, the jitter
+  /// stream decorrelating this client's retry sleeps from its fleet
+  /// siblings, the armed absolute deadline of the op in flight (0 =
+  /// none), and the sticky per-op override (SetOpDeadline).
+  CircuitBreaker breaker_;
+  JitterState retry_jitter_;
+  uint64_t cur_deadline_us_ = 0;
+  uint64_t op_deadline_override_us_ = 0;
+  uint32_t last_retry_after_us_ = 0;
+
+  /// SearchFastPoll accumulator: segments of the in-flight split
+  /// request collected so far (valid while poll_req_id_ != 0).
+  uint64_t poll_req_id_ = 0;
+  std::vector<rtree::Entry> poll_results_;
+
   msg::TraceContext staged_ctx_{};
   uint64_t trace_frame_req_ = 0;
   std::shared_ptr<telemetry::Trace> last_remote_tree_;

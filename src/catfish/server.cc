@@ -1,5 +1,6 @@
 #include "catfish/server.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/bytes.h"
@@ -118,6 +119,55 @@ void RTreeServer::SendResponse(Connection& conn, msg::MsgType type,
   }
 }
 
+bool RTreeServer::ShedIfNeeded(Connection& conn, uint64_t req_id,
+                               uint64_t picked_up_us, uint64_t deadline_us) {
+  const uint64_t now = NowMicros();
+  const uint64_t queued_us = now > picked_up_us ? now - picked_up_us : 0;
+  // Pending-work gauge: EWMA (α = 1/8) of the dequeue delay, fed by
+  // every request whether or not shedding is armed.
+  const uint64_t prev = queue_delay_ewma_us_.load(std::memory_order_relaxed);
+  queue_delay_ewma_us_.store(prev - prev / 8 + queued_us / 8,
+                             std::memory_order_relaxed);
+
+  // An expired deadline is dead work regardless of load: the client
+  // (or its shard parent) stopped waiting. Reply with hint 0 — "do not
+  // retry" — so the typed error surfaces instead of a silent drop.
+  if (deadline_us != 0 && now >= deadline_us) {
+    deadline_drops_.fetch_add(1, std::memory_order_relaxed);
+    CATFISH_COUNT("overload.server.deadline_drops");
+    CATFISH_EVENT(kShed, now, req_id, 0.0, 0.0);
+    msg::EncodeInto(msg::OverloadReply{req_id, 0}, conn.ack_scratch);
+    SendResponse(conn, msg::MsgType::kOverloaded, msg::kFlagEnd,
+                 conn.ack_scratch);
+    return true;
+  }
+  if (!cfg_.admission.enabled) return false;
+  if (queued_us < cfg_.admission.max_queue_delay_us) return false;
+  // Both signals must agree: queue delay says this worker fell behind,
+  // the utilization window says the whole box is saturated (a single
+  // big batch under light load is not overload). The test override
+  // feeds the same gate so tests drive shedding deterministically.
+  const double ov = util_override_.load(std::memory_order_relaxed);
+  const double util =
+      ov >= 0.0 ? ov : utilization_.load(std::memory_order_relaxed);
+  if (util < cfg_.admission.min_utilization) return false;
+
+  // Backlog-scaled hint: the deeper this frame sat in the queue, the
+  // longer a retry needs before it would find space.
+  const uint64_t hint =
+      std::clamp(queued_us * 2, cfg_.admission.retry_after_min_us,
+                 cfg_.admission.retry_after_max_us);
+  sheds_.fetch_add(1, std::memory_order_relaxed);
+  CATFISH_COUNT("overload.server.sheds");
+  CATFISH_EVENT(kShed, now, req_id, static_cast<double>(queued_us),
+                static_cast<double>(hint));
+  msg::EncodeInto(msg::OverloadReply{req_id, static_cast<uint32_t>(hint)},
+                  conn.ack_scratch);
+  SendResponse(conn, msg::MsgType::kOverloaded, msg::kFlagEnd,
+               conn.ack_scratch);
+  return true;
+}
+
 void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m,
                                 uint64_t picked_up_us) {
   CATFISH_SCOPED_TIMER_US("catfish.server.service_us");
@@ -169,6 +219,9 @@ void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m,
     case msg::MsgType::kSearchReq: {
       const auto req = msg::DecodeSearchRequest(m.payload);
       if (!req) break;
+      if (ShedIfNeeded(conn, req->req_id, picked_up_us, req->deadline_us)) {
+        break;
+      }
       start_trace(req->trace, req->req_id);
       std::vector<rtree::Entry> results;
       const auto traverse = span_begin("traverse");
@@ -196,6 +249,7 @@ void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m,
     case msg::MsgType::kKnnReq: {
       const auto req = msg::DecodeKnnRequest(m.payload);
       if (!req) break;
+      if (ShedIfNeeded(conn, req->req_id, picked_up_us, 0)) break;
       start_trace({}, req->req_id);
       std::vector<rtree::Entry> results;
       const auto traverse = span_begin("traverse");
@@ -223,6 +277,9 @@ void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m,
     case msg::MsgType::kInsertReq: {
       const auto req = msg::DecodeInsertRequest(m.payload);
       if (!req) break;
+      if (ShedIfNeeded(conn, req->req_id, picked_up_us, req->deadline_us)) {
+        break;
+      }
       start_trace(req->trace, req->req_id);
       const auto traverse = span_begin("traverse");
       maybe_delay();
@@ -249,6 +306,9 @@ void RTreeServer::HandleMessage(Connection& conn, const msg::Message& m,
     case msg::MsgType::kDeleteReq: {
       const auto req = msg::DecodeDeleteRequest(m.payload);
       if (!req) break;
+      if (ShedIfNeeded(conn, req->req_id, picked_up_us, req->deadline_us)) {
+        break;
+      }
       start_trace(req->trace, req->req_id);
       const auto traverse = span_begin("traverse");
       maybe_delay();
@@ -362,6 +422,10 @@ void RTreeServer::MonitorLoop() {
     CATFISH_GAUGE_SET("catfish.server.utilization_pct",
                       static_cast<int64_t>(util * 100.0));
     CATFISH_GAUGE_SET("catfish.server.utilization", util);
+    CATFISH_GAUGE_SET(
+        "overload.server.queue_delay_us",
+        static_cast<double>(
+            queue_delay_ewma_us_.load(std::memory_order_relaxed)));
 
     const double overridden = util_override_.load(std::memory_order_relaxed);
     const double advertised = overridden >= 0.0 ? overridden : util;
@@ -404,6 +468,8 @@ ServerStats RTreeServer::stats() const {
   s.inserts = inserts_.load(std::memory_order_relaxed);
   s.deletes = deletes_.load(std::memory_order_relaxed);
   s.heartbeats_sent = heartbeats_sent_.load(std::memory_order_relaxed);
+  s.sheds = sheds_.load(std::memory_order_relaxed);
+  s.deadline_drops = deadline_drops_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -39,6 +39,32 @@ namespace catfish {
 
 enum class NotifyMode : uint8_t { kPolling, kEventDriven };
 
+/// Per-connection admission control on the fast-messaging receive path.
+/// The pending-work gauge is the request's ring-dequeue delay: every
+/// frame of one drain batch shares the worker's wakeup timestamp, so a
+/// frame handled `queued_us` after pickup waited that long behind its
+/// batch predecessors — exactly the backlog a falling-behind worker
+/// accumulates. When that delay exceeds the bound while the monitor's
+/// utilization window confirms saturation, the request is answered
+/// with a typed kOverloaded reply (cheap: no tree traversal) carrying
+/// a backlog-scaled retry-after hint. Deadline-expired requests are
+/// always dropped before the traversal, admission enabled or not —
+/// burning CPU on an answer the client stopped waiting for is how
+/// goodput collapses past saturation.
+struct AdmissionConfig {
+  /// Off by default: single-tenant benches at controlled load measure
+  /// the paper's latency story, which shedding would perturb.
+  bool enabled = false;
+  /// Shed when a frame's dequeue delay exceeds this…
+  uint64_t max_queue_delay_us = 2'000;
+  /// …and the utilization window is at least this (both signals must
+  /// agree: a one-off slow request under light load is not overload).
+  double min_utilization = 0.85;
+  /// Bounds for the retry-after hint (scaled from the observed delay).
+  uint64_t retry_after_min_us = 1'000;
+  uint64_t retry_after_max_us = 100'000;
+};
+
 struct ServerConfig {
   NotifyMode mode = NotifyMode::kEventDriven;
   /// Heartbeat interval Inv (paper: 10 ms).
@@ -79,6 +105,8 @@ struct ServerConfig {
   uint8_t repl_role = 0;
   const std::atomic<uint64_t>* repl_epoch = nullptr;
   const std::atomic<uint64_t>* repl_durable_lsn = nullptr;
+  /// Overload protection on the fast-messaging path (see above).
+  AdmissionConfig admission;
 };
 
 /// What the client must learn during connection setup (the paper
@@ -120,6 +148,8 @@ struct ServerStats {
   uint64_t inserts = 0;
   uint64_t deletes = 0;
   uint64_t heartbeats_sent = 0;
+  uint64_t sheds = 0;           ///< admission-control kOverloaded replies
+  uint64_t deadline_drops = 0;  ///< requests dropped with expired budgets
 };
 
 class RTreeServer {
@@ -146,6 +176,11 @@ class RTreeServer {
   /// Most recent measured worker CPU utilization in [0,1].
   double utilization() const noexcept {
     return utilization_.load(std::memory_order_relaxed);
+  }
+
+  /// Smoothed ring-dequeue delay (µs) — the admission gauge.
+  uint64_t queue_delay_ewma_us() const noexcept {
+    return queue_delay_ewma_us_.load(std::memory_order_relaxed);
   }
 
   /// Test hook: when set, heartbeats advertise this value instead of the
@@ -210,6 +245,11 @@ class RTreeServer {
                      uint64_t picked_up_us);
   void SendResponse(Connection& conn, msg::MsgType type, uint16_t flags,
                     std::span<const std::byte> payload);
+  /// Admission check, called per request right after decode (the
+  /// deadline rides in the frame). True = shed; the kOverloaded reply
+  /// was already sent and the caller must not traverse.
+  bool ShedIfNeeded(Connection& conn, uint64_t req_id, uint64_t picked_up_us,
+                    uint64_t deadline_us);
 
   std::shared_ptr<rdma::SimNode> node_;
   rtree::RStarTree* tree_;
@@ -230,6 +270,12 @@ class RTreeServer {
   std::atomic<uint64_t> inserts_{0};
   std::atomic<uint64_t> deletes_{0};
   std::atomic<uint64_t> heartbeats_sent_{0};
+  std::atomic<uint64_t> sheds_{0};
+  std::atomic<uint64_t> deadline_drops_{0};
+  /// EWMA of per-request ring-dequeue delay (µs) — the pending-work
+  /// gauge exported as overload.server.queue_delay_us and served by
+  /// /healthz.
+  std::atomic<uint64_t> queue_delay_ewma_us_{0};
   std::atomic<uint64_t> next_conn_id_{1};
 };
 

@@ -1,0 +1,62 @@
+// Jittered capped-exponential backoff, shared by every retry loop.
+//
+// A fleet of clients that all compute the same deterministic schedule
+// retries in lockstep: the burst that overloaded the server is simply
+// replayed every ceiling. Decorrelating the schedules breaks the storm,
+// so every backoff in the tree — remote-engine version retries, the
+// replication shipper's resync, client write retries, circuit-breaker
+// open windows — draws its wait from [ceiling/2, ceiling] using a
+// per-instance SplitMix64 stream seeded from the owner's identity.
+// Determinism is preserved per owner (same seed, same schedule), which
+// the simulators and tests rely on; only cross-owner correlation dies.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace catfish {
+
+/// Stateful jitter source: one per retry loop, seeded once. Cheaper
+/// than a full Xoshiro and good enough to decorrelate sleeps.
+struct JitterState {
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+
+  explicit JitterState(uint64_t seed = 0) noexcept {
+    state ^= seed + 0x9e3779b97f4a7c15ULL;
+  }
+
+  uint64_t Next() noexcept {
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Maps `ceiling_us` to a jittered wait in [ceiling/2, ceiling]. A zero
+/// ceiling stays zero (the caller's "yield instead of sleep" case).
+inline uint64_t JitteredWait(JitterState& js, uint64_t ceiling_us) noexcept {
+  if (ceiling_us == 0) return 0;
+  const uint64_t half = ceiling_us - ceiling_us / 2;
+  return ceiling_us / 2 + js.Next() % (half + 1);
+}
+
+/// The capped-exponential ceiling for `attempt` (1-based): initial_us
+/// doubled per attempt, saturating at max_us. Shift is clamped so the
+/// doubling cannot overflow.
+inline uint64_t BackoffCeiling(uint32_t attempt, uint64_t initial_us,
+                               uint64_t max_us) noexcept {
+  if (initial_us == 0 || max_us == 0) return 0;
+  const uint32_t step = std::min(attempt > 0 ? attempt - 1 : 0u, 20u);
+  return std::min(initial_us << step, max_us);
+}
+
+/// One-call form: jittered capped-exponential wait for `attempt`.
+inline uint64_t JitteredBackoff(JitterState& js, uint32_t attempt,
+                                uint64_t initial_us,
+                                uint64_t max_us) noexcept {
+  return JitteredWait(js, BackoffCeiling(attempt, initial_us, max_us));
+}
+
+}  // namespace catfish

@@ -114,6 +114,7 @@ void ReplicationShipper::AddFollower(msg::RingSender* batch_tx,
   // Ship everything past what the primary's log has already compacted
   // into a checkpoint; a fresh follower re-receives the whole live log.
   f.next_lsn = 1;
+  f.jitter = JitterState(cfg_.shard * 131 + followers_.size() + 1);
   followers_.push_back(f);
   acked_snapshot_.push_back(0);
 }
@@ -259,10 +260,10 @@ bool ReplicationShipper::ShipNext(Follower& f) {
   const auto frame = msg::Encode(batch);
   if (!f.batch_tx->TrySend(static_cast<uint16_t>(msg::MsgType::kReplBatch),
                            msg::kFlagEnd, frame)) {
-    // Ring back-pressure: capped-exponential retry.
-    f.backoff_us = f.backoff_us == 0
-                       ? cfg_.retry_initial_us
-                       : std::min(f.backoff_us * 2, cfg_.retry_max_us);
+    // Ring back-pressure: capped-exponential retry, jittered so
+    // followers stalled by the same cause don't retry in lock-step.
+    f.backoff_us = JitteredBackoff(f.jitter, f.retry_streak++,
+                                   cfg_.retry_initial_us, cfg_.retry_max_us);
     f.next_send_us = now + f.backoff_us;
     const std::scoped_lock lock(stats_mu_);
     ++stats_.retries;
@@ -271,6 +272,7 @@ bool ReplicationShipper::ShipNext(Follower& f) {
   }
   f.backoff_us = 0;
   f.next_send_us = 0;
+  f.retry_streak = 0;
   f.next_lsn = run.back().lsn + 1;
   ++f.inflight;
   {

@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/backoff.h"
 #include "durable/manager.h"
 #include "durable/wal.h"
 #include "msg/repl.h"
@@ -184,8 +185,15 @@ class ReplicationShipper {
     uint64_t next_lsn = 1;
     uint64_t acked_lsn = 0;
     size_t inflight = 0;
+    /// Last jittered retry wait (diagnostics; 0 = not backing off).
     uint64_t backoff_us = 0;
     uint64_t next_send_us = 0;
+    /// Consecutive full-ring retries; resets when a batch goes out.
+    uint32_t retry_streak = 0;
+    /// Decorrelates retry schedules across followers so a shared stall
+    /// (slow fabric, paused receiver) doesn't resynchronize them into
+    /// lock-step bursts.
+    JitterState jitter;
     msg::Message rx_scratch;
   };
 

@@ -43,7 +43,8 @@ ClusterSim::ClusterSim(rtree::RStarTree& tree, ClusterConfig cfg)
                                       fabric_.base_latency_us);
   for (size_t i = 0; i < cfg_.num_clients; ++i) {
     clients_.push_back(std::make_unique<Client>(
-        i, cfg_.workload, cfg_.adaptive, cfg_.seed + i * 7919));
+        i, cfg_.workload, cfg_.adaptive, cfg_.overload.breaker,
+        cfg_.seed + i * 7919));
     clients_.back()->remaining = cfg_.requests_per_client;
   }
 }
@@ -87,6 +88,14 @@ void ClusterSim::CompleteRequest(Client& c, workload::OpType op, double t0,
   }
   const double latency = sched_.now() - t0;
   result_.latency_us.Add(latency);
+  if (cfg_.overload.deadline_us == 0 ||
+      latency <= static_cast<double>(cfg_.overload.deadline_us)) {
+    ++result_.goodput;
+  } else {
+    ++result_.deadline_misses;
+    CATFISH_COUNT("overload.sim.deadline_misses");
+  }
+  c.breaker.OnSuccess();
   if (op == workload::OpType::kInsert) {
     result_.insert_latency_us.Add(latency);
     ++result_.inserts;
@@ -111,8 +120,53 @@ void ClusterSim::CompleteRequest(Client& c, workload::OpType op, double t0,
   StartNextRequest(c);
 }
 
+void ClusterSim::CompleteShed(Client& c, bool expired,
+                              const std::shared_ptr<SubTrace>& st) {
+  if (st && st->trace) {
+    TraceStage(st, nullptr);
+    st->trace->SetAttr(st->span, "shed", 1);
+    st->trace->EndSpan(st->span, static_cast<uint64_t>(sched_.now()));
+    result_.traces.push_back(st->trace);
+    if (result_.traces.size() > cfg_.trace_retain) {
+      result_.traces.erase(result_.traces.begin());
+    }
+  }
+  if (expired) {
+    ++result_.deadline_drops;
+    CATFISH_COUNT("overload.server.deadline_drops");
+  } else {
+    ++result_.sheds;
+    CATFISH_COUNT("overload.server.sheds");
+  }
+  const auto now = static_cast<uint64_t>(sched_.now());
+  CATFISH_EVENT(kShed, now, c.index, 0.0,
+                static_cast<double>(cfg_.overload.retry_after_us));
+  if (c.breaker.OnFailure(now, expired ? 0 : cfg_.overload.retry_after_us)) {
+    ++result_.breaker_opens;
+    CATFISH_COUNT("breaker.opens");
+    CATFISH_EVENT(kBreakerOpen, now, c.index,
+                  static_cast<double>(c.breaker.state()),
+                  static_cast<double>(c.breaker.last_open_window_us()));
+  }
+  --outstanding_;
+  result_.duration_us = sched_.now();
+  StartNextRequest(c);
+}
+
 void ClusterSim::StartNextRequest(Client& c) {
   if (c.remaining == 0) return;
+  // Breaker gate (overload model): an open breaker parks the client
+  // until its window elapses — backing off instead of deepening the
+  // server's queue. Admit() is the production transition, so the park
+  // ends in Half-open and the next request is the probe.
+  if (cfg_.overload.breaker.enabled &&
+      !c.breaker.Admit(static_cast<uint64_t>(sched_.now()))) {
+    ++result_.breaker_waits;
+    CATFISH_COUNT("breaker.sim.waits");
+    sched_.At(static_cast<double>(c.breaker.open_until_us()) + 1.0,
+              [this, &c]() { StartNextRequest(c); });
+    return;
+  }
   --c.remaining;
   ++outstanding_;
   const workload::Request req = c.gen.Next();
@@ -223,7 +277,29 @@ void ClusterSim::ExecViaServer(Client& c, const workload::Request& req,
     }
   };
 
-  auto handle = [this, &c, req, service, search, tcp, respond, st]() {
+  auto handle = [this, &c, req, service, search, tcp, respond, st, t0]() {
+    // Admission control (overload model): a request that is already
+    // past its deadline, or that arrives to an over-long worker queue,
+    // is refused here — turned around at the NIC with a small reply,
+    // never touching a worker core. RDMA schemes only (the TCP
+    // baselines predate the admission layer).
+    if (!tcp) {
+      const bool expired =
+          cfg_.overload.deadline_us != 0 &&
+          sched_.now() - t0 >= static_cast<double>(cfg_.overload.deadline_us);
+      const bool shed = !expired && cfg_.overload.max_queue != 0 &&
+                        cpu_->queued() >= cfg_.overload.max_queue;
+      if (expired || shed) {
+        nic_->Submit(cfg_.costs.nic_write_op_us, [this, &c, st, expired]() {
+          up_->Transfer(cfg_.costs.ack_bytes, [this, &c, st, expired]() {
+            sched_.After(cfg_.costs.verbs_post_us, [this, &c, st, expired]() {
+              CompleteShed(c, expired, st);
+            });
+          });
+        });
+        return;
+      }
+    }
     TraceStage(st, "dequeue");
     const double pickup = (!tcp && cfg_.notify == NotifyMode::kPolling)
                               ? PollingPickupUs()

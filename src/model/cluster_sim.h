@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "catfish/adaptive.h"
+#include "catfish/breaker.h"
 #include "catfish/server.h"   // NotifyMode
 #include "common/stats.h"
 #include "des/resources.h"
@@ -84,6 +85,32 @@ struct ClusterConfig {
   uint64_t trace_sample_every = 0;
   /// Sampled traces retained in RunResult::traces (oldest dropped).
   size_t trace_retain = 32;
+
+  /// Overload model (bench_overload). The live server's admission gauge
+  /// is dequeue latency; the DES approximates it with the worker pool's
+  /// queue *length* at arrival (same signal, measured in jobs instead
+  /// of microseconds). A shed arrival is turned around at the NIC — the
+  /// whole point of admission control is that refusing costs no worker
+  /// CPU, while an unshedded stale request burns a full service time
+  /// producing an answer nobody can use.
+  struct OverloadModel {
+    /// Queue-limit shedding: arrivals that find this many jobs already
+    /// queued at the worker pool are refused (0 disables admission).
+    size_t max_queue = 0;
+    /// Per-op deadline: requests expired on arrival are dropped at the
+    /// server (no traversal), and completions past it count toward
+    /// throughput but not goodput. 0 = none.
+    uint64_t deadline_us = 0;
+    /// Retry-after hint carried by modeled shed replies (floors the
+    /// breaker's open window, like the live kOverloaded reply).
+    uint32_t retry_after_us = 500;
+    /// Per-client circuit breaker, the production state machine run on
+    /// virtual time: a shed reply is OnFailure, a completion OnSuccess,
+    /// and a client whose breaker is open parks until the window ends
+    /// instead of hammering the saturated server.
+    BreakerConfig breaker;
+  };
+  OverloadModel overload;
 };
 
 struct RunResult {
@@ -115,6 +142,16 @@ struct RunResult {
   /// Summed over every client's AdaptiveController (Catfish scheme only).
   uint64_t mode_switches = 0;
   uint64_t adaptive_escalations = 0;
+  /// Overload accounting: completions inside the deadline (== completed
+  /// when no deadline is set), requests refused by admission control,
+  /// requests the server dropped as already-expired, completions past
+  /// the deadline, and breaker transitions/parks across all clients.
+  uint64_t goodput = 0;
+  uint64_t sheds = 0;
+  uint64_t deadline_drops = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_waits = 0;
   /// Sampled search traces (virtual-clock timestamps), oldest first;
   /// see ClusterConfig::trace_sample_every.
   std::vector<std::shared_ptr<telemetry::Trace>> traces;
@@ -136,11 +173,14 @@ class ClusterSim {
     AdaptiveController ctrl;
     Xoshiro256 rng;
     uint64_t remaining = 0;
+    /// Production breaker state machine on virtual time (overload model).
+    CircuitBreaker breaker;
 
     Client(size_t i, const workload::RequestGen::Config& wcfg,
-           const AdaptiveConfig& acfg, uint64_t seed)
+           const AdaptiveConfig& acfg, const BreakerConfig& bcfg,
+           uint64_t seed)
         : index(i), gen(wcfg, seed), ctrl(acfg, seed ^ 0x9e3779b9u, i),
-          rng(seed + 0x51ed2701u) {}
+          rng(seed + 0x51ed2701u), breaker(bcfg, seed ^ (i << 1)) {}
   };
 
   bool IsTcp() const noexcept {
@@ -168,6 +208,10 @@ class ClusterSim {
   void CompleteRequest(Client& c, workload::OpType op, double t0,
                        bool offloaded = false,
                        const std::shared_ptr<SubTrace>& st = nullptr);
+  /// A shed/expired request was refused by the server: feed the
+  /// client's breaker and move on (a shed is never a completion).
+  void CompleteShed(Client& c, bool expired,
+                    const std::shared_ptr<SubTrace>& st);
   /// Ends the open stage child (if any) and starts `next` (unless null)
   /// under the root span, at the current virtual time.
   void TraceStage(const std::shared_ptr<SubTrace>& st, const char* next);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "rtree/bulk_load.h"
+#include "telemetry/events.h"
 #include "telemetry/metrics.h"
 
 namespace catfish::model {
@@ -244,6 +245,18 @@ void ShardedClusterSim::SubqueryDone(std::shared_ptr<Fanout> join,
   }
 }
 
+double ShardedClusterSim::HedgeDelayUs() const noexcept {
+  if (cfg_.hedge_delay_us != 0) {
+    return static_cast<double>(cfg_.hedge_delay_us);
+  }
+  // Adaptive: the live client's percentile rule against the sub-query
+  // latencies observed so far; an RTT-derived floor until warmed up.
+  if (result_.subquery_latency_us.count() >= 32) {
+    return result_.subquery_latency_us.p95();
+  }
+  return fabric_.base_latency_us * 20.0;
+}
+
 void ShardedClusterSim::SubqueryFast(Client& c, uint32_t shard,
                                      const geo::Rect& rect,
                                      std::shared_ptr<Fanout> join,
@@ -259,10 +272,15 @@ void ShardedClusterSim::SubqueryFast(Client& c, uint32_t shard,
   s.tree->SearchTraced(rect, out, &sst, nullptr);
   const size_t segments =
       1 + sst.results * k.per_result_bytes / k.max_segment_payload_bytes;
-  const double service =
+  double service =
       k.request_dispatch_us +
       static_cast<double>(sst.nodes_visited) * k.per_node_visit_us +
       static_cast<double>(sst.results) * k.per_result_us;
+  // Gray failure: the degraded shard serves every fast sub-query slower
+  // by the configured factor — still answering, just limping.
+  if (static_cast<int>(shard) == cfg_.slow_shard && cfg_.slow_factor > 1.0) {
+    service *= cfg_.slow_factor;
+  }
   const size_t resp_bytes =
       k.response_base_bytes * segments + sst.results * k.per_result_bytes;
   // Ring messages doorbell individually on their shard's QP (the live
@@ -277,26 +295,84 @@ void ShardedClusterSim::SubqueryFast(Client& c, uint32_t shard,
   ++result_.polls;
   CATFISH_COUNT("rdma.polls");
 
-  sched_.After(issue_delay, [this, &c, &s, service, resp_bytes, join, st]() {
+  // First-result-wins gate shared by the primary chain and a possible
+  // hedge chain. The losing leg's resources still burn — only its join
+  // is suppressed — which is exactly the duplicate-work cost
+  // hedges_wasted measures.
+  struct HedgeState {
+    bool done = false;
+    bool hedged = false;
+    double delay_us = 0.0;
+  };
+  auto hs = std::make_shared<HedgeState>();
+  auto finish = [this, join, st, hs, shard](bool from_hedge) {
+    if (hs->done) return;  // the other leg joined first
+    hs->done = true;
+    if (hs->hedged) {
+      if (from_hedge) {
+        ++result_.hedges_won;
+        CATFISH_COUNT("shard.client.hedges_won");
+      } else {
+        ++result_.hedges_wasted;
+        CATFISH_COUNT("shard.client.hedges_wasted");
+      }
+      CATFISH_EVENT(kHedge, static_cast<uint64_t>(sched_.now()), shard,
+                    hs->delay_us, from_hedge ? 1.0 : 0.0);
+    }
+    SubqueryDone(join, st);
+    if (st) {
+      // The losing leg keeps running its stage lambdas; null the trace
+      // so they no-op instead of reopening spans under an ended parent.
+      st->open = telemetry::kInvalidSpan;
+      st->trace = nullptr;
+    }
+  };
+
+  // Arm the hedge: if the primary has not joined after the delay,
+  // re-issue as an offloaded read against a follower (round-robin).
+  if (cfg_.hedge && s.live_replicas > 0) {
+    hs->delay_us = HedgeDelayUs();
+    sched_.After(issue_delay + hs->delay_us,
+                 [this, &c, shard, rect, join, hs, finish]() {
+      if (hs->done) return;  // primary answered in time; no hedge
+      ShardRes& s2 = *shards_[shard];
+      if (s2.live_replicas == 0) return;  // promotion consumed them all
+      hs->hedged = true;
+      ++result_.hedges_issued;
+      CATFISH_COUNT("shard.client.hedges_issued");
+      const int replica = static_cast<int>(s2.read_rr++ % s2.live_replicas);
+      auto tr = std::make_shared<rtree::TraversalTrace>();
+      rtree::SearchStats hst;
+      std::vector<rtree::Entry> hout;
+      s2.tree->SearchTraced(rect, hout, &hst, tr.get());
+      OffloadRound(c, shard, replica, tr, 0, join, nullptr,
+                   [finish]() { finish(true); });
+    });
+  }
+
+  sched_.After(issue_delay, [this, &c, &s, service, resp_bytes, join, st,
+                             finish]() {
     TraceStage(st, "net_down");
     s.down->Transfer(cfg_.costs.search_request_bytes, [this, &c, &s, service,
-                                                       resp_bytes, join,
-                                                       st]() {
+                                                       resp_bytes, join, st,
+                                                       finish]() {
       s.nic->Submit(cfg_.costs.nic_write_op_us, [this, &c, &s, service,
-                                                 resp_bytes, join, st]() {
+                                                 resp_bytes, join, st,
+                                                 finish]() {
         const double pickup = cfg_.notify == NotifyMode::kPolling
                                   ? PollingPickupUs()
                                   : 0.0;
         TraceStage(st, "dequeue");
-        sched_.After(pickup, [this, &c, &s, service, resp_bytes, join, st]() {
+        sched_.After(pickup, [this, &c, &s, service, resp_bytes, join, st,
+                              finish]() {
           TraceStage(st, "traverse");
-          s.cpu->Submit(service, [this, &s, resp_bytes, join, st]() {
+          s.cpu->Submit(service, [this, &s, resp_bytes, st, finish]() {
             TraceStage(st, "reply");
             s.nic->Submit(cfg_.costs.nic_write_op_us,
-                          [this, &s, resp_bytes, join, st]() {
-              s.up->Transfer(resp_bytes, [this, join, st]() {
+                          [this, &s, resp_bytes, finish]() {
+              s.up->Transfer(resp_bytes, [this, finish]() {
                 sched_.After(cfg_.costs.verbs_post_us,
-                             [this, join, st]() { SubqueryDone(join, st); });
+                             [finish]() { finish(false); });
               });
             });
           });
@@ -339,9 +415,14 @@ void ShardedClusterSim::SubqueryOffloaded(Client& c, uint32_t shard,
 void ShardedClusterSim::OffloadRound(
     Client& c, uint32_t shard, int replica,
     std::shared_ptr<rtree::TraversalTrace> trace, size_t level,
-    std::shared_ptr<Fanout> join, std::shared_ptr<SubTrace> st) {
+    std::shared_ptr<Fanout> join, std::shared_ptr<SubTrace> st,
+    std::function<void()> on_done) {
   if (level >= trace->nodes_per_level.size()) {
-    SubqueryDone(join, st);
+    if (on_done) {
+      on_done();  // hedge chain: resolve through its first-wins gate
+    } else {
+      SubqueryDone(join, st);
+    }
     return;
   }
   TraceStage(st, "offload_round");
@@ -372,11 +453,12 @@ void ShardedClusterSim::OffloadRound(
   };
   auto round = std::make_shared<Round>(Round{n, sched_.now()});
   auto node_done = [this, &c, shard, replica, trace, level, join, round,
-                    st]() {
+                    st, on_done]() {
     if (--round->remaining == 0) {
       const double resume = std::max(round->client_free_at, sched_.now());
-      sched_.At(resume, [this, &c, shard, replica, trace, level, join, st]() {
-        OffloadRound(c, shard, replica, trace, level + 1, join, st);
+      sched_.At(resume, [this, &c, shard, replica, trace, level, join, st,
+                         on_done]() {
+        OffloadRound(c, shard, replica, trace, level + 1, join, st, on_done);
       });
     }
   };

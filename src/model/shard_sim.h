@@ -100,6 +100,24 @@ struct ShardedClusterConfig {
   /// promotion + republish, before the shard accepts writes again.
   double failover_detect_us = 30'000.0;
   double failover_promote_us = 2'000.0;
+
+  // --- gray failure & hedging (bench_overload) ---
+  /// Degraded node: fast-path service time on this shard is multiplied
+  /// by `slow_factor` (-1 = no slow shard). The shard keeps answering —
+  /// heartbeats flow, nothing times out — it is just slower than its
+  /// peers, which the fan-out join turns into query-level tail latency.
+  int slow_shard = -1;
+  double slow_factor = 1.0;
+  /// Hedged fan-out: a fast sub-query that has not joined after the
+  /// hedge delay is re-issued as an offloaded read against one of the
+  /// shard's followers (needs num_replicas > 0); the first completion
+  /// wins and the loser is suppressed — its resources still burn, which
+  /// is exactly the duplicate-work overhead hedges_wasted measures.
+  bool hedge = false;
+  /// Fixed hedge delay; 0 = adaptive (p95 of sub-query latencies
+  /// observed so far, with an RTT-derived floor until warmed up) —
+  /// the same percentile rule the live ShardedRTreeClient applies.
+  uint64_t hedge_delay_us = 0;
 };
 
 struct ShardedRunResult {
@@ -137,6 +155,11 @@ struct ShardedRunResult {
   uint64_t follower_reads = 0;
   uint64_t failovers = 0;
   uint64_t stalled_writes = 0;
+  /// Hedging: stragglers re-issued against followers, hedges that
+  /// answered first, hedges the primary beat (pure duplicate work).
+  uint64_t hedges_issued = 0;
+  uint64_t hedges_won = 0;
+  uint64_t hedges_wasted = 0;
   /// Added write latency from the semi-sync gate (local durability →
   /// quorum follower ack).
   LogHistogram repl_ack_us;
@@ -234,10 +257,15 @@ class ShardedClusterSim {
                          std::shared_ptr<SubTrace> st);
   /// `replica` < 0 reads the primary's arena; otherwise the follower's
   /// (same tree geometry — replication keeps them in lockstep here).
+  /// `on_done` overrides the default SubqueryDone join (hedge chains
+  /// must resolve through their first-result-wins gate instead).
   void OffloadRound(Client& c, uint32_t shard, int replica,
                     std::shared_ptr<rtree::TraversalTrace> trace,
                     size_t level, std::shared_ptr<Fanout> join,
-                    std::shared_ptr<SubTrace> st);
+                    std::shared_ptr<SubTrace> st,
+                    std::function<void()> on_done = nullptr);
+  /// Current hedge delay: the fixed knob, or the adaptive percentile.
+  double HedgeDelayUs() const noexcept;
   /// Ships one committed record to every live follower and runs `done`
   /// once `ack_followers` of them have durably applied it (immediately
   /// when the quorum is 0).

@@ -46,83 +46,115 @@ TraceContext ReadTraceTail(ByteReader& r) {
   return t;
 }
 
+// Request frames carry up to two optional tails, trace first then
+// deadline, each emitted only when set. The four reachable sizes —
+// base, base+8 (deadline only), base+13 (trace only), base+21 (both) —
+// are pairwise distinct for every request type, so the size alone
+// discriminates the layout; anything else is a torn frame.
 bool SizeWithOptionalTail(size_t got, size_t base) {
-  return got == base || got == base + kTraceContextBytes;
+  return got == base || got == base + kDeadlineTailBytes ||
+         got == base + kTraceContextBytes ||
+         got == base + kTraceContextBytes + kDeadlineTailBytes;
+}
+
+bool HasTraceTail(size_t got, size_t base) {
+  return got == base + kTraceContextBytes ||
+         got == base + kTraceContextBytes + kDeadlineTailBytes;
+}
+
+bool HasDeadlineTail(size_t got, size_t base) {
+  return got == base + kDeadlineTailBytes ||
+         got == base + kTraceContextBytes + kDeadlineTailBytes;
+}
+
+size_t TailBytes(const TraceContext& t, uint64_t deadline_us) {
+  return (t.present() ? kTraceContextBytes : 0) +
+         (deadline_us != 0 ? kDeadlineTailBytes : 0);
+}
+
+void AppendDeadlineTail(ByteWriter& w, uint64_t deadline_us) {
+  if (deadline_us != 0) w.Append(deadline_us);
 }
 
 }  // namespace
 
 std::vector<std::byte> Encode(const SearchRequest& v) {
-  ByteWriter w(8 + kRectBytes +
-               (v.trace.present() ? kTraceContextBytes : 0));
+  ByteWriter w(8 + kRectBytes + TailBytes(v.trace, v.deadline_us));
   w.Append(v.req_id);
   AppendRect(w, v.rect);
   AppendTraceTail(w, v.trace);
+  AppendDeadlineTail(w, v.deadline_us);
   return w.Take();
 }
 
 std::optional<SearchRequest> DecodeSearchRequest(
     std::span<const std::byte> payload) {
-  if (!SizeWithOptionalTail(payload.size(), 8 + kRectBytes)) {
-    return std::nullopt;
-  }
+  constexpr size_t kBase = 8 + kRectBytes;
+  if (!SizeWithOptionalTail(payload.size(), kBase)) return std::nullopt;
   ByteReader r(payload);
   SearchRequest v;
   v.req_id = r.Read<uint64_t>();
   v.rect = ReadRect(r);
-  if (!r.AtEnd()) v.trace = ReadTraceTail(r);
+  if (HasTraceTail(payload.size(), kBase)) v.trace = ReadTraceTail(r);
+  if (HasDeadlineTail(payload.size(), kBase)) {
+    v.deadline_us = r.Read<uint64_t>();
+  }
   return v;
 }
 
 std::vector<std::byte> Encode(const InsertRequest& v) {
-  ByteWriter w(24 + kRectBytes +
-               (v.trace.present() ? kTraceContextBytes : 0));
+  ByteWriter w(24 + kRectBytes + TailBytes(v.trace, v.deadline_us));
   w.Append(v.req_id);
   w.Append(v.client_gen);
   AppendRect(w, v.rect);
   w.Append(v.rect_id);
   AppendTraceTail(w, v.trace);
+  AppendDeadlineTail(w, v.deadline_us);
   return w.Take();
 }
 
 std::optional<InsertRequest> DecodeInsertRequest(
     std::span<const std::byte> payload) {
-  if (!SizeWithOptionalTail(payload.size(), 24 + kRectBytes)) {
-    return std::nullopt;
-  }
+  constexpr size_t kBase = 24 + kRectBytes;
+  if (!SizeWithOptionalTail(payload.size(), kBase)) return std::nullopt;
   ByteReader r(payload);
   InsertRequest v;
   v.req_id = r.Read<uint64_t>();
   v.client_gen = r.Read<uint64_t>();
   v.rect = ReadRect(r);
   v.rect_id = r.Read<uint64_t>();
-  if (!r.AtEnd()) v.trace = ReadTraceTail(r);
+  if (HasTraceTail(payload.size(), kBase)) v.trace = ReadTraceTail(r);
+  if (HasDeadlineTail(payload.size(), kBase)) {
+    v.deadline_us = r.Read<uint64_t>();
+  }
   return v;
 }
 
 std::vector<std::byte> Encode(const DeleteRequest& v) {
-  ByteWriter w(24 + kRectBytes +
-               (v.trace.present() ? kTraceContextBytes : 0));
+  ByteWriter w(24 + kRectBytes + TailBytes(v.trace, v.deadline_us));
   w.Append(v.req_id);
   w.Append(v.client_gen);
   AppendRect(w, v.rect);
   w.Append(v.rect_id);
   AppendTraceTail(w, v.trace);
+  AppendDeadlineTail(w, v.deadline_us);
   return w.Take();
 }
 
 std::optional<DeleteRequest> DecodeDeleteRequest(
     std::span<const std::byte> payload) {
-  if (!SizeWithOptionalTail(payload.size(), 24 + kRectBytes)) {
-    return std::nullopt;
-  }
+  constexpr size_t kBase = 24 + kRectBytes;
+  if (!SizeWithOptionalTail(payload.size(), kBase)) return std::nullopt;
   ByteReader r(payload);
   DeleteRequest v;
   v.req_id = r.Read<uint64_t>();
   v.client_gen = r.Read<uint64_t>();
   v.rect = ReadRect(r);
   v.rect_id = r.Read<uint64_t>();
-  if (!r.AtEnd()) v.trace = ReadTraceTail(r);
+  if (HasTraceTail(payload.size(), kBase)) v.trace = ReadTraceTail(r);
+  if (HasDeadlineTail(payload.size(), kBase)) {
+    v.deadline_us = r.Read<uint64_t>();
+  }
   return v;
 }
 
@@ -139,6 +171,23 @@ std::optional<WriteAck> DecodeWriteAck(std::span<const std::byte> payload) {
   WriteAck v;
   v.req_id = r.Read<uint64_t>();
   v.ok = r.Read<uint8_t>();
+  return v;
+}
+
+std::vector<std::byte> Encode(const OverloadReply& v) {
+  ByteWriter w(12);
+  w.Append(v.req_id);
+  w.Append(v.retry_after_us);
+  return w.Take();
+}
+
+std::optional<OverloadReply> DecodeOverloadReply(
+    std::span<const std::byte> payload) {
+  if (payload.size() != 12) return std::nullopt;
+  ByteReader r(payload);
+  OverloadReply v;
+  v.req_id = r.Read<uint64_t>();
+  v.retry_after_us = r.Read<uint32_t>();
   return v;
 }
 
@@ -242,6 +291,12 @@ void EncodeInto(const WriteAck& v, std::vector<std::byte>& out) {
   out.clear();
   AppendPod(out, v.req_id);
   AppendPod(out, v.ok);
+}
+
+void EncodeInto(const OverloadReply& v, std::vector<std::byte>& out) {
+  out.clear();
+  AppendPod(out, v.req_id);
+  AppendPod(out, v.retry_after_us);
 }
 
 void EncodeSearchResponseInto(uint64_t req_id,

@@ -31,6 +31,7 @@ enum class MsgType : uint16_t {
   kTraceResp = 10,
   kReplBatch = 11,  ///< primary→follower WAL record batch (msg/repl.h)
   kReplAck = 12,    ///< follower→primary durability ack (msg/repl.h)
+  kOverloaded = 13,  ///< server→client: request shed by admission control
 };
 
 /// Distributed-tracing context carried on Search/Insert/Delete requests
@@ -50,10 +51,24 @@ struct TraceContext {
 
 inline constexpr size_t kTraceContextBytes = 8 + 4 + 1;
 
+/// Deadline-budget tail carried on Search/Insert/Delete requests: the
+/// absolute expiry time of the client's per-op budget on the shared
+/// in-process steady clock (common/clock.h NowMicros — valid because
+/// client and server share one process in the simulation; a real
+/// deployment would carry a relative budget and re-anchor it). Encoded
+/// as an optional 8-byte tail AFTER the trace tail, emitted only when
+/// non-zero, so the four frame sizes (base, base+8, base+13, base+21)
+/// discriminate the layouts and legacy frames stay byte-identical. A
+/// server that sees an already-expired deadline drops the request
+/// before touching the tree and replies kOverloaded instead of burning
+/// CPU on dead work.
+inline constexpr size_t kDeadlineTailBytes = 8;
+
 struct SearchRequest {
   uint64_t req_id = 0;
   geo::Rect rect;
   TraceContext trace;
+  uint64_t deadline_us = 0;  ///< absolute; 0 = no deadline (legacy)
 };
 
 /// Write requests carry an exactly-once identity: `client_gen` names one
@@ -67,6 +82,7 @@ struct InsertRequest {
   geo::Rect rect;
   uint64_t rect_id = 0;
   TraceContext trace;
+  uint64_t deadline_us = 0;  ///< absolute; 0 = no deadline (legacy)
 };
 
 struct DeleteRequest {
@@ -75,6 +91,7 @@ struct DeleteRequest {
   geo::Rect rect;
   uint64_t rect_id = 0;
   TraceContext trace;
+  uint64_t deadline_us = 0;  ///< absolute; 0 = no deadline (legacy)
 };
 
 /// k-nearest-neighbor query. Served on the server only: best-first kNN
@@ -91,6 +108,19 @@ struct KnnRequest {
 struct WriteAck {
   uint64_t req_id = 0;
   uint8_t ok = 0;
+};
+
+/// Server→client: the request named by req_id was shed by admission
+/// control (queue depth / utilization bound exceeded, or its deadline
+/// budget had already expired on arrival). `retry_after_us` is the
+/// server's backlog-scaled hint for when a retry is likely to get in;
+/// 0 means "do not retry this request" (its deadline had expired — the
+/// answer can no longer be useful). Never sent to legacy clients
+/// unprompted: only requests are answered with it, so a peer that
+/// never sends requests never has to understand it.
+struct OverloadReply {
+  uint64_t req_id = 0;
+  uint32_t retry_after_us = 0;
 };
 
 /// Server→client load report (paper Algorithm 1's u_serv input), plus
@@ -154,6 +184,7 @@ std::vector<std::byte> Encode(const SearchRequest& v);
 std::vector<std::byte> Encode(const InsertRequest& v);
 std::vector<std::byte> Encode(const DeleteRequest& v);
 std::vector<std::byte> Encode(const WriteAck& v);
+std::vector<std::byte> Encode(const OverloadReply& v);
 std::vector<std::byte> Encode(const Heartbeat& v);
 std::vector<std::byte> Encode(const KnnRequest& v);
 std::vector<std::byte> Encode(const TraceResponse& v);
@@ -165,6 +196,8 @@ std::optional<InsertRequest> DecodeInsertRequest(
 std::optional<DeleteRequest> DecodeDeleteRequest(
     std::span<const std::byte> payload);
 std::optional<WriteAck> DecodeWriteAck(std::span<const std::byte> payload);
+std::optional<OverloadReply> DecodeOverloadReply(
+    std::span<const std::byte> payload);
 std::optional<Heartbeat> DecodeHeartbeat(std::span<const std::byte> payload);
 std::optional<KnnRequest> DecodeKnnRequest(std::span<const std::byte> payload);
 std::optional<TraceResponse> DecodeTraceResponse(
@@ -188,6 +221,10 @@ std::optional<SearchResponseSegment> DecodeSearchResponseSegment(
 
 /// Encodes `v` into `out` (cleared first; capacity reused).
 void EncodeInto(const WriteAck& v, std::vector<std::byte>& out);
+
+/// Same for shed replies: the overloaded path above all must not
+/// allocate, or shedding would be slower than serving.
+void EncodeInto(const OverloadReply& v, std::vector<std::byte>& out);
 
 /// EncodeSearchResponse into reusable segment buffers: `segments` is
 /// resized to the segment count, each inner vector's capacity reused.

@@ -1,7 +1,9 @@
 #include "rdmasim/rdma.h"
 
+#include <chrono>
 #include <cstring>
 #include <iterator>
+#include <thread>
 
 #include "common/bytes.h"
 #include "common/clock.h"
@@ -58,15 +60,51 @@ void FaultController::SetDropPlan(const std::string& a, const std::string& b,
   armed_.store(true, std::memory_order_release);
 }
 
+void FaultController::SetLinkLatency(const std::string& a,
+                                     const std::string& b, uint64_t base_us,
+                                     uint64_t jitter_us, uint64_t seed) {
+  const std::scoped_lock lock(mu_);
+  if (base_us == 0 && jitter_us == 0) {
+    const auto it = links_.find(Key(a, b));
+    if (it != links_.end()) {
+      it->second.lat_base_us = 0;
+      it->second.lat_jitter_us = 0;
+    }
+    return;
+  }
+  Link& link = links_[Key(a, b)];
+  link.lat_base_us = base_us;
+  link.lat_jitter_us = jitter_us;
+  link.lat_rng = JitterState(seed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultController::SetDegraded(const std::string& node,
+                                  uint64_t per_op_us) {
+  const std::scoped_lock lock(mu_);
+  if (per_op_us == 0) {
+    degraded_.erase(node);
+    if (links_.empty() && degraded_.empty()) {
+      armed_.store(false, std::memory_order_release);
+    }
+    return;
+  }
+  degraded_[node] = per_op_us;
+  armed_.store(true, std::memory_order_release);
+}
+
 void FaultController::ClearLink(const std::string& a, const std::string& b) {
   const std::scoped_lock lock(mu_);
   links_.erase(Key(a, b));
-  if (links_.empty()) armed_.store(false, std::memory_order_release);
+  if (links_.empty() && degraded_.empty()) {
+    armed_.store(false, std::memory_order_release);
+  }
 }
 
 void FaultController::Clear() {
   const std::scoped_lock lock(mu_);
   links_.clear();
+  degraded_.clear();
   armed_.store(false, std::memory_order_release);
 }
 
@@ -89,6 +127,33 @@ bool FaultController::ShouldFail(const std::string& local,
     CATFISH_COUNT("rdma.fault.dropped_ops");
   }
   return fail;
+}
+
+uint64_t FaultController::SlowDelayUs(const std::string& local,
+                                      const std::string& peer) {
+  if (!armed_.load(std::memory_order_acquire)) return 0;
+  uint64_t delay = 0;
+  {
+    const std::scoped_lock lock(mu_);
+    const auto it = links_.find(Key(local, peer));
+    if (it != links_.end() && (it->second.lat_base_us != 0 ||
+                               it->second.lat_jitter_us != 0)) {
+      Link& link = it->second;
+      delay = link.lat_base_us;
+      if (link.lat_jitter_us != 0) {
+        delay += link.lat_rng.Next() % (link.lat_jitter_us + 1);
+      }
+    }
+    const auto dl = degraded_.find(local);
+    if (dl != degraded_.end()) delay += dl->second;
+    const auto dp = degraded_.find(peer);
+    if (dp != degraded_.end()) delay += dp->second;
+  }
+  if (delay != 0) {
+    slowed_.fetch_add(1, std::memory_order_relaxed);
+    CATFISH_COUNT("rdma.fault.slowed_ops");
+  }
+  return delay;
 }
 
 // ---------------------------------------------------------------------------
@@ -310,6 +375,15 @@ bool QueuePair::Execute(const WorkRequest& wr, WorkCompletion& wc,
   if (gate != WcStatus::kSuccess) {
     wc.status = gate;
     return false;
+  }
+  // Slow faults elapse here — after the fail-stop gate, before the
+  // in-flight region barrier, so a stalled op never blocks Deregister.
+  if (node_->fabric_ != nullptr) {
+    const uint64_t slow_us =
+        node_->fabric_->faults().SlowDelayUs(node_->name_, peer_node->name_);
+    if (slow_us != 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(slow_us));
+    }
   }
   // In-flight guard: holds off DeregisterAll/Invalidate until the copy
   // lands, so owners can free registered memory after a quiesce.

@@ -15,10 +15,12 @@
 //  * completion queues with both polling and blocking (event-channel)
 //    consumption.
 //
-// Timing is NOT injected here (operations execute synchronously); the
+// Timing is NOT modeled here (operations execute synchronously); the
 // fabric profiles parameterize the discrete-event simulator instead.
 // Failures ARE injectable: Fabric::faults() scripts partitions, flaky
-// links and QP error transitions, and Fabric::RestartNode models a full
+// links, QP error transitions — and *slow* faults (per-link latency,
+// degraded nodes), the gray failures where a component keeps answering
+// but far slower than its peers. Fabric::RestartNode models a full
 // server reboot (see FaultController below).
 #pragma once
 
@@ -32,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/backoff.h"
 #include "rdmasim/completion.h"
 #include "rdmasim/fabric_profile.h"
 
@@ -80,10 +83,21 @@ struct NicStats {
 ///                   remote engine's bounded backoff absorb the loss;
 ///  * QP error     — FailQp is the ibv modify-to-ERR transition: sticky,
 ///                   every later post refused with kQpError. Recovery
-///                   requires a new QP (i.e. a reconnect).
+///                   requires a new QP (i.e. a reconnect);
+///  * slow faults  — gray failures: SetLinkLatency stalls every op on
+///                   one link by base±jitter µs (a congested or
+///                   misnegotiated path), SetDegraded stalls every op
+///                   touching one node (a host limping along — thermal
+///                   throttle, dying NIC — that still answers, just
+///                   slowly). Unlike the fail-stop primitives above, the
+///                   op then SUCCEEDS: nothing times out, watchdogs see
+///                   heartbeats, and only tail latency gives it away —
+///                   exactly the failure hedged reads are for.
 ///
 /// All methods are thread-safe. Ops on faulted links fail before any
-/// byte moves, so rings never see partially-written records.
+/// byte moves, so rings never see partially-written records; slow-fault
+/// delays elapse before the byte copy begins (and before the in-flight
+/// region barrier is taken, so a stalled op never blocks Deregister).
 class FaultController {
  public:
   /// Which per-link op ordinals a flaky link drops (same shape as the
@@ -105,7 +119,23 @@ class FaultController {
   /// Installs a drop plan on the link; ordinals count ops in either
   /// direction, in post order.
   void SetDropPlan(const std::string& a, const std::string& b, DropPlan plan);
-  /// Removes partition + drop plan from one link / from every link.
+
+  /// Slow fault on one link: every op between the nodes stalls for
+  /// base_us plus a uniformly drawn [0, jitter_us] before any byte
+  /// moves, then completes normally. The jitter draw is deterministic
+  /// per link (seeded SplitMix64), so tests replay. base_us = 0 clears.
+  void SetLinkLatency(const std::string& a, const std::string& b,
+                      uint64_t base_us, uint64_t jitter_us = 0,
+                      uint64_t seed = 1);
+  /// Degraded-node mode: every op touching `node` (as initiator or
+  /// target, any link) stalls an extra per_op_us — the packet-level
+  /// analog of the DES's service-time multiplier, expressed as absolute
+  /// added delay because sim ops have no intrinsic service time to
+  /// scale. Delays stack with link latency. per_op_us = 0 clears.
+  void SetDegraded(const std::string& node, uint64_t per_op_us);
+
+  /// Removes partition + drop plan + latency from one link / everything
+  /// (degraded nodes included) from every link.
   void ClearLink(const std::string& a, const std::string& b);
   void Clear();
 
@@ -116,6 +146,10 @@ class FaultController {
   uint64_t dropped_ops() const noexcept {
     return dropped_.load(std::memory_order_relaxed);
   }
+  /// Ops delayed by slow faults so far (diagnostics).
+  uint64_t slowed_ops() const noexcept {
+    return slowed_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class QueuePair;
@@ -124,11 +158,18 @@ class FaultController {
     bool partitioned = false;
     DropPlan drop;
     uint64_t ops = 0;  ///< ordinal counter for the drop plan
+    uint64_t lat_base_us = 0;    ///< slow fault: fixed per-op delay
+    uint64_t lat_jitter_us = 0;  ///< slow fault: uniform extra [0, jitter]
+    JitterState lat_rng{0};      ///< deterministic per-link jitter draws
   };
 
   /// Consulted by every post touching the wire; counts the op against
   /// the link's drop plan and returns true when it must fail.
   bool ShouldFail(const std::string& local, const std::string& peer);
+
+  /// Slow-fault delay for one op on the link (link latency + both
+  /// endpoints' degraded delays); 0 in the common unfaulted case.
+  uint64_t SlowDelayUs(const std::string& local, const std::string& peer);
 
   static std::string Key(const std::string& a, const std::string& b);
 
@@ -136,8 +177,10 @@ class FaultController {
   /// fault is installed (stays set until Clear empties the table).
   std::atomic<bool> armed_{false};
   std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> slowed_{0};
   mutable std::mutex mu_;
   std::unordered_map<std::string, Link> links_;
+  std::unordered_map<std::string, uint64_t> degraded_;  ///< node → µs/op
 };
 
 /// One machine's RDMA device. Created through Fabric::CreateNode.

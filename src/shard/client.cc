@@ -1,8 +1,10 @@
 #include "shard/client.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include "common/clock.h"
 #include "telemetry/events.h"
@@ -189,8 +191,34 @@ RTreeClient* ShardedRTreeClient::FollowerFor(uint32_t shard) {
   return nullptr;
 }
 
+void ShardedRTreeClient::RecordSubLatency(uint64_t us) {
+  const uint32_t w = cfg_.hedge.window > 0 ? cfg_.hedge.window : 1;
+  if (sub_lat_.size() < w) {
+    sub_lat_.push_back(us);
+  } else {
+    sub_lat_[sub_lat_next_ % w] = us;
+  }
+  ++sub_lat_next_;
+}
+
+uint64_t ShardedRTreeClient::HedgeDelayUs() {
+  const HedgeConfig& h = cfg_.hedge;
+  if (sub_lat_.size() < h.min_samples) return h.max_delay_us;
+  sub_lat_scratch_ = sub_lat_;
+  const double p = std::clamp(h.percentile, 0.0, 1.0);
+  const size_t idx =
+      static_cast<size_t>(p * static_cast<double>(sub_lat_scratch_.size() - 1));
+  std::nth_element(sub_lat_scratch_.begin(), sub_lat_scratch_.begin() + idx,
+                   sub_lat_scratch_.end());
+  return std::clamp(sub_lat_scratch_[idx], h.min_delay_us, h.max_delay_us);
+}
+
 PartialResult ShardedRTreeClient::DoSearch(const geo::Rect& rect) {
   CATFISH_SCOPED_TIMER_US("shard.client.search_us");
+  // One absolute deadline for the whole fan-out: concurrent legs share
+  // it, sequential legs consume what remains of it.
+  const uint64_t deadline_us =
+      cfg_.op_budget_us != 0 ? NowMicros() + cfg_.op_budget_us : 0;
   // Refresh before staging: a heartbeat may have advertised a newer
   // table, or a prior op may have adopted one while some shard's link
   // still pointed at a dead incarnation. Healing first lets the first
@@ -225,11 +253,13 @@ PartialResult ShardedRTreeClient::DoSearch(const geo::Rect& rect) {
     uint32_t shard;
     uint64_t req_id;
     telemetry::SpanId span = telemetry::kInvalidSpan;
+    uint64_t staged_us = 0;  ///< when the sub-query left the client
   };
   std::vector<Pending> pending;
   std::vector<uint32_t> offload;
   PartialResult out;
   for (const uint32_t shard : targets_) {
+    clients_[shard]->SetOpDeadline(deadline_us);
     if (DecideMode(shard) != AccessMode::kFastMessaging) {
       offload.push_back(shard);
       continue;
@@ -243,7 +273,9 @@ PartialResult ShardedRTreeClient::DoSearch(const geo::Rect& rect) {
           msg::TraceContext{trace->id(), span, 1});
     }
     try {
-      pending.push_back({shard, clients_[shard]->SearchFastBegin(rect), span});
+      const uint64_t staged_us = NowMicros();
+      pending.push_back(
+          {shard, clients_[shard]->SearchFastBegin(rect), span, staged_us});
     } catch (const ClientError& e) {
       if (trace) {
         // The context may not have been consumed; clear it so it cannot
@@ -276,6 +308,7 @@ PartialResult ShardedRTreeClient::DoSearch(const geo::Rect& rect) {
     // there exactly as it would on the primary. Fall back to the primary
     // on any follower failure; never fail a query a primary could serve.
     RTreeClient* follower = FollowerFor(shard);
+    if (follower) follower->SetOpDeadline(deadline_us);
     auto span = telemetry::kInvalidSpan;
     if (trace) {
       span = trace->StartSpan(trace->root(), "subquery",
@@ -317,11 +350,93 @@ PartialResult ShardedRTreeClient::DoSearch(const geo::Rect& rect) {
   // after an earlier failure: an uncollected response would poison the
   // next request on that connection (it is dropped as stale instead).
   // Each collected sub-query may also yield its server's span tree.
+  //
+  // With hedging enabled a straggler (no answer after the adaptive
+  // delay, measured from its own stage time) is re-issued as a
+  // one-sided read against a caught-up follower; first result wins and
+  // the loser is abandoned. Shards partition the data, so the two
+  // answers are the same row set — exactly one is merged, never both.
+  const auto collect_one =
+      [&](const Pending& p,
+          telemetry::SpanId span) -> std::vector<rtree::Entry> {
+    RTreeClient& c = *clients_[p.shard];
+    if (!cfg_.hedge.enabled) {
+      auto part = c.SearchFastCollect(p.req_id);
+      RecordSubLatency(NowMicros() - p.staged_us);
+      return part;
+    }
+    const uint64_t hedge_delay = HedgeDelayUs();
+    std::vector<rtree::Entry> part;
+    for (;;) {
+      if (c.SearchFastPoll(p.req_id, part)) {
+        RecordSubLatency(NowMicros() - p.staged_us);
+        return part;
+      }
+      if (NowMicros() - p.staged_us >= hedge_delay) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    // Straggler: hedge against a follower. The primary keeps working in
+    // the background and may still answer first.
+    RTreeClient* follower = FollowerFor(p.shard);
+    if (follower == nullptr) {
+      // Nothing to hedge against (no followers, all lagging, or
+      // follower reads disabled); wait out the primary.
+      auto r = c.SearchFastCollect(p.req_id);
+      RecordSubLatency(NowMicros() - p.staged_us);
+      return r;
+    }
+    follower->SetOpDeadline(deadline_us);
+    ++stats_.hedges_issued;
+    CATFISH_COUNT("shard.client.hedges_issued");
+    CATFISH_TIMER_RECORD_US("shard.client.hedge_delay_us", hedge_delay);
+    std::vector<rtree::Entry> hedged;
+    bool hedge_ok = true;
+    try {
+      hedged = follower->SearchOffloaded(rect);
+    } catch (const ClientError&) {
+      hedge_ok = false;  // follower slow or dead too; primary is plan A again
+    }
+    bool primary_done = false;
+    try {
+      primary_done = c.SearchFastPoll(p.req_id, part);
+    } catch (const ClientError&) {
+      // The primary failed outright (shed / disconnected) while the
+      // hedge ran; its poll state is already cleared. Without a hedged
+      // answer the failure is the sub-query's real outcome.
+      if (!hedge_ok) throw;
+    }
+    if (primary_done) {
+      RecordSubLatency(NowMicros() - p.staged_us);
+      ++stats_.hedges_wasted;
+      CATFISH_COUNT("shard.client.hedges_wasted");
+      CATFISH_EVENT(kHedge, NowMicros(), p.shard,
+                    static_cast<double>(hedge_delay), 0.0);
+      return part;
+    }
+    if (hedge_ok) {
+      c.SearchFastAbandon(p.req_id);
+      ++stats_.hedges_won;
+      CATFISH_COUNT("shard.client.hedges_won");
+      CATFISH_EVENT(kHedge, NowMicros(), p.shard,
+                    static_cast<double>(hedge_delay), 1.0);
+      if (trace && span != telemetry::kInvalidSpan) {
+        trace->SetAttr(span, "hedged", 1);
+      }
+      return hedged;
+    }
+    // Both sides slow: fall back to blocking on the primary.
+    CATFISH_EVENT(kHedge, NowMicros(), p.shard,
+                  static_cast<double>(hedge_delay), 0.0);
+    auto r = c.SearchFastCollect(p.req_id);
+    RecordSubLatency(NowMicros() - p.staged_us);
+    return r;
+  };
+
   std::vector<telemetry::RemoteTree> remotes;
   for (const Pending& p : pending) {
     try {
       CATFISH_SCOPED_TIMER_US("shard.client.subquery_us");
-      const auto part = clients_[p.shard]->SearchFastCollect(p.req_id);
+      const auto part = collect_one(p, p.span);
       results.insert(results.end(), part.begin(), part.end());
       if (trace) {
         trace->SetAttr(p.span, "results", static_cast<int64_t>(part.size()));
@@ -382,9 +497,12 @@ std::vector<rtree::Entry> ShardedRTreeClient::NearestNeighbors(
     const geo::Point& point, uint32_t k) {
   ++stats_.knn_queries;
   CATFISH_COUNT("shard.client.knn");
+  const uint64_t deadline_us =
+      cfg_.op_budget_us != 0 ? NowMicros() + cfg_.op_budget_us : 0;
   std::vector<rtree::Entry> all;
   std::optional<ShardError> err;
   for (uint32_t shard = 0; shard < map_.shard_count(); ++shard) {
+    clients_[shard]->SetOpDeadline(deadline_us);
     try {
       const auto part = clients_[shard]->NearestNeighbors(point, k);
       all.insert(all.end(), part.begin(), part.end());
@@ -411,6 +529,8 @@ bool ShardedRTreeClient::ExecuteRoutedWrite(
   // Sampled writes get a two-level trace: root + one "subquery" span for
   // the owning shard, whose server tree (WAL stages included) is grafted
   // back just like a fan-out sub-query's.
+  clients_[owner]->SetOpDeadline(
+      cfg_.op_budget_us != 0 ? NowMicros() + cfg_.op_budget_us : 0);
   std::shared_ptr<telemetry::Trace> trace;
   auto span = telemetry::kInvalidSpan;
   if (cfg_.tracer) trace = cfg_.tracer->StartTrace(trace_name);

@@ -63,12 +63,48 @@ using ReplicaDialFn =
     std::function<std::shared_ptr<tcpkit::Stream>(uint32_t shard,
                                                   uint32_t replica)>;
 
+/// Straggler hedging for fan-out reads. A fast-path sub-query that has
+/// not answered after an adaptive delay (a percentile of recently
+/// observed sub-query latencies) is re-issued as a one-sided read
+/// against a caught-up follower of the same shard; the first result
+/// wins and the loser is abandoned (its late frames drain through the
+/// stale-response filter). Shards partition the data, so the hedge
+/// returns exactly the rows the original would have — duplicate
+/// suppression is "use exactly one of the two", never a merge.
+struct HedgeConfig {
+  /// Off by default: hedging burns follower read capacity to buy tail
+  /// latency, a trade only fan-out callers should opt into.
+  bool enabled = false;
+  /// Latency percentile of the recent-sub-query window that arms the
+  /// hedge timer: 0.95 means "slower than 95% of recent sub-queries".
+  double percentile = 0.95;
+  /// Clamp on the adaptive delay. The floor keeps a fast warm-up from
+  /// hedging everything; the ceiling bounds how long a gray-failing
+  /// shard can stall a fan-out before the hedge fires. The ceiling is
+  /// also used verbatim until `min_samples` latencies are observed.
+  uint64_t min_delay_us = 200;
+  uint64_t max_delay_us = 20'000;
+  /// Sliding window of recent fast sub-query latencies (ring buffer).
+  uint32_t window = 64;
+  uint32_t min_samples = 8;
+};
+
 struct ShardedClientConfig {
   /// Per-shard connection config (mode, watchdog, write_attempts, ...).
   /// Leave client.tracer null here: the fan-out trace is owned by this
   /// layer (see tracer below), and a per-shard tracer would record each
   /// sub-query twice.
   ClientConfig client;
+  /// Per-query deadline budget (µs of wall time per top-level Search /
+  /// NearestNeighbors / routed write). The budget is armed once at op
+  /// entry and the resulting *absolute* deadline is pushed into every
+  /// sub-operation (SetOpDeadline on the per-shard clients, followers
+  /// included), so concurrent fan-out legs share one expiry and the
+  /// sequential offload legs consume the remaining budget — a straggler
+  /// cannot spend the whole budget twice. 0 = no budget (sub-ops still
+  /// honor cfg.client.op_deadline_us individually if set).
+  uint64_t op_budget_us = 0;
+  HedgeConfig hedge;
   /// Graceful degradation: when true, Search() returns whatever the
   /// healthy shards answered instead of throwing on the first failed
   /// sub-query (counted in shard.client.partial_results). Callers that
@@ -122,6 +158,9 @@ struct ShardedClientStats {
   uint64_t follower_reads = 0;     ///< sub-queries served by a follower
   uint64_t follower_fallbacks = 0; ///< follower failed → primary retried
   uint64_t follower_lag_skips = 0; ///< follower too stale, primary used
+  uint64_t hedges_issued = 0;      ///< straggler re-issues against followers
+  uint64_t hedges_won = 0;         ///< hedge answered first (primary abandoned)
+  uint64_t hedges_wasted = 0;      ///< primary answered during the hedge
 };
 
 /// A fan-out answer that tolerates per-shard failures: the union of the
@@ -206,6 +245,12 @@ class ShardedRTreeClient {
   /// must go to the primary.
   RTreeClient* FollowerFor(uint32_t shard);
 
+  /// Feeds one observed fast sub-query latency into the hedge window.
+  void RecordSubLatency(uint64_t us);
+  /// Adaptive hedge delay: cfg_.hedge.percentile of the window, clamped
+  /// to [min_delay_us, max_delay_us]; max_delay_us until warmed up.
+  uint64_t HedgeDelayUs();
+
   /// Shared Insert/Delete scaffolding: trace the routed write (root +
   /// subquery span + grafted server tree when sampled), run `op` on the
   /// owning shard, wrap failures in ShardError.
@@ -224,6 +269,10 @@ class ShardedRTreeClient {
   uint32_t last_fanout_ = 0;
   uint32_t follower_rr_ = 0;  ///< round-robin cursor for follower reads
   std::vector<uint32_t> targets_;  // fan-out scratch
+  /// Ring of recent fast sub-query latencies (µs) feeding HedgeDelayUs.
+  std::vector<uint64_t> sub_lat_;
+  size_t sub_lat_next_ = 0;
+  std::vector<uint64_t> sub_lat_scratch_;  // percentile scratch
 };
 
 }  // namespace catfish::shard

@@ -201,6 +201,53 @@ std::string StatsServer::TracesJson() const {
   return "{\"traceEvents\":[]}";
 }
 
+std::string StatsServer::HealthzJson(bool* ready) const {
+  const telemetry::Snapshot s = cfg_.registry->TakeSnapshot();
+  // Readiness mirrors the admission rule: both live gauges must agree
+  // before the probe declares the node unfit for traffic. Cumulative
+  // counters are deliberately not part of the verdict — a node that
+  // shed an hour ago is not degraded now.
+  const double util = s.gauge("catfish.server.utilization");
+  const double queue_delay = s.gauge("overload.server.queue_delay_us");
+  const bool ok = !(util >= cfg_.healthz_min_utilization &&
+                    queue_delay >= cfg_.healthz_max_queue_delay_us);
+  if (ready != nullptr) *ready = ok;
+
+  const uint64_t served = s.counter("catfish.server.search") +
+                          s.counter("catfish.server.insert") +
+                          s.counter("catfish.server.delete");
+  std::string out = "{\"status\":\"";
+  out += ok ? "ok" : "overloaded";
+  out += "\",\"utilization\":";
+  AppendNumber(out, util);
+  out += ",\"queue_delay_us\":";
+  AppendNumber(out, queue_delay);
+  out += ",\"served\":";
+  out += std::to_string(served);
+  out += ",\"overload\":{\"sheds\":";
+  out += std::to_string(s.counter("overload.server.sheds"));
+  out += ",\"deadline_drops\":";
+  out += std::to_string(s.counter("overload.server.deadline_drops"));
+  out += ",\"client_shed_replies\":";
+  out += std::to_string(s.counter("overload.client.shed_replies"));
+  out += ",\"client_deadline_expired\":";
+  out += std::to_string(s.counter("overload.client.deadline_expired"));
+  out += "},\"breaker\":{\"opens\":";
+  out += std::to_string(s.counter("breaker.opens"));
+  out += ",\"fast_fails\":";
+  out += std::to_string(s.counter("breaker.fast_fails"));
+  out += ",\"search_brownouts\":";
+  out += std::to_string(s.counter("breaker.search_brownouts"));
+  out += "},\"hedge\":{\"issued\":";
+  out += std::to_string(s.counter("shard.client.hedges_issued"));
+  out += ",\"won\":";
+  out += std::to_string(s.counter("shard.client.hedges_won"));
+  out += ",\"wasted\":";
+  out += std::to_string(s.counter("shard.client.hedges_wasted"));
+  out += "}}";
+  return out;
+}
+
 std::string StatsServer::Respond(const std::string& target) const {
   if (target == "/metrics" || target == "/") {
     return HttpResponse(200, "OK", "text/plain; version=0.0.4",
@@ -217,6 +264,16 @@ std::string StatsServer::Respond(const std::string& target) const {
   }
   if (target == "/traces") {
     return HttpResponse(200, "OK", "application/json", TracesJson());
+  }
+  if (target == "/healthz") {
+    bool ready = true;
+    const std::string body = HealthzJson(&ready);
+    // 503 lets a dumb load balancer act on the status line alone; the
+    // JSON body explains why to anyone who looks.
+    return ready
+               ? HttpResponse(200, "OK", "application/json", body)
+               : HttpResponse(503, "Service Unavailable", "application/json",
+                              body);
   }
   return HttpResponse(404, "Not Found", "text/plain", "not found\n");
 }

@@ -15,6 +15,12 @@
 //   /traces    Chrome/Perfetto trace-event JSON of the attached
 //              TraceAssembler's ring (falls back to the attached
 //              Tracer's finished traces; empty document when neither)
+//   /healthz   readiness view for load balancers: 200 + JSON while the
+//              node should receive traffic, 503 once the overload
+//              gauges (worker utilization + queue-delay EWMA) cross
+//              the same thresholds admission control sheds at. The
+//              body carries the overload/breaker/hedge counters so a
+//              probe failure is diagnosable from the probe itself.
 //
 // Rendering is exposed as plain methods so tests can validate output
 // without a socket, and so a port-less environment degrades gracefully
@@ -49,6 +55,13 @@ struct StatsServerConfig {
   /// Optional raw-trace fallback for /traces when no assembler is
   /// attached (single-node traces; critical paths computed on render).
   telemetry::Tracer* tracer = nullptr;
+  /// /healthz readiness thresholds, mirroring AdmissionConfig's
+  /// defaults: the probe goes not-ready exactly when admission control
+  /// would be shedding — utilization at least this…
+  double healthz_min_utilization = 0.85;
+  /// …while the queue-delay EWMA gauge is at least this. Both gauges
+  /// must agree, like the two admission signals.
+  double healthz_max_queue_delay_us = 2'000.0;
 };
 
 class StatsServer {
@@ -75,6 +88,9 @@ class StatsServer {
   std::string TimelineJson() const;
   std::string EventsJson() const;
   std::string TracesJson() const;
+  /// The /healthz body; `ready` (when non-null) receives the verdict
+  /// that picks the HTTP status (true → 200, false → 503).
+  std::string HealthzJson(bool* ready = nullptr) const;
 
   /// Full HTTP response (status line through body) for a request
   /// target, 404 for unknown paths. Exposed for socket-free tests.

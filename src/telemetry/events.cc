@@ -56,6 +56,12 @@ const char* EventTypeName(EventType t) noexcept {
       return "replay";
     case EventType::kShardMapRefresh:
       return "shard_map_refresh";
+    case EventType::kShed:
+      return "shed";
+    case EventType::kBreakerOpen:
+      return "breaker_open";
+    case EventType::kHedge:
+      return "hedge";
   }
   return "unknown";
 }

@@ -55,6 +55,12 @@ enum class EventType : uint8_t {
                        // b=torn tail bytes truncated
   kShardMapRefresh = 15,  // actor=client id, a=new map version,
                           // b=old map version
+  kShed = 16,          // actor=req_id, a=queued_us (0 when shed for an
+                       // expired deadline), b=retry_after hint (us)
+  kBreakerOpen = 17,   // actor=client id, a=new state (0 closed /
+                       // 1 open / 2 half-open), b=open duration (us)
+  kHedge = 18,         // actor=shard id, a=hedge delay used (us),
+                       // b=1 hedge won / 0 primary won (wasted)
 };
 
 /// Stable lower-case name for JSON / table export, e.g. "mode_switch".

@@ -12,6 +12,7 @@
 #include "catfish/bootstrap.h"
 #include "cuckoo/cuckoo.h"
 #include "durable/wal.h"
+#include "msg/protocol.h"
 #include "msg/repl.h"
 #include "rtree/rstar.h"
 #include "shard/partition.h"
@@ -616,6 +617,71 @@ TEST(ReplFuzz, CountFieldLiesAreRejectedBeforeAllocation) {
       EXPECT_TRUE(decoded.has_value());
     } else {
       EXPECT_FALSE(decoded.has_value()) << "count=" << lie;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request decoders with optional tails (trace / deadline) and the
+// overload reply: the tails are size-discriminated, so the decoders
+// must classify arbitrary lengths without over-reading, and mutated
+// valid frames must decode to in-bounds values or reject cleanly.
+// ---------------------------------------------------------------------------
+
+TEST(RequestFuzz, RandomBlobsNeverCrashRequestDecoders) {
+  Xoshiro256 rng(801);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::vector<std::byte> blob(rng.NextBounded(96));
+    for (auto& b : blob) {
+      b = static_cast<std::byte>(rng.Next() & 0xff);
+    }
+    (void)msg::DecodeSearchRequest(blob);
+    (void)msg::DecodeInsertRequest(blob);
+    (void)msg::DecodeDeleteRequest(blob);
+    (void)msg::DecodeOverloadReply(blob);
+  }
+}
+
+TEST(RequestFuzz, MutatedDeadlineFramesDecodeOrRejectBySizeAlone) {
+  Xoshiro256 rng(802);
+  for (int iter = 0; iter < 3000; ++iter) {
+    msg::SearchRequest req;
+    req.req_id = rng.Next();
+    req.rect = geo::Rect{0.1, 0.2, 0.6, 0.7};
+    if (rng.NextBounded(2) != 0) {
+      req.trace = msg::TraceContext{rng.Next() | 1, 7, 1};
+    }
+    if (rng.NextBounded(2) != 0) {
+      req.deadline_us = rng.Next() | 1;
+    }
+    auto bytes = msg::Encode(req);
+    const size_t valid_size = bytes.size();
+    const int flips = 1 + static_cast<int>(rng.NextBounded(6));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.NextBounded(bytes.size());
+      bytes[pos] ^= static_cast<std::byte>(1u << rng.NextBounded(8));
+    }
+    const uint64_t shape = rng.NextBounded(4);
+    if (shape == 1) {
+      bytes.resize(rng.NextBounded(bytes.size() + 1));  // truncate
+    } else if (shape == 2) {
+      bytes.resize(bytes.size() + 1 + rng.NextBounded(24),
+                   std::byte{0x5a});  // garbage tail
+    }
+    const auto decoded = msg::DecodeSearchRequest(bytes);
+    // Layouts are discriminated by size alone, so an unresized frame
+    // must still decode (bit flips change values, never validity), and
+    // any frame that decodes must be one of the four legal sizes.
+    if (bytes.size() == valid_size) {
+      EXPECT_TRUE(decoded.has_value());
+    }
+    if (decoded.has_value()) {
+      const size_t base = 40;
+      EXPECT_TRUE(bytes.size() == base ||
+                  bytes.size() == base + msg::kDeadlineTailBytes ||
+                  bytes.size() == base + msg::kTraceContextBytes ||
+                  bytes.size() == base + msg::kTraceContextBytes +
+                                      msg::kDeadlineTailBytes);
     }
   }
 }

@@ -243,11 +243,21 @@ TEST(ProtocolTest, TruncatedOrOversizedTraceTailsAreRejected) {
   ASSERT_EQ(stamped.size(), 40u + kTraceContextBytes);
 
   // A torn tail (any length strictly between legacy and stamped) must
-  // not decode — neither as "no context" nor as a shifted context.
+  // not decode as a shifted context — with one carve-out: cutting to
+  // exactly base+8 aliases the deadline-only layout (sizes are the
+  // only discriminator), so that length decodes with an absent context
+  // and the trace-id bytes reinterpreted as a deadline.
   for (size_t cut = 1; cut < kTraceContextBytes; ++cut) {
     auto torn = stamped;
     torn.resize(stamped.size() - cut);
-    EXPECT_FALSE(DecodeSearchRequest(torn).has_value()) << "cut=" << cut;
+    const auto dec = DecodeSearchRequest(torn);
+    if (cut == kTraceContextBytes - kDeadlineTailBytes) {
+      ASSERT_TRUE(dec.has_value());
+      EXPECT_FALSE(dec->trace.present());
+      EXPECT_EQ(dec->deadline_us, ctx.trace_id);
+    } else {
+      EXPECT_FALSE(dec.has_value()) << "cut=" << cut;
+    }
   }
 
   // Trailing junk beyond the tail is rejected too.
@@ -276,6 +286,114 @@ TEST(ProtocolTest, UnsampledContextStillRoundTrips) {
   EXPECT_TRUE(dec->trace.present());
   EXPECT_EQ(dec->trace.sampled, 0);
   EXPECT_EQ(dec->trace.parent_span, 5u);
+}
+
+TEST(ProtocolTest, DeadlineTailRoundTripsWithAndWithoutTrace) {
+  // All four size-discriminated layouts: base, +deadline, +trace,
+  // +trace+deadline. The deadline tail rides AFTER the trace tail.
+  const TraceContext ctx{0xfeedull, 9, 1};
+  const geo::Rect rect{0.1, 0.2, 0.3, 0.4};
+  const uint64_t dl = 123'456'789;
+
+  const auto base = Encode(SearchRequest{1, rect, {}, 0});
+  const auto with_dl = Encode(SearchRequest{1, rect, {}, dl});
+  const auto with_tr = Encode(SearchRequest{1, rect, ctx, 0});
+  const auto with_both = Encode(SearchRequest{1, rect, ctx, dl});
+  EXPECT_EQ(with_dl.size(), base.size() + kDeadlineTailBytes);
+  EXPECT_EQ(with_tr.size(), base.size() + kTraceContextBytes);
+  EXPECT_EQ(with_both.size(),
+            base.size() + kTraceContextBytes + kDeadlineTailBytes);
+
+  for (const auto* frame : {&base, &with_dl, &with_tr, &with_both}) {
+    const auto dec = DecodeSearchRequest(*frame);
+    ASSERT_TRUE(dec.has_value());
+    EXPECT_EQ(dec->req_id, 1u);
+    const bool has_dl = frame == &with_dl || frame == &with_both;
+    const bool has_tr = frame == &with_tr || frame == &with_both;
+    EXPECT_EQ(dec->deadline_us, has_dl ? dl : 0u);
+    EXPECT_EQ(dec->trace.present(), has_tr);
+    if (has_tr) {
+      EXPECT_EQ(dec->trace.parent_span, 9u);
+    }
+  }
+
+  // Same tail on the write requests, leading fields unshifted.
+  const auto idec = DecodeInsertRequest(
+      Encode(InsertRequest{7, 11, rect, 5, ctx, dl}));
+  ASSERT_TRUE(idec.has_value());
+  EXPECT_EQ(idec->req_id, 7u);
+  EXPECT_EQ(idec->rect_id, 5u);
+  EXPECT_EQ(idec->deadline_us, dl);
+  EXPECT_TRUE(idec->trace.present());
+
+  const auto ddec = DecodeDeleteRequest(
+      Encode(DeleteRequest{8, 12, rect, 9, {}, dl}));
+  ASSERT_TRUE(ddec.has_value());
+  EXPECT_EQ(ddec->deadline_us, dl);
+  EXPECT_FALSE(ddec->trace.present());
+}
+
+TEST(ProtocolTest, DeadlineFreeRequestsStayByteIdenticalToLegacyFrames) {
+  // deadline_us == 0 must not grow the frame: a pre-deadline peer and a
+  // deadline-capable one emitting "no deadline" produce the same bytes.
+  EXPECT_EQ(Encode(SearchRequest{42, geo::Rect{0.1, 0.2, 0.3, 0.4}, {}, 0})
+                .size(),
+            40u);
+  EXPECT_EQ(Encode(InsertRequest{7, 11, geo::Rect{0, 0, 1, 1}, 5, {}, 0})
+                .size(),
+            56u);
+  EXPECT_EQ(Encode(DeleteRequest{8, 12, geo::Rect{0, 0, 1, 1}, 9, {}, 0})
+                .size(),
+            56u);
+}
+
+TEST(ProtocolTest, TornDeadlineTailsAreRejected) {
+  // Truncations of a trace+deadline frame: the only cuts that decode
+  // are the ones that land exactly on another layout's size — cutting
+  // the 8-byte deadline leaves the genuine trace-only frame, and
+  // cutting the 13-byte suffix leaves base+8, which size discrimination
+  // cannot distinguish from a deadline-only frame (the leading trace-id
+  // bytes reinterpret as a deadline — the documented blind spot of
+  // size-discriminated tails, harmless because frames ride reliable
+  // rings that never truncate). Every other cut must be rejected.
+  const TraceContext ctx{3, 1, 1};
+  const auto full =
+      Encode(SearchRequest{1, geo::Rect{0, 0, 1, 1}, ctx, 55});
+  for (size_t cut = 1; cut < kTraceContextBytes + kDeadlineTailBytes; ++cut) {
+    auto torn = full;
+    torn.resize(full.size() - cut);
+    const auto dec = DecodeSearchRequest(torn);
+    if (cut == kDeadlineTailBytes) {
+      // Legitimate trace-only layout: decodes, deadline absent.
+      ASSERT_TRUE(dec.has_value());
+      EXPECT_EQ(dec->deadline_us, 0u);
+      EXPECT_TRUE(dec->trace.present());
+    } else if (cut == kTraceContextBytes) {
+      // Aliases the deadline-only layout (trace id → deadline).
+      ASSERT_TRUE(dec.has_value());
+      EXPECT_EQ(dec->deadline_us, ctx.trace_id);
+      EXPECT_FALSE(dec->trace.present());
+    } else {
+      EXPECT_FALSE(dec.has_value()) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(ProtocolTest, OverloadReplyRoundTrip) {
+  const auto dec = DecodeOverloadReply(Encode(OverloadReply{91, 750}));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->req_id, 91u);
+  EXPECT_EQ(dec->retry_after_us, 750u);
+
+  // retry_after 0 ("do not retry") is a meaningful value, not absence.
+  const auto noretry = DecodeOverloadReply(Encode(OverloadReply{92, 0}));
+  ASSERT_TRUE(noretry.has_value());
+  EXPECT_EQ(noretry->retry_after_us, 0u);
+
+  std::vector<std::byte> junk(11, std::byte{7});
+  EXPECT_FALSE(DecodeOverloadReply(junk).has_value());
+  std::vector<std::byte> oversized(13, std::byte{7});
+  EXPECT_FALSE(DecodeOverloadReply(oversized).has_value());
 }
 
 TEST(ProtocolTest, TraceResponseRoundTrip) {

@@ -421,6 +421,62 @@ TEST(FaultControllerTest, FaultsOnOtherLinksDoNotInterfere) {
   EXPECT_EQ(c_mem[0], std::byte{3});
 }
 
+TEST(FaultControllerTest, LinkLatencyStallsOpsButTheySucceed) {
+  Endpoints ep;
+  std::vector<std::byte> server_mem(64, std::byte{0});
+  const auto mr = ep.server->RegisterMemory(server_mem);
+  std::vector<std::byte> data(8, std::byte{3});
+
+  // Gray failure: the op stalls, then SUCCEEDS — no error completion,
+  // nothing for a watchdog to see, only the elapsed time gives it away.
+  ep.fabric.faults().SetLinkLatency("client", "server", 3'000, 1'000, 42);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(ep.c_qp->PostWrite(1, data, RemoteAddr{mr.rkey, 0}));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::microseconds(2'500));
+  EXPECT_EQ(server_mem[0], std::byte{3});
+  EXPECT_GE(ep.fabric.faults().slowed_ops(), 1u);
+  EXPECT_EQ(ep.fabric.faults().dropped_ops(), 0u);
+
+  // Clearing the latency (base=0, jitter=0) restores full speed.
+  ep.fabric.faults().SetLinkLatency("client", "server", 0, 0);
+  const auto t1 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(ep.c_qp->PostWrite(2, data, RemoteAddr{mr.rkey, 0}));
+  EXPECT_LT(std::chrono::steady_clock::now() - t1,
+            std::chrono::microseconds(2'500));
+}
+
+TEST(FaultControllerTest, DegradedNodeSlowsEveryTouchingOp) {
+  Endpoints ep;
+  std::vector<std::byte> server_mem(64, std::byte{0});
+  std::vector<std::byte> client_mem(64, std::byte{0});
+  const auto s_mr = ep.server->RegisterMemory(server_mem);
+  const auto c_mr = ep.client->RegisterMemory(client_mem);
+  std::vector<std::byte> data(8, std::byte{9});
+
+  ep.fabric.faults().SetDegraded("server", 3'000);
+  // Both directions stall — degradation is a node property, charged to
+  // any op the node originates or terminates.
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(ep.c_qp->PostWrite(1, data, RemoteAddr{s_mr.rkey, 0}));
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::microseconds(2'500));
+  t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(ep.s_qp->PostWrite(2, data, RemoteAddr{c_mr.rkey, 0}));
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::microseconds(2'500));
+  EXPECT_EQ(server_mem[0], std::byte{9});
+  EXPECT_EQ(client_mem[0], std::byte{9});
+  EXPECT_GE(ep.fabric.faults().slowed_ops(), 2u);
+
+  // SetDegraded(node, 0) lifts the fault.
+  ep.fabric.faults().SetDegraded("server", 0);
+  t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(ep.c_qp->PostWrite(3, data, RemoteAddr{s_mr.rkey, 0}));
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::microseconds(2'500));
+}
+
 TEST(FaultControllerTest, RestartNodeBumpsGenerationAndKillsState) {
   Fabric fabric{FabricProfile::Instant()};
   auto server = fabric.CreateNode("server");

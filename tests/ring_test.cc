@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -152,6 +153,77 @@ TEST(RingTest, PipelinedBatchThenDrain) {
     ASSERT_TRUE(m.has_value());
     EXPECT_EQ(m->type, i);
   }
+  EXPECT_FALSE(p.rx->TryReceive().has_value());
+}
+
+// A sender stuck on a full ring must make zero progress — and zero
+// damage — for any number of refused attempts, then recover exactly
+// one slot per drained message with FIFO and payloads intact.
+TEST(RingTest, SenderBlockedOnFullRing) {
+  RingPair p(512);
+  size_t sent = 0;
+  while (p.tx->TrySend(static_cast<uint16_t>(sent), kFlagEnd,
+                       Payload(100, static_cast<uint8_t>(sent)))) {
+    ++sent;
+  }
+  ASSERT_GE(sent, 2u);
+
+  // Hammering the full ring is refused every time and corrupts nothing.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(p.tx->TrySend(99, kFlagEnd, Payload(100, 0xee)));
+  }
+
+  // Each drained message re-opens exactly one same-sized slot.
+  for (size_t i = 0; i < sent; ++i) {
+    const auto m = p.rx->TryReceive();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->type, static_cast<uint16_t>(i));
+    EXPECT_EQ(m->payload, Payload(100, static_cast<uint8_t>(i)));
+    EXPECT_TRUE(p.tx->TrySend(static_cast<uint16_t>(100 + i), kFlagEnd,
+                              Payload(100, static_cast<uint8_t>(i))));
+    EXPECT_FALSE(p.tx->TrySend(99, kFlagEnd, Payload(100, 0xee)));
+  }
+
+  // The refills come out in order behind the originals.
+  for (size_t i = 0; i < sent; ++i) {
+    const auto m = p.rx->TryReceive();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->type, static_cast<uint16_t>(100 + i));
+  }
+  EXPECT_FALSE(p.rx->TryReceive().has_value());
+}
+
+// Bursty consumer: the producer pumps flat out against a small ring
+// while the receiver alternates naps with drain-everything sweeps —
+// the aggressor-vs-slow-receiver shape the overload path sees. Every
+// message must arrive exactly once, in order, bit-identical.
+TEST(RingTest, ReceiverDrainUnderBurst) {
+  RingPair p(1024);
+  constexpr int kMessages = 4000;
+  std::thread producer([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      std::vector<std::byte> payload(1 + (i % 150));
+      for (auto& b : payload) b = static_cast<std::byte>(i & 0xff);
+      while (!p.tx->TrySend(static_cast<uint16_t>(i & 0x7fff), kFlagEnd,
+                            payload)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  int received = 0;
+  while (received < kMessages) {
+    // Let the producer fill the ring to back-pressure, then sweep.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    while (const auto m = p.rx->TryReceive()) {
+      ASSERT_EQ(m->type, received & 0x7fff);
+      ASSERT_EQ(m->payload.size(), 1u + (received % 150));
+      for (const auto b : m->payload) {
+        ASSERT_EQ(b, static_cast<std::byte>(received & 0xff));
+      }
+      ++received;
+    }
+  }
+  producer.join();
   EXPECT_FALSE(p.rx->TryReceive().has_value());
 }
 

@@ -100,6 +100,60 @@ TEST(StatsServerTest, TimelineEmptyWithoutSampler) {
   EXPECT_TRUE(srv.TimelineJson().empty());
 }
 
+TEST(StatsServerTest, HealthzReportsReadyUnderNormalLoad) {
+  Fixture fx;
+  fx.reg.counter("catfish.server.search")->Add(40);
+  fx.reg.counter("catfish.server.insert")->Add(2);
+  fx.reg.counter("overload.server.sheds")->Add(3);
+  fx.reg.counter("breaker.opens")->Add(1);
+  fx.reg.counter("shard.client.hedges_issued")->Add(5);
+  fx.reg.counter("shard.client.hedges_won")->Add(4);
+  StatsServer srv(fx.cfg);
+
+  bool ready = false;
+  const auto doc = testjson::Parse(srv.HealthzJson(&ready));
+  ASSERT_TRUE(doc.has_value());
+  // Utilization 0.42 is under the 0.85 readiness floor → ready, and
+  // the cumulative counters ride along for diagnosis.
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(doc->Find("status")->string, "ok");
+  EXPECT_EQ(doc->NumberOr("utilization"), 0.42);
+  EXPECT_EQ(doc->NumberOr("served"), 42.0);
+  EXPECT_EQ(doc->Find("overload")->NumberOr("sheds"), 3.0);
+  EXPECT_EQ(doc->Find("breaker")->NumberOr("opens"), 1.0);
+  EXPECT_EQ(doc->Find("hedge")->NumberOr("issued"), 5.0);
+  EXPECT_EQ(doc->Find("hedge")->NumberOr("won"), 4.0);
+  EXPECT_NE(srv.Respond("/healthz").find("HTTP/1.0 200 OK"),
+            std::string::npos);
+}
+
+TEST(StatsServerTest, HealthzGoesNotReadyWhenBothOverloadGaugesCross) {
+  Fixture fx;
+  StatsServer srv(fx.cfg);
+
+  // One signal alone (hot worker, empty queue) must not flip the probe:
+  // same two-signal rule as admission control.
+  fx.reg.gauge("catfish.server.utilization")->Set(0.99);
+  bool ready = false;
+  (void)srv.HealthzJson(&ready);
+  EXPECT_TRUE(ready);
+
+  fx.reg.gauge("overload.server.queue_delay_us")->Set(5'000.0);
+  const auto doc = testjson::Parse(srv.HealthzJson(&ready));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(ready);
+  EXPECT_EQ(doc->Find("status")->string, "overloaded");
+  EXPECT_NE(srv.Respond("/healthz").find("HTTP/1.0 503 Service Unavailable"),
+            std::string::npos);
+
+  // Relief is instantaneous: the verdict reads live gauges, not the
+  // (still non-zero) cumulative counters.
+  fx.reg.gauge("catfish.server.utilization")->Set(0.1);
+  fx.reg.gauge("overload.server.queue_delay_us")->Set(0.0);
+  (void)srv.HealthzJson(&ready);
+  EXPECT_TRUE(ready);
+}
+
 TEST(StatsServerTest, RespondRoutesAndStatusLines) {
   Fixture fx;
   StatsServer srv(fx.cfg);
